@@ -1,0 +1,84 @@
+//! Figure 7: multi-server scalability of TorchGT training GPH_Slim on
+//! ogbn-products, A100 servers.
+//!
+//! (a) fixed S = 1024K, 1–8 servers: throughput should nearly double per
+//!     server doubling (the paper reports ~1.7×);
+//! (b) fixed computational load per GPU: S 256K→512K with 4× the GPUs keeps
+//!     per-GPU throughput approximately constant.
+
+use torchgt_bench::{banner, dump_json, measure_layout_runs, paper_profile};
+use torchgt_comm::ClusterTopology;
+use torchgt_graph::DatasetKind;
+use torchgt_perf::{iteration_cost, GpuSpec, ModelShape, StepSpec};
+use torchgt_sparse::LayoutKind;
+
+fn main() {
+    banner("fig7_scaling", "Figure 7 — multi-server scalability (A100), GPH_Slim/ogbn-products");
+    let spec = DatasetKind::OgbnProducts.spec();
+    let runs = measure_layout_runs(DatasetKind::OgbnProducts, 0.001, 1, 8, 16);
+    let shape = ModelShape::graphormer_slim();
+    let gpu = GpuSpec::a100();
+
+    println!("\n(a) fixed S = 1024K, scaling servers:");
+    println!("{:>9} {:>8} {:>14} {:>18} {:>10}", "servers", "GPUs", "iter (s)", "tokens/s", "speedup");
+    let s = 1usize << 20;
+    let mut prev: Option<f64> = None;
+    let mut rows_a = Vec::new();
+    for servers in [1usize, 2, 4, 8] {
+        let topo = ClusterTopology::a100(servers);
+        let step = StepSpec {
+            gpu,
+            topology: topo,
+            shape,
+            layout: LayoutKind::ClusterSparse,
+            seq_len: s,
+            profile: paper_profile(&spec, s, runs.reformed_run, runs.nnz_factor),
+        };
+        let t = iteration_cost(&step).total();
+        let tput = s as f64 / t;
+        let speedup = prev.map(|p| t_ratio(p, t)).unwrap_or(1.0);
+        println!(
+            "{:>9} {:>8} {:>14.4} {:>18.3e} {:>9.2}x",
+            servers,
+            topo.world_size(),
+            t,
+            tput,
+            speedup
+        );
+        if let Some(p) = prev {
+            assert!(p / t > 1.4, "per-doubling speedup too low: {}", p / t);
+        }
+        prev = Some(t);
+        rows_a.push(serde_json::json!({"servers": servers, "iter_s": t, "tokens_per_s": tput}));
+    }
+
+    println!("\n(b) fixed per-GPU load (S²/P const): S=256K/P=16 vs S=512K/P=64:");
+    println!("{:>8} {:>6} {:>14} {:>22}", "S", "GPUs", "iter (s)", "per-GPU tokens/s");
+    let mut rows_b = Vec::new();
+    let mut per_gpu: Vec<f64> = Vec::new();
+    for (s, gpus) in [(256usize << 10, 16usize), (512 << 10, 64)] {
+        let topo = ClusterTopology { gpus_per_server: 8, servers: gpus / 8, ..ClusterTopology::a100(1) };
+        let step = StepSpec {
+            gpu,
+            topology: topo,
+            shape,
+            layout: LayoutKind::ClusterSparse,
+            seq_len: s,
+            profile: paper_profile(&spec, s, runs.reformed_run, runs.nnz_factor),
+        };
+        let t = iteration_cost(&step).total();
+        let tput = s as f64 / t / gpus as f64;
+        println!("{:>8} {:>6} {:>14.4} {:>22.3e}", format!("{}K", s >> 10), gpus, t, tput);
+        per_gpu.push(tput);
+        rows_b.push(serde_json::json!({"seq_len": s, "gpus": gpus, "per_gpu_tokens_per_s": tput}));
+    }
+    let ratio = per_gpu[1] / per_gpu[0];
+    println!("\nper-GPU throughput ratio: {ratio:.2} (paper: ≈1, 'approximately the same')");
+    assert!((0.4..=2.5).contains(&ratio), "per-GPU throughput should stay same order");
+    println!("paper shape check ✓ near-linear server scaling, stable per-GPU throughput");
+    dump_json("fig7_scaling", &serde_json::json!({"fixed_s": rows_a, "fixed_load": rows_b}));
+}
+
+fn t_ratio(prev: f64, now: f64) -> f64 {
+    prev / now
+}

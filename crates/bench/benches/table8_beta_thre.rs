@@ -1,0 +1,111 @@
+//! Table VIII: sensitivity of training time per epoch and test accuracy to
+//! the transfer threshold β_thre on ogbn-arxiv, for GPH_Slim and GT, plus
+//! the Auto Tuner ("TorchGT" column).
+//!
+//! Paper shape: larger β_thre ⇒ faster epochs but lower accuracy; the Auto
+//! Tuner lands between the extremes (the paper suggests 5β_G as the sweet
+//! spot).
+
+use torchgt_bench::{banner, dump_json, BenchModel};
+use torchgt_comm::ClusterTopology;
+use torchgt_graph::DatasetKind;
+use torchgt_perf::{iteration_cost, GpuSpec, StepSpec};
+use torchgt_runtime::{Method, NodeTrainer, TrainConfig};
+use torchgt_sparse::{AccessProfile, LayoutKind};
+
+/// Extrapolate a measured mask profile to the paper's arxiv run (S = 64K)
+/// and price one epoch on the RTX 3090: the run length and nnz inflation
+/// carry the β_thre effect the paper's Table VIII times show.
+fn paper_scale_epoch(trainer: &NodeTrainer, model: BenchModel) -> f64 {
+    let measured = trainer.mean_profile();
+    let s = 64usize << 10;
+    // Per-token pattern size measured on the scaled masks (includes the β-
+    // dependent sub-block padding), carried to the paper's S.
+    let nnz_per_token =
+        measured.nnz as f64 / measured.active_rows.max(1) as f64;
+    let nnz = (s as f64 * nnz_per_token) as usize;
+    let profile = AccessProfile {
+        nnz,
+        runs: ((nnz as f64 / measured.avg_run_len.max(1.0)) as usize).max(1),
+        avg_run_len: measured.avg_run_len,
+        isolated: 0,
+        active_rows: s,
+    };
+    let spec = StepSpec {
+        gpu: GpuSpec::rtx3090(),
+        topology: ClusterTopology::rtx3090(1),
+        shape: model.paper_shape(),
+        layout: LayoutKind::ClusterSparse,
+        seq_len: s,
+        profile,
+    };
+    // One epoch of arxiv at S = 64K ≈ 3 iterations (169K nodes).
+    iteration_cost(&spec).total() * 3.0
+}
+
+fn main() {
+    banner("table8_beta_thre", "Table VIII — β_thre sensitivity on ogbn-arxiv");
+    let dataset = DatasetKind::OgbnArxiv.generate_node(0.01, 41);
+    let beta_g = dataset.graph.sparsity();
+    println!("β_G = {beta_g:.2e}\n");
+    let epochs = 5;
+    let mut rows = Vec::new();
+    for model in [BenchModel::GraphormerSlim, BenchModel::Gt] {
+        println!("--- {} ---", model.label());
+        println!("{:<12} {:>16} {:>10}", "β_thre", "sim t_epoch (s)", "test acc");
+        let mut sims = Vec::new();
+        let mut accs = Vec::new();
+        let mut configs: Vec<(String, Option<f64>)> = vec![
+            ("β_G".into(), Some(beta_g)),
+            ("1.5β_G".into(), Some(1.5 * beta_g)),
+            ("5β_G".into(), Some(5.0 * beta_g)),
+            ("7β_G".into(), Some(7.0 * beta_g)),
+            ("10β_G".into(), Some(10.0 * beta_g)),
+            ("TorchGT".into(), None), // Auto Tuner
+        ];
+        for (label, beta) in configs.drain(..) {
+            let mut cfg = TrainConfig::new(Method::TorchGt, 400, epochs);
+            cfg.beta_thre = beta;
+            cfg.lr = 2e-3;
+            cfg.seed = 3;
+            let m = model.build(dataset.feat_dim, dataset.num_classes, 3);
+            let mut trainer = NodeTrainer::new(
+                cfg,
+                &dataset,
+                m,
+                model.functional_shape(),
+                GpuSpec::rtx3090(),
+                ClusterTopology::rtx3090(1),
+            );
+            let stats = trainer.run();
+            let sim = paper_scale_epoch(&trainer, model);
+            let acc = stats.last().unwrap().test_acc;
+            println!("{:<12} {:>16.6} {:>10.4}", label, sim, acc);
+            if beta.is_some() {
+                sims.push(sim);
+                accs.push(acc);
+            }
+            rows.push(serde_json::json!({
+                "model": model.label(), "beta_thre": label,
+                "sim_t_epoch_s": sim, "test_acc": acc,
+            }));
+        }
+        // Shape: the fastest config is at the high-β end; accuracy at β_G is
+        // ≥ accuracy at 10β_G (pattern loss costs quality).
+        let min_sim_idx = sims
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(min_sim_idx >= 2, "speed should come from more transfer");
+        assert!(
+            accs[0] >= *accs.last().unwrap() - 0.05,
+            "accuracy should not improve with maximal transfer: {:?}",
+            accs
+        );
+        println!();
+    }
+    println!("paper shape check ✓ speed/accuracy trade-off along the β ladder");
+    dump_json("table8_beta_thre", &serde_json::json!(rows));
+}

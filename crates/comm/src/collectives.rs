@@ -1,0 +1,332 @@
+//! Real data-movement collectives over simulated devices.
+//!
+//! The paper runs NCCL collectives across 8–64 GPUs. Here each *rank* is a
+//! thread and each link is a crossbeam channel, so the collectives genuinely
+//! move data (the runtime's distributed forward pass is checked against the
+//! single-device forward bit-for-bit), while the α–β models in
+//! [`crate::interconnect`] supply the simulated wall-clock the experiment
+//! harnesses report.
+
+use crate::stats::{CollectiveKind, CommStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// Per-rank handle for collective communication within a device group.
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    /// `senders[j]` transmits to rank `j` (entry for self is unused).
+    senders: Vec<Sender<Vec<f32>>>,
+    /// `receivers[j]` receives from rank `j`.
+    receivers: Vec<Receiver<Vec<f32>>>,
+    stats: Arc<CommStats>,
+}
+
+impl Communicator {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Shared volume statistics for the whole group.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Point-to-point send (building block for custom collective
+    /// algorithms, e.g. [`crate::hierarchical`]).
+    pub fn send_to(&self, peer: usize, data: Vec<f32>) {
+        self.stats.record_bytes(data.len() * 4);
+        self.senders[peer].send(data).expect("peer hung up");
+    }
+
+    /// Point-to-point receive, blocking (FIFO per peer).
+    pub fn recv_from(&self, peer: usize) -> Vec<f32> {
+        self.receivers[peer].recv().expect("peer hung up")
+    }
+
+    /// All-to-all: `chunks[j]` goes to rank `j`; returns the chunks received
+    /// from every rank (own chunk passed through untouched).
+    pub fn all_to_all(&self, mut chunks: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        assert_eq!(chunks.len(), self.world, "all_to_all needs one chunk per rank");
+        self.stats.record_op(CollectiveKind::AllToAll);
+        let own = std::mem::take(&mut chunks[self.rank]);
+        for (j, chunk) in chunks.into_iter().enumerate() {
+            if j != self.rank {
+                self.send_to(j, chunk);
+            }
+        }
+        let mut out: Vec<Vec<f32>> = (0..self.world).map(|_| Vec::new()).collect();
+        out[self.rank] = own;
+        for j in 0..self.world {
+            if j != self.rank {
+                out[j] = self.recv_from(j);
+            }
+        }
+        out
+    }
+
+    /// All-gather: every rank contributes `data`; returns all contributions
+    /// indexed by rank.
+    pub fn all_gather(&self, data: Vec<f32>) -> Vec<Vec<f32>> {
+        self.stats.record_op(CollectiveKind::AllGather);
+        for j in 0..self.world {
+            if j != self.rank {
+                self.send_to(j, data.clone());
+            }
+        }
+        let mut out: Vec<Vec<f32>> = (0..self.world).map(|_| Vec::new()).collect();
+        out[self.rank] = data;
+        for j in 0..self.world {
+            if j != self.rank {
+                out[j] = self.recv_from(j);
+            }
+        }
+        out
+    }
+
+    /// All-reduce (sum): element-wise sum of every rank's `data`.
+    pub fn all_reduce_sum(&self, data: Vec<f32>) -> Vec<f32> {
+        self.stats.record_op(CollectiveKind::AllReduce);
+        let parts = self.all_gather(data);
+        let len = parts[0].len();
+        let mut acc = vec![0.0f32; len];
+        for part in parts {
+            debug_assert_eq!(part.len(), len);
+            for (a, v) in acc.iter_mut().zip(part) {
+                *a += v;
+            }
+        }
+        acc
+    }
+
+    /// Reduce-scatter (sum): `chunks[j]` is this rank's contribution to rank
+    /// `j`'s result; returns the element-wise sum of chunk `rank` across all
+    /// ranks.
+    pub fn reduce_scatter_sum(&self, chunks: Vec<Vec<f32>>) -> Vec<f32> {
+        self.stats.record_op(CollectiveKind::ReduceScatter);
+        let received = self.all_to_all(chunks);
+        let len = received[0].len();
+        let mut acc = vec![0.0f32; len];
+        for part in received {
+            for (a, v) in acc.iter_mut().zip(part) {
+                *a += v;
+            }
+        }
+        acc
+    }
+
+    /// Broadcast from `root`: the root passes `Some(data)`, everyone else
+    /// `None`; all ranks return the root's data.
+    pub fn broadcast(&self, root: usize, data: Option<Vec<f32>>) -> Vec<f32> {
+        self.stats.record_op(CollectiveKind::Broadcast);
+        if self.rank == root {
+            let data = data.expect("root must supply data");
+            for j in 0..self.world {
+                if j != root {
+                    self.send_to(j, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_from(root)
+        }
+    }
+
+    /// Barrier: no rank proceeds until all ranks arrive.
+    pub fn barrier(&self) {
+        self.stats.record_op(CollectiveKind::Barrier);
+        for j in 0..self.world {
+            if j != self.rank {
+                self.senders[j].send(Vec::new()).expect("peer hung up");
+            }
+        }
+        for j in 0..self.world {
+            if j != self.rank {
+                let _ = self.recv_from(j);
+            }
+        }
+    }
+}
+
+/// A group of simulated devices. [`DeviceGroup::run`] executes one closure
+/// per rank on its own thread and returns the per-rank results.
+pub struct DeviceGroup {
+    world: usize,
+    stats: Arc<CommStats>,
+}
+
+impl DeviceGroup {
+    /// Create a group of `world` simulated devices.
+    pub fn new(world: usize) -> Self {
+        assert!(world >= 1);
+        Self { world, stats: Arc::new(CommStats::default()) }
+    }
+
+    /// Number of ranks.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Communication-volume statistics accumulated across runs.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Run `f(communicator)` on every rank concurrently, returning results in
+    /// rank order. Collective calls inside `f` must be made by *all* ranks in
+    /// the same order (the usual SPMD contract).
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(Communicator) -> R + Sync,
+        R: Send,
+    {
+        let p = self.world;
+        // Build the p×p channel mesh.
+        let mut txs: Vec<Vec<Option<Sender<Vec<f32>>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Vec<f32>>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        for i in 0..p {
+            for j in 0..p {
+                if i == j {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                txs[i][j] = Some(tx); // i → j
+                rxs[j][i] = Some(rx); // j receives from i
+            }
+        }
+        let mut comms: Vec<Communicator> = Vec::with_capacity(p);
+        for (rank, (tx_row, rx_row)) in txs.into_iter().zip(rxs).enumerate() {
+            let (dummy_tx, dummy_rx) = unbounded();
+            let senders = tx_row.into_iter().map(|t| t.unwrap_or_else(|| dummy_tx.clone())).collect();
+            let receivers = {
+                let mut v: Vec<Receiver<Vec<f32>>> = Vec::with_capacity(p);
+                for r in rx_row {
+                    v.push(r.unwrap_or_else(|| dummy_rx.clone()));
+                }
+                v
+            };
+            comms.push(Communicator {
+                rank,
+                world: p,
+                senders,
+                receivers,
+                stats: Arc::clone(&self.stats),
+            });
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_permutes_chunks() {
+        let group = DeviceGroup::new(4);
+        let results = group.run(|comm| {
+            let r = comm.rank() as f32;
+            // Rank r sends [r*10 + j] to rank j.
+            let chunks: Vec<Vec<f32>> = (0..4).map(|j| vec![r * 10.0 + j as f32]).collect();
+            comm.all_to_all(chunks)
+        });
+        // Rank j receives r*10 + j from every rank r.
+        for (j, recv) in results.iter().enumerate() {
+            for (r, chunk) in recv.iter().enumerate() {
+                assert_eq!(chunk, &vec![r as f32 * 10.0 + j as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_collects_in_rank_order() {
+        let group = DeviceGroup::new(3);
+        let results = group.run(|comm| comm.all_gather(vec![comm.rank() as f32; 2]));
+        for recv in results {
+            assert_eq!(recv, vec![vec![0.0; 2], vec![1.0; 2], vec![2.0; 2]]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        let group = DeviceGroup::new(5);
+        let results = group.run(|comm| comm.all_reduce_sum(vec![comm.rank() as f32, 1.0]));
+        for recv in results {
+            assert_eq!(recv, vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_manual_sum() {
+        let group = DeviceGroup::new(3);
+        let results = group.run(|comm| {
+            let r = comm.rank() as f32;
+            let chunks: Vec<Vec<f32>> = (0..3).map(|j| vec![r + j as f32]).collect();
+            comm.reduce_scatter_sum(chunks)
+        });
+        // Rank j gets Σ_r (r + j) = 3 + 3j... with ranks 0,1,2: Σ r = 3.
+        for (j, recv) in results.iter().enumerate() {
+            assert_eq!(recv, &vec![3.0 + 3.0 * j as f32]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let group = DeviceGroup::new(4);
+        let results = group.run(|comm| {
+            let data = if comm.rank() == 2 { Some(vec![7.0, 8.0]) } else { None };
+            comm.broadcast(2, data)
+        });
+        for recv in results {
+            assert_eq!(recv, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let group = DeviceGroup::new(8);
+        let results = group.run(|comm| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_accumulate_volume() {
+        let group = DeviceGroup::new(2);
+        group.run(|comm| {
+            comm.all_gather(vec![0.0; 256]);
+        });
+        // Each of 2 ranks sends 256 floats to 1 peer = 2 × 1024 bytes.
+        assert_eq!(group.stats().bytes_sent(), 2 * 256 * 4);
+        assert_eq!(group.stats().ops(CollectiveKind::AllGather), 2);
+    }
+
+    #[test]
+    fn single_rank_group_works() {
+        let group = DeviceGroup::new(1);
+        let results = group.run(|comm| {
+            let out = comm.all_to_all(vec![vec![1.0, 2.0]]);
+            let red = comm.all_reduce_sum(vec![3.0]);
+            (out, red)
+        });
+        assert_eq!(results[0].0, vec![vec![1.0, 2.0]]);
+        assert_eq!(results[0].1, vec![3.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Hierarchical (two-phase) all-to-all.
+//!
+//! On multi-server clusters a flat all-to-all sends `P−g` small cross-server
+//! messages per rank (`g` = GPUs per server). NCCL-style hierarchical
+//! algorithms first aggregate intra-server over the fast links, then
+//! exchange one *bundled* message per server pair over the slow network,
+//! then scatter intra-server — far fewer, larger network messages, a big win
+//! in latency-bound regimes. [`hierarchical_all_to_all`] implements the real
+//! data movement (equivalence-tested against the flat collective);
+//! [`hierarchical_advantage`] prices both on the α–β model.
+
+use crate::collectives::Communicator;
+use crate::interconnect::ClusterTopology;
+
+fn frame_one(src: usize, dest: usize, chunk: &[f32]) -> Vec<f32> {
+    let mut b = Vec::with_capacity(chunk.len() + 3);
+    b.push(src as f32);
+    b.push(dest as f32);
+    b.push(chunk.len() as f32);
+    b.extend_from_slice(chunk);
+    b
+}
+
+fn unframe_one(buf: &[f32]) -> (usize, usize, Vec<f32>) {
+    let src = buf[0] as usize;
+    let dest = buf[1] as usize;
+    let len = buf[2] as usize;
+    (src, dest, buf[3..3 + len].to_vec())
+}
+
+/// Split a concatenation of framed chunks.
+fn unframe_all(buf: &[f32]) -> Vec<(usize, usize, Vec<f32>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < buf.len() {
+        let len = buf[i + 2] as usize;
+        out.push(unframe_one(&buf[i..i + 3 + len]));
+        i += 3 + len;
+    }
+    out
+}
+
+/// Two-phase all-to-all over a world organised into servers of `group_size`
+/// consecutive ranks. Returns exactly what [`Communicator::all_to_all`]
+/// returns.
+pub fn hierarchical_all_to_all(
+    comm: &Communicator,
+    chunks: Vec<Vec<f32>>,
+    group_size: usize,
+) -> Vec<Vec<f32>> {
+    let p = comm.world_size();
+    assert_eq!(chunks.len(), p);
+    assert!(group_size >= 1 && p % group_size == 0, "ranks must fill servers");
+    let g = group_size;
+    let servers = p / g;
+    if servers == 1 {
+        return comm.all_to_all(chunks);
+    }
+    let rank = comm.rank();
+    let my_server = rank / g;
+    let gateway_for = |s: usize, t: usize| s * g + (t % g);
+
+    let mut out: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut chunks: Vec<Option<Vec<f32>>> = chunks.into_iter().map(Some).collect();
+    out[rank] = chunks[rank].take().unwrap();
+
+    // Phase 1: intra-server. Direct delivery inside the server; remote
+    // chunks go to the local gateway for their destination server, one
+    // framed message per remote server (g chunks bundled).
+    for dest in (my_server * g)..((my_server + 1) * g) {
+        if dest != rank {
+            comm.send_to(dest, chunks[dest].take().unwrap());
+        }
+    }
+    for t in 0..servers {
+        if t == my_server {
+            continue;
+        }
+        let mut bundle = Vec::new();
+        for local in 0..g {
+            let dest = t * g + local;
+            bundle.extend(frame_one(rank, dest, chunks[dest].as_ref().unwrap()));
+        }
+        let gw = gateway_for(my_server, t);
+        comm.send_to(gw, bundle); // self-send works (loopback channel)
+    }
+    for src in (my_server * g)..((my_server + 1) * g) {
+        if src != rank {
+            out[src] = comm.recv_from(src);
+        }
+    }
+
+    // Gateways: collect the per-server bundles from every local rank (self
+    // included), in (t ascending, src ascending) order — matching the send
+    // order above under per-pair FIFO.
+    let served: Vec<usize> =
+        (0..servers).filter(|&t| t != my_server && gateway_for(my_server, t) == rank).collect();
+    let mut outbound: Vec<Vec<f32>> = Vec::new();
+    for &t in &served {
+        let mut mega = Vec::new();
+        for local in 0..g {
+            let src = my_server * g + local;
+            let buf = comm.recv_from(src);
+            mega.extend(buf);
+        }
+        outbound.push(mega);
+        let _ = t;
+    }
+
+    // Phase 2: gateway pairs exchange mega-bundles.
+    for (i, &t) in served.iter().enumerate() {
+        let peer = gateway_for(t, my_server);
+        comm.send_to(peer, std::mem::take(&mut outbound[i]));
+    }
+    // Receive bundles from every remote server's gateway for us, then
+    // deliver locally (phase 3).
+    for t in 0..servers {
+        if t == my_server || gateway_for(my_server, t) != rank {
+            continue;
+        }
+        let peer = gateway_for(t, my_server);
+        let mega = comm.recv_from(peer);
+        for (src, dest, chunk) in unframe_all(&mega) {
+            if dest == rank {
+                out[src] = chunk;
+            } else {
+                comm.send_to(dest, frame_one(src, dest, &chunk));
+            }
+        }
+    }
+    // Phase 3 receive: from each remote server t, expect g chunks delivered
+    // by our local gateway for t (minus any we already unpacked ourselves).
+    for t in 0..servers {
+        if t == my_server {
+            continue;
+        }
+        let gw = gateway_for(my_server, t);
+        if gw == rank {
+            continue; // already delivered above
+        }
+        for _ in 0..g {
+            let buf = comm.recv_from(gw);
+            let (src, dest, chunk) = unframe_one(&buf);
+            debug_assert_eq!(dest, rank);
+            out[src] = chunk;
+        }
+    }
+    out
+}
+
+/// Simulated-time comparison `(flat_seconds, hierarchical_seconds)` for a
+/// per-rank all-to-all payload of `bytes_per_rank` on a topology.
+///
+/// "Flat" here is the naive algorithm that pays one network-latency `α` per
+/// remote peer message (what a direct P²-message all-to-all does); the
+/// hierarchical algorithm's whole point is to aggregate those messages, so
+/// the gap is largest for small payloads on high-latency links.
+pub fn hierarchical_advantage(topo: &ClusterTopology, bytes_per_rank: usize) -> (f64, f64) {
+    let p = topo.world_size();
+    let g = topo.gpus_per_server;
+    let servers = topo.servers;
+    if servers <= 1 {
+        let flat = topo.all_to_all_time(bytes_per_rank);
+        return (flat, flat);
+    }
+    let per_peer = bytes_per_rank / p;
+    // Naive flat: every remote chunk is its own network message.
+    let remote_peers = p - g;
+    let flat = remote_peers as f64 * topo.inter.alpha()
+        + topo.inter.beta() * (remote_peers * per_peer) as f64
+        + (g - 1) as f64 * topo.intra.p2p_time(per_peer);
+    // Phase 1: one bundled intra-server message per remote server (g chunks)
+    // plus the direct intra-server deliveries.
+    let t1 = (servers - 1) as f64 * topo.intra.p2p_time(per_peer * g)
+        + (g - 1) as f64 * topo.intra.p2p_time(per_peer);
+    // Phase 2: each gateway exchanges ⌈(servers−1)/g⌉ mega-bundles of g²
+    // chunks.
+    let remote_per_gateway = (servers - 1).div_ceil(g);
+    let t2 = remote_per_gateway as f64 * topo.inter.p2p_time(per_peer * g * g);
+    // Phase 3 mirrors phase 1's bundled deliveries.
+    (flat, t1 + t2 + t1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::DeviceGroup;
+
+    fn reference_all_to_all(p: usize) -> Vec<Vec<Vec<f32>>> {
+        // rank r's chunk for dest j = [r*100 + j, r as extra payload…]
+        (0..p)
+            .map(|j| {
+                (0..p)
+                    .map(|r| vec![(r * 100 + j) as f32, r as f32, j as f32])
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run_hier(p: usize, g: usize) -> Vec<Vec<Vec<f32>>> {
+        let group = DeviceGroup::new(p);
+        group.run(|comm| {
+            let r = comm.rank();
+            let chunks: Vec<Vec<f32>> =
+                (0..p).map(|j| vec![(r * 100 + j) as f32, r as f32, j as f32]).collect();
+            hierarchical_all_to_all(&comm, chunks, g)
+        })
+    }
+
+    #[test]
+    fn matches_flat_all_to_all_various_shapes() {
+        for (p, g) in [(4usize, 2usize), (8, 2), (8, 4), (6, 3), (9, 3)] {
+            let expected = reference_all_to_all(p);
+            let got = run_hier(p, g);
+            for j in 0..p {
+                assert_eq!(got[j], expected[j], "p={p} g={g} rank {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_server_falls_back_to_flat() {
+        let expected = reference_all_to_all(4);
+        let got = run_hier(4, 4);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn advantage_on_latency_bound_ethernet() {
+        // 3090 servers on 1 GbE with small payloads: fewer, larger network
+        // messages must win.
+        let topo = ClusterTopology::rtx3090(4);
+        let (flat, hier) = hierarchical_advantage(&topo, 8 * 1024);
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn single_server_advantage_is_neutral() {
+        let topo = ClusterTopology::a100(1);
+        let (flat, hier) = hierarchical_advantage(&topo, 1 << 20);
+        assert_eq!(flat, hier);
+    }
+}

@@ -1,0 +1,17 @@
+//! # torchgt-comm
+//!
+//! Simulated multi-GPU communication for the TorchGT reproduction: real
+//! data-movement collectives where every rank is a thread
+//! ([`collectives::DeviceGroup`]), α–β interconnect cost models matching the
+//! paper's two testbeds ([`interconnect`]), and volume accounting
+//! ([`stats`]).
+
+pub mod collectives;
+pub mod hierarchical;
+pub mod interconnect;
+pub mod stats;
+
+pub use collectives::{Communicator, DeviceGroup};
+pub use hierarchical::{hierarchical_all_to_all, hierarchical_advantage};
+pub use interconnect::{ClusterTopology, Interconnect};
+pub use stats::{CollectiveKind, CommStats};

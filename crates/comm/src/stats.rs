@@ -1,0 +1,93 @@
+//! Communication-volume accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Collective operation kinds tracked by [`CommStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// All-to-all exchange.
+    AllToAll,
+    /// All-gather.
+    AllGather,
+    /// All-reduce.
+    AllReduce,
+    /// Reduce-scatter.
+    ReduceScatter,
+    /// Broadcast.
+    Broadcast,
+    /// Barrier.
+    Barrier,
+}
+
+impl CollectiveKind {
+    fn index(self) -> usize {
+        match self {
+            CollectiveKind::AllToAll => 0,
+            CollectiveKind::AllGather => 1,
+            CollectiveKind::AllReduce => 2,
+            CollectiveKind::ReduceScatter => 3,
+            CollectiveKind::Broadcast => 4,
+            CollectiveKind::Barrier => 5,
+        }
+    }
+}
+
+/// Thread-safe counters shared by all ranks of a device group.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    bytes_sent: AtomicU64,
+    ops: [AtomicU64; 6],
+}
+
+impl CommStats {
+    /// Record `bytes` of payload leaving a rank.
+    pub fn record_bytes(&self, bytes: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one collective invocation (counted once per participating
+    /// rank).
+    pub fn record_op(&self, kind: CollectiveKind) {
+        self.ops[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes sent across all ranks.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Per-rank invocation count of a collective kind.
+    pub fn ops(&self, kind: CollectiveKind) -> u64 {
+        self.ops[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        for o in &self.ops {
+            o.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = CommStats::default();
+        s.record_bytes(100);
+        s.record_bytes(28);
+        s.record_op(CollectiveKind::AllToAll);
+        s.record_op(CollectiveKind::AllToAll);
+        s.record_op(CollectiveKind::Barrier);
+        assert_eq!(s.bytes_sent(), 128);
+        assert_eq!(s.ops(CollectiveKind::AllToAll), 2);
+        assert_eq!(s.ops(CollectiveKind::Barrier), 1);
+        assert_eq!(s.ops(CollectiveKind::Broadcast), 0);
+        s.reset();
+        assert_eq!(s.bytes_sent(), 0);
+        assert_eq!(s.ops(CollectiveKind::AllToAll), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The Dual-interleaved Attention safety conditions (§III-B of the paper).
+//!
+//! TorchGT uses the topology-induced sparse pattern only when three
+//! conditions hold for the sequence's attention graph `G̃`:
+//!
+//! * **C1** — every node attends to itself (self-loops present);
+//! * **C2** — a Hamiltonian path connects all nodes; checked heuristically
+//!   with Dirac's theorem (`min_degree ≥ n/2` guarantees a Hamiltonian
+//!   *cycle*) plus cheaper sufficient conditions, since the exact problem is
+//!   NP-complete;
+//! * **C3** — every node can reach every other within `L` attention layers,
+//!   i.e. the graph is connected with diameter ≤ `L` hops of *some* path
+//!   (the paper's "directly or indirectly after L layers").
+//!
+//! When the check fails, the runtime falls back to fully-connected attention
+//! for that sequence, which trivially satisfies all three conditions.
+
+use crate::csr::CsrGraph;
+use crate::spd::diameter_estimate;
+
+/// Outcome of evaluating the three conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConditionReport {
+    /// C1: all self-loops present.
+    pub c1_self_loops: bool,
+    /// C2: Hamiltonian-path heuristic verdict.
+    pub c2_hamiltonian: bool,
+    /// C3: L-layer reachability.
+    pub c3_reachable: bool,
+}
+
+impl ConditionReport {
+    /// True when the sparse topology pattern may be used.
+    pub fn sparse_ok(&self) -> bool {
+        self.c1_self_loops && self.c2_hamiltonian && self.c3_reachable
+    }
+}
+
+/// C1: does every node have a self-loop?
+pub fn check_self_loops(g: &CsrGraph) -> bool {
+    (0..g.num_nodes()).all(|v| g.has_edge(v, v))
+}
+
+/// C2 heuristic. Exact Hamiltonian-path detection is NP-complete; following
+/// the paper we use Dirac's theorem as the fast certificate and accept two
+/// other cheap sufficient conditions that cover the graphs the runtime
+/// actually builds:
+///
+/// * Dirac: `n ≥ 3` and `min_degree ≥ n/2` (Hamiltonian cycle ⇒ path);
+/// * Ore-style check on a degree-ordered sample of non-adjacent pairs;
+/// * the sequence-order path `0—1—…—(n-1)` is already present (the runtime's
+///   cluster ordering often provides this after augmentation).
+///
+/// Self-loops are ignored for degree purposes.
+pub fn check_hamiltonian_heuristic(g: &CsrGraph) -> bool {
+    let n = g.num_nodes();
+    if n <= 2 {
+        return true;
+    }
+    let simple_degree = |v: usize| {
+        let d = g.degree(v);
+        if g.has_edge(v, v) {
+            d - 1
+        } else {
+            d
+        }
+    };
+    // Dirac's certificate.
+    let min_deg = (0..n).map(simple_degree).min().unwrap_or(0);
+    if 2 * min_deg >= n {
+        return true;
+    }
+    // Explicit sequence path.
+    if (1..n).all(|v| g.has_edge(v - 1, v)) {
+        return true;
+    }
+    // Ore's condition (deg u + deg v ≥ n for all non-adjacent u,v) checked
+    // exactly on small graphs, sampled on large ones.
+    let check_pair = |u: usize, v: usize| -> bool {
+        g.has_edge(u, v) || simple_degree(u) + simple_degree(v) >= n
+    };
+    if n <= 256 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !check_pair(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    } else {
+        // Large graph: Ore requires degree sums ≥ n everywhere, which sparse
+        // graphs cannot meet; report false so the caller augments the graph.
+        false
+    }
+}
+
+/// C3: can every node attend to every other (directly or transitively) after
+/// `l_layers` rounds of neighbourhood aggregation? Equivalent to: the graph
+/// is connected and its diameter is ≤ `l_layers`... for the exact property;
+/// we use the double-sweep diameter estimate which is exact on the
+/// tree-like/cluster graphs in play and conservative otherwise.
+pub fn check_l_hop_reachability(g: &CsrGraph, l_layers: u8) -> bool {
+    if g.num_nodes() == 0 {
+        return true;
+    }
+    if !g.is_connected() {
+        return false;
+    }
+    diameter_estimate(g, l_layers.saturating_add(1)) <= l_layers
+}
+
+/// Evaluate all three conditions for an `l_layers`-deep model.
+pub fn check_conditions(g: &CsrGraph, l_layers: u8) -> ConditionReport {
+    ConditionReport {
+        c1_self_loops: check_self_loops(g),
+        c2_hamiltonian: check_hamiltonian_heuristic(g),
+        c3_reachable: check_l_hop_reachability(g, l_layers),
+    }
+}
+
+/// Augment a sequence graph so the conditions hold: add all self-loops (C1)
+/// and the Hamiltonian sequence path `0—1—…—(n-1)` (C2), which also makes the
+/// graph connected. This is how the runtime repairs a failing sequence graph
+/// instead of paying for dense attention every time.
+pub fn augment_for_conditions(g: &CsrGraph) -> CsrGraph {
+    let n = g.num_nodes();
+    let with_loops = g.with_self_loops();
+    let mut extra: Vec<(u32, u32)> = Vec::new();
+    for v in 1..n {
+        if !with_loops.has_edge(v - 1, v) {
+            extra.push(((v - 1) as u32, v as u32));
+        }
+    }
+    if extra.is_empty() {
+        return with_loops;
+    }
+    // Rebuild including the path edges.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(with_loops.num_arcs() / 2 + extra.len());
+    for v in 0..n {
+        for &nb in with_loops.neighbors(v) {
+            if nb as usize >= v {
+                edges.push((v as u32, nb));
+            }
+        }
+    }
+    edges.extend(extra);
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, erdos_renyi, path_graph, star_graph};
+
+    #[test]
+    fn complete_graph_satisfies_everything() {
+        let g = complete_graph(8).with_self_loops();
+        let rep = check_conditions(&g, 4);
+        assert!(rep.c1_self_loops && rep.c2_hamiltonian && rep.c3_reachable);
+        assert!(rep.sparse_ok());
+    }
+
+    #[test]
+    fn missing_self_loops_fail_c1() {
+        let g = complete_graph(8);
+        assert!(!check_self_loops(&g));
+        assert!(check_self_loops(&g.with_self_loops()));
+    }
+
+    #[test]
+    fn dirac_certificate_fires() {
+        // K5 minus nothing: min degree 4 ≥ 5/2.
+        assert!(check_hamiltonian_heuristic(&complete_graph(5)));
+        // A star has no Hamiltonian path for n ≥ 4 and fails the heuristics.
+        assert!(!check_hamiltonian_heuristic(&star_graph(6)));
+    }
+
+    #[test]
+    fn sequence_path_certificate_fires() {
+        let g = path_graph(50);
+        assert!(check_hamiltonian_heuristic(&g));
+        // Cycles contain the sequence path too.
+        assert!(check_hamiltonian_heuristic(&cycle_graph(50)));
+    }
+
+    #[test]
+    fn c3_depends_on_depth() {
+        let g = path_graph(10);
+        assert!(!check_l_hop_reachability(&g, 4)); // diameter 9
+        assert!(check_l_hop_reachability(&g, 9));
+        assert!(check_l_hop_reachability(&star_graph(10), 2));
+    }
+
+    #[test]
+    fn c3_fails_when_disconnected() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!check_l_hop_reachability(&g, 10));
+    }
+
+    #[test]
+    fn augmentation_repairs_sparse_random_graph() {
+        let g = erdos_renyi(200, 150, 4); // sparse, likely disconnected
+        let aug = augment_for_conditions(&g);
+        let rep = check_conditions(&aug, 200);
+        assert!(rep.c1_self_loops, "self loops added");
+        assert!(rep.c2_hamiltonian, "sequence path added");
+        assert!(aug.is_connected());
+        // Original edges are preserved.
+        for v in 0..g.num_nodes() {
+            for &nb in g.neighbors(v) {
+                assert!(aug.has_edge(v, nb as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn augmentation_is_idempotent_on_good_graphs() {
+        let g = augment_for_conditions(&path_graph(10));
+        let g2 = augment_for_conditions(&g);
+        assert_eq!(g.num_arcs(), g2.num_arcs());
+    }
+}

@@ -1,0 +1,170 @@
+//! Spectral graph partitioning.
+//!
+//! The paper's §III-C cites Newman's spectral community methods among the
+//! classic approaches METIS-style multilevel partitioning competes with.
+//! This module implements recursive spectral bisection — split at the median
+//! of the Fiedler vector (second eigenvector of the symmetric normalised
+//! Laplacian, found by deflated power iteration) — as an alternative backend
+//! for the cluster-aware reordering and an ablation baseline for
+//! [`crate::partition`].
+
+use crate::csr::CsrGraph;
+
+/// Approximate Fiedler vector of the symmetric normalised Laplacian via
+/// power iteration on `2I − L_sym`, deflating the trivial `D^{1/2}·1`
+/// eigenvector. Deterministic for a given `seed`.
+pub fn fiedler_vector(g: &CsrGraph, iters: usize, seed: u64) -> Vec<f32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_sqrt_deg: Vec<f32> =
+        (0..n).map(|v| 1.0 / ((g.degree(v) as f32).max(1.0)).sqrt()).collect();
+    let mut trivial: Vec<f32> =
+        (0..n).map(|v| (g.degree(v) as f32).max(1.0).sqrt()).collect();
+    normalize(&mut trivial);
+    // Deterministic pseudo-random start.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut x: Vec<f32> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    let mut y = vec![0.0f32; n];
+    for _ in 0..iters {
+        // Deflate the trivial component.
+        let dot: f32 = x.iter().zip(&trivial).map(|(a, b)| a * b).sum();
+        for (xi, ti) in x.iter_mut().zip(&trivial) {
+            *xi -= dot * ti;
+        }
+        normalize(&mut x);
+        // y = (2I − L_sym)x = x + D^{-1/2} A D^{-1/2} x.
+        for v in 0..n {
+            let mut acc = 0.0f32;
+            for &nb in g.neighbors(v) {
+                let u = nb as usize;
+                acc += inv_sqrt_deg[v] * inv_sqrt_deg[u] * x[u];
+            }
+            y[v] = x[v] + acc;
+        }
+        std::mem::swap(&mut x, &mut y);
+    }
+    normalize(&mut x);
+    x
+}
+
+fn normalize(x: &mut [f32]) {
+    let norm = x.iter().map(|v| v * v).sum::<f32>().sqrt().max(f32::MIN_POSITIVE);
+    for v in x.iter_mut() {
+        *v /= norm;
+    }
+}
+
+/// Recursive spectral partition into `k` near-equal parts. Returns the part
+/// id of every node, in `0..k`.
+pub fn spectral_partition(g: &CsrGraph, k: usize, seed: u64) -> Vec<u32> {
+    assert!(k >= 1);
+    let n = g.num_nodes();
+    let mut assignment = vec![0u32; n];
+    if k == 1 || n == 0 {
+        return assignment;
+    }
+    // Work queue: (node ids, part range).
+    let mut stack: Vec<(Vec<u32>, usize, usize)> = vec![((0..n as u32).collect(), 0, k)];
+    while let Some((ids, lo, parts)) = stack.pop() {
+        if parts == 1 {
+            for &v in &ids {
+                assignment[v as usize] = lo as u32;
+            }
+            continue;
+        }
+        let sub = g.induced_subgraph(&ids);
+        let f = fiedler_vector(&sub, 150, seed ^ (lo as u64) << 8 ^ parts as u64);
+        // Split at the weighted median so part sizes follow the part split.
+        let k0 = parts / 2;
+        let frac0 = k0 as f64 / parts as f64;
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_unstable_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap());
+        let cut = ((ids.len() as f64) * frac0).round() as usize;
+        let mut ids0 = Vec::with_capacity(cut);
+        let mut ids1 = Vec::with_capacity(ids.len() - cut);
+        for (pos, &local) in order.iter().enumerate() {
+            if pos < cut {
+                ids0.push(ids[local]);
+            } else {
+                ids1.push(ids[local]);
+            }
+        }
+        stack.push((ids0, lo, k0));
+        stack.push((ids1, lo + k0, parts - k0));
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{clustered_power_law, path_graph, ClusteredConfig};
+    use crate::partition::edge_cut;
+
+    #[test]
+    fn fiedler_is_unit_and_deflated() {
+        let g = path_graph(20);
+        let f = fiedler_vector(&g, 200, 1);
+        let norm: f32 = f.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-3);
+        // Orthogonal to D^{1/2}·1.
+        let dot: f32 = (0..20)
+            .map(|v| f[v] * (g.degree(v) as f32).max(1.0).sqrt())
+            .sum();
+        assert!(dot.abs() < 1e-2, "trivial component {dot}");
+    }
+
+    #[test]
+    fn path_bisection_cuts_one_edge() {
+        let g = path_graph(64);
+        let assign = spectral_partition(&g, 2, 3);
+        assert!(edge_cut(&g, &assign) <= 6, "cut {}", edge_cut(&g, &assign));
+        let c0 = assign.iter().filter(|&&c| c == 0).count();
+        assert!((24..=40).contains(&c0), "balance {c0}");
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let (g, _) = clustered_power_law(
+            ClusteredConfig { n: 400, communities: 4, avg_degree: 12.0, intra_fraction: 0.95 },
+            7,
+        );
+        let assign = spectral_partition(&g, 4, 2);
+        let cut = edge_cut(&g, &assign);
+        assert!(
+            (cut as f64) < 0.5 * g.num_edges() as f64,
+            "cut {cut} of {} — no better than random",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn partition_is_valid_and_deterministic() {
+        let (g, _) = clustered_power_law(
+            ClusteredConfig { n: 150, communities: 3, avg_degree: 6.0, intra_fraction: 0.8 },
+            9,
+        );
+        let a = spectral_partition(&g, 3, 5);
+        let b = spectral_partition(&g, 3, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| c < 3));
+        for c in 0..3u32 {
+            assert!(a.iter().any(|&x| x == c), "part {c} empty");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = CsrGraph::from_edges(0, &[]);
+        assert!(spectral_partition(&empty, 4, 0).is_empty());
+        let single = CsrGraph::from_edges(1, &[]);
+        assert_eq!(spectral_partition(&single, 1, 0), vec![0]);
+    }
+}

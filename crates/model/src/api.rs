@@ -1,0 +1,65 @@
+//! The model-facing API the training runtime programs against.
+
+use torchgt_graph::CsrGraph;
+use torchgt_tensor::{Param, Tensor};
+
+/// Which attention pattern the runtime selected for the current pass.
+///
+/// The Dual-interleaved scheduler flips between `Sparse` (topology /
+/// cluster-sparse masks) and `Flash`/`Dense`; models translate this into a
+/// concrete [`crate::mha::AttentionMode`] including their own bias encodings.
+#[derive(Clone, Copy)]
+pub enum Pattern<'a> {
+    /// Fully-connected attention with materialised scores (GP-RAW).
+    Dense,
+    /// Fully-connected tiled attention, bias-free (GP-FLASH).
+    Flash,
+    /// Sparse attention over the given mask.
+    Sparse(&'a CsrGraph),
+    /// Performer (FAVOR+) linear attention with the given random-feature
+    /// count — the structure-agnostic NLP baseline (paper §II-C, I2).
+    Performer(usize),
+}
+
+impl Pattern<'_> {
+    /// Short label for logs and experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::Dense => "dense",
+            Pattern::Flash => "flash",
+            Pattern::Sparse(_) => "sparse",
+            Pattern::Performer(_) => "performer",
+        }
+    }
+}
+
+/// One sequence of graph tokens plus the structural side information the
+/// encodings need.
+pub struct SequenceBatch<'a> {
+    /// `[s, feat]` node features in sequence order.
+    pub features: &'a Tensor,
+    /// The (sub)graph over the sequence's nodes, in sequence order.
+    pub graph: &'a CsrGraph,
+    /// Full `s × s` SPD matrix (row-major) for dense-bias models on small
+    /// sequences; `None` skips the spatial encoding (as GP-FLASH must).
+    pub spd: Option<&'a [u8]>,
+}
+
+/// A trainable sequence model (Graphormer, GT, baselines).
+pub trait SequenceModel {
+    /// Forward: returns per-token logits `[s, out_dim]`.
+    fn forward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>) -> Tensor;
+    /// Backward from per-token logit gradients. `pattern` must match the
+    /// forward call.
+    fn backward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor);
+    /// All learnable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+    /// Toggle dropout/training mode.
+    fn set_training(&mut self, on: bool);
+    /// Model name for experiment tables.
+    fn name(&self) -> &'static str;
+    /// Total scalar parameter count.
+    fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}

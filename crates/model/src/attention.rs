@@ -1,0 +1,927 @@
+//! Attention kernels: dense, flash-style tiled, and topology-sparse — each
+//! with a hand-written backward pass.
+//!
+//! All kernels take *already projected* `Q`, `K`, `V` of shape `[s, d]` with
+//! `d = heads × d_head` (head `h` occupies the column block
+//! `h·d_head .. (h+1)·d_head`) and return the attention output `[s, d]` plus
+//! a cache for the backward pass.
+//!
+//! * [`dense`] materialises per-head score matrices — GP-RAW's kernel, the
+//!   one that OOMs at scale;
+//! * [`flash`] computes the identical function with streaming softmax over
+//!   key tiles, never materialising `S×S` (FlashAttention's algorithm); it
+//!   does **not** support an attention bias, matching the real library's
+//!   limitation the paper points out;
+//! * [`sparse`] computes softmax over each query's mask neighbours only —
+//!   the topology-induced pattern, with optional per-edge bias (Graphormer's
+//!   spatial encoding restricted to the pattern).
+
+use rayon::prelude::*;
+use torchgt_graph::CsrGraph;
+use torchgt_tensor::ops;
+use torchgt_tensor::Tensor;
+
+/// Output of an attention forward pass.
+pub struct AttnOutput {
+    /// `[s, d]` attention result (pre output-projection).
+    pub out: Tensor,
+    /// Cache consumed by the matching backward function.
+    pub cache: AttnCache,
+}
+
+/// Saved forward state, variant per kernel.
+pub enum AttnCache {
+    /// Dense: per-head probability matrices `[s, s]`.
+    Dense { probs: Vec<Tensor> },
+    /// Flash: softmax statistics per head (`row_max`, `row_denom`), for
+    /// recomputation in backward.
+    Flash { row_max: Vec<Vec<f32>>, row_denom: Vec<Vec<f32>> },
+    /// Sparse: per-head, per-edge probabilities laid out like the mask CSR.
+    Sparse { probs: Vec<Vec<f32>> },
+    /// Performer: per-head random-feature maps and normalisers.
+    Performer {
+        /// `φ(Q)` per head, `[s, m]`.
+        phi_q: Vec<Tensor>,
+        /// `φ(K)` per head, `[s, m]`.
+        phi_k: Vec<Tensor>,
+        /// Row normalisers `den = φ(Q)·(φ(K)ᵀ·1)` per head.
+        denom: Vec<Vec<f32>>,
+        /// Pre-normalised numerators `φ(Q)·(φ(K)ᵀ V)` per head, `[s, d_h]`.
+        num: Vec<Tensor>,
+    },
+}
+
+/// Gradients returned by attention backward.
+pub struct AttnGrads {
+    /// Gradient wrt `Q`.
+    pub dq: Tensor,
+    /// Gradient wrt `K`.
+    pub dk: Tensor,
+    /// Gradient wrt `V`.
+    pub dv: Tensor,
+    /// Gradient wrt the bias (dense: `[s, s]` per head summed over heads is
+    /// *not* what Graphormer needs, so we keep per-head; sparse: per-edge per
+    /// head). `None` when the kernel ran without bias.
+    pub dbias: Option<BiasGrad>,
+}
+
+/// Bias gradient layouts.
+pub enum BiasGrad {
+    /// Per-head dense `[s, s]` gradients.
+    Dense(Vec<Tensor>),
+    /// Per-head per-edge gradients (mask CSR layout).
+    Sparse(Vec<Vec<f32>>),
+}
+
+fn head_slice(t: &Tensor, h: usize, d_head: usize) -> Tensor {
+    t.slice_cols(h * d_head, (h + 1) * d_head)
+}
+
+fn write_head(dst: &mut Tensor, src: &Tensor, h: usize, d_head: usize) {
+    for r in 0..src.rows() {
+        let drow = dst.row_mut(r);
+        drow[h * d_head..(h + 1) * d_head].copy_from_slice(src.row(r));
+    }
+}
+
+fn add_head(dst: &mut Tensor, src: &Tensor, h: usize, d_head: usize) {
+    for r in 0..src.rows() {
+        let drow = dst.row_mut(r);
+        for (a, b) in drow[h * d_head..(h + 1) * d_head].iter_mut().zip(src.row(r)) {
+            *a += b;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense attention
+// ---------------------------------------------------------------------------
+
+/// Standard dense attention. `bias[h]` (optional) is a per-head `[s, s]`
+/// additive bias on the pre-softmax scores (Graphormer Eq. 3).
+pub fn dense(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, bias: Option<&[Tensor]>) -> AttnOutput {
+    let (s, d) = q.shape();
+    assert_eq!(k.shape(), (s, d));
+    assert_eq!(v.shape(), (s, d));
+    assert_eq!(d % heads, 0);
+    let d_head = d / heads;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let mut out = Tensor::zeros(s, d);
+    let mut probs = Vec::with_capacity(heads);
+    for h in 0..heads {
+        let qh = head_slice(q, h, d_head);
+        let kh = head_slice(k, h, d_head);
+        let vh = head_slice(v, h, d_head);
+        let mut scores = ops::matmul_bt(&qh, &kh);
+        ops::scale_inplace(&mut scores, scale);
+        if let Some(b) = bias {
+            ops::add_inplace(&mut scores, &b[h]);
+        }
+        let p = ops::row_softmax(&scores);
+        let oh = ops::matmul(&p, &vh);
+        write_head(&mut out, &oh, h, d_head);
+        probs.push(p);
+    }
+    AttnOutput { out, cache: AttnCache::Dense { probs } }
+}
+
+/// Backward of [`dense`].
+pub fn dense_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    cache: &AttnCache,
+    dout: &Tensor,
+    want_bias_grad: bool,
+) -> AttnGrads {
+    let probs = match cache {
+        AttnCache::Dense { probs } => probs,
+        _ => panic!("dense_backward called with wrong cache"),
+    };
+    let (s, d) = q.shape();
+    let d_head = d / heads;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let mut dq = Tensor::zeros(s, d);
+    let mut dk = Tensor::zeros(s, d);
+    let mut dv = Tensor::zeros(s, d);
+    let mut dbias = if want_bias_grad { Some(Vec::with_capacity(heads)) } else { None };
+    for h in 0..heads {
+        let qh = head_slice(q, h, d_head);
+        let kh = head_slice(k, h, d_head);
+        let vh = head_slice(v, h, d_head);
+        let doh = head_slice(dout, h, d_head);
+        let p = &probs[h];
+        let dp = ops::matmul_bt(&doh, &vh);
+        let dvh = ops::matmul_at(p, &doh);
+        let mut ds = ops::row_softmax_backward(p, &dp);
+        if let Some(list) = dbias.as_mut() {
+            list.push(ds.clone());
+        }
+        ops::scale_inplace(&mut ds, scale);
+        let dqh = ops::matmul(&ds, &kh);
+        let dkh = ops::matmul_at(&ds, &qh);
+        add_head(&mut dq, &dqh, h, d_head);
+        add_head(&mut dk, &dkh, h, d_head);
+        add_head(&mut dv, &dvh, h, d_head);
+    }
+    AttnGrads { dq, dk, dv, dbias: dbias.map(BiasGrad::Dense) }
+}
+
+// ---------------------------------------------------------------------------
+// Flash-style tiled attention
+// ---------------------------------------------------------------------------
+
+/// Key/value tile width for the streaming-softmax kernel.
+const FLASH_TILE: usize = 128;
+
+/// FlashAttention-style forward: streaming softmax over key tiles, no `S×S`
+/// materialisation and **no bias support** (the limitation the paper works
+/// around).
+pub fn flash(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> AttnOutput {
+    let (s, d) = q.shape();
+    let d_head = d / heads;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let mut out = Tensor::zeros(s, d);
+    let mut row_max = vec![vec![f32::NEG_INFINITY; s]; heads];
+    let mut row_denom = vec![vec![0.0f32; s]; heads];
+    for h in 0..heads {
+        let qh = head_slice(q, h, d_head);
+        let kh = head_slice(k, h, d_head);
+        let vh = head_slice(v, h, d_head);
+        let maxs = &mut row_max[h];
+        let denoms = &mut row_denom[h];
+        // Per-query streaming state, processed tile by tile.
+        let mut acc = Tensor::zeros(s, d_head);
+        let mut tile_start = 0;
+        while tile_start < s {
+            let tile_end = (tile_start + FLASH_TILE).min(s);
+            // scores for this tile: [s, tile]
+            acc.data_mut()
+                .par_chunks_mut(d_head)
+                .zip(maxs.par_iter_mut())
+                .zip(denoms.par_iter_mut())
+                .enumerate()
+                .for_each(|(i, ((acc_row, m_slot), den_slot))| {
+                    let qrow = qh.row(i);
+                    let mut m = *m_slot;
+                    let mut den = *den_slot;
+                    for j in tile_start..tile_end {
+                        let krow = kh.row(j);
+                        let mut dot = 0.0f32;
+                        for t in 0..d_head {
+                            dot += qrow[t] * krow[t];
+                        }
+                        let sc = dot * scale;
+                        if sc > m {
+                            // Rescale previous accumulator and denominator.
+                            let corr = (m - sc).exp();
+                            let corr = if m == f32::NEG_INFINITY { 0.0 } else { corr };
+                            den *= corr;
+                            for a in acc_row.iter_mut() {
+                                *a *= corr;
+                            }
+                            m = sc;
+                        }
+                        let w = (sc - m).exp();
+                        den += w;
+                        let vrow = vh.row(j);
+                        for (a, &vv) in acc_row.iter_mut().zip(vrow) {
+                            *a += w * vv;
+                        }
+                    }
+                    *m_slot = m;
+                    *den_slot = den;
+                });
+            tile_start = tile_end;
+        }
+        // Normalise.
+        for i in 0..s {
+            let den = row_denom[h][i].max(f32::MIN_POSITIVE);
+            let orow = out.row_mut(i);
+            for (t, a) in acc.row(i).iter().enumerate() {
+                orow[h * d_head + t] = a / den;
+            }
+        }
+    }
+    AttnOutput { out, cache: AttnCache::Flash { row_max, row_denom } }
+}
+
+/// Backward of [`flash`]: recomputes probabilities per tile from the saved
+/// softmax statistics (FlashAttention's recomputation trick).
+pub fn flash_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    cache: &AttnCache,
+    out: &Tensor,
+    dout: &Tensor,
+) -> AttnGrads {
+    let (row_max, row_denom) = match cache {
+        AttnCache::Flash { row_max, row_denom } => (row_max, row_denom),
+        _ => panic!("flash_backward called with wrong cache"),
+    };
+    let (s, d) = q.shape();
+    let d_head = d / heads;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let mut dq = Tensor::zeros(s, d);
+    let mut dk = Tensor::zeros(s, d);
+    let mut dv = Tensor::zeros(s, d);
+    for h in 0..heads {
+        let qh = head_slice(q, h, d_head);
+        let kh = head_slice(k, h, d_head);
+        let vh = head_slice(v, h, d_head);
+        let doh = head_slice(dout, h, d_head);
+        let oh = head_slice(out, h, d_head);
+        // D_i = dO_i · O_i
+        let di: Vec<f32> = (0..s)
+            .map(|i| doh.row(i).iter().zip(oh.row(i)).map(|(a, b)| a * b).sum())
+            .collect();
+        let mut dqh = Tensor::zeros(s, d_head);
+        let mut dkh = Tensor::zeros(s, d_head);
+        let mut dvh = Tensor::zeros(s, d_head);
+        for i in 0..s {
+            let qrow = qh.row(i);
+            let dorow = doh.row(i);
+            let m = row_max[h][i];
+            let den = row_denom[h][i].max(f32::MIN_POSITIVE);
+            for j in 0..s {
+                let krow = kh.row(j);
+                let mut dot = 0.0f32;
+                for t in 0..d_head {
+                    dot += qrow[t] * krow[t];
+                }
+                let p = ((dot * scale - m).exp()) / den;
+                if p < 1e-12 {
+                    continue;
+                }
+                let vrow = vh.row(j);
+                let mut dp = 0.0f32;
+                for t in 0..d_head {
+                    dp += dorow[t] * vrow[t];
+                }
+                let ds = p * (dp - di[i]) * scale;
+                let dq_row = dqh.row_mut(i);
+                for t in 0..d_head {
+                    dq_row[t] += ds * krow[t];
+                }
+                let dk_row = dkh.row_mut(j);
+                for t in 0..d_head {
+                    dk_row[t] += ds * qrow[t];
+                }
+                let dv_row = dvh.row_mut(j);
+                for t in 0..d_head {
+                    dv_row[t] += p * dorow[t];
+                }
+            }
+        }
+        add_head(&mut dq, &dqh, h, d_head);
+        add_head(&mut dk, &dkh, h, d_head);
+        add_head(&mut dv, &dvh, h, d_head);
+    }
+    AttnGrads { dq, dk, dv, dbias: None }
+}
+
+// ---------------------------------------------------------------------------
+// Topology-sparse attention
+// ---------------------------------------------------------------------------
+
+/// Topology-induced sparse attention: query `i` attends only to
+/// `mask.neighbors(i)`. `bias[h]` (optional) stores one bias per edge in the
+/// mask's CSR order.
+pub fn sparse(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    mask: &CsrGraph,
+    bias: Option<&[Vec<f32>]>,
+) -> AttnOutput {
+    let (s, d) = q.shape();
+    assert_eq!(mask.num_nodes(), s, "mask size must match sequence");
+    let d_head = d / heads;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let mut out = Tensor::zeros(s, d);
+    let mut probs: Vec<Vec<f32>> = Vec::with_capacity(heads);
+    for h in 0..heads {
+        let qh = head_slice(q, h, d_head);
+        let kh = head_slice(k, h, d_head);
+        let vh = head_slice(v, h, d_head);
+        let hb = bias.map(|b| &b[h]);
+        let mut p_edges = vec![0.0f32; mask.num_arcs()];
+        let row_ptr = mask.row_ptr();
+        // Parallel over query rows; each row owns its slice of p_edges.
+        let out_cols = d;
+        out.data_mut()
+            .par_chunks_mut(out_cols)
+            .zip(par_row_chunks(&mut p_edges, row_ptr))
+            .enumerate()
+            .for_each(|(i, (orow, p_slice))| {
+                let nbrs = mask.neighbors(i);
+                if nbrs.is_empty() {
+                    return;
+                }
+                let qrow = qh.row(i);
+                let base = row_ptr[i];
+                // Scores.
+                let mut max = f32::NEG_INFINITY;
+                for (e, &j) in nbrs.iter().enumerate() {
+                    let krow = kh.row(j as usize);
+                    let mut dot = 0.0f32;
+                    for t in 0..d_head {
+                        dot += qrow[t] * krow[t];
+                    }
+                    let mut sc = dot * scale;
+                    if let Some(b) = hb {
+                        sc += b[base + e];
+                    }
+                    p_slice[e] = sc;
+                    if sc > max {
+                        max = sc;
+                    }
+                }
+                let mut den = 0.0f32;
+                for p in p_slice.iter_mut() {
+                    *p = (*p - max).exp();
+                    den += *p;
+                }
+                let inv = 1.0 / den.max(f32::MIN_POSITIVE);
+                for p in p_slice.iter_mut() {
+                    *p *= inv;
+                }
+                // Weighted sum of V rows.
+                for (e, &j) in nbrs.iter().enumerate() {
+                    let w = p_slice[e];
+                    let vrow = vh.row(j as usize);
+                    for t in 0..d_head {
+                        orow[h * d_head + t] += w * vrow[t];
+                    }
+                }
+            });
+        probs.push(p_edges);
+    }
+    AttnOutput { out, cache: AttnCache::Sparse { probs } }
+}
+
+/// Split a per-edge buffer into per-row mutable chunks following a CSR row
+/// pointer, suitable for zipping with a parallel row iterator.
+fn par_row_chunks<'a>(
+    buf: &'a mut [f32],
+    row_ptr: &[usize],
+) -> impl rayon::iter::IndexedParallelIterator<Item = &'a mut [f32]> {
+    let mut chunks: Vec<&'a mut [f32]> = Vec::with_capacity(row_ptr.len() - 1);
+    let mut rest = buf;
+    for w in row_ptr.windows(2) {
+        let len = w[1] - w[0];
+        let (head, tail) = rest.split_at_mut(len);
+        chunks.push(head);
+        rest = tail;
+    }
+    chunks.into_par_iter()
+}
+
+/// Backward of [`sparse`].
+pub fn sparse_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    mask: &CsrGraph,
+    cache: &AttnCache,
+    dout: &Tensor,
+    want_bias_grad: bool,
+) -> AttnGrads {
+    let probs = match cache {
+        AttnCache::Sparse { probs } => probs,
+        _ => panic!("sparse_backward called with wrong cache"),
+    };
+    let (s, d) = q.shape();
+    let d_head = d / heads;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let mut dq = Tensor::zeros(s, d);
+    let mut dk = Tensor::zeros(s, d);
+    let mut dv = Tensor::zeros(s, d);
+    let mut dbias = if want_bias_grad { Some(Vec::with_capacity(heads)) } else { None };
+    let row_ptr = mask.row_ptr();
+    for h in 0..heads {
+        let qh = head_slice(q, h, d_head);
+        let kh = head_slice(k, h, d_head);
+        let vh = head_slice(v, h, d_head);
+        let doh = head_slice(dout, h, d_head);
+        let p_edges = &probs[h];
+        let mut ds_edges = vec![0.0f32; p_edges.len()];
+        let mut dqh = Tensor::zeros(s, d_head);
+        let mut dkh = Tensor::zeros(s, d_head);
+        let mut dvh = Tensor::zeros(s, d_head);
+        for i in 0..s {
+            let nbrs = mask.neighbors(i);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let base = row_ptr[i];
+            let dorow = doh.row(i);
+            let qrow = qh.row(i).to_vec();
+            // dp and the softmax dot term.
+            let mut dot_pd = 0.0f32;
+            let mut dps = vec![0.0f32; nbrs.len()];
+            for (e, &j) in nbrs.iter().enumerate() {
+                let vrow = vh.row(j as usize);
+                let mut dp = 0.0f32;
+                for t in 0..d_head {
+                    dp += dorow[t] * vrow[t];
+                }
+                dps[e] = dp;
+                dot_pd += p_edges[base + e] * dp;
+            }
+            for (e, &j) in nbrs.iter().enumerate() {
+                let p = p_edges[base + e];
+                let ds = p * (dps[e] - dot_pd);
+                ds_edges[base + e] = ds;
+                let dsc = ds * scale;
+                let krow = kh.row(j as usize);
+                let dqrow = dqh.row_mut(i);
+                for t in 0..d_head {
+                    dqrow[t] += dsc * krow[t];
+                }
+                let dkrow = dkh.row_mut(j as usize);
+                for t in 0..d_head {
+                    dkrow[t] += dsc * qrow[t];
+                }
+                let dvrow = dvh.row_mut(j as usize);
+                let p_do = p;
+                for t in 0..d_head {
+                    dvrow[t] += p_do * dorow[t];
+                }
+            }
+        }
+        add_head(&mut dq, &dqh, h, d_head);
+        add_head(&mut dk, &dkh, h, d_head);
+        add_head(&mut dv, &dvh, h, d_head);
+        if let Some(list) = dbias.as_mut() {
+            list.push(ds_edges);
+        }
+    }
+    AttnGrads { dq, dk, dv, dbias: dbias.map(BiasGrad::Sparse) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_graph::generators::complete_graph;
+    use torchgt_tensor::gradcheck::{max_abs_diff, numerical_grad};
+    use torchgt_tensor::init;
+
+    fn qkv(s: usize, d: usize) -> (Tensor, Tensor, Tensor) {
+        (
+            init::normal(s, d, 0.0, 1.0, 1),
+            init::normal(s, d, 0.0, 1.0, 2),
+            init::normal(s, d, 0.0, 1.0, 3),
+        )
+    }
+
+    #[test]
+    fn dense_rows_are_convex_combinations() {
+        let (q, k, v) = qkv(6, 8);
+        let r = dense(&q, &k, &v, 2, None);
+        // Each output row lies within the range of V rows (convexity proxy:
+        // max |out| ≤ max |v|).
+        let vmax = v.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(r.out.data().iter().all(|&o| o.abs() <= vmax + 1e-4));
+    }
+
+    #[test]
+    fn flash_matches_dense_exactly() {
+        let (q, k, v) = qkv(37, 16); // non-multiple of tile width
+        let d = dense(&q, &k, &v, 4, None);
+        let f = flash(&q, &k, &v, 4);
+        assert!(
+            max_abs_diff(&d.out, &f.out) < 1e-4,
+            "diff {}",
+            max_abs_diff(&d.out, &f.out)
+        );
+    }
+
+    #[test]
+    fn sparse_on_complete_graph_matches_dense() {
+        let s = 10;
+        let (q, k, v) = qkv(s, 8);
+        let mask = complete_graph(s).with_self_loops();
+        let d = dense(&q, &k, &v, 2, None);
+        let sp = sparse(&q, &k, &v, 2, &mask, None);
+        assert!(max_abs_diff(&d.out, &sp.out) < 1e-4);
+    }
+
+    #[test]
+    fn dense_backward_matches_numerical() {
+        let (q, k, v) = qkv(5, 6);
+        let upstream = init::normal(5, 6, 0.0, 1.0, 9);
+        let r = dense(&q, &k, &v, 2, None);
+        let g = dense_backward(&q, &k, &v, 2, &r.cache, &upstream, false);
+        let loss = |qq: &Tensor, kk: &Tensor, vv: &Tensor| {
+            let o = dense(qq, kk, vv, 2, None).out;
+            o.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let nq = numerical_grad(&q, |p| loss(p, &k, &v), 1e-2);
+        let nk = numerical_grad(&k, |p| loss(&q, p, &v), 1e-2);
+        let nv = numerical_grad(&v, |p| loss(&q, &k, p), 1e-2);
+        assert!(max_abs_diff(&g.dq, &nq) < 2e-2, "dq {}", max_abs_diff(&g.dq, &nq));
+        assert!(max_abs_diff(&g.dk, &nk) < 2e-2, "dk {}", max_abs_diff(&g.dk, &nk));
+        assert!(max_abs_diff(&g.dv, &nv) < 2e-2, "dv {}", max_abs_diff(&g.dv, &nv));
+    }
+
+    #[test]
+    fn flash_backward_matches_dense_backward() {
+        let (q, k, v) = qkv(23, 8);
+        let upstream = init::normal(23, 8, 0.0, 1.0, 11);
+        let dres = dense(&q, &k, &v, 2, None);
+        let dg = dense_backward(&q, &k, &v, 2, &dres.cache, &upstream, false);
+        let fres = flash(&q, &k, &v, 2);
+        let fg = flash_backward(&q, &k, &v, 2, &fres.cache, &fres.out, &upstream);
+        assert!(max_abs_diff(&dg.dq, &fg.dq) < 1e-3);
+        assert!(max_abs_diff(&dg.dk, &fg.dk) < 1e-3);
+        assert!(max_abs_diff(&dg.dv, &fg.dv) < 1e-3);
+    }
+
+    #[test]
+    fn sparse_backward_matches_numerical() {
+        let s = 8;
+        let (q, k, v) = qkv(s, 4);
+        let mask = torchgt_graph::generators::cycle_graph(s).with_self_loops();
+        let upstream = init::normal(s, 4, 0.0, 1.0, 13);
+        let r = sparse(&q, &k, &v, 2, &mask, None);
+        let g = sparse_backward(&q, &k, &v, 2, &mask, &r.cache, &upstream, false);
+        let loss = |qq: &Tensor, kk: &Tensor, vv: &Tensor| {
+            let o = sparse(qq, kk, vv, 2, &mask, None).out;
+            o.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let nq = numerical_grad(&q, |p| loss(p, &k, &v), 1e-2);
+        let nk = numerical_grad(&k, |p| loss(&q, p, &v), 1e-2);
+        let nv = numerical_grad(&v, |p| loss(&q, &k, p), 1e-2);
+        assert!(max_abs_diff(&g.dq, &nq) < 2e-2);
+        assert!(max_abs_diff(&g.dk, &nk) < 2e-2);
+        assert!(max_abs_diff(&g.dv, &nv) < 2e-2);
+    }
+
+    #[test]
+    fn dense_bias_shifts_attention() {
+        let (q, k, v) = qkv(4, 4);
+        let mut bias = vec![Tensor::zeros(4, 4), Tensor::zeros(4, 4)];
+        // Huge bias towards column 2 in head 0.
+        for r in 0..4 {
+            bias[0].set(r, 2, 50.0);
+        }
+        let r = dense(&q, &k, &v, 2, Some(&bias));
+        // Head 0 output ≈ V row 2 (head-0 columns).
+        for row in 0..4 {
+            for t in 0..2 {
+                assert!((r.out.get(row, t) - v.get(2, t)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_bias_grad_has_edge_layout() {
+        let s = 6;
+        let (q, k, v) = qkv(s, 4);
+        let mask = complete_graph(s).with_self_loops();
+        let bias: Vec<Vec<f32>> = vec![vec![0.1; mask.num_arcs()]; 2];
+        let r = sparse(&q, &k, &v, 2, &mask, Some(&bias));
+        let upstream = init::normal(s, 4, 0.0, 1.0, 17);
+        let g = sparse_backward(&q, &k, &v, 2, &mask, &r.cache, &upstream, true);
+        match g.dbias {
+            Some(BiasGrad::Sparse(db)) => {
+                assert_eq!(db.len(), 2);
+                assert_eq!(db[0].len(), mask.num_arcs());
+                assert!(db[0].iter().any(|&x| x != 0.0));
+            }
+            _ => panic!("expected sparse bias grad"),
+        }
+    }
+
+    #[test]
+    fn sparse_bias_grad_matches_numerical() {
+        let s = 5;
+        let (q, k, v) = qkv(s, 4);
+        let mask = complete_graph(s).with_self_loops();
+        let nedges = mask.num_arcs();
+        let bias: Vec<Vec<f32>> = vec![
+            (0..nedges).map(|e| (e as f32) * 0.01).collect(),
+            (0..nedges).map(|e| -(e as f32) * 0.02).collect(),
+        ];
+        let upstream = init::normal(s, 4, 0.0, 1.0, 19);
+        let r = sparse(&q, &k, &v, 2, &mask, Some(&bias));
+        let g = sparse_backward(&q, &k, &v, 2, &mask, &r.cache, &upstream, true);
+        let db = match g.dbias {
+            Some(BiasGrad::Sparse(db)) => db,
+            _ => unreachable!(),
+        };
+        // Numerical check on a few edges of head 0.
+        for e in [0usize, 3, 7, nedges - 1] {
+            let eps = 1e-2;
+            let mut bp = bias.clone();
+            bp[0][e] += eps;
+            let lp: f32 = sparse(&q, &k, &v, 2, &mask, Some(&bp))
+                .out
+                .data()
+                .iter()
+                .zip(upstream.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let mut bm = bias.clone();
+            bm[0][e] -= eps;
+            let lm: f32 = sparse(&q, &k, &v, 2, &mask, Some(&bm))
+                .out
+                .data()
+                .iter()
+                .zip(upstream.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((db[0][e] - num).abs() < 2e-2, "edge {e}: {} vs {num}", db[0][e]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Performer-style linear attention (FAVOR+)
+// ---------------------------------------------------------------------------
+
+/// Build the random-feature matrix `W [m, d_head]` for a head.
+fn performer_features(m: usize, d_head: usize, seed: u64) -> Tensor {
+    torchgt_tensor::init::normal(m, d_head, 0.0, 1.0, seed)
+}
+
+/// Positive random-feature map `φ(x)_j = exp(w_j·x − ‖x‖²/2)/√m` applied to
+/// each (pre-scaled) row.
+fn phi_map(x: &Tensor, w: &Tensor) -> Tensor {
+    let (s, _) = x.shape();
+    let m = w.rows();
+    let inv_sqrt_m = 1.0 / (m as f32).sqrt();
+    let proj = ops::matmul_bt(x, w); // [s, m]
+    let mut out = Tensor::zeros(s, m);
+    for i in 0..s {
+        let half_norm: f32 = x.row(i).iter().map(|v| v * v).sum::<f32>() * 0.5;
+        let orow = out.row_mut(i);
+        for (o, &p) in orow.iter_mut().zip(proj.row(i)) {
+            *o = (p - half_norm).exp() * inv_sqrt_m;
+        }
+    }
+    out
+}
+
+/// Backward of [`phi_map`]: `dx_i = (dφ_i ∘ φ_i)·W − (Σ_j dφ_ij φ_ij)·x_i`.
+fn phi_map_backward(x: &Tensor, w: &Tensor, phi: &Tensor, dphi: &Tensor) -> Tensor {
+    let weighted = ops::mul(dphi, phi); // [s, m]
+    let mut dx = ops::matmul(&weighted, w); // [s, d]
+    for i in 0..x.rows() {
+        let row_sum: f32 = weighted.row(i).iter().sum();
+        let xrow = x.row(i).to_vec();
+        for (d, &xv) in dx.row_mut(i).iter_mut().zip(&xrow) {
+            *d -= row_sum * xv;
+        }
+    }
+    dx
+}
+
+/// Performer (FAVOR+) linear attention: `O = φ(Q)(φ(K)ᵀV) / φ(Q)(φ(K)ᵀ1)`,
+/// an `O(s·m·d)` approximation of softmax attention with `m` positive random
+/// features per head. This is the NLP-style approximate attention the paper
+/// contrasts against (its ref. [35], Performers): structure-agnostic, so it
+/// loses the graph's connectivity information.
+pub fn performer(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, m_features: usize, seed: u64) -> AttnOutput {
+    let (s, d) = q.shape();
+    let d_head = d / heads;
+    // Pre-scale so φ approximates exp(q·k/√d_head).
+    let scale = 1.0 / (d_head as f32).powf(0.25);
+    let mut out = Tensor::zeros(s, d);
+    let mut phi_qs = Vec::with_capacity(heads);
+    let mut phi_ks = Vec::with_capacity(heads);
+    let mut denoms = Vec::with_capacity(heads);
+    let mut nums = Vec::with_capacity(heads);
+    for h in 0..heads {
+        let w = performer_features(m_features, d_head, seed.wrapping_add(h as u64));
+        let qh = ops::scale(&head_slice(q, h, d_head), scale);
+        let kh = ops::scale(&head_slice(k, h, d_head), scale);
+        let vh = head_slice(v, h, d_head);
+        let phi_q = phi_map(&qh, &w);
+        let phi_k = phi_map(&kh, &w);
+        let a = ops::matmul_at(&phi_k, &vh); // [m, d_head]
+        let num = ops::matmul(&phi_q, &a); // [s, d_head]
+        let z = ops::col_sum(&phi_k); // [1, m]
+        let den_t = ops::matmul_bt(&phi_q, &z); // [s, 1]
+        let den: Vec<f32> = (0..s).map(|i| den_t.get(i, 0).max(1e-9)).collect();
+        let mut oh = Tensor::zeros(s, d_head);
+        for i in 0..s {
+            let inv = 1.0 / den[i];
+            for t in 0..d_head {
+                oh.set(i, t, num.get(i, t) * inv);
+            }
+        }
+        write_head(&mut out, &oh, h, d_head);
+        phi_qs.push(phi_q);
+        phi_ks.push(phi_k);
+        denoms.push(den);
+        nums.push(num);
+    }
+    AttnOutput {
+        out,
+        cache: AttnCache::Performer { phi_q: phi_qs, phi_k: phi_ks, denom: denoms, num: nums },
+    }
+}
+
+/// Backward of [`performer`] (same `seed`/`m_features` as the forward).
+#[allow(clippy::too_many_arguments)]
+pub fn performer_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    m_features: usize,
+    seed: u64,
+    cache: &AttnCache,
+    dout: &Tensor,
+) -> AttnGrads {
+    let (phi_qs, phi_ks, denoms, nums) = match cache {
+        AttnCache::Performer { phi_q, phi_k, denom, num } => (phi_q, phi_k, denom, num),
+        _ => panic!("performer_backward called with wrong cache"),
+    };
+    let (s, d) = q.shape();
+    let d_head = d / heads;
+    let scale = 1.0 / (d_head as f32).powf(0.25);
+    let mut dq = Tensor::zeros(s, d);
+    let mut dk = Tensor::zeros(s, d);
+    let mut dv = Tensor::zeros(s, d);
+    for h in 0..heads {
+        let w = performer_features(m_features, d_head, seed.wrapping_add(h as u64));
+        let qh = ops::scale(&head_slice(q, h, d_head), scale);
+        let kh = ops::scale(&head_slice(k, h, d_head), scale);
+        let vh = head_slice(v, h, d_head);
+        let doh = head_slice(dout, h, d_head);
+        let phi_q = &phi_qs[h];
+        let phi_k = &phi_ks[h];
+        let den = &denoms[h];
+        let num = &nums[h];
+        // O = num/den: dnum, dden per row.
+        let mut dnum = Tensor::zeros(s, d_head);
+        let mut dden = vec![0.0f32; s];
+        for i in 0..s {
+            let inv = 1.0 / den[i];
+            let mut dot = 0.0f32;
+            for t in 0..d_head {
+                dnum.set(i, t, doh.get(i, t) * inv);
+                dot += doh.get(i, t) * num.get(i, t);
+            }
+            dden[i] = -dot * inv * inv;
+        }
+        // A = φ(K)ᵀV, z = φ(K)ᵀ1.
+        let a = ops::matmul_at(phi_k, &vh);
+        let z = ops::col_sum(phi_k); // [1, m]
+        // dφ(Q) = dnum·Aᵀ + dden ⊗ z.
+        let mut dphi_q = ops::matmul_bt(&dnum, &a);
+        for i in 0..s {
+            let dd = dden[i];
+            for (c, zv) in dphi_q.row_mut(i).iter_mut().zip(z.row(0)) {
+                *c += dd * zv;
+            }
+        }
+        // dA = φ(Q)ᵀ dnum; dz = φ(Q)ᵀ dden.
+        let da = ops::matmul_at(phi_q, &dnum); // [m, d_head]
+        let m = phi_q.cols();
+        let mut dz = vec![0.0f32; m];
+        for i in 0..s {
+            let dd = dden[i];
+            for (j, &pq) in phi_q.row(i).iter().enumerate() {
+                dz[j] += dd * pq;
+            }
+        }
+        // dφ(K) = V·dAᵀ + 1⊗dz; dV = φ(K)·dA.
+        let mut dphi_k = ops::matmul_bt(&vh, &da);
+        for i in 0..s {
+            for (c, &dzv) in dphi_k.row_mut(i).iter_mut().zip(&dz) {
+                *c += dzv;
+            }
+        }
+        let dvh = ops::matmul(phi_k, &da);
+        // Through the feature maps, then undo the input scaling.
+        let dqh = ops::scale(&phi_map_backward(&qh, &w, phi_q, &dphi_q), scale);
+        let dkh = ops::scale(&phi_map_backward(&kh, &w, phi_k, &dphi_k), scale);
+        add_head(&mut dq, &dqh, h, d_head);
+        add_head(&mut dk, &dkh, h, d_head);
+        add_head(&mut dv, &dvh, h, d_head);
+    }
+    AttnGrads { dq, dk, dv, dbias: None }
+}
+
+#[cfg(test)]
+mod performer_tests {
+    use super::*;
+    use torchgt_tensor::gradcheck::{max_abs_diff, numerical_grad};
+    use torchgt_tensor::init;
+
+    fn qkv(s: usize, d: usize) -> (Tensor, Tensor, Tensor) {
+        (
+            init::normal(s, d, 0.0, 0.6, 31),
+            init::normal(s, d, 0.0, 0.6, 32),
+            init::normal(s, d, 0.0, 0.6, 33),
+        )
+    }
+
+    #[test]
+    fn performer_output_is_convex_combination() {
+        let (q, k, v) = qkv(8, 8);
+        let r = performer(&q, &k, &v, 2, 64, 5);
+        // Rows of O are positive-weighted averages of V rows.
+        let vmax = v.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(r.out.data().iter().all(|&o| o.abs() <= vmax + 1e-3));
+    }
+
+    #[test]
+    fn performer_approximates_dense_softmax() {
+        // With many random features the FAVOR+ estimate tracks softmax
+        // attention; correlation between outputs should be strong.
+        let (q, k, v) = qkv(12, 4);
+        let exact = dense(&q, &k, &v, 1, None).out;
+        let approx = performer(&q, &k, &v, 1, 512, 7).out;
+        let mean_exact = exact.mean();
+        let mean_approx = approx.mean();
+        let mut cov = 0.0f64;
+        let mut var_e = 0.0f64;
+        let mut var_a = 0.0f64;
+        for (e, a) in exact.data().iter().zip(approx.data()) {
+            cov += ((e - mean_exact) * (a - mean_approx)) as f64;
+            var_e += ((e - mean_exact) * (e - mean_exact)) as f64;
+            var_a += ((a - mean_approx) * (a - mean_approx)) as f64;
+        }
+        let corr = cov / (var_e.sqrt() * var_a.sqrt()).max(1e-12);
+        assert!(corr > 0.8, "correlation {corr}");
+    }
+
+    #[test]
+    fn performer_backward_matches_numerical() {
+        let (q, k, v) = qkv(5, 4);
+        let upstream = init::normal(5, 4, 0.0, 1.0, 39);
+        let r = performer(&q, &k, &v, 2, 16, 3);
+        let g = performer_backward(&q, &k, &v, 2, 16, 3, &r.cache, &upstream);
+        let loss = |qq: &Tensor, kk: &Tensor, vv: &Tensor| {
+            let o = performer(qq, kk, vv, 2, 16, 3).out;
+            o.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let nq = numerical_grad(&q, |p| loss(p, &k, &v), 1e-2);
+        let nk = numerical_grad(&k, |p| loss(&q, p, &v), 1e-2);
+        let nv = numerical_grad(&v, |p| loss(&q, &k, p), 1e-2);
+        assert!(max_abs_diff(&g.dq, &nq) < 3e-2, "dq {}", max_abs_diff(&g.dq, &nq));
+        assert!(max_abs_diff(&g.dk, &nk) < 3e-2, "dk {}", max_abs_diff(&g.dk, &nk));
+        assert!(max_abs_diff(&g.dv, &nv) < 3e-2, "dv {}", max_abs_diff(&g.dv, &nv));
+    }
+
+    #[test]
+    fn performer_is_deterministic_per_seed() {
+        let (q, k, v) = qkv(6, 4);
+        let a = performer(&q, &k, &v, 2, 32, 11).out;
+        let b = performer(&q, &k, &v, 2, 32, 11).out;
+        let c = performer(&q, &k, &v, 2, 32, 12).out;
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+}

@@ -1,0 +1,325 @@
+//! Graph structural encodings (Graphormer Eqs. 2–3 and GT's positional
+//! encodings).
+
+use crate::attention::BiasGrad;
+use torchgt_graph::{spd, CsrGraph};
+use torchgt_tensor::layers::Embedding;
+use torchgt_tensor::rng::derive_seed;
+use torchgt_tensor::{Param, Tensor};
+
+/// Degree ("centrality") encoding: learnable embeddings indexed by node
+/// degree, added to the input features (Graphormer Eq. 2; undirected graphs
+/// have `deg⁻ = deg⁺`, so one table suffices).
+pub struct DegreeEncoding {
+    table: Embedding,
+}
+
+impl DegreeEncoding {
+    /// Construct with `max_degree + 1` buckets (degrees clamp into the last
+    /// one) and embedding width `dim`.
+    pub fn new(max_degree: usize, dim: usize, seed: u64) -> Self {
+        Self { table: Embedding::new(max_degree + 1, dim, derive_seed(seed, 30)) }
+    }
+
+    /// Look up the encodings for all nodes of `graph` (in id order).
+    pub fn forward(&mut self, graph: &CsrGraph) -> Tensor {
+        let degrees: Vec<usize> = (0..graph.num_nodes()).map(|v| graph.degree(v)).collect();
+        self.table.forward_indices(&degrees)
+    }
+
+    /// Accumulate gradients for the last forward.
+    pub fn backward(&mut self, dy: &Tensor) {
+        self.table.backward_indices(dy);
+    }
+
+    /// Mutable parameter access.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table.table]
+    }
+}
+
+/// Shortest-path-distance attention bias (Graphormer Eq. 3): a learnable
+/// scalar per head per SPD bucket, shared across layers.
+///
+/// Buckets: `0..=max_dist` for exact distances, bucket `max_dist + 1` for
+/// "unreachable / farther".
+pub struct SpdBias {
+    /// `[heads, max_dist + 2]` learnable scalars.
+    pub table: Param,
+    max_dist: u8,
+    /// Cached bucket index per (row-major) pair or per edge, for backward.
+    cached_buckets: Vec<usize>,
+    cached_mode_dense: bool,
+}
+
+impl SpdBias {
+    /// Construct for `heads` heads and distances up to `max_dist`.
+    pub fn new(heads: usize, max_dist: u8, seed: u64) -> Self {
+        Self {
+            table: Param::new(torchgt_tensor::init::normal(
+                heads,
+                max_dist as usize + 2,
+                0.0,
+                0.02,
+                derive_seed(seed, 31),
+            )),
+            max_dist,
+            cached_buckets: Vec::new(),
+            cached_mode_dense: false,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    fn bucket(&self, dist: u8) -> usize {
+        if dist == spd::UNREACHABLE || dist > self.max_dist {
+            self.max_dist as usize + 1
+        } else {
+            dist as usize
+        }
+    }
+
+    /// Build per-head dense `[s, s]` bias matrices from a full SPD matrix
+    /// (graph-level tasks; `spd_matrix` is `s × s` row-major).
+    pub fn dense_bias(&mut self, spd_matrix: &[u8], s: usize) -> Vec<Tensor> {
+        assert_eq!(spd_matrix.len(), s * s);
+        let heads = self.heads();
+        self.cached_buckets = spd_matrix.iter().map(|&d| self.bucket(d)).collect();
+        self.cached_mode_dense = true;
+        let mut out = Vec::with_capacity(heads);
+        for h in 0..heads {
+            let row = self.table.value.row(h);
+            let data: Vec<f32> = self.cached_buckets.iter().map(|&b| row[b]).collect();
+            out.push(Tensor::from_vec(s, s, data));
+        }
+        out
+    }
+
+    /// Build per-head per-edge bias vectors for a sparse mask. `dist_of`
+    /// supplies the SPD bucket source for each (query, key) pair — typically
+    /// [`edge_spd`].
+    pub fn sparse_bias(&mut self, mask: &CsrGraph, dist_of: impl Fn(usize, usize) -> u8) -> Vec<Vec<f32>> {
+        let heads = self.heads();
+        let mut buckets = Vec::with_capacity(mask.num_arcs());
+        for v in 0..mask.num_nodes() {
+            for &nb in mask.neighbors(v) {
+                buckets.push(self.bucket(dist_of(v, nb as usize)));
+            }
+        }
+        self.cached_buckets = buckets;
+        self.cached_mode_dense = false;
+        (0..heads)
+            .map(|h| {
+                let row = self.table.value.row(h);
+                self.cached_buckets.iter().map(|&b| row[b]).collect()
+            })
+            .collect()
+    }
+
+    /// Accumulate table gradients from an attention [`BiasGrad`].
+    pub fn backward(&mut self, grad: &BiasGrad) {
+        let heads = self.heads();
+        let cols = self.table.value.cols();
+        let mut g = Tensor::zeros(heads, cols);
+        match grad {
+            BiasGrad::Dense(per_head) => {
+                assert!(self.cached_mode_dense, "bias grad mode mismatch");
+                for (h, t) in per_head.iter().enumerate() {
+                    debug_assert_eq!(t.len(), self.cached_buckets.len());
+                    let grow = g.row_mut(h);
+                    for (&b, &dv) in self.cached_buckets.iter().zip(t.data()) {
+                        grow[b] += dv;
+                    }
+                }
+            }
+            BiasGrad::Sparse(per_head) => {
+                assert!(!self.cached_mode_dense, "bias grad mode mismatch");
+                for (h, edges) in per_head.iter().enumerate() {
+                    debug_assert_eq!(edges.len(), self.cached_buckets.len());
+                    let grow = g.row_mut(h);
+                    for (&b, &dv) in self.cached_buckets.iter().zip(edges) {
+                        grow[b] += dv;
+                    }
+                }
+            }
+        }
+        self.table.accumulate(&g);
+    }
+
+    /// Mutable parameter access.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+}
+
+/// SPD bucket for a pair restricted to a sparse attention pattern: 0 for
+/// self, 1 for an original graph edge, 2 for anything else (edges the
+/// reformation or the global token introduced). Exact SPD over the pattern
+/// is unnecessary — the pattern only contains local pairs.
+pub fn edge_spd(graph: &CsrGraph) -> impl Fn(usize, usize) -> u8 + '_ {
+    move |i, j| {
+        if i == j {
+            0
+        } else if graph.has_edge(i, j) {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Laplacian-style positional encoding for GT (Dwivedi & Bresson): the `k`
+/// lowest non-trivial eigenvectors of the symmetric normalised Laplacian,
+/// computed by deflated power iteration on `2I − L_sym` (largest eigenpairs
+/// of that operator are the smallest of `L_sym`).
+pub fn laplacian_pe(graph: &CsrGraph, k: usize, iters: usize, seed: u64) -> Tensor {
+    let n = graph.num_nodes();
+    let mut out = Tensor::zeros(n, k);
+    if n == 0 || k == 0 {
+        return out;
+    }
+    let inv_sqrt_deg: Vec<f32> =
+        (0..n).map(|v| 1.0 / ((graph.degree(v) as f32).max(1.0)).sqrt()).collect();
+    // y = (2I − L_sym) x = x + D^{-1/2} A D^{-1/2} x
+    let apply = |x: &[f32], y: &mut [f32]| {
+        for v in 0..n {
+            let mut acc = 0.0f32;
+            for &nb in graph.neighbors(v) {
+                let u = nb as usize;
+                acc += inv_sqrt_deg[v] * inv_sqrt_deg[u] * x[u];
+            }
+            y[v] = x[v] + acc;
+        }
+    };
+    let mut basis: Vec<Vec<f32>> = Vec::with_capacity(k + 1);
+    // The trivial eigenvector of L_sym is D^{1/2}·1 — deflate it first.
+    let mut trivial: Vec<f32> = (0..n).map(|v| (graph.degree(v) as f32).max(1.0).sqrt()).collect();
+    normalize(&mut trivial);
+    basis.push(trivial);
+    let mut rng = torchgt_tensor::rng::rng(seed);
+    use rand::Rng;
+    for comp in 0..k {
+        let mut x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let mut y = vec![0.0f32; n];
+        for _ in 0..iters {
+            // Orthogonalise against found components.
+            for b in &basis {
+                let dot: f32 = x.iter().zip(b).map(|(a, c)| a * c).sum();
+                for (xi, bi) in x.iter_mut().zip(b) {
+                    *xi -= dot * bi;
+                }
+            }
+            normalize(&mut x);
+            apply(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        normalize(&mut x);
+        for v in 0..n {
+            out.set(v, comp, x[v]);
+        }
+        basis.push(x);
+    }
+    out
+}
+
+fn normalize(x: &mut [f32]) {
+    let norm = x.iter().map(|v| v * v).sum::<f32>().sqrt().max(f32::MIN_POSITIVE);
+    for v in x.iter_mut() {
+        *v /= norm;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_graph::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+    use torchgt_graph::spd::spd_matrix;
+
+    #[test]
+    fn degree_encoding_equal_degrees_share_rows() {
+        let mut enc = DegreeEncoding::new(8, 4, 1);
+        let g = cycle_graph(6); // all degree 2
+        let e = enc.forward(&g);
+        for v in 1..6 {
+            assert_eq!(e.row(v), e.row(0));
+        }
+    }
+
+    #[test]
+    fn degree_encoding_backward_accumulates() {
+        let mut enc = DegreeEncoding::new(8, 4, 1);
+        let g = star_graph(5); // hub degree 4, leaves 1
+        let _ = enc.forward(&g);
+        enc.backward(&Tensor::full(5, 4, 1.0));
+        let p = &enc.params_mut()[0].grad;
+        assert_eq!(p.row(1), &[4.0; 4]); // 4 leaves hit bucket 1
+        assert_eq!(p.row(4), &[1.0; 4]); // hub bucket 4
+    }
+
+    #[test]
+    fn dense_bias_reflects_distances() {
+        let g = path_graph(4);
+        let m = spd_matrix(&g, 8);
+        let mut bias = SpdBias::new(2, 8, 3);
+        let b = bias.dense_bias(&m, 4);
+        assert_eq!(b.len(), 2);
+        // Same distance ⇒ same bias value within a head.
+        assert_eq!(b[0].get(0, 1), b[0].get(1, 2)); // both dist 1
+        assert_eq!(b[0].get(0, 0), b[0].get(3, 3)); // both dist 0
+        assert_ne!(b[0].get(0, 0), b[0].get(0, 3)); // dist 0 vs 3 (generic)
+    }
+
+    #[test]
+    fn sparse_bias_layout_and_backward() {
+        let g = complete_graph(4).with_self_loops();
+        let mut bias = SpdBias::new(2, 4, 5);
+        let b = bias.sparse_bias(&g, edge_spd(&g));
+        assert_eq!(b[0].len(), g.num_arcs());
+        let fake = BiasGrad::Sparse(vec![vec![1.0; g.num_arcs()]; 2]);
+        bias.backward(&fake);
+        // Self-loop bucket (0) got n = 4 contributions per head.
+        assert_eq!(bias.table.grad.get(0, 0), 4.0);
+        // Edge bucket (1) got the remaining 12.
+        assert_eq!(bias.table.grad.get(0, 1), 12.0);
+    }
+
+    #[test]
+    fn laplacian_pe_is_orthonormalish_and_deterministic() {
+        let g = cycle_graph(12);
+        let pe = laplacian_pe(&g, 3, 50, 7);
+        let pe2 = laplacian_pe(&g, 3, 50, 7);
+        assert_eq!(pe.data(), pe2.data());
+        // Columns have unit norm.
+        for c in 0..3 {
+            let norm: f32 = (0..12).map(|r| pe.get(r, c).powi(2)).sum();
+            assert!((norm - 1.0).abs() < 1e-3, "col {c} norm {norm}");
+        }
+        // Orthogonal to the trivial (constant·sqrt(deg)) vector: on a cycle
+        // that is the constant vector, so columns sum ≈ 0.
+        for c in 0..3 {
+            let s: f32 = (0..12).map(|r| pe.get(r, c)).sum();
+            assert!(s.abs() < 1e-2, "col {c} sum {s}");
+        }
+    }
+
+    #[test]
+    fn laplacian_pe_distinguishes_path_position() {
+        // The Fiedler vector of a path has exactly one sign change (it
+        // separates the two halves), and is antisymmetric about the centre.
+        let g = path_graph(10);
+        let pe = laplacian_pe(&g, 1, 200, 1);
+        let col: Vec<f32> = (0..10).map(|r| pe.get(r, 0)).collect();
+        let sign_changes =
+            col.windows(2).filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0)).count();
+        assert_eq!(sign_changes, 1, "fiedler vector: {col:?}");
+        for i in 0..5 {
+            assert!(
+                (col[i] + col[9 - i]).abs() < 1e-3,
+                "not antisymmetric: {col:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Message-passing GNN baselines: GCN (Kipf & Welling) and GAT (Veličković
+//! et al.) — the "Traditional GNNs" rows of the paper's Table I.
+
+use crate::api::{Pattern, SequenceBatch, SequenceModel};
+use torchgt_graph::CsrGraph;
+use torchgt_tensor::layers::Layer;
+use torchgt_tensor::rng::derive_seed;
+use torchgt_tensor::{Linear, Param, Relu, Tensor};
+
+/// Symmetric-normalised aggregation `Â H` with
+/// `Â_ij = 1/√((d_i+1)(d_j+1))` over `N(i) ∪ {i}` (the GCN propagation
+/// rule with self-loops folded in).
+pub fn gcn_aggregate(graph: &CsrGraph, h: &Tensor) -> Tensor {
+    let n = graph.num_nodes();
+    assert_eq!(h.rows(), n);
+    let cols = h.cols();
+    let inv_sqrt: Vec<f32> =
+        (0..n).map(|v| 1.0 / ((graph.degree(v) as f32 + 1.0).sqrt())).collect();
+    let mut out = Tensor::zeros(n, cols);
+    for v in 0..n {
+        let selfw = inv_sqrt[v] * inv_sqrt[v];
+        let orow = out.row_mut(v);
+        for (o, x) in orow.iter_mut().zip(h.row(v)) {
+            *o += selfw * x;
+        }
+        for &nb in graph.neighbors(v) {
+            let u = nb as usize;
+            if u == v {
+                continue;
+            }
+            let w = inv_sqrt[v] * inv_sqrt[u];
+            let hrow = h.row(u);
+            let orow = out.row_mut(v);
+            for (o, x) in orow.iter_mut().zip(hrow) {
+                *o += w * x;
+            }
+        }
+    }
+    out
+}
+
+/// A GCN for node classification: `layers` rounds of
+/// `ReLU(Â (H W))` with the final layer linear.
+pub struct Gcn {
+    linears: Vec<Linear>,
+    acts: Vec<Relu>,
+}
+
+impl Gcn {
+    /// Construct with `dims = [feat, hidden…, out]` (so `dims.len() - 1`
+    /// layers).
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2);
+        let linears = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(w[0], w[1], derive_seed(seed, 70 + i as u64)))
+            .collect::<Vec<_>>();
+        let acts = (0..dims.len() - 2).map(|_| Relu::new()).collect();
+        Self { linears, acts }
+    }
+}
+
+impl SequenceModel for Gcn {
+    fn forward(&mut self, batch: &SequenceBatch<'_>, _pattern: Pattern<'_>) -> Tensor {
+        let mut h = batch.features.clone();
+        let last = self.linears.len() - 1;
+        for (i, lin) in self.linears.iter_mut().enumerate() {
+            let z = lin.forward(&h);
+            let agg = gcn_aggregate(batch.graph, &z);
+            h = if i < last { self.acts[i].forward(&agg) } else { agg };
+        }
+        h
+    }
+
+    fn backward(&mut self, batch: &SequenceBatch<'_>, _pattern: Pattern<'_>, dlogits: &Tensor) {
+        let last = self.linears.len() - 1;
+        let mut dh = dlogits.clone();
+        for i in (0..self.linears.len()).rev() {
+            if i < last {
+                dh = self.acts[i].backward(&dh);
+            }
+            // Â is symmetric ⇒ backward through aggregation is another
+            // aggregation.
+            let dz = gcn_aggregate(batch.graph, &dh);
+            dh = self.linears[i].backward(&dz);
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.linears.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn set_training(&mut self, _on: bool) {}
+
+    fn name(&self) -> &'static str {
+        "GCN"
+    }
+}
+
+/// One GAT layer: additive attention
+/// `e_ij = LeakyReLU(a_src·Wh_i + a_dst·Wh_j)`, softmax over
+/// `N(i) ∪ {i}`, then the attention-weighted sum of `Wh_j`.
+pub struct GatLayer {
+    w: Linear,
+    a_src: Param,
+    a_dst: Param,
+    negative_slope: f32,
+    cache: Option<GatCache>,
+}
+
+struct GatCache {
+    z: Tensor,
+    /// Per-edge attention coefficients in CSR order (incl. self-loop slot at
+    /// the end of each row).
+    alpha: Vec<Vec<f32>>,
+    /// Pre-activation edge scores for the LeakyReLU derivative.
+    raw: Vec<Vec<f32>>,
+}
+
+impl GatLayer {
+    /// Construct mapping `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            w: Linear::new(in_dim, out_dim, derive_seed(seed, 80)),
+            a_src: Param::new(torchgt_tensor::init::normal(1, out_dim, 0.0, 0.1, derive_seed(seed, 81))),
+            a_dst: Param::new(torchgt_tensor::init::normal(1, out_dim, 0.0, 0.1, derive_seed(seed, 82))),
+            negative_slope: 0.2,
+            cache: None,
+        }
+    }
+
+    fn leaky(&self, x: f32) -> f32 {
+        if x >= 0.0 {
+            x
+        } else {
+            self.negative_slope * x
+        }
+    }
+
+    fn leaky_grad(&self, x: f32) -> f32 {
+        if x >= 0.0 {
+            1.0
+        } else {
+            self.negative_slope
+        }
+    }
+
+    /// Forward over `graph` (self-loops are added implicitly).
+    pub fn forward(&mut self, graph: &CsrGraph, h: &Tensor) -> Tensor {
+        let n = graph.num_nodes();
+        let z = self.w.forward(h);
+        let d = z.cols();
+        let dot = |row: &[f32], a: &Param| -> f32 {
+            row.iter().zip(a.value.row(0)).map(|(x, y)| x * y).sum()
+        };
+        let s: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.a_src)).collect();
+        let t: Vec<f32> = (0..n).map(|v| dot(z.row(v), &self.a_dst)).collect();
+        let mut out = Tensor::zeros(n, d);
+        let mut alpha = Vec::with_capacity(n);
+        let mut raw_all = Vec::with_capacity(n);
+        for v in 0..n {
+            // Neighbour list + self (skip duplicate if the self-loop exists).
+            let nbrs: Vec<usize> = neighbours_with_self(graph, v);
+            let raw: Vec<f32> = nbrs.iter().map(|&u| s[v] + t[u]).collect();
+            let act: Vec<f32> = raw.iter().map(|&x| self.leaky(x)).collect();
+            let max = act.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut exp: Vec<f32> = act.iter().map(|&x| (x - max).exp()).collect();
+            let den: f32 = exp.iter().sum();
+            for e in exp.iter_mut() {
+                *e /= den.max(f32::MIN_POSITIVE);
+            }
+            let orow = out.row_mut(v);
+            for (&u, &a) in nbrs.iter().zip(&exp) {
+                for (o, x) in orow.iter_mut().zip(z.row(u)) {
+                    *o += a * x;
+                }
+            }
+            alpha.push(exp);
+            raw_all.push(raw);
+        }
+        let (_, _) = (s, t);
+        self.cache = Some(GatCache { z, alpha, raw: raw_all });
+        out
+    }
+
+    /// Backward; returns `dL/dh`.
+    pub fn backward(&mut self, graph: &CsrGraph, dout: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("GAT backward before forward");
+        let n = graph.num_nodes();
+        let d = cache.z.cols();
+        let mut dz = Tensor::zeros(n, d);
+        let mut ds = vec![0.0f32; n];
+        let mut dt = vec![0.0f32; n];
+        for v in 0..n {
+            let nbrs = neighbours_with_self(graph, v);
+            let alpha = &cache.alpha[v];
+            let raw = &cache.raw[v];
+            let dorow = dout.row(v);
+            // dalpha_e = dout_v · z_u ; softmax backward over the row.
+            let mut dalpha: Vec<f32> = nbrs
+                .iter()
+                .map(|&u| dorow.iter().zip(cache.z.row(u)).map(|(a, b)| a * b).sum())
+                .collect();
+            let dot: f32 = alpha.iter().zip(&dalpha).map(|(a, b)| a * b).sum();
+            for (e, da) in dalpha.iter_mut().enumerate() {
+                let de = alpha[e] * (*da - dot) * self.leaky_grad(raw[e]);
+                // e_ij = s_v + t_u
+                ds[v] += de;
+                dt[nbrs[e]] += de;
+                // value path: dz_u += alpha * dout_v
+                let zrow = dz.row_mut(nbrs[e]);
+                for (zo, &o) in zrow.iter_mut().zip(dorow) {
+                    *zo += alpha[e] * o;
+                }
+            }
+        }
+        // s_v = a_src · z_v ⇒ dz_v += ds_v a_src, d a_src += Σ ds_v z_v.
+        let mut da_src = Tensor::zeros(1, d);
+        let mut da_dst = Tensor::zeros(1, d);
+        for v in 0..n {
+            let zrow = cache.z.row(v).to_vec();
+            let dzrow = dz.row_mut(v);
+            for c in 0..d {
+                dzrow[c] += ds[v] * self.a_src.value.get(0, c) + dt[v] * self.a_dst.value.get(0, c);
+                da_src.data_mut()[c] += ds[v] * zrow[c];
+                da_dst.data_mut()[c] += dt[v] * zrow[c];
+            }
+        }
+        self.a_src.accumulate(&da_src);
+        self.a_dst.accumulate(&da_dst);
+        self.w.backward(&dz)
+    }
+
+    /// Mutable parameter access.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.w.params_mut();
+        p.push(&mut self.a_src);
+        p.push(&mut self.a_dst);
+        p
+    }
+}
+
+fn neighbours_with_self(graph: &CsrGraph, v: usize) -> Vec<usize> {
+    let mut nbrs: Vec<usize> = graph.neighbors(v).iter().map(|&u| u as usize).collect();
+    if !nbrs.contains(&v) {
+        nbrs.push(v);
+    }
+    nbrs
+}
+
+/// A 2-layer GAT for node classification.
+pub struct Gat {
+    l1: GatLayer,
+    act: Relu,
+    l2: GatLayer,
+}
+
+impl Gat {
+    /// Construct `feat → hidden → out`.
+    pub fn new(feat: usize, hidden: usize, out: usize, seed: u64) -> Self {
+        Self {
+            l1: GatLayer::new(feat, hidden, derive_seed(seed, 90)),
+            act: Relu::new(),
+            l2: GatLayer::new(hidden, out, derive_seed(seed, 91)),
+        }
+    }
+}
+
+impl SequenceModel for Gat {
+    fn forward(&mut self, batch: &SequenceBatch<'_>, _pattern: Pattern<'_>) -> Tensor {
+        let h = self.l1.forward(batch.graph, batch.features);
+        let h = self.act.forward(&h);
+        self.l2.forward(batch.graph, &h)
+    }
+
+    fn backward(&mut self, batch: &SequenceBatch<'_>, _pattern: Pattern<'_>, dlogits: &Tensor) {
+        let dh = self.l2.backward(batch.graph, dlogits);
+        let dh = self.act.backward(&dh);
+        let _ = self.l1.backward(batch.graph, &dh);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.l1.params_mut();
+        p.extend(self.l2.params_mut());
+        p
+    }
+
+    fn set_training(&mut self, _on: bool) {}
+
+    fn name(&self) -> &'static str {
+        "GAT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_graph::generators::{cycle_graph, path_graph};
+    use torchgt_tensor::gradcheck::{max_abs_diff, numerical_grad};
+    use torchgt_tensor::init;
+    use torchgt_tensor::{Adam, Optimizer};
+
+    #[test]
+    fn gcn_aggregate_averages_neighbourhoods() {
+        let g = path_graph(3);
+        let h = Tensor::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let out = gcn_aggregate(&g, &h);
+        // Node 1 (degree 2): 1/3·2 (self, d+1=3) + 1/(√3·√2)·(1+3).
+        let expected = 2.0 / 3.0 + (1.0 + 3.0) / (3.0f32.sqrt() * 2.0f32.sqrt());
+        assert!((out.get(1, 0) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gcn_backward_matches_numerical() {
+        let g = cycle_graph(5);
+        let x = init::normal(5, 3, 0.0, 1.0, 2);
+        let w = init::normal(5, 2, 0.0, 1.0, 3);
+        let mut gcn = Gcn::new(&[3, 4, 2], 7);
+        let batch = SequenceBatch { features: &x, graph: &g, spd: None };
+        let _ = gcn.forward(&batch, Pattern::Flash);
+        gcn.backward(&batch, Pattern::Flash, &w);
+        // Check weight grad of the first linear numerically.
+        let analytic = gcn.linears[0].w.grad.clone();
+        let l0 = gcn.linears[0].clone();
+        let l1 = gcn.linears[1].clone();
+        let numeric = numerical_grad(
+            &l0.w.value,
+            |probe| {
+                let mut tmp = Gcn::new(&[3, 4, 2], 7);
+                tmp.linears[0] = l0.clone();
+                tmp.linears[0].w.value = probe.clone();
+                tmp.linears[1] = l1.clone();
+                let y = tmp.forward(&batch, Pattern::Flash);
+                y.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-2,
+        );
+        assert!(max_abs_diff(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn gat_attention_rows_are_distributions() {
+        let g = cycle_graph(6);
+        let x = init::normal(6, 4, 0.0, 1.0, 5);
+        let mut layer = GatLayer::new(4, 4, 1);
+        let _ = layer.forward(&g, &x);
+        let cache = layer.cache.as_ref().unwrap();
+        for row in &cache.alpha {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&a| a >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gat_input_grad_matches_numerical() {
+        let g = cycle_graph(5);
+        let x = init::normal(5, 3, 0.0, 0.8, 6);
+        let w = init::normal(5, 4, 0.0, 1.0, 7);
+        let mut layer = GatLayer::new(3, 4, 9);
+        let _ = layer.forward(&g, &x);
+        let dx = layer.backward(&g, &w);
+        let wsaved = layer.w.clone();
+        let asrc = layer.a_src.clone();
+        let adst = layer.a_dst.clone();
+        let numeric = numerical_grad(
+            &x,
+            |p| {
+                let mut probe = GatLayer::new(3, 4, 9);
+                probe.w = wsaved.clone();
+                probe.a_src = asrc.clone();
+                probe.a_dst = adst.clone();
+                let y = probe.forward(&g, p);
+                y.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-2,
+        );
+        assert!(max_abs_diff(&dx, &numeric) < 3e-2, "diff {}", max_abs_diff(&dx, &numeric));
+    }
+
+    #[test]
+    fn gcn_learns_community_labels() {
+        use torchgt_graph::generators::{clustered_power_law, ClusteredConfig};
+        let (g, comm) = clustered_power_law(
+            ClusteredConfig { n: 60, communities: 2, avg_degree: 8.0, intra_fraction: 0.9 },
+            3,
+        );
+        let mut feats = Tensor::zeros(60, 4);
+        for v in 0..60 {
+            feats.set(v, comm[v] as usize, 1.0);
+            feats.set(v, 2, ((v * 37) % 17) as f32 / 17.0);
+        }
+        let labels: Vec<u32> = comm.clone();
+        let mut gcn = Gcn::new(&[4, 8, 2], 4);
+        let mut opt = Adam::with_lr(5e-3);
+        let batch = SequenceBatch { features: &feats, graph: &g, spd: None };
+        let mut last = f32::MAX;
+        let mut first = None;
+        for _ in 0..50 {
+            let logits = gcn.forward(&batch, Pattern::Flash);
+            let (loss, dl) = crate::loss::softmax_cross_entropy(&logits, &labels);
+            gcn.backward(&batch, Pattern::Flash, &dl);
+            opt.step(&mut gcn.params_mut());
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < 0.5 * first.unwrap());
+        let logits = gcn.forward(&batch, Pattern::Flash);
+        assert!(crate::loss::accuracy(&logits, &labels, None) > 0.8);
+    }
+}

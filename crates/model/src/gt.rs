@@ -1,0 +1,274 @@
+//! GT — "A Generalization of Transformer Networks to Graphs"
+//! (Dwivedi & Bresson), the paper's second evaluation model (Table IV:
+//! 4 layers, hidden 128, 8 heads).
+//!
+//! GT adds Laplacian positional encodings to the inputs instead of
+//! Graphormer's attention bias, so its attention is encoding-free and all
+//! three kernels apply unchanged.
+
+use crate::api::{Pattern, SequenceBatch, SequenceModel};
+use crate::block::TransformerBlock;
+use crate::encodings::laplacian_pe;
+use crate::mha::AttentionMode;
+use torchgt_graph::CsrGraph;
+use torchgt_tensor::layers::Layer;
+use torchgt_tensor::ops;
+use torchgt_tensor::rng::derive_seed;
+use torchgt_tensor::{Linear, Param, Tensor};
+
+/// GT hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GtConfig {
+    /// Input feature dimension.
+    pub feat_dim: usize,
+    /// Hidden width (Table IV: 128).
+    pub hidden: usize,
+    /// Transformer layers (Table IV: 4).
+    pub layers: usize,
+    /// Attention heads (Table IV: 8).
+    pub heads: usize,
+    /// FFN expansion multiplier.
+    pub ffn_mult: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Number of Laplacian eigenvectors used as positional encoding.
+    pub pe_dim: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+}
+
+impl GtConfig {
+    /// The paper's GT configuration.
+    pub fn standard(feat_dim: usize, out_dim: usize) -> Self {
+        Self {
+            feat_dim,
+            hidden: 128,
+            layers: 4,
+            heads: 8,
+            ffn_mult: 4,
+            out_dim,
+            pe_dim: 8,
+            dropout: 0.1,
+        }
+    }
+
+    /// A smaller configuration for unit tests and quick examples.
+    pub fn tiny(feat_dim: usize, out_dim: usize) -> Self {
+        Self {
+            feat_dim,
+            hidden: 16,
+            layers: 2,
+            heads: 2,
+            ffn_mult: 2,
+            out_dim,
+            pe_dim: 4,
+            dropout: 0.0,
+        }
+    }
+}
+
+/// The GT model.
+pub struct Gt {
+    cfg: GtConfig,
+    in_proj: Linear,
+    pe_proj: Linear,
+    blocks: Vec<TransformerBlock>,
+    head: Linear,
+    /// LapPE cache: fingerprint of the last graph and its encoding (node
+    /// sequences repeat across epochs, so this hits almost always).
+    pe_cache: Option<(u64, Tensor)>,
+    seed: u64,
+}
+
+fn graph_fingerprint(g: &CsrGraph) -> u64 {
+    // Cheap structural hash: counts plus a few row pointers.
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(g.num_nodes() as u64);
+    mix(g.num_arcs() as u64);
+    let rp = g.row_ptr();
+    let step = (rp.len() / 16).max(1);
+    for i in (0..rp.len()).step_by(step) {
+        mix(rp[i] as u64);
+    }
+    h
+}
+
+impl Gt {
+    /// Construct with the given config and seed.
+    pub fn new(cfg: GtConfig, seed: u64) -> Self {
+        let blocks = (0..cfg.layers)
+            .map(|l| {
+                TransformerBlock::new(
+                    cfg.hidden,
+                    cfg.heads,
+                    cfg.ffn_mult,
+                    cfg.dropout,
+                    derive_seed(seed, 200 + l as u64),
+                )
+            })
+            .collect();
+        Self {
+            in_proj: Linear::new(cfg.feat_dim, cfg.hidden, derive_seed(seed, 60)),
+            pe_proj: Linear::new(cfg.pe_dim, cfg.hidden, derive_seed(seed, 61)),
+            blocks,
+            head: Linear::new(cfg.hidden, cfg.out_dim, derive_seed(seed, 62)),
+            pe_cache: None,
+            cfg,
+            seed,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GtConfig {
+        &self.cfg
+    }
+
+    fn positional_encoding(&mut self, graph: &CsrGraph) -> Tensor {
+        let fp = graph_fingerprint(graph);
+        if let Some((cached_fp, pe)) = &self.pe_cache {
+            if *cached_fp == fp {
+                return pe.clone();
+            }
+        }
+        let pe = laplacian_pe(graph, self.cfg.pe_dim, 30, derive_seed(self.seed, 63));
+        self.pe_cache = Some((fp, pe.clone()));
+        pe
+    }
+}
+
+impl SequenceModel for Gt {
+    fn forward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>) -> Tensor {
+        let pe = self.positional_encoding(batch.graph);
+        let mut h = self.in_proj.forward(batch.features);
+        let pe_h = self.pe_proj.forward(&pe);
+        ops::add_inplace(&mut h, &pe_h);
+        for block in &mut self.blocks {
+            let mode = match pattern {
+                Pattern::Dense => AttentionMode::Dense { bias: None },
+                Pattern::Flash => AttentionMode::Flash,
+                Pattern::Sparse(mask) => AttentionMode::Sparse { mask, bias: None },
+                Pattern::Performer(features) => {
+                    AttentionMode::Performer { features, seed: 0x9E37 }
+                }
+            };
+            h = block.forward(&h, &mode);
+        }
+        self.head.forward(&h)
+    }
+
+    fn backward(&mut self, _batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor) {
+        let mut dh = self.head.backward(dlogits);
+        for block in self.blocks.iter_mut().rev() {
+            let mode = match pattern {
+                Pattern::Dense => AttentionMode::Dense { bias: None },
+                Pattern::Flash => AttentionMode::Flash,
+                Pattern::Sparse(mask) => AttentionMode::Sparse { mask, bias: None },
+                Pattern::Performer(features) => {
+                    AttentionMode::Performer { features, seed: 0x9E37 }
+                }
+            };
+            let (dx, _) = block.backward(&dh, &mode, false);
+            dh = dx;
+        }
+        let _ = self.pe_proj.backward(&dh);
+        let _ = self.in_proj.backward(&dh);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.in_proj.params_mut();
+        p.extend(self.pe_proj.params_mut());
+        for b in &mut self.blocks {
+            p.extend(b.params_mut());
+        }
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    fn set_training(&mut self, on: bool) {
+        for b in &mut self.blocks {
+            b.set_training(on);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "GT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_graph::generators::cycle_graph;
+    use torchgt_tensor::init;
+
+    #[test]
+    fn forward_shapes() {
+        let g = cycle_graph(10);
+        let mask = g.with_self_loops();
+        let x = init::normal(10, 6, 0.0, 1.0, 1);
+        let mut m = Gt::new(GtConfig::tiny(6, 4), 3);
+        let batch = SequenceBatch { features: &x, graph: &g, spd: None };
+        for p in [Pattern::Dense, Pattern::Flash, Pattern::Sparse(&mask)] {
+            assert_eq!(m.forward(&batch, p).shape(), (10, 4));
+        }
+    }
+
+    #[test]
+    fn pe_cache_hits_for_repeated_graph() {
+        let g = cycle_graph(10);
+        let x = init::normal(10, 6, 0.0, 1.0, 1);
+        let mut m = Gt::new(GtConfig::tiny(6, 4), 3);
+        m.set_training(false);
+        let batch = SequenceBatch { features: &x, graph: &g, spd: None };
+        let y1 = m.forward(&batch, Pattern::Flash);
+        let y2 = m.forward(&batch, Pattern::Flash);
+        assert_eq!(y1.data(), y2.data());
+        assert!(m.pe_cache.is_some());
+    }
+
+    #[test]
+    fn positional_encoding_changes_output() {
+        // Same features, different topologies ⇒ different outputs through
+        // the LapPE path.
+        let x = init::normal(10, 6, 0.0, 1.0, 1);
+        let g1 = cycle_graph(10);
+        let g2 = torchgt_graph::generators::star_graph(10);
+        let mut m = Gt::new(GtConfig::tiny(6, 4), 3);
+        m.set_training(false);
+        let y1 = m.forward(&SequenceBatch { features: &x, graph: &g1, spd: None }, Pattern::Flash);
+        let y2 = m.forward(&SequenceBatch { features: &x, graph: &g2, spd: None }, Pattern::Flash);
+        assert_ne!(y1.data(), y2.data());
+    }
+
+    #[test]
+    fn gt_learns_toy_task() {
+        use torchgt_tensor::{Adam, Optimizer};
+        let g = cycle_graph(12);
+        let mask = g.with_self_loops();
+        let mut feats = Tensor::zeros(12, 4);
+        let labels: Vec<u32> = (0..12).map(|v| ((v / 3) % 2) as u32).collect();
+        for v in 0..12 {
+            feats.set(v, labels[v] as usize, 1.0);
+            feats.set(v, 2, (v as f32 * 0.7).sin());
+        }
+        let mut m = Gt::new(GtConfig::tiny(4, 2), 11);
+        m.set_training(true);
+        let mut opt = Adam::with_lr(3e-3);
+        let batch = SequenceBatch { features: &feats, graph: &g, spd: None };
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let logits = m.forward(&batch, Pattern::Sparse(&mask));
+            let (loss, dl) = crate::loss::softmax_cross_entropy(&logits, &labels);
+            m.backward(&batch, Pattern::Sparse(&mask), &dl);
+            opt.step(&mut m.params_mut());
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < 0.6 * first.unwrap(), "loss {first:?} → {last}");
+    }
+}

@@ -1,0 +1,172 @@
+//! A NodeFormer-style sampling transformer baseline.
+//!
+//! NodeFormer (Wu et al., NeurIPS '22) approximates all-pair attention for
+//! node classification; the paper uses it in Figure 1 to show that longer
+//! sequences (larger sampled batches) improve accuracy. This stand-in keeps
+//! the defining behaviour — each token attends to its graph neighbours plus
+//! `samples` random tokens, resampled every forward pass — on top of the same
+//! transformer trunk.
+
+use crate::api::{Pattern, SequenceBatch, SequenceModel};
+use crate::block::TransformerBlock;
+use crate::mha::AttentionMode;
+use rand::Rng;
+use torchgt_graph::CsrGraph;
+use torchgt_tensor::layers::Layer;
+use torchgt_tensor::rng::{derive_seed, rng};
+use torchgt_tensor::{Linear, Param, Tensor};
+
+/// The sampling-attention model.
+pub struct SampledTransformer {
+    in_proj: Linear,
+    blocks: Vec<TransformerBlock>,
+    head: Linear,
+    /// Random keys sampled per query each pass.
+    pub samples: usize,
+    seed: u64,
+    step: u64,
+    current_mask: Option<CsrGraph>,
+}
+
+impl SampledTransformer {
+    /// Construct: `feat → hidden`, `layers` blocks, `samples` random keys
+    /// per query.
+    pub fn new(
+        feat: usize,
+        hidden: usize,
+        layers: usize,
+        heads: usize,
+        out: usize,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        let blocks = (0..layers)
+            .map(|l| TransformerBlock::new(hidden, heads, 2, 0.0, derive_seed(seed, 300 + l as u64)))
+            .collect();
+        Self {
+            in_proj: Linear::new(feat, hidden, derive_seed(seed, 64)),
+            blocks,
+            head: Linear::new(hidden, out, derive_seed(seed, 65)),
+            samples,
+            seed,
+            step: 0,
+            current_mask: None,
+        }
+    }
+
+    fn sample_mask(&mut self, graph: &CsrGraph) -> CsrGraph {
+        let n = graph.num_nodes();
+        let mut r = rng(derive_seed(self.seed, 1000 + self.step));
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(graph.num_arcs() / 2 + n * self.samples);
+        for v in 0..n {
+            for &nb in graph.neighbors(v) {
+                if nb as usize >= v {
+                    edges.push((v as u32, nb));
+                }
+            }
+            for _ in 0..self.samples {
+                let t = r.gen_range(0..n as u32);
+                if t as usize != v {
+                    edges.push((v as u32, t));
+                }
+            }
+        }
+        CsrGraph::from_edges(n, &edges).with_self_loops()
+    }
+}
+
+impl SequenceModel for SampledTransformer {
+    fn forward(&mut self, batch: &SequenceBatch<'_>, _pattern: Pattern<'_>) -> Tensor {
+        self.step += 1;
+        let mask = self.sample_mask(batch.graph);
+        let mut h = self.in_proj.forward(batch.features);
+        for block in &mut self.blocks {
+            h = block.forward(&h, &AttentionMode::Sparse { mask: &mask, bias: None });
+        }
+        self.current_mask = Some(mask);
+        self.head.forward(&h)
+    }
+
+    fn backward(&mut self, _batch: &SequenceBatch<'_>, _pattern: Pattern<'_>, dlogits: &Tensor) {
+        let mask = self.current_mask.take().expect("backward before forward");
+        let mut dh = self.head.backward(dlogits);
+        for block in self.blocks.iter_mut().rev() {
+            let (dx, _) =
+                block.backward(&dh, &AttentionMode::Sparse { mask: &mask, bias: None }, false);
+            dh = dx;
+        }
+        let _ = self.in_proj.backward(&dh);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.in_proj.params_mut();
+        for b in &mut self.blocks {
+            p.extend(b.params_mut());
+        }
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    fn set_training(&mut self, on: bool) {
+        for b in &mut self.blocks {
+            b.set_training(on);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "NodeFormer-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_graph::generators::cycle_graph;
+    use torchgt_tensor::init;
+
+    #[test]
+    fn mask_includes_graph_edges_and_extras() {
+        let g = cycle_graph(20);
+        let mut m = SampledTransformer::new(4, 8, 1, 2, 2, 3, 1);
+        let mask = m.sample_mask(&g);
+        for v in 0..20 {
+            for &nb in g.neighbors(v) {
+                assert!(mask.has_edge(v, nb as usize));
+            }
+            assert!(mask.has_edge(v, v));
+        }
+        assert!(mask.num_edges() > g.num_edges());
+    }
+
+    #[test]
+    fn resampling_changes_between_steps() {
+        let g = cycle_graph(30);
+        let x = init::normal(30, 4, 0.0, 1.0, 2);
+        let mut m = SampledTransformer::new(4, 8, 1, 2, 2, 3, 5);
+        m.set_training(false);
+        let batch = SequenceBatch { features: &x, graph: &g, spd: None };
+        let y1 = m.forward(&batch, Pattern::Flash);
+        let mask1 = m.current_mask.clone().unwrap();
+        let y2 = m.forward(&batch, Pattern::Flash);
+        let mask2 = m.current_mask.clone().unwrap();
+        assert_ne!(mask1, mask2, "masks must be resampled");
+        assert_ne!(y1.data(), y2.data());
+    }
+
+    #[test]
+    fn trains_without_panic() {
+        use torchgt_tensor::{Adam, Optimizer};
+        let g = cycle_graph(16);
+        let x = init::normal(16, 4, 0.0, 1.0, 3);
+        let labels: Vec<u32> = (0..16).map(|v| (v % 2) as u32).collect();
+        let mut m = SampledTransformer::new(4, 8, 1, 2, 2, 2, 9);
+        let mut opt = Adam::with_lr(1e-3);
+        let batch = SequenceBatch { features: &x, graph: &g, spd: None };
+        for _ in 0..5 {
+            let logits = m.forward(&batch, Pattern::Flash);
+            let (_, dl) = crate::loss::softmax_cross_entropy(&logits, &labels);
+            m.backward(&batch, Pattern::Flash, &dl);
+            opt.step(&mut m.params_mut());
+        }
+    }
+}

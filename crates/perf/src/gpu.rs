@@ -1,0 +1,140 @@
+//! GPU device specifications.
+//!
+//! Published figures for the two GPUs of the paper's testbeds. The cost
+//! models only use ratios and orders of magnitude, so the exact constants
+//! matter less than their relationships (A100 ≈ 1.7× HBM bandwidth of a
+//! 3090, 3.3× memory, much larger L2).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a GPU model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak FP32 throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak BF16/FP16 tensor-core throughput in FLOP/s (what FlashAttention
+    /// actually runs on).
+    pub bf16_flops: f64,
+    /// Peak HBM/GDDR bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Device memory in bytes.
+    pub mem_bytes: u64,
+    /// L1 cache (per SM) in bytes.
+    pub l1_bytes: usize,
+    /// L2 cache (device-wide) in bytes.
+    pub l2_bytes: usize,
+    /// Streaming multiprocessor count.
+    pub sm_count: usize,
+    /// Max resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: usize,
+}
+
+impl GpuSpec {
+    /// NVIDIA GeForce RTX 3090: 35.6 TFLOP/s FP32, 936 GB/s GDDR6X, 24 GB,
+    /// 128 KB L1/SM, 6 MB L2, 82 SMs.
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX 3090",
+            fp32_flops: 35.6e12,
+            bf16_flops: 71e12,
+            mem_bw: 936e9,
+            mem_bytes: 24 * (1 << 30),
+            l1_bytes: 128 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            sm_count: 82,
+            max_threads_per_sm: 1536,
+            smem_per_sm: 100 * 1024,
+        }
+    }
+
+    /// NVIDIA A100 80GB: 19.5 TFLOP/s FP32, 2039 GB/s HBM2e, 80 GB,
+    /// 192 KB L1/SM, 40 MB L2, 108 SMs.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100",
+            fp32_flops: 19.5e12,
+            bf16_flops: 312e12,
+            mem_bw: 2039e9,
+            mem_bytes: 80 * (1 << 30),
+            l1_bytes: 192 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            sm_count: 108,
+            max_threads_per_sm: 2048,
+            smem_per_sm: 164 * 1024,
+        }
+    }
+
+    /// Time to stream `bytes` at peak bandwidth.
+    pub fn stream_time(&self, bytes: f64) -> f64 {
+        bytes / self.mem_bw
+    }
+
+    /// Time to execute `flops` at `efficiency × peak` (FP32 pipe).
+    pub fn compute_time(&self, flops: f64, efficiency: f64) -> f64 {
+        flops / (self.fp32_flops * efficiency.clamp(1e-3, 1.0))
+    }
+
+    /// Time to execute `flops` on the BF16/FP16 tensor cores.
+    pub fn tensor_compute_time(&self, flops: f64, efficiency: f64) -> f64 {
+        flops / (self.bf16_flops * efficiency.clamp(1e-3, 1.0))
+    }
+
+    /// Cluster dimensionality `k` from the paper's Auto Tuner formula
+    /// `k = ⌊√(Q_L2 / (i·d))⌋` (§III-D). The paper leaves the integer factor
+    /// `i` free; we fix `i = 1024` (the per-cluster tile rows kept L2-hot),
+    /// which reproduces the paper's fitted `k = 8` for an RTX 3090 with
+    /// hidden dimension 64, then round down to a power of two in [4, 64].
+    pub fn tune_k(&self, hidden_dim: usize) -> usize {
+        let q_l2 = self.l2_bytes as f64;
+        let d = hidden_dim.max(1) as f64;
+        let raw = (q_l2 / (1024.0 * d)).sqrt().floor().max(4.0) as usize;
+        let mut k = 4usize;
+        while k * 2 <= raw && k < 64 {
+            k *= 2;
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_relationships() {
+        let g3090 = GpuSpec::rtx3090();
+        let a100 = GpuSpec::a100();
+        assert!(a100.mem_bw > 1.5 * g3090.mem_bw);
+        assert!(a100.mem_bytes > 3 * g3090.mem_bytes);
+        assert!(a100.l2_bytes > 5 * g3090.l2_bytes);
+    }
+
+    #[test]
+    fn stream_and_compute_times() {
+        let g = GpuSpec::rtx3090();
+        // 936 GB at peak bandwidth = 1 s.
+        assert!((g.stream_time(936e9) - 1.0).abs() < 1e-9);
+        // 35.6 TFLOP at 100% = 1 s.
+        assert!((g.compute_time(35.6e12, 1.0) - 1.0).abs() < 1e-9);
+        assert!(g.compute_time(1e12, 0.5) > g.compute_time(1e12, 1.0));
+    }
+
+    #[test]
+    fn tuned_k_matches_paper_for_3090_d64() {
+        // The paper reports k = 8 for RTX 3090, hidden 64.
+        let k = GpuSpec::rtx3090().tune_k(64);
+        assert!((4..=16).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn tuned_k_is_bounded() {
+        for d in [32, 64, 128, 256, 768] {
+            let k = GpuSpec::a100().tune_k(d);
+            assert!((4..=64).contains(&k), "d={d} k={k}");
+        }
+    }
+}

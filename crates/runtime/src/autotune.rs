@@ -1,0 +1,143 @@
+//! The Auto Tuner (paper §III-D, "Transfer Strategy" / "Hyperparameter
+//! Modeling").
+//!
+//! Tracks a running-average loss `F_t = 0.9·F_{t−1} + 0.1·L_t` and the Loss
+//! Descent Rate `LDR_t = (F_t − F_{t−1}) / et_t`. When descent is healthy
+//! (`LDR_t ≥ LDR_{t−δ}` — mind that descent rates are negative), the tuner
+//! climbs the `β_thre` ladder `{0, β_G, 1.5β_G, 5β_G, 7β_G, 10β_G, 1}` to
+//! transfer more clusters (faster); when descent degrades, it steps back
+//! down (more accurate). It also selects `k` and `d_b` from the GPU spec via
+//! the cache model.
+
+use torchgt_perf::{tune_db, GpuSpec};
+use torchgt_sparse::reform::beta_ladder;
+
+/// The elastic `β_thre` controller.
+#[derive(Clone, Debug)]
+pub struct AutoTuner {
+    ladder: [f64; 7],
+    index: usize,
+    delta: usize,
+    f_history: Vec<f64>,
+    ldr_history: Vec<f64>,
+}
+
+impl AutoTuner {
+    /// Construct for a graph of sparsity `β_G`, comparing LDRs `delta`
+    /// epochs apart (the paper uses δ = 10).
+    pub fn new(beta_g: f64, delta: usize) -> Self {
+        Self {
+            ladder: beta_ladder(beta_g),
+            // Start at β_G — the paper's initialisation.
+            index: 1,
+            delta: delta.max(1),
+            f_history: Vec::new(),
+            ldr_history: Vec::new(),
+        }
+    }
+
+    /// Current transfer threshold.
+    pub fn beta_thre(&self) -> f64 {
+        self.ladder[self.index]
+    }
+
+    /// Current ladder position (for tests/telemetry).
+    pub fn ladder_index(&self) -> usize {
+        self.index
+    }
+
+    /// Feed one epoch's loss and wall-clock; returns the `β_thre` to use for
+    /// the *next* epoch.
+    pub fn observe(&mut self, loss: f64, epoch_seconds: f64) -> f64 {
+        let f_prev = self.f_history.last().copied();
+        let f_t = match f_prev {
+            Some(f) => 0.9 * f + 0.1 * loss,
+            None => loss,
+        };
+        self.f_history.push(f_t);
+        if let Some(f) = f_prev {
+            let ldr = (f_t - f) / epoch_seconds.max(1e-9);
+            self.ldr_history.push(ldr);
+            if self.ldr_history.len() > self.delta {
+                let now = *self.ldr_history.last().unwrap();
+                let before = self.ldr_history[self.ldr_history.len() - 1 - self.delta];
+                if now >= before {
+                    // Descent still healthy ⇒ trade accuracy headroom for
+                    // speed.
+                    self.index = (self.index + 1).min(self.ladder.len() - 1);
+                } else {
+                    // Converging or quantisation errors ⇒ back off.
+                    self.index = self.index.saturating_sub(1);
+                }
+            }
+        }
+        self.beta_thre()
+    }
+
+    /// Pick `(k, d_b)` for a GPU, hidden dimension and workload size —
+    /// Figure 6's "ideal d_b considers both load balance and cache hit
+    /// rate" plus the `k` formula.
+    pub fn tune_shape(gpu: &GpuSpec, hidden: usize, edges: usize) -> (usize, usize) {
+        (gpu.tune_k(hidden), tune_db(gpu, edges.max(1), hidden))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_beta_g() {
+        let t = AutoTuner::new(0.01, 10);
+        assert!((t.beta_thre() - 0.01).abs() < 1e-12);
+        assert_eq!(t.ladder_index(), 1);
+    }
+
+    #[test]
+    fn healthy_descent_climbs_ladder() {
+        // Exponentially decaying loss: once the EMA warms up, LDR shrinks in
+        // magnitude every epoch (LDR_t ≥ LDR_{t−δ}), so the tuner keeps
+        // climbing toward the fast end of the ladder.
+        let mut t = AutoTuner::new(0.01, 3);
+        let mut loss = 2.0;
+        for _ in 0..40 {
+            t.observe(loss, 1.0);
+            loss *= 0.9;
+        }
+        assert!(t.ladder_index() >= 4, "index {}", t.ladder_index());
+    }
+
+    #[test]
+    fn accelerating_descent_backs_off() {
+        // Loss drops faster and faster (quadratic): LDR becomes *more*
+        // negative each epoch, i.e. LDR_t < LDR_{t−δ} — the paper's signal
+        // to step back down for stability.
+        let mut t = AutoTuner::new(0.01, 2);
+        for i in 0..20 {
+            let loss = 100.0 - 0.05 * (i as f64) * (i as f64);
+            t.observe(loss, 1.0);
+        }
+        assert_eq!(t.ladder_index(), 0, "index {}", t.ladder_index());
+    }
+
+    #[test]
+    fn index_is_clamped() {
+        let mut t = AutoTuner::new(0.01, 1);
+        // Endless perfect descent: index must stop at the ladder top.
+        let mut loss = 10.0;
+        for _ in 0..50 {
+            t.observe(loss, 1.0);
+            loss *= 0.5;
+        }
+        assert!(t.ladder_index() <= 6);
+        assert!((t.beta_thre() - 1.0).abs() < 1e-12 || t.ladder_index() < 6);
+    }
+
+    #[test]
+    fn tune_shape_matches_paper_fit() {
+        let (k, db) = AutoTuner::tune_shape(&GpuSpec::rtx3090(), 64, 200_000);
+        // Paper: k = 8, d_b = 16 for RTX 3090, hidden 64.
+        assert_eq!(k, 8, "k");
+        assert!((8..=32).contains(&db), "db = {db}");
+    }
+}

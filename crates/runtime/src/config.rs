@@ -1,0 +1,113 @@
+//! Training-run configuration.
+
+use serde::{Deserialize, Serialize};
+use torchgt_tensor::Precision;
+
+/// The training systems compared throughout the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Vanilla graph parallelism with standard dense attention (the paper's
+    /// GP-RAW baseline) — materialises `S²` scores, OOMs at scale.
+    GpRaw,
+    /// Graph parallelism + FlashAttention (GP-FLASH): fully-connected tiled
+    /// attention, BF16-only compute, no attention-bias support.
+    GpFlash,
+    /// Graph parallelism + pure topology-induced sparse attention
+    /// (GP-SPARSE): fast but convergence-degraded — no interleaving.
+    GpSparse,
+    /// The full TorchGT system: Dual-interleaved Attention + Cluster-aware
+    /// Graph Parallelism + Elastic Computation Reformation.
+    TorchGt,
+}
+
+impl Method {
+    /// Label used in experiment tables (matches the paper's names).
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::GpRaw => "GP-Raw",
+            Method::GpFlash => "GP-Flash",
+            Method::GpSparse => "GP-Sparse",
+            Method::TorchGt => "TorchGT",
+        }
+    }
+
+    /// The numeric precision the method trains in. FlashAttention only
+    /// supports FP16/BF16 (paper §IV-B), everything else defaults to FP32.
+    pub fn default_precision(self) -> Precision {
+        match self {
+            Method::GpFlash => Precision::Bf16,
+            _ => Precision::Fp32,
+        }
+    }
+}
+
+/// Configuration of a training run.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Which system executes the run.
+    pub method: Method,
+    /// Sequence length (tokens per training sequence).
+    pub seq_len: usize,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Numeric precision (defaults from the method; override for the
+    /// Table VII TorchGT-BF16 run).
+    pub precision: Precision,
+    /// Dual-interleaved Attention: run one fully-connected pass every
+    /// `interleave_period` iterations (0 disables interleaving).
+    pub interleave_period: usize,
+    /// Number of clusters `k` for the cluster-aware reordering (0 = let the
+    /// Auto Tuner pick from the GPU spec).
+    pub clusters: usize,
+    /// Sub-block dimension `d_b` (0 = Auto Tuner).
+    pub sub_block: usize,
+    /// Fixed transfer threshold `β_thre`; `None` enables the elastic Auto
+    /// Tuner ladder.
+    pub beta_thre: Option<f64>,
+    /// Linear LR warmup steps followed by inverse-sqrt decay (Graphormer's
+    /// recipe); 0 keeps the LR constant.
+    pub warmup_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Reasonable defaults for a method.
+    pub fn new(method: Method, seq_len: usize, epochs: usize) -> Self {
+        Self {
+            method,
+            seq_len,
+            epochs,
+            lr: 1e-3,
+            precision: method.default_precision(),
+            interleave_period: 8,
+            clusters: 0,
+            sub_block: 0,
+            beta_thre: None,
+            warmup_steps: 0,
+            seed: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Method::GpRaw.label(), "GP-Raw");
+        assert_eq!(Method::GpFlash.label(), "GP-Flash");
+        assert_eq!(Method::TorchGt.label(), "TorchGT");
+    }
+
+    #[test]
+    fn flash_defaults_to_bf16() {
+        assert_eq!(Method::GpFlash.default_precision(), Precision::Bf16);
+        assert_eq!(Method::TorchGt.default_precision(), Precision::Fp32);
+        let cfg = TrainConfig::new(Method::GpFlash, 1024, 10);
+        assert_eq!(cfg.precision, Precision::Bf16);
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end distributed training over simulated devices.
+//!
+//! Combines the two parallel axes of the paper's runtime:
+//!
+//! * **sequence/graph parallelism** inside attention (see [`crate::parallel`]
+//!   — all-to-all head/sequence relayouts), and
+//! * **data parallelism across sequences** for the parameter path: each rank
+//!   trains on its share of the sequence stream and gradients are averaged
+//!   with an all-reduce before every optimizer step, keeping replicas
+//!   bit-synchronised.
+//!
+//! [`train_data_parallel`] runs the full loop on a [`DeviceGroup`] with real
+//! gradient traffic; its parity with single-device training is asserted by
+//! the tests and the `distributed_scaling` example.
+
+use crate::config::TrainConfig;
+use crate::parallel::all_reduce_mean;
+use crate::preprocess::prepare_node_dataset;
+use serde::{Deserialize, Serialize};
+use torchgt_comm::{CollectiveKind, Communicator, DeviceGroup};
+use torchgt_graph::NodeDataset;
+use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
+use torchgt_tensor::{Adam, Optimizer, Tensor};
+
+/// Result of a distributed run (identical on every rank; rank 0's copy is
+/// returned).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistributedStats {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Total bytes moved by gradient all-reduces.
+    pub grad_bytes: u64,
+    /// All-reduce invocations per rank.
+    pub all_reduces: u64,
+    /// World size the run used.
+    pub world: usize,
+}
+
+/// Train `cfg.epochs` epochs of the node-level task across `world` simulated
+/// ranks with data-parallel gradients. `factory` builds one identically-
+/// seeded model per rank (replicas must start equal for the parity
+/// guarantee).
+pub fn train_data_parallel<F>(
+    dataset: &NodeDataset,
+    cfg: TrainConfig,
+    world: usize,
+    factory: F,
+) -> DistributedStats
+where
+    F: Fn() -> Box<dyn SequenceModel> + Sync,
+{
+    assert!(world >= 1);
+    let group = DeviceGroup::new(world);
+    let mut results = group.run(|comm| run_rank(&comm, dataset, cfg, &factory));
+    let stats = group.stats();
+    let mut out = results.swap_remove(0);
+    out.grad_bytes = stats.bytes_sent();
+    out.all_reduces = stats.ops(CollectiveKind::AllReduce);
+    out
+}
+
+fn run_rank<F>(
+    comm: &Communicator,
+    dataset: &NodeDataset,
+    cfg: TrainConfig,
+    factory: &F,
+) -> DistributedStats
+where
+    F: Fn() -> Box<dyn SequenceModel> + Sync,
+{
+    let world = comm.world_size();
+    // Every rank prepares identically (deterministic pipeline).
+    let prepared = prepare_node_dataset(dataset, cfg.seq_len, false, 1, cfg.seed);
+    let train_pos = prepared.train_positions();
+    let mut model = factory();
+    model.set_training(true);
+    let mut opt = Adam::with_lr(cfg.lr);
+    let nseq = prepared.sequences.len();
+    let steps = nseq.div_ceil(world);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let mut total_loss = 0.0f32;
+        let mut counted = 0usize;
+        for step in 0..steps {
+            let idx = step * world + comm.rank();
+            let has_work = idx < nseq;
+            if has_work {
+                let seq = &prepared.sequences[idx];
+                let batch =
+                    SequenceBatch { features: &seq.features, graph: &seq.graph, spd: None };
+                let pattern = Pattern::Sparse(&seq.mask);
+                let logits = model.forward(&batch, pattern);
+                let (l, dlogits) =
+                    loss::masked_softmax_cross_entropy(&logits, &seq.labels, &train_pos[idx]);
+                model.backward(&batch, pattern, &dlogits);
+                total_loss += l;
+                counted += 1;
+            }
+            // Gradient all-reduce: idle ranks contribute zeros so the
+            // collective stays aligned.
+            for p in model.params_mut() {
+                let averaged = all_reduce_mean(comm, &p.grad);
+                p.grad = averaged;
+            }
+            opt.step(&mut model.params_mut());
+        }
+        // Average the loss across ranks for reporting.
+        let sums = comm.all_reduce_sum(vec![total_loss, counted as f32]);
+        epoch_losses.push(if sums[1] > 0.0 { sums[0] / sums[1] } else { 0.0 });
+    }
+    let _ = Tensor::zeros(0, 0);
+    DistributedStats { epoch_losses, grad_bytes: 0, all_reduces: 0, world }
+}
+
+/// Single-process reference with the same update semantics as
+/// [`train_data_parallel`]: `world` sequences per step, mean gradient, one
+/// optimizer step. Used by parity tests.
+pub fn train_reference(
+    dataset: &NodeDataset,
+    cfg: TrainConfig,
+    world: usize,
+    mut model: Box<dyn SequenceModel>,
+) -> Vec<f32> {
+    let prepared = prepare_node_dataset(dataset, cfg.seq_len, false, 1, cfg.seed);
+    let train_pos = prepared.train_positions();
+    model.set_training(true);
+    let mut opt = Adam::with_lr(cfg.lr);
+    let nseq = prepared.sequences.len();
+    let steps = nseq.div_ceil(world);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let mut total_loss = 0.0f32;
+        let mut counted = 0usize;
+        for step in 0..steps {
+            // Accumulate the "world" sequences of this step, then average.
+            for r in 0..world {
+                let idx = step * world + r;
+                if idx >= nseq {
+                    continue;
+                }
+                let seq = &prepared.sequences[idx];
+                let batch =
+                    SequenceBatch { features: &seq.features, graph: &seq.graph, spd: None };
+                let pattern = Pattern::Sparse(&seq.mask);
+                let logits = model.forward(&batch, pattern);
+                let (l, dlogits) =
+                    loss::masked_softmax_cross_entropy(&logits, &seq.labels, &train_pos[idx]);
+                model.backward(&batch, pattern, &dlogits);
+                total_loss += l;
+                counted += 1;
+            }
+            for p in model.params_mut() {
+                torchgt_tensor::ops::scale_inplace(&mut p.grad, 1.0 / world as f32);
+            }
+            opt.step(&mut model.params_mut());
+        }
+        epoch_losses.push(if counted > 0 { total_loss / counted as f32 } else { 0.0 });
+    }
+    epoch_losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Method;
+    use torchgt_graph::DatasetKind;
+    use torchgt_model::{Gt, GtConfig};
+
+    fn dataset() -> NodeDataset {
+        DatasetKind::OgbnArxiv.generate_node(0.002, 19)
+    }
+
+    fn cfg(epochs: usize) -> TrainConfig {
+        let mut c = TrainConfig::new(Method::GpSparse, 128, epochs);
+        c.lr = 2e-3;
+        c.seed = 7;
+        c
+    }
+
+    fn factory(d: &NodeDataset) -> impl Fn() -> Box<dyn SequenceModel> + Sync + '_ {
+        move || Box::new(Gt::new(GtConfig::tiny(d.feat_dim, d.num_classes), 11))
+    }
+
+    #[test]
+    fn distributed_matches_reference_losses() {
+        let d = dataset();
+        let world = 2;
+        let dist = train_data_parallel(&d, cfg(2), world, factory(&d));
+        let reference = train_reference(
+            &d,
+            cfg(2),
+            world,
+            Box::new(Gt::new(GtConfig::tiny(d.feat_dim, d.num_classes), 11)),
+        );
+        assert_eq!(dist.epoch_losses.len(), reference.len());
+        for (a, b) in dist.epoch_losses.iter().zip(&reference) {
+            assert!(
+                (a - b).abs() < 5e-3,
+                "distributed {a} vs reference {b} (losses {:?} vs {:?})",
+                dist.epoch_losses,
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_traffic_is_accounted() {
+        let d = dataset();
+        let dist = train_data_parallel(&d, cfg(1), 2, factory(&d));
+        assert!(dist.grad_bytes > 0, "all-reduce must move bytes");
+        assert!(dist.all_reduces > 0);
+        assert_eq!(dist.world, 2);
+    }
+
+    #[test]
+    fn world_one_equals_reference_exactly() {
+        let d = dataset();
+        let dist = train_data_parallel(&d, cfg(2), 1, factory(&d));
+        let reference = train_reference(
+            &d,
+            cfg(2),
+            1,
+            Box::new(Gt::new(GtConfig::tiny(d.feat_dim, d.num_classes), 11)),
+        );
+        for (a, b) in dist.epoch_losses.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn losses_decrease_across_epochs() {
+        let d = dataset();
+        let dist = train_data_parallel(&d, cfg(4), 4, factory(&d));
+        assert!(
+            dist.epoch_losses.last().unwrap() < dist.epoch_losses.first().unwrap(),
+            "{:?}",
+            dist.epoch_losses
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # torchgt-runtime
+//!
+//! The TorchGT training runtime: the three techniques of the paper wired
+//! into end-to-end training loops.
+//!
+//! * [`interleave`] — Dual-interleaved Attention scheduler (conditions
+//!   C1–C3, periodic fully-connected passes);
+//! * [`preprocess`] — cluster partitioning, node reordering, sequence
+//!   chunking and mask construction (the runtime level of Figure 4);
+//! * [`autotune`] — the elastic `β_thre` controller (LDR ladder) and the
+//!   `k`/`d_b` selection (the Auto Tuner of §III-D);
+//! * [`parallel`] — cluster-aware graph parallelism over simulated devices
+//!   (all-to-all sequence↔head relayouts, distributed attention that matches
+//!   the single-device result bit-for-bit up to float tolerance);
+//! * [`trainer`] / [`graph_trainer`] — node-level and graph-level training
+//!   loops for all four methods (GP-RAW, GP-FLASH, GP-SPARSE, TorchGT) with
+//!   per-epoch loss/accuracy and simulated cluster time.
+
+pub mod autotune;
+pub mod batched;
+pub mod config;
+pub mod distributed;
+pub mod graph_trainer;
+pub mod interleave;
+pub mod parallel;
+pub mod preprocess;
+pub mod trainer;
+
+pub use autotune::AutoTuner;
+pub use batched::BatchedGraphTrainer;
+pub use config::{Method, TrainConfig};
+pub use distributed::{train_data_parallel, DistributedStats};
+pub use graph_trainer::GraphTrainer;
+pub use interleave::{Decision, InterleaveScheduler};
+pub use preprocess::{prepare_node_dataset, Prepared, Sequence};
+pub use trainer::{EpochStats, NodeTrainer};

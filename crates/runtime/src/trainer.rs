@@ -1,0 +1,586 @@
+//! The node-level training loop: executes GP-RAW / GP-FLASH / GP-SPARSE /
+//! TorchGT over a prepared dataset, producing per-epoch statistics with both
+//! real wall-clock and simulated GPU-cluster time.
+
+use crate::autotune::AutoTuner;
+use crate::config::{Method, TrainConfig};
+use crate::interleave::{Decision, InterleaveScheduler};
+use crate::preprocess::{prepare_node_dataset, Prepared};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use torchgt_comm::ClusterTopology;
+use torchgt_graph::partition::{cluster_order, partition, ClusterOrder};
+use torchgt_graph::{check_conditions, ConditionReport, CsrGraph, NodeDataset};
+use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
+use torchgt_perf::{iteration_cost, GpuSpec, ModelShape, StepSpec};
+use torchgt_sparse::{access_profile, reform, AccessProfile, LayoutKind, ReformConfig};
+use torchgt_tensor::bf16::{apply_precision, bf16_round};
+use torchgt_tensor::{Adam, Optimizer, Precision};
+
+/// Per-epoch training record.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch number (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+    /// Accuracy on the train split.
+    pub train_acc: f64,
+    /// Accuracy on the test split.
+    pub test_acc: f64,
+    /// Real wall-clock seconds of this Rust process.
+    pub wall_seconds: f64,
+    /// Simulated seconds on the configured GPU cluster (what the paper's
+    /// tables report).
+    pub sim_seconds: f64,
+    /// Iterations run with the sparse pattern.
+    pub sparse_iters: usize,
+    /// Iterations run fully-connected (interleaves + fallbacks).
+    pub full_iters: usize,
+    /// The transfer threshold β_thre in effect.
+    pub beta_thre: f64,
+}
+
+/// Per-sequence attention state for the sparse path.
+struct SeqAttention {
+    /// The mask actually attended over (topology or cluster-sparse).
+    mask: CsrGraph,
+    /// Its access profile (feeds the cost model).
+    profile: AccessProfile,
+    /// Cached condition report for the scheduler.
+    report: ConditionReport,
+    /// Local cluster ordering used by the reformation (TorchGT only).
+    local_order: Option<ClusterOrder>,
+    /// Topology mask permuted into local cluster order (reform input).
+    permuted_topo: Option<CsrGraph>,
+}
+
+/// Node-level trainer.
+pub struct NodeTrainer {
+    /// The run configuration.
+    pub cfg: TrainConfig,
+    /// Simulated device.
+    pub gpu: GpuSpec,
+    /// Simulated cluster.
+    pub topology: ClusterTopology,
+    /// Model shape for the cost model.
+    pub shape: ModelShape,
+    model: Box<dyn SequenceModel>,
+    opt: Adam,
+    prepared: Prepared,
+    attn: Vec<SeqAttention>,
+    scheduler: InterleaveScheduler,
+    tuner: AutoTuner,
+    train_pos: Vec<Vec<u32>>,
+    test_pos: Vec<Vec<u32>>,
+    current_beta: f64,
+    sub_block: usize,
+    epoch: usize,
+}
+
+impl NodeTrainer {
+    /// Build a trainer: preprocess the dataset (clustered for TorchGT) and
+    /// construct the per-sequence masks.
+    pub fn new(
+        cfg: TrainConfig,
+        dataset: &NodeDataset,
+        model: Box<dyn SequenceModel>,
+        shape: ModelShape,
+        gpu: GpuSpec,
+        topology: ClusterTopology,
+    ) -> Self {
+        let clustered = cfg.method == Method::TorchGt;
+        let k = if cfg.clusters > 0 { cfg.clusters } else { gpu.tune_k(shape.hidden) };
+        let prepared = prepare_node_dataset(dataset, cfg.seq_len, clustered, k, cfg.seed);
+        let sub_block = if cfg.sub_block > 0 {
+            cfg.sub_block
+        } else {
+            // d_b from the cache model, sized by a typical sequence's edges.
+            let edges = prepared.sequences.first().map(|s| s.mask.num_arcs()).unwrap_or(1);
+            AutoTuner::tune_shape(&gpu, shape.hidden, edges).1
+        };
+        let tuner = AutoTuner::new(prepared.beta_g, 10);
+        let current_beta = cfg.beta_thre.unwrap_or_else(|| tuner.beta_thre());
+        let train_pos = prepared.train_positions();
+        let test_pos = prepared.test_positions();
+        let mut trainer = Self {
+            scheduler: InterleaveScheduler::new(cfg.interleave_period),
+            tuner,
+            attn: Vec::new(),
+            train_pos,
+            test_pos,
+            current_beta,
+            sub_block,
+            epoch: 0,
+            model,
+            opt: Adam::with_lr(cfg.lr),
+            prepared,
+            cfg,
+            gpu,
+            topology,
+            shape,
+        };
+        trainer.build_attention_state();
+        trainer
+    }
+
+    /// Pre-processing cost in seconds (partition + reorder + masks).
+    pub fn preprocess_seconds(&self) -> f64 {
+        self.prepared.preprocess_seconds
+    }
+
+    /// Graph sparsity β_G of the prepared graph.
+    pub fn beta_g(&self) -> f64 {
+        self.prepared.beta_g
+    }
+
+    /// The model under training.
+    pub fn model_mut(&mut self) -> &mut dyn SequenceModel {
+        self.model.as_mut()
+    }
+
+    /// Number of training sequences.
+    pub fn num_sequences(&self) -> usize {
+        self.prepared.sequences.len()
+    }
+
+    /// Aggregate access profile of the *current* attention masks (reflects
+    /// the reformation state — used to extrapolate kernel time to paper
+    /// scale, e.g. by the Table VIII harness).
+    pub fn mean_profile(&self) -> AccessProfile {
+        let mut nnz = 0usize;
+        let mut runs = 0usize;
+        let mut isolated = 0usize;
+        let mut active = 0usize;
+        for s in &self.attn {
+            nnz += s.profile.nnz;
+            runs += s.profile.runs;
+            isolated += s.profile.isolated;
+            active += s.profile.active_rows;
+        }
+        AccessProfile {
+            nnz,
+            runs,
+            avg_run_len: if runs > 0 { nnz as f64 / runs as f64 } else { 0.0 },
+            isolated,
+            active_rows: active,
+        }
+    }
+
+    /// Effective depth for the C3 reachability check: with interleaving on,
+    /// the periodic fully-connected pass propagates information globally, so
+    /// any *connected* mask satisfies C3 (Yun et al.'s construction only
+    /// needs eventual all-pair reachability); without interleaving the model
+    /// depth is the hard bound.
+    fn condition_layers(&self) -> u8 {
+        if self.cfg.interleave_period > 0 {
+            u8::MAX - 1
+        } else {
+            self.shape.layers.min(u8::MAX as usize) as u8
+        }
+    }
+
+    fn build_attention_state(&mut self) {
+        let layers = self.condition_layers();
+        let method = self.cfg.method;
+        let k = self.gpu.tune_k(self.shape.hidden);
+        let mut states = Vec::with_capacity(self.prepared.sequences.len());
+        for (si, seq) in self.prepared.sequences.iter().enumerate() {
+            let state = match method {
+                Method::TorchGt => {
+                    // Local cluster structure for the reformation.
+                    let assign = partition(&seq.mask, k.min(seq.mask.num_nodes().max(1)), self.cfg.seed ^ si as u64);
+                    let kk = assign.iter().copied().max().unwrap_or(0) as usize + 1;
+                    let order = cluster_order(&assign, kk);
+                    let permuted = seq.mask.permute(&order.perm);
+                    let reformed = reform(
+                        &permuted,
+                        &order,
+                        ReformConfig { db: self.sub_block, beta_thre: self.current_beta },
+                    );
+                    // Back to sequence-local ids, then restore the C1/C2
+                    // backbone the transfer may have broken (self-loops +
+                    // Hamiltonian sequence path — O(S) extra edges).
+                    let mask = torchgt_graph::augment_for_conditions(
+                        &reformed.mask.permute(&order.inverse),
+                    );
+                    // Profile measured on the *clustered* layout (that is
+                    // what the kernel sees).
+                    let profile = access_profile(&reformed.mask);
+                    let report = check_conditions(&mask, layers);
+                    SeqAttention {
+                        mask,
+                        profile,
+                        report,
+                        local_order: Some(order),
+                        permuted_topo: Some(permuted),
+                    }
+                }
+                _ => SeqAttention {
+                    mask: seq.mask.clone(),
+                    profile: seq.profile,
+                    report: check_conditions(&seq.mask, layers),
+                    local_order: None,
+                    permuted_topo: None,
+                },
+            };
+            states.push(state);
+        }
+        self.attn = states;
+    }
+
+    /// Re-run the reformation after a β_thre change (elastic transfer).
+    fn rebuild_reformed(&mut self) {
+        if self.cfg.method != Method::TorchGt {
+            return;
+        }
+        let layers = self.condition_layers();
+        for state in &mut self.attn {
+            let (Some(order), Some(permuted)) = (&state.local_order, &state.permuted_topo) else {
+                continue;
+            };
+            let reformed = reform(
+                permuted,
+                order,
+                ReformConfig { db: self.sub_block, beta_thre: self.current_beta },
+            );
+            state.mask =
+                torchgt_graph::augment_for_conditions(&reformed.mask.permute(&order.inverse));
+            state.profile = access_profile(&reformed.mask);
+            state.report = check_conditions(&state.mask, layers);
+        }
+    }
+
+    fn layout_for(&self, decision: Decision) -> LayoutKind {
+        match (self.cfg.method, decision) {
+            (Method::GpRaw, _) => LayoutKind::Dense,
+            (Method::GpFlash, _) => LayoutKind::Flash,
+            (Method::GpSparse, _) => LayoutKind::Topology,
+            (Method::TorchGt, Decision::Sparse) => LayoutKind::ClusterSparse,
+            (Method::TorchGt, Decision::Full) => LayoutKind::Flash,
+        }
+    }
+
+    fn sim_iteration(&self, seq_len: usize, profile: AccessProfile, decision: Decision) -> f64 {
+        let spec = StepSpec {
+            gpu: self.gpu,
+            topology: self.topology,
+            shape: self.shape,
+            layout: self.layout_for(decision),
+            seq_len,
+            profile,
+        };
+        iteration_cost(&spec).total()
+    }
+
+    /// Run one training epoch.
+    pub fn train_epoch(&mut self) -> EpochStats {
+        let t0 = Instant::now();
+        self.model.set_training(true);
+        let mut total_loss = 0.0f32;
+        let mut sim_seconds = 0.0f64;
+        let mut sparse_iters = 0usize;
+        let mut full_iters = 0usize;
+        let nseq = self.prepared.sequences.len();
+        for si in 0..nseq {
+            let seq = &self.prepared.sequences[si];
+            let state = &self.attn[si];
+            let decision = match self.cfg.method {
+                Method::GpRaw | Method::GpFlash => Decision::Full,
+                Method::GpSparse => Decision::Sparse,
+                Method::TorchGt => self.scheduler.decide_with_report(&state.report),
+            };
+            match decision {
+                Decision::Sparse => sparse_iters += 1,
+                Decision::Full => full_iters += 1,
+            }
+            let pattern = match (self.cfg.method, decision) {
+                (Method::GpRaw, _) => Pattern::Dense,
+                (Method::GpFlash, _) => Pattern::Flash,
+                (Method::TorchGt, Decision::Full) => Pattern::Flash,
+                _ => Pattern::Sparse(&state.mask),
+            };
+            let batch =
+                SequenceBatch { features: &seq.features, graph: &seq.graph, spd: None };
+            let mut logits = self.model.forward(&batch, pattern);
+            apply_precision(&mut logits, self.cfg.precision);
+            let (l, dlogits) =
+                loss::masked_softmax_cross_entropy(&logits, &seq.labels, &self.train_pos[si]);
+            total_loss += l;
+            self.model.backward(&batch, pattern, &dlogits);
+            if self.cfg.warmup_steps > 0 {
+                let schedule = torchgt_tensor::optim::WarmupSchedule {
+                    peak_lr: self.cfg.lr,
+                    warmup: self.cfg.warmup_steps as u64,
+                };
+                self.opt.set_lr(schedule.lr_at(self.opt.steps() + 1));
+            }
+            self.opt.step(&mut self.model.params_mut());
+            if self.cfg.precision == Precision::Bf16 {
+                for p in self.model.params_mut() {
+                    for v in p.value.data_mut() {
+                        *v = bf16_round(*v);
+                    }
+                }
+            }
+            sim_seconds += self.sim_iteration(seq.nodes.len(), state.profile, decision);
+        }
+        let mean_loss = total_loss / nseq.max(1) as f32;
+        let (train_acc, test_acc) = self.evaluate();
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = EpochStats {
+            epoch: self.epoch,
+            loss: mean_loss,
+            train_acc,
+            test_acc,
+            wall_seconds: wall,
+            sim_seconds,
+            sparse_iters,
+            full_iters,
+            beta_thre: self.current_beta,
+        };
+        // Elastic transfer: let the Auto Tuner adjust β_thre.
+        if self.cfg.method == Method::TorchGt && self.cfg.beta_thre.is_none() {
+            let next = self.tuner.observe(mean_loss as f64, sim_seconds.max(1e-9));
+            if (next - self.current_beta).abs() > f64::EPSILON {
+                self.current_beta = next;
+                self.rebuild_reformed();
+            }
+        }
+        self.epoch += 1;
+        stats
+    }
+
+    /// Evaluate train/test accuracy with the method's inference pattern.
+    pub fn evaluate(&mut self) -> (f64, f64) {
+        self.model.set_training(false);
+        let mut train_hits = 0usize;
+        let mut train_total = 0usize;
+        let mut test_hits = 0usize;
+        let mut test_total = 0usize;
+        for si in 0..self.prepared.sequences.len() {
+            let seq = &self.prepared.sequences[si];
+            let state = &self.attn[si];
+            let pattern = match self.cfg.method {
+                Method::GpRaw => Pattern::Dense,
+                Method::GpFlash => Pattern::Flash,
+                _ => Pattern::Sparse(&state.mask),
+            };
+            let batch =
+                SequenceBatch { features: &seq.features, graph: &seq.graph, spd: None };
+            let mut logits = self.model.forward(&batch, pattern);
+            apply_precision(&mut logits, self.cfg.precision);
+            let acc_of = |positions: &[u32]| {
+                loss::accuracy(&logits, &seq.labels, Some(positions))
+            };
+            train_hits +=
+                (acc_of(&self.train_pos[si]) * self.train_pos[si].len() as f64).round() as usize;
+            train_total += self.train_pos[si].len();
+            test_hits +=
+                (acc_of(&self.test_pos[si]) * self.test_pos[si].len() as f64).round() as usize;
+            test_total += self.test_pos[si].len();
+        }
+        self.model.set_training(true);
+        (
+            train_hits as f64 / train_total.max(1) as f64,
+            test_hits as f64 / test_total.max(1) as f64,
+        )
+    }
+
+    /// Train for the configured number of epochs, returning every epoch's
+    /// stats.
+    pub fn run(&mut self) -> Vec<EpochStats> {
+        (0..self.cfg.epochs).map(|_| self.train_epoch()).collect()
+    }
+
+    /// Fraction of TorchGT iterations that ran fully-connected so far.
+    pub fn full_fraction(&self) -> f64 {
+        self.scheduler.full_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_graph::DatasetKind;
+    use torchgt_model::{Graphormer, GraphormerConfig};
+
+    fn dataset() -> NodeDataset {
+        DatasetKind::OgbnArxiv.generate_node(0.003, 11)
+    }
+
+    fn make_trainer(method: Method, d: &NodeDataset, epochs: usize) -> NodeTrainer {
+        let mut cfg = TrainConfig::new(method, 256, epochs);
+        cfg.interleave_period = 4;
+        let mcfg = GraphormerConfig {
+            feat_dim: d.feat_dim,
+            hidden: 32,
+            layers: 2,
+            heads: 4,
+            ffn_mult: 2,
+            out_dim: d.num_classes,
+            max_degree: 32,
+            max_spd: 4,
+            dropout: 0.0,
+        };
+        let model = Box::new(Graphormer::new(mcfg, 3));
+        let shape = ModelShape { layers: 2, hidden: 32, heads: 4 };
+        NodeTrainer::new(cfg, d, model, shape, GpuSpec::rtx3090(), ClusterTopology::rtx3090(1))
+    }
+
+    #[test]
+    fn torchgt_trains_and_improves() {
+        let d = dataset();
+        let mut t = make_trainer(Method::TorchGt, &d, 8);
+        let stats = t.run();
+        assert_eq!(stats.len(), 8);
+        let first = stats.first().unwrap();
+        let last = stats.last().unwrap();
+        assert!(last.loss < first.loss, "loss {} → {}", first.loss, last.loss);
+        assert!(last.test_acc > 1.2 / d.num_classes as f64, "above chance");
+        assert!(last.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn interleave_mixes_patterns() {
+        let d = dataset();
+        let mut t = make_trainer(Method::TorchGt, &d, 2);
+        let stats = t.run();
+        let sparse: usize = stats.iter().map(|s| s.sparse_iters).sum();
+        let full: usize = stats.iter().map(|s| s.full_iters).sum();
+        assert!(sparse > 0, "sparse iterations must dominate");
+        assert!(full > 0, "interleaved full passes must occur");
+        assert!(sparse > full);
+    }
+
+    #[test]
+    fn gp_flash_runs_in_bf16_and_quantises_params() {
+        let d = dataset();
+        let mut flash = make_trainer(Method::GpFlash, &d, 1);
+        assert_eq!(flash.cfg.precision, Precision::Bf16);
+        let stats = flash.train_epoch();
+        assert!(stats.sim_seconds > 0.0);
+        // After a BF16 step every parameter is bf16-representable.
+        for p in flash.model_mut().params_mut() {
+            for &v in p.value.data() {
+                assert_eq!(v, bf16_round(v), "param not bf16-rounded: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_sim_gap_appears_at_paper_scale() {
+        // At toy sequence lengths the FFN/optimizer terms dominate the sim
+        // time; the Table V gap comes from the attention term at paper-scale
+        // S. Extrapolate both trainers' layouts to S = 256K with the
+        // dataset's nnz-per-token and compare.
+        let d = dataset();
+        let t = make_trainer(Method::TorchGt, &d, 1);
+        let s = 256usize << 10;
+        let nnz_per_token = d.graph.avg_degree().max(1.0);
+        let profile = torchgt_sparse::AccessProfile {
+            nnz: (s as f64 * nnz_per_token) as usize,
+            runs: ((s as f64 * nnz_per_token) / 8.0) as usize,
+            avg_run_len: 8.0,
+            isolated: 0,
+            active_rows: s,
+        };
+        let sparse_spec = StepSpec {
+            gpu: t.gpu,
+            topology: t.topology,
+            shape: ModelShape::graphormer_slim(),
+            layout: LayoutKind::ClusterSparse,
+            seq_len: s,
+            profile,
+        };
+        let flash_spec = StepSpec {
+            layout: LayoutKind::Flash,
+            profile: torchgt_sparse::dense_profile(0),
+            ..sparse_spec.clone()
+        };
+        let ratio = iteration_cost(&flash_spec).total() / iteration_cost(&sparse_spec).total();
+        assert!(ratio > 3.0, "paper-scale speedup {ratio}");
+    }
+
+    #[test]
+    fn gp_sparse_never_interleaves() {
+        let d = dataset();
+        let mut t = make_trainer(Method::GpSparse, &d, 2);
+        let stats = t.run();
+        assert!(stats.iter().all(|s| s.full_iters == 0));
+    }
+
+    #[test]
+    fn fixed_beta_disables_tuner() {
+        let d = dataset();
+        let mut cfg = TrainConfig::new(Method::TorchGt, 256, 3);
+        cfg.beta_thre = Some(0.5);
+        let mcfg = GraphormerConfig {
+            feat_dim: d.feat_dim,
+            hidden: 16,
+            layers: 2,
+            heads: 2,
+            ffn_mult: 2,
+            out_dim: d.num_classes,
+            max_degree: 16,
+            max_spd: 4,
+            dropout: 0.0,
+        };
+        let model = Box::new(Graphormer::new(mcfg, 4));
+        let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+        let mut t = NodeTrainer::new(
+            cfg,
+            &d,
+            model,
+            shape,
+            GpuSpec::rtx3090(),
+            ClusterTopology::rtx3090(1),
+        );
+        let stats = t.run();
+        assert!(stats.iter().all(|s| (s.beta_thre - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn preprocess_cost_is_small_fraction() {
+        let d = dataset();
+        let mut t = make_trainer(Method::TorchGt, &d, 3);
+        let stats = t.run();
+        let train_time: f64 = stats.iter().map(|s| s.wall_seconds).sum();
+        // §IV-E: pre-processing ≤ ~5.4% of total training time — our scaled
+        // runs are shorter, so just require it not to dominate.
+        assert!(
+            t.preprocess_seconds() < train_time,
+            "preprocess {} vs train {train_time}",
+            t.preprocess_seconds()
+        );
+    }
+}
+
+#[cfg(test)]
+mod warmup_tests {
+    use super::*;
+    use torchgt_graph::DatasetKind;
+    use torchgt_model::{Gt, GtConfig};
+
+    #[test]
+    fn warmup_ramps_learning_rate() {
+        let d = DatasetKind::OgbnArxiv.generate_node(0.002, 55);
+        let mut cfg = TrainConfig::new(Method::GpSparse, 128, 1);
+        cfg.lr = 1e-2;
+        cfg.warmup_steps = 100;
+        let model = Box::new(Gt::new(GtConfig::tiny(d.feat_dim, d.num_classes), 3));
+        let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+        let mut t = NodeTrainer::new(
+            cfg,
+            &d,
+            model,
+            shape,
+            GpuSpec::rtx3090(),
+            ClusterTopology::rtx3090(1),
+        );
+        let _ = t.train_epoch();
+        // Few steps into a 100-step warmup: LR must be well below peak.
+        assert!(t.opt.lr() < 0.5 * 1e-2, "lr {} not warming up", t.opt.lr());
+        assert!(t.opt.lr() > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Emulated bfloat16 precision.
+//!
+//! FlashAttention only supports FP16/BF16 (paper §IV-B); the paper's Table VII
+//! shows this reduced precision is what costs GP-FLASH accuracy. We reproduce
+//! the effect by rounding `f32` values through the bfloat16 representation
+//! (8-bit exponent, 7-bit mantissa) with round-to-nearest-even, at the layer
+//! boundaries selected by the runtime's precision mode.
+
+use crate::tensor::Tensor;
+
+/// Numeric precision of a training run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full IEEE-754 single precision (TorchGT's default).
+    Fp32,
+    /// Emulated bfloat16: activations are rounded through bf16 after each
+    /// attention/FFN block, matching FlashAttention's compute precision.
+    Bf16,
+}
+
+impl Precision {
+    /// Short lowercase label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "fp32",
+            Precision::Bf16 => "bf16",
+        }
+    }
+}
+
+/// Round an `f32` to the nearest bfloat16-representable value
+/// (round-to-nearest-even), returned as `f32`.
+#[inline]
+pub fn bf16_round(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // bf16 keeps the top 16 bits; apply RNE on the truncated half.
+    let round_bit = 0x0000_8000u32;
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x0000_7FFF + lsb) & 0xFFFF_0000;
+    // Detect mantissa overflow into infinity: keep IEEE semantics (bf16
+    // saturates to inf just like f32 rounding would).
+    let _ = round_bit;
+    f32::from_bits(rounded)
+}
+
+/// Round every element of a tensor through bf16 in place.
+pub fn bf16_round_tensor(t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = bf16_round(*v);
+    }
+}
+
+/// Apply precision to a tensor in place (`Fp32` is a no-op).
+pub fn apply_precision(t: &mut Tensor, p: Precision) {
+    if p == Precision::Bf16 {
+        bf16_round_tensor(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_pass_through() {
+        for v in [0.0f32, 1.0, -2.0, 0.5, 256.0] {
+            assert_eq!(bf16_round(v), v);
+        }
+    }
+
+    #[test]
+    fn rounding_introduces_bounded_relative_error() {
+        for i in 1..1000 {
+            let v = i as f32 * 0.001 + 1.0;
+            let r = bf16_round(v);
+            // bf16 has ~2-3 decimal digits: relative error < 2^-8.
+            assert!(((r - v) / v).abs() < 1.0 / 256.0, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even_tie() {
+        // 1 + 2^-8 is exactly halfway between 1.0 and the next bf16 value
+        // (1 + 2^-7); RNE picks the even mantissa (1.0).
+        let tie = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_round(tie), 1.0);
+        // Just above the tie rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(bf16_round(above), f32::from_bits(0x3F81_0000));
+    }
+
+    #[test]
+    fn non_finite_preserved() {
+        assert!(bf16_round(f32::NAN).is_nan());
+        assert_eq!(bf16_round(f32::INFINITY), f32::INFINITY);
+    }
+
+    #[test]
+    fn precision_apply() {
+        let mut t = Tensor::from_vec(1, 2, vec![1.0001, -3.14159]);
+        let orig = t.clone();
+        apply_precision(&mut t, Precision::Fp32);
+        assert_eq!(t.data(), orig.data());
+        apply_precision(&mut t, Precision::Bf16);
+        assert_ne!(t.data(), orig.data());
+    }
+}

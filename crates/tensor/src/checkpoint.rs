@@ -1,0 +1,153 @@
+//! Parameter checkpointing: save/restore a model's parameters to a compact
+//! binary format (a release-grade training system needs restartable runs).
+//!
+//! Format: magic `TGT1`, little-endian; per tensor `rows: u64, cols: u64,
+//! data: f32 × (rows·cols)`. Only parameter *values* are stored — optimizer
+//! moments are reconstructed by continued training, as in common practice
+//! for inference checkpoints.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"TGT1";
+
+/// Serialise parameters to a writer.
+pub fn save_params_to<W: Write>(params: &[&Param], mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for p in params {
+        let (r, c) = p.value.shape();
+        w.write_all(&(r as u64).to_le_bytes())?;
+        w.write_all(&(c as u64).to_le_bytes())?;
+        for v in p.value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialise parameters from a reader into an existing parameter set
+/// (shapes must match the checkpoint exactly).
+pub fn load_params_from<R: Read>(params: &mut [&mut Param], mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8) as usize;
+    if count != params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} tensors, model has {}", params.len()),
+        ));
+    }
+    for p in params.iter_mut() {
+        r.read_exact(&mut buf8)?;
+        let rows = u64::from_le_bytes(buf8) as usize;
+        r.read_exact(&mut buf8)?;
+        let cols = u64::from_le_bytes(buf8) as usize;
+        if (rows, cols) != p.value.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch: checkpoint {rows}x{cols}, model {:?}", p.value.shape()),
+            ));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        let mut buf4 = [0u8; 4];
+        for v in data.iter_mut() {
+            r.read_exact(&mut buf4)?;
+            *v = f32::from_le_bytes(buf4);
+        }
+        p.value = Tensor::from_vec(rows, cols, data);
+    }
+    Ok(())
+}
+
+/// Save parameters to a file.
+pub fn save_params(params: &[&Param], path: &Path) -> io::Result<()> {
+    save_params_to(params, BufWriter::new(File::create(path)?))
+}
+
+/// Load parameters from a file.
+pub fn load_params(params: &mut [&mut Param], path: &Path) -> io::Result<()> {
+    load_params_from(params, BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn sample_params() -> Vec<Param> {
+        vec![
+            Param::new(init::normal(3, 4, 0.0, 1.0, 1)),
+            Param::new(init::normal(1, 7, 0.0, 1.0, 2)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = sample_params();
+        let mut buf = Vec::new();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_params_to(&refs, &mut buf).unwrap();
+        let mut dst = vec![Param::new(Tensor::zeros(3, 4)), Param::new(Tensor::zeros(1, 7))];
+        {
+            let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+            load_params_from(&mut refs, buf.as_slice()).unwrap();
+        }
+        for (a, b) in src.iter().zip(&dst) {
+            assert_eq!(a.value.data(), b.value.data());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut dst = sample_params();
+        let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+        let err = load_params_from(&mut refs, &b"NOPE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = sample_params();
+        let mut buf = Vec::new();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_params_to(&refs, &mut buf).unwrap();
+        let mut dst = vec![Param::new(Tensor::zeros(4, 3)), Param::new(Tensor::zeros(1, 7))];
+        let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+        assert!(load_params_from(&mut refs, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let src = sample_params();
+        let mut buf = Vec::new();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_params_to(&refs, &mut buf).unwrap();
+        let mut dst = vec![Param::new(Tensor::zeros(3, 4))];
+        let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+        assert!(load_params_from(&mut refs, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("torchgt_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.tgt");
+        let src = sample_params();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_params(&refs, &path).unwrap();
+        let mut dst = vec![Param::new(Tensor::zeros(3, 4)), Param::new(Tensor::zeros(1, 7))];
+        let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+        load_params(&mut refs, &path).unwrap();
+        assert_eq!(src[1].value.data(), dst[1].value.data());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,65 @@
+//! Weight initialisation schemes.
+
+use crate::rng::rng;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, seed)
+}
+
+/// Uniform initialisation in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut r = rng(seed);
+    let data = (0..rows * cols).map(|_| r.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Gaussian initialisation `N(mean, std²)` via Box–Muller.
+pub fn normal(rows: usize, cols: usize, mean: f32, std: f32, seed: u64) -> Tensor {
+    let mut r = rng(seed);
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = r.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = r.gen_range(0.0..1.0);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z0 = mag * (2.0 * std::f32::consts::PI * u2).cos();
+        let z1 = mag * (2.0 * std::f32::consts::PI * u2).sin();
+        data.push(mean + std * z0);
+        if data.len() < n {
+            data.push(mean + std * z1);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let t = xavier_uniform(64, 64, 1);
+        let a = (6.0 / 128.0f32).sqrt();
+        assert!(t.data().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn normal_has_expected_moments() {
+        let t = normal(100, 100, 1.0, 2.0, 3);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var was {var}");
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        assert_eq!(uniform(4, 4, -1.0, 1.0, 9).data(), uniform(4, 4, -1.0, 1.0, 9).data());
+        assert_ne!(uniform(4, 4, -1.0, 1.0, 9).data(), uniform(4, 4, -1.0, 1.0, 10).data());
+    }
+}

@@ -1,0 +1,613 @@
+//! Differentiable layers with hand-written backward passes.
+//!
+//! Each layer caches whatever it needs from the forward pass, so the usage
+//! protocol is the usual `forward → backward → optimizer step → zero_grad`
+//! loop. Gradients accumulate into [`Param::grad`].
+
+use crate::init;
+use crate::ops;
+use crate::param::Param;
+use crate::rng::{derive_seed, rng};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Common interface over trainable layers.
+pub trait Layer {
+    /// Run the layer forward, caching state for backward.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+    /// Propagate the upstream gradient, accumulating parameter gradients, and
+    /// return the gradient with respect to the input.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+    /// Mutable access to the layer's parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+    /// Clear all accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+    /// Total scalar parameter count.
+    fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Fully-connected layer `y = x W + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix of shape `[in, out]`.
+    pub w: Param,
+    /// Bias row of shape `[1, out]`.
+    pub b: Param,
+    cached_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// Construct with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            w: Param::new(init::xavier_uniform(in_dim, out_dim, derive_seed(seed, 1))),
+            b: Param::new(Tensor::zeros(1, out_dim)),
+            cached_x: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.in_dim(), "Linear input dim mismatch");
+        self.cached_x = Some(x.clone());
+        ops::add_row_broadcast(&ops::matmul(x, &self.w.value), &self.b.value)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("Linear backward before forward");
+        self.w.accumulate(&ops::matmul_at(x, dy));
+        self.b.accumulate(&ops::col_sum(dy));
+        ops::matmul_bt(dy, &self.w.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// Layer normalisation over the last dimension with learnable gain/shift.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Learnable gain `γ` of shape `[1, dim]`.
+    pub gamma: Param,
+    /// Learnable shift `β` of shape `[1, dim]`.
+    pub beta: Param,
+    eps: f32,
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Construct with `γ = 1`, `β = 0`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::full(1, dim, 1.0)),
+            beta: Param::new(Tensor::zeros(1, dim)),
+            eps: 1e-5,
+            cached_xhat: None,
+            cached_inv_std: Vec::new(),
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (rows, cols) = x.shape();
+        assert_eq!(cols, self.gamma.value.cols(), "LayerNorm dim mismatch");
+        let mut xhat = Tensor::zeros(rows, cols);
+        self.cached_inv_std.clear();
+        self.cached_inv_std.reserve(rows);
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.cached_inv_std.push(inv_std);
+            for c in 0..cols {
+                let h = (row[c] - mean) * inv_std;
+                xhat.set(r, c, h);
+                out.set(r, c, h * self.gamma.value.get(0, c) + self.beta.value.get(0, c));
+            }
+        }
+        self.cached_xhat = Some(xhat);
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let xhat = self.cached_xhat.as_ref().expect("LayerNorm backward before forward");
+        let (rows, cols) = dy.shape();
+        assert_eq!(xhat.shape(), dy.shape());
+        // Parameter grads.
+        let mut dgamma = Tensor::zeros(1, cols);
+        let mut dbeta = Tensor::zeros(1, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                dgamma.data_mut()[c] += dy.get(r, c) * xhat.get(r, c);
+                dbeta.data_mut()[c] += dy.get(r, c);
+            }
+        }
+        self.gamma.accumulate(&dgamma);
+        self.beta.accumulate(&dbeta);
+        // Input grad: standard layernorm backward per row.
+        let mut dx = Tensor::zeros(rows, cols);
+        let g = &self.gamma.value;
+        let n = cols as f32;
+        for r in 0..rows {
+            let inv_std = self.cached_inv_std[r];
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for c in 0..cols {
+                let dxhat = dy.get(r, c) * g.get(0, c);
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += dxhat * xhat.get(r, c);
+            }
+            for c in 0..cols {
+                let dxhat = dy.get(r, c) * g.get(0, c);
+                let v = (n * dxhat - sum_dxhat - xhat.get(r, c) * sum_dxhat_xhat) * inv_std / n;
+                dx.set(r, c, v);
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+/// GELU activation (tanh approximation, as in PyTorch's default for
+/// transformer FFNs).
+#[derive(Clone, Debug, Default)]
+pub struct Gelu {
+    cached_x: Option<Tensor>,
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+const GELU_C: f32 = 0.044715;
+
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+impl Gelu {
+    /// Construct a GELU activation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_x = Some(x.clone());
+        let data = x.data().iter().map(|&v| gelu_scalar(v)).collect();
+        Tensor::from_vec(x.rows(), x.cols(), data)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("Gelu backward before forward");
+        assert_eq!(x.shape(), dy.shape());
+        let data =
+            x.data().iter().zip(dy.data()).map(|(&v, &g)| gelu_grad_scalar(v) * g).collect();
+        Tensor::from_vec(x.rows(), x.cols(), data)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// ReLU activation.
+#[derive(Clone, Debug, Default)]
+pub struct Relu {
+    cached_mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Construct a ReLU activation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+        let data = x.data().iter().map(|&v| v.max(0.0)).collect();
+        self.cached_mask = Some(mask);
+        Tensor::from_vec(x.rows(), x.cols(), data)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mask = self.cached_mask.as_ref().expect("Relu backward before forward");
+        assert_eq!(mask.len(), dy.len());
+        let data =
+            dy.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
+        Tensor::from_vec(dy.rows(), dy.cols(), data)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Inverted dropout. A probability of `0.0` (or eval mode) is the identity.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    /// When false, dropout is a no-op (evaluation mode).
+    pub training: bool,
+    seed: u64,
+    calls: u64,
+    cached_mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Construct with drop probability `p` and a seed for mask generation.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        Self { p, training: true, seed, calls: 0, cached_mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.cached_mask = None;
+            return x.clone();
+        }
+        self.calls += 1;
+        let mut r = rng(derive_seed(self.seed, self.calls));
+        let keep = 1.0 - self.p;
+        let inv_keep = 1.0 / keep;
+        let mask: Vec<f32> =
+            (0..x.len()).map(|_| if r.gen::<f32>() < keep { inv_keep } else { 0.0 }).collect();
+        let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        self.cached_mask = Some(mask);
+        Tensor::from_vec(x.rows(), x.cols(), data)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            None => dy.clone(),
+            Some(mask) => {
+                let data = dy.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                Tensor::from_vec(dy.rows(), dy.cols(), data)
+            }
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Lookup-table embedding: maps index sequences to learnable rows.
+///
+/// Used for Graphormer's degree ("centrality") encodings, Eq. (2) of the
+/// paper.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// Table of shape `[vocab, dim]`.
+    pub table: Param,
+    cached_indices: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Construct with small Gaussian-initialised rows.
+    pub fn new(vocab: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            table: Param::new(init::normal(vocab, dim, 0.0, 0.02, derive_seed(seed, 2))),
+            cached_indices: None,
+        }
+    }
+
+    /// Look up a batch of indices (clamped to the table size, which
+    /// implements the "max degree bucket" behaviour of Graphormer).
+    pub fn forward_indices(&mut self, indices: &[usize]) -> Tensor {
+        let vocab = self.table.value.rows();
+        let clamped: Vec<usize> = indices.iter().map(|&i| i.min(vocab - 1)).collect();
+        let out = self.table.value.gather_rows(&clamped);
+        self.cached_indices = Some(clamped);
+        out
+    }
+
+    /// Backward for [`Embedding::forward_indices`].
+    pub fn backward_indices(&mut self, dy: &Tensor) {
+        let idx = self.cached_indices.clone().expect("Embedding backward before forward");
+        assert_eq!(idx.len(), dy.rows());
+        let mut g = Tensor::zeros(self.table.value.rows(), self.table.value.cols());
+        g.scatter_add_rows(&idx, dy);
+        self.table.accumulate(&g);
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        // Interpret the first column as indices; convenience for Layer-trait
+        // composition. Most callers use `forward_indices` directly.
+        let idx: Vec<usize> = (0..x.rows()).map(|r| x.get(r, 0) as usize).collect();
+        self.forward_indices(&idx)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_indices(dy);
+        Tensor::zeros(dy.rows(), 1)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+}
+
+/// Transformer feed-forward block: `Linear → GELU → Linear` with the
+/// conventional 4× (configurable) expansion.
+#[derive(Clone, Debug)]
+pub struct FeedForward {
+    /// Expansion projection.
+    pub fc1: Linear,
+    /// Contraction projection.
+    pub fc2: Linear,
+    act: Gelu,
+}
+
+impl FeedForward {
+    /// Construct with hidden width `dim` and inner width `inner`.
+    pub fn new(dim: usize, inner: usize, seed: u64) -> Self {
+        Self {
+            fc1: Linear::new(dim, inner, derive_seed(seed, 10)),
+            fc2: Linear::new(inner, dim, derive_seed(seed, 11)),
+            act: Gelu::new(),
+        }
+    }
+}
+
+impl Layer for FeedForward {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let h = self.fc1.forward(x);
+        let a = self.act.forward(&h);
+        self.fc2.forward(&a)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let da = self.fc2.backward(dy);
+        let dh = self.act.backward(&da);
+        self.fc1.backward(&dh)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.fc1.params_mut();
+        v.extend(self.fc2.params_mut());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_abs_diff, numerical_grad};
+
+    fn sample_input() -> Tensor {
+        init::normal(4, 6, 0.0, 1.0, 99)
+    }
+
+    /// Scalar loss used by the gradient checks: weighted sum of outputs.
+    fn loss_weights(rows: usize, cols: usize) -> Tensor {
+        init::normal(rows, cols, 0.0, 1.0, 123)
+    }
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut l = Linear::new(6, 3, 7);
+        l.b.value = Tensor::row_vector(vec![1.0, 2.0, 3.0]);
+        let y = l.forward(&Tensor::zeros(2, 6));
+        assert_eq!(y.shape(), (2, 3));
+        assert_eq!(y.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_input_grad_matches_numerical() {
+        let mut l = Linear::new(6, 3, 7);
+        let x = sample_input();
+        let w = loss_weights(4, 3);
+        let y = l.forward(&x);
+        let dx = l.backward(&w);
+        let _ = y;
+        let mut probe_layer = l.clone();
+        let numeric = numerical_grad(
+            &x,
+            |p| {
+                let out = probe_layer.forward(p);
+                out.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-2,
+        );
+        assert!(max_abs_diff(&dx, &numeric) < 1e-2);
+    }
+
+    #[test]
+    fn linear_weight_grad_matches_numerical() {
+        let mut l = Linear::new(5, 2, 3);
+        let x = init::normal(3, 5, 0.0, 1.0, 5);
+        let w = loss_weights(3, 2);
+        let _ = l.forward(&x);
+        let _ = l.backward(&w);
+        let analytic = l.w.grad.clone();
+        let l0 = l.clone();
+        let numeric = numerical_grad(
+            &l.w.value,
+            |probe_w| {
+                let mut tmp = l0.clone();
+                tmp.w.value = probe_w.clone();
+                let out = tmp.forward(&x);
+                out.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-2,
+        );
+        assert!(max_abs_diff(&analytic, &numeric) < 1e-2);
+    }
+
+    #[test]
+    fn layernorm_output_is_normalised() {
+        let mut ln = LayerNorm::new(6);
+        let y = ln.forward(&sample_input());
+        for r in 0..y.rows() {
+            let mean = y.row(r).iter().sum::<f32>() / 6.0;
+            let var = y.row(r).iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_input_grad_matches_numerical() {
+        let mut ln = LayerNorm::new(6);
+        ln.gamma.value = init::normal(1, 6, 1.0, 0.2, 4);
+        ln.beta.value = init::normal(1, 6, 0.0, 0.2, 5);
+        let x = sample_input();
+        let w = loss_weights(4, 6);
+        let _ = ln.forward(&x);
+        let dx = ln.backward(&w);
+        let mut probe = ln.clone();
+        let numeric = numerical_grad(
+            &x,
+            |p| {
+                let out = probe.forward(p);
+                out.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-2,
+        );
+        assert!(max_abs_diff(&dx, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation.
+        assert!((gelu_scalar(0.0)).abs() < 1e-7);
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_numerical() {
+        let mut g = Gelu::new();
+        let x = sample_input();
+        let w = loss_weights(4, 6);
+        let _ = g.forward(&x);
+        let dx = g.backward(&w);
+        let mut probe = Gelu::new();
+        let numeric = numerical_grad(
+            &x,
+            |p| {
+                let out = probe.forward(p);
+                out.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-3,
+        );
+        assert!(max_abs_diff(&dx, &numeric) < 1e-2);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = Tensor::full(1, 4, 1.0);
+        let dx = r.backward(&dy);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.training = false;
+        let x = sample_input();
+        assert_eq!(d.forward(&x).data(), x.data());
+    }
+
+    #[test]
+    fn dropout_preserves_expected_value() {
+        let mut d = Dropout::new(0.3, 42);
+        let x = Tensor::full(100, 100, 1.0);
+        let y = d.forward(&x);
+        // E[y] = 1 with inverted dropout; the sample mean should be close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Backward uses the same mask.
+        let dy = Tensor::full(100, 100, 1.0);
+        let dx = d.backward(&dy);
+        assert_eq!(dx.data(), y.data());
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let mut e = Embedding::new(10, 4, 8);
+        let out = e.forward_indices(&[3, 3, 7]);
+        assert_eq!(out.shape(), (3, 4));
+        assert_eq!(out.row(0), out.row(1));
+        let dy = Tensor::full(3, 4, 1.0);
+        e.backward_indices(&dy);
+        // Row 3 got two contributions, row 7 one, everything else zero.
+        assert_eq!(e.table.grad.row(3), &[2.0; 4]);
+        assert_eq!(e.table.grad.row(7), &[1.0; 4]);
+        assert_eq!(e.table.grad.row(0), &[0.0; 4]);
+    }
+
+    #[test]
+    fn embedding_clamps_out_of_range() {
+        let mut e = Embedding::new(4, 2, 8);
+        let out = e.forward_indices(&[100]);
+        assert_eq!(out.row(0), e.table.value.row(3));
+    }
+
+    #[test]
+    fn feedforward_grad_matches_numerical() {
+        let mut ff = FeedForward::new(6, 12, 21);
+        let x = sample_input();
+        let w = loss_weights(4, 6);
+        let _ = ff.forward(&x);
+        let dx = ff.backward(&w);
+        let mut probe = ff.clone();
+        let numeric = numerical_grad(
+            &x,
+            |p| {
+                let out = probe.forward(p);
+                out.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-2,
+        );
+        assert!(max_abs_diff(&dx, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut ff = FeedForward::new(8, 32, 0);
+        // fc1: 8*32 + 32, fc2: 32*8 + 8
+        assert_eq!(ff.num_params(), 8 * 32 + 32 + 32 * 8 + 8);
+    }
+}

@@ -1,0 +1,75 @@
+//! # torchgt-tensor
+//!
+//! A self-contained dense-tensor and training substrate for the TorchGT
+//! reproduction.
+//!
+//! The TorchGT paper builds on PyTorch 2.1 + CUDA. This crate replaces that
+//! substrate with a small, deterministic, CPU-parallel (rayon) tensor library
+//! that provides exactly what graph-transformer training needs:
+//!
+//! * a row-major 2-D [`Tensor`] of `f32` with BLAS-free but parallel matmul,
+//! * differentiable building blocks with explicit, hand-written backward
+//!   passes ([`Linear`], [`LayerNorm`], [`Gelu`], [`Dropout`], [`Embedding`],
+//!   row-wise softmax),
+//! * learnable parameters with gradient buffers and an [`Adam`] / [`Sgd`]
+//!   optimizer,
+//! * emulated bfloat16 rounding ([`bf16`]) used to reproduce the paper's
+//!   FP32-vs-BF16 accuracy comparison (Table VII).
+//!
+//! Everything is seeded explicitly, so training runs are reproducible
+//! bit-for-bit on the same machine.
+
+pub mod bf16;
+pub mod checkpoint;
+pub mod init;
+pub mod layers;
+pub mod ops;
+pub mod optim;
+pub mod param;
+pub mod rng;
+pub mod tensor;
+
+pub use bf16::{bf16_round, Precision};
+pub use layers::{Dropout, Embedding, FeedForward, Gelu, LayerNorm, Linear, Relu};
+pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use param::Param;
+pub use tensor::Tensor;
+
+/// Numerical-gradient checking utilities shared by the unit tests of this
+/// crate and by downstream model tests.
+pub mod gradcheck {
+    use crate::tensor::Tensor;
+
+    /// Central-difference numerical gradient of `f` with respect to `x`.
+    ///
+    /// `f` must be a pure function of its input. Used in tests to validate the
+    /// hand-written backward passes.
+    pub fn numerical_grad<F>(x: &Tensor, mut f: F, eps: f32) -> Tensor
+    where
+        F: FnMut(&Tensor) -> f32,
+    {
+        let mut grad = Tensor::zeros(x.rows(), x.cols());
+        let mut probe = x.clone();
+        for i in 0..x.len() {
+            let orig = probe.data()[i];
+            probe.data_mut()[i] = orig + eps;
+            let plus = f(&probe);
+            probe.data_mut()[i] = orig - eps;
+            let minus = f(&probe);
+            probe.data_mut()[i] = orig;
+            grad.data_mut()[i] = (plus - minus) / (2.0 * eps);
+        }
+        grad
+    }
+
+    /// Maximum absolute difference between two tensors, for gradient-check
+    /// assertions.
+    pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+        assert_eq!(a.shape(), b.shape());
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+}

@@ -1,0 +1,354 @@
+//! Free-standing tensor operations.
+//!
+//! All operations allocate their output; in-place variants carry an `_inplace`
+//! suffix. Matmuls are parallelised over output rows with rayon, matching the
+//! data-parallel style recommended by the HPC guides for this project.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Threshold (in output elements) above which matmul rows are processed in
+/// parallel. Tiny matrices are cheaper sequentially.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// `C = A · B`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    let bd = b.data();
+    let kernel = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(r);
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m * n * k >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+    } else {
+        out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    out
+}
+
+/// `C = A · Bᵀ` without materialising the transpose.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.cols(), "matmul_bt inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Tensor::zeros(m, n);
+    let kernel = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(r);
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(c);
+            let mut acc = 0.0f32;
+            for i in 0..k {
+                acc += a_row[i] * b_row[i];
+            }
+            *o = acc;
+        }
+    };
+    if m * n * k >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+    } else {
+        out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    out
+}
+
+/// `C = Aᵀ · B` without materialising the transpose.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows(), b.rows(), "matmul_at inner dimension mismatch");
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    // Accumulate rank-1 updates; sequential over k, the inner loops are cheap
+    // relative to the other matmuls in a transformer layer.
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (r, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Explicit transpose.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = a.shape();
+    let mut out = Tensor::zeros(n, m);
+    for r in 0..m {
+        for c in 0..n {
+            out.set(c, r, a.get(r, c));
+        }
+    }
+    out
+}
+
+/// Element-wise `a + b`.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape());
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Element-wise `a - b`.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape());
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Element-wise `a * b` (Hadamard product).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape());
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+/// `a += b` in place.
+pub fn add_inplace(a: &mut Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x += y;
+    }
+}
+
+/// `a += s * b` in place (axpy).
+pub fn axpy_inplace(a: &mut Tensor, s: f32, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x += s * y;
+    }
+}
+
+/// Scale by a constant.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let data = a.data().iter().map(|x| x * s).collect();
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Scale in place.
+pub fn scale_inplace(a: &mut Tensor, s: f32) {
+    a.data_mut().iter_mut().for_each(|x| *x *= s);
+}
+
+/// Broadcast-add a `1 × n` row vector to every row of `a`.
+pub fn add_row_broadcast(a: &Tensor, row: &Tensor) -> Tensor {
+    assert_eq!(row.rows(), 1);
+    assert_eq!(row.cols(), a.cols());
+    let mut out = a.clone();
+    for r in 0..a.rows() {
+        for (x, y) in out.row_mut(r).iter_mut().zip(row.data()) {
+            *x += y;
+        }
+    }
+    out
+}
+
+/// Row-wise numerically-stable softmax.
+pub fn row_softmax(a: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    let cols = a.cols();
+    let apply = |row: &mut [f32]| {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    };
+    if a.len() >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(cols).for_each(apply);
+    } else {
+        out.data_mut().chunks_mut(cols).for_each(apply);
+    }
+    out
+}
+
+/// Backward of row-wise softmax: given `y = softmax(x)` and `dL/dy`, returns
+/// `dL/dx = y ⊙ (dy - rowsum(dy ⊙ y))`.
+pub fn row_softmax_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), dy.shape());
+    let mut out = Tensor::zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
+        let yr = y.row(r);
+        let dyr = dy.row(r);
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for c in 0..y.cols() {
+            out.set(r, c, yr[c] * (dyr[c] - dot));
+        }
+    }
+    out
+}
+
+/// Sum each column into a `1 × n` row vector (used for bias gradients).
+pub fn col_sum(a: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        for (o, v) in out.row_mut(0).iter_mut().zip(a.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Row-wise mean into an `m × 1` column.
+pub fn row_mean(a: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), 1);
+    let inv = 1.0 / a.cols() as f32;
+    for r in 0..a.rows() {
+        out.set(r, 0, a.row(r).iter().sum::<f32>() * inv);
+    }
+    out
+}
+
+/// Mean over rows into a `1 × n` row vector (mean pooling for graph-level
+/// readout).
+pub fn mean_rows(a: &Tensor) -> Tensor {
+    let mut out = col_sum(a);
+    if a.rows() > 0 {
+        scale_inplace(&mut out, 1.0 / a.rows() as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_bt_equals_matmul_of_transpose() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(4, 3, &(0..12).map(|v| v as f32 * 0.5).collect::<Vec<_>>());
+        let direct = matmul_bt(&a, &b);
+        let via_t = matmul(&a, &transpose(&b));
+        assert_eq!(direct.data(), via_t.data());
+    }
+
+    #[test]
+    fn matmul_at_equals_matmul_of_transpose() {
+        let a = t(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 4, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
+        let direct = matmul_at(&a, &b);
+        let via_t = matmul(&transpose(&a), &b);
+        assert_eq!(direct.data(), via_t.data());
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_sequential() {
+        // Exceed PAR_THRESHOLD to exercise the rayon path.
+        let m = 70;
+        let k = 40;
+        let n = 30;
+        let a = Tensor::from_vec(m, k, (0..m * k).map(|v| (v % 7) as f32 - 3.0).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|v| (v % 5) as f32 - 2.0).collect());
+        let c = matmul(&a, &b);
+        // Spot-check a few entries against a naive loop.
+        for &(r, cidx) in &[(0usize, 0usize), (m - 1, n - 1), (m / 2, n / 2)] {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.get(r, p) * b.get(p, cidx);
+            }
+            assert!((c.get(r, cidx) - acc).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(2, 3, &[1., 2., 3., -1., 0., 1.]);
+        let s = row_softmax(&a);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: bigger logits get bigger probabilities.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = t(1, 3, &[1., 2., 3.]);
+        let b = t(1, 3, &[1001., 1002., 1003.]);
+        let sa = row_softmax(&a);
+        let sb = row_softmax(&b);
+        for i in 0..3 {
+            assert!((sa.data()[i] - sb.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_numerical() {
+        let x = t(2, 4, &[0.5, -0.3, 0.8, 0.1, -1.0, 0.2, 0.0, 0.7]);
+        let upstream = t(2, 4, &[0.1, 0.2, -0.3, 0.4, 0.5, -0.1, 0.2, 0.05]);
+        let y = row_softmax(&x);
+        let analytic = row_softmax_backward(&y, &upstream);
+        let numeric = crate::gradcheck::numerical_grad(
+            &x,
+            |probe| {
+                let s = row_softmax(probe);
+                s.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum()
+            },
+            1e-3,
+        );
+        assert!(crate::gradcheck::max_abs_diff(&analytic, &numeric) < 1e-3);
+    }
+
+    #[test]
+    fn elementwise_and_broadcast_ops() {
+        let a = t(2, 2, &[1., 2., 3., 4.]);
+        let b = t(2, 2, &[5., 6., 7., 8.]);
+        assert_eq!(add(&a, &b).data(), &[6., 8., 10., 12.]);
+        assert_eq!(sub(&b, &a).data(), &[4., 4., 4., 4.]);
+        assert_eq!(mul(&a, &b).data(), &[5., 12., 21., 32.]);
+        let row = Tensor::row_vector(vec![10., 20.]);
+        assert_eq!(add_row_broadcast(&a, &row).data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn reductions_by_axis() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(col_sum(&a).data(), &[5., 7., 9.]);
+        assert_eq!(row_mean(&a).data(), &[2., 5.]);
+        assert_eq!(mean_rows(&a).data(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(1, 3, &[1., 1., 1.]);
+        let b = t(1, 3, &[1., 2., 3.]);
+        axpy_inplace(&mut a, 2.0, &b);
+        assert_eq!(a.data(), &[3., 5., 7.]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Optimizers.
+//!
+//! Both Graphormer and GT train with Adam in the original papers; SGD is kept
+//! as a simple baseline and for tests.
+
+use crate::param::Param;
+
+/// Interface over optimizers that update a set of parameters in place.
+pub trait Optimizer {
+    /// Apply one update step to every parameter, consuming the accumulated
+    /// gradients (gradients are cleared after the step).
+    fn step(&mut self, params: &mut [&mut Param]);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+    /// Override the learning rate (used by warmup/decay schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Adam hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW-style); 0 disables it.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// The Adam optimizer with bias correction and optional decoupled weight
+/// decay.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    cfg: AdamConfig,
+    t: u64,
+}
+
+impl Adam {
+    /// Construct from a config.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Self { cfg, t: 0 }
+    }
+
+    /// Construct with the default betas and the given learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        Self::new(AdamConfig { lr, ..AdamConfig::default() })
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let t = self.t as f32;
+        let c = &self.cfg;
+        let bias1 = 1.0 - c.beta1.powf(t);
+        let bias2 = 1.0 - c.beta2.powf(t);
+        for p in params.iter_mut() {
+            let n = p.value.len();
+            for i in 0..n {
+                let g = p.grad.data()[i];
+                let m = c.beta1 * p.m.data()[i] + (1.0 - c.beta1) * g;
+                let v = c.beta2 * p.v.data()[i] + (1.0 - c.beta2) * g * g;
+                p.m.data_mut()[i] = m;
+                p.v.data_mut()[i] = v;
+                let mhat = m / bias1;
+                let vhat = v / bias2;
+                let mut upd = c.lr * mhat / (vhat.sqrt() + c.eps);
+                if c.weight_decay > 0.0 {
+                    upd += c.lr * c.weight_decay * p.value.data()[i];
+                }
+                p.value.data_mut()[i] -= upd;
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+}
+
+impl Sgd {
+    /// Construct with learning rate `lr` and momentum coefficient
+    /// (`0.0` disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let n = p.value.len();
+            for i in 0..n {
+                let g = p.grad.data()[i];
+                // Reuse the Adam `m` buffer as the momentum buffer.
+                let vel = self.momentum * p.m.data()[i] + g;
+                p.m.data_mut()[i] = vel;
+                p.value.data_mut()[i] -= self.lr * vel;
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Linear-warmup then inverse-square-root decay schedule, as used by
+/// Graphormer's training recipe.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmupSchedule {
+    /// Peak learning rate reached at the end of warmup.
+    pub peak_lr: f32,
+    /// Number of warmup steps.
+    pub warmup: u64,
+}
+
+impl WarmupSchedule {
+    /// Learning rate at step `t` (1-based).
+    pub fn lr_at(&self, t: u64) -> f32 {
+        if self.warmup == 0 {
+            return self.peak_lr;
+        }
+        if t <= self.warmup {
+            self.peak_lr * t as f32 / self.warmup as f32
+        } else {
+            self.peak_lr * (self.warmup as f32 / t as f32).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// Minimise f(x) = x² with Adam; it should get close to zero.
+    #[test]
+    fn adam_minimises_quadratic() {
+        let mut p = Param::new(Tensor::full(1, 1, 5.0));
+        let mut opt = Adam::with_lr(0.1);
+        for _ in 0..300 {
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * x);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0).abs() < 1e-2, "x = {}", p.value.get(0, 0));
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let mut p = Param::new(Tensor::full(1, 1, 5.0));
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..200 {
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * x);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_clears_grads_after_step() {
+        let mut p = Param::new(Tensor::full(1, 2, 1.0));
+        p.grad = Tensor::full(1, 2, 3.0);
+        let mut opt = Adam::with_lr(0.01);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_grad() {
+        let mut p = Param::new(Tensor::full(1, 1, 1.0));
+        let mut opt =
+            Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.5, ..AdamConfig::default() });
+        opt.step(&mut [&mut p]);
+        assert!(p.value.get(0, 0) < 1.0);
+    }
+
+    #[test]
+    fn warmup_schedule_shape() {
+        let s = WarmupSchedule { peak_lr: 1.0, warmup: 10 };
+        assert!((s.lr_at(5) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(10) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(40) < s.lr_at(10));
+        assert!((s.lr_at(40) - 0.5).abs() < 1e-6); // sqrt(10/40) = 0.5
+    }
+}
+
+/// Clip gradients by global L2 norm: if `‖g‖ > max_norm`, scale every
+/// gradient by `max_norm / ‖g‖`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.data().iter().map(|v| v * v).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params.iter_mut() {
+            for v in p.grad.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod clip_tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn clips_only_when_above_threshold() {
+        let mut p = Param::new(Tensor::zeros(1, 2));
+        p.grad = Tensor::from_vec(1, 2, vec![3.0, 4.0]); // norm 5
+        let norm = clip_grad_norm(&mut [&mut p], 10.0);
+        assert_eq!(norm, 5.0);
+        assert_eq!(p.grad.data(), &[3.0, 4.0], "below threshold: untouched");
+        let norm = clip_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(norm, 5.0);
+        let clipped: f32 = p.grad.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn norm_spans_multiple_params() {
+        let mut a = Param::new(Tensor::zeros(1, 1));
+        let mut b = Param::new(Tensor::zeros(1, 1));
+        a.grad = Tensor::from_vec(1, 1, vec![3.0]);
+        b.grad = Tensor::from_vec(1, 1, vec![4.0]);
+        let norm = clip_grad_norm(&mut [&mut a, &mut b], 100.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+    }
+}

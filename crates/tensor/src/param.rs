@@ -1,0 +1,73 @@
+//! Learnable parameters.
+
+use crate::tensor::Tensor;
+
+/// A learnable parameter: a value tensor, its gradient accumulator and the
+/// Adam moment buffers.
+///
+/// Gradients are *accumulated* by backward passes and cleared explicitly by
+/// [`Param::zero_grad`] (or by the optimizer after a step), mirroring the
+/// PyTorch convention the paper's artifact relies on.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Adam first-moment estimate.
+    pub m: Tensor,
+    /// Adam second-moment estimate.
+    pub v: Tensor,
+}
+
+impl Param {
+    /// Wrap an initial value as a learnable parameter.
+    pub fn new(value: Tensor) -> Self {
+        let (r, c) = value.shape();
+        Self { value, grad: Tensor::zeros(r, c), m: Tensor::zeros(r, c), v: Tensor::zeros(r, c) }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Accumulate a gradient contribution.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        assert_eq!(self.value.shape(), g.shape(), "gradient shape mismatch");
+        crate::ops::add_inplace(&mut self.grad, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new(Tensor::zeros(2, 2));
+        let g = Tensor::full(2, 2, 1.5);
+        p.accumulate(&g);
+        p.accumulate(&g);
+        assert_eq!(p.grad.data(), &[3.0; 4]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn accumulate_rejects_shape_mismatch() {
+        let mut p = Param::new(Tensor::zeros(2, 2));
+        p.accumulate(&Tensor::zeros(1, 4));
+    }
+}

@@ -1,0 +1,80 @@
+//! Cluster-aware Graph Parallelism in action: distributed sparse attention
+//! over 1–8 simulated GPUs with real all-to-all data movement, verified
+//! against the single-device result, plus the α–β simulated times on the
+//! paper's two testbeds.
+//!
+//! ```sh
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use torchgt::comm::DeviceGroup;
+use torchgt::graph::generators::{clustered_power_law, ClusteredConfig};
+use torchgt::model::attention;
+use torchgt::prelude::*;
+use torchgt::runtime::parallel::run_distributed_attention;
+use torchgt::sparse::topology_mask;
+use torchgt::tensor::init;
+
+fn main() {
+    let s = 512;
+    let d = 64;
+    let heads = 8;
+    let (g, _) = clustered_power_law(
+        ClusteredConfig { n: s, communities: 8, avg_degree: 12.0, intra_fraction: 0.85 },
+        5,
+    );
+    let mask = topology_mask(&g, true);
+    let q = init::normal(s, d, 0.0, 1.0, 1);
+    let k = init::normal(s, d, 0.0, 1.0, 2);
+    let v = init::normal(s, d, 0.0, 1.0, 3);
+    let single = attention::sparse(&q, &k, &v, heads, &mask, None).out;
+
+    println!("sequence {s}, hidden {d}, {heads} heads, mask nnz {}\n", mask.num_arcs());
+    println!(
+        "{:>4} {:>14} {:>16} {:>22} {:>22}",
+        "P", "max |Δ|", "bytes on wire", "sim all-to-all A100", "sim all-to-all 3090x2"
+    );
+    for p in [1usize, 2, 4, 8] {
+        let group = DeviceGroup::new(p);
+        let _ = group; // volume measured by a fresh run below
+        let dist = run_distributed_attention(p, &q, &k, &v, heads, &mask);
+        let max_diff = single
+            .data()
+            .iter()
+            .zip(dist.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // Wire volume: re-run under a tracked group.
+        let tracked = DeviceGroup::new(p);
+        let s_local = s / p;
+        tracked.run(|comm| {
+            let r = comm.rank();
+            torchgt::runtime::parallel::parallel_sparse_attention(
+                &comm,
+                &q.slice_rows(r * s_local, (r + 1) * s_local),
+                &k.slice_rows(r * s_local, (r + 1) * s_local),
+                &v.slice_rows(r * s_local, (r + 1) * s_local),
+                heads,
+                &mask,
+            )
+        });
+        let bytes = tracked.stats().bytes_sent();
+        // Simulated collective time for the paper-scale payload (S = 1M).
+        let paper_bytes_per_rank = 4 * (1usize << 20) / p * d * 4;
+        let a100 = ClusterTopology::a100((p / 8).max(1)).all_to_all_time(paper_bytes_per_rank);
+        let eth = ClusterTopology::rtx3090(2).all_to_all_time(paper_bytes_per_rank);
+        println!(
+            "{:>4} {:>14.2e} {:>16} {:>20.3}ms {:>20.3}ms",
+            p,
+            max_diff,
+            bytes,
+            a100 * 1e3,
+            eth * 1e3,
+        );
+    }
+    println!(
+        "\nAll-to-all volume per GPU is O(S/P) (paper §III-C): doubling P halves\n\
+         the bytes each rank exchanges, which is what keeps the parallelism\n\
+         communication-light compared to all-gather's O(S)."
+    );
+}

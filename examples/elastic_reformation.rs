@@ -1,0 +1,66 @@
+//! Elastic Computation Reformation walkthrough: shows the cluster-sparse
+//! transfer at each rung of the β_thre ladder (pattern compactness vs edge
+//! recall) and the Auto Tuner adapting β_thre during a real training run.
+//!
+//! ```sh
+//! cargo run --release --example elastic_reformation
+//! ```
+
+use torchgt::graph::partition::{cluster_order, partition};
+use torchgt::prelude::*;
+use torchgt::sparse::{access_profile, beta_ladder, reform, ReformConfig};
+use torchgt::TorchGtBuilder;
+
+fn main() {
+    // A clustered arxiv-like graph, reordered so clusters are contiguous —
+    // the layout the kernel level sees (paper Figure 5).
+    let dataset = DatasetKind::OgbnArxiv.generate_node(0.01, 13);
+    let k = 8;
+    let assign = partition(&dataset.graph, k, 1);
+    let order = cluster_order(&assign, k);
+    let g = dataset.graph.permute(&order.perm);
+    let beta_g = g.sparsity();
+    let before = access_profile(&g);
+    println!(
+        "graph: {} nodes, {} arcs, β_G = {:.2e}; topology layout: avg run {:.2}\n",
+        g.num_nodes(),
+        g.num_arcs(),
+        beta_g,
+        before.avg_run_len
+    );
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "β_thre", "transferred", "sub-blocks", "avg run", "nnz after", "recall"
+    );
+    for beta in beta_ladder(beta_g) {
+        let r = reform(&g, &order, ReformConfig { db: 16, beta_thre: beta });
+        let p = r.profile();
+        println!(
+            "{:>10.2e} {:>8}/{:<3} {:>12} {:>12.2} {:>12} {:>9.1}%",
+            beta,
+            r.stats.clusters_transferred,
+            r.stats.clusters_total,
+            r.stats.sub_blocks,
+            p.avg_run_len,
+            r.stats.nnz_after,
+            r.stats.edge_recall * 100.0
+        );
+    }
+
+    // Auto Tuner trace over a short TorchGT training run.
+    println!("\nAuto Tuner trace (elastic transfer during training):");
+    let mut trainer = TorchGtBuilder::new(Method::TorchGt)
+        .seq_len(400)
+        .epochs(12)
+        .hidden(32)
+        .layers(2)
+        .heads(4)
+        .lr(2e-3)
+        .build_node(&dataset);
+    println!("{:>5} {:>9} {:>10}", "epoch", "loss", "β_thre");
+    for _ in 0..12 {
+        let s = trainer.train_epoch();
+        println!("{:>5} {:>9.4} {:>10.2e}", s.epoch, s.loss, s.beta_thre);
+    }
+}

@@ -1,0 +1,162 @@
+//! `torchgt` command-line interface.
+//!
+//! ```text
+//! torchgt_cli train --dataset arxiv --method torchgt --epochs 8 [--scale 0.01]
+//!                   [--seq-len 512] [--model graphormer|gt] [--hidden 64]
+//!                   [--layers 3] [--heads 8] [--lr 2e-3] [--seed 1]
+//! torchgt_cli info  --dataset arxiv            # published dataset statistics
+//! torchgt_cli maxseq [--gpus 8]                # Fig. 9(a)-style memory limits
+//! torchgt_cli datasets                         # list available stand-ins
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use torchgt::prelude::*;
+use torchgt::{ModelKind, TorchGtBuilder};
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_string()
+            };
+            map.insert(key.to_string(), value);
+        }
+        i += 1;
+    }
+    map
+}
+
+fn dataset_kind(name: &str) -> Option<DatasetKind> {
+    Some(match name {
+        "arxiv" | "ogbn-arxiv" => DatasetKind::OgbnArxiv,
+        "products" | "ogbn-products" => DatasetKind::OgbnProducts,
+        "papers" | "papers100m" | "ogbn-papers100m" => DatasetKind::OgbnPapers100M,
+        "amazon" => DatasetKind::Amazon,
+        "flickr" => DatasetKind::Flickr,
+        "aminer" | "aminer-cs" => DatasetKind::AminerCS,
+        "pokec" => DatasetKind::Pokec,
+        _ => return None,
+    })
+}
+
+fn method(name: &str) -> Option<Method> {
+    Some(match name {
+        "torchgt" => Method::TorchGt,
+        "gp-flash" | "flash" => Method::GpFlash,
+        "gp-sparse" | "sparse" => Method::GpSparse,
+        "gp-raw" | "raw" => Method::GpRaw,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: torchgt_cli <train|info|maxseq|datasets> [--flags]\n\
+         run `torchgt_cli train --dataset arxiv --method torchgt --epochs 5` to start"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    match command.as_str() {
+        "datasets" => {
+            println!("node-level: arxiv products papers100m amazon flickr aminer pokec");
+            println!("graph-level (via examples/benches): zinc molpcba malnet");
+            ExitCode::SUCCESS
+        }
+        "info" => {
+            let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
+                eprintln!("unknown dataset");
+                return ExitCode::from(2);
+            };
+            let spec = kind.spec();
+            println!("{}:", spec.name);
+            println!("  nodes   {}", spec.nodes);
+            println!("  edges   {}", spec.edges);
+            println!("  feats   {}", spec.feats);
+            println!("  classes {}", spec.classes);
+            ExitCode::SUCCESS
+        }
+        "maxseq" => {
+            let gpus: usize = get("gpus", "8").parse().unwrap_or(8);
+            let spec = GpuSpec::a100();
+            let shape = ModelShape::graphormer_slim();
+            println!("A100, GPH_Slim, degree-25 graph:");
+            for p in 1..=gpus {
+                let tgt = torchgt::perf::max_seq_len(
+                    &spec,
+                    &shape,
+                    LayoutKind::ClusterSparse,
+                    25.0,
+                    p,
+                );
+                let raw =
+                    torchgt::perf::max_seq_len(&spec, &shape, LayoutKind::Dense, 25.0, p);
+                println!("  {p} GPU(s): TorchGT {}K, GP-RAW {}K", tgt >> 10, raw >> 10);
+            }
+            ExitCode::SUCCESS
+        }
+        "train" => {
+            let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
+                eprintln!("unknown dataset (try `torchgt_cli datasets`)");
+                return ExitCode::from(2);
+            };
+            let Some(m) = method(&get("method", "torchgt")) else {
+                eprintln!("unknown method (torchgt|gp-flash|gp-sparse|gp-raw)");
+                return ExitCode::from(2);
+            };
+            let scale: f64 = get("scale", "").parse().unwrap_or_else(|_| {
+                (2000.0 / kind.spec().nodes as f64).min(1.0)
+            });
+            let epochs: usize = get("epochs", "8").parse().unwrap_or(8);
+            let seed: u64 = get("seed", "1").parse().unwrap_or(1);
+            let model = match get("model", "graphormer").as_str() {
+                "gt" => ModelKind::Gt,
+                _ => ModelKind::Graphormer,
+            };
+            let dataset = kind.generate_node(scale, seed);
+            println!(
+                "{}-like stand-in: {} nodes, {} edges, {} classes (scale {scale})",
+                kind.spec().name,
+                dataset.graph.num_nodes(),
+                dataset.graph.num_edges(),
+                dataset.num_classes
+            );
+            let mut trainer = TorchGtBuilder::new(m)
+                .model(model)
+                .seq_len(get("seq-len", "512").parse().unwrap_or(512))
+                .epochs(epochs)
+                .hidden(get("hidden", "64").parse().unwrap_or(64))
+                .layers(get("layers", "3").parse().unwrap_or(3))
+                .heads(get("heads", "8").parse().unwrap_or(8))
+                .lr(get("lr", "2e-3").parse().unwrap_or(2e-3))
+                .seed(seed)
+                .build_node(&dataset);
+            println!(
+                "{:>5} {:>9} {:>10} {:>10} {:>12}",
+                "epoch", "loss", "train_acc", "test_acc", "sim t (s)"
+            );
+            for _ in 0..epochs {
+                let s = trainer.train_epoch();
+                println!(
+                    "{:>5} {:>9.4} {:>10.4} {:>10.4} {:>12.6}",
+                    s.epoch, s.loss, s.train_acc, s.test_acc, s.sim_seconds
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,6 @@
+//! Workspace-root companion crate: hosts the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/`.
+//! The library surface simply re-exports the `torchgt` facade.
+
+pub use torchgt::prelude;
+pub use torchgt::{ModelKind, TorchGtBuilder};

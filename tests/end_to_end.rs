@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the full TorchGT pipeline from synthetic
+//! dataset generation through distributed training, checking the paper's
+//! qualitative claims end-to-end.
+
+use torchgt::graph::generators::{clustered_power_law, ClusteredConfig};
+use torchgt::model::attention;
+use torchgt::prelude::*;
+use torchgt::runtime::parallel::run_distributed_attention;
+use torchgt::sparse::{access_profile, topology_mask};
+use torchgt::tensor::init;
+use torchgt::{ModelKind, TorchGtBuilder};
+
+/// TorchGT's interleaved attention converges on a node task while pure
+/// sparse attention converges more slowly or worse (paper Figs. 10–11).
+#[test]
+fn interleaved_beats_pure_sparse_convergence() {
+    let dataset = DatasetKind::OgbnArxiv.generate_node(0.004, 17);
+    let run = |method: Method, period: usize| {
+        let mut t = TorchGtBuilder::new(method)
+            .seq_len(300)
+            .epochs(6)
+            .hidden(32)
+            .layers(2)
+            .heads(4)
+            .lr(2e-3)
+            .interleave_period(period)
+            .seed(5)
+            .build_node(&dataset);
+        let stats = t.run();
+        stats.last().unwrap().test_acc
+    };
+    let torchgt = run(Method::TorchGt, 4);
+    let sparse = run(Method::GpSparse, 0);
+    // Interleaving must not be worse by a meaningful margin (the paper shows
+    // it strictly better at convergence; at our tiny scale we allow a tie).
+    assert!(
+        torchgt >= sparse - 0.05,
+        "interleaved {torchgt} vs sparse {sparse}"
+    );
+}
+
+/// FP32 TorchGT reaches at-least-as-good accuracy as BF16 training at equal
+/// budget (Table VII's mechanism).
+#[test]
+fn fp32_at_least_matches_bf16() {
+    let dataset = DatasetKind::OgbnArxiv.generate_node(0.004, 23);
+    let run = |precision: Precision| {
+        let mut t = TorchGtBuilder::new(Method::TorchGt)
+            .seq_len(300)
+            .epochs(6)
+            .hidden(32)
+            .layers(2)
+            .heads(4)
+            .lr(2e-3)
+            .precision(precision)
+            .seed(9)
+            .build_node(&dataset);
+        t.run().last().unwrap().test_acc
+    };
+    let fp32 = run(Precision::Fp32);
+    let bf16 = run(Precision::Bf16);
+    assert!(fp32 >= bf16 - 0.03, "fp32 {fp32} vs bf16 {bf16}");
+}
+
+/// Distributed attention (cluster-aware graph parallelism) equals the
+/// single-device computation for every world size.
+#[test]
+fn distributed_equals_single_device_end_to_end() {
+    let s = 128;
+    let d = 32;
+    let (g, _) = clustered_power_law(
+        ClusteredConfig { n: s, communities: 4, avg_degree: 8.0, intra_fraction: 0.85 },
+        3,
+    );
+    let mask = topology_mask(&g, true);
+    let q = init::normal(s, d, 0.0, 1.0, 1);
+    let k = init::normal(s, d, 0.0, 1.0, 2);
+    let v = init::normal(s, d, 0.0, 1.0, 3);
+    let single = attention::sparse(&q, &k, &v, 4, &mask, None).out;
+    for p in [2usize, 4] {
+        let dist = run_distributed_attention(p, &q, &k, &v, 4, &mask);
+        let max = single
+            .data()
+            .iter()
+            .zip(dist.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max < 1e-4, "P={p}: max diff {max}");
+    }
+}
+
+/// The whole preprocessing → reformation pipeline improves memory locality
+/// (longer runs) without dropping below the functional floor.
+#[test]
+fn pipeline_improves_locality() {
+    let dataset = DatasetKind::OgbnProducts.generate_node(0.0005, 31);
+    let n = dataset.num_nodes();
+    let raw = topology_mask(&dataset.graph, false);
+    let raw_profile = access_profile(&raw);
+    // Through the trainer (TorchGT path does partition+reorder+reform).
+    let trainer = TorchGtBuilder::new(Method::TorchGt)
+        .seq_len(n)
+        .epochs(1)
+        .hidden(32)
+        .layers(2)
+        .heads(4)
+        .build_node(&dataset);
+    let _ = trainer; // construction alone runs the pipeline
+    // Direct measurement of the clustered+reformed layout:
+    use torchgt::graph::partition::{cluster_order, partition};
+    use torchgt::sparse::{reform, ReformConfig};
+    let assign = partition(&dataset.graph, 8, 1);
+    let order = cluster_order(&assign, 8);
+    let pg = dataset.graph.permute(&order.perm);
+    let reformed = reform(&pg, &order, ReformConfig { db: 16, beta_thre: pg.sparsity() * 5.0 });
+    let p = reformed.profile();
+    assert!(
+        p.avg_run_len > raw_profile.avg_run_len * 1.5,
+        "reformed run {} vs raw {}",
+        p.avg_run_len,
+        raw_profile.avg_run_len
+    );
+}
+
+/// Graph-level and node-level tasks both train through the same facade —
+/// the paper's "task-agnostic" design goal.
+#[test]
+fn task_agnostic_facade() {
+    let node = DatasetKind::Flickr.generate_node(0.004, 3);
+    let mut nt = TorchGtBuilder::new(Method::TorchGt)
+        .seq_len(200)
+        .epochs(2)
+        .hidden(16)
+        .layers(2)
+        .heads(2)
+        .build_node(&node);
+    let ns = nt.run();
+    assert_eq!(ns.len(), 2);
+
+    let graphs = DatasetKind::OgbgMolpcba.generate_graphs(16, 1.0, 3);
+    let mut gt = TorchGtBuilder::new(Method::TorchGt)
+        .model(ModelKind::Gt)
+        .epochs(2)
+        .hidden(16)
+        .layers(2)
+        .heads(2)
+        .build_graph(&graphs, 8);
+    let gs = gt.run();
+    assert_eq!(gs.len(), 2);
+    assert!(gs[1].loss.is_finite());
+}
+
+/// Deterministic end-to-end: same seed ⇒ identical training trajectory.
+#[test]
+fn training_is_deterministic() {
+    let dataset = DatasetKind::OgbnArxiv.generate_node(0.002, 77);
+    let run = || {
+        let mut t = TorchGtBuilder::new(Method::TorchGt)
+            .seq_len(200)
+            .epochs(2)
+            .hidden(16)
+            .layers(2)
+            .heads(2)
+            .seed(13)
+            .build_node(&dataset);
+        t.run().iter().map(|s| s.loss).collect::<Vec<f32>>()
+    };
+    assert_eq!(run(), run());
+}
