@@ -69,7 +69,7 @@ fn main() {
             label, acc, profile.avg_run_len, attn_ms
         );
         results.push((label, acc, profile.avg_run_len, attn_ms));
-        rows.push(serde_json::json!({
+        rows.push(torchgt_compat::json!({
             "variant": label, "test_acc": acc,
             "avg_run_len": profile.avg_run_len, "paper_scale_attn_ms": attn_ms,
         }));
@@ -92,5 +92,5 @@ fn main() {
         no_interleave.1
     );
     println!("\nablation shape check ✓ each technique contributes its expected axis");
-    dump_json("ablation_components", &serde_json::json!(rows));
+    dump_json("ablation_components", &torchgt_compat::json!(rows));
 }

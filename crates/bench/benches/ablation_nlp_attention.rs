@@ -8,7 +8,7 @@
 //! (structure required), identical GT models, identical update budgets; only
 //! the attention pattern differs.
 
-use rand::Rng;
+use torchgt_compat::rng::Rng;
 use torchgt_bench::{banner, dump_json};
 use torchgt_graph::DatasetKind;
 use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
@@ -79,7 +79,7 @@ fn main() {
         let acc = loss::accuracy(&logits, &dataset.labels, Some(&dataset.split.test));
         println!("{label:<10} test acc {acc:.4}");
         results.push((label, acc));
-        rows.push(serde_json::json!({"pattern": label, "test_acc": acc}));
+        rows.push(torchgt_compat::json!({"pattern": label, "test_acc": acc}));
     }
     let topo_acc = results[0].1;
     let best_nlp = results[1].1.max(results[2].1);
@@ -88,5 +88,5 @@ fn main() {
         "topology ({topo_acc}) must beat NLP baselines ({best_nlp})"
     );
     println!("\npaper shape check ✓ graph-structure attention beats structure-agnostic baselines");
-    dump_json("ablation_nlp_attention", &serde_json::json!(rows));
+    dump_json("ablation_nlp_attention", &torchgt_compat::json!(rows));
 }

@@ -2,7 +2,8 @@
 //! time, not the GPU cost model): attention variants, the partitioner, the
 //! reformation pass and the collectives.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use torchgt_compat::bench::{BenchmarkId, Criterion};
+use torchgt_compat::{criterion_group, criterion_main};
 use torchgt_comm::{hierarchical_all_to_all, DeviceGroup};
 use torchgt_sparse::BlockCsr;
 use torchgt_graph::generators::{clustered_power_law, ClusteredConfig};

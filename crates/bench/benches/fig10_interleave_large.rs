@@ -28,7 +28,7 @@ fn main() {
                 "{:>6} {:>14.4} {:>12.4} {:>12.4}",
                 e, inter[e].test_acc, flash[e].test_acc, sparse[e].test_acc
             );
-            rows.push(serde_json::json!({
+            rows.push(torchgt_compat::json!({
                 "model": model.label(), "epoch": e,
                 "interleaved": inter[e].test_acc,
                 "flash": flash[e].test_acc,
@@ -45,5 +45,5 @@ fn main() {
         );
     }
     println!("\npaper shape check ✓ interleaved attention converges best");
-    dump_json("fig10_interleave_large", &serde_json::json!(rows));
+    dump_json("fig10_interleave_large", &torchgt_compat::json!(rows));
 }

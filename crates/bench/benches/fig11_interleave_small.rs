@@ -54,7 +54,7 @@ fn main() {
                 "{:>6} {:>14.4} {:>12.4} {:>12.4}",
                 e, inter[e], full[e], sparse[e]
             );
-            rows.push(serde_json::json!({
+            rows.push(torchgt_compat::json!({
                 "dataset": label, "epoch": e,
                 "interleaved": inter[e], "full": full[e], "sparse": sparse[e],
             }));
@@ -69,5 +69,5 @@ fn main() {
         assert!(i >= f - 0.15, "interleaved must track full attention: {i} vs {f}");
     }
     println!("\npaper shape check ✓ interleaved ≈ full attention on small graphs");
-    dump_json("fig11_interleave_small", &serde_json::json!(rows));
+    dump_json("fig11_interleave_small", &torchgt_compat::json!(rows));
 }

@@ -51,7 +51,7 @@ fn main() {
         );
         assert!(torchgt < sparse, "cluster-sparse must beat pure sparse");
         assert!(sparse < flash, "sparse must beat flash at these scales");
-        rows_a.push(serde_json::json!({
+        rows_a.push(torchgt_compat::json!({
             "seq_len": s, "flash_ms": flash, "sparse_ms": sparse, "torchgt_ms": torchgt,
         }));
     }
@@ -80,7 +80,7 @@ fn main() {
             * 1e3;
         println!("{:>8} {:>12.2} {:>12.2} {:>12.2}", d, flash, sparse, torchgt);
         flash_ratio_growth.push(flash / torchgt);
-        rows_b.push(serde_json::json!({
+        rows_b.push(torchgt_compat::json!({
             "hidden": d, "flash_ms": flash, "sparse_ms": sparse, "torchgt_ms": torchgt,
         }));
     }
@@ -93,6 +93,6 @@ fn main() {
     println!("\npaper shape check ✓ quadratic flash growth, ~100× TorchGT win, gap narrows with d");
     dump_json(
         "fig12_attention_kernel",
-        &serde_json::json!({"vs_seq_len": rows_a, "vs_hidden": rows_b}),
+        &torchgt_compat::json!({"vs_seq_len": rows_a, "vs_hidden": rows_b}),
     );
 }

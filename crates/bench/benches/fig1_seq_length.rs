@@ -8,7 +8,7 @@
 //! sequences win. Paper shape: both models improve with S; the sampling
 //! model gains the most (+12% on Pokec).
 
-use rand::Rng;
+use torchgt_compat::rng::Rng;
 use torchgt_bench::{banner, dump_json, BenchModel};
 use torchgt_comm::ClusterTopology;
 use torchgt_graph::{DatasetKind, NodeDataset};
@@ -68,7 +68,7 @@ fn main() {
         let acc = run_fixed_budget(&mut t, 60);
         println!("{:>8} {:>10.4}", seq_len, acc);
         gph_accs.push(acc);
-        rows.push(serde_json::json!({
+        rows.push(torchgt_compat::json!({
             "model": "Graphormer", "dataset": "AMiner-CS-like",
             "seq_len": seq_len, "test_acc": acc,
         }));
@@ -112,7 +112,7 @@ fn main() {
         let acc = run_fixed_budget(&mut t, 60);
         println!("{:>8} {:>10.4}", seq_len, acc);
         nf_accs.push(acc);
-        rows.push(serde_json::json!({
+        rows.push(torchgt_compat::json!({
             "model": "NodeFormer-like", "dataset": "Pokec-like",
             "seq_len": seq_len, "test_acc": acc,
         }));
@@ -122,5 +122,5 @@ fn main() {
         "sampling model should gain with sequence length: {nf_accs:?}"
     );
     println!("\npaper shape check ✓ accuracy grows with training sequence length");
-    dump_json("fig1_seq_length", &serde_json::json!(rows));
+    dump_json("fig1_seq_length", &torchgt_compat::json!(rows));
 }

@@ -33,7 +33,7 @@ fn main() {
                 it.total(),
                 it.attention_fraction() * 100.0
             );
-            rows.push(serde_json::json!({
+            rows.push(torchgt_compat::json!({
                 "gpu": label, "seq_len": s,
                 "attention_s": it.attention,
                 "total_s": it.total(),
@@ -46,5 +46,5 @@ fn main() {
         }
     }
     println!("\npaper shape check ✓ attention > 80% of iteration time everywhere");
-    dump_json("fig2_breakdown", &serde_json::json!(rows));
+    dump_json("fig2_breakdown", &torchgt_compat::json!(rows));
 }

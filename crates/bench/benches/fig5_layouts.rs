@@ -85,7 +85,7 @@ fn main() {
     println!("\npaper shape check ✓ diagonal concentration and run-length growth");
     dump_json(
         "fig5_layouts",
-        &serde_json::json!({
+        &torchgt_compat::json!({
             "topology_diag": stats_a.diagonal_fraction,
             "clustered_diag": stats_b.diagonal_fraction,
             "cluster_sparse_run": pc.avg_run_len,

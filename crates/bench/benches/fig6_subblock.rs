@@ -32,7 +32,7 @@ fn main() {
             p.l2_hit * 100.0,
             p.throughput / base
         );
-        rows.push(serde_json::json!({
+        rows.push(torchgt_compat::json!({
             "db": db, "occupancy": p.occupancy, "l1_hit": p.l1_hit,
             "l2_hit": p.l2_hit, "throughput_norm": p.throughput / base,
         }));
@@ -51,5 +51,5 @@ fn main() {
     println!("\nAuto Tuner pick: d_b = {best} (paper fits d_b = 16)");
     assert!((4..=64).contains(&best), "optimum must be interior");
     println!("paper shape check ✓ interior optimum from balance/locality trade-off");
-    dump_json("fig6_subblock", &serde_json::json!(rows));
+    dump_json("fig6_subblock", &torchgt_compat::json!(rows));
 }

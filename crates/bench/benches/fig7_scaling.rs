@@ -49,7 +49,7 @@ fn main() {
             assert!(p / t > 1.4, "per-doubling speedup too low: {}", p / t);
         }
         prev = Some(t);
-        rows_a.push(serde_json::json!({"servers": servers, "iter_s": t, "tokens_per_s": tput}));
+        rows_a.push(torchgt_compat::json!({"servers": servers, "iter_s": t, "tokens_per_s": tput}));
     }
 
     println!("\n(b) fixed per-GPU load (S²/P const): S=256K/P=16 vs S=512K/P=64:");
@@ -70,13 +70,13 @@ fn main() {
         let tput = s as f64 / t / gpus as f64;
         println!("{:>8} {:>6} {:>14.4} {:>22.3e}", format!("{}K", s >> 10), gpus, t, tput);
         per_gpu.push(tput);
-        rows_b.push(serde_json::json!({"seq_len": s, "gpus": gpus, "per_gpu_tokens_per_s": tput}));
+        rows_b.push(torchgt_compat::json!({"seq_len": s, "gpus": gpus, "per_gpu_tokens_per_s": tput}));
     }
     let ratio = per_gpu[1] / per_gpu[0];
     println!("\nper-GPU throughput ratio: {ratio:.2} (paper: ≈1, 'approximately the same')");
     assert!((0.4..=2.5).contains(&ratio), "per-GPU throughput should stay same order");
     println!("paper shape check ✓ near-linear server scaling, stable per-GPU throughput");
-    dump_json("fig7_scaling", &serde_json::json!({"fixed_s": rows_a, "fixed_load": rows_b}));
+    dump_json("fig7_scaling", &torchgt_compat::json!({"fixed_s": rows_a, "fixed_load": rows_b}));
 }
 
 fn t_ratio(prev: f64, now: f64) -> f64 {

@@ -30,7 +30,7 @@ fn main() {
                 "{:>6} {:>18.4} {:>18.4}",
                 e, tgt[e].test_acc, flash[e].test_acc
             );
-            rows.push(serde_json::json!({
+            rows.push(torchgt_compat::json!({
                 "model": model.label(), "dataset": spec.name, "epoch": e,
                 "torchgt_acc": tgt[e].test_acc, "flash_acc": flash[e].test_acc,
                 "torchgt_loss": tgt[e].loss, "flash_loss": flash[e].loss,
@@ -47,5 +47,5 @@ fn main() {
         );
     }
     println!("\npaper shape check ✓ TorchGT converges to ≥ GP-FLASH accuracy everywhere");
-    dump_json("fig8_convergence", &serde_json::json!(rows));
+    dump_json("fig8_convergence", &torchgt_compat::json!(rows));
 }

@@ -36,7 +36,7 @@ fn main() {
         );
         tgt_series.push(tgt);
         raw_series.push(raw);
-        rows_a.push(serde_json::json!({"gpus": gpus, "torchgt_max_s": tgt, "gp_raw_max_s": raw}));
+        rows_a.push(torchgt_compat::json!({"gpus": gpus, "torchgt_max_s": tgt, "gp_raw_max_s": raw}));
     }
     assert!(
         *tgt_series.last().unwrap() as f64 > 2.5 * tgt_series[0] as f64,
@@ -83,7 +83,7 @@ fn main() {
         );
         tgt_tputs.push(t_tgt);
         flash_tputs.push(t_flash);
-        rows_b.push(serde_json::json!({
+        rows_b.push(torchgt_compat::json!({
             "seq_len": s, "torchgt_tokens_per_s": t_tgt, "flash_tokens_per_s": t_flash,
         }));
     }
@@ -98,5 +98,5 @@ fn main() {
         "TorchGT throughput must stay roughly flat"
     );
     println!("\npaper shape check ✓ linear max-S scaling; flat TorchGT vs collapsing flash");
-    dump_json("fig9_scalability", &serde_json::json!({"max_seq": rows_a, "throughput": rows_b}));
+    dump_json("fig9_scalability", &torchgt_compat::json!({"max_seq": rows_a, "throughput": rows_b}));
 }

@@ -34,12 +34,12 @@ fn main() {
             share
         );
         assert!(share < 25.0, "pre-processing must not dominate: {share:.1}%");
-        rows.push(serde_json::json!({
+        rows.push(torchgt_compat::json!({
             "dataset": kind.spec().name, "preprocess_s": prep,
             "training_s": train, "share_pct": share,
         }));
     }
     println!("\npaper reference: 5.4% (ogbn-arxiv), 2.0% (MalNet)");
     println!("paper shape check ✓ pre-processing is a small fraction of training");
-    dump_json("preprocess_cost", &serde_json::json!(rows));
+    dump_json("preprocess_cost", &torchgt_compat::json!(rows));
 }

@@ -47,7 +47,7 @@ fn main() {
         let mae = -stats.last().unwrap().test_acc; // evaluate() returns −MAE
         println!("{:<12} {:>10.4}", name, mae);
         maes.push((name, mae));
-        rows.push(serde_json::json!({"task": "zinc_mae", "model": name, "mae": mae}));
+        rows.push(torchgt_compat::json!({"task": "zinc_mae", "model": name, "mae": mae}));
     }
 
     // --- Flickr-like node classification (test accuracy ↑) --------------
@@ -75,7 +75,7 @@ fn main() {
         let acc = stats.last().unwrap().test_acc;
         println!("{:<12} {:>10.4}", name, acc);
         accs.push((name, acc));
-        rows.push(serde_json::json!({"task": "flickr_acc", "model": name, "acc": acc}));
+        rows.push(torchgt_compat::json!({"task": "flickr_acc", "model": name, "acc": acc}));
     }
 
     // Shape: the best transformer beats the best GNN on both tasks.
@@ -92,5 +92,5 @@ fn main() {
         "transformers must match/beat GNNs on node classification: {best_tf_acc} vs {best_gnn_acc}"
     );
     println!("\npaper shape check ✓ graph transformers ≥ traditional GNNs on both tasks");
-    dump_json("table1_model_quality", &serde_json::json!(rows));
+    dump_json("table1_model_quality", &torchgt_compat::json!(rows));
 }

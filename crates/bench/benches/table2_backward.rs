@@ -38,14 +38,14 @@ fn main() {
             t_dense,
             t_topo / t_dense
         );
-        rows.push(serde_json::json!({
+        rows.push(torchgt_compat::json!({
             "seq_len": s, "topology_bw_ms": t_topo, "dense_bw_ms": t_dense,
             "slowdown": t_topo / t_dense,
         }));
         assert!(t_topo / t_dense > 4.0, "paper shape: irregularity must cost heavily");
     }
     println!("\npaper reference: 116.99→963.91 ms topology vs 1.53→29.01 ms dense (up to 33×)");
-    dump_json("table2_backward", &serde_json::json!(rows));
+    dump_json("table2_backward", &torchgt_compat::json!(rows));
 }
 
 /// A coalesced dense kernel also skips the atomic scatter penalty.

@@ -64,7 +64,7 @@ fn main() {
                 let oom = !fits(&gpu, &shape, layout_of(method), seq_len, profile.nnz, topo.world_size());
                 if oom {
                     println!("{:<18} {:<9} {:>14} {:>10} {:>9}", spec.name, method.label(), "OOM", "-", "-");
-                    rows.push(serde_json::json!({
+                    rows.push(torchgt_compat::json!({
                         "model": model.label(), "dataset": spec.name,
                         "method": method.label(), "oom": true,
                     }));
@@ -99,7 +99,7 @@ fn main() {
                     // at S = 32K, so accept anything clearly > 1).
                     assert!(speedup > 1.2, "{}: TorchGT must beat GP-FLASH", spec.name);
                 }
-                rows.push(serde_json::json!({
+                rows.push(torchgt_compat::json!({
                     "model": model.label(), "dataset": spec.name, "method": method.label(),
                     "t_epoch_s": epoch_s, "test_acc": acc, "speedup_vs_flash": speedup,
                     "oom": false,
@@ -109,5 +109,5 @@ fn main() {
     }
     println!("\npaper reference: GP-RAW OOM everywhere; TorchGT 3.3–62.7× over GP-FLASH");
     println!("paper shape check ✓ OOM pattern and TorchGT > GP-FLASH throughout");
-    dump_json("table5_end_to_end", &serde_json::json!(rows));
+    dump_json("table5_end_to_end", &torchgt_compat::json!(rows));
 }

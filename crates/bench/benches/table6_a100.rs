@@ -53,12 +53,12 @@ fn main() {
             speedup
         );
         assert!(speedup > 1.5, "{}: TorchGT must win on A100 too", spec.name);
-        rows.push(serde_json::json!({
+        rows.push(torchgt_compat::json!({
             "dataset": spec.name, "gp_flash_s": times[0], "torchgt_s": times[1],
             "speedup": speedup,
         }));
     }
     println!("\npaper reference speedups: 4.2× (MalNet), 2.1× (papers100M), 1.9× (products), 2.0× (Amazon)");
     println!("paper shape check ✓ TorchGT faster on every dataset on A100");
-    dump_json("table6_a100", &serde_json::json!(rows));
+    dump_json("table6_a100", &torchgt_compat::json!(rows));
 }

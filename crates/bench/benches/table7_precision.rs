@@ -74,7 +74,7 @@ fn main() {
             let acc = stats.last().unwrap().test_acc;
             println!("{:<16} {:>14.3} {:>10.4}", label, epoch_s, acc);
             accs.push((label, acc, epoch_s));
-            rows.push(serde_json::json!({
+            rows.push(torchgt_compat::json!({
                 "dataset": spec.name, "config": label,
                 "t_epoch_s": epoch_s, "test_acc": acc,
             }));
@@ -91,5 +91,5 @@ fn main() {
         assert!(accs[1].2 < accs[2].2, "BF16 must be faster than FP32");
     }
     println!("\npaper shape check ✓ precision explains the flash accuracy gap; FP32 wins accuracy");
-    dump_json("table7_precision", &serde_json::json!(rows));
+    dump_json("table7_precision", &torchgt_compat::json!(rows));
 }

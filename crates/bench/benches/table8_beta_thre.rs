@@ -85,7 +85,7 @@ fn main() {
                 sims.push(sim);
                 accs.push(acc);
             }
-            rows.push(serde_json::json!({
+            rows.push(torchgt_compat::json!({
                 "model": model.label(), "beta_thre": label,
                 "sim_t_epoch_s": sim, "test_acc": acc,
             }));
@@ -107,5 +107,5 @@ fn main() {
         println!();
     }
     println!("paper shape check ✓ speed/accuracy trade-off along the β ladder");
-    dump_json("table8_beta_thre", &serde_json::json!(rows));
+    dump_json("table8_beta_thre", &torchgt_compat::json!(rows));
 }

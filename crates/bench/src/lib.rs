@@ -29,11 +29,11 @@ pub fn banner(name: &str, paper_ref: &str) {
 }
 
 /// Write machine-readable rows next to the human-readable table.
-pub fn dump_json(name: &str, value: &serde_json::Value) {
+pub fn dump_json(name: &str, value: &torchgt_compat::json::Value) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     if fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(s) = serde_json::to_string_pretty(value) {
+        if let Ok(s) = torchgt_compat::json::to_string_pretty(value) {
             let _ = fs::write(&path, s);
             println!("[rows written to {}]", path.display());
         }

@@ -8,7 +8,7 @@
 //! harnesses report.
 
 use crate::stats::{CollectiveKind, CommStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use torchgt_compat::sync::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 
 /// Per-rank handle for collective communication within a device group.
@@ -316,6 +316,62 @@ mod tests {
         // Each of 2 ranks sends 256 floats to 1 peer = 2 × 1024 bytes.
         assert_eq!(group.stats().bytes_sent(), 2 * 256 * 4);
         assert_eq!(group.stats().ops(CollectiveKind::AllGather), 2);
+    }
+
+    #[test]
+    fn all_to_all_conserves_tokens_and_balances_volume() {
+        // The graph-parallel pipeline redistributes S sequence tokens across
+        // P ranks with one all-to-all. Token identity must be conserved
+        // (nothing dropped or duplicated) and, with a balanced destination
+        // map, every rank should end up holding ~S/P tokens.
+        const P: usize = 8;
+        const S: usize = 4096;
+        const PER_RANK: usize = S / P;
+        let group = DeviceGroup::new(P);
+        let results = group.run(|comm| {
+            let r = comm.rank();
+            // Rank r starts with tokens [r*S/P, (r+1)*S/P); token t is bound
+            // for rank (t % P).
+            let mut chunks: Vec<Vec<f32>> = (0..P).map(|_| Vec::new()).collect();
+            for t in (r * PER_RANK)..((r + 1) * PER_RANK) {
+                chunks[t % P].push(t as f32);
+            }
+            comm.all_to_all(chunks)
+        });
+        let mut seen = vec![0u32; S];
+        for (j, recv) in results.iter().enumerate() {
+            let volume: usize = recv.iter().map(Vec::len).sum();
+            assert_eq!(volume, PER_RANK, "rank {j} volume should be S/P");
+            for chunk in recv {
+                for &tok in chunk {
+                    let t = tok as usize;
+                    assert_eq!(t % P, j, "token {t} landed on wrong rank {j}");
+                    seen[t] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every token exactly once");
+    }
+
+    #[test]
+    fn all_to_all_conserves_uneven_token_counts() {
+        // Skewed destinations: every token goes to rank 0. Totals must still
+        // be conserved even though the volume is maximally unbalanced.
+        const P: usize = 4;
+        const PER_RANK: usize = 32;
+        let group = DeviceGroup::new(P);
+        let results = group.run(|comm| {
+            let r = comm.rank() as f32;
+            let mut chunks: Vec<Vec<f32>> = (0..P).map(|_| Vec::new()).collect();
+            chunks[0] = vec![r; PER_RANK];
+            comm.all_to_all(chunks)
+        });
+        let rank0_total: usize = results[0].iter().map(Vec::len).sum();
+        assert_eq!(rank0_total, P * PER_RANK);
+        for (j, recv) in results.iter().enumerate().skip(1) {
+            let volume: usize = recv.iter().map(Vec::len).sum();
+            assert_eq!(volume, 0, "rank {j} should receive nothing");
+        }
     }
 
     #[test]

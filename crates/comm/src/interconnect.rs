@@ -10,19 +10,20 @@
 //! Collective times follow the standard α–β model: a message of `b` bytes
 //! over a link costs `α + β·b` where `α` is latency and `β = 1/bandwidth`.
 
-use serde::{Deserialize, Serialize};
 
-/// A point-to-point link type with published latency/bandwidth figures.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Interconnect {
-    /// PCIe 4.0 ×16: ~32 GB/s, ~5 µs.
-    Pcie4x16,
-    /// NVLink (A100, aggregated): ~300 GB/s effective per pair, ~2 µs.
-    NvLink,
-    /// 1 Gbps Ethernet: 125 MB/s, ~50 µs.
-    Ethernet1G,
-    /// 200 Gbps InfiniBand: 25 GB/s, ~2 µs.
-    Infiniband200G,
+torchgt_compat::json_enum! {
+    /// A point-to-point link type with published latency/bandwidth figures.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum Interconnect {
+        /// PCIe 4.0 ×16: ~32 GB/s, ~5 µs.
+        Pcie4x16,
+        /// NVLink (A100, aggregated): ~300 GB/s effective per pair, ~2 µs.
+        NvLink,
+        /// 1 Gbps Ethernet: 125 MB/s, ~50 µs.
+        Ethernet1G,
+        /// 200 Gbps InfiniBand: 25 GB/s, ~2 µs.
+        Infiniband200G,
+    }
 }
 
 impl Interconnect {
@@ -52,17 +53,19 @@ impl Interconnect {
     }
 }
 
-/// A multi-server GPU cluster layout.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct ClusterTopology {
-    /// GPUs per server.
-    pub gpus_per_server: usize,
-    /// Number of servers.
-    pub servers: usize,
-    /// Intra-server link.
-    pub intra: Interconnect,
-    /// Inter-server link.
-    pub inter: Interconnect,
+torchgt_compat::json_struct! {
+    /// A multi-server GPU cluster layout.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ClusterTopology {
+        /// GPUs per server.
+        pub gpus_per_server: usize,
+        /// Number of servers.
+        pub servers: usize,
+        /// Intra-server link.
+        pub intra: Interconnect,
+        /// Inter-server link.
+        pub inter: Interconnect,
+    }
 }
 
 impl ClusterTopology {

@@ -1,0 +1,213 @@
+//! `rayon`-style data parallelism over `std::thread::scope`.
+//!
+//! The workspace uses a narrow slice of rayon: `par_chunks_mut`,
+//! `par_iter_mut` and `into_par_iter`, combined with `zip`, `enumerate` and
+//! `for_each`. This module reproduces that surface with an eager model:
+//! every parallel iterator materialises its (cheap, usually borrowed) items
+//! up front, and `for_each` fans contiguous item ranges out to scoped
+//! worker threads. Ordering guarantees match rayon's indexed iterators —
+//! item `i` of a `zip` pairs position `i` of both sides, and `enumerate`
+//! attaches the true index regardless of which worker runs it.
+
+use std::sync::OnceLock;
+
+/// Worker threads used by [`IndexedParallelIterator::for_each`]. Honours
+/// `TORCHGT_THREADS` (0 or unset → all available cores).
+pub fn worker_count() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(v) = std::env::var("TORCHGT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// An indexed parallel iterator: a finite, ordered item sequence whose
+/// consumption may be split across threads.
+pub trait IndexedParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialise the items in index order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter { items: self.into_items().into_iter().enumerate().collect() }
+    }
+
+    /// Pair items positionally with another indexed iterator. Like rayon,
+    /// the result is truncated to the shorter side.
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> ParIter<(Self::Item, B::Item)> {
+        ParIter {
+            items: self.into_items().into_iter().zip(other.into_items()).collect(),
+        }
+    }
+
+    /// Apply `f` to every item, fanning out across scoped threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let mut items = self.into_items();
+        let workers = worker_count().min(items.len());
+        if workers <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        // Split into contiguous per-worker chunks; a panic in any worker
+        // propagates out of the scope (exception safety matches rayon).
+        let chunk = items.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<Self::Item>> = Vec::with_capacity(workers);
+        while items.len() > chunk {
+            let tail = items.split_off(items.len() - chunk);
+            chunks.push(tail);
+        }
+        chunks.push(items);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for chunk in chunks {
+                scope.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The concrete iterator all adapters produce.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IndexedParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Mutable-slice entry points (`rayon::slice::ParallelSliceMut` analogue).
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `chunk_size` (last may be short).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+
+    /// One mutable reference per element.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be nonzero");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// By-value entry point (`rayon::iter::IntoParallelIterator` analogue).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Namespace mirror of `rayon::iter` for fully-qualified trait paths.
+pub mod iter {
+    pub use super::{IndexedParallelIterator, IntoParallelIterator};
+}
+
+/// Drop-in replacement for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{
+        IndexedParallelIterator, IntoParallelIterator, ParIter, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_in_order() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 10 + j) as u64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let mut a = vec![0usize; 257];
+        let mut b: Vec<usize> = (0..257).collect();
+        a.par_chunks_mut(1).zip(b.par_iter_mut()).enumerate().for_each(
+            |(i, (chunk, bv))| {
+                chunk[0] = *bv * 2;
+                assert_eq!(*bv, i);
+            },
+        );
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn into_par_iter_consumes_vec() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        items.into_par_iter().for_each(|v| {
+            sum.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let mut data = vec![0u8; 64];
+            data.par_chunks_mut(1).enumerate().for_each(|(i, _)| {
+                if i == 33 {
+                    panic!("worker bails");
+                }
+            });
+        });
+        assert!(result.is_err(), "panic inside for_each must propagate");
+    }
+
+    #[test]
+    fn empty_and_single_item_paths() {
+        let mut empty: Vec<u8> = Vec::new();
+        empty.par_chunks_mut(4).for_each(|_| panic!("no items expected"));
+        let mut one = vec![1u8];
+        one.par_iter_mut().for_each(|v| *v += 1);
+        assert_eq!(one[0], 2);
+    }
+}

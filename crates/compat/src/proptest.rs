@@ -1,0 +1,358 @@
+//! `proptest`-style property testing: seeded random-input generation with
+//! failing-case reporting.
+//!
+//! The [`proptest!`](crate::proptest!) macro accepts the same shape the
+//! seed tests were written against — an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+//! `#[test] fn name(arg in strategy, ...) { body }` items. Each test runs
+//! `cases` deterministic cases (seeded from the test's full module path, so
+//! failures reproduce across runs); a failing case reports its index, its
+//! seed, and the `Debug` rendering of every generated input. There is no
+//! shrinking — inputs here are small by construction.
+
+use crate::rng::{Rng, SeedableRng, SmallRng};
+use std::ops::Range;
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test base seed: FNV-1a over the test's full path.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A value generator (`proptest::strategy::Strategy` stand-in).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A fixed value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use crate::rng::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` generation: each case draws a length in `size`, then that many
+    /// elements.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Case seed for `(test base seed, case index)` — SplitMix64-mixed so
+/// consecutive cases get unrelated streams.
+pub fn case_rng(base: u64, case: u32) -> SmallRng {
+    let mut state = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    SmallRng::seed_from_u64(crate::rng::splitmix64(&mut state))
+}
+
+/// Everything a property-test file imports (`proptest::prelude::*`).
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{Just, Map, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::proptest as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests. See the module docs for the accepted grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::proptest::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::proptest::ProptestConfig = $cfg;
+                let __base =
+                    $crate::proptest::test_seed(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::proptest::case_rng(__base, __case);
+                    $(let $arg = $crate::proptest::Strategy::generate(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)* ""),
+                        $(&$arg),*
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> Result<(), $crate::proptest::TestCaseError> {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "property `{}` failed at case {}/{} (base seed {:#x}):\n{}\ninputs:\n{}",
+                            stringify!($name), __case, __cfg.cases, __base, e, __inputs
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "property `{}` panicked at case {}/{} (base seed {:#x}); inputs:\n{}",
+                                stringify!($name), __case, __cfg.cases, __base, __inputs
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::proptest::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}` ({} vs {})",
+            l, r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: both sides equal `{:?}` ({} vs {})",
+            l, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Addition commutes — exercises multi-arg generation.
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        /// prop_map and tuple strategies compose.
+        #[test]
+        fn mapped_tuples(pair in (1usize..10, 1usize..10).prop_map(|(x, y)| x * y)) {
+            prop_assert!(pair >= 1);
+            prop_assert!(pair < 100);
+        }
+
+        /// Collection vec respects its size range.
+        #[test]
+        fn vec_lengths(v in collection::vec(0u8..255, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = super::case_rng(super::test_seed("x"), 3);
+        let mut b = super::case_rng(super::test_seed("x"), 3);
+        use crate::rng::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::case_rng(super::test_seed("x"), 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        // Expand a tiny failing property manually via the macro and check
+        // the panic message carries the generated input.
+        let result = std::panic::catch_unwind(|| {
+            crate::__proptest_impl! {
+                (super::ProptestConfig::with_cases(4))
+                fn always_fails(x in 0u32..8) {
+                    crate::prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = match result {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "<non-string panic>".into()),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("always_fails"), "missing test name: {msg}");
+        assert!(msg.contains("x ="), "missing input dump: {msg}");
+    }
+}

@@ -1,0 +1,192 @@
+//! `crossbeam-channel`-style unbounded MPMC channel on std primitives.
+//!
+//! The collectives build a P×P mesh where, unlike `std::sync::mpsc`, the
+//! receiving end must be `Clone` (dummy self-links share one receiver).
+//! This shim backs both ends with one `Mutex<VecDeque>` + `Condvar` and
+//! tracks endpoint counts for crossbeam's disconnect semantics: `recv` on
+//! an empty queue with no senders fails, `send` with no receivers fails.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Mirror of `crossbeam::channel`.
+pub mod channel {
+    pub use super::{unbounded, Receiver, RecvError, SendError, Sender};
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+/// Sending half; clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; clonable (MPMC, unlike `std::sync::mpsc`).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The message could not be delivered: every receiver is gone.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+/// The channel is empty and every sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty channel with no senders")
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        ready: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, waking one waiting receiver.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            // Wake blocked receivers so they can observe disconnection.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next message, blocking until one arrives or every
+    /// sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking dequeue; `None` when currently empty (regardless of
+    /// sender liveness).
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.inner.lock().unwrap().queue.pop_front()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.inner.lock().unwrap().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_channel() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(42u32).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 42);
+        });
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+    }
+}

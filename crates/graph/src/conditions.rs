@@ -220,4 +220,95 @@ mod tests {
         let g2 = augment_for_conditions(&g);
         assert_eq!(g.num_arcs(), g2.num_arcs());
     }
+
+    #[test]
+    fn c1_requires_every_node_looped() {
+        // Hand-built 4-node graph where only nodes 0..3 carry self-loops.
+        let g = CsrGraph::from_edges(
+            4,
+            &[(0, 0), (1, 1), (2, 2), (0, 1), (1, 2), (2, 3)],
+        );
+        assert!(!check_self_loops(&g), "node 3 has no self-loop");
+        assert!(check_self_loops(&g.with_self_loops()));
+    }
+
+    #[test]
+    fn c2_ore_certificate_fires_without_dirac() {
+        // Six nodes: node 5 has degree 2 (defeats Dirac, 2·2 < 6), nodes
+        // 0–4 have degree 4, and every non-adjacent pair sums to ≥ 6, so
+        // Ore's condition certifies a Hamiltonian cycle. The sequence path
+        // cannot fire either: 0—1 is absent.
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (5, 0), (5, 1),
+                (2, 0), (2, 1), (2, 3), (2, 4),
+                (3, 0), (3, 1), (3, 4),
+                (4, 0), (4, 1),
+            ],
+        );
+        assert!(!g.has_edge(0, 1), "sequence-path certificate must not fire");
+        assert!(check_hamiltonian_heuristic(&g));
+        // Dropping an edge from node 5 leaves degree 1 — no Hamiltonian
+        // path can visit it mid-sequence, and the heuristic rejects.
+        let broken = CsrGraph::from_edges(
+            6,
+            &[
+                (5, 0),
+                (2, 0), (2, 1), (2, 3), (2, 4),
+                (3, 0), (3, 1), (3, 4),
+                (4, 0), (4, 1),
+            ],
+        );
+        assert!(!check_hamiltonian_heuristic(&broken));
+    }
+
+    #[test]
+    fn c2_rejects_bridge_star_without_certificates() {
+        // Two stars joined by a bridge: no Hamiltonian path exists and none
+        // of the three certificates can fire.
+        let g = CsrGraph::from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (0, 4)],
+        );
+        assert!(!check_hamiltonian_heuristic(&g));
+    }
+
+    #[test]
+    fn c3_exact_at_diameter_boundary() {
+        // Balanced binary-ish tree of depth 3 → diameter 6.
+        let g = CsrGraph::from_edges(
+            15,
+            &[
+                (0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6),
+                (3, 7), (3, 8), (4, 9), (4, 10), (5, 11), (5, 12),
+                (6, 13), (6, 14),
+            ],
+        );
+        assert!(!check_l_hop_reachability(&g, 5), "diameter is 6, not ≤ 5");
+        assert!(check_l_hop_reachability(&g, 6));
+        assert!(check_l_hop_reachability(&g, 7));
+    }
+
+    #[test]
+    fn report_reflects_partial_failures() {
+        // Path graph with self-loops: C1 ✓, C2 ✓ (sequence path), C3 ✗ at
+        // shallow depth — sparse_ok() must be false on any single failure.
+        let g = path_graph(12).with_self_loops();
+        let rep = check_conditions(&g, 3);
+        assert!(rep.c1_self_loops);
+        assert!(rep.c2_hamiltonian);
+        assert!(!rep.c3_reachable);
+        assert!(!rep.sparse_ok());
+
+        // Same graph, deep enough model: all three hold.
+        let rep_deep = check_conditions(&g, 11);
+        assert!(rep_deep.sparse_ok());
+
+        // Remove the loops: only C1 flips.
+        let rep_noloop = check_conditions(&path_graph(12), 11);
+        assert!(!rep_noloop.c1_self_loops);
+        assert!(rep_noloop.c2_hamiltonian);
+        assert!(!rep_noloop.sparse_ok());
+    }
 }

@@ -16,64 +16,69 @@ use crate::csr::CsrGraph;
 use crate::generators::{
     callgraph_like, clustered_power_law, molecule_like, ClusteredConfig,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use torchgt_compat::rng::rngs::SmallRng;
+use torchgt_compat::rng::{Rng, SeedableRng};
 
-/// Graph learning task types in the paper's evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TaskKind {
-    /// Classify each node into one of `classes`.
-    NodeClassification,
-    /// Classify each graph into one of `classes`.
-    GraphClassification,
-    /// Regress one scalar per graph (ZINC-style, reported as MAE).
-    GraphRegression,
+torchgt_compat::json_enum! {
+    /// Graph learning task types in the paper's evaluation.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TaskKind {
+        /// Classify each node into one of `classes`.
+        NodeClassification,
+        /// Classify each graph into one of `classes`.
+        GraphClassification,
+        /// Regress one scalar per graph (ZINC-style, reported as MAE).
+        GraphRegression,
+    }
 }
 
-/// The datasets used across the paper's tables and figures.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum DatasetKind {
-    /// Amazon product co-purchase graph (He & McAuley), 107-class.
-    Amazon,
-    /// ogbn-arxiv citation graph, 40-class.
-    OgbnArxiv,
-    /// ogbn-products co-purchase graph, 47-class.
-    OgbnProducts,
-    /// ogbn-papers100M citation graph, binary task in the paper.
-    OgbnPapers100M,
-    /// Flickr image-relation graph (Table I), 7-class.
-    Flickr,
-    /// AMiner-CS citation graph (Figure 1).
-    AminerCS,
-    /// Pokec social network (Figure 1).
-    Pokec,
-    /// ZINC molecule regression set.
-    Zinc,
-    /// ogbg-molpcba molecule multi-task set (treated as classification here).
-    OgbgMolpcba,
-    /// MalNet function-call-graph classification set, 5-class.
-    MalNet,
+torchgt_compat::json_enum! {
+    /// The datasets used across the paper's tables and figures.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum DatasetKind {
+        /// Amazon product co-purchase graph (He & McAuley), 107-class.
+        Amazon,
+        /// ogbn-arxiv citation graph, 40-class.
+        OgbnArxiv,
+        /// ogbn-products co-purchase graph, 47-class.
+        OgbnProducts,
+        /// ogbn-papers100M citation graph, binary task in the paper.
+        OgbnPapers100M,
+        /// Flickr image-relation graph (Table I), 7-class.
+        Flickr,
+        /// AMiner-CS citation graph (Figure 1).
+        AminerCS,
+        /// Pokec social network (Figure 1).
+        Pokec,
+        /// ZINC molecule regression set.
+        Zinc,
+        /// ogbg-molpcba molecule multi-task set (treated as classification here).
+        OgbgMolpcba,
+        /// MalNet function-call-graph classification set, 5-class.
+        MalNet,
+    }
 }
 
-/// Published statistics of a dataset (Table III of the paper).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct DatasetSpec {
-    /// Dataset display name.
-    pub name: &'static str,
-    /// Task type.
-    pub task: TaskKind,
-    /// Nodes in the original (node-level) or average nodes per graph
-    /// (graph-level).
-    pub nodes: u64,
-    /// Edges in the original, or average per graph.
-    pub edges: u64,
-    /// Feature dimension.
-    pub feats: usize,
-    /// Number of classes (1 for regression).
-    pub classes: usize,
-    /// Number of graphs (1 for node-level sets).
-    pub num_graphs: u64,
+torchgt_compat::json_struct_ser! {
+    /// Published statistics of a dataset (Table III of the paper).
+    #[derive(Clone, Copy, Debug)]
+    pub struct DatasetSpec {
+        /// Dataset display name.
+        pub name: &'static str,
+        /// Task type.
+        pub task: TaskKind,
+        /// Nodes in the original (node-level) or average nodes per graph
+        /// (graph-level).
+        pub nodes: u64,
+        /// Edges in the original, or average per graph.
+        pub edges: u64,
+        /// Feature dimension.
+        pub feats: usize,
+        /// Number of classes (1 for regression).
+        pub classes: usize,
+        /// Number of graphs (1 for node-level sets).
+        pub num_graphs: u64,
+    }
 }
 
 impl DatasetKind {
@@ -342,15 +347,17 @@ fn make_sample(graph: CsrGraph, feat_dim: usize, label: GraphLabel, seed: u64) -
     GraphSample { graph, features, feat_dim, label }
 }
 
-/// Train/validation/test split masks.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct Split {
-    /// Indices of training nodes (or graphs).
-    pub train: Vec<u32>,
-    /// Indices of validation nodes.
-    pub val: Vec<u32>,
-    /// Indices of test nodes.
-    pub test: Vec<u32>,
+torchgt_compat::json_struct! {
+    /// Train/validation/test split masks.
+    #[derive(Clone, Debug)]
+    pub struct Split {
+        /// Indices of training nodes (or graphs).
+        pub train: Vec<u32>,
+        /// Indices of validation nodes.
+        pub val: Vec<u32>,
+        /// Indices of test nodes.
+        pub test: Vec<u32>,
+    }
 }
 
 impl Split {
@@ -406,12 +413,39 @@ impl NodeDataset {
 }
 
 /// Label of one graph sample.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum GraphLabel {
     /// Classification target.
     Class(u32),
     /// Regression target.
     Value(f32),
+}
+
+// Payload-carrying enum: encoded externally-tagged (`{"Class": 3}`), the
+// same shape serde's default representation produced.
+impl torchgt_compat::json::ToJson for GraphLabel {
+    fn to_json(&self) -> torchgt_compat::json::Value {
+        use torchgt_compat::json::Value;
+        match self {
+            GraphLabel::Class(c) => Value::Object(vec![("Class".to_string(), c.to_json())]),
+            GraphLabel::Value(v) => Value::Object(vec![("Value".to_string(), v.to_json())]),
+        }
+    }
+}
+
+impl torchgt_compat::json::FromJson for GraphLabel {
+    fn from_json(
+        v: &torchgt_compat::json::Value,
+    ) -> Result<Self, torchgt_compat::json::JsonError> {
+        use torchgt_compat::json::JsonError;
+        if let Some(c) = v.get("Class") {
+            return Ok(GraphLabel::Class(u32::from_json(c)?));
+        }
+        if let Some(x) = v.get("Value") {
+            return Ok(GraphLabel::Value(f32::from_json(x)?));
+        }
+        Err(JsonError("expected {\"Class\": _} or {\"Value\": _}".into()))
+    }
 }
 
 /// One graph-level sample.

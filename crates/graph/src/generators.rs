@@ -7,8 +7,8 @@
 //! what the system-level results depend on.
 
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use torchgt_compat::rng::rngs::SmallRng;
+use torchgt_compat::rng::{Rng, SeedableRng};
 
 /// Erdős–Rényi `G(n, m)` graph: `m` uniformly random distinct edges.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {

@@ -11,8 +11,8 @@
 //!    Fiduccia–Mattheyses pass.
 
 use crate::csr::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use torchgt_compat::rng::rngs::SmallRng;
+use torchgt_compat::rng::{Rng, SeedableRng};
 
 /// Intermediate weighted graph used during coarsening.
 #[derive(Clone, Debug)]

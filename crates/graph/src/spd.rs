@@ -3,7 +3,7 @@
 //! hop count between node pairs).
 
 use crate::csr::CsrGraph;
-use rayon::prelude::*;
+use torchgt_compat::par::prelude::*;
 
 /// Sentinel for "unreachable within the cap".
 pub const UNREACHABLE: u8 = u8::MAX;

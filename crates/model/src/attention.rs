@@ -16,7 +16,7 @@
 //!   the topology-induced pattern, with optional per-edge bias (Graphormer's
 //!   spatial encoding restricted to the pattern).
 
-use rayon::prelude::*;
+use torchgt_compat::par::prelude::*;
 use torchgt_graph::CsrGraph;
 use torchgt_tensor::ops;
 use torchgt_tensor::Tensor;
@@ -409,7 +409,7 @@ pub fn sparse(
 fn par_row_chunks<'a>(
     buf: &'a mut [f32],
     row_ptr: &[usize],
-) -> impl rayon::iter::IndexedParallelIterator<Item = &'a mut [f32]> {
+) -> impl torchgt_compat::par::iter::IndexedParallelIterator<Item = &'a mut [f32]> {
     let mut chunks: Vec<&'a mut [f32]> = Vec::with_capacity(row_ptr.len() - 1);
     let mut rest = buf;
     for w in row_ptr.windows(2) {

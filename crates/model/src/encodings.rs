@@ -200,7 +200,7 @@ pub fn laplacian_pe(graph: &CsrGraph, k: usize, iters: usize, seed: u64) -> Tens
     normalize(&mut trivial);
     basis.push(trivial);
     let mut rng = torchgt_tensor::rng::rng(seed);
-    use rand::Rng;
+    use torchgt_compat::rng::Rng;
     for comp in 0..k {
         let mut x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
         let mut y = vec![0.0f32; n];

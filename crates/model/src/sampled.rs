@@ -10,7 +10,7 @@
 use crate::api::{Pattern, SequenceBatch, SequenceModel};
 use crate::block::TransformerBlock;
 use crate::mha::AttentionMode;
-use rand::Rng;
+use torchgt_compat::rng::Rng;
 use torchgt_graph::CsrGraph;
 use torchgt_tensor::layers::Layer;
 use torchgt_tensor::rng::{derive_seed, rng};

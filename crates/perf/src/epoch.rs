@@ -6,7 +6,6 @@
 use crate::gpu::GpuSpec;
 use crate::kernels;
 use crate::memory::{fits, ModelShape};
-use serde::{Deserialize, Serialize};
 use torchgt_comm::ClusterTopology;
 use torchgt_sparse::{AccessProfile, LayoutKind};
 
@@ -27,19 +26,21 @@ pub struct StepSpec {
     pub profile: AccessProfile,
 }
 
-/// Simulated breakdown of one training iteration.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
-pub struct IterationCost {
-    /// Attention forward+backward seconds.
-    pub attention: f64,
-    /// Projections + FFN + layernorm seconds.
-    pub other_compute: f64,
-    /// Collective-communication seconds.
-    pub comm: f64,
-    /// Optimizer step seconds.
-    pub optimizer: f64,
-    /// True when the step exceeds device memory (the paper's OOM cells).
-    pub oom: bool,
+torchgt_compat::json_struct! {
+    /// Simulated breakdown of one training iteration.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct IterationCost {
+        /// Attention forward+backward seconds.
+        pub attention: f64,
+        /// Projections + FFN + layernorm seconds.
+        pub other_compute: f64,
+        /// Collective-communication seconds.
+        pub comm: f64,
+        /// Optimizer step seconds.
+        pub optimizer: f64,
+        /// True when the step exceeds device memory (the paper's OOM cells).
+        pub oom: bool,
+    }
 }
 
 impl IterationCost {

@@ -5,32 +5,33 @@
 //! matter less than their relationships (A100 ≈ 1.7× HBM bandwidth of a
 //! 3090, 3.3× memory, much larger L2).
 
-use serde::{Deserialize, Serialize};
 
-/// Static description of a GPU model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct GpuSpec {
-    /// Marketing name.
-    pub name: &'static str,
-    /// Peak FP32 throughput in FLOP/s.
-    pub fp32_flops: f64,
-    /// Peak BF16/FP16 tensor-core throughput in FLOP/s (what FlashAttention
-    /// actually runs on).
-    pub bf16_flops: f64,
-    /// Peak HBM/GDDR bandwidth in bytes/s.
-    pub mem_bw: f64,
-    /// Device memory in bytes.
-    pub mem_bytes: u64,
-    /// L1 cache (per SM) in bytes.
-    pub l1_bytes: usize,
-    /// L2 cache (device-wide) in bytes.
-    pub l2_bytes: usize,
-    /// Streaming multiprocessor count.
-    pub sm_count: usize,
-    /// Max resident threads per SM.
-    pub max_threads_per_sm: usize,
-    /// Shared memory per SM in bytes.
-    pub smem_per_sm: usize,
+torchgt_compat::json_struct_ser! {
+    /// Static description of a GPU model.
+    #[derive(Clone, Copy, Debug)]
+    pub struct GpuSpec {
+        /// Marketing name.
+        pub name: &'static str,
+        /// Peak FP32 throughput in FLOP/s.
+        pub fp32_flops: f64,
+        /// Peak BF16/FP16 tensor-core throughput in FLOP/s (what FlashAttention
+        /// actually runs on).
+        pub bf16_flops: f64,
+        /// Peak HBM/GDDR bandwidth in bytes/s.
+        pub mem_bw: f64,
+        /// Device memory in bytes.
+        pub mem_bytes: u64,
+        /// L1 cache (per SM) in bytes.
+        pub l1_bytes: usize,
+        /// L2 cache (device-wide) in bytes.
+        pub l2_bytes: usize,
+        /// Streaming multiprocessor count.
+        pub sm_count: usize,
+        /// Max resident threads per SM.
+        pub max_threads_per_sm: usize,
+        /// Shared memory per SM in bytes.
+        pub smem_per_sm: usize,
+    }
 }
 
 impl GpuSpec {

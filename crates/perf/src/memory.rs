@@ -8,18 +8,19 @@
 //! (Figure 9(a)).
 
 use crate::gpu::GpuSpec;
-use serde::{Deserialize, Serialize};
 use torchgt_sparse::LayoutKind;
 
-/// Shape of a transformer model, as the memory model needs it.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct ModelShape {
-    /// Number of transformer layers.
-    pub layers: usize,
-    /// Hidden dimension.
-    pub hidden: usize,
-    /// Attention heads.
-    pub heads: usize,
+torchgt_compat::json_struct! {
+    /// Shape of a transformer model, as the memory model needs it.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ModelShape {
+        /// Number of transformer layers.
+        pub layers: usize,
+        /// Hidden dimension.
+        pub hidden: usize,
+        /// Attention heads.
+        pub heads: usize,
+    }
 }
 
 impl ModelShape {

@@ -1,23 +1,24 @@
 //! Training-run configuration.
 
-use serde::{Deserialize, Serialize};
 use torchgt_tensor::Precision;
 
-/// The training systems compared throughout the paper's evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Method {
-    /// Vanilla graph parallelism with standard dense attention (the paper's
-    /// GP-RAW baseline) — materialises `S²` scores, OOMs at scale.
-    GpRaw,
-    /// Graph parallelism + FlashAttention (GP-FLASH): fully-connected tiled
-    /// attention, BF16-only compute, no attention-bias support.
-    GpFlash,
-    /// Graph parallelism + pure topology-induced sparse attention
-    /// (GP-SPARSE): fast but convergence-degraded — no interleaving.
-    GpSparse,
-    /// The full TorchGT system: Dual-interleaved Attention + Cluster-aware
-    /// Graph Parallelism + Elastic Computation Reformation.
-    TorchGt,
+torchgt_compat::json_enum! {
+    /// The training systems compared throughout the paper's evaluation.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum Method {
+        /// Vanilla graph parallelism with standard dense attention (the paper's
+        /// GP-RAW baseline) — materialises `S²` scores, OOMs at scale.
+        GpRaw,
+        /// Graph parallelism + FlashAttention (GP-FLASH): fully-connected tiled
+        /// attention, BF16-only compute, no attention-bias support.
+        GpFlash,
+        /// Graph parallelism + pure topology-induced sparse attention
+        /// (GP-SPARSE): fast but convergence-degraded — no interleaving.
+        GpSparse,
+        /// The full TorchGT system: Dual-interleaved Attention + Cluster-aware
+        /// Graph Parallelism + Elastic Computation Reformation.
+        TorchGt,
+    }
 }
 
 impl Method {
@@ -41,36 +42,38 @@ impl Method {
     }
 }
 
-/// Configuration of a training run.
-#[derive(Clone, Copy, Debug)]
-pub struct TrainConfig {
-    /// Which system executes the run.
-    pub method: Method,
-    /// Sequence length (tokens per training sequence).
-    pub seq_len: usize,
-    /// Number of training epochs.
-    pub epochs: usize,
-    /// Adam learning rate.
-    pub lr: f32,
-    /// Numeric precision (defaults from the method; override for the
-    /// Table VII TorchGT-BF16 run).
-    pub precision: Precision,
-    /// Dual-interleaved Attention: run one fully-connected pass every
-    /// `interleave_period` iterations (0 disables interleaving).
-    pub interleave_period: usize,
-    /// Number of clusters `k` for the cluster-aware reordering (0 = let the
-    /// Auto Tuner pick from the GPU spec).
-    pub clusters: usize,
-    /// Sub-block dimension `d_b` (0 = Auto Tuner).
-    pub sub_block: usize,
-    /// Fixed transfer threshold `β_thre`; `None` enables the elastic Auto
-    /// Tuner ladder.
-    pub beta_thre: Option<f64>,
-    /// Linear LR warmup steps followed by inverse-sqrt decay (Graphormer's
-    /// recipe); 0 keeps the LR constant.
-    pub warmup_steps: usize,
-    /// RNG seed.
-    pub seed: u64,
+torchgt_compat::json_struct! {
+    /// Configuration of a training run.
+    #[derive(Clone, Copy, Debug)]
+    pub struct TrainConfig {
+        /// Which system executes the run.
+        pub method: Method,
+        /// Sequence length (tokens per training sequence).
+        pub seq_len: usize,
+        /// Number of training epochs.
+        pub epochs: usize,
+        /// Adam learning rate.
+        pub lr: f32,
+        /// Numeric precision (defaults from the method; override for the
+        /// Table VII TorchGT-BF16 run).
+        pub precision: Precision,
+        /// Dual-interleaved Attention: run one fully-connected pass every
+        /// `interleave_period` iterations (0 disables interleaving).
+        pub interleave_period: usize,
+        /// Number of clusters `k` for the cluster-aware reordering (0 = let the
+        /// Auto Tuner pick from the GPU spec).
+        pub clusters: usize,
+        /// Sub-block dimension `d_b` (0 = Auto Tuner).
+        pub sub_block: usize,
+        /// Fixed transfer threshold `β_thre`; `None` enables the elastic Auto
+        /// Tuner ladder.
+        pub beta_thre: Option<f64>,
+        /// Linear LR warmup steps followed by inverse-sqrt decay (Graphormer's
+        /// recipe); 0 keeps the LR constant.
+        pub warmup_steps: usize,
+        /// RNG seed.
+        pub seed: u64,
+    }
 }
 
 impl TrainConfig {
@@ -109,5 +112,50 @@ mod tests {
         assert_eq!(Method::TorchGt.default_precision(), Precision::Fp32);
         let cfg = TrainConfig::new(Method::GpFlash, 1024, 10);
         assert_eq!(cfg.precision, Precision::Bf16);
+    }
+
+    #[test]
+    fn method_round_trips_through_json() {
+        use torchgt_compat::json::{from_str_as, to_string, ToJson};
+        for m in [Method::GpRaw, Method::GpFlash, Method::GpSparse, Method::TorchGt] {
+            let text = to_string(&m.to_json()).unwrap();
+            let back: Method = from_str_as(&text).unwrap();
+            assert_eq!(back, m);
+        }
+        assert!(from_str_as::<Method>("\"NotAMethod\"").is_err());
+    }
+
+    #[test]
+    fn train_config_round_trips_through_json() {
+        use torchgt_compat::json::{from_str_as, to_string, ToJson};
+        let mut cfg = TrainConfig::new(Method::TorchGt, 4096, 12);
+        cfg.lr = 2.5e-4;
+        cfg.beta_thre = Some(0.125);
+        cfg.warmup_steps = 400;
+        cfg.seed = 0xDEAD_BEEF_u64;
+        let text = to_string(&cfg.to_json()).unwrap();
+        let back: TrainConfig = from_str_as(&text).unwrap();
+        assert_eq!(back.method, cfg.method);
+        assert_eq!(back.seq_len, cfg.seq_len);
+        assert_eq!(back.epochs, cfg.epochs);
+        assert_eq!(back.lr, cfg.lr);
+        assert_eq!(back.precision, cfg.precision);
+        assert_eq!(back.interleave_period, cfg.interleave_period);
+        assert_eq!(back.clusters, cfg.clusters);
+        assert_eq!(back.sub_block, cfg.sub_block);
+        assert_eq!(back.beta_thre, cfg.beta_thre);
+        assert_eq!(back.warmup_steps, cfg.warmup_steps);
+        assert_eq!(back.seed, cfg.seed);
+    }
+
+    #[test]
+    fn train_config_none_beta_round_trips() {
+        use torchgt_compat::json::{from_str_as, to_string, ToJson};
+        let cfg = TrainConfig::new(Method::GpSparse, 512, 3);
+        assert!(cfg.beta_thre.is_none());
+        let text = to_string(&cfg.to_json()).unwrap();
+        assert!(text.contains("\"beta_thre\":null"), "None must encode as null: {text}");
+        let back: TrainConfig = from_str_as(&text).unwrap();
+        assert!(back.beta_thre.is_none());
     }
 }

@@ -16,24 +16,25 @@
 use crate::config::TrainConfig;
 use crate::parallel::all_reduce_mean;
 use crate::preprocess::prepare_node_dataset;
-use serde::{Deserialize, Serialize};
 use torchgt_comm::{CollectiveKind, Communicator, DeviceGroup};
 use torchgt_graph::NodeDataset;
 use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
 use torchgt_tensor::{Adam, Optimizer, Tensor};
 
-/// Result of a distributed run (identical on every rank; rank 0's copy is
-/// returned).
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct DistributedStats {
-    /// Mean training loss per epoch.
-    pub epoch_losses: Vec<f32>,
-    /// Total bytes moved by gradient all-reduces.
-    pub grad_bytes: u64,
-    /// All-reduce invocations per rank.
-    pub all_reduces: u64,
-    /// World size the run used.
-    pub world: usize,
+torchgt_compat::json_struct! {
+    /// Result of a distributed run (identical on every rank; rank 0's copy is
+    /// returned).
+    #[derive(Clone, Debug)]
+    pub struct DistributedStats {
+        /// Mean training loss per epoch.
+        pub epoch_losses: Vec<f32>,
+        /// Total bytes moved by gradient all-reduces.
+        pub grad_bytes: u64,
+        /// All-reduce invocations per rank.
+        pub all_reduces: u64,
+        /// World size the run used.
+        pub world: usize,
+    }
 }
 
 /// Train `cfg.epochs` epochs of the node-level task across `world` simulated

@@ -6,7 +6,6 @@ use crate::autotune::AutoTuner;
 use crate::config::{Method, TrainConfig};
 use crate::interleave::{Decision, InterleaveScheduler};
 use crate::preprocess::{prepare_node_dataset, Prepared};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use torchgt_comm::ClusterTopology;
 use torchgt_graph::partition::{cluster_order, partition, ClusterOrder};
@@ -17,28 +16,30 @@ use torchgt_sparse::{access_profile, reform, AccessProfile, LayoutKind, ReformCo
 use torchgt_tensor::bf16::{apply_precision, bf16_round};
 use torchgt_tensor::{Adam, Optimizer, Precision};
 
-/// Per-epoch training record.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct EpochStats {
-    /// Epoch number (0-based).
-    pub epoch: usize,
-    /// Mean training loss over the epoch.
-    pub loss: f32,
-    /// Accuracy on the train split.
-    pub train_acc: f64,
-    /// Accuracy on the test split.
-    pub test_acc: f64,
-    /// Real wall-clock seconds of this Rust process.
-    pub wall_seconds: f64,
-    /// Simulated seconds on the configured GPU cluster (what the paper's
-    /// tables report).
-    pub sim_seconds: f64,
-    /// Iterations run with the sparse pattern.
-    pub sparse_iters: usize,
-    /// Iterations run fully-connected (interleaves + fallbacks).
-    pub full_iters: usize,
-    /// The transfer threshold β_thre in effect.
-    pub beta_thre: f64,
+torchgt_compat::json_struct! {
+    /// Per-epoch training record.
+    #[derive(Clone, Copy, Debug)]
+    pub struct EpochStats {
+        /// Epoch number (0-based).
+        pub epoch: usize,
+        /// Mean training loss over the epoch.
+        pub loss: f32,
+        /// Accuracy on the train split.
+        pub train_acc: f64,
+        /// Accuracy on the test split.
+        pub test_acc: f64,
+        /// Real wall-clock seconds of this Rust process.
+        pub wall_seconds: f64,
+        /// Simulated seconds on the configured GPU cluster (what the paper's
+        /// tables report).
+        pub sim_seconds: f64,
+        /// Iterations run with the sparse pattern.
+        pub sparse_iters: usize,
+        /// Iterations run fully-connected (interleaves + fallbacks).
+        pub full_iters: usize,
+        /// The transfer threshold β_thre in effect.
+        pub beta_thre: f64,
+    }
 }
 
 /// Per-sequence attention state for the sparse path.

@@ -9,25 +9,26 @@
 //! `criterion_kernels` measures the real CPU-side locality win of gathering
 //! through this format vs element-wise CSR.
 
-use serde::{Deserialize, Serialize};
 use torchgt_graph::CsrGraph;
 
-/// A boolean block-sparse matrix: `d_b × d_b` tiles, each tile a dense
-/// bitmap of which entries are active.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct BlockCsr {
-    /// Tile edge length `d_b`.
-    pub db: usize,
-    /// Number of block rows (`⌈n / d_b⌉`).
-    pub block_rows: usize,
-    /// Number of block cols.
-    pub block_cols: usize,
-    /// CSR over blocks: `block_ptr[i]..block_ptr[i+1]` indexes `block_col`.
-    block_ptr: Vec<usize>,
-    /// Column (block) index of each stored tile.
-    block_col: Vec<u32>,
-    /// Dense bitmaps, `db*db` bits per tile packed as bytes row-major.
-    bitmaps: Vec<u8>,
+torchgt_compat::json_struct! {
+    /// A boolean block-sparse matrix: `d_b × d_b` tiles, each tile a dense
+    /// bitmap of which entries are active.
+    #[derive(Clone, Debug)]
+    pub struct BlockCsr {
+        /// Tile edge length `d_b`.
+        pub db: usize,
+        /// Number of block rows (`⌈n / d_b⌉`).
+        pub block_rows: usize,
+        /// Number of block cols.
+        pub block_cols: usize,
+        /// CSR over blocks: `block_ptr[i]..block_ptr[i+1]` indexes `block_col`.
+        block_ptr: Vec<usize>,
+        /// Column (block) index of each stored tile.
+        block_col: Vec<u32>,
+        /// Dense bitmaps, `db*db` bits per tile packed as bytes row-major.
+        bitmaps: Vec<u8>,
+    }
 }
 
 impl BlockCsr {

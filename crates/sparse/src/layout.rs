@@ -6,24 +6,25 @@
 //! cluster-sparse (sub-block compacted) pattern. Dense and FlashAttention
 //! kernels always use the fully-connected layout.
 
-use serde::{Deserialize, Serialize};
 use torchgt_graph::CsrGraph;
 
-/// The attention pattern families used across the paper's experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum LayoutKind {
-    /// Fully-connected `O(S²)` attention (GP-RAW).
-    Dense,
-    /// Fully-connected attention computed with an IO-aware tiled kernel
-    /// (GP-FLASH). Same pattern as `Dense`, different kernel cost.
-    Flash,
-    /// Topology-induced `O(E)` sparse attention (GP-SPARSE).
-    Topology,
-    /// Cluster-reordered topology attention (after graph parallelism's
-    /// reordering step).
-    Clustered,
-    /// Cluster-sparse attention after Elastic Computation Reformation.
-    ClusterSparse,
+torchgt_compat::json_enum! {
+    /// The attention pattern families used across the paper's experiments.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum LayoutKind {
+        /// Fully-connected `O(S²)` attention (GP-RAW).
+        Dense,
+        /// Fully-connected attention computed with an IO-aware tiled kernel
+        /// (GP-FLASH). Same pattern as `Dense`, different kernel cost.
+        Flash,
+        /// Topology-induced `O(E)` sparse attention (GP-SPARSE).
+        Topology,
+        /// Cluster-reordered topology attention (after graph parallelism's
+        /// reordering step).
+        Clustered,
+        /// Cluster-sparse attention after Elastic Computation Reformation.
+        ClusterSparse,
+    }
 }
 
 impl LayoutKind {
@@ -39,24 +40,26 @@ impl LayoutKind {
     }
 }
 
-/// Memory-access profile of a sparse attention mask.
-///
-/// The cost model uses this to convert a layout into simulated GPU time:
-/// contiguous runs of column indices coalesce into wide loads, isolated
-/// nonzeros become serialized gathers (the paper's Table II measures exactly
-/// this penalty: up to 33× over dense).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct AccessProfile {
-    /// Total nonzeros (attended pairs).
-    pub nnz: usize,
-    /// Number of maximal runs of consecutive column indices.
-    pub runs: usize,
-    /// Mean run length (`nnz / runs`).
-    pub avg_run_len: f64,
-    /// Nonzeros in runs of length 1 — the fully irregular accesses.
-    pub isolated: usize,
-    /// Number of rows with at least one nonzero.
-    pub active_rows: usize,
+torchgt_compat::json_struct! {
+    /// Memory-access profile of a sparse attention mask.
+    ///
+    /// The cost model uses this to convert a layout into simulated GPU time:
+    /// contiguous runs of column indices coalesce into wide loads, isolated
+    /// nonzeros become serialized gathers (the paper's Table II measures exactly
+    /// this penalty: up to 33× over dense).
+    #[derive(Clone, Copy, Debug, Default, PartialEq)]
+    pub struct AccessProfile {
+        /// Total nonzeros (attended pairs).
+        pub nnz: usize,
+        /// Number of maximal runs of consecutive column indices.
+        pub runs: usize,
+        /// Mean run length (`nnz / runs`).
+        pub avg_run_len: f64,
+        /// Nonzeros in runs of length 1 — the fully irregular accesses.
+        pub isolated: usize,
+        /// Number of rows with at least one nonzero.
+        pub active_rows: usize,
+    }
 }
 
 /// Profile the memory-access pattern of a CSR attention mask.

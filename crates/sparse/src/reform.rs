@@ -11,18 +11,19 @@
 //! `{0, β_G, 1.5β_G, 5β_G, 7β_G, 10β_G, 1}` during training (*elastic*).
 
 use crate::layout::{access_profile, AccessProfile};
-use serde::{Deserialize, Serialize};
 use torchgt_graph::partition::ClusterOrder;
 use torchgt_graph::CsrGraph;
 
-/// Configuration of a reformation pass.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct ReformConfig {
-    /// Sub-block dimension `d_b` (the paper fits 16 for RTX 3090, hidden 64).
-    pub db: usize,
-    /// Transfer threshold `β_thre`: clusters sparser than this are
-    /// compacted.
-    pub beta_thre: f64,
+torchgt_compat::json_struct! {
+    /// Configuration of a reformation pass.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ReformConfig {
+        /// Sub-block dimension `d_b` (the paper fits 16 for RTX 3090, hidden 64).
+        pub db: usize,
+        /// Transfer threshold `β_thre`: clusters sparser than this are
+        /// compacted.
+        pub beta_thre: f64,
+    }
 }
 
 impl ReformConfig {
@@ -33,22 +34,24 @@ impl ReformConfig {
     }
 }
 
-/// Statistics of one reformation pass.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
-pub struct ReformStats {
-    /// Number of nonempty cluster pairs examined.
-    pub clusters_total: usize,
-    /// Cluster pairs transferred to sub-block form.
-    pub clusters_transferred: usize,
-    /// Arcs (mask nonzeros) before reformation.
-    pub nnz_before: usize,
-    /// Arcs after reformation (sub-blocks may add or merge entries).
-    pub nnz_after: usize,
-    /// Original arcs still present afterwards (pattern recall; 1.0 means no
-    /// connectivity loss).
-    pub edge_recall: f64,
-    /// Sub-blocks created across all transferred clusters.
-    pub sub_blocks: usize,
+torchgt_compat::json_struct! {
+    /// Statistics of one reformation pass.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct ReformStats {
+        /// Number of nonempty cluster pairs examined.
+        pub clusters_total: usize,
+        /// Cluster pairs transferred to sub-block form.
+        pub clusters_transferred: usize,
+        /// Arcs (mask nonzeros) before reformation.
+        pub nnz_before: usize,
+        /// Arcs after reformation (sub-blocks may add or merge entries).
+        pub nnz_after: usize,
+        /// Original arcs still present afterwards (pattern recall; 1.0 means no
+        /// connectivity loss).
+        pub edge_recall: f64,
+        /// Sub-blocks created across all transferred clusters.
+        pub sub_blocks: usize,
+    }
 }
 
 /// Result of reformation: the new attention mask plus bookkeeping.

@@ -8,14 +8,16 @@
 
 use crate::tensor::Tensor;
 
-/// Numeric precision of a training run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Precision {
-    /// Full IEEE-754 single precision (TorchGT's default).
-    Fp32,
-    /// Emulated bfloat16: activations are rounded through bf16 after each
-    /// attention/FFN block, matching FlashAttention's compute precision.
-    Bf16,
+torchgt_compat::json_enum! {
+    /// Numeric precision of a training run.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum Precision {
+        /// Full IEEE-754 single precision (TorchGT's default).
+        Fp32,
+        /// Emulated bfloat16: activations are rounded through bf16 after each
+        /// attention/FFN block, matching FlashAttention's compute precision.
+        Bf16,
+    }
 }
 
 impl Precision {

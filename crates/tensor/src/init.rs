@@ -2,7 +2,7 @@
 
 use crate::rng::rng;
 use crate::tensor::Tensor;
-use rand::Rng;
+use torchgt_compat::rng::Rng;
 
 /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`.

@@ -9,7 +9,7 @@ use crate::ops;
 use crate::param::Param;
 use crate::rng::{derive_seed, rng};
 use crate::tensor::Tensor;
-use rand::Rng;
+use torchgt_compat::rng::Rng;
 
 /// Common interface over trainable layers.
 pub trait Layer {

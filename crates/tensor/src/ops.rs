@@ -5,7 +5,7 @@
 //! data-parallel style recommended by the HPC guides for this project.
 
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+use torchgt_compat::par::prelude::*;
 
 /// Threshold (in output elements) above which matmul rows are processed in
 /// parallel. Tiny matrices are cheaper sequentially.

@@ -4,8 +4,8 @@
 //! seed; this module centralises construction so seeding conventions stay in
 //! one place.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use torchgt_compat::rng::rngs::SmallRng;
+use torchgt_compat::rng::SeedableRng;
 
 /// Build a [`SmallRng`] from a seed.
 pub fn rng(seed: u64) -> SmallRng {
@@ -25,7 +25,7 @@ pub fn derive_seed(base: u64, stream: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use torchgt_compat::rng::Rng;
 
     #[test]
     fn same_seed_same_stream() {

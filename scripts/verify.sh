@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Hermetic verification gate: the whole workspace must build, test, and
+# compile its benches/examples with no network access. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build (offline) =="
+cargo build --release --offline
+
+echo "== test suite (offline) =="
+cargo test -q --offline --workspace
+
+echo "== benches + examples compile (offline) =="
+cargo check --benches --examples --offline
+
+echo "verify: OK"

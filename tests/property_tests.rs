@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the reproduction.
 
-use proptest::prelude::*;
+use torchgt_compat::proptest::prelude::*;
 use torchgt::graph::generators::{clustered_power_law, erdos_renyi, ClusteredConfig};
 use torchgt::graph::partition::{cluster_order, edge_cut, partition};
 use torchgt::graph::CsrGraph;
@@ -199,7 +199,7 @@ proptest! {
 }
 
 mod extension_props {
-    use proptest::prelude::*;
+    use torchgt_compat::proptest::prelude::*;
     use torchgt::graph::generators::erdos_renyi;
     use torchgt::graph::pack::{pack_graphs, segment_mean, segment_mean_backward};
     use torchgt::graph::reorder::reverse_cuthill_mckee;
