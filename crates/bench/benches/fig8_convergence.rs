@@ -4,7 +4,7 @@
 //! Paper shape: TorchGT converges faster and to higher accuracy (GP-FLASH
 //! loses both its attention bias and precision).
 
-use torchgt_bench::{banner, dump_json, functional_node_run, BenchModel};
+use torchgt_bench::{banner, dump_json, functional_node_run, functional_node_run_observed, BenchModel};
 use torchgt_graph::DatasetKind;
 use torchgt_runtime::Method;
 
@@ -23,8 +23,18 @@ fn main() {
         let dataset = kind.generate_node(scale, 21);
         println!("\n--- {} on {} ---", model.label(), spec.name);
         println!("{:>6} {:>18} {:>18}", "epoch", "TorchGT acc", "GP-Flash acc");
-        let (tgt, _) = functional_node_run(&dataset, Method::TorchGt, model, 400, epochs, 2);
+        let dump = format!("fig8_{}_{}", model.label(), spec.name);
+        let (tgt, metrics) =
+            functional_node_run_observed(&dataset, Method::TorchGt, model, 400, epochs, 2, &dump);
         let (flash, _) = functional_node_run(&dataset, Method::GpFlash, model, 400, epochs, 2);
+        if let Some(a2a) = metrics.collective("all_to_all") {
+            println!(
+                "[TorchGT run: {} all-to-alls, {:.1} MiB on the wire, {} β_thre transition(s)]",
+                a2a.ops,
+                a2a.wire_bytes as f64 / (1 << 20) as f64,
+                metrics.events_of(torchgt_obs::Event::BETA_TRANSITION).len(),
+            );
+        }
         for e in 0..epochs {
             println!(
                 "{:>6} {:>18.4} {:>18.4}",

@@ -12,6 +12,9 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
+use torchgt_obs::{MemoryRecorder, MetricsReport};
+use torchgt_runtime::Trainer;
 use torchgt_graph::partition::{cluster_order, partition};
 use torchgt_graph::{DatasetKind, DatasetSpec, NodeDataset};
 use torchgt_perf::{epoch_cost, GpuSpec, IterationCost, ModelShape, StepSpec};
@@ -234,6 +237,51 @@ pub fn functional_node_run(
     );
     let stats = trainer.run();
     (stats, trainer)
+}
+
+/// Like [`functional_node_run`], but with an in-memory recorder attached:
+/// returns the observability report alongside the epoch history, and dumps
+/// it under `target/experiments/` so harness runs leave span timings,
+/// all-to-all volume, and β_thre transition events next to their rows.
+pub fn functional_node_run_observed(
+    dataset: &NodeDataset,
+    method: Method,
+    model: BenchModel,
+    seq_len: usize,
+    epochs: usize,
+    seed: u64,
+    dump_name: &str,
+) -> (Vec<EpochStats>, MetricsReport) {
+    let mut cfg = TrainConfig::new(method, seq_len, epochs);
+    cfg.lr = 2e-3;
+    cfg.seed = seed;
+    cfg.interleave_period = 8;
+    let m = model.build(dataset.feat_dim, dataset.num_classes, seed);
+    let mut trainer = NodeTrainer::new(
+        cfg,
+        dataset,
+        m,
+        model.functional_shape(),
+        GpuSpec::rtx3090(),
+        ClusterTopology::rtx3090(1),
+    );
+    let recorder = Arc::new(MemoryRecorder::default());
+    trainer.attach_recorder(recorder.clone());
+    let stats = Trainer::run(&mut trainer);
+    let report = recorder.report();
+    dump_metrics(dump_name, &report);
+    (stats, report)
+}
+
+/// Write a metrics report under `target/experiments/<name>.metrics.json`.
+pub fn dump_metrics(name: &str, report: &MetricsReport) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.metrics.json"));
+        if fs::write(&path, report.to_json_string_pretty()).is_ok() {
+            println!("[metrics written to {}]", path.display());
+        }
+    }
 }
 
 /// Default scaled stand-in sizes used across harnesses: small enough to run

@@ -8,8 +8,9 @@
 //! harnesses report.
 
 use crate::stats::{CollectiveKind, CommStats};
-use torchgt_compat::sync::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
+use torchgt_compat::sync::channel::{unbounded, Receiver, Sender};
+use torchgt_obs::RecorderHandle;
 
 /// Per-rank handle for collective communication within a device group.
 pub struct Communicator {
@@ -20,6 +21,7 @@ pub struct Communicator {
     /// `receivers[j]` receives from rank `j`.
     receivers: Vec<Receiver<Vec<f32>>>,
     stats: Arc<CommStats>,
+    recorder: RecorderHandle,
 }
 
 impl Communicator {
@@ -38,6 +40,19 @@ impl Communicator {
         &self.stats
     }
 
+    /// Account one collective invocation: `payload` is the logical volume
+    /// this rank handles, `wire` the part it actually sends across links
+    /// (sender-side counting — group-wide sums don't double-count).
+    fn account(&self, kind: CollectiveKind, payload: usize, wire: usize) {
+        self.stats.record_op(kind);
+        if wire > 0 {
+            self.stats.record_wire_bytes(kind, wire);
+        }
+        if self.recorder.enabled() {
+            self.recorder.collective(kind.label(), 1, payload as u64, wire as u64);
+        }
+    }
+
     /// Point-to-point send (building block for custom collective
     /// algorithms, e.g. [`crate::hierarchical`]).
     pub fn send_to(&self, peer: usize, data: Vec<f32>) {
@@ -54,7 +69,9 @@ impl Communicator {
     /// from every rank (own chunk passed through untouched).
     pub fn all_to_all(&self, mut chunks: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
         assert_eq!(chunks.len(), self.world, "all_to_all needs one chunk per rank");
-        self.stats.record_op(CollectiveKind::AllToAll);
+        let payload: usize = chunks.iter().map(|c| c.len() * 4).sum();
+        let wire = payload - chunks[self.rank].len() * 4;
+        self.account(CollectiveKind::AllToAll, payload, wire);
         let own = std::mem::take(&mut chunks[self.rank]);
         for (j, chunk) in chunks.into_iter().enumerate() {
             if j != self.rank {
@@ -74,7 +91,8 @@ impl Communicator {
     /// All-gather: every rank contributes `data`; returns all contributions
     /// indexed by rank.
     pub fn all_gather(&self, data: Vec<f32>) -> Vec<Vec<f32>> {
-        self.stats.record_op(CollectiveKind::AllGather);
+        let bytes = data.len() * 4;
+        self.account(CollectiveKind::AllGather, bytes * self.world, bytes * (self.world - 1));
         for j in 0..self.world {
             if j != self.rank {
                 self.send_to(j, data.clone());
@@ -92,7 +110,8 @@ impl Communicator {
 
     /// All-reduce (sum): element-wise sum of every rank's `data`.
     pub fn all_reduce_sum(&self, data: Vec<f32>) -> Vec<f32> {
-        self.stats.record_op(CollectiveKind::AllReduce);
+        // Wire volume lands on the underlying all-gather's ledger.
+        self.account(CollectiveKind::AllReduce, data.len() * 4, 0);
         let parts = self.all_gather(data);
         let len = parts[0].len();
         let mut acc = vec![0.0f32; len];
@@ -109,7 +128,8 @@ impl Communicator {
     /// `j`'s result; returns the element-wise sum of chunk `rank` across all
     /// ranks.
     pub fn reduce_scatter_sum(&self, chunks: Vec<Vec<f32>>) -> Vec<f32> {
-        self.stats.record_op(CollectiveKind::ReduceScatter);
+        // Wire volume lands on the underlying all-to-all's ledger.
+        self.account(CollectiveKind::ReduceScatter, chunks.iter().map(|c| c.len() * 4).sum(), 0);
         let received = self.all_to_all(chunks);
         let len = received[0].len();
         let mut acc = vec![0.0f32; len];
@@ -124,9 +144,10 @@ impl Communicator {
     /// Broadcast from `root`: the root passes `Some(data)`, everyone else
     /// `None`; all ranks return the root's data.
     pub fn broadcast(&self, root: usize, data: Option<Vec<f32>>) -> Vec<f32> {
-        self.stats.record_op(CollectiveKind::Broadcast);
         if self.rank == root {
             let data = data.expect("root must supply data");
+            let bytes = data.len() * 4;
+            self.account(CollectiveKind::Broadcast, bytes, bytes * (self.world - 1));
             for j in 0..self.world {
                 if j != root {
                     self.send_to(j, data.clone());
@@ -134,13 +155,15 @@ impl Communicator {
             }
             data
         } else {
-            self.recv_from(root)
+            let data = self.recv_from(root);
+            self.account(CollectiveKind::Broadcast, data.len() * 4, 0);
+            data
         }
     }
 
     /// Barrier: no rank proceeds until all ranks arrive.
     pub fn barrier(&self) {
-        self.stats.record_op(CollectiveKind::Barrier);
+        self.account(CollectiveKind::Barrier, 0, 0);
         for j in 0..self.world {
             if j != self.rank {
                 self.senders[j].send(Vec::new()).expect("peer hung up");
@@ -159,13 +182,26 @@ impl Communicator {
 pub struct DeviceGroup {
     world: usize,
     stats: Arc<CommStats>,
+    recorder: RecorderHandle,
 }
 
 impl DeviceGroup {
     /// Create a group of `world` simulated devices.
     pub fn new(world: usize) -> Self {
+        Self::with_recorder(world, torchgt_obs::noop())
+    }
+
+    /// Create a group whose collectives report per-invocation ops/volume to
+    /// `recorder` (in addition to the always-on [`CommStats`] counters).
+    pub fn with_recorder(world: usize, recorder: RecorderHandle) -> Self {
         assert!(world >= 1);
-        Self { world, stats: Arc::new(CommStats::default()) }
+        Self { world, stats: Arc::new(CommStats::default()), recorder }
+    }
+
+    /// Swap the recorder collectives report to (applies to subsequent
+    /// [`DeviceGroup::run`] calls).
+    pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Number of ranks.
@@ -219,6 +255,7 @@ impl DeviceGroup {
                 senders,
                 receivers,
                 stats: Arc::clone(&self.stats),
+                recorder: Arc::clone(&self.recorder),
             });
         }
         let f = &f;
@@ -372,6 +409,26 @@ mod tests {
             let volume: usize = recv.iter().map(Vec::len).sum();
             assert_eq!(volume, 0, "rank {j} should receive nothing");
         }
+    }
+
+    #[test]
+    fn recorder_sees_per_kind_volume() {
+        use torchgt_obs::MemoryRecorder;
+        let mem = Arc::new(MemoryRecorder::default());
+        let group = DeviceGroup::with_recorder(4, mem.clone());
+        group.run(|comm| {
+            // 4 chunks of 8 floats each: 128 B payload, 96 B cross-link.
+            comm.all_to_all((0..4).map(|_| vec![0.0f32; 8]).collect());
+            comm.barrier();
+        });
+        let report = mem.report();
+        let a2a = report.collective("all_to_all").unwrap();
+        assert_eq!(a2a.ops, 4, "one invocation per rank");
+        assert_eq!(a2a.payload_bytes, 4 * 128);
+        assert_eq!(a2a.wire_bytes, 4 * 96);
+        assert_eq!(report.collective("barrier").unwrap().wire_bytes, 0);
+        // The always-on stats ledger agrees with the recorder.
+        assert_eq!(group.stats().wire_bytes(CollectiveKind::AllToAll), 4 * 96);
     }
 
     #[test]

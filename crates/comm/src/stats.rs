@@ -20,6 +20,29 @@ pub enum CollectiveKind {
 }
 
 impl CollectiveKind {
+    /// Every tracked kind, in index order.
+    pub const ALL: [CollectiveKind; 6] = [
+        CollectiveKind::AllToAll,
+        CollectiveKind::AllGather,
+        CollectiveKind::AllReduce,
+        CollectiveKind::ReduceScatter,
+        CollectiveKind::Broadcast,
+        CollectiveKind::Barrier,
+    ];
+
+    /// Stable snake_case label — the key used by recorder exports
+    /// (`torchgt_obs::CollectiveStat::kind`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveKind::AllToAll => "all_to_all",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Barrier => "barrier",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             CollectiveKind::AllToAll => 0,
@@ -37,6 +60,7 @@ impl CollectiveKind {
 pub struct CommStats {
     bytes_sent: AtomicU64,
     ops: [AtomicU64; 6],
+    wire_bytes: [AtomicU64; 6],
 }
 
 impl CommStats {
@@ -51,6 +75,12 @@ impl CommStats {
         self.ops[kind.index()].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Attribute `bytes` of cross-link traffic to a collective kind
+    /// (counted at the sending rank, so group-wide sums don't double-count).
+    pub fn record_wire_bytes(&self, kind: CollectiveKind, bytes: usize) {
+        self.wire_bytes[kind.index()].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Total bytes sent across all ranks.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
@@ -61,11 +91,19 @@ impl CommStats {
         self.ops[kind.index()].load(Ordering::Relaxed)
     }
 
+    /// Cross-link bytes attributed to a collective kind.
+    pub fn wire_bytes(&self, kind: CollectiveKind) -> u64 {
+        self.wire_bytes[kind.index()].load(Ordering::Relaxed)
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.bytes_sent.store(0, Ordering::Relaxed);
         for o in &self.ops {
             o.store(0, Ordering::Relaxed);
+        }
+        for b in &self.wire_bytes {
+            b.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -82,12 +120,26 @@ mod tests {
         s.record_op(CollectiveKind::AllToAll);
         s.record_op(CollectiveKind::AllToAll);
         s.record_op(CollectiveKind::Barrier);
+        s.record_wire_bytes(CollectiveKind::AllToAll, 96);
         assert_eq!(s.bytes_sent(), 128);
         assert_eq!(s.ops(CollectiveKind::AllToAll), 2);
         assert_eq!(s.ops(CollectiveKind::Barrier), 1);
         assert_eq!(s.ops(CollectiveKind::Broadcast), 0);
+        assert_eq!(s.wire_bytes(CollectiveKind::AllToAll), 96);
+        assert_eq!(s.wire_bytes(CollectiveKind::Barrier), 0);
         s.reset();
         assert_eq!(s.bytes_sent(), 0);
         assert_eq!(s.ops(CollectiveKind::AllToAll), 0);
+        assert_eq!(s.wire_bytes(CollectiveKind::AllToAll), 0);
+    }
+
+    #[test]
+    fn labels_are_snake_case_and_unique() {
+        let labels: Vec<&str> = CollectiveKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels[0], "all_to_all");
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
     }
 }

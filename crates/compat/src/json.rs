@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 
 /// A JSON number, preserving integer-ness across round-trips.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug)]
 pub enum Number {
     /// Signed integer.
     I(i64),
@@ -19,6 +19,25 @@ pub enum Number {
     U(u64),
     /// Floating point.
     F(f64),
+}
+
+/// Numbers compare by value, not representation: `U(4)`, `I(4)` and
+/// `F(4.0)` are all equal (the writer emits integral floats without a
+/// decimal point and the parser reads bare integers as `I`, so a tree can
+/// change representation across a round-trip without changing meaning).
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::F(a), Number::F(b)) => a == b,
+            (Number::I(a), Number::U(b)) | (Number::U(b), Number::I(a)) => {
+                u64::try_from(a).is_ok_and(|a| a == b)
+            }
+            (Number::I(a), Number::F(b)) | (Number::F(b), Number::I(a)) => b == a as f64,
+            (Number::U(a), Number::F(b)) | (Number::F(b), Number::U(a)) => b == a as f64,
+        }
+    }
 }
 
 impl Number {

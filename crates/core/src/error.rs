@@ -1,0 +1,66 @@
+//! Builder validation errors.
+//!
+//! [`crate::TorchGtBuilder::build_node`] / [`crate::TorchGtBuilder::build_graph`]
+//! validate the configuration before any expensive preprocessing and return
+//! [`BuildError`] instead of panicking deep inside model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`crate::TorchGtBuilder`] configuration cannot produce a trainer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// `seq_len` must be at least 1 token.
+    ZeroSeqLen,
+    /// `hidden` must be at least 1.
+    ZeroHidden,
+    /// `layers` must be at least 1.
+    ZeroLayers,
+    /// `heads` must be at least 1.
+    ZeroHeads,
+    /// Multi-head attention splits the hidden width across heads, so
+    /// `hidden` must be divisible by `heads`.
+    HeadsDontDivideHidden {
+        /// Configured hidden width.
+        hidden: usize,
+        /// Configured head count.
+        heads: usize,
+    },
+    /// The dataset has no nodes (node-level) or no sample graphs
+    /// (graph-level).
+    EmptyDataset,
+    /// The output dimension (class count / regression width) is zero.
+    ZeroOutDim,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroSeqLen => write!(f, "seq_len must be >= 1"),
+            BuildError::ZeroHidden => write!(f, "hidden width must be >= 1"),
+            BuildError::ZeroLayers => write!(f, "layer count must be >= 1"),
+            BuildError::ZeroHeads => write!(f, "head count must be >= 1"),
+            BuildError::HeadsDontDivideHidden { hidden, heads } => {
+                write!(f, "hidden width {hidden} is not divisible by {heads} heads")
+            }
+            BuildError::EmptyDataset => write!(f, "dataset has no samples"),
+            BuildError::ZeroOutDim => write!(f, "output dimension must be >= 1"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_numbers() {
+        let e = BuildError::HeadsDontDivideHidden { hidden: 50, heads: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("50") && msg.contains("4"), "{msg}");
+        assert!(!BuildError::EmptyDataset.to_string().is_empty());
+    }
+}

@@ -30,7 +30,8 @@
 //!     .hidden(32)
 //!     .layers(2)
 //!     .heads(4)
-//!     .build_node(&dataset);
+//!     .build_node(&dataset)
+//!     .expect("valid configuration");
 //! let stats = trainer.run();
 //! assert_eq!(stats.len(), 2);
 //! ```
@@ -38,10 +39,14 @@
 pub use torchgt_comm as comm;
 pub use torchgt_graph as graph;
 pub use torchgt_model as model;
+pub use torchgt_obs as obs;
 pub use torchgt_perf as perf;
 pub use torchgt_runtime as runtime;
 pub use torchgt_sparse as sparse;
 pub use torchgt_tensor as tensor;
+
+pub mod error;
+pub use error::BuildError;
 
 use torchgt_comm::ClusterTopology;
 use torchgt_graph::{GraphDataset, NodeDataset};
@@ -229,42 +234,102 @@ impl TorchGtBuilder {
         }
     }
 
-    /// Build a node-level trainer over the dataset.
-    pub fn build_node(&self, dataset: &NodeDataset) -> NodeTrainer {
+    /// Validate the dimensional configuration shared by both trainer kinds.
+    fn validate(&self) -> Result<(), BuildError> {
+        if self.seq_len == 0 {
+            return Err(BuildError::ZeroSeqLen);
+        }
+        if self.hidden == 0 {
+            return Err(BuildError::ZeroHidden);
+        }
+        if self.layers == 0 {
+            return Err(BuildError::ZeroLayers);
+        }
+        if self.heads == 0 {
+            return Err(BuildError::ZeroHeads);
+        }
+        if self.hidden % self.heads != 0 {
+            return Err(BuildError::HeadsDontDivideHidden {
+                hidden: self.hidden,
+                heads: self.heads,
+            });
+        }
+        Ok(())
+    }
+
+    /// Build a node-level trainer over the dataset. Fails fast — before any
+    /// preprocessing — when the configuration cannot produce a model.
+    pub fn build_node(&self, dataset: &NodeDataset) -> Result<NodeTrainer, BuildError> {
+        self.validate()?;
+        if dataset.graph.num_nodes() == 0 {
+            return Err(BuildError::EmptyDataset);
+        }
+        if dataset.num_classes == 0 {
+            return Err(BuildError::ZeroOutDim);
+        }
         let model = self.make_model(dataset.feat_dim, dataset.num_classes);
-        NodeTrainer::new(
+        Ok(NodeTrainer::new(
             self.train_config(),
             dataset,
             model,
             self.shape(),
             self.gpu,
             self.topology,
-        )
+        ))
     }
 
     /// Build a graph-level trainer over the dataset. `out_dim` is the class
-    /// count (or 1 for regression).
-    pub fn build_graph(&self, dataset: &GraphDataset, out_dim: usize) -> GraphTrainer {
+    /// count (or 1 for regression). Fails fast when the configuration cannot
+    /// produce a model.
+    pub fn build_graph(
+        &self,
+        dataset: &GraphDataset,
+        out_dim: usize,
+    ) -> Result<GraphTrainer, BuildError> {
+        self.validate()?;
+        if dataset.samples.is_empty() {
+            return Err(BuildError::EmptyDataset);
+        }
+        if out_dim == 0 {
+            return Err(BuildError::ZeroOutDim);
+        }
         let model = self.make_model(dataset.feat_dim, out_dim);
-        GraphTrainer::new(
+        Ok(GraphTrainer::new(
             self.train_config(),
             dataset,
             model,
             self.shape(),
             self.gpu,
             self.topology,
-        )
+        ))
+    }
+
+    /// Pre-`Result` shim: panics on invalid configuration.
+    #[deprecated(note = "use build_node and handle the BuildError")]
+    pub fn build_node_unchecked(&self, dataset: &NodeDataset) -> NodeTrainer {
+        self.build_node(dataset).expect("invalid TorchGtBuilder configuration")
+    }
+
+    /// Pre-`Result` shim: panics on invalid configuration.
+    #[deprecated(note = "use build_graph and handle the BuildError")]
+    pub fn build_graph_unchecked(&self, dataset: &GraphDataset, out_dim: usize) -> GraphTrainer {
+        self.build_graph(dataset, out_dim).expect("invalid TorchGtBuilder configuration")
     }
 }
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::{ModelKind, TorchGtBuilder};
+    pub use crate::{BuildError, ModelKind, TorchGtBuilder};
     pub use torchgt_comm::{ClusterTopology, Interconnect};
     pub use torchgt_graph::{DatasetKind, GraphDataset, GraphLabel, NodeDataset, TaskKind};
     pub use torchgt_model::{Pattern, SequenceBatch, SequenceModel};
+    pub use torchgt_obs::{
+        MemoryRecorder, MetricsReport, NoopRecorder, Recorder, RecorderHandle,
+    };
     pub use torchgt_perf::{GpuSpec, ModelShape};
-    pub use torchgt_runtime::{EpochStats, GraphTrainer, Method, NodeTrainer, TrainConfig};
+    pub use torchgt_runtime::{
+        EpochStats, GraphTrainer, Method, NodeTrainer, TrainConfig, Trainer,
+    };
     pub use torchgt_sparse::LayoutKind;
     pub use torchgt_tensor::{Precision, Tensor};
 }
@@ -283,7 +348,8 @@ mod tests {
             .layers(2)
             .heads(4)
             .lr(2e-3)
-            .build_node(&dataset);
+            .build_node(&dataset)
+            .expect("valid node configuration");
         let stats = trainer.run();
         assert_eq!(stats.len(), 2);
         assert!(stats[1].loss <= stats[0].loss * 1.2);
@@ -298,9 +364,53 @@ mod tests {
             .hidden(16)
             .layers(2)
             .heads(2)
-            .build_graph(&dataset, 1);
+            .build_graph(&dataset, 1)
+            .expect("valid graph configuration");
         let stats = trainer.run();
         assert_eq!(stats.len(), 1);
+    }
+
+    #[test]
+    fn misconfiguration_is_reported_not_panicked() {
+        let node = DatasetKind::OgbnArxiv.generate_node(0.002, 5);
+        let graphs = DatasetKind::Zinc.generate_graphs(4, 1.0, 4);
+        let base = || TorchGtBuilder::new(Method::TorchGt).hidden(32).layers(2).heads(4);
+        assert_eq!(base().seq_len(0).build_node(&node).err(), Some(BuildError::ZeroSeqLen));
+        assert_eq!(base().hidden(0).build_node(&node).err(), Some(BuildError::ZeroHidden));
+        assert_eq!(base().layers(0).build_node(&node).err(), Some(BuildError::ZeroLayers));
+        assert_eq!(base().heads(0).build_node(&node).err(), Some(BuildError::ZeroHeads));
+        assert_eq!(
+            base().hidden(30).build_node(&node).err(),
+            Some(BuildError::HeadsDontDivideHidden { hidden: 30, heads: 4 })
+        );
+        assert_eq!(
+            base().build_graph(&graphs, 0).err(),
+            Some(BuildError::ZeroOutDim)
+        );
+        let empty = GraphDataset { samples: Vec::new(), ..graphs.clone() };
+        assert_eq!(base().build_graph(&empty, 1).err(), Some(BuildError::EmptyDataset));
+    }
+
+    #[test]
+    fn deprecated_unchecked_shims_still_build() {
+        let dataset = DatasetKind::OgbnArxiv.generate_node(0.002, 5);
+        #[allow(deprecated)]
+        let trainer = TorchGtBuilder::new(Method::GpSparse)
+            .seq_len(128)
+            .epochs(1)
+            .hidden(16)
+            .layers(2)
+            .heads(2)
+            .build_node_unchecked(&dataset);
+        assert_eq!(trainer.cfg.seq_len, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TorchGtBuilder configuration")]
+    fn deprecated_unchecked_shims_panic_on_misconfig() {
+        let dataset = DatasetKind::OgbnArxiv.generate_node(0.002, 5);
+        #[allow(deprecated)]
+        let _ = TorchGtBuilder::new(Method::TorchGt).heads(3).hidden(32).build_node_unchecked(&dataset);
     }
 
     #[test]
@@ -313,7 +423,8 @@ mod tests {
             .layers(2)
             .heads(2)
             .precision(Precision::Bf16)
-            .build_node(&dataset);
+            .build_node(&dataset)
+            .expect("valid configuration");
         assert_eq!(trainer.cfg.precision, Precision::Bf16);
     }
 }

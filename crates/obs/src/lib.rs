@@ -1,0 +1,56 @@
+//! # torchgt-obs
+//!
+//! The observability substrate for the TorchGT reproduction: everything the
+//! paper's evaluation (§VI) measures on a live run — per-phase timings,
+//! all-to-all volumes, `β_thre` transfer events, reformation compaction —
+//! flows through one pluggable [`Recorder`] interface.
+//!
+//! * [`Recorder`] — the sink trait: hierarchical spans, counters, gauges,
+//!   per-collective volume, structured [`Event`]s, per-iteration
+//!   [`StepTrace`]s and per-epoch [`EpochTrace`]s;
+//! * [`NoopRecorder`] — the default sink; reports `enabled() == false` so
+//!   every instrumentation site short-circuits before touching a clock
+//!   (training with no recorder attached pays essentially nothing);
+//! * [`MemoryRecorder`] — accumulates everything in memory and exports a
+//!   [`MetricsReport`] that serializes to JSON via `torchgt_compat::json`
+//!   (what `torchgt_cli train --metrics out.json` writes);
+//! * [`SpanGuard`] / [`span!`] — RAII wall-clock timers that nest: a guard
+//!   opened inside another guard's scope records under the joined path
+//!   (`"train_epoch/forward"`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use torchgt_obs::{span, MemoryRecorder, Recorder, RecorderHandle};
+//!
+//! let mem = Arc::new(MemoryRecorder::default());
+//! let recorder: RecorderHandle = mem.clone();
+//! {
+//!     let _epoch = span!(recorder, "train_epoch");
+//!     let _fwd = span!(recorder, "forward");
+//!     recorder.counter_add("iterations", 1);
+//! }
+//! let report = mem.report();
+//! assert!(report.spans.iter().any(|s| s.path == "train_epoch/forward"));
+//! ```
+
+pub mod memory;
+pub mod recorder;
+pub mod trace;
+
+pub use memory::MemoryRecorder;
+pub use recorder::{noop, NoopRecorder, Recorder, RecorderHandle, SpanGuard};
+pub use trace::{
+    CollectiveStat, CounterStat, EpochTrace, Event, GaugeStat, MetricsReport, SpanStat, StepTrace,
+};
+
+/// Open a [`SpanGuard`] on a recorder handle: `let _g = span!(rec, "forward");`.
+///
+/// The guard records the span's wall-clock on drop; nested invocations join
+/// their names with `/`. With a disabled recorder (e.g. [`NoopRecorder`])
+/// the expansion is a no-op that never reads the clock.
+#[macro_export]
+macro_rules! span {
+    ($recorder:expr, $name:expr) => {
+        $crate::SpanGuard::new(&$recorder, $name)
+    };
+}

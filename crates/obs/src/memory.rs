@@ -1,0 +1,202 @@
+//! The in-memory recorder behind `--metrics` files and bench-harness
+//! attachments.
+
+use crate::recorder::Recorder;
+use crate::trace::{
+    CollectiveStat, CounterStat, EpochTrace, Event, GaugeStat, MetricsReport, SpanStat, StepTrace,
+};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Clone, Copy, Default)]
+struct SpanAgg {
+    count: u64,
+    total_s: f64,
+    min_s: f64,
+    max_s: f64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct CollectiveAgg {
+    ops: u64,
+    payload_bytes: u64,
+    wire_bytes: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: BTreeMap<String, SpanAgg>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    collectives: BTreeMap<String, CollectiveAgg>,
+    events: Vec<Event>,
+    epochs: Vec<EpochTrace>,
+    steps: Vec<StepTrace>,
+}
+
+/// Accumulates every signal in memory (one mutex; signals arrive from
+/// trainer and rank threads) and exports a [`MetricsReport`]. `BTreeMap`
+/// keys make the export order — and therefore the JSON — deterministic.
+#[derive(Default)]
+pub struct MemoryRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl MemoryRecorder {
+    /// Snapshot everything recorded so far.
+    pub fn report(&self) -> MetricsReport {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        MetricsReport {
+            spans: inner
+                .spans
+                .iter()
+                .map(|(path, a)| SpanStat {
+                    path: path.clone(),
+                    count: a.count,
+                    total_s: a.total_s,
+                    min_s: a.min_s,
+                    max_s: a.max_s,
+                })
+                .collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, &value)| CounterStat { name: name.clone(), value })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, &value)| GaugeStat { name: name.clone(), value })
+                .collect(),
+            collectives: inner
+                .collectives
+                .iter()
+                .map(|(kind, a)| CollectiveStat {
+                    kind: kind.clone(),
+                    ops: a.ops,
+                    payload_bytes: a.payload_bytes,
+                    wire_bytes: a.wire_bytes,
+                })
+                .collect(),
+            events: inner.events.clone(),
+            epochs: inner.epochs.clone(),
+            steps: inner.steps.clone(),
+        }
+    }
+
+    /// Drop everything recorded so far.
+    pub fn reset(&self) {
+        *self.inner.lock().expect("recorder poisoned") = Inner::default();
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record_span(&self, path: &str, seconds: f64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let agg = inner.spans.entry(path.to_string()).or_default();
+        if agg.count == 0 {
+            agg.min_s = seconds;
+            agg.max_s = seconds;
+        } else {
+            agg.min_s = agg.min_s.min(seconds);
+            agg.max_s = agg.max_s.max(seconds);
+        }
+        agg.count += 1;
+        agg.total_s += seconds;
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        *inner.counters.entry(name.to_string()).or_default() += delta;
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    fn collective(&self, kind: &str, ops: u64, payload_bytes: u64, wire_bytes: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let agg = inner.collectives.entry(kind.to_string()).or_default();
+        agg.ops += ops;
+        agg.payload_bytes += payload_bytes;
+        agg.wire_bytes += wire_bytes;
+    }
+
+    fn event(&self, event: Event) {
+        self.inner.lock().expect("recorder poisoned").events.push(event);
+    }
+
+    fn step(&self, trace: StepTrace) {
+        self.inner.lock().expect("recorder poisoned").steps.push(trace);
+    }
+
+    fn epoch(&self, trace: EpochTrace) {
+        self.inner.lock().expect("recorder poisoned").epochs.push(trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_aggregation_tracks_min_max_total() {
+        let rec = MemoryRecorder::default();
+        rec.record_span("a/b", 0.2);
+        rec.record_span("a/b", 0.1);
+        rec.record_span("a/b", 0.4);
+        let s = rec.report().span("a/b").cloned().unwrap();
+        assert_eq!(s.count, 3);
+        assert!((s.total_s - 0.7).abs() < 1e-12);
+        assert!((s.min_s - 0.1).abs() < 1e-12);
+        assert!((s.max_s - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_gauges_and_collectives_accumulate() {
+        let rec = MemoryRecorder::default();
+        rec.counter_add("iters", 2);
+        rec.counter_add("iters", 3);
+        rec.gauge_set("beta", 0.1);
+        rec.gauge_set("beta", 0.2);
+        rec.collective("all_to_all", 4, 100, 75);
+        rec.collective("all_to_all", 4, 100, 75);
+        let report = rec.report();
+        assert_eq!(report.counters[0].value, 5);
+        assert_eq!(report.gauges[0].value, 0.2, "gauge keeps last value");
+        let c = report.collective("all_to_all").unwrap();
+        assert_eq!((c.ops, c.payload_bytes, c.wire_bytes), (8, 200, 150));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let rec = Arc::new(MemoryRecorder::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        rec.counter_add("n", 1);
+                        rec.collective("all_reduce", 1, 8, 4);
+                    }
+                });
+            }
+        });
+        let report = rec.report();
+        assert_eq!(report.counters[0].value, 400);
+        assert_eq!(report.collective("all_reduce").unwrap().ops, 400);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = MemoryRecorder::default();
+        rec.counter_add("n", 1);
+        rec.event(Event::beta_transition(0, 0.0, 1.0, 6));
+        rec.reset();
+        let report = rec.report();
+        assert!(report.counters.is_empty());
+        assert!(report.events.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! The [`Recorder`] trait, the free [`NoopRecorder`], and the RAII
+//! [`SpanGuard`].
+//!
+//! Instrumentation sites throughout the workspace hold a [`RecorderHandle`]
+//! (an `Arc<dyn Recorder>`) and call it unconditionally; the contract that
+//! keeps the hot path free is [`Recorder::enabled`] — every site with
+//! non-trivial capture cost (clock reads, string building, per-step record
+//! construction) checks it first, and the no-op recorder answers `false`.
+
+use crate::trace::{EpochTrace, Event, StepTrace};
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Shared handle to a recorder sink. Cloning is one atomic increment, so
+/// trainers, communicators and guards can all hold one.
+pub type RecorderHandle = Arc<dyn Recorder>;
+
+/// A sink for observability signals. All methods take `&self`: recorders are
+/// shared across rank threads, so implementations synchronize internally.
+pub trait Recorder: Send + Sync {
+    /// Fast-path gate: when `false`, instrumentation sites skip all capture
+    /// work (no clock reads, no allocation) and the remaining methods are
+    /// never expected to be called.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record a completed span of `seconds` under a `/`-joined hierarchical
+    /// path (normally emitted by [`SpanGuard`], but callers may report
+    /// externally measured durations — e.g. preprocessing done before the
+    /// recorder was attached).
+    fn record_span(&self, path: &str, seconds: f64);
+
+    /// Add to a monotonic counter.
+    fn counter_add(&self, name: &str, delta: u64);
+
+    /// Set a gauge to its latest value.
+    fn gauge_set(&self, name: &str, value: f64);
+
+    /// Record `ops` invocations of a collective moving `payload_bytes` of
+    /// logical payload, `wire_bytes` of which crossed an interconnect link.
+    fn collective(&self, kind: &str, ops: u64, payload_bytes: u64, wire_bytes: u64);
+
+    /// Record a discrete event.
+    fn event(&self, event: Event);
+
+    /// Record one training iteration.
+    fn step(&self, trace: StepTrace);
+
+    /// Record one epoch's phase rollup.
+    fn epoch(&self, trace: EpochTrace);
+}
+
+/// The default sink: discards everything and reports itself disabled so
+/// instrumentation sites short-circuit. Attaching it is equivalent to not
+/// instrumenting at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_span(&self, _path: &str, _seconds: f64) {}
+
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+
+    fn collective(&self, _kind: &str, _ops: u64, _payload_bytes: u64, _wire_bytes: u64) {}
+
+    fn event(&self, _event: Event) {}
+
+    fn step(&self, _trace: StepTrace) {}
+
+    fn epoch(&self, _trace: EpochTrace) {}
+}
+
+/// The process-wide shared no-op handle (one allocation ever).
+pub fn noop() -> RecorderHandle {
+    static NOOP: OnceLock<RecorderHandle> = OnceLock::new();
+    Arc::clone(NOOP.get_or_init(|| Arc::new(NoopRecorder)))
+}
+
+thread_local! {
+    /// Per-thread stack of open span names; joined into hierarchical paths.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII span timer: created via [`crate::span!`], reports its wall-clock to
+/// the recorder on drop under the `/`-joined path of every guard live on
+/// this thread. Creation against a disabled recorder does nothing — not
+/// even a clock read.
+pub struct SpanGuard {
+    active: Option<(RecorderHandle, String, Instant)>,
+}
+
+impl SpanGuard {
+    /// Open a span named `name` (a guard per scope; drop order closes inner
+    /// spans first).
+    pub fn new(recorder: &RecorderHandle, name: &'static str) -> Self {
+        if !recorder.enabled() {
+            return Self { active: None };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        Self { active: Some((Arc::clone(recorder), path, Instant::now())) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((recorder, path, start)) = self.active.take() {
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            recorder.record_span(&path, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryRecorder;
+
+    #[test]
+    fn noop_is_disabled_and_shared() {
+        let a = noop();
+        let b = noop();
+        assert!(!a.enabled());
+        assert!(Arc::ptr_eq(&a, &b), "noop handle must be cached");
+    }
+
+    #[test]
+    fn guards_nest_into_paths() {
+        let mem = Arc::new(MemoryRecorder::default());
+        let rec: RecorderHandle = mem.clone();
+        {
+            let _outer = crate::span!(rec, "epoch");
+            {
+                let _inner = crate::span!(rec, "forward");
+            }
+            {
+                let _inner = crate::span!(rec, "backward");
+            }
+        }
+        let report = mem.report();
+        assert!(report.span("epoch").is_some());
+        assert!(report.span("epoch/forward").is_some());
+        assert!(report.span("epoch/backward").is_some());
+        assert!(report.span("forward").is_none(), "inner span must nest");
+    }
+
+    #[test]
+    fn disabled_recorder_skips_stack() {
+        let rec = noop();
+        let _g = crate::span!(rec, "anything");
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty(), "noop guard must not push"));
+    }
+
+    #[test]
+    fn sibling_guards_after_drop_share_parent() {
+        let mem = Arc::new(MemoryRecorder::default());
+        let rec: RecorderHandle = mem.clone();
+        for _ in 0..3 {
+            let _outer = crate::span!(rec, "epoch");
+            let _inner = crate::span!(rec, "forward");
+        }
+        let report = mem.report();
+        assert_eq!(report.span("epoch/forward").unwrap().count, 3);
+        assert_eq!(report.span("epoch").unwrap().count, 3);
+    }
+}

@@ -1,0 +1,331 @@
+//! The structured records a [`crate::Recorder`] collects: per-iteration
+//! [`StepTrace`]s, per-epoch [`EpochTrace`]s, discrete [`Event`]s and the
+//! aggregated [`MetricsReport`] the JSON exporter writes.
+//!
+//! Every type here round-trips through `torchgt_compat::json`, so a metrics
+//! file written by one process can be re-loaded and asserted on by another
+//! (the schema round-trip is covered by tests).
+
+use torchgt_compat::json::{ToJson, Value};
+
+torchgt_compat::json_struct! {
+    /// One training iteration, the granularity of the paper's Fig. 2
+    /// breakdown: wall-clock per phase plus the sparse/full decision and the
+    /// reformation state in effect.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct StepTrace {
+        /// Epoch this step belongs to (0-based).
+        pub epoch: usize,
+        /// Step index within the epoch (0-based).
+        pub step: usize,
+        /// Tokens in this step's sequence.
+        pub seq_len: usize,
+        /// `true` when the scheduler ran the sparse pattern, `false` for a
+        /// fully-connected (interleaved or baseline) pass.
+        pub sparse: bool,
+        /// The transfer threshold `β_thre` in effect during the step.
+        pub beta_thre: f64,
+        /// Reformation compaction ratio `nnz_after / nnz_before` of this
+        /// sequence's mask (1.0 when no reformation applies).
+        pub reform_ratio: f64,
+        /// Forward-pass wall-clock seconds (includes the loss).
+        pub forward_s: f64,
+        /// Backward-pass wall-clock seconds.
+        pub backward_s: f64,
+        /// Optimizer-step wall-clock seconds.
+        pub optim_s: f64,
+        /// Simulated GPU-cluster seconds of the iteration (cost model).
+        pub sim_s: f64,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// Per-epoch phase rollup — the record `--metrics` files key their
+    /// "per-epoch spans" on. `preprocess_s` covers dataset preparation
+    /// (charged to epoch 0) and any mid-training reformation rebuilds
+    /// (charged to the epoch that triggered them).
+    #[derive(Clone, Debug, Default, PartialEq)]
+    pub struct EpochTrace {
+        /// Epoch number (0-based).
+        pub epoch: usize,
+        /// Preprocess seconds attributable to this epoch (partition /
+        /// reorder / mask building / reformation rebuilds).
+        pub preprocess_s: f64,
+        /// Summed forward seconds over the epoch's iterations.
+        pub forward_s: f64,
+        /// Summed backward seconds.
+        pub backward_s: f64,
+        /// Summed optimizer seconds.
+        pub optim_s: f64,
+        /// Evaluation (train+test scoring) seconds.
+        pub eval_s: f64,
+        /// Simulated cluster seconds of the epoch.
+        pub sim_s: f64,
+        /// Iterations that ran the sparse pattern.
+        pub sparse_iters: usize,
+        /// Iterations that ran fully-connected.
+        pub full_iters: usize,
+        /// The `β_thre` in effect during the epoch.
+        pub beta_thre: f64,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// A discrete, timestamped-by-position occurrence: `β_thre` ladder
+    /// transitions, reformation passes, anything future subsystems emit.
+    /// `fields` is free-form JSON so new event kinds need no schema change.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Event {
+        /// Event kind discriminator (`"beta_transition"`, `"reform"`, ...).
+        pub kind: String,
+        /// Kind-specific payload.
+        pub fields: Value,
+    }
+}
+
+impl Event {
+    /// Kind tag of [`Event::beta_transition`] events.
+    pub const BETA_TRANSITION: &'static str = "beta_transition";
+    /// Kind tag of [`Event::reform`] events.
+    pub const REFORM: &'static str = "reform";
+
+    /// An Auto-Tuner `β_thre` ladder move after `epoch`.
+    pub fn beta_transition(epoch: usize, from: f64, to: f64, ladder_index: usize) -> Self {
+        Self {
+            kind: Self::BETA_TRANSITION.to_string(),
+            fields: torchgt_compat::json!({
+                "epoch": epoch,
+                "from": from,
+                "to": to,
+                "ladder_index": ladder_index,
+            }),
+        }
+    }
+
+    /// One Elastic Computation Reformation pass over a sequence mask.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reform(
+        clusters_total: usize,
+        clusters_transferred: usize,
+        sub_blocks: usize,
+        nnz_before: usize,
+        nnz_after: usize,
+        edge_recall: f64,
+    ) -> Self {
+        let density = if clusters_total > 0 {
+            1.0 - clusters_transferred as f64 / clusters_total as f64
+        } else {
+            1.0
+        };
+        Self {
+            kind: Self::REFORM.to_string(),
+            fields: torchgt_compat::json!({
+                "clusters_total": clusters_total,
+                "clusters_transferred": clusters_transferred,
+                "dense_cluster_fraction": density,
+                "sub_blocks": sub_blocks,
+                "nnz_before": nnz_before,
+                "nnz_after": nnz_after,
+                "compaction_ratio": if nnz_before > 0 {
+                    nnz_after as f64 / nnz_before as f64
+                } else {
+                    1.0
+                },
+                "edge_recall": edge_recall,
+            }),
+        }
+    }
+
+    /// Numeric field accessor (`None` when absent or non-numeric).
+    pub fn num(&self, name: &str) -> Option<f64> {
+        self.fields.get(name).and_then(Value::as_f64)
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// Aggregated statistics of one span path.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct SpanStat {
+        /// Hierarchical path, `/`-joined (`"train_epoch/forward"`).
+        pub path: String,
+        /// Number of recorded instances.
+        pub count: u64,
+        /// Total wall-clock seconds across instances.
+        pub total_s: f64,
+        /// Shortest instance.
+        pub min_s: f64,
+        /// Longest instance.
+        pub max_s: f64,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// A monotonic counter's final value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct CounterStat {
+        /// Counter name.
+        pub name: String,
+        /// Accumulated value.
+        pub value: u64,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// A gauge's last-set value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct GaugeStat {
+        /// Gauge name.
+        pub name: String,
+        /// Most recent value.
+        pub value: f64,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// Volume/ops rollup of one collective kind — the paper's all-to-all
+    /// accounting (§III-C). `payload_bytes` is the logical message volume;
+    /// `wire_bytes` excludes same-rank chunks that never cross a link (zero
+    /// on a single-GPU topology).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct CollectiveStat {
+        /// Collective kind label (`"all_to_all"`, `"all_reduce"`, ...).
+        pub kind: String,
+        /// Invocations recorded.
+        pub ops: u64,
+        /// Logical payload bytes moved.
+        pub payload_bytes: u64,
+        /// Bytes that actually crossed an interconnect link.
+        pub wire_bytes: u64,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// The full export of a [`crate::MemoryRecorder`]: what
+    /// `torchgt_cli train --metrics out.json` writes and the bench harness
+    /// attaches. Field order is the serialization order.
+    #[derive(Clone, Debug, Default, PartialEq)]
+    pub struct MetricsReport {
+        /// Aggregated span timings, sorted by path.
+        pub spans: Vec<SpanStat>,
+        /// Counters, sorted by name.
+        pub counters: Vec<CounterStat>,
+        /// Gauges, sorted by name.
+        pub gauges: Vec<GaugeStat>,
+        /// Per-collective volume rollups, sorted by kind.
+        pub collectives: Vec<CollectiveStat>,
+        /// Events in emission order.
+        pub events: Vec<Event>,
+        /// Per-epoch phase rollups in epoch order.
+        pub epochs: Vec<EpochTrace>,
+        /// Per-iteration traces in emission order.
+        pub steps: Vec<StepTrace>,
+    }
+}
+
+impl MetricsReport {
+    /// Serialize to compact JSON.
+    pub fn to_json_string(&self) -> String {
+        torchgt_compat::json::to_string(&self.to_json()).unwrap_or_default()
+    }
+
+    /// Serialize to two-space-indented JSON (what `--metrics` writes).
+    pub fn to_json_string_pretty(&self) -> String {
+        torchgt_compat::json::to_string_pretty(&self.to_json()).unwrap_or_default()
+    }
+
+    /// Parse a metrics file back into a report.
+    pub fn from_json_str(s: &str) -> Result<Self, torchgt_compat::json::JsonError> {
+        torchgt_compat::json::from_str_as(s)
+    }
+
+    /// Events of one kind, in order.
+    pub fn events_of(&self, kind: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Lookup a collective rollup by kind label.
+    pub fn collective(&self, kind: &str) -> Option<&CollectiveStat> {
+        self.collectives.iter().find(|c| c.kind == kind)
+    }
+
+    /// Lookup a span aggregate by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = MetricsReport {
+            spans: vec![SpanStat {
+                path: "train_epoch/forward".into(),
+                count: 3,
+                total_s: 0.5,
+                min_s: 0.1,
+                max_s: 0.3,
+            }],
+            counters: vec![CounterStat { name: "iterations".into(), value: 12 }],
+            gauges: vec![GaugeStat { name: "beta_thre".into(), value: 0.01 }],
+            collectives: vec![CollectiveStat {
+                kind: "all_to_all".into(),
+                ops: 64,
+                payload_bytes: 1 << 20,
+                wire_bytes: (1 << 20) * 7 / 8,
+            }],
+            events: vec![
+                Event::beta_transition(4, 0.01, 0.015, 2),
+                Event::reform(10, 4, 17, 900, 1100, 0.93),
+            ],
+            epochs: vec![EpochTrace { epoch: 0, forward_s: 0.2, ..Default::default() }],
+            steps: vec![StepTrace {
+                epoch: 0,
+                step: 1,
+                seq_len: 256,
+                sparse: true,
+                beta_thre: 0.01,
+                reform_ratio: 1.2,
+                forward_s: 0.05,
+                backward_s: 0.08,
+                optim_s: 0.01,
+                sim_s: 0.4,
+            }],
+        };
+        let text = report.to_json_string_pretty();
+        let back = MetricsReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn event_constructors_tag_kinds() {
+        let b = Event::beta_transition(7, 0.0, 0.5, 3);
+        assert_eq!(b.kind, Event::BETA_TRANSITION);
+        assert_eq!(b.num("epoch"), Some(7.0));
+        assert_eq!(b.num("to"), Some(0.5));
+        let r = Event::reform(8, 8, 5, 100, 150, 0.9);
+        assert_eq!(r.kind, Event::REFORM);
+        assert_eq!(r.num("compaction_ratio"), Some(1.5));
+        assert_eq!(r.num("dense_cluster_fraction"), Some(0.0));
+        assert_eq!(r.num("missing"), None);
+    }
+
+    #[test]
+    fn report_lookup_helpers() {
+        let mut report = MetricsReport::default();
+        report.events.push(Event::beta_transition(0, 0.1, 0.2, 1));
+        report.events.push(Event::reform(1, 1, 1, 1, 1, 1.0));
+        report.collectives.push(CollectiveStat {
+            kind: "all_to_all".into(),
+            ops: 1,
+            payload_bytes: 2,
+            wire_bytes: 3,
+        });
+        assert_eq!(report.events_of(Event::BETA_TRANSITION).len(), 1);
+        assert_eq!(report.collective("all_to_all").unwrap().wire_bytes, 3);
+        assert!(report.collective("broadcast").is_none());
+        assert!(report.span("nope").is_none());
+    }
+}

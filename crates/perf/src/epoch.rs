@@ -61,6 +61,30 @@ impl IterationCost {
     }
 }
 
+/// Simulated all-to-all volume of one training iteration, for recorders
+/// attached to cost-model (non-thread-backed) trainers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllToAllTraffic {
+    /// Relayout invocations per iteration.
+    pub ops: u64,
+    /// Logical message bytes across all invocations.
+    pub payload_bytes: u64,
+    /// Bytes that cross an interconnect link (`payload · (P−1)/P`; zero on a
+    /// single device).
+    pub wire_bytes: u64,
+}
+
+/// All-to-all traffic implied by one iteration of the §III-C relayout
+/// pipeline: 4 all-to-alls per attention call (Q, K, V in + output back),
+/// mirrored in the backward pass — 8 per layer, each moving the full
+/// `S × d` activation in fp32.
+pub fn all_to_all_traffic(spec: &StepSpec) -> AllToAllTraffic {
+    let p = spec.topology.world_size().max(1) as u64;
+    let ops = 8 * spec.shape.layers as u64;
+    let payload_bytes = ops * (spec.seq_len * spec.shape.hidden * 4) as u64;
+    AllToAllTraffic { ops, payload_bytes, wire_bytes: payload_bytes * (p - 1) / p }
+}
+
 /// Estimate one training iteration (forward + backward + step).
 pub fn iteration_cost(spec: &StepSpec) -> IterationCost {
     let p = spec.topology.world_size().max(1);
@@ -209,6 +233,20 @@ mod tests {
         let (_, t1) = epoch_cost(&spec, 64 << 10);
         let (_, t4) = epoch_cost(&spec, 256 << 10);
         assert!((t4 / t1 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn all_to_all_traffic_scales_with_world() {
+        let spec = base_spec(LayoutKind::Flash, 4096, dense_profile(0));
+        let t = all_to_all_traffic(&spec);
+        let l = spec.shape.layers as u64;
+        assert_eq!(t.ops, 8 * l);
+        assert_eq!(t.payload_bytes, 8 * l * (4096 * spec.shape.hidden * 4) as u64);
+        // rtx3090(1) is one 8-GPU server: 7/8 of the payload crosses links.
+        assert_eq!(t.wire_bytes, t.payload_bytes * 7 / 8);
+        let mut single = spec;
+        single.topology = ClusterTopology { gpus_per_server: 1, servers: 1, ..single.topology };
+        assert_eq!(all_to_all_traffic(&single).wire_bytes, 0);
     }
 
     #[test]

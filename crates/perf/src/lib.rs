@@ -24,6 +24,9 @@ pub mod kernels;
 pub mod memory;
 
 pub use cache::{simulate_subblock_kernel, tune_db, Cache, KernelProfile};
-pub use epoch::{epoch_cost, iteration_cost, throughput_tokens_per_sec, IterationCost, StepSpec};
+pub use epoch::{
+    all_to_all_traffic, epoch_cost, iteration_cost, throughput_tokens_per_sec, AllToAllTraffic,
+    IterationCost, StepSpec,
+};
 pub use gpu::GpuSpec;
 pub use memory::{fits, max_seq_len, memory_per_gpu, ModelShape};

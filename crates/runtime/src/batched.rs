@@ -15,6 +15,7 @@ use torchgt_graph::generators::complete_graph;
 use torchgt_graph::pack::{pack_graphs, segment_mean, segment_mean_backward};
 use torchgt_graph::{CsrGraph, GraphDataset, GraphLabel};
 use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
+use torchgt_obs::{RecorderHandle, SpanGuard};
 use torchgt_sparse::topology_mask;
 use torchgt_tensor::{Adam, Optimizer, Tensor};
 
@@ -38,6 +39,7 @@ pub struct BatchedGraphTrainer {
     test_batches: Vec<PackedBatch>,
     scheduler: InterleaveScheduler,
     epoch: usize,
+    recorder: RecorderHandle,
 }
 
 fn build_batches(dataset: &GraphDataset, idxs: &[usize], batch_size: usize) -> Vec<PackedBatch> {
@@ -96,6 +98,7 @@ impl BatchedGraphTrainer {
             batches: build_batches(dataset, &train_idx, batch_size),
             test_batches: build_batches(dataset, &test_idx, batch_size),
             epoch: 0,
+            recorder: torchgt_obs::noop(),
             model,
             cfg,
         }
@@ -155,9 +158,15 @@ impl BatchedGraphTrainer {
         (total_loss / count as f32, metric / count as f64)
     }
 
+    /// Route observability signals to `recorder`.
+    pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
+    }
+
     /// Run one epoch over the training batches.
     pub fn train_epoch(&mut self) -> EpochStats {
         let t0 = Instant::now();
+        let _epoch_span = SpanGuard::new(&self.recorder, "train_epoch");
         self.model.set_training(true);
         let mut total_loss = 0.0f32;
         let mut sparse_iters = 0usize;
@@ -195,6 +204,9 @@ impl BatchedGraphTrainer {
             full_iters,
             beta_thre: 0.0,
         };
+        if self.recorder.enabled() {
+            self.recorder.counter_add("iterations", self.batches.len() as u64);
+        }
         self.epoch += 1;
         stats
     }
@@ -240,6 +252,28 @@ impl BatchedGraphTrainer {
     /// Train for the configured number of epochs.
     pub fn run(&mut self) -> Vec<EpochStats> {
         (0..self.cfg.epochs).map(|_| self.train_epoch()).collect()
+    }
+}
+
+impl crate::traits::Trainer for BatchedGraphTrainer {
+    fn cfg(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        BatchedGraphTrainer::attach_recorder(self, recorder);
+    }
+
+    fn train_epoch(&mut self) -> EpochStats {
+        BatchedGraphTrainer::train_epoch(self)
+    }
+
+    fn evaluate(&mut self) -> (f64, f64) {
+        BatchedGraphTrainer::evaluate(self)
+    }
+
+    fn run(&mut self) -> Vec<EpochStats> {
+        BatchedGraphTrainer::run(self)
     }
 }
 

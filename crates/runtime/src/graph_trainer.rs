@@ -4,13 +4,14 @@
 
 use crate::config::{Method, TrainConfig};
 use crate::interleave::{Decision, InterleaveScheduler};
-use crate::trainer::EpochStats;
+use crate::trainer::{lap, EpochStats};
 use std::time::Instant;
 use torchgt_comm::ClusterTopology;
 use torchgt_graph::spd::spd_matrix;
 use torchgt_graph::{check_conditions, ConditionReport, CsrGraph, GraphDataset, GraphLabel};
 use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
-use torchgt_perf::{iteration_cost, GpuSpec, ModelShape, StepSpec};
+use torchgt_obs::{EpochTrace, RecorderHandle, SpanGuard, StepTrace};
+use torchgt_perf::{all_to_all_traffic, iteration_cost, GpuSpec, ModelShape, StepSpec};
 use torchgt_sparse::{access_profile, topology_mask, AccessProfile, LayoutKind};
 use torchgt_tensor::bf16::apply_precision;
 use torchgt_tensor::ops;
@@ -48,6 +49,9 @@ pub struct GraphTrainer {
     /// Wall-clock seconds spent preparing masks/SPD (the §IV-E cost).
     pub preprocess_seconds: f64,
     epoch: usize,
+    recorder: RecorderHandle,
+    /// Preprocess seconds not yet attributed to an epoch trace.
+    pending_preprocess_s: f64,
 }
 
 impl GraphTrainer {
@@ -95,20 +99,28 @@ impl GraphTrainer {
             .collect();
         let n = samples.len();
         let split = (n * 8) / 10;
+        let preprocess_seconds = t0.elapsed().as_secs_f64();
         Self {
             scheduler: InterleaveScheduler::new(cfg.interleave_period),
             opt: Adam::with_lr(cfg.lr),
             train_idx: (0..split).collect(),
             test_idx: (split..n).collect(),
             samples,
-            preprocess_seconds: t0.elapsed().as_secs_f64(),
+            preprocess_seconds,
             epoch: 0,
+            recorder: torchgt_obs::noop(),
+            pending_preprocess_s: preprocess_seconds,
             model,
             cfg,
             gpu,
             topology,
             shape,
         }
+    }
+
+    /// Route observability signals to `recorder`.
+    pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     fn decide(&mut self, report: &ConditionReport) -> Decision {
@@ -172,12 +184,16 @@ impl GraphTrainer {
     /// Run one epoch over the training split.
     pub fn train_epoch(&mut self) -> EpochStats {
         let t0 = Instant::now();
+        let on = self.recorder.enabled();
+        let _epoch_span = SpanGuard::new(&self.recorder, "train_epoch");
         self.model.set_training(true);
         let mut total_loss = 0.0f32;
         let mut sim_seconds = 0.0;
         let mut sparse_iters = 0;
         let mut full_iters = 0;
-        for i in 0..self.train_idx.len() {
+        let (mut fwd_total, mut bwd_total, mut opt_total) = (0.0f64, 0.0f64, 0.0f64);
+        let iters = self.train_idx.len();
+        for i in 0..iters {
             let idx = self.train_idx[i];
             let report = self.samples[idx].report;
             let decision = self.decide(&report);
@@ -185,6 +201,7 @@ impl GraphTrainer {
                 Decision::Sparse => sparse_iters += 1,
                 Decision::Full => full_iters += 1,
             }
+            let mut mark = on.then(Instant::now);
             let mut glogits = self.forward_sample(idx, decision);
             apply_precision(&mut glogits, self.cfg.precision);
             let (l, dl) = match self.samples[idx].label {
@@ -192,8 +209,11 @@ impl GraphTrainer {
                 GraphLabel::Value(v) => loss::mae_loss(&glogits, &[v]),
             };
             total_loss += l;
+            let forward_s = lap(&mut mark);
             self.backward_sample(idx, decision, &dl);
+            let backward_s = lap(&mut mark);
             self.opt.step(&mut self.model.params_mut());
+            let optim_s = lap(&mut mark);
             let seq_len = self.samples[idx].features.rows();
             let spec = StepSpec {
                 gpu: self.gpu,
@@ -203,10 +223,37 @@ impl GraphTrainer {
                 seq_len,
                 profile: self.samples[idx].profile,
             };
-            sim_seconds += iteration_cost(&spec).total();
+            let sim_s = iteration_cost(&spec).total();
+            sim_seconds += sim_s;
+            if on {
+                fwd_total += forward_s;
+                bwd_total += backward_s;
+                opt_total += optim_s;
+                let traffic = all_to_all_traffic(&spec);
+                self.recorder.collective(
+                    "all_to_all",
+                    traffic.ops,
+                    traffic.payload_bytes,
+                    traffic.wire_bytes,
+                );
+                self.recorder.step(StepTrace {
+                    epoch: self.epoch,
+                    step: i,
+                    seq_len,
+                    sparse: decision == Decision::Sparse,
+                    beta_thre: self.cfg.beta_thre.unwrap_or(0.0),
+                    reform_ratio: 1.0,
+                    forward_s,
+                    backward_s,
+                    optim_s,
+                    sim_s,
+                });
+            }
         }
         let mean_loss = total_loss / self.train_idx.len().max(1) as f32;
+        let mut eval_mark = on.then(Instant::now);
         let (train_m, test_m) = self.evaluate();
+        let eval_s = lap(&mut eval_mark);
         let stats = EpochStats {
             epoch: self.epoch,
             loss: mean_loss,
@@ -218,6 +265,28 @@ impl GraphTrainer {
             full_iters,
             beta_thre: self.cfg.beta_thre.unwrap_or(0.0),
         };
+        if on {
+            self.recorder.counter_add("iterations", iters as u64);
+            self.recorder.record_span("train_epoch/forward", fwd_total);
+            self.recorder.record_span("train_epoch/backward", bwd_total);
+            self.recorder.record_span("train_epoch/optim", opt_total);
+            let preprocess_s = std::mem::take(&mut self.pending_preprocess_s);
+            if preprocess_s > 0.0 {
+                self.recorder.record_span("preprocess", preprocess_s);
+            }
+            self.recorder.epoch(EpochTrace {
+                epoch: self.epoch,
+                preprocess_s,
+                forward_s: fwd_total,
+                backward_s: bwd_total,
+                optim_s: opt_total,
+                eval_s,
+                sim_s: sim_seconds,
+                sparse_iters,
+                full_iters,
+                beta_thre: stats.beta_thre,
+            });
+        }
         self.epoch += 1;
         stats
     }
@@ -225,6 +294,7 @@ impl GraphTrainer {
     /// Evaluate: classification → accuracy; regression → negative MAE (so
     /// "higher is better" holds everywhere).
     pub fn evaluate(&mut self) -> (f64, f64) {
+        let _span = SpanGuard::new(&self.recorder, "evaluate");
         self.model.set_training(false);
         let train_idx = self.train_idx.clone();
         let test_idx = self.test_idx.clone();
@@ -259,6 +329,28 @@ impl GraphTrainer {
     /// Train for the configured epochs.
     pub fn run(&mut self) -> Vec<EpochStats> {
         (0..self.cfg.epochs).map(|_| self.train_epoch()).collect()
+    }
+}
+
+impl crate::traits::Trainer for GraphTrainer {
+    fn cfg(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        GraphTrainer::attach_recorder(self, recorder);
+    }
+
+    fn train_epoch(&mut self) -> EpochStats {
+        GraphTrainer::train_epoch(self)
+    }
+
+    fn evaluate(&mut self) -> (f64, f64) {
+        GraphTrainer::evaluate(self)
+    }
+
+    fn run(&mut self) -> Vec<EpochStats> {
+        GraphTrainer::run(self)
     }
 }
 

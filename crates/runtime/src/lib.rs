@@ -25,6 +25,7 @@ pub mod interleave;
 pub mod parallel;
 pub mod preprocess;
 pub mod trainer;
+pub mod traits;
 
 pub use autotune::AutoTuner;
 pub use batched::BatchedGraphTrainer;
@@ -34,3 +35,4 @@ pub use graph_trainer::GraphTrainer;
 pub use interleave::{Decision, InterleaveScheduler};
 pub use preprocess::{prepare_node_dataset, Prepared, Sequence};
 pub use trainer::{EpochStats, NodeTrainer};
+pub use traits::Trainer;

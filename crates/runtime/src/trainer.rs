@@ -11,14 +11,37 @@ use torchgt_comm::ClusterTopology;
 use torchgt_graph::partition::{cluster_order, partition, ClusterOrder};
 use torchgt_graph::{check_conditions, ConditionReport, CsrGraph, NodeDataset};
 use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
-use torchgt_perf::{iteration_cost, GpuSpec, ModelShape, StepSpec};
-use torchgt_sparse::{access_profile, reform, AccessProfile, LayoutKind, ReformConfig};
+use torchgt_obs::{EpochTrace, Event, RecorderHandle, SpanGuard, StepTrace};
+use torchgt_perf::{all_to_all_traffic, iteration_cost, GpuSpec, ModelShape, StepSpec};
+use torchgt_sparse::{access_profile, reform_recorded, AccessProfile, LayoutKind, ReformConfig};
 use torchgt_tensor::bf16::{apply_precision, bf16_round};
 use torchgt_tensor::{Adam, Optimizer, Precision};
 
+/// Elapsed seconds since the mark, re-arming it; 0 when timing is off
+/// (disabled recorder — no clock reads at all).
+pub(crate) fn lap(mark: &mut Option<Instant>) -> f64 {
+    match mark {
+        Some(t) => {
+            let s = t.elapsed().as_secs_f64();
+            *mark = Some(Instant::now());
+            s
+        }
+        None => 0.0,
+    }
+}
+
+/// `nnz_after / nnz_before` of a reformation pass (1.0 on an empty mask).
+pub(crate) fn compaction_ratio(stats: &torchgt_sparse::ReformStats) -> f64 {
+    if stats.nnz_before > 0 {
+        stats.nnz_after as f64 / stats.nnz_before as f64
+    } else {
+        1.0
+    }
+}
+
 torchgt_compat::json_struct! {
     /// Per-epoch training record.
-    #[derive(Clone, Copy, Debug)]
+    #[derive(Clone, Copy, Debug, PartialEq)]
     pub struct EpochStats {
         /// Epoch number (0-based).
         pub epoch: usize,
@@ -54,6 +77,9 @@ struct SeqAttention {
     local_order: Option<ClusterOrder>,
     /// Topology mask permuted into local cluster order (reform input).
     permuted_topo: Option<CsrGraph>,
+    /// Compaction ratio `nnz_after / nnz_before` of the latest reformation
+    /// (1.0 when no reformation applies).
+    reform_ratio: f64,
 }
 
 /// Node-level trainer.
@@ -77,6 +103,10 @@ pub struct NodeTrainer {
     current_beta: f64,
     sub_block: usize,
     epoch: usize,
+    recorder: RecorderHandle,
+    /// Preprocess seconds not yet attributed to an epoch trace (initial
+    /// dataset preparation, then mid-training reformation rebuilds).
+    pending_preprocess_s: f64,
 }
 
 impl NodeTrainer {
@@ -104,7 +134,10 @@ impl NodeTrainer {
         let current_beta = cfg.beta_thre.unwrap_or_else(|| tuner.beta_thre());
         let train_pos = prepared.train_positions();
         let test_pos = prepared.test_positions();
+        let pending_preprocess_s = prepared.preprocess_seconds;
         let mut trainer = Self {
+            recorder: torchgt_obs::noop(),
+            pending_preprocess_s,
             scheduler: InterleaveScheduler::new(cfg.interleave_period),
             tuner,
             attn: Vec::new(),
@@ -128,6 +161,15 @@ impl NodeTrainer {
     /// Pre-processing cost in seconds (partition + reorder + masks).
     pub fn preprocess_seconds(&self) -> f64 {
         self.prepared.preprocess_seconds
+    }
+
+    /// Route observability signals to `recorder` (spans, step/epoch traces,
+    /// simulated all-to-all volume, β_thre transition events).
+    pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        if recorder.enabled() {
+            recorder.gauge_set("beta_thre", self.current_beta);
+        }
+        self.recorder = recorder;
     }
 
     /// Graph sparsity β_G of the prepared graph.
@@ -194,10 +236,11 @@ impl NodeTrainer {
                     let kk = assign.iter().copied().max().unwrap_or(0) as usize + 1;
                     let order = cluster_order(&assign, kk);
                     let permuted = seq.mask.permute(&order.perm);
-                    let reformed = reform(
+                    let reformed = reform_recorded(
                         &permuted,
                         &order,
                         ReformConfig { db: self.sub_block, beta_thre: self.current_beta },
+                        &self.recorder,
                     );
                     // Back to sequence-local ids, then restore the C1/C2
                     // backbone the transfer may have broken (self-loops +
@@ -215,6 +258,7 @@ impl NodeTrainer {
                         report,
                         local_order: Some(order),
                         permuted_topo: Some(permuted),
+                        reform_ratio: compaction_ratio(&reformed.stats),
                     }
                 }
                 _ => SeqAttention {
@@ -223,6 +267,7 @@ impl NodeTrainer {
                     report: check_conditions(&seq.mask, layers),
                     local_order: None,
                     permuted_topo: None,
+                    reform_ratio: 1.0,
                 },
             };
             states.push(state);
@@ -230,26 +275,32 @@ impl NodeTrainer {
         self.attn = states;
     }
 
-    /// Re-run the reformation after a β_thre change (elastic transfer).
+    /// Re-run the reformation after a β_thre change (elastic transfer). The
+    /// rebuild's wall-clock is charged to preprocess time in the next epoch
+    /// trace.
     fn rebuild_reformed(&mut self) {
         if self.cfg.method != Method::TorchGt {
             return;
         }
+        let mut mark = self.recorder.enabled().then(Instant::now);
         let layers = self.condition_layers();
         for state in &mut self.attn {
             let (Some(order), Some(permuted)) = (&state.local_order, &state.permuted_topo) else {
                 continue;
             };
-            let reformed = reform(
+            let reformed = reform_recorded(
                 permuted,
                 order,
                 ReformConfig { db: self.sub_block, beta_thre: self.current_beta },
+                &self.recorder,
             );
             state.mask =
                 torchgt_graph::augment_for_conditions(&reformed.mask.permute(&order.inverse));
             state.profile = access_profile(&reformed.mask);
             state.report = check_conditions(&state.mask, layers);
+            state.reform_ratio = compaction_ratio(&reformed.stats);
         }
+        self.pending_preprocess_s += lap(&mut mark);
     }
 
     fn layout_for(&self, decision: Decision) -> LayoutKind {
@@ -263,29 +314,27 @@ impl NodeTrainer {
     }
 
     fn sim_iteration(&self, seq_len: usize, profile: AccessProfile, decision: Decision) -> f64 {
-        let spec = StepSpec {
-            gpu: self.gpu,
-            topology: self.topology,
-            shape: self.shape,
-            layout: self.layout_for(decision),
-            seq_len,
-            profile,
-        };
-        iteration_cost(&spec).total()
+        iteration_cost(&self.step_spec(seq_len, profile, decision)).total()
     }
 
     /// Run one training epoch.
     pub fn train_epoch(&mut self) -> EpochStats {
         let t0 = Instant::now();
+        let on = self.recorder.enabled();
+        let _epoch_span = SpanGuard::new(&self.recorder, "train_epoch");
         self.model.set_training(true);
         let mut total_loss = 0.0f32;
         let mut sim_seconds = 0.0f64;
         let mut sparse_iters = 0usize;
         let mut full_iters = 0usize;
+        let (mut fwd_total, mut bwd_total, mut opt_total) = (0.0f64, 0.0f64, 0.0f64);
         let nseq = self.prepared.sequences.len();
         for si in 0..nseq {
             let seq = &self.prepared.sequences[si];
             let state = &self.attn[si];
+            let seq_len = seq.nodes.len();
+            let profile = state.profile;
+            let reform_ratio = state.reform_ratio;
             let decision = match self.cfg.method {
                 Method::GpRaw | Method::GpFlash => Decision::Full,
                 Method::GpSparse => Decision::Sparse,
@@ -303,12 +352,15 @@ impl NodeTrainer {
             };
             let batch =
                 SequenceBatch { features: &seq.features, graph: &seq.graph, spd: None };
+            let mut mark = on.then(Instant::now);
             let mut logits = self.model.forward(&batch, pattern);
             apply_precision(&mut logits, self.cfg.precision);
             let (l, dlogits) =
                 loss::masked_softmax_cross_entropy(&logits, &seq.labels, &self.train_pos[si]);
             total_loss += l;
+            let forward_s = lap(&mut mark);
             self.model.backward(&batch, pattern, &dlogits);
+            let backward_s = lap(&mut mark);
             if self.cfg.warmup_steps > 0 {
                 let schedule = torchgt_tensor::optim::WarmupSchedule {
                     peak_lr: self.cfg.lr,
@@ -324,10 +376,40 @@ impl NodeTrainer {
                     }
                 }
             }
-            sim_seconds += self.sim_iteration(seq.nodes.len(), state.profile, decision);
+            let optim_s = lap(&mut mark);
+            let sim_s = self.sim_iteration(seq_len, profile, decision);
+            sim_seconds += sim_s;
+            if on {
+                fwd_total += forward_s;
+                bwd_total += backward_s;
+                opt_total += optim_s;
+                // The §III-C sequence↔head relayouts this iteration implies
+                // on the simulated cluster.
+                let traffic = all_to_all_traffic(&self.step_spec(seq_len, profile, decision));
+                self.recorder.collective(
+                    "all_to_all",
+                    traffic.ops,
+                    traffic.payload_bytes,
+                    traffic.wire_bytes,
+                );
+                self.recorder.step(StepTrace {
+                    epoch: self.epoch,
+                    step: si,
+                    seq_len,
+                    sparse: decision == Decision::Sparse,
+                    beta_thre: self.current_beta,
+                    reform_ratio,
+                    forward_s,
+                    backward_s,
+                    optim_s,
+                    sim_s,
+                });
+            }
         }
         let mean_loss = total_loss / nseq.max(1) as f32;
+        let mut eval_mark = on.then(Instant::now);
         let (train_acc, test_acc) = self.evaluate();
+        let eval_s = lap(&mut eval_mark);
         let wall = t0.elapsed().as_secs_f64();
         let stats = EpochStats {
             epoch: self.epoch,
@@ -344,16 +426,64 @@ impl NodeTrainer {
         if self.cfg.method == Method::TorchGt && self.cfg.beta_thre.is_none() {
             let next = self.tuner.observe(mean_loss as f64, sim_seconds.max(1e-9));
             if (next - self.current_beta).abs() > f64::EPSILON {
+                let from = self.current_beta;
                 self.current_beta = next;
+                if on {
+                    self.recorder.event(Event::beta_transition(
+                        self.epoch,
+                        from,
+                        next,
+                        self.tuner.ladder_index(),
+                    ));
+                    self.recorder.gauge_set("beta_thre", next);
+                }
                 self.rebuild_reformed();
             }
+        }
+        if on {
+            self.recorder.counter_add("iterations", nseq as u64);
+            self.recorder.record_span("train_epoch/forward", fwd_total);
+            self.recorder.record_span("train_epoch/backward", bwd_total);
+            self.recorder.record_span("train_epoch/optim", opt_total);
+            // Initial dataset preparation lands on epoch 0; a β_thre rebuild
+            // triggered above lands on the epoch that triggered it.
+            let preprocess_s = std::mem::take(&mut self.pending_preprocess_s);
+            if preprocess_s > 0.0 {
+                self.recorder.record_span("preprocess", preprocess_s);
+            }
+            self.recorder.epoch(EpochTrace {
+                epoch: self.epoch,
+                preprocess_s,
+                forward_s: fwd_total,
+                backward_s: bwd_total,
+                optim_s: opt_total,
+                eval_s,
+                sim_s: sim_seconds,
+                sparse_iters,
+                full_iters,
+                beta_thre: stats.beta_thre,
+            });
         }
         self.epoch += 1;
         stats
     }
 
+    /// The cost-model spec of one iteration (shared by time and traffic
+    /// estimates).
+    fn step_spec(&self, seq_len: usize, profile: AccessProfile, decision: Decision) -> StepSpec {
+        StepSpec {
+            gpu: self.gpu,
+            topology: self.topology,
+            shape: self.shape,
+            layout: self.layout_for(decision),
+            seq_len,
+            profile,
+        }
+    }
+
     /// Evaluate train/test accuracy with the method's inference pattern.
     pub fn evaluate(&mut self) -> (f64, f64) {
+        let _span = SpanGuard::new(&self.recorder, "evaluate");
         self.model.set_training(false);
         let mut train_hits = 0usize;
         let mut train_total = 0usize;
@@ -397,6 +527,28 @@ impl NodeTrainer {
     /// Fraction of TorchGT iterations that ran fully-connected so far.
     pub fn full_fraction(&self) -> f64 {
         self.scheduler.full_fraction()
+    }
+}
+
+impl crate::traits::Trainer for NodeTrainer {
+    fn cfg(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        NodeTrainer::attach_recorder(self, recorder);
+    }
+
+    fn train_epoch(&mut self) -> EpochStats {
+        NodeTrainer::train_epoch(self)
+    }
+
+    fn evaluate(&mut self) -> (f64, f64) {
+        NodeTrainer::evaluate(self)
+    }
+
+    fn run(&mut self) -> Vec<EpochStats> {
+        NodeTrainer::run(self)
     }
 }
 
@@ -539,6 +691,61 @@ mod tests {
         );
         let stats = t.run();
         assert!(stats.iter().all(|s| (s.beta_thre - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn recorder_captures_phases_steps_and_traffic() {
+        use std::sync::Arc;
+        use torchgt_obs::MemoryRecorder;
+        let d = dataset();
+        let mut t = make_trainer(Method::TorchGt, &d, 2);
+        let mem = Arc::new(MemoryRecorder::default());
+        t.attach_recorder(mem.clone());
+        let stats = t.run();
+        let report = mem.report();
+        // Per-epoch rollups mirror EpochStats.
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.epochs[0].sparse_iters, stats[0].sparse_iters);
+        assert!(report.epochs[0].preprocess_s > 0.0, "epoch 0 carries preprocess");
+        assert_eq!(report.epochs[1].preprocess_s, 0.0, "no rebuild yet");
+        assert!(report.epochs.iter().all(|e| e.forward_s > 0.0 && e.backward_s > 0.0));
+        // Span hierarchy: epoch > phases, evaluate nested under train_epoch.
+        assert_eq!(report.span("train_epoch").unwrap().count, 2);
+        assert!(report.span("train_epoch/evaluate").is_some());
+        for phase in ["forward", "backward", "optim"] {
+            let s = report.span(&format!("train_epoch/{phase}")).unwrap();
+            assert_eq!(s.count, 2);
+            assert!(s.total_s > 0.0, "{phase} must be timed");
+        }
+        // Simulated all-to-all volume: rtx3090(1) is an 8-GPU world, so
+        // cross-link traffic is nonzero; one record per iteration.
+        let a2a = mem.report().collective("all_to_all").cloned().unwrap();
+        let iters: usize = stats.iter().map(|s| s.sparse_iters + s.full_iters).sum();
+        assert!(a2a.wire_bytes > 0);
+        assert_eq!(a2a.ops, (8 * t.shape.layers * iters) as u64);
+        // One step trace per iteration, consistent with the epoch decisions.
+        assert_eq!(report.steps.len(), iters);
+        assert_eq!(
+            report.steps.iter().filter(|s| s.epoch == 0 && s.sparse).count(),
+            stats[0].sparse_iters
+        );
+    }
+
+    #[test]
+    fn dyn_trainer_matches_inherent_calls() {
+        use crate::traits::Trainer;
+        let d = dataset();
+        let mut a = make_trainer(Method::TorchGt, &d, 3);
+        let mut b = make_trainer(Method::TorchGt, &d, 3);
+        let direct = a.run();
+        let dyn_t: &mut dyn Trainer = &mut b;
+        let via_trait = dyn_t.run();
+        assert_eq!(direct.len(), via_trait.len());
+        for (x, y) in direct.iter().zip(&via_trait) {
+            // Everything except wall-clock must be bit-identical.
+            assert_eq!((x.epoch, x.loss, x.train_acc, x.test_acc), (y.epoch, y.loss, y.train_acc, y.test_acc));
+            assert_eq!((x.sim_seconds, x.sparse_iters, x.full_iters, x.beta_thre), (y.sim_seconds, y.sparse_iters, y.full_iters, y.beta_thre));
+        }
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! The unified [`Trainer`] abstraction: every training loop in this crate
+//! (node-level, graph-level, batched) drives the same way, so CLIs,
+//! examples and benchmarks can hold a `&mut dyn Trainer` and stay agnostic
+//! of the task level.
+
+use crate::config::TrainConfig;
+use crate::trainer::EpochStats;
+use torchgt_obs::RecorderHandle;
+
+/// A training loop over a prepared dataset.
+///
+/// Implementations must make `train_epoch` / `evaluate` / `run` behave
+/// identically to their inherent counterparts — dispatching through
+/// `dyn Trainer` is observationally equivalent to calling the concrete type
+/// (covered by the workspace's trait-parity tests).
+pub trait Trainer {
+    /// The run configuration this trainer was built with.
+    fn cfg(&self) -> &TrainConfig;
+
+    /// Route observability signals (spans, step/epoch traces, collective
+    /// volume, events) to `recorder`. The default recorder is the no-op
+    /// sink, which keeps instrumentation cost negligible.
+    fn attach_recorder(&mut self, recorder: RecorderHandle);
+
+    /// Run one training epoch and return its statistics.
+    fn train_epoch(&mut self) -> EpochStats;
+
+    /// Score the train and test splits (higher is better for both).
+    fn evaluate(&mut self) -> (f64, f64);
+
+    /// Train for the configured number of epochs.
+    fn run(&mut self) -> Vec<EpochStats> {
+        (0..self.cfg().epochs).map(|_| self.train_epoch()).collect()
+    }
+}

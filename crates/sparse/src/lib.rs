@@ -13,4 +13,6 @@ pub mod reform;
 pub use block_csr::BlockCsr;
 pub use layout::{access_profile, dense_profile, AccessProfile, LayoutKind};
 pub use mask::{add_global_token, topology_mask, window_mask};
-pub use reform::{beta_ladder, reform, ReformConfig, ReformStats, ReformedLayout};
+pub use reform::{
+    beta_ladder, reform, reform_recorded, ReformConfig, ReformStats, ReformedLayout,
+};

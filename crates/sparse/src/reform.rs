@@ -182,6 +182,33 @@ pub fn reform(graph: &CsrGraph, order: &ClusterOrder, cfg: ReformConfig) -> Refo
     ReformedLayout { mask, stats }
 }
 
+/// Like [`reform`], but reports the pass to an observability recorder: one
+/// [`torchgt_obs::Event::reform`] event (cluster density, sub-block count,
+/// compaction ratio, edge recall) plus a `reform/compaction_ratio` gauge.
+pub fn reform_recorded(
+    graph: &CsrGraph,
+    order: &ClusterOrder,
+    cfg: ReformConfig,
+    recorder: &torchgt_obs::RecorderHandle,
+) -> ReformedLayout {
+    let out = reform(graph, order, cfg);
+    if recorder.enabled() {
+        let s = &out.stats;
+        recorder.event(torchgt_obs::Event::reform(
+            s.clusters_total,
+            s.clusters_transferred,
+            s.sub_blocks,
+            s.nnz_before,
+            s.nnz_after,
+            s.edge_recall,
+        ));
+        if s.nnz_before > 0 {
+            recorder.gauge_set("reform/compaction_ratio", s.nnz_after as f64 / s.nnz_before as f64);
+        }
+    }
+    out
+}
+
 /// The paper's β_thre candidate ladder `{0, β_G, 1.5β_G, 5β_G, 7β_G, 10β_G, 1}`
 /// (§III-D, Hyperparameter Modeling).
 pub fn beta_ladder(beta_g: f64) -> [f64; 7] {
@@ -318,6 +345,30 @@ mod tests {
         // original (padding to full blocks, plus self loops).
         assert!(r.stats.nnz_after < r.stats.nnz_before * 5 / 2 + g.num_nodes() * 2);
         assert!(r.stats.nnz_after > r.stats.nnz_before / 4);
+    }
+
+    #[test]
+    fn reform_recorded_emits_matching_event() {
+        use std::sync::Arc;
+        use torchgt_obs::{Event, MemoryRecorder, RecorderHandle};
+        let (g, order) = clustered_fixture(400, 4, 8);
+        let mem = Arc::new(MemoryRecorder::default());
+        let rec: RecorderHandle = mem.clone();
+        let r = reform_recorded(&g, &order, ReformConfig { db: 8, beta_thre: 1.0 }, &rec);
+        let report = mem.report();
+        let events = report.events_of(Event::REFORM);
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        assert_eq!(e.num("clusters_total"), Some(r.stats.clusters_total as f64));
+        assert_eq!(e.num("nnz_after"), Some(r.stats.nnz_after as f64));
+        assert_eq!(
+            e.num("compaction_ratio"),
+            Some(r.stats.nnz_after as f64 / r.stats.nnz_before as f64)
+        );
+        assert_eq!(report.gauges[0].name, "reform/compaction_ratio");
+        // A disabled recorder records nothing and still reforms identically.
+        let quiet = reform_recorded(&g, &order, ReformConfig { db: 8, beta_thre: 1.0 }, &torchgt_obs::noop());
+        assert_eq!(quiet.stats.nnz_after, r.stats.nnz_after);
     }
 
     #[test]

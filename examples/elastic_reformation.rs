@@ -57,7 +57,8 @@ fn main() {
         .layers(2)
         .heads(4)
         .lr(2e-3)
-        .build_node(&dataset);
+        .build_node(&dataset)
+        .expect("valid configuration");
     println!("{:>5} {:>9} {:>10}", "epoch", "loss", "β_thre");
     for _ in 0..12 {
         let s = trainer.train_epoch();

@@ -9,6 +9,22 @@
 use torchgt::prelude::*;
 use torchgt::{ModelKind, TorchGtBuilder};
 
+/// Drive any trainer through the unified `Trainer` trait, printing one row
+/// per epoch. `score` maps `test_acc` to the reported metric (accuracy for
+/// classification, MAE for regression).
+fn run_epochs(trainer: &mut dyn Trainer, epochs: usize, score: fn(f64) -> f64) {
+    for _ in 0..epochs {
+        let s = trainer.train_epoch();
+        println!(
+            "{:>5} {:>9.4} {:>10.4} {:>10.4}",
+            s.epoch,
+            s.loss,
+            s.train_acc,
+            score(s.test_acc)
+        );
+    }
+}
+
 fn main() {
     // --- MalNet-like 5-class classification -----------------------------
     let malnet = DatasetKind::MalNet.generate_graphs(40, 0.003, 9);
@@ -30,15 +46,10 @@ fn main() {
         .layers(2)
         .heads(4)
         .lr(2e-3)
-        .build_graph(&malnet, 5);
+        .build_graph(&malnet, 5)
+        .expect("valid configuration");
     println!("{:>5} {:>9} {:>10} {:>10}", "epoch", "loss", "train_acc", "test_acc");
-    for _ in 0..6 {
-        let s = trainer.train_epoch();
-        println!(
-            "{:>5} {:>9.4} {:>10.4} {:>10.4}",
-            s.epoch, s.loss, s.train_acc, s.test_acc
-        );
-    }
+    run_epochs(&mut trainer, 6, |acc| acc);
 
     // --- ZINC-like molecule regression (reported as MAE) ----------------
     let zinc = DatasetKind::Zinc.generate_graphs(60, 1.0, 21);
@@ -50,11 +61,9 @@ fn main() {
         .layers(2)
         .heads(4)
         .lr(3e-3)
-        .build_graph(&zinc, 1);
-    println!("{:>5} {:>9} {:>10}", "epoch", "loss", "test_MAE");
-    for _ in 0..8 {
-        let s = trainer.train_epoch();
-        // evaluate() reports negative MAE so "higher is better" holds.
-        println!("{:>5} {:>9.4} {:>10.4}", s.epoch, s.loss, -s.test_acc);
-    }
+        .build_graph(&zinc, 1)
+        .expect("valid configuration");
+    println!("{:>5} {:>9} {:>10} {:>10}", "epoch", "loss", "train_acc", "test_MAE");
+    // evaluate() reports negative MAE so "higher is better" holds.
+    run_epochs(&mut trainer, 8, |acc| -acc);
 }

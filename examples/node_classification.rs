@@ -32,7 +32,11 @@ fn main() {
             .heads(8)
             .lr(2e-3)
             .seed(3)
-            .build_node(&dataset);
+            .build_node(&dataset)
+            .expect("valid configuration");
+        // Every trainer kind exposes the same `Trainer` surface; dispatch
+        // dynamically like the CLI does.
+        let trainer: &mut dyn Trainer = &mut trainer;
         let stats = trainer.run();
         let last = stats.last().unwrap();
         let full_pct = stats.iter().map(|s| s.full_iters).sum::<usize>() as f64

@@ -29,7 +29,8 @@ fn main() {
         .heads(8)
         .lr(2e-3)
         .seed(7)
-        .build_node(&dataset);
+        .build_node(&dataset)
+        .expect("valid configuration");
 
     println!(
         "preprocessing (partition + reorder + masks): {:.3}s, beta_G = {:.2e}",

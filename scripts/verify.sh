@@ -13,4 +13,16 @@ cargo test -q --offline --workspace
 echo "== benches + examples compile (offline) =="
 cargo check --benches --examples --offline
 
+echo "== release examples + bins build (offline) =="
+cargo build --release --offline --examples --bins
+
+echo "== metrics export smoke test =="
+metrics="$(mktemp /tmp/torchgt_metrics.XXXXXX.json)"
+trap 'rm -f "$metrics"' EXIT
+./target/release/torchgt_cli train --dataset arxiv --method torchgt \
+    --epochs 2 --scale 0.002 --metrics "$metrics" >/dev/null
+grep -q '"all_to_all"' "$metrics"
+grep -q '"train_epoch/forward"' "$metrics"
+echo "metrics smoke: OK"
+
 echo "verify: OK"

@@ -4,32 +4,62 @@
 //! torchgt_cli train --dataset arxiv --method torchgt --epochs 8 [--scale 0.01]
 //!                   [--seq-len 512] [--model graphormer|gt] [--hidden 64]
 //!                   [--layers 3] [--heads 8] [--lr 2e-3] [--seed 1]
+//!                   [--metrics out.json]
 //! torchgt_cli info  --dataset arxiv            # published dataset statistics
 //! torchgt_cli maxseq [--gpus 8]                # Fig. 9(a)-style memory limits
 //! torchgt_cli datasets                         # list available stand-ins
 //! ```
+//!
+//! `--metrics <path>` attaches an in-memory recorder to the training loop and
+//! writes the full observability report (span timings, per-epoch phase
+//! breakdowns, per-step traces, simulated all-to-all volume, β_thre
+//! transition events) as pretty-printed JSON.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use torchgt::prelude::*;
 use torchgt::{ModelKind, TorchGtBuilder};
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Flags accepted by `train`.
+const TRAIN_FLAGS: &[&str] = &[
+    "dataset", "method", "scale", "epochs", "seed", "model", "seq-len", "hidden", "layers",
+    "heads", "lr", "metrics",
+];
+
+/// Parse `--key value` / `--switch` pairs, rejecting anything not in
+/// `allowed`.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                i += 1;
-                args[i].clone()
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(format!("unexpected argument `{}`", args[i]));
+        };
+        if !allowed.contains(&key) {
+            let mut hint = format!("unknown flag `--{key}`");
+            if allowed.is_empty() {
+                hint.push_str(" (this command takes no flags)");
             } else {
-                "true".to_string()
-            };
-            map.insert(key.to_string(), value);
+                hint.push_str(" (allowed:");
+                for f in allowed {
+                    hint.push_str(" --");
+                    hint.push_str(f);
+                }
+                hint.push(')');
+            }
+            return Err(hint);
         }
+        let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            i += 1;
+            args[i].clone()
+        } else {
+            "true".to_string()
+        };
+        map.insert(key.to_string(), value);
         i += 1;
     }
-    map
+    Ok(map)
 }
 
 fn dataset_kind(name: &str) -> Option<DatasetKind> {
@@ -68,7 +98,19 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return usage();
     };
-    let flags = parse_flags(&args[1..]);
+    let allowed: &[&str] = match command.as_str() {
+        "train" => TRAIN_FLAGS,
+        "info" => &["dataset"],
+        "maxseq" => &["gpus"],
+        _ => &[],
+    };
+    let flags = match parse_flags(&args[1..], allowed) {
+        Ok(flags) => flags,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return usage();
+        }
+    };
     let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
     match command.as_str() {
         "datasets" => {
@@ -134,7 +176,7 @@ fn main() -> ExitCode {
                 dataset.graph.num_edges(),
                 dataset.num_classes
             );
-            let mut trainer = TorchGtBuilder::new(m)
+            let built = TorchGtBuilder::new(m)
                 .model(model)
                 .seq_len(get("seq-len", "512").parse().unwrap_or(512))
                 .epochs(epochs)
@@ -144,6 +186,21 @@ fn main() -> ExitCode {
                 .lr(get("lr", "2e-3").parse().unwrap_or(2e-3))
                 .seed(seed)
                 .build_node(&dataset);
+            let mut node_trainer = match built {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("invalid configuration: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // Dispatch through the unified Trainer abstraction — the loop
+            // below works for any trainer kind.
+            let trainer: &mut dyn Trainer = &mut node_trainer;
+            let recorder = flags.get("metrics").map(|path| {
+                let mem = Arc::new(MemoryRecorder::default());
+                trainer.attach_recorder(mem.clone());
+                (mem, path.clone())
+            });
             println!(
                 "{:>5} {:>9} {:>10} {:>10} {:>12}",
                 "epoch", "loss", "train_acc", "test_acc", "sim t (s)"
@@ -154,6 +211,14 @@ fn main() -> ExitCode {
                     "{:>5} {:>9.4} {:>10.4} {:>10.4} {:>12.6}",
                     s.epoch, s.loss, s.train_acc, s.test_acc, s.sim_seconds
                 );
+            }
+            if let Some((mem, path)) = recorder {
+                let report = mem.report();
+                if let Err(e) = std::fs::write(&path, report.to_json_string_pretty()) {
+                    eprintln!("failed to write metrics to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics written to {path}");
             }
             ExitCode::SUCCESS
         }

@@ -17,7 +17,8 @@ fn sequence_length_larger_than_graph() {
         .hidden(16)
         .layers(2)
         .heads(2)
-        .build_node(&d);
+        .build_node(&d)
+        .expect("valid configuration");
     let stats = t.train_epoch();
     assert!(stats.loss.is_finite());
     assert_eq!(t.num_sequences(), 1);
@@ -35,7 +36,8 @@ fn sequence_length_one_node_chunks() {
         .layers(2)
         .heads(2);
     cfg_builder = cfg_builder.lr(1e-3);
-    let mut t = cfg_builder.build_node(&d);
+    let mut t = cfg_builder.build_node(&d)
+        .expect("valid configuration");
     let stats = t.train_epoch();
     assert!(stats.loss.is_finite());
     assert_eq!(t.num_sequences(), d.num_nodes());
@@ -50,7 +52,8 @@ fn zero_epoch_run_returns_empty() {
         .hidden(16)
         .layers(2)
         .heads(2)
-        .build_node(&d);
+        .build_node(&d)
+        .expect("valid configuration");
     assert!(t.run().is_empty());
 }
 
@@ -125,7 +128,8 @@ fn graph_dataset_with_one_sample() {
         .hidden(16)
         .layers(2)
         .heads(2)
-        .build_graph(&data, 1);
+        .build_graph(&data, 1)
+        .expect("valid configuration");
     // 1 sample → 0 train / 1 test under the 80/20 split; must not panic.
     let stats = t.train_epoch();
     assert!(stats.loss.is_finite() || stats.loss == 0.0);

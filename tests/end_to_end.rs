@@ -25,7 +25,8 @@ fn interleaved_beats_pure_sparse_convergence() {
             .lr(2e-3)
             .interleave_period(period)
             .seed(5)
-            .build_node(&dataset);
+            .build_node(&dataset)
+        .expect("valid configuration");
         let stats = t.run();
         stats.last().unwrap().test_acc
     };
@@ -54,7 +55,8 @@ fn fp32_at_least_matches_bf16() {
             .lr(2e-3)
             .precision(precision)
             .seed(9)
-            .build_node(&dataset);
+            .build_node(&dataset)
+        .expect("valid configuration");
         t.run().last().unwrap().test_acc
     };
     let fp32 = run(Precision::Fp32);
@@ -104,7 +106,8 @@ fn pipeline_improves_locality() {
         .hidden(32)
         .layers(2)
         .heads(4)
-        .build_node(&dataset);
+        .build_node(&dataset)
+        .expect("valid configuration");
     let _ = trainer; // construction alone runs the pipeline
     // Direct measurement of the clustered+reformed layout:
     use torchgt::graph::partition::{cluster_order, partition};
@@ -133,7 +136,8 @@ fn task_agnostic_facade() {
         .hidden(16)
         .layers(2)
         .heads(2)
-        .build_node(&node);
+        .build_node(&node)
+        .expect("valid configuration");
     let ns = nt.run();
     assert_eq!(ns.len(), 2);
 
@@ -144,7 +148,8 @@ fn task_agnostic_facade() {
         .hidden(16)
         .layers(2)
         .heads(2)
-        .build_graph(&graphs, 8);
+        .build_graph(&graphs, 8)
+        .expect("valid configuration");
     let gs = gt.run();
     assert_eq!(gs.len(), 2);
     assert!(gs[1].loss.is_finite());
@@ -162,7 +167,8 @@ fn training_is_deterministic() {
             .layers(2)
             .heads(2)
             .seed(13)
-            .build_node(&dataset);
+            .build_node(&dataset)
+        .expect("valid configuration");
         t.run().iter().map(|s| s.loss).collect::<Vec<f32>>()
     };
     assert_eq!(run(), run());
