@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3 polynomial), implemented locally so the snapshot
+//! format needs no external dependency. Byte-wise table-driven; the table
+//! is built once per process.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes` (the common zlib/PNG/Ethernet variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 64];
+        data[10] = 0x5A;
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at byte {byte} bit {bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # torchgt-ckpt
+//!
+//! Fault-tolerance substrate for the TorchGT reproduction: versioned
+//! **full-training-state** snapshots.
+//!
+//! The legacy `torchgt_tensor::checkpoint` format stores bare parameter
+//! values only, so a resumed run diverges from an uninterrupted one (Adam's
+//! moments and bias-correction step restart from zero, dropout masks
+//! re-draw from call 0, the AutoTuner ladder forgets its position). TorchGT
+//! trains for hundreds of epochs on 111M-node graphs (PAPER.md §VI) —
+//! exactly the regime where a mid-run crash must not cost the run. This
+//! crate captures *everything* the training loop's determinism depends on:
+//!
+//! * model parameters **and** Adam first/second moment buffers,
+//! * the Adam step counter (bias correction depends on it),
+//! * PRNG state (per-dropout mask-draw counters),
+//! * AutoTuner β_thre ladder position and observation histories,
+//! * interleave-scheduler cursors and the epoch cursor.
+//!
+//! On disk a snapshot is a single file: fixed header, checksummed JSON
+//! manifest (via `torchgt-compat::json`), checksummed packed-f32 tensor
+//! payload — see [`snapshot`] for the byte-level spec. [`store`] adds
+//! atomic write-then-rename publication and keep-last-K retention.
+
+pub mod checksum;
+pub mod snapshot;
+pub mod state;
+pub mod store;
+
+pub use checksum::crc32;
+pub use snapshot::{Snapshot, FORMAT_VERSION};
+pub use state::{ParamState, SchedulerState, TensorShape, TrainerState, TunerState};
+pub use store::CheckpointStore;

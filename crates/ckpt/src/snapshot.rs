@@ -1,0 +1,343 @@
+//! The on-disk snapshot format.
+//!
+//! ```text
+//! offset  size            field
+//! 0       4               magic "TGTS"
+//! 4       4               format version, u32 LE (currently 1)
+//! 8       8               manifest length N, u64 LE
+//! 16      4               CRC-32 of the manifest bytes, u32 LE
+//! 20      N               manifest: compact JSON (torchgt-compat::json)
+//! 20+N    payload_len     payload: packed f32 LE tensor data
+//! ```
+//!
+//! The manifest records the trainer state ([`TrainerState`]), the shape of
+//! every tensor, and the payload's length and CRC-32. The payload holds,
+//! for each parameter in order, its `value`, `m`, and `v` buffers
+//! back-to-back. Readers verify both checksums, every declared length, and
+//! that the file ends exactly at the payload's last byte — a flipped bit,
+//! a truncation, or trailing garbage all fail cleanly *before* any model
+//! state is touched.
+
+use crate::checksum::crc32;
+use crate::state::{ParamState, TensorShape, TrainerState};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use torchgt_tensor::checkpoint::{expect_eof, read_f32s, write_f32s};
+use torchgt_tensor::param::Param;
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"TGTS";
+
+/// Hard cap on the declared manifest length — a corrupted length field must
+/// not trigger a huge allocation.
+const MAX_MANIFEST_LEN: u64 = 64 << 20;
+
+torchgt_compat::json_struct! {
+    /// The JSON manifest (private — [`Snapshot`] is the public surface).
+    #[derive(Clone, Debug, PartialEq)]
+    struct Manifest {
+        format_version: u32,
+        state: TrainerState,
+        shapes: Vec<TensorShape>,
+        payload_len: u64,
+        payload_crc: u32,
+    }
+}
+
+/// A full training-state snapshot: trainer bookkeeping plus every
+/// parameter's value and Adam moment buffers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Trainer bookkeeping (epoch, optimizer steps, RNG streams, tuner…).
+    pub state: TrainerState,
+    /// Per-parameter tensors, in model traversal order.
+    pub params: Vec<ParamState>,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Snapshot {
+    /// Assemble a snapshot from live parameters plus trainer state.
+    pub fn capture(state: TrainerState, params: &[&Param]) -> Self {
+        Self { state, params: params.iter().map(|p| ParamState::capture(p)).collect() }
+    }
+
+    /// Restore every parameter (values + moments). All-or-nothing: counts
+    /// and shapes are validated for the whole set before the first tensor
+    /// is overwritten.
+    pub fn apply_params(&self, params: &mut [&mut Param]) -> io::Result<()> {
+        if params.len() != self.params.len() {
+            return Err(bad(format!(
+                "snapshot has {} tensors, model has {}",
+                self.params.len(),
+                params.len()
+            )));
+        }
+        for (st, p) in self.params.iter().zip(params.iter()) {
+            if p.value.shape() != (st.rows, st.cols) {
+                return Err(bad(format!(
+                    "snapshot tensor is {}x{}, model expects {:?}",
+                    st.rows,
+                    st.cols,
+                    p.value.shape()
+                )));
+            }
+        }
+        for (st, p) in self.params.iter().zip(params.iter_mut()) {
+            st.apply(p)?;
+        }
+        Ok(())
+    }
+
+    /// Serialise to a writer (header + manifest + payload, per the module
+    /// docs).
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut payload = Vec::new();
+        for p in &self.params {
+            write_f32s(&mut payload, &p.value)?;
+            write_f32s(&mut payload, &p.m)?;
+            write_f32s(&mut payload, &p.v)?;
+        }
+        let manifest = Manifest {
+            format_version: FORMAT_VERSION,
+            state: self.state.clone(),
+            shapes: self.params.iter().map(ParamState::shape).collect(),
+            payload_len: payload.len() as u64,
+            payload_crc: crc32(&payload),
+        };
+        let manifest_bytes = torchgt_compat::json::to_string(&manifest)
+            .map_err(|e| bad(format!("manifest encode: {e}")))?
+            .into_bytes();
+        w.write_all(MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&(manifest_bytes.len() as u64).to_le_bytes())?;
+        w.write_all(&crc32(&manifest_bytes).to_le_bytes())?;
+        w.write_all(&manifest_bytes)?;
+        w.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Deserialise from a reader, verifying magic, version, both checksums,
+    /// all declared lengths, and exact EOF.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad snapshot magic"));
+        }
+        let mut buf4 = [0u8; 4];
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported snapshot format version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        r.read_exact(&mut buf8)?;
+        let manifest_len = u64::from_le_bytes(buf8);
+        if manifest_len > MAX_MANIFEST_LEN {
+            return Err(bad(format!("implausible manifest length {manifest_len}")));
+        }
+        r.read_exact(&mut buf4)?;
+        let manifest_crc = u32::from_le_bytes(buf4);
+        let mut manifest_bytes = vec![0u8; manifest_len as usize];
+        r.read_exact(&mut manifest_bytes)?;
+        if crc32(&manifest_bytes) != manifest_crc {
+            return Err(bad("manifest checksum mismatch (corrupt snapshot)"));
+        }
+        let manifest_text = std::str::from_utf8(&manifest_bytes)
+            .map_err(|_| bad("manifest is not valid UTF-8"))?;
+        let manifest: Manifest = torchgt_compat::json::from_str_as(manifest_text)
+            .map_err(|e| bad(format!("manifest decode: {e}")))?;
+        if manifest.format_version != FORMAT_VERSION {
+            return Err(bad("manifest/header version disagreement"));
+        }
+        let expected: u64 =
+            manifest.shapes.iter().map(|s| 3 * (s.rows * s.cols) as u64 * 4).sum();
+        if expected != manifest.payload_len {
+            return Err(bad(format!(
+                "manifest shapes require {expected} payload bytes, manifest declares {}",
+                manifest.payload_len
+            )));
+        }
+        let mut payload = vec![0u8; manifest.payload_len as usize];
+        r.read_exact(&mut payload)?;
+        if crc32(&payload) != manifest.payload_crc {
+            return Err(bad("payload checksum mismatch (corrupt snapshot)"));
+        }
+        expect_eof(&mut r)?;
+        let mut cursor: &[u8] = &payload;
+        let mut params = Vec::with_capacity(manifest.shapes.len());
+        for s in &manifest.shapes {
+            let n = s.rows * s.cols;
+            params.push(ParamState {
+                rows: s.rows,
+                cols: s.cols,
+                value: read_f32s(&mut cursor, n)?,
+                m: read_f32s(&mut cursor, n)?,
+                v: read_f32s(&mut cursor, n)?,
+            });
+        }
+        Ok(Self { state: manifest.state, params })
+    }
+
+    /// Write to a file (non-atomic; [`crate::CheckpointStore`] wraps this
+    /// with write-then-rename publication).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::read_from(BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::TunerState;
+    use torchgt_compat::proptest::prelude::*;
+    use torchgt_tensor::init;
+    use torchgt_tensor::tensor::Tensor;
+
+    fn sample() -> Snapshot {
+        let mut p0 = Param::new(init::normal(3, 4, 0.0, 1.0, 11));
+        p0.m = init::normal(3, 4, 0.0, 0.1, 12);
+        p0.v = init::normal(3, 4, 0.5, 0.1, 13);
+        let p1 = Param::new(init::normal(2, 2, 0.0, 1.0, 14));
+        let state = TrainerState {
+            epoch: 5,
+            opt_steps: 120,
+            rng_streams: vec![5, 5, 6],
+            beta_thre: Some(0.25),
+            tuner: Some(TunerState {
+                index: 1,
+                f_history: vec![2.0, 1.5],
+                ldr_history: vec![0.1, 0.2],
+            }),
+            scheduler: None,
+            epoch_losses: vec![1.5, 1.0],
+        };
+        Snapshot::capture(state, &[&p0, &p1])
+    }
+
+    fn to_bytes(s: &Snapshot) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let s = sample();
+        let back = Snapshot::read_from(to_bytes(&s).as_slice()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn apply_restores_values_and_moments() {
+        let s = sample();
+        let mut a = Param::new(Tensor::zeros(3, 4));
+        let mut b = Param::new(Tensor::zeros(2, 2));
+        s.apply_params(&mut [&mut a, &mut b]).unwrap();
+        assert_eq!(a.value.data(), &s.params[0].value[..]);
+        assert_eq!(a.m.data(), &s.params[0].m[..]);
+        assert_eq!(a.v.data(), &s.params[0].v[..]);
+    }
+
+    #[test]
+    fn apply_is_all_or_nothing() {
+        let s = sample();
+        let mut a = Param::new(Tensor::full(3, 4, 7.0));
+        let mut b = Param::new(Tensor::full(5, 5, 7.0)); // wrong shape
+        assert!(s.apply_params(&mut [&mut a, &mut b]).is_err());
+        assert!(a.value.data().iter().all(|&v| v == 7.0), "first param untouched");
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let s = sample();
+        let bytes = to_bytes(&s);
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                Snapshot::read_from(corrupt.as_slice()).is_err(),
+                "bit flip at byte {i}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let s = sample();
+        let bytes = to_bytes(&s);
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Snapshot::read_from(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Snapshot::read_from(extended.as_slice()).is_err(), "trailing byte accepted");
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[4] = 0xFF; // bump the version field
+        let err = Snapshot::read_from(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Round-trip over random shapes and values, including moments.
+        #[test]
+        fn round_trip_random_snapshots(
+            rows in 1usize..6,
+            cols in 1usize..6,
+            vals in torchgt_compat::proptest::collection::vec(-1e6f32..1e6, 1..36),
+            epoch in 0usize..1000,
+            steps in 0u64..100_000,
+        ) {
+            let n = rows * cols;
+            let take = |off: usize| -> Vec<f32> {
+                (0..n).map(|i| vals[(off + i) % vals.len()]).collect()
+            };
+            let ps = ParamState { rows, cols, value: take(0), m: take(1), v: take(2) };
+            let snap = Snapshot {
+                state: TrainerState::basic(epoch, steps),
+                params: vec![ps],
+            };
+            let mut buf = Vec::new();
+            snap.write_to(&mut buf).unwrap();
+            let back = Snapshot::read_from(buf.as_slice()).unwrap();
+            prop_assert_eq!(back, snap);
+        }
+
+        /// A random bit flip anywhere in the file must be detected, and a
+        /// failed load must leave target params unmutated.
+        #[test]
+        fn random_bit_flip_rejected_without_partial_mutation(
+            byte_frac in 0.0f64..1.0,
+            bit in 0u32..8,
+        ) {
+            let s = sample();
+            let mut bytes = to_bytes(&s);
+            let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+            bytes[idx] ^= 1 << bit;
+            let res = Snapshot::read_from(bytes.as_slice());
+            prop_assert!(res.is_err(), "flip at byte {} bit {} accepted", idx, bit);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Snapshot directory management: atomic publication and retention.
+//!
+//! Snapshots are published write-then-rename: the bytes go to a hidden
+//! temporary file in the same directory, are flushed to disk, and only then
+//! renamed to their final `snapshot-NNNNNN.tgtck` name. A crash mid-write
+//! therefore never leaves a half-written file under a name the resume path
+//! would pick up — `latest()` only ever sees fully-published snapshots.
+
+use crate::snapshot::Snapshot;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// File extension for published snapshots.
+pub const SNAPSHOT_EXT: &str = "tgtck";
+
+/// Manages a directory of epoch-numbered snapshots with a keep-last-K
+/// retention policy.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep_last: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a snapshot directory. `keep_last` bounds
+    /// how many snapshots survive pruning; it is clamped to at least 1.
+    pub fn new(dir: impl Into<PathBuf>, keep_last: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, keep_last: keep_last.max(1) })
+    }
+
+    /// The managed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Published path for a given epoch.
+    pub fn path_for(&self, epoch: usize) -> PathBuf {
+        self.dir.join(format!("snapshot-{epoch:06}.{SNAPSHOT_EXT}"))
+    }
+
+    /// Atomically publish a snapshot (named by `snapshot.state.epoch`),
+    /// then prune to the retention limit. Returns the published path.
+    pub fn save(&self, snapshot: &Snapshot) -> io::Result<PathBuf> {
+        let epoch = snapshot.state.epoch;
+        let final_path = self.path_for(epoch);
+        let tmp_path = self.dir.join(format!(".snapshot-{epoch:06}.tmp"));
+        {
+            let file = File::create(&tmp_path)?;
+            let mut w = BufWriter::new(file);
+            snapshot.write_to(&mut w)?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// Epochs with a published snapshot, ascending.
+    pub fn epochs(&self) -> io::Result<Vec<usize>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(&format!(".{SNAPSHOT_EXT}")) else { continue };
+            let Some(num) = stem.strip_prefix("snapshot-") else { continue };
+            if let Ok(epoch) = num.parse::<usize>() {
+                out.push(epoch);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The newest published epoch, if any.
+    pub fn latest(&self) -> io::Result<Option<usize>> {
+        Ok(self.epochs()?.pop())
+    }
+
+    /// Load the snapshot for a specific epoch.
+    pub fn load(&self, epoch: usize) -> io::Result<Snapshot> {
+        Snapshot::load(&self.path_for(epoch))
+    }
+
+    /// Load the newest snapshot, if any.
+    pub fn load_latest(&self) -> io::Result<Option<Snapshot>> {
+        match self.latest()? {
+            Some(epoch) => Ok(Some(self.load(epoch)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Delete all but the newest `keep_last` snapshots.
+    fn prune(&self) -> io::Result<()> {
+        let epochs = self.epochs()?;
+        if epochs.len() > self.keep_last {
+            for &old in &epochs[..epochs.len() - self.keep_last] {
+                fs::remove_file(self.path_for(old))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::TrainerState;
+    use crate::ParamState;
+
+    fn snap(epoch: usize) -> Snapshot {
+        Snapshot {
+            state: TrainerState::basic(epoch, epoch as u64 * 10),
+            params: vec![ParamState {
+                rows: 1,
+                cols: 2,
+                value: vec![epoch as f32, 1.0],
+                m: vec![0.0, 0.0],
+                v: vec![0.0, 0.0],
+            }],
+        }
+    }
+
+    fn temp_store(tag: &str, keep: usize) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("torchgt_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir, keep).unwrap()
+    }
+
+    #[test]
+    fn save_load_latest() {
+        let store = temp_store("basic", 3);
+        assert!(store.load_latest().unwrap().is_none());
+        store.save(&snap(0)).unwrap();
+        store.save(&snap(1)).unwrap();
+        let latest = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.state.epoch, 1);
+        assert_eq!(latest.params[0].value[0], 1.0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn retention_keeps_last_k() {
+        let store = temp_store("retention", 2);
+        for e in 0..5 {
+            store.save(&snap(e)).unwrap();
+        }
+        assert_eq!(store.epochs().unwrap(), vec![3, 4]);
+        assert!(store.load(4).is_ok());
+        assert!(store.load(0).is_err(), "pruned snapshot should be gone");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn no_temp_files_left_behind() {
+        let store = temp_store("tmpfiles", 2);
+        store.save(&snap(7)).unwrap();
+        let stray: Vec<_> = fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files not cleaned up: {stray:?}");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn half_written_temp_is_invisible_to_latest() {
+        let store = temp_store("halfwrite", 3);
+        store.save(&snap(2)).unwrap();
+        // Simulate a crash mid-write: a stray temp file with garbage bytes.
+        fs::write(store.dir().join(".snapshot-000009.tmp"), b"garbage").unwrap();
+        assert_eq!(store.latest().unwrap(), Some(2));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -7,10 +7,11 @@
 //! [`crate::interconnect`] supply the simulated wall-clock the experiment
 //! harnesses report.
 
+use crate::fault::{decide, FaultPlan, FaultState, RankCrash, SALT_DELAY, SALT_DROP};
 use crate::stats::{CollectiveKind, CommStats};
 use std::sync::Arc;
 use torchgt_compat::sync::channel::{unbounded, Receiver, Sender};
-use torchgt_obs::RecorderHandle;
+use torchgt_obs::{Event, RecorderHandle};
 
 /// Per-rank handle for collective communication within a device group.
 pub struct Communicator {
@@ -22,6 +23,9 @@ pub struct Communicator {
     receivers: Vec<Receiver<Vec<f32>>>,
     stats: Arc<CommStats>,
     recorder: RecorderHandle,
+    /// Fault-injection bookkeeping shared by the whole group (`None` in a
+    /// fault-free group: the common path pays one branch).
+    fault: Option<Arc<FaultState>>,
 }
 
 impl Communicator {
@@ -44,6 +48,7 @@ impl Communicator {
     /// this rank handles, `wire` the part it actually sends across links
     /// (sender-side counting — group-wide sums don't double-count).
     fn account(&self, kind: CollectiveKind, payload: usize, wire: usize) {
+        self.fault_tick();
         self.stats.record_op(kind);
         if wire > 0 {
             self.stats.record_wire_bytes(kind, wire);
@@ -53,9 +58,64 @@ impl Communicator {
         }
     }
 
+    /// One collective invocation on this rank: advance the fault-plan op
+    /// counter and fire an injected crash if this is the chosen op. The
+    /// panic payload is a [`RankCrash`]; [`DeviceGroup::try_run`] converts
+    /// it into a per-rank error while peers cascade-fail their receives,
+    /// mirroring a NCCL communicator abort.
+    fn fault_tick(&self) {
+        let Some(fs) = &self.fault else { return };
+        let op = fs.next_collective_op(self.rank);
+        if fs.should_crash(self.rank, op) {
+            if self.recorder.enabled() {
+                self.recorder.event(Event::rank_crash(self.rank, op));
+            }
+            std::panic::panic_any(RankCrash { rank: self.rank, op });
+        }
+    }
+
+    /// Injected per-send faults: seeded delay and drop-with-retry. Neither
+    /// changes what is ultimately delivered or its order — faults perturb
+    /// the schedule, never the numerics.
+    fn inject_send_faults(&self, peer: usize) {
+        let Some(fs) = &self.fault else { return };
+        let plan: &FaultPlan = &fs.plan;
+        if plan.delay_prob <= 0.0 && plan.drop_prob <= 0.0 {
+            return;
+        }
+        let op = fs.next_send_op(self.rank);
+        if decide(plan.seed, self.rank, op, SALT_DELAY, plan.delay_prob) {
+            if plan.delay_s > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(plan.delay_s));
+            }
+            if self.recorder.enabled() {
+                self.recorder.event(Event::fault_delay(self.rank, peer, op, plan.delay_s));
+            }
+        }
+        let mut lost = 0u64;
+        while lost < plan.max_retries as u64
+            && decide(plan.seed, self.rank, op ^ (lost << 32), SALT_DROP, plan.drop_prob)
+        {
+            // The receiver times out waiting for the lost attempt; the
+            // retransmission then goes through. Modelled sender-side as
+            // backoff latency so no extra message ever hits the wire.
+            lost += 1;
+            if plan.retry_backoff_s > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(plan.retry_backoff_s));
+            }
+        }
+        if lost > 0 {
+            self.stats.record_retries(lost);
+            if self.recorder.enabled() {
+                self.recorder.event(Event::fault_drop(self.rank, peer, op, lost));
+            }
+        }
+    }
+
     /// Point-to-point send (building block for custom collective
     /// algorithms, e.g. [`crate::hierarchical`]).
     pub fn send_to(&self, peer: usize, data: Vec<f32>) {
+        self.inject_send_faults(peer);
         self.stats.record_bytes(data.len() * 4);
         self.senders[peer].send(data).expect("peer hung up");
     }
@@ -166,7 +226,7 @@ impl Communicator {
         self.account(CollectiveKind::Barrier, 0, 0);
         for j in 0..self.world {
             if j != self.rank {
-                self.senders[j].send(Vec::new()).expect("peer hung up");
+                self.send_to(j, Vec::new());
             }
         }
         for j in 0..self.world {
@@ -177,12 +237,34 @@ impl Communicator {
     }
 }
 
+/// How one rank of a [`DeviceGroup::try_run`] call failed.
+#[derive(Clone, Debug)]
+pub enum RankFailure {
+    /// An injected [`FaultPlan`] crash fired on this rank.
+    Crash(RankCrash),
+    /// The rank panicked for another reason (including the "peer hung up"
+    /// cascade a crashed neighbour causes).
+    Panic(String),
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankFailure::Crash(c) => {
+                write!(f, "injected crash on rank {} at collective op {}", c.rank, c.op)
+            }
+            RankFailure::Panic(msg) => write!(f, "rank panicked: {msg}"),
+        }
+    }
+}
+
 /// A group of simulated devices. [`DeviceGroup::run`] executes one closure
 /// per rank on its own thread and returns the per-rank results.
 pub struct DeviceGroup {
     world: usize,
     stats: Arc<CommStats>,
     recorder: RecorderHandle,
+    fault: Option<Arc<FaultState>>,
 }
 
 impl DeviceGroup {
@@ -195,13 +277,25 @@ impl DeviceGroup {
     /// `recorder` (in addition to the always-on [`CommStats`] counters).
     pub fn with_recorder(world: usize, recorder: RecorderHandle) -> Self {
         assert!(world >= 1);
-        Self { world, stats: Arc::new(CommStats::default()), recorder }
+        Self { world, stats: Arc::new(CommStats::default()), recorder, fault: None }
     }
 
     /// Swap the recorder collectives report to (applies to subsequent
     /// [`DeviceGroup::run`] calls).
     pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    /// Install (or clear) a fault-injection plan for subsequent runs. An
+    /// installed crash fires at most once across the group's lifetime, so a
+    /// recovery re-run over the same group proceeds clean.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan.map(|p| Arc::new(FaultState::new(p, self.world)));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan)
     }
 
     /// Number of ranks.
@@ -214,16 +308,12 @@ impl DeviceGroup {
         &self.stats
     }
 
-    /// Run `f(communicator)` on every rank concurrently, returning results in
-    /// rank order. Collective calls inside `f` must be made by *all* ranks in
-    /// the same order (the usual SPMD contract).
-    pub fn run<F, R>(&self, f: F) -> Vec<R>
-    where
-        F: Fn(Communicator) -> R + Sync,
-        R: Send,
-    {
+    /// Build the P×P channel mesh and one [`Communicator`] per rank.
+    fn build_comms(&self) -> Vec<Communicator> {
         let p = self.world;
-        // Build the p×p channel mesh.
+        if let Some(fs) = &self.fault {
+            fs.reset_counters();
+        }
         let mut txs: Vec<Vec<Option<Sender<Vec<f32>>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         let mut rxs: Vec<Vec<Option<Receiver<Vec<f32>>>>> =
@@ -256,8 +346,22 @@ impl DeviceGroup {
                 receivers,
                 stats: Arc::clone(&self.stats),
                 recorder: Arc::clone(&self.recorder),
+                fault: self.fault.clone(),
             });
         }
+        comms
+    }
+
+    /// Run `f(communicator)` on every rank concurrently, returning results in
+    /// rank order. Collective calls inside `f` must be made by *all* ranks in
+    /// the same order (the usual SPMD contract). Panics if any rank panics;
+    /// use [`DeviceGroup::try_run`] when a fault plan may crash a rank.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(Communicator) -> R + Sync,
+        R: Send,
+    {
+        let comms = self.build_comms();
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
@@ -267,6 +371,87 @@ impl DeviceGroup {
             handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
     }
+
+    /// Like [`DeviceGroup::run`] but crash-tolerant: each rank's panic is
+    /// contained and reported as a [`RankFailure`] in that rank's slot
+    /// instead of tearing the caller down. An injected crash surfaces as
+    /// [`RankFailure::Crash`] on its rank while the peers it strands
+    /// surface as the "peer hung up" cascade — the whole-group abort
+    /// semantics of a real NCCL job, observable instead of fatal.
+    pub fn try_run<F, R>(&self, f: F) -> Vec<Result<R, RankFailure>>
+    where
+        F: Fn(Communicator) -> R + Sync,
+        R: Send,
+    {
+        let comms = self.build_comms();
+        let f = &f;
+        quiet_crash_panics(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|comm| scope.spawn(move || f(comm)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => Ok(r),
+                        Err(payload) => Err(classify_panic(payload)),
+                    })
+                    .collect()
+            })
+        })
+    }
+}
+
+/// Map a joined panic payload to a [`RankFailure`].
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> RankFailure {
+    match payload.downcast::<RankCrash>() {
+        Ok(crash) => RankFailure::Crash(*crash),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            RankFailure::Panic(msg)
+        }
+    }
+}
+
+/// True for panics [`DeviceGroup::try_run`] expects and contains: injected
+/// [`RankCrash`]es and the "peer hung up" cascade they cause.
+fn is_expected_crash(info: &std::panic::PanicHookInfo<'_>) -> bool {
+    if info.payload().downcast_ref::<RankCrash>().is_some() {
+        return true;
+    }
+    let msg = info
+        .payload()
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| info.payload().downcast_ref::<String>().cloned());
+    msg.is_some_and(|m| m.contains("peer hung up"))
+}
+
+/// Run `f` with a panic hook that silences the expected crash-cascade
+/// panics (they are *handled* — per-rank results carry them), forwarding
+/// everything else to the previously installed hook. Hook swaps are
+/// serialized process-wide; the previous hook is restored afterwards.
+fn quiet_crash_panics<T>(f: impl FnOnce() -> T) -> T {
+    use std::sync::Mutex;
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev: Arc<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync> =
+        Arc::from(std::panic::take_hook());
+    let forward = Arc::clone(&prev);
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_expected_crash(info) {
+            forward(info);
+        }
+    }));
+    let out = f();
+    drop(std::panic::take_hook());
+    std::panic::set_hook(Box::new(move |info| prev(info)));
+    out
 }
 
 #[cfg(test)]
@@ -429,6 +614,106 @@ mod tests {
         assert_eq!(report.collective("barrier").unwrap().wire_bytes, 0);
         // The always-on stats ledger agrees with the recorder.
         assert_eq!(group.stats().wire_bytes(CollectiveKind::AllToAll), 4 * 96);
+    }
+
+    #[test]
+    fn try_run_without_faults_matches_run() {
+        let group = DeviceGroup::new(3);
+        let results = group.try_run(|comm| comm.all_reduce_sum(vec![comm.rank() as f32]));
+        for r in results {
+            assert_eq!(r.unwrap(), vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn injected_crash_is_contained_and_one_shot() {
+        let mut group = DeviceGroup::new(4);
+        // Rank 2 dies at its second collective op.
+        group.set_fault_plan(Some(FaultPlan::crash_at(9, 2, 1)));
+        let results = group.try_run(|comm| {
+            comm.barrier();
+            comm.all_reduce_sum(vec![1.0])
+        });
+        assert!(
+            matches!(&results[2], Err(RankFailure::Crash(c)) if c.rank == 2 && c.op == 1),
+            "rank 2 should report the injected crash, got {:?}",
+            results[2]
+        );
+        let peer_failures =
+            results.iter().filter(|r| matches!(r, Err(RankFailure::Panic(_)))).count();
+        assert!(peer_failures > 0, "peers should cascade-fail when rank 2 dies");
+        // Recovery attempt on the same group: crash already fired, all clean.
+        let retry = group.try_run(|comm| {
+            comm.barrier();
+            comm.all_reduce_sum(vec![1.0])
+        });
+        for r in retry {
+            assert_eq!(r.unwrap(), vec![4.0]);
+        }
+    }
+
+    #[test]
+    fn delays_and_drops_do_not_change_results() {
+        let mut group = DeviceGroup::new(4);
+        group.set_fault_plan(Some(FaultPlan {
+            seed: 5,
+            delay_prob: 0.3,
+            delay_s: 0.0005,
+            drop_prob: 0.4,
+            max_retries: 3,
+            retry_backoff_s: 0.0005,
+            ..FaultPlan::default()
+        }));
+        let faulty = group.run(|comm| {
+            let mut out = comm.all_reduce_sum(vec![comm.rank() as f32, 2.0]);
+            out.extend(comm.all_gather(vec![comm.rank() as f32]).concat());
+            out
+        });
+        let clean_group = DeviceGroup::new(4);
+        let clean = clean_group.run(|comm| {
+            let mut out = comm.all_reduce_sum(vec![comm.rank() as f32, 2.0]);
+            out.extend(comm.all_gather(vec![comm.rank() as f32]).concat());
+            out
+        });
+        assert_eq!(faulty, clean, "faults must never perturb delivered data");
+        assert!(group.stats().retries() > 0, "drop plan should have caused retries");
+    }
+
+    #[test]
+    fn faults_are_recorded_as_events() {
+        use torchgt_obs::{Event, MemoryRecorder};
+        let mem = Arc::new(MemoryRecorder::default());
+        let mut group = DeviceGroup::with_recorder(3, mem.clone());
+        group.set_fault_plan(Some(FaultPlan {
+            seed: 11,
+            drop_prob: 0.5,
+            max_retries: 2,
+            crash: Some(crate::fault::CrashPoint { rank: 1, op: 2 }),
+            ..FaultPlan::default()
+        }));
+        let results = group.try_run(|comm| {
+            comm.barrier();
+            comm.barrier();
+            comm.barrier();
+            comm.rank()
+        });
+        assert!(results.iter().any(|r| r.is_err()));
+        let report = mem.report();
+        assert_eq!(report.events_of(Event::RANK_CRASH).len(), 1, "crash event recorded");
+        let crash = &report.events_of(Event::RANK_CRASH)[0];
+        assert_eq!(crash.num("rank"), Some(1.0));
+        assert!(!report.events_of(Event::FAULT_DROP).is_empty(), "drop events recorded");
+    }
+
+    #[test]
+    fn fault_decisions_replay_identically() {
+        let run_once = || {
+            let mut group = DeviceGroup::new(2);
+            group.set_fault_plan(Some(FaultPlan::drops(3, 0.5, 4)));
+            group.run(|comm| comm.all_gather(vec![comm.rank() as f32]));
+            group.stats().retries()
+        };
+        assert_eq!(run_once(), run_once(), "same seed must give the same fault schedule");
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Deterministic, seeded fault injection for the simulated device group.
+//!
+//! Real NCCL jobs see delayed messages, dropped packets (retried by the
+//! transport), and hard rank failures that abort the whole communicator.
+//! [`FaultPlan`] reproduces all three against the channel mesh, keeping
+//! every decision a pure function of `(seed, rank, op index)` so a faulty
+//! run is exactly replayable:
+//!
+//! * **delay** — with probability `delay_prob`, a point-to-point send
+//!   sleeps `delay_s` before enqueueing (numerics unchanged);
+//! * **drop** — with probability `drop_prob`, a send is "lost" and retried
+//!   after a receiver-side timeout, modelled sender-side as
+//!   `retry_backoff_s` of latency per lost attempt (bounded by
+//!   `max_retries`, after which the attempt always succeeds — the message
+//!   is never silently lost, matching a reliable transport);
+//! * **crash** — at the [`CrashPoint`]'s nth collective op on the chosen
+//!   rank, the rank panics with a [`RankCrash`] payload. Peer ranks then
+//!   fail their blocking receives ("peer hung up"), cascading exactly like
+//!   a NCCL communicator abort. The crash is one-shot: a re-run of the
+//!   same group (the recovery attempt) proceeds clean.
+//!
+//! Delay and drop never alter delivered data or ordering, so a faulty run
+//! converges to bit-identical results — the point being reproduced is the
+//! *schedule* surviving faults, not numerical drift. Every injected fault
+//! is recorded as a `torchgt-obs` event on the group's recorder.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Where an injected rank crash fires: the `op`-th collective invocation
+/// (0-based, counting nested collectives) on rank `rank`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Rank that crashes.
+    pub rank: usize,
+    /// Collective-op index on that rank at which the crash fires.
+    pub op: u64,
+}
+
+/// A deterministic fault schedule for one device group.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Seed all per-op fault decisions derive from.
+    pub seed: u64,
+    /// Per-send probability of an injected delay.
+    pub delay_prob: f64,
+    /// Duration of each injected delay, seconds.
+    pub delay_s: f64,
+    /// Per-send probability that an attempt is dropped.
+    pub drop_prob: f64,
+    /// Maximum lost attempts per message; the next attempt always succeeds.
+    pub max_retries: u32,
+    /// Latency charged per lost attempt (the receiver's timeout), seconds.
+    pub retry_backoff_s: f64,
+    /// Optional hard rank failure.
+    pub crash: Option<CrashPoint>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            delay_prob: 0.0,
+            delay_s: 0.0,
+            drop_prob: 0.0,
+            max_retries: 3,
+            retry_backoff_s: 0.0,
+            crash: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Delay-only plan: each send delayed `delay_s` with probability `prob`.
+    pub fn delays(seed: u64, prob: f64, delay_s: f64) -> Self {
+        Self { seed, delay_prob: prob, delay_s, ..Self::default() }
+    }
+
+    /// Drop-only plan: each send attempt lost with probability `prob`,
+    /// retried up to `max_retries` times.
+    pub fn drops(seed: u64, prob: f64, max_retries: u32) -> Self {
+        Self { seed, drop_prob: prob, max_retries, ..Self::default() }
+    }
+
+    /// Crash-only plan: rank `rank` dies at its `op`-th collective.
+    pub fn crash_at(seed: u64, rank: usize, op: u64) -> Self {
+        Self { seed, crash: Some(CrashPoint { rank, op }), ..Self::default() }
+    }
+
+    /// True when the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.delay_prob > 0.0 || self.drop_prob > 0.0 || self.crash.is_some()
+    }
+}
+
+/// Panic payload of an injected rank crash (callers of
+/// [`crate::DeviceGroup::try_run`] get it back as
+/// [`RankFailure::Crash`](crate::RankFailure)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankCrash {
+    /// The rank that crashed.
+    pub rank: usize,
+    /// The collective-op index at which it crashed.
+    pub op: u64,
+}
+
+/// Shared fault bookkeeping for one device group: the plan plus per-rank
+/// op counters (reset each run) and the one-shot crash arm.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    /// Per-rank collective-op counters.
+    pub(crate) collective_ops: Vec<AtomicU64>,
+    /// Per-rank point-to-point send counters.
+    pub(crate) send_ops: Vec<AtomicU64>,
+    /// Cleared when the crash fires so the recovery run proceeds clean.
+    pub(crate) crash_armed: AtomicBool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, world: usize) -> Self {
+        Self {
+            plan,
+            collective_ops: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            send_ops: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            crash_armed: AtomicBool::new(plan.crash.is_some()),
+        }
+    }
+
+    /// Reset per-run counters (each `run`/`try_run` replays op indices from
+    /// 0; the crash arm deliberately survives so it fires once per plan).
+    pub(crate) fn reset_counters(&self) {
+        for c in self.collective_ops.iter().chain(&self.send_ops) {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Next collective-op index for `rank`.
+    pub(crate) fn next_collective_op(&self, rank: usize) -> u64 {
+        self.collective_ops[rank].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Next send-op index for `rank`.
+    pub(crate) fn next_send_op(&self, rank: usize) -> u64 {
+        self.send_ops[rank].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fire the one-shot crash if `rank`/`op` match the plan.
+    pub(crate) fn should_crash(&self, rank: usize, op: u64) -> bool {
+        match self.plan.crash {
+            Some(cp) if cp.rank == rank && cp.op == op => {
+                self.crash_armed.swap(false, Ordering::SeqCst)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Deterministic fault decision: a pure hash of `(seed, rank, op, salt)`
+/// mapped to `[0, 1)` and compared against `prob`.
+pub(crate) fn decide(seed: u64, rank: usize, op: u64, salt: u64, prob: f64) -> bool {
+    if prob <= 0.0 {
+        return false;
+    }
+    if prob >= 1.0 {
+        return true;
+    }
+    let mut state = seed
+        ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ op.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ salt.wrapping_mul(0x1656_67B1_9E37_79F9);
+    let x = torchgt_compat::rng::splitmix64(&mut state);
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+    unit < prob
+}
+
+/// Salt for delay decisions.
+pub(crate) const SALT_DELAY: u64 = 1;
+/// Salt for drop decisions (combined with the attempt number).
+pub(crate) const SALT_DROP: u64 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_distinct() {
+        for rank in 0..4 {
+            for op in 0..64 {
+                assert_eq!(
+                    decide(7, rank, op, SALT_DELAY, 0.3),
+                    decide(7, rank, op, SALT_DELAY, 0.3),
+                );
+            }
+        }
+        // Different seeds / salts give different streams somewhere.
+        let a: Vec<bool> = (0..256).map(|op| decide(7, 0, op, SALT_DELAY, 0.5)).collect();
+        let b: Vec<bool> = (0..256).map(|op| decide(8, 0, op, SALT_DELAY, 0.5)).collect();
+        let c: Vec<bool> = (0..256).map(|op| decide(7, 0, op, SALT_DROP, 0.5)).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn probability_roughly_respected() {
+        let hits = (0..10_000).filter(|&op| decide(42, 1, op, SALT_DROP, 0.2)).count();
+        assert!((1_500..2_500).contains(&hits), "0.2 prob gave {hits}/10000 hits");
+    }
+
+    #[test]
+    fn edge_probabilities() {
+        assert!(!decide(1, 0, 0, 0, 0.0));
+        assert!(decide(1, 0, 0, 0, 1.0));
+    }
+
+    #[test]
+    fn crash_is_one_shot() {
+        let st = FaultState::new(FaultPlan::crash_at(1, 2, 5), 4);
+        assert!(!st.should_crash(2, 4));
+        assert!(!st.should_crash(1, 5));
+        assert!(st.should_crash(2, 5));
+        assert!(!st.should_crash(2, 5), "second firing must be suppressed");
+    }
+
+    #[test]
+    fn counters_reset_but_crash_arm_survives() {
+        let st = FaultState::new(FaultPlan::crash_at(1, 0, 3), 2);
+        assert_eq!(st.next_collective_op(0), 0);
+        assert_eq!(st.next_collective_op(0), 1);
+        st.reset_counters();
+        assert_eq!(st.next_collective_op(0), 0);
+        assert!(st.should_crash(0, 3));
+        st.reset_counters();
+        assert!(!st.should_crash(0, 3), "crash arm must not re-arm on reset");
+    }
+}

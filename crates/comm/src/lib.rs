@@ -3,15 +3,18 @@
 //! Simulated multi-GPU communication for the TorchGT reproduction: real
 //! data-movement collectives where every rank is a thread
 //! ([`collectives::DeviceGroup`]), α–β interconnect cost models matching the
-//! paper's two testbeds ([`interconnect`]), and volume accounting
-//! ([`stats`]).
+//! paper's two testbeds ([`interconnect`]), volume accounting ([`stats`]),
+//! and deterministic fault injection — message delay, drop-with-retry, and
+//! rank crashes ([`fault`]).
 
 pub mod collectives;
+pub mod fault;
 pub mod hierarchical;
 pub mod interconnect;
 pub mod stats;
 
-pub use collectives::{Communicator, DeviceGroup};
+pub use collectives::{Communicator, DeviceGroup, RankFailure};
+pub use fault::{CrashPoint, FaultPlan, RankCrash};
 pub use hierarchical::{hierarchical_all_to_all, hierarchical_advantage};
 pub use interconnect::{ClusterTopology, Interconnect};
 pub use stats::{CollectiveKind, CommStats};

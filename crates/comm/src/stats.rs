@@ -61,12 +61,23 @@ pub struct CommStats {
     bytes_sent: AtomicU64,
     ops: [AtomicU64; 6],
     wire_bytes: [AtomicU64; 6],
+    retries: AtomicU64,
 }
 
 impl CommStats {
     /// Record `bytes` of payload leaving a rank.
     pub fn record_bytes(&self, bytes: usize) {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record `n` retransmissions caused by injected message drops.
+    pub fn record_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total retransmissions across all ranks (0 without fault injection).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Record one collective invocation (counted once per participating
@@ -99,6 +110,7 @@ impl CommStats {
     /// Reset all counters.
     pub fn reset(&self) {
         self.bytes_sent.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
         for o in &self.ops {
             o.store(0, Ordering::Relaxed);
         }

@@ -36,6 +36,7 @@
 //! assert_eq!(stats.len(), 2);
 //! ```
 
+pub use torchgt_ckpt as ckpt;
 pub use torchgt_comm as comm;
 pub use torchgt_graph as graph;
 pub use torchgt_model as model;
@@ -320,7 +321,8 @@ impl TorchGtBuilder {
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::{BuildError, ModelKind, TorchGtBuilder};
-    pub use torchgt_comm::{ClusterTopology, Interconnect};
+    pub use torchgt_ckpt::{CheckpointStore, Snapshot};
+    pub use torchgt_comm::{ClusterTopology, CrashPoint, FaultPlan, Interconnect, RankFailure};
     pub use torchgt_graph::{DatasetKind, GraphDataset, GraphLabel, NodeDataset, TaskKind};
     pub use torchgt_model::{Pattern, SequenceBatch, SequenceModel};
     pub use torchgt_obs::{
@@ -328,7 +330,8 @@ pub mod prelude {
     };
     pub use torchgt_perf::{GpuSpec, ModelShape};
     pub use torchgt_runtime::{
-        EpochStats, GraphTrainer, Method, NodeTrainer, TrainConfig, Trainer,
+        run_with_checkpoints, CheckpointOptions, EpochStats, GraphTrainer, Method, NodeTrainer,
+        ResumeOutcome, TrainConfig, Trainer,
     };
     pub use torchgt_sparse::LayoutKind;
     pub use torchgt_tensor::{Precision, Tensor};

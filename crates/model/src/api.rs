@@ -58,6 +58,18 @@ pub trait SequenceModel {
     fn set_training(&mut self, on: bool);
     /// Model name for experiment tables.
     fn name(&self) -> &'static str;
+    /// The model's PRNG state as a flat list of counters (one per stochastic
+    /// layer, in traversal order) — for full-state checkpointing. Models
+    /// without stochastic layers return an empty vec.
+    fn rng_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+    /// Restore the PRNG state captured by [`Self::rng_state`]. Length must
+    /// match what this model emits; implementations panic on mismatch
+    /// (a snapshot for a different architecture).
+    fn set_rng_state(&mut self, state: &[u64]) {
+        assert!(state.is_empty(), "{} has no PRNG state to restore", self.name());
+    }
     /// Total scalar parameter count.
     fn num_params(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()

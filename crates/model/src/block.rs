@@ -71,6 +71,18 @@ impl TransformerBlock {
         (dx, bias_grad)
     }
 
+    /// Mask-draw counters of this block's dropout layers (its PRNG state).
+    pub fn rng_state(&self) -> [u64; 2] {
+        [self.drop1.calls(), self.drop2.calls()]
+    }
+
+    /// Restore the dropout mask-draw counters captured by
+    /// [`Self::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 2]) {
+        self.drop1.set_calls(state[0]);
+        self.drop2.set_calls(state[1]);
+    }
+
     /// Mutable parameter access.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut p = self.ln1.params_mut();

@@ -206,6 +206,17 @@ impl SequenceModel for Graphormer {
             "GPH_Slim"
         }
     }
+
+    fn rng_state(&self) -> Vec<u64> {
+        self.blocks.iter().flat_map(|b| b.rng_state()).collect()
+    }
+
+    fn set_rng_state(&mut self, state: &[u64]) {
+        assert_eq!(state.len(), self.blocks.len() * 2, "rng state length mismatch");
+        for (b, s) in self.blocks.iter_mut().zip(state.chunks_exact(2)) {
+            b.set_rng_state([s[0], s[1]]);
+        }
+    }
 }
 
 #[cfg(test)]

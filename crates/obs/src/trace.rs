@@ -48,6 +48,9 @@ torchgt_compat::json_struct! {
     pub struct EpochTrace {
         /// Epoch number (0-based).
         pub epoch: usize,
+        /// Mean training loss of the epoch — lets two metrics files be
+        /// compared epoch-by-epoch (the crash-resume gate relies on this).
+        pub loss: f64,
         /// Preprocess seconds attributable to this epoch (partition /
         /// reorder / mask building / reformation rebuilds).
         pub preprocess_s: f64,
@@ -133,6 +136,69 @@ impl Event {
                 },
                 "edge_recall": edge_recall,
             }),
+        }
+    }
+
+    /// Kind tag of [`Event::fault_delay`] events.
+    pub const FAULT_DELAY: &'static str = "fault_delay";
+    /// Kind tag of [`Event::fault_drop`] events.
+    pub const FAULT_DROP: &'static str = "fault_drop";
+    /// Kind tag of [`Event::rank_crash`] events.
+    pub const RANK_CRASH: &'static str = "rank_crash";
+    /// Kind tag of [`Event::snapshot`] events.
+    pub const SNAPSHOT: &'static str = "snapshot";
+    /// Kind tag of [`Event::restore`] events.
+    pub const RESTORE: &'static str = "restore";
+
+    /// An injected message delay on a point-to-point send.
+    pub fn fault_delay(rank: usize, peer: usize, op: u64, seconds: f64) -> Self {
+        Self {
+            kind: Self::FAULT_DELAY.to_string(),
+            fields: torchgt_compat::json!({
+                "rank": rank,
+                "peer": peer,
+                "op": op,
+                "seconds": seconds,
+            }),
+        }
+    }
+
+    /// An injected message drop: the send was lost `retries` times (each
+    /// costing a receiver timeout) before the retry succeeded.
+    pub fn fault_drop(rank: usize, peer: usize, op: u64, retries: u64) -> Self {
+        Self {
+            kind: Self::FAULT_DROP.to_string(),
+            fields: torchgt_compat::json!({
+                "rank": rank,
+                "peer": peer,
+                "op": op,
+                "retries": retries,
+            }),
+        }
+    }
+
+    /// An injected rank crash at communication op `op`.
+    pub fn rank_crash(rank: usize, op: u64) -> Self {
+        Self {
+            kind: Self::RANK_CRASH.to_string(),
+            fields: torchgt_compat::json!({ "rank": rank, "op": op }),
+        }
+    }
+
+    /// A training-state snapshot was published after `epoch` epochs.
+    pub fn snapshot(epoch: usize) -> Self {
+        Self {
+            kind: Self::SNAPSHOT.to_string(),
+            fields: torchgt_compat::json!({ "epoch": epoch }),
+        }
+    }
+
+    /// Training state was restored from the snapshot taken after `epoch`
+    /// completed epochs (recovery from a crash or an explicit `--resume`).
+    pub fn restore(epoch: usize) -> Self {
+        Self {
+            kind: Self::RESTORE.to_string(),
+            fields: torchgt_compat::json!({ "epoch": epoch }),
         }
     }
 

@@ -46,6 +46,23 @@ impl AutoTuner {
         self.index
     }
 
+    /// Export the resumable state: ladder position plus both observation
+    /// histories. The ladder itself and `delta` are configuration (rebuilt
+    /// from `β_G` on restart), but the histories feed the look-back LDR
+    /// comparison, so they must survive a checkpoint/restore cycle for the
+    /// resumed run's `β_thre` transitions to match the uninterrupted run.
+    pub fn export_state(&self) -> (usize, Vec<f64>, Vec<f64>) {
+        (self.index, self.f_history.clone(), self.ldr_history.clone())
+    }
+
+    /// Restore state captured by [`AutoTuner::export_state`] (the index is
+    /// clamped to the ladder, so a corrupt value cannot cause a panic).
+    pub fn restore_state(&mut self, index: usize, f_history: Vec<f64>, ldr_history: Vec<f64>) {
+        self.index = index.min(self.ladder.len() - 1);
+        self.f_history = f_history;
+        self.ldr_history = ldr_history;
+    }
+
     /// Feed one epoch's loss and wall-clock; returns the `β_thre` to use for
     /// the *next* epoch.
     pub fn observe(&mut self, loss: f64, epoch_seconds: f64) -> f64 {

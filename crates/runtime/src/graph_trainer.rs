@@ -276,6 +276,7 @@ impl GraphTrainer {
             }
             self.recorder.epoch(EpochTrace {
                 epoch: self.epoch,
+                loss: mean_loss as f64,
                 preprocess_s,
                 forward_s: fwd_total,
                 backward_s: bwd_total,
@@ -347,6 +348,35 @@ impl crate::traits::Trainer for GraphTrainer {
 
     fn evaluate(&mut self) -> (f64, f64) {
         GraphTrainer::evaluate(self)
+    }
+
+    fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    fn snapshot(&mut self) -> torchgt_ckpt::Snapshot {
+        let (iteration, sparse, full) = self.scheduler.export_state();
+        let mut state = torchgt_ckpt::TrainerState::basic(self.epoch, self.opt.steps());
+        state.rng_streams = self.model.rng_state();
+        state.scheduler = Some(torchgt_ckpt::SchedulerState {
+            iteration: iteration as u64,
+            sparse_iters: sparse as u64,
+            full_iters: full as u64,
+        });
+        crate::resume::capture_model(self.model.as_mut(), state)
+    }
+
+    fn restore(&mut self, snapshot: &torchgt_ckpt::Snapshot) -> std::io::Result<()> {
+        crate::resume::restore_model(self.model.as_mut(), &mut self.opt, snapshot)?;
+        if let Some(s) = &snapshot.state.scheduler {
+            self.scheduler.restore_state(
+                s.iteration as usize,
+                s.sparse_iters as usize,
+                s.full_iters as usize,
+            );
+        }
+        self.epoch = snapshot.state.epoch;
+        Ok(())
     }
 
     fn run(&mut self) -> Vec<EpochStats> {

@@ -65,6 +65,21 @@ impl InterleaveScheduler {
         (self.sparse_count, self.full_count)
     }
 
+    /// Export the resumable cursors: `(iteration, sparse_count, full_count)`.
+    /// The interleave phase depends on the global iteration count, which
+    /// advances across epoch boundaries — a resumed run must continue the
+    /// modular pattern where the interrupted one stopped.
+    pub fn export_state(&self) -> (usize, usize, usize) {
+        (self.iteration, self.sparse_count, self.full_count)
+    }
+
+    /// Restore cursors captured by [`InterleaveScheduler::export_state`].
+    pub fn restore_state(&mut self, iteration: usize, sparse_count: usize, full_count: usize) {
+        self.iteration = iteration;
+        self.sparse_count = sparse_count;
+        self.full_count = full_count;
+    }
+
     /// Fraction of passes that ran the full pattern.
     pub fn full_fraction(&self) -> f64 {
         let total = self.sparse_count + self.full_count;

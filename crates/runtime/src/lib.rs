@@ -14,7 +14,12 @@
 //!   the single-device result bit-for-bit up to float tolerance);
 //! * [`trainer`] / [`graph_trainer`] — node-level and graph-level training
 //!   loops for all four methods (GP-RAW, GP-FLASH, GP-SPARSE, TorchGT) with
-//!   per-epoch loss/accuracy and simulated cluster time.
+//!   per-epoch loss/accuracy and simulated cluster time;
+//! * [`resume`] — crash-resume driving on top of `torchgt-ckpt`: periodic
+//!   full-state snapshots and bit-exact re-entry into the epoch loop;
+//! * [`distributed`] — data-parallel training over simulated ranks, plus a
+//!   fault-resilient driver that recovers injected rank crashes from the
+//!   latest snapshot.
 
 pub mod autotune;
 pub mod batched;
@@ -24,15 +29,19 @@ pub mod graph_trainer;
 pub mod interleave;
 pub mod parallel;
 pub mod preprocess;
+pub mod resume;
 pub mod trainer;
 pub mod traits;
 
 pub use autotune::AutoTuner;
 pub use batched::BatchedGraphTrainer;
 pub use config::{Method, TrainConfig};
-pub use distributed::{train_data_parallel, DistributedStats};
+pub use distributed::{
+    train_data_parallel, train_data_parallel_resilient, DistributedStats, ResilientStats,
+};
 pub use graph_trainer::GraphTrainer;
 pub use interleave::{Decision, InterleaveScheduler};
 pub use preprocess::{prepare_node_dataset, Prepared, Sequence};
+pub use resume::{run_with_checkpoints, CheckpointOptions, ResumeOutcome};
 pub use trainer::{EpochStats, NodeTrainer};
 pub use traits::Trainer;

@@ -453,6 +453,7 @@ impl NodeTrainer {
             }
             self.recorder.epoch(EpochTrace {
                 epoch: self.epoch,
+                loss: mean_loss as f64,
                 preprocess_s,
                 forward_s: fwd_total,
                 backward_s: bwd_total,
@@ -545,6 +546,54 @@ impl crate::traits::Trainer for NodeTrainer {
 
     fn evaluate(&mut self) -> (f64, f64) {
         NodeTrainer::evaluate(self)
+    }
+
+    fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    fn snapshot(&mut self) -> torchgt_ckpt::Snapshot {
+        let (index, f_history, ldr_history) = self.tuner.export_state();
+        let (iteration, sparse, full) = self.scheduler.export_state();
+        let state = torchgt_ckpt::TrainerState {
+            epoch: self.epoch,
+            opt_steps: self.opt.steps(),
+            rng_streams: self.model.rng_state(),
+            beta_thre: Some(self.current_beta),
+            tuner: Some(torchgt_ckpt::TunerState { index, f_history, ldr_history }),
+            scheduler: Some(torchgt_ckpt::SchedulerState {
+                iteration: iteration as u64,
+                sparse_iters: sparse as u64,
+                full_iters: full as u64,
+            }),
+            epoch_losses: Vec::new(),
+        };
+        crate::resume::capture_model(self.model.as_mut(), state)
+    }
+
+    fn restore(&mut self, snapshot: &torchgt_ckpt::Snapshot) -> std::io::Result<()> {
+        crate::resume::restore_model(self.model.as_mut(), &mut self.opt, snapshot)?;
+        let st = &snapshot.state;
+        if let Some(t) = &st.tuner {
+            self.tuner.restore_state(t.index, t.f_history.clone(), t.ldr_history.clone());
+        }
+        if let Some(s) = &st.scheduler {
+            self.scheduler.restore_state(
+                s.iteration as usize,
+                s.sparse_iters as usize,
+                s.full_iters as usize,
+            );
+        }
+        if let Some(beta) = st.beta_thre {
+            if (beta - self.current_beta).abs() > f64::EPSILON {
+                // The attention masks are a pure function of β_thre: re-run
+                // the reformation so they match the snapshotted threshold.
+                self.current_beta = beta;
+                self.rebuild_reformed();
+            }
+        }
+        self.epoch = st.epoch;
+        Ok(())
     }
 
     fn run(&mut self) -> Vec<EpochStats> {

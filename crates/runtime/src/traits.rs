@@ -5,6 +5,7 @@
 
 use crate::config::TrainConfig;
 use crate::trainer::EpochStats;
+use torchgt_ckpt::Snapshot;
 use torchgt_obs::RecorderHandle;
 
 /// A training loop over a prepared dataset.
@@ -27,6 +28,22 @@ pub trait Trainer {
 
     /// Score the train and test splits (higher is better for both).
     fn evaluate(&mut self) -> (f64, f64);
+
+    /// Number of completed epochs (the next [`Trainer::train_epoch`] call
+    /// runs this epoch index).
+    fn epoch(&self) -> usize;
+
+    /// Capture the full resumable training state: model parameters, Adam
+    /// step counter and moments, per-dropout PRNG cursors, and whatever
+    /// controller state the trainer owns (AutoTuner ladder, interleave
+    /// cursors). Restoring the snapshot into a freshly built trainer over
+    /// the same dataset/config must continue the run bit-for-bit.
+    fn snapshot(&mut self) -> Snapshot;
+
+    /// Restore state captured by [`Trainer::snapshot`]. Validates shapes and
+    /// stream counts before mutating anything — on error the trainer is
+    /// unchanged.
+    fn restore(&mut self, snapshot: &Snapshot) -> std::io::Result<()>;
 
     /// Train for the configured number of epochs.
     fn run(&mut self) -> Vec<EpochStats> {

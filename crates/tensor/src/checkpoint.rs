@@ -4,7 +4,9 @@
 //! Format: magic `TGT1`, little-endian; per tensor `rows: u64, cols: u64,
 //! data: f32 × (rows·cols)`. Only parameter *values* are stored — optimizer
 //! moments are reconstructed by continued training, as in common practice
-//! for inference checkpoints.
+//! for inference checkpoints. Full-training-state snapshots (moments, RNG,
+//! tuner ladder) live in the `torchgt-ckpt` crate, which builds on the
+//! bulk-I/O helpers here.
 
 use crate::param::Param;
 use crate::tensor::Tensor;
@@ -14,6 +16,39 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"TGT1";
 
+/// Serialise an f32 slice as packed little-endian bytes in one write.
+pub fn write_f32s<W: Write>(w: &mut W, data: &[f32]) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&bytes)
+}
+
+/// Deserialise `n` packed little-endian f32s in one read.
+pub fn read_f32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    let mut data = Vec::with_capacity(n);
+    for chunk in bytes.chunks_exact(4) {
+        data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+    }
+    Ok(data)
+}
+
+/// Error if the reader still has bytes left (a valid checkpoint ends exactly
+/// at the last tensor; trailing garbage means truncated/concatenated files).
+pub fn expect_eof<R: Read>(r: &mut R) -> io::Result<()> {
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(()),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing garbage after last tensor",
+        )),
+    }
+}
+
 /// Serialise parameters to a writer.
 pub fn save_params_to<W: Write>(params: &[&Param], mut w: W) -> io::Result<()> {
     w.write_all(MAGIC)?;
@@ -22,15 +57,18 @@ pub fn save_params_to<W: Write>(params: &[&Param], mut w: W) -> io::Result<()> {
         let (r, c) = p.value.shape();
         w.write_all(&(r as u64).to_le_bytes())?;
         w.write_all(&(c as u64).to_le_bytes())?;
-        for v in p.value.data() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        write_f32s(&mut w, p.value.data())?;
     }
     Ok(())
 }
 
 /// Deserialise parameters from a reader into an existing parameter set
 /// (shapes must match the checkpoint exactly).
+///
+/// Loading is staged: every tensor is read and validated before any
+/// parameter is touched, so a mid-stream error (truncation, shape mismatch
+/// on tensor k>0, trailing garbage) leaves the model untouched rather than
+/// half-overwritten.
 pub fn load_params_from<R: Read>(params: &mut [&mut Param], mut r: R) -> io::Result<()> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -46,7 +84,9 @@ pub fn load_params_from<R: Read>(params: &mut [&mut Param], mut r: R) -> io::Res
             format!("checkpoint has {count} tensors, model has {}", params.len()),
         ));
     }
-    for p in params.iter_mut() {
+    // Stage: read everything into fresh tensors first.
+    let mut staged = Vec::with_capacity(count);
+    for p in params.iter() {
         r.read_exact(&mut buf8)?;
         let rows = u64::from_le_bytes(buf8) as usize;
         r.read_exact(&mut buf8)?;
@@ -57,13 +97,13 @@ pub fn load_params_from<R: Read>(params: &mut [&mut Param], mut r: R) -> io::Res
                 format!("shape mismatch: checkpoint {rows}x{cols}, model {:?}", p.value.shape()),
             ));
         }
-        let mut data = vec![0.0f32; rows * cols];
-        let mut buf4 = [0u8; 4];
-        for v in data.iter_mut() {
-            r.read_exact(&mut buf4)?;
-            *v = f32::from_le_bytes(buf4);
-        }
-        p.value = Tensor::from_vec(rows, cols, data);
+        let data = read_f32s(&mut r, rows * cols)?;
+        staged.push(Tensor::from_vec(rows, cols, data));
+    }
+    expect_eof(&mut r)?;
+    // Commit: only reached when the whole stream validated.
+    for (p, t) in params.iter_mut().zip(staged) {
+        p.value = t;
     }
     Ok(())
 }
@@ -134,6 +174,57 @@ mod tests {
         let mut dst = vec![Param::new(Tensor::zeros(3, 4))];
         let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
         assert!(load_params_from(&mut refs, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_leaves_params_untouched() {
+        let src = sample_params();
+        let mut buf = Vec::new();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_params_to(&refs, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3); // cut into the last tensor's data
+        let mut dst = vec![Param::new(Tensor::full(3, 4, 9.0)), Param::new(Tensor::full(1, 7, 9.0))];
+        let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+        assert!(load_params_from(&mut refs, buf.as_slice()).is_err());
+        // Neither tensor was mutated — not even the first, fully-read one.
+        assert!(dst.iter().all(|p| p.value.data().iter().all(|&v| v == 9.0)));
+    }
+
+    #[test]
+    fn late_shape_mismatch_leaves_params_untouched() {
+        let src = sample_params();
+        let mut buf = Vec::new();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_params_to(&refs, &mut buf).unwrap();
+        // First shape matches, second does not.
+        let mut dst = vec![Param::new(Tensor::full(3, 4, 9.0)), Param::new(Tensor::full(7, 1, 9.0))];
+        let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+        assert!(load_params_from(&mut refs, buf.as_slice()).is_err());
+        assert!(dst[0].value.data().iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let src = sample_params();
+        let mut buf = Vec::new();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_params_to(&refs, &mut buf).unwrap();
+        buf.push(0xAB);
+        let mut dst = vec![Param::new(Tensor::zeros(3, 4)), Param::new(Tensor::zeros(1, 7))];
+        let mut refs: Vec<&mut Param> = dst.iter_mut().collect();
+        let err = load_params_from(&mut refs, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(dst[0].value.data().iter().all(|&v| v == 0.0), "no partial commit");
+    }
+
+    #[test]
+    fn bulk_f32_io_roundtrip() {
+        let data = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE, 1e30];
+        let mut buf = Vec::new();
+        write_f32s(&mut buf, &data).unwrap();
+        assert_eq!(buf.len(), data.len() * 4);
+        let back = read_f32s(&mut buf.as_slice(), data.len()).unwrap();
+        assert_eq!(back, data);
     }
 
     #[test]

@@ -273,6 +273,19 @@ impl Dropout {
         assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
         Self { p, training: true, seed, calls: 0, cached_mask: None }
     }
+
+    /// How many training-mode forward passes have drawn a mask. Each call
+    /// derives a fresh RNG from `(seed, calls)`, so this counter *is* the
+    /// layer's PRNG state for snapshot/restore purposes.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Restore the mask-draw counter from a snapshot so the next forward
+    /// pass draws the same mask the uninterrupted run would have drawn.
+    pub fn set_calls(&mut self, calls: u64) {
+        self.calls = calls;
+    }
 }
 
 impl Layer for Dropout {

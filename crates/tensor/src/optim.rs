@@ -60,6 +60,18 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Restore the step counter from a snapshot. Bias correction depends on
+    /// `t`, so a resumed run must set this alongside the per-parameter
+    /// moment buffers for updates to match the uninterrupted run exactly.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
+    /// The hyper-parameters this optimizer was built with.
+    pub fn config(&self) -> AdamConfig {
+        self.cfg
+    }
 }
 
 impl Optimizer for Adam {

@@ -5,6 +5,8 @@
 //!                   [--seq-len 512] [--model graphormer|gt] [--hidden 64]
 //!                   [--layers 3] [--heads 8] [--lr 2e-3] [--seed 1]
 //!                   [--metrics out.json]
+//!                   [--checkpoint-dir dir] [--checkpoint-every 1]
+//!                   [--resume] [--crash-after 2]
 //! torchgt_cli info  --dataset arxiv            # published dataset statistics
 //! torchgt_cli maxseq [--gpus 8]                # Fig. 9(a)-style memory limits
 //! torchgt_cli datasets                         # list available stand-ins
@@ -14,6 +16,13 @@
 //! writes the full observability report (span timings, per-epoch phase
 //! breakdowns, per-step traces, simulated all-to-all volume, β_thre
 //! transition events) as pretty-printed JSON.
+//!
+//! `--checkpoint-dir <dir>` snapshots the full training state (parameters,
+//! Adam moments and step counter, dropout PRNG cursors, AutoTuner ladder,
+//! interleave cursors) every `--checkpoint-every` epochs. `--resume`
+//! restores from the latest snapshot and continues bit-exactly.
+//! `--crash-after <n>` simulates a crash after `n` completed epochs (exit
+//! code 3, snapshots intact) — the crash-resume verification gate drives it.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -21,10 +30,14 @@ use std::sync::Arc;
 use torchgt::prelude::*;
 use torchgt::{ModelKind, TorchGtBuilder};
 
+/// Exit code of a `--crash-after` simulated crash (distinct from usage and
+/// failure codes so scripts can assert on it).
+const CRASH_EXIT: u8 = 3;
+
 /// Flags accepted by `train`.
 const TRAIN_FLAGS: &[&str] = &[
     "dataset", "method", "scale", "epochs", "seed", "model", "seq-len", "hidden", "layers",
-    "heads", "lr", "metrics",
+    "heads", "lr", "metrics", "checkpoint-dir", "checkpoint-every", "resume", "crash-after",
 ];
 
 /// Parse `--key value` / `--switch` pairs, rejecting anything not in
@@ -205,12 +218,55 @@ fn main() -> ExitCode {
                 "{:>5} {:>9} {:>10} {:>10} {:>12}",
                 "epoch", "loss", "train_acc", "test_acc", "sim t (s)"
             );
-            for _ in 0..epochs {
-                let s = trainer.train_epoch();
+            let print_epoch = |s: &EpochStats| {
                 println!(
                     "{:>5} {:>9.4} {:>10.4} {:>10.4} {:>12.6}",
                     s.epoch, s.loss, s.train_acc, s.test_acc, s.sim_seconds
                 );
+            };
+            let mut interrupted = false;
+            if let Some(dir) = flags.get("checkpoint-dir") {
+                let store = match CheckpointStore::new(dir.clone(), 3) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot open checkpoint dir {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let opts = CheckpointOptions {
+                    every: get("checkpoint-every", "1").parse().unwrap_or(1),
+                    resume: flags.contains_key("resume"),
+                    crash_after: flags.get("crash-after").and_then(|v| v.parse().ok()),
+                };
+                let noop = torchgt::obs::noop();
+                let rec = recorder.as_ref().map(|(mem, _)| mem.clone() as RecorderHandle);
+                let outcome = match run_with_checkpoints(
+                    trainer,
+                    &store,
+                    &opts,
+                    rec.as_ref().unwrap_or(&noop),
+                ) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("checkpointed run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Some(epoch) = outcome.resumed_from {
+                    println!("resumed from snapshot at epoch {epoch}");
+                }
+                outcome.stats.iter().for_each(print_epoch);
+                interrupted = outcome.interrupted;
+                if interrupted {
+                    println!(
+                        "simulated crash after epoch {} (snapshots kept in {dir})",
+                        trainer.epoch()
+                    );
+                }
+            } else {
+                for _ in 0..epochs {
+                    print_epoch(&trainer.train_epoch());
+                }
             }
             if let Some((mem, path)) = recorder {
                 let report = mem.report();
@@ -220,7 +276,11 @@ fn main() -> ExitCode {
                 }
                 println!("metrics written to {path}");
             }
-            ExitCode::SUCCESS
+            if interrupted {
+                ExitCode::from(CRASH_EXIT)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         _ => usage(),
     }
