@@ -1,0 +1,99 @@
+//! Workspace reuse: real attention forward+backward wall time with a cold
+//! arena per iteration (every scratch tensor freshly allocated) versus one
+//! persistent arena whose pools are warm after the first step.
+//!
+//! This isolates the allocator traffic the execution-engine refactor removes
+//! from the training loop: both variants run the identical `_ws` kernels, so
+//! any gap is purely allocation/zeroing overhead. The outputs are asserted
+//! bit-identical, and the warm arena must report zero fresh bytes after the
+//! first iteration.
+
+use std::time::Instant;
+use torchgt_bench::{banner, dump_json};
+use torchgt_graph::generators::barabasi_albert;
+use torchgt_model::attention::{flash_backward_ws, flash_ws, sparse_backward_ws, sparse_ws};
+use torchgt_tensor::{init, Workspace};
+
+const S: usize = 512;
+const D: usize = 64;
+const HEADS: usize = 4;
+const ITERS: usize = 30;
+
+/// One attention fwd+bwd step through `ws`; returns a checksum of the
+/// gradients so the two variants can be compared bit-for-bit.
+fn step(kind: &str, mask: &torchgt_graph::CsrGraph, ws: &mut Workspace) -> f64 {
+    let q = init::normal(S, D, 0.0, 0.5, 11);
+    let k = init::normal(S, D, 0.0, 0.5, 12);
+    let v = init::normal(S, D, 0.0, 0.5, 13);
+    let dout = init::normal(S, D, 0.0, 0.5, 14);
+    let mut checksum = 0.0f64;
+    match kind {
+        "sparse" => {
+            let r = sparse_ws(&q, &k, &v, HEADS, mask, None, ws);
+            let g = sparse_backward_ws(&q, &k, &v, HEADS, mask, r.cache, &dout, false, ws);
+            checksum += g.dq.data().iter().map(|&x| x as f64).sum::<f64>();
+            ws.give(r.out);
+            ws.give(g.dq);
+            ws.give(g.dk);
+            ws.give(g.dv);
+        }
+        "flash" => {
+            let r = flash_ws(&q, &k, &v, HEADS, ws);
+            let g = flash_backward_ws(&q, &k, &v, HEADS, r.cache, &r.out, &dout, ws);
+            checksum += g.dq.data().iter().map(|&x| x as f64).sum::<f64>();
+            ws.give(r.out);
+            ws.give(g.dq);
+            ws.give(g.dk);
+            ws.give(g.dv);
+        }
+        _ => unreachable!(),
+    }
+    checksum
+}
+
+fn main() {
+    banner("workspace_reuse", "execution engine — arena reuse vs per-step allocation");
+    let mask = barabasi_albert(S, 4, 7).with_self_loops();
+    let mut rows = Vec::new();
+    for kind in ["sparse", "flash"] {
+        // Cold: a fresh arena per iteration, so every take() allocates.
+        let t0 = Instant::now();
+        let mut cold_sum = 0.0f64;
+        for _ in 0..ITERS {
+            let mut ws = Workspace::new();
+            cold_sum += step(kind, &mask, &mut ws);
+        }
+        let cold_s = t0.elapsed().as_secs_f64();
+
+        // Warm: one persistent arena; after the first iteration all scratch
+        // shapes are pooled and no fresh bytes are requested.
+        let mut ws = Workspace::new();
+        let mut warm_sum = step(kind, &mask, &mut ws);
+        let after_first = ws.stats().alloc_bytes;
+        let t1 = Instant::now();
+        for _ in 1..ITERS {
+            warm_sum += step(kind, &mask, &mut ws);
+        }
+        let warm_s = t1.elapsed().as_secs_f64() * ITERS as f64 / (ITERS - 1) as f64;
+        let steady_alloc = ws.stats().alloc_bytes - after_first;
+
+        assert_eq!(cold_sum, warm_sum, "{kind}: arena reuse changed the numerics");
+        assert_eq!(steady_alloc, 0, "{kind}: warm steps must not allocate");
+        let speedup = cold_s / warm_s;
+        println!(
+            "{kind:>7}: cold {:8.2} ms/iter   warm {:8.2} ms/iter   {speedup:5.2}x   steady-state fresh bytes: {steady_alloc}",
+            cold_s / ITERS as f64 * 1e3,
+            warm_s / ITERS as f64 * 1e3,
+        );
+        rows.push(torchgt_compat::json!({
+            "kernel": kind,
+            "cold_s_per_iter": cold_s / ITERS as f64,
+            "warm_s_per_iter": warm_s / ITERS as f64,
+            "speedup": speedup,
+            "steady_state_alloc_bytes": steady_alloc,
+            "reuse_hits": ws.stats().reuse_hits,
+        }));
+    }
+    println!("\nidentical checksums ✓ zero steady-state allocation ✓");
+    dump_json("workspace_reuse", &torchgt_compat::json!({ "cases": rows }));
+}

@@ -1,7 +1,7 @@
 //! The model-facing API the training runtime programs against.
 
 use torchgt_graph::CsrGraph;
-use torchgt_tensor::{Param, Tensor};
+use torchgt_tensor::{Param, Tensor, Workspace};
 
 /// Which attention pattern the runtime selected for the current pass.
 ///
@@ -52,6 +52,31 @@ pub trait SequenceModel {
     /// Backward from per-token logit gradients. `pattern` must match the
     /// forward call.
     fn backward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor);
+    /// [`Self::forward`] drawing scratch from a caller-owned [`Workspace`].
+    /// The returned logits belong to `ws`; the caller gives them back once
+    /// consumed. The default delegates to the allocating path so existing
+    /// models keep working; models implementing it run allocation-free when
+    /// the trainer reuses one arena across steps.
+    fn forward_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let _ = ws;
+        self.forward(batch, pattern)
+    }
+    /// [`Self::backward`] drawing scratch from a caller-owned [`Workspace`].
+    fn backward_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        dlogits: &Tensor,
+        ws: &mut Workspace,
+    ) {
+        let _ = ws;
+        self.backward(batch, pattern, dlogits)
+    }
     /// All learnable parameters.
     fn params_mut(&mut self) -> Vec<&mut Param>;
     /// Toggle dropout/training mode.

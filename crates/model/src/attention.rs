@@ -6,6 +6,14 @@
 //! `h·d_head .. (h+1)·d_head`) and return the attention output `[s, d]` plus
 //! a cache for the backward pass.
 //!
+//! Each kernel exists in two forms: a `_ws` variant — the allocation-free
+//! hot path, which reads heads through zero-copy [`TensorView`] column
+//! blocks, checks every intermediate out of the caller's [`Workspace`], and
+//! (in backward) consumes the cache by value so its buffers return to the
+//! arena — and a thin allocating wrapper with the original name that
+//! delegates through a throwaway arena, so both paths run identical
+//! arithmetic.
+//!
 //! * [`dense`] materialises per-head score matrices — GP-RAW's kernel, the
 //!   one that OOMs at scale;
 //! * [`flash`] computes the identical function with streaming softmax over
@@ -19,9 +27,11 @@
 use torchgt_compat::par::prelude::*;
 use torchgt_graph::CsrGraph;
 use torchgt_tensor::ops;
-use torchgt_tensor::Tensor;
+use torchgt_tensor::{MatRef, Tensor, TensorView, Workspace};
 
-/// Output of an attention forward pass.
+/// Output of an attention forward pass. From a `_ws` kernel, `out` and the
+/// cache's buffers belong to the workspace; the matching backward returns
+/// them.
 pub struct AttnOutput {
     /// `[s, d]` attention result (pre output-projection).
     pub out: Tensor,
@@ -30,14 +40,26 @@ pub struct AttnOutput {
 }
 
 /// Saved forward state, variant per kernel.
+#[derive(Clone)]
 pub enum AttnCache {
     /// Dense: per-head probability matrices `[s, s]`.
-    Dense { probs: Vec<Tensor> },
+    Dense {
+        /// Post-softmax probabilities, one `[s, s]` tensor per head.
+        probs: Vec<Tensor>,
+    },
     /// Flash: softmax statistics per head (`row_max`, `row_denom`), for
     /// recomputation in backward.
-    Flash { row_max: Vec<Vec<f32>>, row_denom: Vec<Vec<f32>> },
+    Flash {
+        /// Per-head running row maxima.
+        row_max: Vec<Vec<f32>>,
+        /// Per-head softmax denominators.
+        row_denom: Vec<Vec<f32>>,
+    },
     /// Sparse: per-head, per-edge probabilities laid out like the mask CSR.
-    Sparse { probs: Vec<Vec<f32>> },
+    Sparse {
+        /// Per-head edge probabilities in mask CSR order.
+        probs: Vec<Vec<f32>>,
+    },
     /// Performer: per-head random-feature maps and normalisers.
     Performer {
         /// `φ(Q)` per head, `[s, m]`.
@@ -51,7 +73,41 @@ pub enum AttnCache {
     },
 }
 
-/// Gradients returned by attention backward.
+impl AttnCache {
+    /// Return every buffer held by the cache to a workspace — used when a
+    /// saved forward is discarded without running backward (eval passes).
+    pub fn recycle(self, ws: &mut Workspace) {
+        match self {
+            AttnCache::Dense { probs } => {
+                for t in probs {
+                    ws.give(t);
+                }
+            }
+            AttnCache::Flash { row_max, row_denom } => {
+                for b in row_max.into_iter().chain(row_denom) {
+                    ws.give_buf(b);
+                }
+            }
+            AttnCache::Sparse { probs } => {
+                for b in probs {
+                    ws.give_buf(b);
+                }
+            }
+            AttnCache::Performer { phi_q, phi_k, denom, num } => {
+                for t in phi_q.into_iter().chain(phi_k).chain(num) {
+                    ws.give(t);
+                }
+                for b in denom {
+                    ws.give_buf(b);
+                }
+            }
+        }
+    }
+}
+
+/// Gradients returned by attention backward. From a `_ws` kernel these
+/// tensors belong to the workspace; the caller gives them back after the
+/// input projections consume them.
 pub struct AttnGrads {
     /// Gradient wrt `Q`.
     pub dq: Tensor,
@@ -73,8 +129,27 @@ pub enum BiasGrad {
     Sparse(Vec<Vec<f32>>),
 }
 
-fn head_slice(t: &Tensor, h: usize, d_head: usize) -> Tensor {
-    t.slice_cols(h * d_head, (h + 1) * d_head)
+impl BiasGrad {
+    /// Return the gradient's buffers to a workspace once consumed.
+    pub fn recycle(self, ws: &mut Workspace) {
+        match self {
+            BiasGrad::Dense(tensors) => {
+                for t in tensors {
+                    ws.give(t);
+                }
+            }
+            BiasGrad::Sparse(bufs) => {
+                for b in bufs {
+                    ws.give_buf(b);
+                }
+            }
+        }
+    }
+}
+
+/// Zero-copy view of head `h`'s column block.
+fn head_view(t: &Tensor, h: usize, d_head: usize) -> TensorView<'_> {
+    t.view_cols(h * d_head, (h + 1) * d_head)
 }
 
 fn write_head(dst: &mut Tensor, src: &Tensor, h: usize, d_head: usize) {
@@ -100,27 +175,42 @@ fn add_head(dst: &mut Tensor, src: &Tensor, h: usize, d_head: usize) {
 /// Standard dense attention. `bias[h]` (optional) is a per-head `[s, s]`
 /// additive bias on the pre-softmax scores (Graphormer Eq. 3).
 pub fn dense(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, bias: Option<&[Tensor]>) -> AttnOutput {
+    dense_ws(q, k, v, heads, bias, &mut Workspace::new())
+}
+
+/// [`dense`] drawing every intermediate from `ws`.
+pub fn dense_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    bias: Option<&[Tensor]>,
+    ws: &mut Workspace,
+) -> AttnOutput {
     let (s, d) = q.shape();
     assert_eq!(k.shape(), (s, d));
     assert_eq!(v.shape(), (s, d));
     assert_eq!(d % heads, 0);
     let d_head = d / heads;
     let scale = 1.0 / (d_head as f32).sqrt();
-    let mut out = Tensor::zeros(s, d);
+    let mut out = ws.take(s, d);
     let mut probs = Vec::with_capacity(heads);
     for h in 0..heads {
-        let qh = head_slice(q, h, d_head);
-        let kh = head_slice(k, h, d_head);
-        let vh = head_slice(v, h, d_head);
-        let mut scores = ops::matmul_bt(&qh, &kh);
+        let qh = head_view(q, h, d_head);
+        let kh = head_view(k, h, d_head);
+        let vh = head_view(v, h, d_head);
+        let mut scores = ws.take(s, s);
+        ops::matmul_bt_into(&qh, &kh, &mut scores);
         ops::scale_inplace(&mut scores, scale);
         if let Some(b) = bias {
             ops::add_inplace(&mut scores, &b[h]);
         }
-        let p = ops::row_softmax(&scores);
-        let oh = ops::matmul(&p, &vh);
+        ops::row_softmax_inplace(&mut scores);
+        let mut oh = ws.take(s, d_head);
+        ops::matmul_into(&scores, &vh, &mut oh);
         write_head(&mut out, &oh, h, d_head);
-        probs.push(p);
+        ws.give(oh);
+        probs.push(scores);
     }
     AttnOutput { out, cache: AttnCache::Dense { probs } }
 }
@@ -135,6 +225,22 @@ pub fn dense_backward(
     dout: &Tensor,
     want_bias_grad: bool,
 ) -> AttnGrads {
+    dense_backward_ws(q, k, v, heads, cache.clone(), dout, want_bias_grad, &mut Workspace::new())
+}
+
+/// Backward of [`dense_ws`]; consumes the cache, returning its buffers to
+/// `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_backward_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    cache: AttnCache,
+    dout: &Tensor,
+    want_bias_grad: bool,
+    ws: &mut Workspace,
+) -> AttnGrads {
     let probs = match cache {
         AttnCache::Dense { probs } => probs,
         _ => panic!("dense_backward called with wrong cache"),
@@ -142,28 +248,40 @@ pub fn dense_backward(
     let (s, d) = q.shape();
     let d_head = d / heads;
     let scale = 1.0 / (d_head as f32).sqrt();
-    let mut dq = Tensor::zeros(s, d);
-    let mut dk = Tensor::zeros(s, d);
-    let mut dv = Tensor::zeros(s, d);
+    let mut dq = ws.take(s, d);
+    let mut dk = ws.take(s, d);
+    let mut dv = ws.take(s, d);
     let mut dbias = if want_bias_grad { Some(Vec::with_capacity(heads)) } else { None };
-    for h in 0..heads {
-        let qh = head_slice(q, h, d_head);
-        let kh = head_slice(k, h, d_head);
-        let vh = head_slice(v, h, d_head);
-        let doh = head_slice(dout, h, d_head);
-        let p = &probs[h];
-        let dp = ops::matmul_bt(&doh, &vh);
-        let dvh = ops::matmul_at(p, &doh);
-        let mut ds = ops::row_softmax_backward(p, &dp);
+    for (h, p) in probs.into_iter().enumerate() {
+        let qh = head_view(q, h, d_head);
+        let kh = head_view(k, h, d_head);
+        let vh = head_view(v, h, d_head);
+        let doh = head_view(dout, h, d_head);
+        let mut dp = ws.take(s, s);
+        ops::matmul_bt_into(&doh, &vh, &mut dp);
+        let mut dvh = ws.take(s, d_head);
+        ops::matmul_at_into(&p, &doh, &mut dvh);
+        let mut ds = ws.take(s, s);
+        ops::row_softmax_backward_into(&p, &dp, &mut ds);
+        ws.give(dp);
+        ws.give(p);
         if let Some(list) = dbias.as_mut() {
-            list.push(ds.clone());
+            let mut db = ws.take(s, s);
+            ops::copy_into(&ds, &mut db);
+            list.push(db);
         }
         ops::scale_inplace(&mut ds, scale);
-        let dqh = ops::matmul(&ds, &kh);
-        let dkh = ops::matmul_at(&ds, &qh);
+        let mut dqh = ws.take(s, d_head);
+        ops::matmul_into(&ds, &kh, &mut dqh);
+        let mut dkh = ws.take(s, d_head);
+        ops::matmul_at_into(&ds, &qh, &mut dkh);
+        ws.give(ds);
         add_head(&mut dq, &dqh, h, d_head);
         add_head(&mut dk, &dkh, h, d_head);
         add_head(&mut dv, &dvh, h, d_head);
+        ws.give(dqh);
+        ws.give(dkh);
+        ws.give(dvh);
     }
     AttnGrads { dq, dk, dv, dbias: dbias.map(BiasGrad::Dense) }
 }
@@ -179,20 +297,31 @@ const FLASH_TILE: usize = 128;
 /// materialisation and **no bias support** (the limitation the paper works
 /// around).
 pub fn flash(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> AttnOutput {
+    flash_ws(q, k, v, heads, &mut Workspace::new())
+}
+
+/// [`flash`] drawing every intermediate from `ws`.
+pub fn flash_ws(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, ws: &mut Workspace) -> AttnOutput {
     let (s, d) = q.shape();
     let d_head = d / heads;
     let scale = 1.0 / (d_head as f32).sqrt();
-    let mut out = Tensor::zeros(s, d);
-    let mut row_max = vec![vec![f32::NEG_INFINITY; s]; heads];
-    let mut row_denom = vec![vec![0.0f32; s]; heads];
+    let mut out = ws.take(s, d);
+    let mut row_max: Vec<Vec<f32>> = (0..heads)
+        .map(|_| {
+            let mut b = ws.take_buf(s);
+            b.fill(f32::NEG_INFINITY);
+            b
+        })
+        .collect();
+    let mut row_denom: Vec<Vec<f32>> = (0..heads).map(|_| ws.take_buf(s)).collect();
     for h in 0..heads {
-        let qh = head_slice(q, h, d_head);
-        let kh = head_slice(k, h, d_head);
-        let vh = head_slice(v, h, d_head);
+        let qh = head_view(q, h, d_head);
+        let kh = head_view(k, h, d_head);
+        let vh = head_view(v, h, d_head);
         let maxs = &mut row_max[h];
         let denoms = &mut row_denom[h];
         // Per-query streaming state, processed tile by tile.
-        let mut acc = Tensor::zeros(s, d_head);
+        let mut acc = ws.take(s, d_head);
         let mut tile_start = 0;
         while tile_start < s {
             let tile_end = (tile_start + FLASH_TILE).min(s);
@@ -243,6 +372,7 @@ pub fn flash(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> AttnOutput {
                 orow[h * d_head + t] = a / den;
             }
         }
+        ws.give(acc);
     }
     AttnOutput { out, cache: AttnCache::Flash { row_max, row_denom } }
 }
@@ -258,6 +388,22 @@ pub fn flash_backward(
     out: &Tensor,
     dout: &Tensor,
 ) -> AttnGrads {
+    flash_backward_ws(q, k, v, heads, cache.clone(), out, dout, &mut Workspace::new())
+}
+
+/// Backward of [`flash_ws`]; consumes the cache, returning its buffers to
+/// `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn flash_backward_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    cache: AttnCache,
+    out: &Tensor,
+    dout: &Tensor,
+    ws: &mut Workspace,
+) -> AttnGrads {
     let (row_max, row_denom) = match cache {
         AttnCache::Flash { row_max, row_denom } => (row_max, row_denom),
         _ => panic!("flash_backward called with wrong cache"),
@@ -265,22 +411,23 @@ pub fn flash_backward(
     let (s, d) = q.shape();
     let d_head = d / heads;
     let scale = 1.0 / (d_head as f32).sqrt();
-    let mut dq = Tensor::zeros(s, d);
-    let mut dk = Tensor::zeros(s, d);
-    let mut dv = Tensor::zeros(s, d);
+    let mut dq = ws.take(s, d);
+    let mut dk = ws.take(s, d);
+    let mut dv = ws.take(s, d);
     for h in 0..heads {
-        let qh = head_slice(q, h, d_head);
-        let kh = head_slice(k, h, d_head);
-        let vh = head_slice(v, h, d_head);
-        let doh = head_slice(dout, h, d_head);
-        let oh = head_slice(out, h, d_head);
+        let qh = head_view(q, h, d_head);
+        let kh = head_view(k, h, d_head);
+        let vh = head_view(v, h, d_head);
+        let doh = head_view(dout, h, d_head);
+        let oh = head_view(out, h, d_head);
         // D_i = dO_i · O_i
-        let di: Vec<f32> = (0..s)
-            .map(|i| doh.row(i).iter().zip(oh.row(i)).map(|(a, b)| a * b).sum())
-            .collect();
-        let mut dqh = Tensor::zeros(s, d_head);
-        let mut dkh = Tensor::zeros(s, d_head);
-        let mut dvh = Tensor::zeros(s, d_head);
+        let mut di = ws.take_buf(s);
+        for (i, slot) in di.iter_mut().enumerate() {
+            *slot = doh.row(i).iter().zip(oh.row(i)).map(|(a, b)| a * b).sum();
+        }
+        let mut dqh = ws.take(s, d_head);
+        let mut dkh = ws.take(s, d_head);
+        let mut dvh = ws.take(s, d_head);
         for i in 0..s {
             let qrow = qh.row(i);
             let dorow = doh.row(i);
@@ -319,6 +466,16 @@ pub fn flash_backward(
         add_head(&mut dq, &dqh, h, d_head);
         add_head(&mut dk, &dkh, h, d_head);
         add_head(&mut dv, &dvh, h, d_head);
+        ws.give_buf(di);
+        ws.give(dqh);
+        ws.give(dkh);
+        ws.give(dvh);
+    }
+    for b in row_max {
+        ws.give_buf(b);
+    }
+    for b in row_denom {
+        ws.give_buf(b);
     }
     AttnGrads { dq, dk, dv, dbias: None }
 }
@@ -338,18 +495,31 @@ pub fn sparse(
     mask: &CsrGraph,
     bias: Option<&[Vec<f32>]>,
 ) -> AttnOutput {
+    sparse_ws(q, k, v, heads, mask, bias, &mut Workspace::new())
+}
+
+/// [`sparse`] drawing every intermediate from `ws`.
+pub fn sparse_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    mask: &CsrGraph,
+    bias: Option<&[Vec<f32>]>,
+    ws: &mut Workspace,
+) -> AttnOutput {
     let (s, d) = q.shape();
     assert_eq!(mask.num_nodes(), s, "mask size must match sequence");
     let d_head = d / heads;
     let scale = 1.0 / (d_head as f32).sqrt();
-    let mut out = Tensor::zeros(s, d);
+    let mut out = ws.take(s, d);
     let mut probs: Vec<Vec<f32>> = Vec::with_capacity(heads);
     for h in 0..heads {
-        let qh = head_slice(q, h, d_head);
-        let kh = head_slice(k, h, d_head);
-        let vh = head_slice(v, h, d_head);
+        let qh = head_view(q, h, d_head);
+        let kh = head_view(k, h, d_head);
+        let vh = head_view(v, h, d_head);
         let hb = bias.map(|b| &b[h]);
-        let mut p_edges = vec![0.0f32; mask.num_arcs()];
+        let mut p_edges = ws.take_buf(mask.num_arcs());
         let row_ptr = mask.row_ptr();
         // Parallel over query rows; each row owns its slice of p_edges.
         let out_cols = d;
@@ -422,6 +592,7 @@ fn par_row_chunks<'a>(
 }
 
 /// Backward of [`sparse`].
+#[allow(clippy::too_many_arguments)]
 pub fn sparse_backward(
     q: &Tensor,
     k: &Tensor,
@@ -432,6 +603,23 @@ pub fn sparse_backward(
     dout: &Tensor,
     want_bias_grad: bool,
 ) -> AttnGrads {
+    sparse_backward_ws(q, k, v, heads, mask, cache.clone(), dout, want_bias_grad, &mut Workspace::new())
+}
+
+/// Backward of [`sparse_ws`]; consumes the cache, returning its buffers to
+/// `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn sparse_backward_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    mask: &CsrGraph,
+    cache: AttnCache,
+    dout: &Tensor,
+    want_bias_grad: bool,
+    ws: &mut Workspace,
+) -> AttnGrads {
     let probs = match cache {
         AttnCache::Sparse { probs } => probs,
         _ => panic!("sparse_backward called with wrong cache"),
@@ -439,21 +627,24 @@ pub fn sparse_backward(
     let (s, d) = q.shape();
     let d_head = d / heads;
     let scale = 1.0 / (d_head as f32).sqrt();
-    let mut dq = Tensor::zeros(s, d);
-    let mut dk = Tensor::zeros(s, d);
-    let mut dv = Tensor::zeros(s, d);
+    let mut dq = ws.take(s, d);
+    let mut dk = ws.take(s, d);
+    let mut dv = ws.take(s, d);
     let mut dbias = if want_bias_grad { Some(Vec::with_capacity(heads)) } else { None };
     let row_ptr = mask.row_ptr();
-    for h in 0..heads {
-        let qh = head_slice(q, h, d_head);
-        let kh = head_slice(k, h, d_head);
-        let vh = head_slice(v, h, d_head);
-        let doh = head_slice(dout, h, d_head);
-        let p_edges = &probs[h];
-        let mut ds_edges = vec![0.0f32; p_edges.len()];
-        let mut dqh = Tensor::zeros(s, d_head);
-        let mut dkh = Tensor::zeros(s, d_head);
-        let mut dvh = Tensor::zeros(s, d_head);
+    let max_deg = (0..s).map(|i| row_ptr[i + 1] - row_ptr[i]).max().unwrap_or(0);
+    // Per-row dp scratch, sized for the widest row and fully rewritten per
+    // row before being read.
+    let mut dps = ws.take_buf(max_deg);
+    for (h, p_edges) in probs.into_iter().enumerate() {
+        let qh = head_view(q, h, d_head);
+        let kh = head_view(k, h, d_head);
+        let vh = head_view(v, h, d_head);
+        let doh = head_view(dout, h, d_head);
+        let mut ds_edges = ws.take_buf(p_edges.len());
+        let mut dqh = ws.take(s, d_head);
+        let mut dkh = ws.take(s, d_head);
+        let mut dvh = ws.take(s, d_head);
         for i in 0..s {
             let nbrs = mask.neighbors(i);
             if nbrs.is_empty() {
@@ -461,10 +652,9 @@ pub fn sparse_backward(
             }
             let base = row_ptr[i];
             let dorow = doh.row(i);
-            let qrow = qh.row(i).to_vec();
+            let qrow = qh.row(i);
             // dp and the softmax dot term.
             let mut dot_pd = 0.0f32;
-            let mut dps = vec![0.0f32; nbrs.len()];
             for (e, &j) in nbrs.iter().enumerate() {
                 let vrow = vh.row(j as usize);
                 let mut dp = 0.0f32;
@@ -498,10 +688,17 @@ pub fn sparse_backward(
         add_head(&mut dq, &dqh, h, d_head);
         add_head(&mut dk, &dkh, h, d_head);
         add_head(&mut dv, &dvh, h, d_head);
+        ws.give(dqh);
+        ws.give(dkh);
+        ws.give(dvh);
+        ws.give_buf(p_edges);
         if let Some(list) = dbias.as_mut() {
             list.push(ds_edges);
+        } else {
+            ws.give_buf(ds_edges);
         }
     }
+    ws.give_buf(dps);
     AttnGrads { dq, dk, dv, dbias: dbias.map(BiasGrad::Sparse) }
 }
 
@@ -550,6 +747,85 @@ mod tests {
         let d = dense(&q, &k, &v, 2, None);
         let sp = sparse(&q, &k, &v, 2, &mask, None);
         assert!(max_abs_diff(&d.out, &sp.out) < 1e-4);
+    }
+
+    #[test]
+    fn ws_kernels_match_allocating_kernels_bitwise() {
+        // Same arithmetic through a pre-dirtied shared arena: forward and
+        // backward of every kernel must be bit-identical to the allocating
+        // wrappers.
+        let s = 9;
+        let (q, k, v) = qkv(s, 8);
+        let upstream = init::normal(s, 8, 0.0, 1.0, 21);
+        let mask = torchgt_graph::generators::cycle_graph(s).with_self_loops();
+        let mut ws = Workspace::new();
+        let mut dirty = ws.take(s, s);
+        dirty.data_mut().fill(f32::NAN);
+        ws.give(dirty);
+
+        let a = dense(&q, &k, &v, 2, None);
+        let b = dense_ws(&q, &k, &v, 2, None, &mut ws);
+        assert_eq!(a.out.data(), b.out.data());
+        let ga = dense_backward(&q, &k, &v, 2, &a.cache, &upstream, false);
+        let gb = dense_backward_ws(&q, &k, &v, 2, b.cache, &upstream, false, &mut ws);
+        assert_eq!(ga.dq.data(), gb.dq.data());
+        assert_eq!(ga.dk.data(), gb.dk.data());
+        assert_eq!(ga.dv.data(), gb.dv.data());
+        ws.give(b.out);
+        ws.give(gb.dq);
+        ws.give(gb.dk);
+        ws.give(gb.dv);
+
+        let a = flash(&q, &k, &v, 2);
+        let b = flash_ws(&q, &k, &v, 2, &mut ws);
+        assert_eq!(a.out.data(), b.out.data());
+        let ga = flash_backward(&q, &k, &v, 2, &a.cache, &a.out, &upstream);
+        let gb = flash_backward_ws(&q, &k, &v, 2, b.cache, &b.out, &upstream, &mut ws);
+        assert_eq!(ga.dq.data(), gb.dq.data());
+        assert_eq!(ga.dk.data(), gb.dk.data());
+        assert_eq!(ga.dv.data(), gb.dv.data());
+
+        let a = sparse(&q, &k, &v, 2, &mask, None);
+        let b = sparse_ws(&q, &k, &v, 2, &mask, None, &mut ws);
+        assert_eq!(a.out.data(), b.out.data());
+        let ga = sparse_backward(&q, &k, &v, 2, &mask, &a.cache, &upstream, false);
+        let gb = sparse_backward_ws(&q, &k, &v, 2, &mask, b.cache, &upstream, false, &mut ws);
+        assert_eq!(ga.dq.data(), gb.dq.data());
+        assert_eq!(ga.dk.data(), gb.dk.data());
+        assert_eq!(ga.dv.data(), gb.dv.data());
+
+        let a = performer(&q, &k, &v, 2, 16, 5);
+        let b = performer_ws(&q, &k, &v, 2, 16, 5, &mut ws);
+        assert_eq!(a.out.data(), b.out.data());
+        let ga = performer_backward(&q, &k, &v, 2, 16, 5, &a.cache, &upstream);
+        let gb = performer_backward_ws(&q, &k, &v, 2, 16, 5, b.cache, &upstream, &mut ws);
+        assert_eq!(ga.dq.data(), gb.dq.data());
+        assert_eq!(ga.dk.data(), gb.dk.data());
+        assert_eq!(ga.dv.data(), gb.dv.data());
+    }
+
+    #[test]
+    fn warm_ws_attention_steps_do_not_allocate() {
+        let s = 12;
+        let (q, k, v) = qkv(s, 8);
+        let upstream = init::normal(s, 8, 0.0, 1.0, 23);
+        let mask = torchgt_graph::generators::cycle_graph(s).with_self_loops();
+        let mut ws = Workspace::new();
+        let step = |ws: &mut Workspace| {
+            let r = sparse_ws(&q, &k, &v, 2, &mask, None, ws);
+            let g = sparse_backward_ws(&q, &k, &v, 2, &mask, r.cache, &upstream, false, ws);
+            ws.give(r.out);
+            ws.give(g.dq);
+            ws.give(g.dk);
+            ws.give(g.dv);
+        };
+        step(&mut ws);
+        step(&mut ws);
+        let warm = ws.stats();
+        step(&mut ws);
+        let after = ws.stats();
+        assert_eq!(after.alloc_bytes, warm.alloc_bytes, "warm attention step allocated");
+        assert!(after.reuse_hits > warm.reuse_hits);
     }
 
     #[test]
@@ -687,19 +963,15 @@ mod tests {
 // Performer-style linear attention (FAVOR+)
 // ---------------------------------------------------------------------------
 
-/// Build the random-feature matrix `W [m, d_head]` for a head.
-fn performer_features(m: usize, d_head: usize, seed: u64) -> Tensor {
-    torchgt_tensor::init::normal(m, d_head, 0.0, 1.0, seed)
-}
-
 /// Positive random-feature map `φ(x)_j = exp(w_j·x − ‖x‖²/2)/√m` applied to
 /// each (pre-scaled) row.
-fn phi_map(x: &Tensor, w: &Tensor) -> Tensor {
+fn phi_map_ws(x: &Tensor, w: &Tensor, ws: &mut Workspace) -> Tensor {
     let (s, _) = x.shape();
     let m = w.rows();
     let inv_sqrt_m = 1.0 / (m as f32).sqrt();
-    let proj = ops::matmul_bt(x, w); // [s, m]
-    let mut out = Tensor::zeros(s, m);
+    let mut proj = ws.take(s, m);
+    ops::matmul_bt_into(x, w, &mut proj); // [s, m]
+    let mut out = ws.take(s, m);
     for i in 0..s {
         let half_norm: f32 = x.row(i).iter().map(|v| v * v).sum::<f32>() * 0.5;
         let orow = out.row_mut(i);
@@ -707,20 +979,31 @@ fn phi_map(x: &Tensor, w: &Tensor) -> Tensor {
             *o = (p - half_norm).exp() * inv_sqrt_m;
         }
     }
+    ws.give(proj);
     out
 }
 
-/// Backward of [`phi_map`]: `dx_i = (dφ_i ∘ φ_i)·W − (Σ_j dφ_ij φ_ij)·x_i`.
-fn phi_map_backward(x: &Tensor, w: &Tensor, phi: &Tensor, dphi: &Tensor) -> Tensor {
-    let weighted = ops::mul(dphi, phi); // [s, m]
-    let mut dx = ops::matmul(&weighted, w); // [s, d]
+/// Backward of [`phi_map_ws`]:
+/// `dx_i = (dφ_i ∘ φ_i)·W − (Σ_j dφ_ij φ_ij)·x_i`.
+fn phi_map_backward_ws(
+    x: &Tensor,
+    w: &Tensor,
+    phi: &Tensor,
+    dphi: &Tensor,
+    ws: &mut Workspace,
+) -> Tensor {
+    let (s, m) = phi.shape();
+    let mut weighted = ws.take(s, m);
+    ops::mul_into(dphi, phi, &mut weighted); // [s, m]
+    let mut dx = ws.take(s, x.cols());
+    ops::matmul_into(&weighted, w, &mut dx); // [s, d]
     for i in 0..x.rows() {
         let row_sum: f32 = weighted.row(i).iter().sum();
-        let xrow = x.row(i).to_vec();
-        for (d, &xv) in dx.row_mut(i).iter_mut().zip(&xrow) {
+        for (d, &xv) in dx.row_mut(i).iter_mut().zip(x.row(i)) {
             *d -= row_sum * xv;
         }
     }
+    ws.give(weighted);
     dx
 }
 
@@ -730,28 +1013,58 @@ fn phi_map_backward(x: &Tensor, w: &Tensor, phi: &Tensor, dphi: &Tensor) -> Tens
 /// contrasts against (its ref. [35], Performers): structure-agnostic, so it
 /// loses the graph's connectivity information.
 pub fn performer(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, m_features: usize, seed: u64) -> AttnOutput {
+    performer_ws(q, k, v, heads, m_features, seed, &mut Workspace::new())
+}
+
+/// [`performer`] drawing every intermediate (including the per-head random
+/// feature matrices) from `ws`.
+pub fn performer_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    m_features: usize,
+    seed: u64,
+    ws: &mut Workspace,
+) -> AttnOutput {
     let (s, d) = q.shape();
     let d_head = d / heads;
     // Pre-scale so φ approximates exp(q·k/√d_head).
     let scale = 1.0 / (d_head as f32).powf(0.25);
-    let mut out = Tensor::zeros(s, d);
+    let mut out = ws.take(s, d);
     let mut phi_qs = Vec::with_capacity(heads);
     let mut phi_ks = Vec::with_capacity(heads);
     let mut denoms = Vec::with_capacity(heads);
     let mut nums = Vec::with_capacity(heads);
     for h in 0..heads {
-        let w = performer_features(m_features, d_head, seed.wrapping_add(h as u64));
-        let qh = ops::scale(&head_slice(q, h, d_head), scale);
-        let kh = ops::scale(&head_slice(k, h, d_head), scale);
-        let vh = head_slice(v, h, d_head);
-        let phi_q = phi_map(&qh, &w);
-        let phi_k = phi_map(&kh, &w);
-        let a = ops::matmul_at(&phi_k, &vh); // [m, d_head]
-        let num = ops::matmul(&phi_q, &a); // [s, d_head]
-        let z = ops::col_sum(&phi_k); // [1, m]
-        let den_t = ops::matmul_bt(&phi_q, &z); // [s, 1]
-        let den: Vec<f32> = (0..s).map(|i| den_t.get(i, 0).max(1e-9)).collect();
-        let mut oh = Tensor::zeros(s, d_head);
+        let mut w = ws.take(m_features, d_head);
+        torchgt_tensor::init::normal_into(0.0, 1.0, seed.wrapping_add(h as u64), &mut w);
+        let mut qh = ws.take(s, d_head);
+        ops::scale_into(&head_view(q, h, d_head), scale, &mut qh);
+        let mut kh = ws.take(s, d_head);
+        ops::scale_into(&head_view(k, h, d_head), scale, &mut kh);
+        let vh = head_view(v, h, d_head);
+        let phi_q = phi_map_ws(&qh, &w, ws);
+        let phi_k = phi_map_ws(&kh, &w, ws);
+        ws.give(qh);
+        ws.give(kh);
+        ws.give(w);
+        let mut a = ws.take(m_features, d_head);
+        ops::matmul_at_into(&phi_k, &vh, &mut a); // [m, d_head]
+        let mut num = ws.take(s, d_head);
+        ops::matmul_into(&phi_q, &a, &mut num); // [s, d_head]
+        ws.give(a);
+        let mut z = ws.take(1, m_features);
+        ops::col_sum_into(&phi_k, &mut z); // [1, m]
+        let mut den_t = ws.take(s, 1);
+        ops::matmul_bt_into(&phi_q, &z, &mut den_t); // [s, 1]
+        ws.give(z);
+        let mut den = ws.take_buf(s);
+        for (i, slot) in den.iter_mut().enumerate() {
+            *slot = den_t.get(i, 0).max(1e-9);
+        }
+        ws.give(den_t);
+        let mut oh = ws.take(s, d_head);
         for i in 0..s {
             let inv = 1.0 / den[i];
             for t in 0..d_head {
@@ -759,6 +1072,7 @@ pub fn performer(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, m_features: u
             }
         }
         write_head(&mut out, &oh, h, d_head);
+        ws.give(oh);
         phi_qs.push(phi_q);
         phi_ks.push(phi_k);
         denoms.push(den);
@@ -782,6 +1096,23 @@ pub fn performer_backward(
     cache: &AttnCache,
     dout: &Tensor,
 ) -> AttnGrads {
+    performer_backward_ws(q, k, v, heads, m_features, seed, cache.clone(), dout, &mut Workspace::new())
+}
+
+/// Backward of [`performer_ws`]; consumes the cache, returning its buffers
+/// to `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn performer_backward_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    m_features: usize,
+    seed: u64,
+    cache: AttnCache,
+    dout: &Tensor,
+    ws: &mut Workspace,
+) -> AttnGrads {
     let (phi_qs, phi_ks, denoms, nums) = match cache {
         AttnCache::Performer { phi_q, phi_k, denom, num } => (phi_q, phi_k, denom, num),
         _ => panic!("performer_backward called with wrong cache"),
@@ -789,46 +1120,50 @@ pub fn performer_backward(
     let (s, d) = q.shape();
     let d_head = d / heads;
     let scale = 1.0 / (d_head as f32).powf(0.25);
-    let mut dq = Tensor::zeros(s, d);
-    let mut dk = Tensor::zeros(s, d);
-    let mut dv = Tensor::zeros(s, d);
-    for h in 0..heads {
-        let w = performer_features(m_features, d_head, seed.wrapping_add(h as u64));
-        let qh = ops::scale(&head_slice(q, h, d_head), scale);
-        let kh = ops::scale(&head_slice(k, h, d_head), scale);
-        let vh = head_slice(v, h, d_head);
-        let doh = head_slice(dout, h, d_head);
-        let phi_q = &phi_qs[h];
-        let phi_k = &phi_ks[h];
-        let den = &denoms[h];
-        let num = &nums[h];
+    let mut dq = ws.take(s, d);
+    let mut dk = ws.take(s, d);
+    let mut dv = ws.take(s, d);
+    let per_head = phi_qs.into_iter().zip(phi_ks).zip(denoms).zip(nums).enumerate();
+    for (h, (((phi_q, phi_k), den), num)) in per_head {
+        let mut w = ws.take(m_features, d_head);
+        torchgt_tensor::init::normal_into(0.0, 1.0, seed.wrapping_add(h as u64), &mut w);
+        let mut qh = ws.take(s, d_head);
+        ops::scale_into(&head_view(q, h, d_head), scale, &mut qh);
+        let mut kh = ws.take(s, d_head);
+        ops::scale_into(&head_view(k, h, d_head), scale, &mut kh);
+        let vh = head_view(v, h, d_head);
+        let doh = head_view(dout, h, d_head);
         // O = num/den: dnum, dden per row.
-        let mut dnum = Tensor::zeros(s, d_head);
-        let mut dden = vec![0.0f32; s];
+        let mut dnum = ws.take(s, d_head);
+        let mut dden = ws.take_buf(s);
         for i in 0..s {
             let inv = 1.0 / den[i];
             let mut dot = 0.0f32;
             for t in 0..d_head {
-                dnum.set(i, t, doh.get(i, t) * inv);
-                dot += doh.get(i, t) * num.get(i, t);
+                dnum.set(i, t, doh.row(i)[t] * inv);
+                dot += doh.row(i)[t] * num.get(i, t);
             }
             dden[i] = -dot * inv * inv;
         }
         // A = φ(K)ᵀV, z = φ(K)ᵀ1.
-        let a = ops::matmul_at(phi_k, &vh);
-        let z = ops::col_sum(phi_k); // [1, m]
+        let mut a = ws.take(m_features, d_head);
+        ops::matmul_at_into(&phi_k, &vh, &mut a);
+        let mut z = ws.take(1, m_features);
+        ops::col_sum_into(&phi_k, &mut z); // [1, m]
         // dφ(Q) = dnum·Aᵀ + dden ⊗ z.
-        let mut dphi_q = ops::matmul_bt(&dnum, &a);
+        let mut dphi_q = ws.take(s, m_features);
+        ops::matmul_bt_into(&dnum, &a, &mut dphi_q);
         for i in 0..s {
             let dd = dden[i];
             for (c, zv) in dphi_q.row_mut(i).iter_mut().zip(z.row(0)) {
                 *c += dd * zv;
             }
         }
+        ws.give(z);
         // dA = φ(Q)ᵀ dnum; dz = φ(Q)ᵀ dden.
-        let da = ops::matmul_at(phi_q, &dnum); // [m, d_head]
-        let m = phi_q.cols();
-        let mut dz = vec![0.0f32; m];
+        let mut da = ws.take(m_features, d_head);
+        ops::matmul_at_into(&phi_q, &dnum, &mut da); // [m, d_head]
+        let mut dz = ws.take_buf(m_features);
         for i in 0..s {
             let dd = dden[i];
             for (j, &pq) in phi_q.row(i).iter().enumerate() {
@@ -836,19 +1171,40 @@ pub fn performer_backward(
             }
         }
         // dφ(K) = V·dAᵀ + 1⊗dz; dV = φ(K)·dA.
-        let mut dphi_k = ops::matmul_bt(&vh, &da);
+        let mut dphi_k = ws.take(s, m_features);
+        ops::matmul_bt_into(&vh, &da, &mut dphi_k);
         for i in 0..s {
             for (c, &dzv) in dphi_k.row_mut(i).iter_mut().zip(&dz) {
                 *c += dzv;
             }
         }
-        let dvh = ops::matmul(phi_k, &da);
+        let mut dvh = ws.take(s, d_head);
+        ops::matmul_into(&phi_k, &da, &mut dvh);
+        ws.give(a);
+        ws.give(da);
+        ws.give(dnum);
+        ws.give_buf(dden);
+        ws.give_buf(dz);
         // Through the feature maps, then undo the input scaling.
-        let dqh = ops::scale(&phi_map_backward(&qh, &w, phi_q, &dphi_q), scale);
-        let dkh = ops::scale(&phi_map_backward(&kh, &w, phi_k, &dphi_k), scale);
+        let mut dqh = phi_map_backward_ws(&qh, &w, &phi_q, &dphi_q, ws);
+        ops::scale_inplace(&mut dqh, scale);
+        let mut dkh = phi_map_backward_ws(&kh, &w, &phi_k, &dphi_k, ws);
+        ops::scale_inplace(&mut dkh, scale);
         add_head(&mut dq, &dqh, h, d_head);
         add_head(&mut dk, &dkh, h, d_head);
         add_head(&mut dv, &dvh, h, d_head);
+        ws.give(dqh);
+        ws.give(dkh);
+        ws.give(dvh);
+        ws.give(dphi_q);
+        ws.give(dphi_k);
+        ws.give(qh);
+        ws.give(kh);
+        ws.give(w);
+        ws.give(phi_q);
+        ws.give(phi_k);
+        ws.give(num);
+        ws.give_buf(den);
     }
     AttnGrads { dq, dk, dv, dbias: None }
 }

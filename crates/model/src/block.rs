@@ -5,7 +5,7 @@ use crate::mha::{AttentionMode, MultiHeadAttention};
 use torchgt_tensor::layers::Layer;
 use torchgt_tensor::ops;
 use torchgt_tensor::rng::derive_seed;
-use torchgt_tensor::{Dropout, FeedForward, LayerNorm, Param, Tensor};
+use torchgt_tensor::{Dropout, FeedForward, LayerNorm, Param, Tensor, Workspace};
 
 /// `x → x + Drop(MHA(LN(x))) → y + Drop(FFN(LN(y)))` — the standard pre-LN
 /// block Graphormer and GT both use.
@@ -41,14 +41,30 @@ impl TransformerBlock {
 
     /// Forward under the given attention mode.
     pub fn forward(&mut self, x: &Tensor, mode: &AttentionMode<'_>) -> Tensor {
-        let a = self.ln1.forward(x);
-        let a = self.attn.forward(&a, mode);
-        let a = self.drop1.forward(&a);
-        let y = ops::add(x, &a);
-        let f = self.ln2.forward(&y);
-        let f = self.ffn.forward(&f);
-        let f = self.drop2.forward(&f);
-        ops::add(&y, &f)
+        self.forward_ws(x, mode, &mut Workspace::new())
+    }
+
+    /// [`TransformerBlock::forward`] drawing every intermediate from `ws`.
+    /// The returned tensor belongs to `ws`.
+    pub fn forward_ws(&mut self, x: &Tensor, mode: &AttentionMode<'_>, ws: &mut Workspace) -> Tensor {
+        let a = self.ln1.forward_ws(x, ws);
+        let a2 = self.attn.forward_ws(&a, mode, ws);
+        ws.give(a);
+        let a3 = self.drop1.forward_ws(&a2, ws);
+        ws.give(a2);
+        let mut y = ws.take(x.rows(), x.cols());
+        ops::add_into(x, &a3, &mut y);
+        ws.give(a3);
+        let f = self.ln2.forward_ws(&y, ws);
+        let f2 = self.ffn.forward_ws(&f, ws);
+        ws.give(f);
+        let f3 = self.drop2.forward_ws(&f2, ws);
+        ws.give(f2);
+        let mut z = ws.take(y.rows(), y.cols());
+        ops::add_into(&y, &f3, &mut z);
+        ws.give(y);
+        ws.give(f3);
+        z
     }
 
     /// Backward; returns `(dx, attention_bias_grad)`.
@@ -58,16 +74,33 @@ impl TransformerBlock {
         mode: &AttentionMode<'_>,
         want_bias_grad: bool,
     ) -> (Tensor, Option<BiasGrad>) {
+        self.backward_ws(dz, mode, want_bias_grad, &mut Workspace::new())
+    }
+
+    /// [`TransformerBlock::backward`] through `ws`; the returned `dx` (and
+    /// bias grad) belong to `ws`.
+    pub fn backward_ws(
+        &mut self,
+        dz: &Tensor,
+        mode: &AttentionMode<'_>,
+        want_bias_grad: bool,
+        ws: &mut Workspace,
+    ) -> (Tensor, Option<BiasGrad>) {
         // z = y + drop2(ffn(ln2(y)))
-        let df = self.drop2.backward(dz);
-        let df = self.ffn.backward(&df);
-        let mut dy = self.ln2.backward(&df);
+        let df = self.drop2.backward_ws(dz, ws);
+        let df2 = self.ffn.backward_ws(&df, ws);
+        ws.give(df);
+        let mut dy = self.ln2.backward_ws(&df2, ws);
+        ws.give(df2);
         ops::add_inplace(&mut dy, dz);
         // y = x + drop1(attn(ln1(x)))
-        let da = self.drop1.backward(&dy);
-        let (da, bias_grad) = self.attn.backward(&da, mode, want_bias_grad);
-        let mut dx = self.ln1.backward(&da);
+        let da = self.drop1.backward_ws(&dy, ws);
+        let (da2, bias_grad) = self.attn.backward_ws(&da, mode, want_bias_grad, ws);
+        ws.give(da);
+        let mut dx = self.ln1.backward_ws(&da2, ws);
+        ws.give(da2);
         ops::add_inplace(&mut dx, &dy);
+        ws.give(dy);
         (dx, bias_grad)
     }
 

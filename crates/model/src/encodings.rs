@@ -5,31 +5,44 @@ use crate::attention::BiasGrad;
 use torchgt_graph::{spd, CsrGraph};
 use torchgt_tensor::layers::Embedding;
 use torchgt_tensor::rng::derive_seed;
-use torchgt_tensor::{Param, Tensor};
+use torchgt_tensor::{Param, Tensor, Workspace};
 
 /// Degree ("centrality") encoding: learnable embeddings indexed by node
 /// degree, added to the input features (Graphormer Eq. 2; undirected graphs
 /// have `deg⁻ = deg⁺`, so one table suffices).
 pub struct DegreeEncoding {
     table: Embedding,
+    /// Reused per-pass degree-index scratch (cleared, never shrunk).
+    degrees: Vec<usize>,
 }
 
 impl DegreeEncoding {
     /// Construct with `max_degree + 1` buckets (degrees clamp into the last
     /// one) and embedding width `dim`.
     pub fn new(max_degree: usize, dim: usize, seed: u64) -> Self {
-        Self { table: Embedding::new(max_degree + 1, dim, derive_seed(seed, 30)) }
+        Self { table: Embedding::new(max_degree + 1, dim, derive_seed(seed, 30)), degrees: Vec::new() }
     }
 
     /// Look up the encodings for all nodes of `graph` (in id order).
     pub fn forward(&mut self, graph: &CsrGraph) -> Tensor {
-        let degrees: Vec<usize> = (0..graph.num_nodes()).map(|v| graph.degree(v)).collect();
-        self.table.forward_indices(&degrees)
+        self.forward_ws(graph, &mut Workspace::new())
+    }
+
+    /// [`DegreeEncoding::forward`] with the output drawn from `ws`.
+    pub fn forward_ws(&mut self, graph: &CsrGraph, ws: &mut Workspace) -> Tensor {
+        self.degrees.clear();
+        self.degrees.extend((0..graph.num_nodes()).map(|v| graph.degree(v)));
+        self.table.forward_indices_ws(&self.degrees, ws)
     }
 
     /// Accumulate gradients for the last forward.
     pub fn backward(&mut self, dy: &Tensor) {
         self.table.backward_indices(dy);
+    }
+
+    /// [`DegreeEncoding::backward`] with scatter scratch drawn from `ws`.
+    pub fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) {
+        self.table.backward_indices_ws(dy, ws);
     }
 
     /// Mutable parameter access.
@@ -74,26 +87,36 @@ impl SpdBias {
         self.table.value.rows()
     }
 
-    fn bucket(&self, dist: u8) -> usize {
-        if dist == spd::UNREACHABLE || dist > self.max_dist {
-            self.max_dist as usize + 1
-        } else {
-            dist as usize
-        }
-    }
-
     /// Build per-head dense `[s, s]` bias matrices from a full SPD matrix
     /// (graph-level tasks; `spd_matrix` is `s × s` row-major).
     pub fn dense_bias(&mut self, spd_matrix: &[u8], s: usize) -> Vec<Tensor> {
+        self.dense_bias_ws(spd_matrix, s, &mut Workspace::new())
+    }
+
+    /// [`SpdBias::dense_bias`] with the bias tensors drawn from `ws`; the
+    /// caller returns them (e.g. via [`BiasGrad::recycle`]-style gives) once
+    /// the pass is done.
+    pub fn dense_bias_ws(&mut self, spd_matrix: &[u8], s: usize, ws: &mut Workspace) -> Vec<Tensor> {
         assert_eq!(spd_matrix.len(), s * s);
         let heads = self.heads();
-        self.cached_buckets = spd_matrix.iter().map(|&d| self.bucket(d)).collect();
+        let max_dist = self.max_dist;
+        self.cached_buckets.clear();
+        self.cached_buckets.extend(spd_matrix.iter().map(|&d| {
+            if d == spd::UNREACHABLE || d > max_dist {
+                max_dist as usize + 1
+            } else {
+                d as usize
+            }
+        }));
         self.cached_mode_dense = true;
         let mut out = Vec::with_capacity(heads);
         for h in 0..heads {
             let row = self.table.value.row(h);
-            let data: Vec<f32> = self.cached_buckets.iter().map(|&b| row[b]).collect();
-            out.push(Tensor::from_vec(s, s, data));
+            let mut t = ws.take(s, s);
+            for (slot, &b) in t.data_mut().iter_mut().zip(&self.cached_buckets) {
+                *slot = row[b];
+            }
+            out.push(t);
         }
         out
     }
@@ -102,28 +125,62 @@ impl SpdBias {
     /// supplies the SPD bucket source for each (query, key) pair — typically
     /// [`edge_spd`].
     pub fn sparse_bias(&mut self, mask: &CsrGraph, dist_of: impl Fn(usize, usize) -> u8) -> Vec<Vec<f32>> {
+        self.sparse_bias_ws(mask, dist_of, &mut Workspace::new())
+    }
+
+    /// [`SpdBias::sparse_bias`] with the per-edge buffers drawn from `ws`.
+    pub fn sparse_bias_ws(
+        &mut self,
+        mask: &CsrGraph,
+        dist_of: impl Fn(usize, usize) -> u8,
+        ws: &mut Workspace,
+    ) -> Vec<Vec<f32>> {
         let heads = self.heads();
-        let mut buckets = Vec::with_capacity(mask.num_arcs());
+        let max_dist = self.max_dist;
+        let bucket = |dist: u8| {
+            if dist == spd::UNREACHABLE || dist > max_dist {
+                max_dist as usize + 1
+            } else {
+                dist as usize
+            }
+        };
+        self.cached_buckets.clear();
         for v in 0..mask.num_nodes() {
             for &nb in mask.neighbors(v) {
-                buckets.push(self.bucket(dist_of(v, nb as usize)));
+                self.cached_buckets.push(bucket(dist_of(v, nb as usize)));
             }
         }
-        self.cached_buckets = buckets;
         self.cached_mode_dense = false;
         (0..heads)
             .map(|h| {
                 let row = self.table.value.row(h);
-                self.cached_buckets.iter().map(|&b| row[b]).collect()
+                let mut buf = ws.take_buf(self.cached_buckets.len());
+                for (slot, &b) in buf.iter_mut().zip(&self.cached_buckets) {
+                    *slot = row[b];
+                }
+                buf
             })
             .collect()
     }
 
     /// Accumulate table gradients from an attention [`BiasGrad`].
     pub fn backward(&mut self, grad: &BiasGrad) {
-        let heads = self.heads();
-        let cols = self.table.value.cols();
-        let mut g = Tensor::zeros(heads, cols);
+        let mut g = Tensor::zeros(self.heads(), self.table.value.cols());
+        self.accumulate_into(grad, &mut g);
+        self.table.accumulate(&g);
+    }
+
+    /// [`SpdBias::backward`] through `ws`; consumes the gradient, returning
+    /// its buffers to the arena.
+    pub fn backward_ws(&mut self, grad: BiasGrad, ws: &mut Workspace) {
+        let mut g = ws.take(self.heads(), self.table.value.cols());
+        self.accumulate_into(&grad, &mut g);
+        self.table.accumulate(&g);
+        ws.give(g);
+        grad.recycle(ws);
+    }
+
+    fn accumulate_into(&self, grad: &BiasGrad, g: &mut Tensor) {
         match grad {
             BiasGrad::Dense(per_head) => {
                 assert!(self.cached_mode_dense, "bias grad mode mismatch");
@@ -146,7 +203,6 @@ impl SpdBias {
                 }
             }
         }
-        self.table.accumulate(&g);
     }
 
     /// Mutable parameter access.

@@ -5,18 +5,26 @@ use crate::api::{Pattern, SequenceBatch, SequenceModel};
 use torchgt_graph::CsrGraph;
 use torchgt_tensor::layers::Layer;
 use torchgt_tensor::rng::derive_seed;
-use torchgt_tensor::{Linear, Param, Relu, Tensor};
+use torchgt_tensor::{Linear, Param, Relu, Tensor, Workspace};
 
 /// Symmetric-normalised aggregation `Â H` with
 /// `Â_ij = 1/√((d_i+1)(d_j+1))` over `N(i) ∪ {i}` (the GCN propagation
 /// rule with self-loops folded in).
 pub fn gcn_aggregate(graph: &CsrGraph, h: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(h.rows(), h.cols());
+    gcn_aggregate_into(graph, h, &mut out);
+    out
+}
+
+/// [`gcn_aggregate`] writing into a caller-provided buffer (fully
+/// overwritten).
+pub fn gcn_aggregate_into(graph: &CsrGraph, h: &Tensor, out: &mut Tensor) {
     let n = graph.num_nodes();
     assert_eq!(h.rows(), n);
-    let cols = h.cols();
+    assert_eq!(out.shape(), h.shape());
     let inv_sqrt: Vec<f32> =
         (0..n).map(|v| 1.0 / ((graph.degree(v) as f32 + 1.0).sqrt())).collect();
-    let mut out = Tensor::zeros(n, cols);
+    out.fill_zero();
     for v in 0..n {
         let selfw = inv_sqrt[v] * inv_sqrt[v];
         let orow = out.row_mut(v);
@@ -36,7 +44,6 @@ pub fn gcn_aggregate(graph: &CsrGraph, h: &Tensor) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// A GCN for node classification: `layers` rounds of
@@ -62,29 +69,69 @@ impl Gcn {
 }
 
 impl SequenceModel for Gcn {
-    fn forward(&mut self, batch: &SequenceBatch<'_>, _pattern: Pattern<'_>) -> Tensor {
-        let mut h = batch.features.clone();
-        let last = self.linears.len() - 1;
-        for (i, lin) in self.linears.iter_mut().enumerate() {
-            let z = lin.forward(&h);
-            let agg = gcn_aggregate(batch.graph, &z);
-            h = if i < last { self.acts[i].forward(&agg) } else { agg };
-        }
-        h
+    fn forward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>) -> Tensor {
+        self.forward_ws(batch, pattern, &mut Workspace::new())
     }
 
-    fn backward(&mut self, batch: &SequenceBatch<'_>, _pattern: Pattern<'_>, dlogits: &Tensor) {
+    fn forward_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        _pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Tensor {
         let last = self.linears.len() - 1;
-        let mut dh = dlogits.clone();
+        let mut h: Option<Tensor> = None;
+        for (i, lin) in self.linears.iter_mut().enumerate() {
+            let z = match &h {
+                Some(t) => lin.forward_ws(t, ws),
+                None => lin.forward_ws(batch.features, ws),
+            };
+            if let Some(t) = h.take() {
+                ws.give(t);
+            }
+            let mut agg = ws.take(z.rows(), z.cols());
+            gcn_aggregate_into(batch.graph, &z, &mut agg);
+            ws.give(z);
+            h = Some(if i < last {
+                let a = self.acts[i].forward_ws(&agg, ws);
+                ws.give(agg);
+                a
+            } else {
+                agg
+            });
+        }
+        h.expect("Gcn has at least one layer")
+    }
+
+    fn backward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor) {
+        self.backward_ws(batch, pattern, dlogits, &mut Workspace::new())
+    }
+
+    fn backward_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        _pattern: Pattern<'_>,
+        dlogits: &Tensor,
+        ws: &mut Workspace,
+    ) {
+        let last = self.linears.len() - 1;
+        let mut dh = ws.take(dlogits.rows(), dlogits.cols());
+        torchgt_tensor::ops::copy_into(dlogits, &mut dh);
         for i in (0..self.linears.len()).rev() {
             if i < last {
-                dh = self.acts[i].backward(&dh);
+                let t = self.acts[i].backward_ws(&dh, ws);
+                ws.give(dh);
+                dh = t;
             }
             // Â is symmetric ⇒ backward through aggregation is another
             // aggregation.
-            let dz = gcn_aggregate(batch.graph, &dh);
-            dh = self.linears[i].backward(&dz);
+            let mut dz = ws.take(dh.rows(), dh.cols());
+            gcn_aggregate_into(batch.graph, &dh, &mut dz);
+            ws.give(dh);
+            dh = self.linears[i].backward_ws(&dz, ws);
+            ws.give(dz);
         }
+        ws.give(dh);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -21,7 +21,7 @@ use crate::mha::AttentionMode;
 use torchgt_tensor::layers::Layer;
 use torchgt_tensor::ops;
 use torchgt_tensor::rng::derive_seed;
-use torchgt_tensor::{Linear, Param, Tensor};
+use torchgt_tensor::{Linear, Param, Tensor, Workspace};
 
 /// Graphormer hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -112,33 +112,65 @@ impl Graphormer {
         &self.cfg
     }
 
-    /// Build the per-pass bias payload for a pattern. Returns
-    /// `(dense_bias, sparse_bias)` — at most one is `Some`.
-    fn build_bias(
+    /// Build the per-pass bias payload for a pattern, drawing buffers from
+    /// `ws`. Returns `(dense_bias, sparse_bias)` — at most one is `Some`;
+    /// [`give_bias`] returns the buffers after the pass.
+    fn build_bias_ws(
         &mut self,
         batch: &SequenceBatch<'_>,
         pattern: Pattern<'_>,
+        ws: &mut Workspace,
     ) -> (Option<Vec<Tensor>>, Option<Vec<Vec<f32>>>) {
         match pattern {
             Pattern::Dense => match batch.spd {
-                Some(m) => (Some(self.spd_bias.dense_bias(m, batch.features.rows())), None),
+                Some(m) => {
+                    (Some(self.spd_bias.dense_bias_ws(m, batch.features.rows(), ws)), None)
+                }
                 None => (None, None),
             },
             Pattern::Flash => (None, None), // flash cannot take a bias
             Pattern::Performer(_) => (None, None), // linear attention: no bias
             Pattern::Sparse(mask) => {
-                (None, Some(self.spd_bias.sparse_bias(mask, edge_spd(batch.graph))))
+                (None, Some(self.spd_bias.sparse_bias_ws(mask, edge_spd(batch.graph), ws)))
             }
+        }
+    }
+}
+
+/// Return a bias payload built by `build_bias_ws` to the workspace.
+fn give_bias(
+    dense_bias: Option<Vec<Tensor>>,
+    sparse_bias: Option<Vec<Vec<f32>>>,
+    ws: &mut Workspace,
+) {
+    if let Some(ts) = dense_bias {
+        for t in ts {
+            ws.give(t);
+        }
+    }
+    if let Some(bufs) = sparse_bias {
+        for b in bufs {
+            ws.give_buf(b);
         }
     }
 }
 
 impl SequenceModel for Graphormer {
     fn forward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>) -> Tensor {
-        let (dense_bias, sparse_bias) = self.build_bias(batch, pattern);
-        let mut h = self.in_proj.forward(batch.features);
-        let deg = self.degree_enc.forward(batch.graph);
+        self.forward_ws(batch, pattern, &mut Workspace::new())
+    }
+
+    fn forward_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (dense_bias, sparse_bias) = self.build_bias_ws(batch, pattern, ws);
+        let mut h = self.in_proj.forward_ws(batch.features, ws);
+        let deg = self.degree_enc.forward_ws(batch.graph, ws);
         ops::add_inplace(&mut h, &deg);
+        ws.give(deg);
         for block in &mut self.blocks {
             let mode = match pattern {
                 Pattern::Dense => AttentionMode::Dense { bias: dense_bias.as_deref() },
@@ -150,16 +182,31 @@ impl SequenceModel for Graphormer {
                     AttentionMode::Performer { features, seed: 0x9E37 }
                 }
             };
-            h = block.forward(&h, &mode);
+            let next = block.forward_ws(&h, &mode, ws);
+            ws.give(h);
+            h = next;
         }
-        self.head.forward(&h)
+        let logits = self.head.forward_ws(&h, ws);
+        ws.give(h);
+        give_bias(dense_bias, sparse_bias, ws);
+        logits
     }
 
     fn backward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor) {
+        self.backward_ws(batch, pattern, dlogits, &mut Workspace::new())
+    }
+
+    fn backward_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        dlogits: &Tensor,
+        ws: &mut Workspace,
+    ) {
         // Rebuild the same bias payload (values unchanged since forward).
-        let (dense_bias, sparse_bias) = self.build_bias(batch, pattern);
+        let (dense_bias, sparse_bias) = self.build_bias_ws(batch, pattern, ws);
         let want_bias = dense_bias.is_some() || sparse_bias.is_some();
-        let mut dh = self.head.backward(dlogits);
+        let mut dh = self.head.backward_ws(dlogits, ws);
         for block in self.blocks.iter_mut().rev() {
             let mode = match pattern {
                 Pattern::Dense => AttentionMode::Dense { bias: dense_bias.as_deref() },
@@ -171,15 +218,19 @@ impl SequenceModel for Graphormer {
                     AttentionMode::Performer { features, seed: 0x9E37 }
                 }
             };
-            let (dx, bias_grad) = block.backward(&dh, &mode, want_bias);
+            let (dx, bias_grad) = block.backward_ws(&dh, &mode, want_bias, ws);
             if let Some(bg) = bias_grad {
-                self.spd_bias.backward(&bg);
+                self.spd_bias.backward_ws(bg, ws);
             }
+            ws.give(dh);
             dh = dx;
         }
         // Input encodings: h0 = in_proj(x) + degree_enc.
-        self.degree_enc.backward(&dh);
-        let _dx = self.in_proj.backward(&dh);
+        self.degree_enc.backward_ws(&dh, ws);
+        let dx = self.in_proj.backward_ws(&dh, ws);
+        ws.give(dx);
+        ws.give(dh);
+        give_bias(dense_bias, sparse_bias, ws);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

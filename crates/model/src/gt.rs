@@ -14,7 +14,7 @@ use torchgt_graph::CsrGraph;
 use torchgt_tensor::layers::Layer;
 use torchgt_tensor::ops;
 use torchgt_tensor::rng::derive_seed;
-use torchgt_tensor::{Linear, Param, Tensor};
+use torchgt_tensor::{Linear, Param, Tensor, Workspace};
 
 /// GT hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -127,55 +127,81 @@ impl Gt {
         &self.cfg
     }
 
-    fn positional_encoding(&mut self, graph: &CsrGraph) -> Tensor {
+    /// Ensure the LapPE cache holds this graph's encoding; no tensor is
+    /// cloned on a cache hit.
+    fn refresh_positional_encoding(&mut self, graph: &CsrGraph) -> u64 {
         let fp = graph_fingerprint(graph);
-        if let Some((cached_fp, pe)) = &self.pe_cache {
-            if *cached_fp == fp {
-                return pe.clone();
-            }
+        let hit = matches!(&self.pe_cache, Some((cached_fp, _)) if *cached_fp == fp);
+        if !hit {
+            let pe = laplacian_pe(graph, self.cfg.pe_dim, 30, derive_seed(self.seed, 63));
+            self.pe_cache = Some((fp, pe));
         }
-        let pe = laplacian_pe(graph, self.cfg.pe_dim, 30, derive_seed(self.seed, 63));
-        self.pe_cache = Some((fp, pe.clone()));
-        pe
+        fp
+    }
+}
+
+fn gt_mode<'a>(pattern: Pattern<'a>) -> AttentionMode<'a> {
+    match pattern {
+        Pattern::Dense => AttentionMode::Dense { bias: None },
+        Pattern::Flash => AttentionMode::Flash,
+        Pattern::Sparse(mask) => AttentionMode::Sparse { mask, bias: None },
+        Pattern::Performer(features) => AttentionMode::Performer { features, seed: 0x9E37 },
     }
 }
 
 impl SequenceModel for Gt {
     fn forward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>) -> Tensor {
-        let pe = self.positional_encoding(batch.graph);
-        let mut h = self.in_proj.forward(batch.features);
-        let pe_h = self.pe_proj.forward(&pe);
-        ops::add_inplace(&mut h, &pe_h);
-        for block in &mut self.blocks {
-            let mode = match pattern {
-                Pattern::Dense => AttentionMode::Dense { bias: None },
-                Pattern::Flash => AttentionMode::Flash,
-                Pattern::Sparse(mask) => AttentionMode::Sparse { mask, bias: None },
-                Pattern::Performer(features) => {
-                    AttentionMode::Performer { features, seed: 0x9E37 }
-                }
-            };
-            h = block.forward(&h, &mode);
-        }
-        self.head.forward(&h)
+        self.forward_ws(batch, pattern, &mut Workspace::new())
     }
 
-    fn backward(&mut self, _batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor) {
-        let mut dh = self.head.backward(dlogits);
+    fn forward_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let fp = self.refresh_positional_encoding(batch.graph);
+        // Move the cached encoding out while the projections borrow `self`.
+        let (_, pe) = self.pe_cache.take().expect("pe cache just refreshed");
+        let mut h = self.in_proj.forward_ws(batch.features, ws);
+        let pe_h = self.pe_proj.forward_ws(&pe, ws);
+        self.pe_cache = Some((fp, pe));
+        ops::add_inplace(&mut h, &pe_h);
+        ws.give(pe_h);
+        for block in &mut self.blocks {
+            let mode = gt_mode(pattern);
+            let next = block.forward_ws(&h, &mode, ws);
+            ws.give(h);
+            h = next;
+        }
+        let logits = self.head.forward_ws(&h, ws);
+        ws.give(h);
+        logits
+    }
+
+    fn backward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor) {
+        self.backward_ws(batch, pattern, dlogits, &mut Workspace::new())
+    }
+
+    fn backward_ws(
+        &mut self,
+        _batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        dlogits: &Tensor,
+        ws: &mut Workspace,
+    ) {
+        let mut dh = self.head.backward_ws(dlogits, ws);
         for block in self.blocks.iter_mut().rev() {
-            let mode = match pattern {
-                Pattern::Dense => AttentionMode::Dense { bias: None },
-                Pattern::Flash => AttentionMode::Flash,
-                Pattern::Sparse(mask) => AttentionMode::Sparse { mask, bias: None },
-                Pattern::Performer(features) => {
-                    AttentionMode::Performer { features, seed: 0x9E37 }
-                }
-            };
-            let (dx, _) = block.backward(&dh, &mode, false);
+            let mode = gt_mode(pattern);
+            let (dx, _) = block.backward_ws(&dh, &mode, false, ws);
+            ws.give(dh);
             dh = dx;
         }
-        let _ = self.pe_proj.backward(&dh);
-        let _ = self.in_proj.backward(&dh);
+        let dpe = self.pe_proj.backward_ws(&dh, ws);
+        ws.give(dpe);
+        let din = self.in_proj.backward_ws(&dh, ws);
+        ws.give(din);
+        ws.give(dh);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

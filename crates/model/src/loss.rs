@@ -1,16 +1,29 @@
 //! Losses and metrics.
 
 use torchgt_tensor::ops;
-use torchgt_tensor::Tensor;
+use torchgt_tensor::{Tensor, Workspace};
 
 /// Softmax cross-entropy over per-token logits. Returns the mean loss and
 /// `dL/dlogits` (already divided by the token count).
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
+    softmax_cross_entropy_ws(logits, labels, &mut Workspace::new())
+}
+
+/// [`softmax_cross_entropy`] with the probability scratch and the returned
+/// gradient drawn from `ws` (the caller gives the gradient back once
+/// consumed).
+pub fn softmax_cross_entropy_ws(
+    logits: &Tensor,
+    labels: &[u32],
+    ws: &mut Workspace,
+) -> (f32, Tensor) {
     let (n, c) = logits.shape();
     assert_eq!(labels.len(), n);
-    let probs = ops::row_softmax(logits);
+    let mut probs = ws.take(n, c);
+    ops::row_softmax_into(logits, &mut probs);
     let mut loss = 0.0f32;
-    let mut grad = probs.clone();
+    let mut grad = ws.take(n, c);
+    ops::copy_into(&probs, &mut grad);
     let inv_n = 1.0 / n as f32;
     for (i, &label) in labels.iter().enumerate() {
         let l = label as usize;
@@ -19,6 +32,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
         loss -= p.ln();
         grad.set(i, l, grad.get(i, l) - 1.0);
     }
+    ws.give(probs);
     ops::scale_inplace(&mut grad, inv_n);
     (loss * inv_n, grad)
 }
@@ -30,13 +44,27 @@ pub fn masked_softmax_cross_entropy(
     labels: &[u32],
     indices: &[u32],
 ) -> (f32, Tensor) {
+    masked_softmax_cross_entropy_ws(logits, labels, indices, &mut Workspace::new())
+}
+
+/// [`masked_softmax_cross_entropy`] through `ws`; the returned gradient
+/// belongs to the arena.
+pub fn masked_softmax_cross_entropy_ws(
+    logits: &Tensor,
+    labels: &[u32],
+    indices: &[u32],
+    ws: &mut Workspace,
+) -> (f32, Tensor) {
     let (n, c) = logits.shape();
     assert_eq!(labels.len(), n);
-    let probs = ops::row_softmax(logits);
-    let mut grad = Tensor::zeros(n, c);
+    let mut probs = ws.take(n, c);
+    ops::row_softmax_into(logits, &mut probs);
+    let grad = ws.take(n, c);
     if indices.is_empty() {
+        ws.give(probs);
         return (0.0, grad);
     }
+    let mut grad = grad;
     let inv = 1.0 / indices.len() as f32;
     let mut loss = 0.0f32;
     for &iu in indices {
@@ -49,6 +77,7 @@ pub fn masked_softmax_cross_entropy(
             grad.set(i, j, (probs.get(i, j) - delta) * inv);
         }
     }
+    ws.give(probs);
     (loss * inv, grad)
 }
 

@@ -6,11 +6,11 @@
 //! cluster-sparse mask, and the Dual-interleaved scheduler alternates modes
 //! between iterations without touching the model.
 
-use crate::attention::{self, AttnCache, BiasGrad};
+use crate::attention::{self, AttnCache, AttnGrads, BiasGrad};
 use torchgt_graph::CsrGraph;
 use torchgt_tensor::layers::Layer;
 use torchgt_tensor::rng::derive_seed;
-use torchgt_tensor::{Linear, Param, Tensor};
+use torchgt_tensor::{Linear, Param, Tensor, Workspace};
 
 /// Which kernel and pattern the attention layer should use for a pass.
 pub enum AttentionMode<'a> {
@@ -62,6 +62,16 @@ struct SavedForward {
     cache: AttnCache,
 }
 
+impl SavedForward {
+    fn recycle(self, ws: &mut Workspace) {
+        ws.give(self.q);
+        ws.give(self.k);
+        ws.give(self.v);
+        ws.give(self.out_pre);
+        self.cache.recycle(ws);
+    }
+}
+
 impl MultiHeadAttention {
     /// Construct for hidden dimension `dim` split over `heads`.
     pub fn new(dim: usize, heads: usize, seed: u64) -> Self {
@@ -78,20 +88,32 @@ impl MultiHeadAttention {
 
     /// Forward pass under the given attention mode.
     pub fn forward(&mut self, x: &Tensor, mode: &AttentionMode<'_>) -> Tensor {
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
+        self.forward_ws(x, mode, &mut Workspace::new())
+    }
+
+    /// [`MultiHeadAttention::forward`] drawing every intermediate — the
+    /// projected Q/K/V, the kernel's scratch, and the saved state — from
+    /// `ws`. The saved state is returned to the arena by the matching
+    /// [`MultiHeadAttention::backward_ws`] (or recycled on the next forward
+    /// if backward never runs, as in eval passes).
+    pub fn forward_ws(&mut self, x: &Tensor, mode: &AttentionMode<'_>, ws: &mut Workspace) -> Tensor {
+        if let Some(stale) = self.saved.take() {
+            stale.recycle(ws);
+        }
+        let q = self.wq.forward_ws(x, ws);
+        let k = self.wk.forward_ws(x, ws);
+        let v = self.wv.forward_ws(x, ws);
         let result = match mode {
-            AttentionMode::Dense { bias } => attention::dense(&q, &k, &v, self.heads, *bias),
-            AttentionMode::Flash => attention::flash(&q, &k, &v, self.heads),
+            AttentionMode::Dense { bias } => attention::dense_ws(&q, &k, &v, self.heads, *bias, ws),
+            AttentionMode::Flash => attention::flash_ws(&q, &k, &v, self.heads, ws),
             AttentionMode::Sparse { mask, bias } => {
-                attention::sparse(&q, &k, &v, self.heads, mask, *bias)
+                attention::sparse_ws(&q, &k, &v, self.heads, mask, *bias, ws)
             }
             AttentionMode::Performer { features, seed } => {
-                attention::performer(&q, &k, &v, self.heads, *features, *seed)
+                attention::performer_ws(&q, &k, &v, self.heads, *features, *seed, ws)
             }
         };
-        let y = self.wo.forward(&result.out);
+        let y = self.wo.forward_ws(&result.out, ws);
         self.saved = Some(SavedForward { q, k, v, out_pre: result.out, cache: result.cache });
         y
     }
@@ -104,52 +126,62 @@ impl MultiHeadAttention {
         mode: &AttentionMode<'_>,
         want_bias_grad: bool,
     ) -> (Tensor, Option<BiasGrad>) {
-        let saved = self.saved.take().expect("MHA backward before forward");
-        let dout = self.wo.backward(dy);
+        self.backward_ws(dy, mode, want_bias_grad, &mut Workspace::new())
+    }
+
+    /// [`MultiHeadAttention::backward`] through `ws`; consumes the saved
+    /// forward state and returns all of its buffers to the arena. The
+    /// returned `dx` (and bias grad, if any) belong to `ws` — the caller
+    /// gives them back once consumed.
+    pub fn backward_ws(
+        &mut self,
+        dy: &Tensor,
+        mode: &AttentionMode<'_>,
+        want_bias_grad: bool,
+        ws: &mut Workspace,
+    ) -> (Tensor, Option<BiasGrad>) {
+        let SavedForward { q, k, v, out_pre, cache } =
+            self.saved.take().expect("MHA backward before forward");
+        let dout = self.wo.backward_ws(dy, ws);
         let grads = match mode {
-            AttentionMode::Dense { .. } => attention::dense_backward(
-                &saved.q,
-                &saved.k,
-                &saved.v,
-                self.heads,
-                &saved.cache,
-                &dout,
-                want_bias_grad,
-            ),
-            AttentionMode::Flash => attention::flash_backward(
-                &saved.q,
-                &saved.k,
-                &saved.v,
-                self.heads,
-                &saved.cache,
-                &saved.out_pre,
-                &dout,
-            ),
-            AttentionMode::Sparse { mask, .. } => attention::sparse_backward(
-                &saved.q,
-                &saved.k,
-                &saved.v,
+            AttentionMode::Dense { .. } => {
+                attention::dense_backward_ws(&q, &k, &v, self.heads, cache, &dout, want_bias_grad, ws)
+            }
+            AttentionMode::Flash => {
+                attention::flash_backward_ws(&q, &k, &v, self.heads, cache, &out_pre, &dout, ws)
+            }
+            AttentionMode::Sparse { mask, .. } => attention::sparse_backward_ws(
+                &q,
+                &k,
+                &v,
                 self.heads,
                 mask,
-                &saved.cache,
+                cache,
                 &dout,
                 want_bias_grad,
+                ws,
             ),
-            AttentionMode::Performer { features, seed } => attention::performer_backward(
-                &saved.q,
-                &saved.k,
-                &saved.v,
-                self.heads,
-                *features,
-                *seed,
-                &saved.cache,
-                &dout,
+            AttentionMode::Performer { features, seed } => attention::performer_backward_ws(
+                &q, &k, &v, self.heads, *features, *seed, cache, &dout, ws,
             ),
         };
-        let mut dx = self.wq.backward(&grads.dq);
-        torchgt_tensor::ops::add_inplace(&mut dx, &self.wk.backward(&grads.dk));
-        torchgt_tensor::ops::add_inplace(&mut dx, &self.wv.backward(&grads.dv));
-        (dx, grads.dbias)
+        ws.give(dout);
+        ws.give(q);
+        ws.give(k);
+        ws.give(v);
+        ws.give(out_pre);
+        let AttnGrads { dq, dk, dv, dbias } = grads;
+        let mut dx = self.wq.backward_ws(&dq, ws);
+        let dxk = self.wk.backward_ws(&dk, ws);
+        torchgt_tensor::ops::add_inplace(&mut dx, &dxk);
+        ws.give(dxk);
+        let dxv = self.wv.backward_ws(&dv, ws);
+        torchgt_tensor::ops::add_inplace(&mut dx, &dxv);
+        ws.give(dxv);
+        ws.give(dq);
+        ws.give(dk);
+        ws.give(dv);
+        (dx, dbias)
     }
 
     /// Mutable parameter access.

@@ -17,7 +17,7 @@ use torchgt_graph::{CsrGraph, GraphDataset, GraphLabel};
 use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
 use torchgt_obs::{RecorderHandle, SpanGuard};
 use torchgt_sparse::topology_mask;
-use torchgt_tensor::{Adam, Optimizer, Tensor};
+use torchgt_tensor::{Adam, Optimizer, Tensor, Workspace};
 
 /// One packed batch, ready to train on.
 struct PackedBatch {
@@ -39,6 +39,8 @@ pub struct BatchedGraphTrainer {
     test_batches: Vec<PackedBatch>,
     scheduler: InterleaveScheduler,
     epoch: usize,
+    /// Scratch arena reused across batches and epochs (not checkpointed).
+    ws: Workspace,
     recorder: RecorderHandle,
 }
 
@@ -98,6 +100,7 @@ impl BatchedGraphTrainer {
             batches: build_batches(dataset, &train_idx, batch_size),
             test_batches: build_batches(dataset, &test_idx, batch_size),
             epoch: 0,
+            ws: Workspace::new(),
             recorder: torchgt_obs::noop(),
             model,
             cfg,
@@ -118,7 +121,7 @@ impl BatchedGraphTrainer {
         };
         let pattern = Pattern::Sparse(mask);
         let sb = SequenceBatch { features: &b.features, graph: &b.graph, spd: None };
-        let token_logits = self.model.forward(&sb, pattern);
+        let token_logits = self.model.forward_ws(&sb, pattern, &mut self.ws);
         let cols = token_logits.cols();
         let pooled = segment_mean(token_logits.data(), cols, &b.segments);
         let glogits = Tensor::from_vec(b.segments.len(), cols, pooled);
@@ -152,9 +155,11 @@ impl BatchedGraphTrainer {
                 token_logits.rows(),
             );
             let dtokens = Tensor::from_vec(token_logits.rows(), cols, dtokens);
-            self.model.backward(&sb, pattern, &dtokens);
+            self.model.backward_ws(&sb, pattern, &dtokens, &mut self.ws);
+            self.ws.give(dtokens);
             self.opt.step(&mut self.model.params_mut());
         }
+        self.ws.give(token_logits);
         (total_loss / count as f32, metric / count as f64)
     }
 
@@ -168,6 +173,8 @@ impl BatchedGraphTrainer {
         let t0 = Instant::now();
         let _epoch_span = SpanGuard::new(&self.recorder, "train_epoch");
         self.model.set_training(true);
+        let on = self.recorder.enabled();
+        let ws0 = on.then(|| self.ws.stats());
         let mut total_loss = 0.0f32;
         let mut sparse_iters = 0usize;
         let mut full_iters = 0usize;
@@ -204,8 +211,15 @@ impl BatchedGraphTrainer {
             full_iters,
             beta_thre: 0.0,
         };
-        if self.recorder.enabled() {
+        if on {
             self.recorder.counter_add("iterations", self.batches.len() as u64);
+            // Epoch-granular memory discipline (this trainer has no per-step
+            // traces): fresh arena bytes and pool hits over the whole epoch.
+            let ws1 = self.ws.stats();
+            let ws0 = ws0.expect("stats snapshot taken when recorder is on");
+            self.recorder.gauge_set("alloc_bytes", (ws1.alloc_bytes - ws0.alloc_bytes) as f64);
+            self.recorder
+                .gauge_set("arena_reuse_hits", (ws1.reuse_hits - ws0.reuse_hits) as f64);
         }
         self.epoch += 1;
         stats
@@ -234,10 +248,11 @@ impl BatchedGraphTrainer {
         let b = &batch_store[bi];
         let sb = SequenceBatch { features: &b.features, graph: &b.graph, spd: None };
         let pattern = Pattern::Sparse(&b.sparse_mask);
-        let token_logits = self.model.forward(&sb, pattern);
+        let token_logits = self.model.forward_ws(&sb, pattern, &mut self.ws);
         let cols = token_logits.cols();
         let pooled = segment_mean(token_logits.data(), cols, &b.segments);
         let glogits = Tensor::from_vec(b.segments.len(), cols, pooled);
+        self.ws.give(token_logits);
         let mut metric = 0.0f64;
         for (s, &label) in b.labels.iter().enumerate() {
             let row = glogits.slice_rows(s, s + 1);

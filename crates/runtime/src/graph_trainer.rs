@@ -15,7 +15,7 @@ use torchgt_perf::{all_to_all_traffic, iteration_cost, GpuSpec, ModelShape, Step
 use torchgt_sparse::{access_profile, topology_mask, AccessProfile, LayoutKind};
 use torchgt_tensor::bf16::apply_precision;
 use torchgt_tensor::ops;
-use torchgt_tensor::{Adam, Optimizer, Tensor};
+use torchgt_tensor::{Adam, Optimizer, Tensor, Workspace};
 
 /// Sequences longer than this skip the `O(s²)` SPD matrix (dense bias).
 const SPD_LIMIT: usize = 512;
@@ -49,6 +49,9 @@ pub struct GraphTrainer {
     /// Wall-clock seconds spent preparing masks/SPD (the §IV-E cost).
     pub preprocess_seconds: f64,
     epoch: usize,
+    /// Scratch arena shared across steps and epochs (not checkpointed: it
+    /// starts cold after a restore, which only costs one warm-up step).
+    ws: Workspace,
     recorder: RecorderHandle,
     /// Preprocess seconds not yet attributed to an epoch trace.
     pending_preprocess_s: f64,
@@ -108,6 +111,7 @@ impl GraphTrainer {
             samples,
             preprocess_seconds,
             epoch: 0,
+            ws: Workspace::new(),
             recorder: torchgt_obs::noop(),
             pending_preprocess_s: preprocess_seconds,
             model,
@@ -153,8 +157,11 @@ impl GraphTrainer {
             graph: &sample.graph,
             spd: sample.spd.as_deref(),
         };
-        let token_logits = self.model.forward(&batch, pattern);
-        ops::mean_rows(&token_logits)
+        let token_logits = self.model.forward_ws(&batch, pattern, &mut self.ws);
+        let mut pooled = self.ws.take(1, token_logits.cols());
+        ops::mean_rows_into(&token_logits, &mut pooled);
+        self.ws.give(token_logits);
+        pooled
     }
 
     fn backward_sample(&mut self, idx: usize, decision: Decision, dgraph_logits: &Tensor) {
@@ -171,14 +178,15 @@ impl GraphTrainer {
             spd: sample.spd.as_deref(),
         };
         // Mean-pool backward: broadcast / n.
-        let mut dtokens = Tensor::zeros(n, dgraph_logits.cols());
+        let mut dtokens = self.ws.take(n, dgraph_logits.cols());
         let inv = 1.0 / n as f32;
         for r in 0..n {
             for c in 0..dgraph_logits.cols() {
                 dtokens.set(r, c, dgraph_logits.get(0, c) * inv);
             }
         }
-        self.model.backward(&batch, pattern, &dtokens);
+        self.model.backward_ws(&batch, pattern, &dtokens, &mut self.ws);
+        self.ws.give(dtokens);
     }
 
     /// Run one epoch over the training split.
@@ -201,16 +209,21 @@ impl GraphTrainer {
                 Decision::Sparse => sparse_iters += 1,
                 Decision::Full => full_iters += 1,
             }
+            let ws0 = on.then(|| self.ws.stats());
             let mut mark = on.then(Instant::now);
             let mut glogits = self.forward_sample(idx, decision);
             apply_precision(&mut glogits, self.cfg.precision);
             let (l, dl) = match self.samples[idx].label {
-                GraphLabel::Class(c) => loss::softmax_cross_entropy(&glogits, &[c]),
+                GraphLabel::Class(c) => {
+                    loss::softmax_cross_entropy_ws(&glogits, &[c], &mut self.ws)
+                }
                 GraphLabel::Value(v) => loss::mae_loss(&glogits, &[v]),
             };
             total_loss += l;
             let forward_s = lap(&mut mark);
             self.backward_sample(idx, decision, &dl);
+            self.ws.give(dl);
+            self.ws.give(glogits);
             let backward_s = lap(&mut mark);
             self.opt.step(&mut self.model.params_mut());
             let optim_s = lap(&mut mark);
@@ -229,6 +242,12 @@ impl GraphTrainer {
                 fwd_total += forward_s;
                 bwd_total += backward_s;
                 opt_total += optim_s;
+                let ws1 = self.ws.stats();
+                let ws0 = ws0.expect("stats snapshot taken when recorder is on");
+                self.recorder
+                    .gauge_set("alloc_bytes", (ws1.alloc_bytes - ws0.alloc_bytes) as f64);
+                self.recorder
+                    .gauge_set("arena_reuse_hits", (ws1.reuse_hits - ws0.reuse_hits) as f64);
                 let traffic = all_to_all_traffic(&spec);
                 self.recorder.collective(
                     "all_to_all",
@@ -318,6 +337,7 @@ impl GraphTrainer {
                         acc -= (glogits.get(0, 0) - v).abs() as f64;
                     }
                 }
+                trainer.ws.give(glogits);
             }
             acc / idxs.len() as f64
         };

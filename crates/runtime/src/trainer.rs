@@ -15,7 +15,7 @@ use torchgt_obs::{EpochTrace, Event, RecorderHandle, SpanGuard, StepTrace};
 use torchgt_perf::{all_to_all_traffic, iteration_cost, GpuSpec, ModelShape, StepSpec};
 use torchgt_sparse::{access_profile, reform_recorded, AccessProfile, LayoutKind, ReformConfig};
 use torchgt_tensor::bf16::{apply_precision, bf16_round};
-use torchgt_tensor::{Adam, Optimizer, Precision};
+use torchgt_tensor::{Adam, Optimizer, Precision, Workspace};
 
 /// Elapsed seconds since the mark, re-arming it; 0 when timing is off
 /// (disabled recorder — no clock reads at all).
@@ -103,6 +103,11 @@ pub struct NodeTrainer {
     current_beta: f64,
     sub_block: usize,
     epoch: usize,
+    /// Scratch-tensor arena shared by every forward/backward/loss call.
+    /// Lives outside [`torchgt_ckpt::TrainerState`], so it survives a
+    /// checkpoint restore (the pools merely start cold after a crash —
+    /// numerics are unaffected, only the first post-restore step allocates).
+    ws: Workspace,
     recorder: RecorderHandle,
     /// Preprocess seconds not yet attributed to an epoch trace (initial
     /// dataset preparation, then mid-training reformation rebuilds).
@@ -146,6 +151,7 @@ impl NodeTrainer {
             current_beta,
             sub_block,
             epoch: 0,
+            ws: Workspace::new(),
             model,
             opt: Adam::with_lr(cfg.lr),
             prepared,
@@ -352,14 +358,21 @@ impl NodeTrainer {
             };
             let batch =
                 SequenceBatch { features: &seq.features, graph: &seq.graph, spd: None };
+            let ws0 = on.then(|| self.ws.stats());
             let mut mark = on.then(Instant::now);
-            let mut logits = self.model.forward(&batch, pattern);
+            let mut logits = self.model.forward_ws(&batch, pattern, &mut self.ws);
             apply_precision(&mut logits, self.cfg.precision);
-            let (l, dlogits) =
-                loss::masked_softmax_cross_entropy(&logits, &seq.labels, &self.train_pos[si]);
+            let (l, dlogits) = loss::masked_softmax_cross_entropy_ws(
+                &logits,
+                &seq.labels,
+                &self.train_pos[si],
+                &mut self.ws,
+            );
             total_loss += l;
             let forward_s = lap(&mut mark);
-            self.model.backward(&batch, pattern, &dlogits);
+            self.model.backward_ws(&batch, pattern, &dlogits, &mut self.ws);
+            self.ws.give(dlogits);
+            self.ws.give(logits);
             let backward_s = lap(&mut mark);
             if self.cfg.warmup_steps > 0 {
                 let schedule = torchgt_tensor::optim::WarmupSchedule {
@@ -383,6 +396,15 @@ impl NodeTrainer {
                 fwd_total += forward_s;
                 bwd_total += backward_s;
                 opt_total += optim_s;
+                // Memory discipline of this step: fresh arena allocations and
+                // pool hits (steady state shows alloc_bytes == 0 once the
+                // pools are warm).
+                let ws1 = self.ws.stats();
+                let ws0 = ws0.expect("stats snapshot taken when recorder is on");
+                self.recorder
+                    .gauge_set("alloc_bytes", (ws1.alloc_bytes - ws0.alloc_bytes) as f64);
+                self.recorder
+                    .gauge_set("arena_reuse_hits", (ws1.reuse_hits - ws0.reuse_hits) as f64);
                 // The §III-C sequence↔head relayouts this iteration implies
                 // on the simulated cluster.
                 let traffic = all_to_all_traffic(&self.step_spec(seq_len, profile, decision));
@@ -500,7 +522,7 @@ impl NodeTrainer {
             };
             let batch =
                 SequenceBatch { features: &seq.features, graph: &seq.graph, spd: None };
-            let mut logits = self.model.forward(&batch, pattern);
+            let mut logits = self.model.forward_ws(&batch, pattern, &mut self.ws);
             apply_precision(&mut logits, self.cfg.precision);
             let acc_of = |positions: &[u32]| {
                 loss::accuracy(&logits, &seq.labels, Some(positions))
@@ -511,6 +533,7 @@ impl NodeTrainer {
             test_hits +=
                 (acc_of(&self.test_pos[si]) * self.test_pos[si].len() as f64).round() as usize;
             test_total += self.test_pos[si].len();
+            self.ws.give(logits);
         }
         self.model.set_training(true);
         (

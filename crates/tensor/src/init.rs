@@ -20,21 +20,32 @@ pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Tensor 
 
 /// Gaussian initialisation `N(mean, std²)` via Box–Muller.
 pub fn normal(rows: usize, cols: usize, mean: f32, std: f32, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    normal_into(mean, std, seed, &mut t);
+    t
+}
+
+/// Fill an existing tensor with `N(mean, std²)` draws — same sequence as
+/// [`normal`] at equal seed, but reusing the caller's buffer (e.g. a
+/// workspace checkout).
+pub fn normal_into(mean: f32, std: f32, seed: u64, out: &mut Tensor) {
     let mut r = rng(seed);
-    let n = rows * cols;
-    let mut data = Vec::with_capacity(n);
-    while data.len() < n {
+    let n = out.len();
+    let data = out.data_mut();
+    let mut i = 0;
+    while i < n {
         let u1: f32 = r.gen_range(f32::EPSILON..1.0);
         let u2: f32 = r.gen_range(0.0..1.0);
         let mag = (-2.0 * u1.ln()).sqrt();
         let z0 = mag * (2.0 * std::f32::consts::PI * u2).cos();
         let z1 = mag * (2.0 * std::f32::consts::PI * u2).sin();
-        data.push(mean + std * z0);
-        if data.len() < n {
-            data.push(mean + std * z1);
+        data[i] = mean + std * z0;
+        i += 1;
+        if i < n {
+            data[i] = mean + std * z1;
+            i += 1;
         }
     }
-    Tensor::from_vec(rows, cols, data)
 }
 
 #[cfg(test)]

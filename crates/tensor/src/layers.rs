@@ -9,15 +9,32 @@ use crate::ops;
 use crate::param::Param;
 use crate::rng::{derive_seed, rng};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use torchgt_compat::rng::Rng;
 
 /// Common interface over trainable layers.
+///
+/// The `_ws` variants are the allocation-free hot path: outputs are checked
+/// out of the caller's [`Workspace`] (the caller gives them back when done)
+/// and intermediates are recycled through it. The plain `forward`/`backward`
+/// entry points delegate to the `_ws` implementations through a throwaway
+/// arena, so both paths run identical arithmetic.
 pub trait Layer {
     /// Run the layer forward, caching state for backward.
     fn forward(&mut self, x: &Tensor) -> Tensor;
     /// Propagate the upstream gradient, accumulating parameter gradients, and
     /// return the gradient with respect to the input.
     fn backward(&mut self, dy: &Tensor) -> Tensor;
+    /// [`Layer::forward`] drawing its output and scratch from `ws`.
+    fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let _ = ws;
+        self.forward(x)
+    }
+    /// [`Layer::backward`] drawing its output and scratch from `ws`.
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
+        let _ = ws;
+        self.backward(dy)
+    }
     /// Mutable access to the layer's parameters (possibly empty).
     fn params_mut(&mut self) -> Vec<&mut Param>;
     /// Clear all accumulated gradients.
@@ -65,16 +82,38 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.cols(), self.in_dim(), "Linear input dim mismatch");
-        self.cached_x = Some(x.clone());
-        ops::add_row_broadcast(&ops::matmul(x, &self.w.value), &self.b.value)
+        self.forward_ws(x, &mut Workspace::new())
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_ws(dy, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.cols(), self.in_dim(), "Linear input dim mismatch");
+        match &mut self.cached_x {
+            Some(c) if c.shape() == x.shape() => ops::copy_into(x, c),
+            slot => *slot = Some(x.clone()),
+        }
+        let mut out = ws.take(x.rows(), self.out_dim());
+        ops::matmul_into(x, &self.w.value, &mut out);
+        ops::add_row_broadcast_inplace(&mut out, &self.b.value);
+        out
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self.cached_x.as_ref().expect("Linear backward before forward");
-        self.w.accumulate(&ops::matmul_at(x, dy));
-        self.b.accumulate(&ops::col_sum(dy));
-        ops::matmul_bt(dy, &self.w.value)
+        let mut dw = ws.take(x.cols(), dy.cols());
+        ops::matmul_at_into(x, dy, &mut dw);
+        self.w.accumulate(&dw);
+        ws.give(dw);
+        let mut db = ws.take(1, dy.cols());
+        ops::col_sum_into(dy, &mut db);
+        self.b.accumulate(&db);
+        ws.give(db);
+        let mut dx = ws.take(dy.rows(), self.w.value.rows());
+        ops::matmul_bt_into(dy, &self.w.value, &mut dx);
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -109,12 +148,25 @@ impl LayerNorm {
 
 impl Layer for LayerNorm {
     fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_ws(x, &mut Workspace::new())
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_ws(dy, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let (rows, cols) = x.shape();
         assert_eq!(cols, self.gamma.value.cols(), "LayerNorm dim mismatch");
-        let mut xhat = Tensor::zeros(rows, cols);
+        // Recycle the layer-owned x̂ cache when the shape is stable; every
+        // element is overwritten below.
+        let mut xhat = match self.cached_xhat.take() {
+            Some(t) if t.shape() == (rows, cols) => t,
+            _ => Tensor::zeros(rows, cols),
+        };
         self.cached_inv_std.clear();
         self.cached_inv_std.reserve(rows);
-        let mut out = Tensor::zeros(rows, cols);
+        let mut out = ws.take(rows, cols);
         for r in 0..rows {
             let row = x.row(r);
             let mean = row.iter().sum::<f32>() / cols as f32;
@@ -131,13 +183,13 @@ impl Layer for LayerNorm {
         out
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let xhat = self.cached_xhat.as_ref().expect("LayerNorm backward before forward");
         let (rows, cols) = dy.shape();
         assert_eq!(xhat.shape(), dy.shape());
         // Parameter grads.
-        let mut dgamma = Tensor::zeros(1, cols);
-        let mut dbeta = Tensor::zeros(1, cols);
+        let mut dgamma = ws.take(1, cols);
+        let mut dbeta = ws.take(1, cols);
         for r in 0..rows {
             for c in 0..cols {
                 dgamma.data_mut()[c] += dy.get(r, c) * xhat.get(r, c);
@@ -146,8 +198,11 @@ impl Layer for LayerNorm {
         }
         self.gamma.accumulate(&dgamma);
         self.beta.accumulate(&dbeta);
+        ws.give(dgamma);
+        ws.give(dbeta);
         // Input grad: standard layernorm backward per row.
-        let mut dx = Tensor::zeros(rows, cols);
+        let xhat = self.cached_xhat.as_ref().expect("LayerNorm backward before forward");
+        let mut dx = ws.take(rows, cols);
         let g = &self.gamma.value;
         let n = cols as f32;
         for r in 0..rows {
@@ -203,17 +258,33 @@ impl Gelu {
 
 impl Layer for Gelu {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.cached_x = Some(x.clone());
-        let data = x.data().iter().map(|&v| gelu_scalar(v)).collect();
-        Tensor::from_vec(x.rows(), x.cols(), data)
+        self.forward_ws(x, &mut Workspace::new())
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_ws(dy, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        match &mut self.cached_x {
+            Some(c) if c.shape() == x.shape() => ops::copy_into(x, c),
+            slot => *slot = Some(x.clone()),
+        }
+        let mut out = ws.take(x.rows(), x.cols());
+        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+            *o = gelu_scalar(v);
+        }
+        out
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self.cached_x.as_ref().expect("Gelu backward before forward");
         assert_eq!(x.shape(), dy.shape());
-        let data =
-            x.data().iter().zip(dy.data()).map(|(&v, &g)| gelu_grad_scalar(v) * g).collect();
-        Tensor::from_vec(x.rows(), x.cols(), data)
+        let mut out = ws.take(x.rows(), x.cols());
+        for ((o, &v), &g) in out.data_mut().iter_mut().zip(x.data()).zip(dy.data()) {
+            *o = gelu_grad_scalar(v) * g;
+        }
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -236,18 +307,32 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
-        let data = x.data().iter().map(|&v| v.max(0.0)).collect();
-        self.cached_mask = Some(mask);
-        Tensor::from_vec(x.rows(), x.cols(), data)
+        self.forward_ws(x, &mut Workspace::new())
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_ws(dy, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mask = self.cached_mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(x.data().iter().map(|&v| v > 0.0));
+        let mut out = ws.take(x.rows(), x.cols());
+        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+            *o = v.max(0.0);
+        }
+        out
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.cached_mask.as_ref().expect("Relu backward before forward");
         assert_eq!(mask.len(), dy.len());
-        let data =
-            dy.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
-        Tensor::from_vec(dy.rows(), dy.cols(), data)
+        let mut out = ws.take(dy.rows(), dy.cols());
+        for ((o, &g), &m) in out.data_mut().iter_mut().zip(dy.data()).zip(mask) {
+            *o = if m { g } else { 0.0 };
+        }
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -290,29 +375,46 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_ws(x, &mut Workspace::new())
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_ws(dy, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         if !self.training || self.p == 0.0 {
             self.cached_mask = None;
-            return x.clone();
+            let mut out = ws.take(x.rows(), x.cols());
+            ops::copy_into(x, &mut out);
+            return out;
         }
         self.calls += 1;
         let mut r = rng(derive_seed(self.seed, self.calls));
         let keep = 1.0 - self.p;
         let inv_keep = 1.0 / keep;
-        let mask: Vec<f32> =
-            (0..x.len()).map(|_| if r.gen::<f32>() < keep { inv_keep } else { 0.0 }).collect();
-        let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        let mut mask = self.cached_mask.take().unwrap_or_default();
+        mask.clear();
+        mask.extend((0..x.len()).map(|_| if r.gen::<f32>() < keep { inv_keep } else { 0.0 }));
+        let mut out = ws.take(x.rows(), x.cols());
+        for ((o, &v), &m) in out.data_mut().iter_mut().zip(x.data()).zip(&mask) {
+            *o = v * m;
+        }
         self.cached_mask = Some(mask);
-        Tensor::from_vec(x.rows(), x.cols(), data)
+        out
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut out = ws.take(dy.rows(), dy.cols());
         match &self.cached_mask {
-            None => dy.clone(),
+            None => ops::copy_into(dy, &mut out),
             Some(mask) => {
-                let data = dy.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
-                Tensor::from_vec(dy.rows(), dy.cols(), data)
+                for ((o, &g), &m) in out.data_mut().iter_mut().zip(dy.data()).zip(mask) {
+                    *o = g * m;
+                }
             }
         }
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -343,20 +445,38 @@ impl Embedding {
     /// Look up a batch of indices (clamped to the table size, which
     /// implements the "max degree bucket" behaviour of Graphormer).
     pub fn forward_indices(&mut self, indices: &[usize]) -> Tensor {
+        self.forward_indices_ws(indices, &mut Workspace::new())
+    }
+
+    /// [`Embedding::forward_indices`] drawing its output from `ws` and
+    /// recycling the clamped-index cache.
+    pub fn forward_indices_ws(&mut self, indices: &[usize], ws: &mut Workspace) -> Tensor {
         let vocab = self.table.value.rows();
-        let clamped: Vec<usize> = indices.iter().map(|&i| i.min(vocab - 1)).collect();
-        let out = self.table.value.gather_rows(&clamped);
+        let mut clamped = self.cached_indices.take().unwrap_or_default();
+        clamped.clear();
+        clamped.extend(indices.iter().map(|&i| i.min(vocab - 1)));
+        let mut out = ws.take(indices.len(), self.table.value.cols());
+        for (dst, &src) in clamped.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.table.value.row(src));
+        }
         self.cached_indices = Some(clamped);
         out
     }
 
     /// Backward for [`Embedding::forward_indices`].
     pub fn backward_indices(&mut self, dy: &Tensor) {
-        let idx = self.cached_indices.clone().expect("Embedding backward before forward");
+        self.backward_indices_ws(dy, &mut Workspace::new());
+    }
+
+    /// [`Embedding::backward_indices`] building the scatter buffer in `ws`.
+    pub fn backward_indices_ws(&mut self, dy: &Tensor, ws: &mut Workspace) {
+        let idx = self.cached_indices.take().expect("Embedding backward before forward");
         assert_eq!(idx.len(), dy.rows());
-        let mut g = Tensor::zeros(self.table.value.rows(), self.table.value.cols());
+        let mut g = ws.take(self.table.value.rows(), self.table.value.cols());
         g.scatter_add_rows(&idx, dy);
         self.table.accumulate(&g);
+        ws.give(g);
+        self.cached_indices = Some(idx);
     }
 }
 
@@ -402,15 +522,29 @@ impl FeedForward {
 
 impl Layer for FeedForward {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let h = self.fc1.forward(x);
-        let a = self.act.forward(&h);
-        self.fc2.forward(&a)
+        self.forward_ws(x, &mut Workspace::new())
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let da = self.fc2.backward(dy);
-        let dh = self.act.backward(&da);
-        self.fc1.backward(&dh)
+        self.backward_ws(dy, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let h = self.fc1.forward_ws(x, ws);
+        let a = self.act.forward_ws(&h, ws);
+        ws.give(h);
+        let out = self.fc2.forward_ws(&a, ws);
+        ws.give(a);
+        out
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
+        let da = self.fc2.backward_ws(dy, ws);
+        let dh = self.act.backward_ws(&da, ws);
+        ws.give(da);
+        let dx = self.fc1.backward_ws(&dh, ws);
+        ws.give(dh);
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -615,6 +749,42 @@ mod tests {
             1e-2,
         );
         assert!(max_abs_diff(&dx, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn ws_path_matches_allocating_path_bitwise() {
+        let x = sample_input();
+        let dy = loss_weights(4, 6);
+        let mut ws = Workspace::new();
+        // Pre-dirty the arena so reuse (not fresh zeros) is exercised.
+        let mut d = ws.take(4, 6);
+        d.data_mut().fill(f32::NAN);
+        ws.give(d);
+        let mut a = FeedForward::new(6, 12, 77);
+        let mut b = a.clone();
+        let ya = a.forward(&x);
+        let yb = b.forward_ws(&x, &mut ws);
+        assert_eq!(ya.data(), yb.data());
+        let dxa = a.backward(&dy);
+        let dxb = b.backward_ws(&dy, &mut ws);
+        assert_eq!(dxa.data(), dxb.data());
+        assert_eq!(a.fc1.w.grad.data(), b.fc1.w.grad.data());
+        assert_eq!(a.fc2.b.grad.data(), b.fc2.b.grad.data());
+    }
+
+    #[test]
+    fn dropout_ws_path_draws_identical_masks() {
+        let x = sample_input();
+        let mut a = Dropout::new(0.4, 9);
+        let mut b = Dropout::new(0.4, 9);
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let ya = a.forward(&x);
+            let yb = b.forward_ws(&x, &mut ws);
+            assert_eq!(ya.data(), yb.data());
+            ws.give(yb);
+        }
+        assert_eq!(a.calls(), b.calls());
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * learnable parameters with gradient buffers and an [`Adam`] / [`Sgd`]
 //!   optimizer,
 //! * emulated bfloat16 rounding ([`bf16`]) used to reproduce the paper's
-//!   FP32-vs-BF16 accuracy comparison (Table VII).
+//!   FP32-vs-BF16 accuracy comparison (Table VII),
+//! * an allocation-free execution engine: a [`Workspace`] scratch-buffer
+//!   arena, `_into` output-parameter kernels in [`ops`], and zero-copy
+//!   [`TensorView`] column blocks over packed multi-head tensors.
 //!
 //! Everything is seeded explicitly, so training runs are reproducible
 //! bit-for-bit on the same machine.
@@ -28,12 +31,16 @@ pub mod optim;
 pub mod param;
 pub mod rng;
 pub mod tensor;
+pub mod view;
+pub mod workspace;
 
 pub use bf16::{bf16_round, Precision};
 pub use layers::{Dropout, Embedding, FeedForward, Gelu, LayerNorm, Linear, Relu};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use param::Param;
 pub use tensor::Tensor;
+pub use view::{MatRef, TensorView};
+pub use workspace::{Workspace, WorkspaceStats};
 
 /// Numerical-gradient checking utilities shared by the unit tests of this
 /// crate and by downstream model tests.

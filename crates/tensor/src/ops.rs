@@ -1,49 +1,63 @@
 //! Free-standing tensor operations.
 //!
-//! All operations allocate their output; in-place variants carry an `_inplace`
-//! suffix. Matmuls are parallelised over output rows with rayon, matching the
-//! data-parallel style recommended by the HPC guides for this project.
+//! Every operation comes in two forms: an `_into` kernel that writes a
+//! caller-provided output tensor (the allocation-free hot path, fed by
+//! [`crate::workspace::Workspace`] buffers and accepting borrowed
+//! [`MatRef`] views), and a thin allocating wrapper with the original name
+//! that zero-allocates an output and delegates. In-place variants carry an
+//! `_inplace` suffix. Matmuls are parallelised over output rows, matching
+//! the data-parallel style recommended by the HPC guides for this project.
+//!
+//! The `_into` kernels fully define the output (accumulating kernels zero
+//! their rows first), so dirty recycled buffers are safe, and they do not
+//! skip zero multiplicands — `0 · NaN` propagates as NaN instead of being
+//! silently swallowed.
 
 use crate::tensor::Tensor;
+use crate::view::MatRef;
 use torchgt_compat::par::prelude::*;
 
 /// Threshold (in output elements) above which matmul rows are processed in
 /// parallel. Tiny matrices are cheaper sequentially.
 const PAR_THRESHOLD: usize = 16 * 1024;
 
-/// `C = A · B`.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+/// `out = A · B`. Fully overwrites `out`, which must be `a.rows × b.cols`.
+pub fn matmul_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = Tensor::zeros(m, n);
-    let bd = b.data();
+    assert_eq!(out.shape(), (m, n), "matmul_into output shape mismatch");
     let kernel = |(r, out_row): (usize, &mut [f32])| {
+        out_row.fill(0.0);
         let a_row = a.row(r);
         for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &bd[p * n..(p + 1) * n];
+            let b_row = b.row(p);
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
         }
     };
     if m * n * k >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+        out.data_mut().par_chunks_mut(n.max(1)).enumerate().for_each(kernel);
     } else {
-        out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+        out.data_mut().chunks_mut(n.max(1)).enumerate().for_each(kernel);
     }
+}
+
+/// `C = A · B`.
+pub fn matmul(a: &impl MatRef, b: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out);
     out
 }
 
-/// `C = A · Bᵀ` without materialising the transpose.
-pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+/// `out = A · Bᵀ` without materialising the transpose. Fully overwrites
+/// `out`, which must be `a.rows × b.rows`.
+pub fn matmul_bt_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.cols(), b.cols(), "matmul_bt inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut out = Tensor::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "matmul_bt_into output shape mismatch");
     let kernel = |(r, out_row): (usize, &mut [f32])| {
         let a_row = a.row(r);
         for (c, o) in out_row.iter_mut().enumerate() {
@@ -56,34 +70,51 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m * n * k >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+        out.data_mut().par_chunks_mut(n.max(1)).enumerate().for_each(kernel);
     } else {
-        out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+        out.data_mut().chunks_mut(n.max(1)).enumerate().for_each(kernel);
     }
+}
+
+/// `C = A · Bᵀ` without materialising the transpose.
+pub fn matmul_bt(a: &impl MatRef, b: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.rows());
+    matmul_bt_into(a, b, &mut out);
     out
 }
 
-/// `C = Aᵀ · B` without materialising the transpose.
-pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+/// `out = Aᵀ · B` without materialising the transpose. Fully overwrites
+/// `out`, which must be `a.cols × b.cols`.
+///
+/// Each output row accumulates its `k` contributions in ascending-`p` order
+/// (the same order the rank-1 formulation used), so results are bit-stable
+/// while the rows parallelise like the other two matmuls.
+pub fn matmul_at_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.rows(), b.rows(), "matmul_at inner dimension mismatch");
     let (k, m) = a.shape();
     let n = b.cols();
-    let mut out = Tensor::zeros(m, n);
-    // Accumulate rank-1 updates; sequential over k, the inner loops are cheap
-    // relative to the other matmuls in a transformer layer.
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (r, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut out.data_mut()[r * n..(r + 1) * n];
+    assert_eq!(out.shape(), (m, n), "matmul_at_into output shape mismatch");
+    let kernel = |(r, out_row): (usize, &mut [f32])| {
+        out_row.fill(0.0);
+        for p in 0..k {
+            let av = a.row(p)[r];
+            let b_row = b.row(p);
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
         }
+    };
+    if m * n * k >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(n.max(1)).enumerate().for_each(kernel);
+    } else {
+        out.data_mut().chunks_mut(n.max(1)).enumerate().for_each(kernel);
     }
+}
+
+/// `C = Aᵀ · B` without materialising the transpose.
+pub fn matmul_at(a: &impl MatRef, b: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), b.cols());
+    matmul_at_into(a, b, &mut out);
     out
 }
 
@@ -99,47 +130,95 @@ pub fn transpose(a: &Tensor) -> Tensor {
     out
 }
 
-/// Element-wise `a + b`.
-pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+/// `out = a + b` element-wise.
+pub fn add_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.shape(), b.shape());
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
-    Tensor::from_vec(a.rows(), a.cols(), data)
+    assert_eq!(out.shape(), a.shape(), "add_into output shape mismatch");
+    for r in 0..a.rows() {
+        for ((o, &x), &y) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b.row(r)) {
+            *o = x + y;
+        }
+    }
+}
+
+/// Element-wise `a + b`.
+pub fn add(a: &impl MatRef, b: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), a.cols());
+    add_into(a, b, &mut out);
+    out
+}
+
+/// `out = a - b` element-wise.
+pub fn sub_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
+    assert_eq!(a.shape(), b.shape());
+    assert_eq!(out.shape(), a.shape(), "sub_into output shape mismatch");
+    for r in 0..a.rows() {
+        for ((o, &x), &y) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b.row(r)) {
+            *o = x - y;
+        }
+    }
 }
 
 /// Element-wise `a - b`.
-pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+pub fn sub(a: &impl MatRef, b: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), a.cols());
+    sub_into(a, b, &mut out);
+    out
+}
+
+/// `out = a ⊙ b` element-wise.
+pub fn mul_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.shape(), b.shape());
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
-    Tensor::from_vec(a.rows(), a.cols(), data)
+    assert_eq!(out.shape(), a.shape(), "mul_into output shape mismatch");
+    for r in 0..a.rows() {
+        for ((o, &x), &y) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b.row(r)) {
+            *o = x * y;
+        }
+    }
 }
 
 /// Element-wise `a * b` (Hadamard product).
-pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape());
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
-    Tensor::from_vec(a.rows(), a.cols(), data)
+pub fn mul(a: &impl MatRef, b: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), a.cols());
+    mul_into(a, b, &mut out);
+    out
 }
 
-/// `a += b` in place.
-pub fn add_inplace(a: &mut Tensor, b: &Tensor) {
+/// `a += b` in place. `b` may be a borrowed view.
+pub fn add_inplace(a: &mut Tensor, b: &impl MatRef) {
     assert_eq!(a.shape(), b.shape());
-    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
-        *x += y;
+    for r in 0..b.rows() {
+        for (x, y) in a.row_mut(r).iter_mut().zip(b.row(r)) {
+            *x += y;
+        }
     }
 }
 
 /// `a += s * b` in place (axpy).
-pub fn axpy_inplace(a: &mut Tensor, s: f32, b: &Tensor) {
+pub fn axpy_inplace(a: &mut Tensor, s: f32, b: &impl MatRef) {
     assert_eq!(a.shape(), b.shape());
-    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
-        *x += s * y;
+    for r in 0..b.rows() {
+        for (x, y) in a.row_mut(r).iter_mut().zip(b.row(r)) {
+            *x += s * y;
+        }
+    }
+}
+
+/// `out = s * a`.
+pub fn scale_into(a: &impl MatRef, s: f32, out: &mut Tensor) {
+    assert_eq!(out.shape(), a.shape(), "scale_into output shape mismatch");
+    for r in 0..a.rows() {
+        for (o, &x) in out.row_mut(r).iter_mut().zip(a.row(r)) {
+            *o = x * s;
+        }
     }
 }
 
 /// Scale by a constant.
-pub fn scale(a: &Tensor, s: f32) -> Tensor {
-    let data = a.data().iter().map(|x| x * s).collect();
-    Tensor::from_vec(a.rows(), a.cols(), data)
+pub fn scale(a: &impl MatRef, s: f32) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), a.cols());
+    scale_into(a, s, &mut out);
+    out
 }
 
 /// Scale in place.
@@ -147,68 +226,118 @@ pub fn scale_inplace(a: &mut Tensor, s: f32) {
     a.data_mut().iter_mut().for_each(|x| *x *= s);
 }
 
-/// Broadcast-add a `1 × n` row vector to every row of `a`.
-pub fn add_row_broadcast(a: &Tensor, row: &Tensor) -> Tensor {
+/// Copy `a` into `out` (shapes must match).
+pub fn copy_into(a: &impl MatRef, out: &mut Tensor) {
+    assert_eq!(out.shape(), a.shape(), "copy_into output shape mismatch");
+    for r in 0..a.rows() {
+        out.row_mut(r).copy_from_slice(a.row(r));
+    }
+}
+
+/// Broadcast-add a `1 × n` row vector to every row of `a`, in place.
+pub fn add_row_broadcast_inplace(a: &mut Tensor, row: &Tensor) {
     assert_eq!(row.rows(), 1);
     assert_eq!(row.cols(), a.cols());
-    let mut out = a.clone();
     for r in 0..a.rows() {
-        for (x, y) in out.row_mut(r).iter_mut().zip(row.data()) {
+        for (x, y) in a.row_mut(r).iter_mut().zip(row.data()) {
             *x += y;
         }
     }
+}
+
+/// Broadcast-add a `1 × n` row vector to every row of `a`.
+pub fn add_row_broadcast(a: &Tensor, row: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    add_row_broadcast_inplace(&mut out, row);
     out
+}
+
+/// The per-row numerically-stable softmax update shared by all softmax
+/// entry points: subtract the max, exponentiate, normalise.
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Row-wise softmax of `a` written into `out` (same shape).
+pub fn row_softmax_into(a: &impl MatRef, out: &mut Tensor) {
+    assert_eq!(out.shape(), a.shape(), "row_softmax_into output shape mismatch");
+    let (rows, cols) = a.shape();
+    let apply = |(r, row): (usize, &mut [f32])| {
+        row.copy_from_slice(a.row(r));
+        softmax_row(row);
+    };
+    if rows * cols >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(cols.max(1)).enumerate().for_each(apply);
+    } else {
+        out.data_mut().chunks_mut(cols.max(1)).enumerate().for_each(apply);
+    }
+}
+
+/// Row-wise softmax in place.
+pub fn row_softmax_inplace(a: &mut Tensor) {
+    let cols = a.cols();
+    if a.len() >= PAR_THRESHOLD {
+        a.data_mut().par_chunks_mut(cols.max(1)).for_each(softmax_row);
+    } else {
+        a.data_mut().chunks_mut(cols.max(1)).for_each(softmax_row);
+    }
 }
 
 /// Row-wise numerically-stable softmax.
 pub fn row_softmax(a: &Tensor) -> Tensor {
     let mut out = a.clone();
-    let cols = a.cols();
-    let apply = |row: &mut [f32]| {
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        if sum > 0.0 {
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-        }
-    };
-    if a.len() >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(cols).for_each(apply);
-    } else {
-        out.data_mut().chunks_mut(cols).for_each(apply);
-    }
+    row_softmax_inplace(&mut out);
     out
 }
 
-/// Backward of row-wise softmax: given `y = softmax(x)` and `dL/dy`, returns
-/// `dL/dx = y ⊙ (dy - rowsum(dy ⊙ y))`.
-pub fn row_softmax_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+/// Backward of row-wise softmax written into `out`: given `y = softmax(x)`
+/// and `dL/dy`, computes `dL/dx = y ⊙ (dy - rowsum(dy ⊙ y))`.
+pub fn row_softmax_backward_into(y: &impl MatRef, dy: &impl MatRef, out: &mut Tensor) {
     assert_eq!(y.shape(), dy.shape());
-    let mut out = Tensor::zeros(y.rows(), y.cols());
+    assert_eq!(out.shape(), y.shape(), "row_softmax_backward_into shape mismatch");
     for r in 0..y.rows() {
         let yr = y.row(r);
         let dyr = dy.row(r);
         let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
-        for c in 0..y.cols() {
-            out.set(r, c, yr[c] * (dyr[c] - dot));
+        for (c, o) in out.row_mut(r).iter_mut().enumerate() {
+            *o = yr[c] * (dyr[c] - dot);
         }
     }
+}
+
+/// Backward of row-wise softmax: given `y = softmax(x)` and `dL/dy`, returns
+/// `dL/dx = y ⊙ (dy - rowsum(dy ⊙ y))`.
+pub fn row_softmax_backward(y: &impl MatRef, dy: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(y.rows(), y.cols());
+    row_softmax_backward_into(y, dy, &mut out);
     out
 }
 
-/// Sum each column into a `1 × n` row vector (used for bias gradients).
-pub fn col_sum(a: &Tensor) -> Tensor {
-    let mut out = Tensor::zeros(1, a.cols());
+/// Sum each column of `a` into the `1 × n` row vector `out`.
+pub fn col_sum_into(a: &impl MatRef, out: &mut Tensor) {
+    assert_eq!(out.shape(), (1, a.cols()), "col_sum_into output shape mismatch");
+    out.fill_zero();
     for r in 0..a.rows() {
         for (o, v) in out.row_mut(0).iter_mut().zip(a.row(r)) {
             *o += v;
         }
     }
+}
+
+/// Sum each column into a `1 × n` row vector (used for bias gradients).
+pub fn col_sum(a: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(1, a.cols());
+    col_sum_into(a, &mut out);
     out
 }
 
@@ -222,13 +351,19 @@ pub fn row_mean(a: &Tensor) -> Tensor {
     out
 }
 
+/// Mean over rows of `a` written into the `1 × n` row vector `out`.
+pub fn mean_rows_into(a: &impl MatRef, out: &mut Tensor) {
+    col_sum_into(a, out);
+    if a.rows() > 0 {
+        scale_inplace(out, 1.0 / a.rows() as f32);
+    }
+}
+
 /// Mean over rows into a `1 × n` row vector (mean pooling for graph-level
 /// readout).
-pub fn mean_rows(a: &Tensor) -> Tensor {
-    let mut out = col_sum(a);
-    if a.rows() > 0 {
-        scale_inplace(&mut out, 1.0 / a.rows() as f32);
-    }
+pub fn mean_rows(a: &impl MatRef) -> Tensor {
+    let mut out = Tensor::zeros(1, a.cols());
+    mean_rows_into(a, &mut out);
     out
 }
 
@@ -238,6 +373,12 @@ mod tests {
 
     fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
         Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    /// A dirty buffer of the given shape — `_into` kernels must fully
+    /// define their output regardless of its prior contents.
+    fn dirty(rows: usize, cols: usize) -> Tensor {
+        Tensor::full(rows, cols, f32::NAN)
     }
 
     #[test]
@@ -268,7 +409,7 @@ mod tests {
 
     #[test]
     fn large_matmul_parallel_path_matches_sequential() {
-        // Exceed PAR_THRESHOLD to exercise the rayon path.
+        // Exceed PAR_THRESHOLD to exercise the parallel path.
         let m = 70;
         let k = 40;
         let n = 30;
@@ -283,6 +424,66 @@ mod tests {
             }
             assert!((c.get(r, cidx) - acc).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn large_matmul_at_parallel_path_matches_transpose() {
+        // m * n * k above PAR_THRESHOLD exercises the new parallel path.
+        let k = 64;
+        let m = 32;
+        let n = 24;
+        let a = Tensor::from_vec(k, m, (0..k * m).map(|v| (v % 11) as f32 - 5.0).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|v| (v % 7) as f32 - 3.0).collect());
+        assert_eq!(matmul_at(&a, &b).data(), matmul(&transpose(&a), &b).data());
+    }
+
+    #[test]
+    fn matmuls_propagate_nan_through_zero_multiplicands() {
+        // A zero in A must not mask a NaN in B: 0 · NaN = NaN.
+        let a = t(1, 2, &[0.0, 1.0]);
+        let b = t(2, 2, &[f32::NAN, 2.0, 3.0, 4.0]);
+        assert!(matmul(&a, &b).get(0, 0).is_nan());
+        let at = t(2, 1, &[0.0, 1.0]);
+        let bn = t(2, 2, &[f32::NAN, 2.0, 3.0, 4.0]);
+        assert!(matmul_at(&at, &bn).get(0, 0).is_nan());
+        let abt = t(1, 2, &[0.0, 1.0]);
+        let bbt = t(1, 2, &[f32::NAN, 0.0]);
+        assert!(matmul_bt(&abt, &bbt).get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn into_kernels_overwrite_dirty_buffers() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let mut out = dirty(2, 2);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out.data(), matmul(&a, &b).data());
+        let mut out = dirty(2, 3);
+        matmul_bt_into(&a, &t(3, 3, &(0..9).map(|v| v as f32).collect::<Vec<_>>()), &mut out);
+        assert_eq!(out.data(), matmul_bt(&a, &t(3, 3, &(0..9).map(|v| v as f32).collect::<Vec<_>>())).data());
+        let mut out = dirty(1, 3);
+        col_sum_into(&a, &mut out);
+        assert_eq!(out.data(), col_sum(&a).data());
+        let mut out = dirty(1, 3);
+        mean_rows_into(&a, &mut out);
+        assert_eq!(out.data(), mean_rows(&a).data());
+        let mut out = dirty(2, 3);
+        row_softmax_into(&a, &mut out);
+        assert_eq!(out.data(), row_softmax(&a).data());
+    }
+
+    #[test]
+    fn views_feed_matmul_kernels() {
+        // Multiplying a column block through a view must equal slicing it out.
+        let packed = Tensor::from_vec(3, 6, (0..18).map(|v| v as f32 * 0.25).collect());
+        let w = Tensor::from_vec(2, 4, (0..8).map(|v| v as f32 - 3.0).collect());
+        let view = packed.view_cols(2, 4);
+        let copy = packed.slice_cols(2, 4);
+        assert_eq!(matmul(&view, &w).data(), matmul(&copy, &w).data());
+        assert_eq!(matmul_bt(&view, &packed.view_cols(4, 6)).data(),
+                   matmul_bt(&copy, &packed.slice_cols(4, 6)).data());
+        assert_eq!(matmul_at(&view, &packed.view_cols(0, 2)).data(),
+                   matmul_at(&copy, &packed.slice_cols(0, 2)).data());
     }
 
     #[test]

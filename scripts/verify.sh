@@ -26,6 +26,22 @@ grep -q '"all_to_all"' "$metrics"
 grep -q '"train_epoch/forward"' "$metrics"
 echo "metrics smoke: OK"
 
+echo "== allocation-free steady state =="
+# The alloc_bytes gauge holds the LAST training step's fresh arena
+# allocations. Once the workspace pools are warm every shape is recycled, so
+# a steady-state step must stay under a small fixed budget (64 KiB absorbs a
+# β_thre reformation changing per-edge buffer lengths mid-run; the common
+# case is exactly 0).
+alloc_budget=65536
+alloc_bytes="$(grep -A1 '"name": "alloc_bytes"' "$metrics" \
+    | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*' | head -1)"
+[ -n "$alloc_bytes" ] || { echo "alloc_bytes gauge missing from metrics"; exit 1; }
+awk -v a="$alloc_bytes" -v b="$alloc_budget" 'BEGIN { exit !(a <= b) }' \
+    || { echo "steady-state step allocated $alloc_bytes bytes (> $alloc_budget)"; exit 1; }
+grep -q '"arena_reuse_hits"' "$metrics" \
+    || { echo "arena_reuse_hits gauge missing from metrics"; exit 1; }
+echo "allocation-free steady state: OK (alloc_bytes=$alloc_bytes)"
+
 echo "== crash-resume smoke test =="
 # Crash after 2 of 4 epochs (exit code 3), resume from the snapshot, and
 # require the stitched per-epoch losses to equal an uninterrupted run's

@@ -1,0 +1,195 @@
+//! Execution-engine invariants: output-parameter kernels must be
+//! bit-identical to their allocating wrappers even into recycled (dirty)
+//! buffers, zero-copy column views must read exactly what a copying slice
+//! reads, and a trainer sharing one warm workspace across every step must
+//! reproduce the allocating code path's loss history bit-for-bit.
+
+use torchgt::graph::spd::spd_matrix;
+use torchgt::model::{loss, Gt, GtConfig, Pattern, SequenceBatch, SequenceModel};
+use torchgt::runtime::{GraphTrainer, Method, TrainConfig};
+use torchgt::sparse::topology_mask;
+use torchgt::tensor::{init, ops, MatRef, Tensor, Workspace};
+use torchgt_compat::proptest::prelude::*;
+
+fn arb_tensor(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Tensor> {
+    (rows, cols, 0u64..10_000)
+        .prop_map(|(r, c, seed)| init::normal(r, c, 0.0, 1.0, seed.wrapping_add(1)))
+}
+
+/// A deliberately dirty output buffer: recycled arena tensors are NOT
+/// zeroed by the kernels' contract — each `_into` kernel must fully define
+/// its output regardless of what the buffer held before.
+fn dirty(rows: usize, cols: usize) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        *v = f32::from_bits(0x7fc0_0000 ^ (i as u32).wrapping_mul(2654435761)); // NaN-ish garbage
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `matmul_into` into a dirty buffer equals the allocating `matmul`.
+    #[test]
+    fn matmul_into_matches_wrapper(a in arb_tensor(1..7, 1..7), seed in 0u64..1000) {
+        let b = init::normal(a.cols(), 5, 0.0, 1.0, seed.wrapping_add(7));
+        let mut out = dirty(a.rows(), b.cols());
+        ops::matmul_into(&a, &b, &mut out);
+        let want = ops::matmul(&a, &b);
+        prop_assert_eq!(out.data(), want.data());
+    }
+
+    /// `matmul_bt_into` (A·Bᵀ) into a dirty buffer equals `matmul_bt`.
+    #[test]
+    fn matmul_bt_into_matches_wrapper(a in arb_tensor(1..7, 1..7), seed in 0u64..1000) {
+        let b = init::normal(4, a.cols(), 0.0, 1.0, seed.wrapping_add(9));
+        let mut out = dirty(a.rows(), b.rows());
+        ops::matmul_bt_into(&a, &b, &mut out);
+        let want = ops::matmul_bt(&a, &b);
+        prop_assert_eq!(out.data(), want.data());
+    }
+
+    /// `matmul_at_into` (Aᵀ·B) into a dirty buffer equals `matmul_at`.
+    #[test]
+    fn matmul_at_into_matches_wrapper(a in arb_tensor(1..7, 1..7), seed in 0u64..1000) {
+        let b = init::normal(a.rows(), 3, 0.0, 1.0, seed.wrapping_add(13));
+        let mut out = dirty(a.cols(), b.cols());
+        ops::matmul_at_into(&a, &b, &mut out);
+        let want = ops::matmul_at(&a, &b);
+        prop_assert_eq!(out.data(), want.data());
+    }
+
+    /// `row_softmax_into` into a dirty buffer equals `row_softmax`.
+    #[test]
+    fn row_softmax_into_matches_wrapper(a in arb_tensor(1..9, 1..9)) {
+        let mut out = dirty(a.rows(), a.cols());
+        ops::row_softmax_into(&a, &mut out);
+        let want = ops::row_softmax(&a);
+        prop_assert_eq!(out.data(), want.data());
+    }
+
+    /// Zero-copy head views (`view_cols`) read exactly the bytes a copying
+    /// column slice produces, row by row and through a matmul consumer.
+    #[test]
+    fn head_views_match_copying_slices(t in arb_tensor(1..8, 2..12), seed in 0u64..1000) {
+        // Split the columns into 1..=cols "heads" of equal width.
+        let cols = t.cols();
+        let width = 1 + (seed as usize % cols);
+        let heads = cols / width;
+        for h in 0..heads {
+            let (start, end) = (h * width, (h + 1) * width);
+            let view = t.view_cols(start, end);
+            let copy = t.slice_cols(start, end);
+            prop_assert_eq!(view.shape(), copy.shape());
+            for r in 0..t.rows() {
+                prop_assert_eq!(view.row(r), copy.row(r), "head {h} row {r}");
+            }
+            // Consumers generic over MatRef see identical values: a matmul
+            // fed the view must equal one fed the copy, bit for bit.
+            let w = init::normal(width, 3, 0.0, 1.0, seed.wrapping_add(h as u64));
+            let via_view = ops::matmul(&view, &w);
+            let via_copy = ops::matmul(&copy, &w);
+            prop_assert_eq!(via_view.data(), via_copy.data());
+        }
+    }
+
+    /// Loss `_ws` variants through a pre-dirtied arena match the allocating
+    /// originals bit-for-bit.
+    #[test]
+    fn loss_ws_matches_allocating(logits in arb_tensor(2..8, 2..5), seed in 0u64..1000) {
+        let n = logits.rows();
+        let c = logits.cols();
+        let labels: Vec<u32> = (0..n).map(|i| ((seed as usize + i) % c) as u32).collect();
+        let mut ws = Workspace::new();
+        // Dirty the pools for the exact shape the loss will check out.
+        ws.give(dirty(n, c));
+        ws.give(dirty(n, c));
+        let (l0, g0) = loss::softmax_cross_entropy(&logits, &labels);
+        let (l1, g1) = loss::softmax_cross_entropy_ws(&logits, &labels, &mut ws);
+        prop_assert_eq!(l0, l1);
+        prop_assert_eq!(g0.data(), g1.data());
+        let idx: Vec<u32> = (0..n as u32).step_by(2).collect();
+        ws.give(g1);
+        let (m0, mg0) = loss::masked_softmax_cross_entropy(&logits, &labels, &idx);
+        let (m1, mg1) = loss::masked_softmax_cross_entropy_ws(&logits, &labels, &idx, &mut ws);
+        prop_assert_eq!(m0, m1);
+        prop_assert_eq!(mg0.data(), mg1.data());
+    }
+}
+
+/// A `GraphTrainer` epoch driven through its shared, warm workspace must
+/// reproduce — bit for bit — the loss history of the pre-refactor code
+/// path: plain allocating `forward`/`backward`/loss calls in the same step
+/// order. Three epochs ensure the arena pools are reused, not just filled.
+#[test]
+fn graph_trainer_with_shared_workspace_matches_allocating_loop() {
+    use torchgt::comm::ClusterTopology;
+    use torchgt::graph::{DatasetKind, GraphLabel};
+    use torchgt::perf::{GpuSpec, ModelShape};
+    use torchgt::tensor::{Adam, Optimizer};
+
+    let data = DatasetKind::MalNet.generate_graphs(10, 0.002, 3);
+    let classes = 5;
+    let epochs = 3;
+    let mut cfg = TrainConfig::new(Method::GpSparse, 64, epochs);
+    cfg.lr = 2e-3;
+    let model = Box::new(Gt::new(GtConfig::tiny(data.feat_dim, classes), 9));
+    let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+    let mut trainer = GraphTrainer::new(
+        cfg.clone(),
+        &data,
+        model,
+        shape,
+        GpuSpec::rtx3090(),
+        ClusterTopology::rtx3090(1),
+    );
+    let trainer_losses: Vec<f32> = (0..epochs).map(|_| trainer.train_epoch().loss).collect();
+
+    // Replica of the pre-refactor step loop: identical model/optimizer
+    // seeds, identical step order, but every tensor freshly allocated.
+    let mut model = Gt::new(GtConfig::tiny(data.feat_dim, classes), 9);
+    model.set_training(true);
+    let mut opt = Adam::with_lr(cfg.lr);
+    let split = data.len() * 8 / 10;
+    let prepared: Vec<_> = data.samples[..split]
+        .iter()
+        .map(|s| {
+            let n = s.graph.num_nodes();
+            let features = Tensor::from_vec(n, s.feat_dim, s.features.clone());
+            let mask = topology_mask(&s.graph, true);
+            let spd = (n <= 512).then(|| spd_matrix(&s.graph, 8));
+            (features, s.graph.clone(), mask, spd, s.label)
+        })
+        .collect();
+    let mut replica_losses = Vec::new();
+    for _ in 0..epochs {
+        let mut total = 0.0f32;
+        for (features, graph, mask, spd, label) in &prepared {
+            let batch = SequenceBatch { features, graph, spd: spd.as_deref() };
+            let pattern = Pattern::Sparse(mask);
+            let token_logits = model.forward(&batch, pattern);
+            let glogits = ops::mean_rows(&token_logits);
+            let (l, dl) = match *label {
+                GraphLabel::Class(c) => loss::softmax_cross_entropy(&glogits, &[c]),
+                GraphLabel::Value(v) => loss::mae_loss(&glogits, &[v]),
+            };
+            total += l;
+            let n = features.rows();
+            let mut dtokens = Tensor::zeros(n, dl.cols());
+            let inv = 1.0 / n as f32;
+            for r in 0..n {
+                for c in 0..dl.cols() {
+                    dtokens.set(r, c, dl.get(0, c) * inv);
+                }
+            }
+            model.backward(&batch, pattern, &dtokens);
+            opt.step(&mut model.params_mut());
+        }
+        replica_losses.push(total / prepared.len().max(1) as f32);
+    }
+    assert_eq!(
+        trainer_losses, replica_losses,
+        "workspace-threaded trainer diverged from the allocating code path"
+    );
+}
