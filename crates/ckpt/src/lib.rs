@@ -28,6 +28,8 @@ pub mod state;
 pub mod store;
 
 pub use checksum::crc32;
-pub use snapshot::{Snapshot, FORMAT_VERSION};
-pub use state::{ParamState, SchedulerState, TensorShape, TrainerState, TunerState};
+pub use snapshot::{Snapshot, FORMAT_VERSION, FORMAT_VERSION_V1};
+pub use state::{
+    ParamState, PartitionLayout, SchedulerState, TensorShape, TrainerState, TunerState,
+};
 pub use store::CheckpointStore;

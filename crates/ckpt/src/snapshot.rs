@@ -3,7 +3,7 @@
 //! ```text
 //! offset  size            field
 //! 0       4               magic "TGTS"
-//! 4       4               format version, u32 LE (currently 1)
+//! 4       4               format version, u32 LE (currently 2)
 //! 8       8               manifest length N, u64 LE
 //! 16      4               CRC-32 of the manifest bytes, u32 LE
 //! 20      N               manifest: compact JSON (torchgt-compat::json)
@@ -17,17 +17,26 @@
 //! that the file ends exactly at the payload's last byte — a flipped bit,
 //! a truncation, or trailing garbage all fail cleanly *before* any model
 //! state is touched.
+//!
+//! Snapshots are **world-size-independent**: tensors are always stored in
+//! canonical (unsharded) order, so a snapshot taken at P=4 restores
+//! bit-faithfully at P=3. Format version 2 additionally records the
+//! [`PartitionLayout`] in effect at capture time (version-1 files, which
+//! predate the layout field, remain readable — their layout is `None`).
 
 use crate::checksum::crc32;
-use crate::state::{ParamState, TensorShape, TrainerState};
+use crate::state::{ParamState, PartitionLayout, TensorShape, TrainerState};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use torchgt_tensor::checkpoint::{expect_eof, read_f32s, write_f32s};
 use torchgt_tensor::param::Param;
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version (2 added the partition layout).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The pre-elastic format revision, still accepted by the reader.
+pub const FORMAT_VERSION_V1: u32 = 1;
 
 const MAGIC: &[u8; 4] = b"TGTS";
 
@@ -36,9 +45,25 @@ const MAGIC: &[u8; 4] = b"TGTS";
 const MAX_MANIFEST_LEN: u64 = 64 << 20;
 
 torchgt_compat::json_struct! {
-    /// The JSON manifest (private — [`Snapshot`] is the public surface).
+    /// The version-2 JSON manifest (private — [`Snapshot`] is the public
+    /// surface).
     #[derive(Clone, Debug, PartialEq)]
     struct Manifest {
+        format_version: u32,
+        state: TrainerState,
+        shapes: Vec<TensorShape>,
+        payload_len: u64,
+        payload_crc: u32,
+        layout: Option<PartitionLayout>,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// The version-1 manifest: identical except the layout field does not
+    /// exist (the JSON decoder errors on missing fields, so back-compat is
+    /// a separate struct rather than an optional field).
+    #[derive(Clone, Debug, PartialEq)]
+    struct ManifestV1 {
         format_version: u32,
         state: TrainerState,
         shapes: Vec<TensorShape>,
@@ -48,13 +73,17 @@ torchgt_compat::json_struct! {
 }
 
 /// A full training-state snapshot: trainer bookkeeping plus every
-/// parameter's value and Adam moment buffers.
+/// parameter's value and Adam moment buffers (canonical order — never
+/// sharded by rank).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
     /// Trainer bookkeeping (epoch, optimizer steps, RNG streams, tuner…).
     pub state: TrainerState,
     /// Per-parameter tensors, in model traversal order.
     pub params: Vec<ParamState>,
+    /// Partition layout in effect at capture time (`None` for
+    /// single-device trainers and version-1 files).
+    pub layout: Option<PartitionLayout>,
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -64,7 +93,17 @@ fn bad(msg: impl Into<String>) -> io::Error {
 impl Snapshot {
     /// Assemble a snapshot from live parameters plus trainer state.
     pub fn capture(state: TrainerState, params: &[&Param]) -> Self {
-        Self { state, params: params.iter().map(|p| ParamState::capture(p)).collect() }
+        Self {
+            state,
+            params: params.iter().map(|p| ParamState::capture(p)).collect(),
+            layout: None,
+        }
+    }
+
+    /// Attach the partition layout in effect at capture time.
+    pub fn with_layout(mut self, layout: PartitionLayout) -> Self {
+        self.layout = Some(layout);
+        self
     }
 
     /// Restore every parameter (values + moments). All-or-nothing: counts
@@ -109,6 +148,7 @@ impl Snapshot {
             shapes: self.params.iter().map(ParamState::shape).collect(),
             payload_len: payload.len() as u64,
             payload_crc: crc32(&payload),
+            layout: self.layout.clone(),
         };
         let manifest_bytes = torchgt_compat::json::to_string(&manifest)
             .map_err(|e| bad(format!("manifest encode: {e}")))?
@@ -134,9 +174,9 @@ impl Snapshot {
         let mut buf8 = [0u8; 8];
         r.read_exact(&mut buf4)?;
         let version = u32::from_le_bytes(buf4);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
             return Err(bad(format!(
-                "unsupported snapshot format version {version} (expected {FORMAT_VERSION})"
+                "unsupported snapshot format version {version} (expected {FORMAT_VERSION_V1} or {FORMAT_VERSION})"
             )));
         }
         r.read_exact(&mut buf8)?;
@@ -153,9 +193,25 @@ impl Snapshot {
         }
         let manifest_text = std::str::from_utf8(&manifest_bytes)
             .map_err(|_| bad("manifest is not valid UTF-8"))?;
-        let manifest: Manifest = torchgt_compat::json::from_str_as(manifest_text)
-            .map_err(|e| bad(format!("manifest decode: {e}")))?;
-        if manifest.format_version != FORMAT_VERSION {
+        // The layout field arrived in version 2; a v1 manifest would fail
+        // the v2 decoder's missing-field check, so each revision gets its
+        // own decode path.
+        let manifest: Manifest = if version == FORMAT_VERSION_V1 {
+            let v1: ManifestV1 = torchgt_compat::json::from_str_as(manifest_text)
+                .map_err(|e| bad(format!("manifest decode: {e}")))?;
+            Manifest {
+                format_version: v1.format_version,
+                state: v1.state,
+                shapes: v1.shapes,
+                payload_len: v1.payload_len,
+                payload_crc: v1.payload_crc,
+                layout: None,
+            }
+        } else {
+            torchgt_compat::json::from_str_as(manifest_text)
+                .map_err(|e| bad(format!("manifest decode: {e}")))?
+        };
+        if manifest.format_version != version {
             return Err(bad("manifest/header version disagreement"));
         }
         let expected: u64 =
@@ -184,7 +240,7 @@ impl Snapshot {
                 v: read_f32s(&mut cursor, n)?,
             });
         }
-        Ok(Self { state: manifest.state, params })
+        Ok(Self { state: manifest.state, params, layout: manifest.layout })
     }
 
     /// Write to a file (non-atomic; [`crate::CheckpointStore`] wraps this
@@ -298,6 +354,70 @@ mod tests {
         assert!(err.to_string().contains("version"), "{err}");
     }
 
+    #[test]
+    fn layout_round_trips_through_v2() {
+        let layout = PartitionLayout { world: 4, generation: 1, assignment: vec![0, 1, 2, 3, 0] };
+        let s = sample().with_layout(layout.clone());
+        let back = Snapshot::read_from(to_bytes(&s).as_slice()).unwrap();
+        assert_eq!(back.layout.as_ref(), Some(&layout));
+        assert_eq!(back, s);
+    }
+
+    /// Build the byte stream a pre-elastic (version 1) writer produced:
+    /// same framing, manifest without the layout field.
+    fn to_v1_bytes(s: &Snapshot) -> Vec<u8> {
+        let mut payload = Vec::new();
+        for p in &s.params {
+            write_f32s(&mut payload, &p.value).unwrap();
+            write_f32s(&mut payload, &p.m).unwrap();
+            write_f32s(&mut payload, &p.v).unwrap();
+        }
+        let manifest = ManifestV1 {
+            format_version: FORMAT_VERSION_V1,
+            state: s.state.clone(),
+            shapes: s.params.iter().map(ParamState::shape).collect(),
+            payload_len: payload.len() as u64,
+            payload_crc: crc32(&payload),
+        };
+        let manifest_bytes =
+            torchgt_compat::json::to_string(&manifest).unwrap().into_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION_V1.to_le_bytes());
+        out.extend_from_slice(&(manifest_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&manifest_bytes).to_le_bytes());
+        out.extend_from_slice(&manifest_bytes);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn version_1_files_remain_readable() {
+        let s = sample();
+        let bytes = to_v1_bytes(&s);
+        let back = Snapshot::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.state, s.state);
+        assert_eq!(back.params, s.params);
+        assert!(back.layout.is_none(), "v1 files predate the layout field");
+        // Re-saving upgrades the file to the current revision.
+        let rewritten = to_bytes(&back);
+        assert_eq!(rewritten[4], FORMAT_VERSION as u8);
+        assert_eq!(Snapshot::read_from(rewritten.as_slice()).unwrap(), back);
+    }
+
+    #[test]
+    fn v1_corruption_is_still_detected() {
+        let bytes = to_v1_bytes(&sample());
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                Snapshot::read_from(corrupt.as_slice()).is_err(),
+                "v1 bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -318,6 +438,7 @@ mod tests {
             let snap = Snapshot {
                 state: TrainerState::basic(epoch, steps),
                 params: vec![ps],
+                layout: None,
             };
             let mut buf = Vec::new();
             snap.write_to(&mut buf).unwrap();

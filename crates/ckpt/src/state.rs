@@ -85,6 +85,24 @@ impl TrainerState {
     }
 }
 
+torchgt_compat::json_struct! {
+    /// The partition layout in effect when a snapshot was taken. Parameters
+    /// are always stored canonically (unsharded, in model traversal order),
+    /// so the layout is *descriptive*, not structural: a restore at any
+    /// world size reads the same bytes and recomputes its own assignment.
+    /// Recording it lets an elastic restart report exactly which tokens
+    /// moved or were re-materialized relative to the snapshot's layout.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct PartitionLayout {
+        /// Live world size when the snapshot was taken.
+        pub world: usize,
+        /// Membership generation when the snapshot was taken.
+        pub generation: u64,
+        /// Canonical token/sequence index → owning *global* rank id.
+        pub assignment: Vec<u32>,
+    }
+}
+
 /// One parameter's full optimizer-visible state: the value tensor plus the
 /// Adam first/second moment buffers. Raw `Vec<f32>` rather than `Tensor` so
 /// the payload codec stays trivially flat.
@@ -175,6 +193,14 @@ mod tests {
         let back: TrainerState = json::from_str_as(&text).unwrap();
         assert_eq!(back, s);
         assert!(back.tuner.is_none() && back.scheduler.is_none());
+    }
+
+    #[test]
+    fn partition_layout_json_round_trip() {
+        let l = PartitionLayout { world: 3, generation: 2, assignment: vec![0, 0, 2, 3, 3] };
+        let text = json::to_string(&l).unwrap();
+        let back: PartitionLayout = json::from_str_as(&text).unwrap();
+        assert_eq!(back, l);
     }
 
     #[test]

@@ -121,6 +121,7 @@ mod tests {
                 m: vec![0.0, 0.0],
                 v: vec![0.0, 0.0],
             }],
+            layout: None,
         }
     }
 

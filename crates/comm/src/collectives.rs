@@ -8,20 +8,38 @@
 //! harnesses report.
 
 use crate::fault::{decide, FaultPlan, FaultState, RankCrash, SALT_DELAY, SALT_DROP};
+use crate::membership::{Membership, MembershipError};
 use crate::stats::{CollectiveKind, CommStats};
 use std::sync::Arc;
 use torchgt_compat::sync::channel::{unbounded, Receiver, Sender};
 use torchgt_obs::{Event, RecorderHandle};
 
+/// One wire message: the payload plus the communicator generation it was
+/// produced under. A receiver of a different generation rejects it — a
+/// stale rank that missed a group reformation can never corrupt an
+/// exchange of the new generation (the simulated analogue of NCCL's
+/// communicator-id mismatch abort).
+struct Msg {
+    generation: u64,
+    data: Vec<f32>,
+}
+
 /// Per-rank handle for collective communication within a device group.
 pub struct Communicator {
+    /// Dense rank id: contiguous `0..live_world` for this generation.
     rank: usize,
+    /// Stable global rank id (`0..initial_world`), survives reformations.
+    global_rank: usize,
     world: usize,
-    /// `senders[j]` transmits to rank `j` (entry for self is unused).
-    senders: Vec<Sender<Vec<f32>>>,
-    /// `receivers[j]` receives from rank `j`.
-    receivers: Vec<Receiver<Vec<f32>>>,
+    /// Membership generation this communicator belongs to.
+    generation: u64,
+    /// `senders[j]` transmits to dense rank `j` (entry for self is unused).
+    senders: Vec<Sender<Msg>>,
+    /// `receivers[j]` receives from dense rank `j`.
+    receivers: Vec<Receiver<Msg>>,
     stats: Arc<CommStats>,
+    /// Volume ledger of the current generation only (rolled up on close).
+    gen_stats: Arc<CommStats>,
     recorder: RecorderHandle,
     /// Fault-injection bookkeeping shared by the whole group (`None` in a
     /// fault-free group: the common path pays one branch).
@@ -29,12 +47,23 @@ pub struct Communicator {
 }
 
 impl Communicator {
-    /// This rank's id.
+    /// This rank's dense id within the current generation.
     pub fn rank(&self) -> usize {
         self.rank
     }
 
-    /// Total number of ranks.
+    /// This rank's stable global id (equal to [`Communicator::rank`] until
+    /// the group shrinks).
+    pub fn global_rank(&self) -> usize {
+        self.global_rank
+    }
+
+    /// The membership generation this communicator was built for.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of live ranks in this generation.
     pub fn world_size(&self) -> usize {
         self.world
     }
@@ -44,14 +73,23 @@ impl Communicator {
         &self.stats
     }
 
+    /// Fault-injection aid: pretend this rank belongs to generation `gen`
+    /// from now on. Its next send carries the forged tag and the receiver
+    /// aborts the exchange — used to test stale-rank rejection.
+    pub fn forge_generation(&mut self, gen: u64) {
+        self.generation = gen;
+    }
+
     /// Account one collective invocation: `payload` is the logical volume
     /// this rank handles, `wire` the part it actually sends across links
     /// (sender-side counting — group-wide sums don't double-count).
     fn account(&self, kind: CollectiveKind, payload: usize, wire: usize) {
         self.fault_tick();
         self.stats.record_op(kind);
+        self.gen_stats.record_op(kind);
         if wire > 0 {
             self.stats.record_wire_bytes(kind, wire);
+            self.gen_stats.record_wire_bytes(kind, wire);
         }
         if self.recorder.enabled() {
             self.recorder.collective(kind.label(), 1, payload as u64, wire as u64);
@@ -62,39 +100,48 @@ impl Communicator {
     /// counter and fire an injected crash if this is the chosen op. The
     /// panic payload is a [`RankCrash`]; [`DeviceGroup::try_run`] converts
     /// it into a per-rank error while peers cascade-fail their receives,
-    /// mirroring a NCCL communicator abort.
+    /// mirroring a NCCL communicator abort. Fault bookkeeping is keyed on
+    /// the *global* rank so a plan keeps naming the same physical worker
+    /// across reformations.
     fn fault_tick(&self) {
         let Some(fs) = &self.fault else { return };
-        let op = fs.next_collective_op(self.rank);
-        if fs.should_crash(self.rank, op) {
+        let op = fs.next_collective_op(self.global_rank);
+        if fs.should_crash(self.global_rank, op) {
             if self.recorder.enabled() {
-                self.recorder.event(Event::rank_crash(self.rank, op));
+                self.recorder.event(Event::rank_crash(self.global_rank, op));
             }
-            std::panic::panic_any(RankCrash { rank: self.rank, op });
+            std::panic::panic_any(RankCrash { rank: self.global_rank, op });
         }
     }
 
-    /// Injected per-send faults: seeded delay and drop-with-retry. Neither
-    /// changes what is ultimately delivered or its order — faults perturb
-    /// the schedule, never the numerics.
+    /// Injected per-send faults: seeded delay, deterministic straggler
+    /// slowdown, and drop-with-retry. None of them changes what is
+    /// ultimately delivered or its order — faults perturb the schedule,
+    /// never the numerics.
     fn inject_send_faults(&self, peer: usize) {
         let Some(fs) = &self.fault else { return };
         let plan: &FaultPlan = &fs.plan;
-        if plan.delay_prob <= 0.0 && plan.drop_prob <= 0.0 {
+        let slow = plan.slow_rank == Some(self.global_rank) && plan.slow_delay_s > 0.0;
+        if !slow && plan.delay_prob <= 0.0 && plan.drop_prob <= 0.0 {
             return;
         }
-        let op = fs.next_send_op(self.rank);
-        if decide(plan.seed, self.rank, op, SALT_DELAY, plan.delay_prob) {
+        let op = fs.next_send_op(self.global_rank);
+        if slow {
+            std::thread::sleep(std::time::Duration::from_secs_f64(plan.slow_delay_s));
+            fs.add_delay_s(self.global_rank, plan.slow_delay_s);
+        }
+        if decide(plan.seed, self.global_rank, op, SALT_DELAY, plan.delay_prob) {
             if plan.delay_s > 0.0 {
                 std::thread::sleep(std::time::Duration::from_secs_f64(plan.delay_s));
+                fs.add_delay_s(self.global_rank, plan.delay_s);
             }
             if self.recorder.enabled() {
-                self.recorder.event(Event::fault_delay(self.rank, peer, op, plan.delay_s));
+                self.recorder.event(Event::fault_delay(self.global_rank, peer, op, plan.delay_s));
             }
         }
         let mut lost = 0u64;
         while lost < plan.max_retries as u64
-            && decide(plan.seed, self.rank, op ^ (lost << 32), SALT_DROP, plan.drop_prob)
+            && decide(plan.seed, self.global_rank, op ^ (lost << 32), SALT_DROP, plan.drop_prob)
         {
             // The receiver times out waiting for the lost attempt; the
             // retransmission then goes through. Modelled sender-side as
@@ -107,22 +154,34 @@ impl Communicator {
         if lost > 0 {
             self.stats.record_retries(lost);
             if self.recorder.enabled() {
-                self.recorder.event(Event::fault_drop(self.rank, peer, op, lost));
+                self.recorder.event(Event::fault_drop(self.global_rank, peer, op, lost));
             }
         }
     }
 
     /// Point-to-point send (building block for custom collective
-    /// algorithms, e.g. [`crate::hierarchical`]).
+    /// algorithms, e.g. [`crate::hierarchical`]). `peer` is a dense rank.
     pub fn send_to(&self, peer: usize, data: Vec<f32>) {
         self.inject_send_faults(peer);
         self.stats.record_bytes(data.len() * 4);
-        self.senders[peer].send(data).expect("peer hung up");
+        self.gen_stats.record_bytes(data.len() * 4);
+        self.senders[peer]
+            .send(Msg { generation: self.generation, data })
+            .expect("peer hung up");
     }
 
-    /// Point-to-point receive, blocking (FIFO per peer).
+    /// Point-to-point receive, blocking (FIFO per peer). Panics on a
+    /// generation mismatch: a message from a stale (or forged) generation
+    /// aborts the exchange instead of silently mixing into it.
     pub fn recv_from(&self, peer: usize) -> Vec<f32> {
-        self.receivers[peer].recv().expect("peer hung up")
+        let msg = self.receivers[peer].recv().expect("peer hung up");
+        if msg.generation != self.generation {
+            panic!(
+                "stale generation message from dense peer {}: got generation {}, expected {}",
+                peer, msg.generation, self.generation
+            );
+        }
+        msg.data
     }
 
     /// All-to-all: `chunks[j]` goes to rank `j`; returns the chunks received
@@ -258,11 +317,34 @@ impl std::fmt::Display for RankFailure {
     }
 }
 
+/// A rank the straggler watchdog flagged: its accumulated injected send
+/// delay against the group median.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StragglerReport {
+    /// Global rank id of the straggler.
+    pub rank: usize,
+    /// Injected delay accumulated by this rank since the last run started,
+    /// seconds.
+    pub delay_s: f64,
+    /// Median injected delay across the live ranks, seconds.
+    pub median_s: f64,
+}
+
 /// A group of simulated devices. [`DeviceGroup::run`] executes one closure
 /// per rank on its own thread and returns the per-rank results.
+///
+/// The group is *elastic*: [`DeviceGroup::remove_rank`] declares a rank
+/// permanently lost and reforms the communicator set over the survivors
+/// under a new [`Membership`] generation ([`DeviceGroup::readmit_rank`]
+/// brings one back at an epoch boundary). Subsequent runs span only the
+/// live ranks; closures see dense rank ids `0..live_world` plus the stable
+/// [`Communicator::global_rank`].
 pub struct DeviceGroup {
     world: usize,
+    membership: Membership,
     stats: Arc<CommStats>,
+    /// Ledger of the current generation, swapped fresh on reformation.
+    gen_stats: Arc<CommStats>,
     recorder: RecorderHandle,
     fault: Option<Arc<FaultState>>,
 }
@@ -277,7 +359,14 @@ impl DeviceGroup {
     /// `recorder` (in addition to the always-on [`CommStats`] counters).
     pub fn with_recorder(world: usize, recorder: RecorderHandle) -> Self {
         assert!(world >= 1);
-        Self { world, stats: Arc::new(CommStats::default()), recorder, fault: None }
+        Self {
+            world,
+            membership: Membership::new(world),
+            stats: Arc::new(CommStats::default()),
+            gen_stats: Arc::new(CommStats::default()),
+            recorder,
+            fault: None,
+        }
     }
 
     /// Swap the recorder collectives report to (applies to subsequent
@@ -298,9 +387,24 @@ impl DeviceGroup {
         self.fault.as_ref().map(|f| f.plan)
     }
 
-    /// Number of ranks.
+    /// World size the group was created with (stable across reformations).
     pub fn world_size(&self) -> usize {
         self.world
+    }
+
+    /// Number of currently live ranks.
+    pub fn live_world(&self) -> usize {
+        self.membership.live_world()
+    }
+
+    /// Current membership generation.
+    pub fn generation(&self) -> u64 {
+        self.membership.generation()
+    }
+
+    /// The current membership (live global rank ids + generation).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
     }
 
     /// Communication-volume statistics accumulated across runs.
@@ -308,15 +412,109 @@ impl DeviceGroup {
         &self.stats
     }
 
-    /// Build the P×P channel mesh and one [`Communicator`] per rank.
+    /// Volume statistics of the current generation only.
+    pub fn generation_stats(&self) -> &CommStats {
+        &self.gen_stats
+    }
+
+    /// Emit a [`Event::generation_rollup`] for the current generation's
+    /// accumulated collective volume. Called automatically when a
+    /// reformation closes a generation; call it once more after the final
+    /// run so the last generation is reported too.
+    pub fn rollup_generation(&self) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let ops: u64 = CollectiveKind::ALL.iter().map(|&k| self.gen_stats.ops(k)).sum();
+        let wire: u64 = CollectiveKind::ALL.iter().map(|&k| self.gen_stats.wire_bytes(k)).sum();
+        self.recorder.event(Event::generation_rollup(
+            self.membership.generation(),
+            self.membership.live_world(),
+            ops,
+            wire,
+            self.gen_stats.bytes_sent(),
+        ));
+    }
+
+    /// Declare global rank `rank` permanently lost: roll up the closing
+    /// generation, drop the rank from the live set, and open a fresh
+    /// generation over the survivors (emits [`Event::GROUP_SHRUNK`]).
+    pub fn remove_rank(&mut self, rank: usize) -> Result<(), MembershipError> {
+        let from = self.membership.live_world();
+        self.rollup_generation();
+        self.membership.remove(rank)?;
+        self.gen_stats = Arc::new(CommStats::default());
+        if self.recorder.enabled() {
+            self.recorder.event(Event::group_shrunk(
+                self.membership.generation(),
+                from,
+                self.membership.live_world(),
+                rank,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Re-admit a previously removed rank at an epoch boundary: roll up
+    /// the closing generation and reform over the enlarged live set
+    /// (emits [`Event::RANK_REJOINED`]).
+    pub fn readmit_rank(&mut self, rank: usize) -> Result<(), MembershipError> {
+        self.rollup_generation();
+        self.membership.readmit(rank)?;
+        self.gen_stats = Arc::new(CommStats::default());
+        if self.recorder.enabled() {
+            self.recorder.event(Event::rank_rejoined(
+                rank,
+                self.membership.generation(),
+                self.membership.live_world(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Straggler watchdog: compare each live rank's injected send delay
+    /// (accumulated since the last run started) against the live-group
+    /// median; ranks exceeding `multiple × median` are flagged with a
+    /// [`Event::STRAGGLER`] event. Detection only — membership is not
+    /// changed. Returns the flagged ranks.
+    pub fn detect_stragglers(&self, multiple: f64) -> Vec<StragglerReport> {
+        let Some(fs) = &self.fault else { return Vec::new() };
+        let live = self.membership.live_ranks();
+        let delays: Vec<f64> = live.iter().map(|&r| fs.delay_s(r)).collect();
+        let mut sorted = delays.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median = if n == 0 {
+            0.0
+        } else if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mut flagged = Vec::new();
+        for (&rank, &delay_s) in live.iter().zip(&delays) {
+            if delay_s > 0.0 && delay_s > multiple * median {
+                if self.recorder.enabled() {
+                    self.recorder.event(Event::straggler(rank, delay_s, median, multiple));
+                }
+                flagged.push(StragglerReport { rank, delay_s, median_s: median });
+            }
+        }
+        flagged
+    }
+
+    /// Build the channel mesh over the live ranks and one [`Communicator`]
+    /// per live rank (dense ids `0..live_world`, tagged with the current
+    /// generation).
     fn build_comms(&self) -> Vec<Communicator> {
-        let p = self.world;
+        let p = self.membership.live_world();
+        let generation = self.membership.generation();
         if let Some(fs) = &self.fault {
             fs.reset_counters();
         }
-        let mut txs: Vec<Vec<Option<Sender<Vec<f32>>>>> =
+        let mut txs: Vec<Vec<Option<Sender<Msg>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Vec<f32>>>>> =
+        let mut rxs: Vec<Vec<Option<Receiver<Msg>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for i in 0..p {
             for j in 0..p {
@@ -333,7 +531,7 @@ impl DeviceGroup {
             let (dummy_tx, dummy_rx) = unbounded();
             let senders = tx_row.into_iter().map(|t| t.unwrap_or_else(|| dummy_tx.clone())).collect();
             let receivers = {
-                let mut v: Vec<Receiver<Vec<f32>>> = Vec::with_capacity(p);
+                let mut v: Vec<Receiver<Msg>> = Vec::with_capacity(p);
                 for r in rx_row {
                     v.push(r.unwrap_or_else(|| dummy_rx.clone()));
                 }
@@ -341,10 +539,13 @@ impl DeviceGroup {
             };
             comms.push(Communicator {
                 rank,
+                global_rank: self.membership.global_of(rank),
                 world: p,
+                generation,
                 senders,
                 receivers,
                 stats: Arc::clone(&self.stats),
+                gen_stats: Arc::clone(&self.gen_stats),
                 recorder: Arc::clone(&self.recorder),
                 fault: self.fault.clone(),
             });
@@ -429,7 +630,7 @@ fn is_expected_crash(info: &std::panic::PanicHookInfo<'_>) -> bool {
         .downcast_ref::<&str>()
         .map(|s| s.to_string())
         .or_else(|| info.payload().downcast_ref::<String>().cloned());
-    msg.is_some_and(|m| m.contains("peer hung up"))
+    msg.is_some_and(|m| m.contains("peer hung up") || m.contains("stale generation"))
 }
 
 /// Run `f` with a panic hook that silences the expected crash-cascade
@@ -726,5 +927,150 @@ mod tests {
         });
         assert_eq!(results[0].0, vec![vec![1.0, 2.0]]);
         assert_eq!(results[0].1, vec![3.0]);
+    }
+
+    #[test]
+    fn shrunk_group_runs_over_survivors_with_dense_ranks() {
+        let mut group = DeviceGroup::new(4);
+        group.remove_rank(1).unwrap();
+        assert_eq!(group.generation(), 1);
+        assert_eq!(group.live_world(), 3);
+        let results = group.run(|comm| {
+            assert_eq!(comm.world_size(), 3);
+            assert_eq!(comm.generation(), 1);
+            let sum = comm.all_reduce_sum(vec![comm.global_rank() as f32]);
+            (comm.rank(), comm.global_rank(), sum)
+        });
+        // Dense ids are contiguous; global ids skip the lost rank 1.
+        assert_eq!(
+            results.iter().map(|(d, g, _)| (*d, *g)).collect::<Vec<_>>(),
+            vec![(0, 0), (1, 2), (2, 3)]
+        );
+        for (_, _, sum) in results {
+            assert_eq!(sum, vec![0.0 + 2.0 + 3.0]);
+        }
+    }
+
+    #[test]
+    fn readmitted_rank_restores_full_world() {
+        let mut group = DeviceGroup::new(3);
+        group.remove_rank(2).unwrap();
+        group.readmit_rank(2).unwrap();
+        assert_eq!(group.generation(), 2);
+        assert_eq!(group.live_world(), 3);
+        let results = group.run(|comm| comm.all_reduce_sum(vec![1.0]));
+        for r in results {
+            assert_eq!(r, vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn stale_generation_message_aborts_the_exchange() {
+        let group = DeviceGroup::new(2);
+        let results = group.try_run(|mut comm| {
+            if comm.rank() == 0 {
+                // Rank 0 pretends it never saw a reformation: its messages
+                // carry a stale generation tag.
+                comm.forge_generation(comm.generation() + 7);
+            }
+            comm.all_gather(vec![comm.rank() as f32])
+        });
+        let stale_rejections = results
+            .iter()
+            .filter(|r| {
+                matches!(r, Err(RankFailure::Panic(m)) if m.contains("stale generation"))
+            })
+            .count();
+        assert!(stale_rejections >= 1, "receiver must reject the forged tag: {results:?}");
+        assert!(results.iter().all(|r| r.is_err()), "no rank may complete on a corrupt exchange");
+    }
+
+    #[test]
+    fn membership_transitions_emit_events_and_generation_rollups() {
+        use torchgt_obs::MemoryRecorder;
+        let mem = Arc::new(MemoryRecorder::default());
+        let mut group = DeviceGroup::with_recorder(4, mem.clone());
+        group.run(|comm| comm.all_gather(vec![0.0f32; 4]));
+        group.remove_rank(3).unwrap();
+        group.run(|comm| comm.all_gather(vec![0.0f32; 4]));
+        group.readmit_rank(3).unwrap();
+        group.rollup_generation();
+        let report = mem.report();
+        let shrunk = report.events_of(Event::GROUP_SHRUNK);
+        assert_eq!(shrunk.len(), 1);
+        assert_eq!(shrunk[0].num("from_world"), Some(4.0));
+        assert_eq!(shrunk[0].num("to_world"), Some(3.0));
+        assert_eq!(shrunk[0].num("lost_rank"), Some(3.0));
+        let rejoined = report.events_of(Event::RANK_REJOINED);
+        assert_eq!(rejoined.len(), 1);
+        assert_eq!(rejoined[0].num("world"), Some(4.0));
+        // One rollup per closed generation: gen 0 (4 ranks), gen 1
+        // (3 ranks), and the final explicit rollup of gen 2 (idle).
+        let rollups = report.events_of(Event::GENERATION_ROLLUP);
+        assert_eq!(rollups.len(), 3);
+        assert_eq!(rollups[0].num("world"), Some(4.0));
+        assert_eq!(rollups[0].num("ops"), Some(4.0), "4 ranks × 1 all_gather");
+        assert_eq!(rollups[1].num("world"), Some(3.0));
+        assert_eq!(rollups[1].num("ops"), Some(3.0));
+        assert_eq!(rollups[2].num("ops"), Some(0.0));
+        // Per-generation wire volume: gen 0 moved 4×3×16B, gen 1 3×2×16B.
+        assert_eq!(rollups[0].num("wire_bytes"), Some((4 * 3 * 16) as f64));
+        assert_eq!(rollups[1].num("wire_bytes"), Some((3 * 2 * 16) as f64));
+    }
+
+    #[test]
+    fn straggler_watchdog_flags_the_slow_rank_only() {
+        use torchgt_obs::MemoryRecorder;
+        let mem = Arc::new(MemoryRecorder::default());
+        let mut group = DeviceGroup::with_recorder(4, mem.clone());
+        group.set_fault_plan(Some(FaultPlan::slow(2, 0.002)));
+        group.run(|comm| {
+            comm.barrier();
+            comm.barrier();
+        });
+        let flagged = group.detect_stragglers(4.0);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].rank, 2);
+        assert!(flagged[0].delay_s > 0.0);
+        let events = mem.report();
+        let stragglers = events.events_of(Event::STRAGGLER);
+        assert_eq!(stragglers.len(), 1);
+        assert_eq!(stragglers[0].num("rank"), Some(2.0));
+        // A healthy group flags nobody.
+        group.set_fault_plan(Some(FaultPlan::default()));
+        group.run(|comm| comm.barrier());
+        assert!(group.detect_stragglers(4.0).is_empty());
+    }
+
+    #[test]
+    fn straggler_detection_uses_global_ids_after_shrink() {
+        let mut group = DeviceGroup::new(4);
+        group.set_fault_plan(Some(FaultPlan::slow(3, 0.002)));
+        group.remove_rank(1).unwrap();
+        group.run(|comm| {
+            comm.barrier();
+            comm.barrier();
+        });
+        let flagged = group.detect_stragglers(2.0);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].rank, 3, "the flagged id is the stable global rank");
+    }
+
+    #[test]
+    fn crash_plan_keys_on_global_rank_after_shrink() {
+        let mut group = DeviceGroup::new(4);
+        // Global rank 2 dies at its second collective — also after rank 1
+        // is gone and rank 2's dense id has shifted to 1.
+        group.set_fault_plan(Some(FaultPlan::crash_at(9, 2, 1)));
+        group.remove_rank(1).unwrap();
+        let results = group.try_run(|comm| {
+            comm.barrier();
+            comm.all_reduce_sum(vec![1.0])
+        });
+        assert!(
+            matches!(&results[1], Err(RankFailure::Crash(c)) if c.rank == 2),
+            "dense slot 1 (global rank 2) should crash, got {:?}",
+            results[1]
+        );
     }
 }

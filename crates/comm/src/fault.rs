@@ -53,6 +53,12 @@ pub struct FaultPlan {
     pub retry_backoff_s: f64,
     /// Optional hard rank failure.
     pub crash: Option<CrashPoint>,
+    /// Optional straggler: this global rank sleeps `slow_delay_s` before
+    /// *every* send (deterministic, no probability — models a uniformly
+    /// slow worker for the watchdog to flag).
+    pub slow_rank: Option<usize>,
+    /// Per-send slowdown of the straggler rank, seconds.
+    pub slow_delay_s: f64,
 }
 
 impl Default for FaultPlan {
@@ -65,6 +71,8 @@ impl Default for FaultPlan {
             max_retries: 3,
             retry_backoff_s: 0.0,
             crash: None,
+            slow_rank: None,
+            slow_delay_s: 0.0,
         }
     }
 }
@@ -86,9 +94,18 @@ impl FaultPlan {
         Self { seed, crash: Some(CrashPoint { rank, op }), ..Self::default() }
     }
 
+    /// Straggler-only plan: global rank `rank` sleeps `delay_s` before
+    /// every send.
+    pub fn slow(rank: usize, delay_s: f64) -> Self {
+        Self { slow_rank: Some(rank), slow_delay_s: delay_s, ..Self::default() }
+    }
+
     /// True when the plan can inject anything at all.
     pub fn is_active(&self) -> bool {
-        self.delay_prob > 0.0 || self.drop_prob > 0.0 || self.crash.is_some()
+        self.delay_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.crash.is_some()
+            || (self.slow_rank.is_some() && self.slow_delay_s > 0.0)
     }
 }
 
@@ -112,6 +129,9 @@ pub(crate) struct FaultState {
     pub(crate) collective_ops: Vec<AtomicU64>,
     /// Per-rank point-to-point send counters.
     pub(crate) send_ops: Vec<AtomicU64>,
+    /// Per-rank accumulated injected send delay, microseconds (the
+    /// straggler watchdog's ledger; reset each run).
+    pub(crate) delay_us: Vec<AtomicU64>,
     /// Cleared when the crash fires so the recovery run proceeds clean.
     pub(crate) crash_armed: AtomicBool,
 }
@@ -122,6 +142,7 @@ impl FaultState {
             plan,
             collective_ops: (0..world).map(|_| AtomicU64::new(0)).collect(),
             send_ops: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            delay_us: (0..world).map(|_| AtomicU64::new(0)).collect(),
             crash_armed: AtomicBool::new(plan.crash.is_some()),
         }
     }
@@ -129,9 +150,20 @@ impl FaultState {
     /// Reset per-run counters (each `run`/`try_run` replays op indices from
     /// 0; the crash arm deliberately survives so it fires once per plan).
     pub(crate) fn reset_counters(&self) {
-        for c in self.collective_ops.iter().chain(&self.send_ops) {
+        for c in self.collective_ops.iter().chain(&self.send_ops).chain(&self.delay_us) {
             c.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Charge `seconds` of injected delay to `rank`'s straggler ledger.
+    pub(crate) fn add_delay_s(&self, rank: usize, seconds: f64) {
+        let us = (seconds * 1e6) as u64;
+        self.delay_us[rank].fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Injected delay accumulated by `rank` since the last reset, seconds.
+    pub(crate) fn delay_s(&self, rank: usize) -> f64 {
+        self.delay_us[rank].load(Ordering::Relaxed) as f64 / 1e6
     }
 
     /// Next collective-op index for `rank`.

@@ -4,17 +4,20 @@
 //! data-movement collectives where every rank is a thread
 //! ([`collectives::DeviceGroup`]), α–β interconnect cost models matching the
 //! paper's two testbeds ([`interconnect`]), volume accounting ([`stats`]),
-//! and deterministic fault injection — message delay, drop-with-retry, and
-//! rank crashes ([`fault`]).
+//! deterministic fault injection — message delay, drop-with-retry, straggler
+//! slowdown, and rank crashes ([`fault`]) — and elastic group membership
+//! with generation-tagged collectives ([`membership`]).
 
 pub mod collectives;
 pub mod fault;
 pub mod hierarchical;
 pub mod interconnect;
+pub mod membership;
 pub mod stats;
 
-pub use collectives::{Communicator, DeviceGroup, RankFailure};
+pub use collectives::{Communicator, DeviceGroup, RankFailure, StragglerReport};
 pub use fault::{CrashPoint, FaultPlan, RankCrash};
 pub use hierarchical::{hierarchical_all_to_all, hierarchical_advantage};
 pub use interconnect::{ClusterTopology, Interconnect};
+pub use membership::{Membership, MembershipError};
 pub use stats::{CollectiveKind, CommStats};

@@ -322,7 +322,10 @@ impl TorchGtBuilder {
 pub mod prelude {
     pub use crate::{BuildError, ModelKind, TorchGtBuilder};
     pub use torchgt_ckpt::{CheckpointStore, Snapshot};
-    pub use torchgt_comm::{ClusterTopology, CrashPoint, FaultPlan, Interconnect, RankFailure};
+    pub use torchgt_comm::{
+        ClusterTopology, CrashPoint, FaultPlan, Interconnect, Membership, RankFailure,
+        StragglerReport,
+    };
     pub use torchgt_graph::{DatasetKind, GraphDataset, GraphLabel, NodeDataset, TaskKind};
     pub use torchgt_model::{Pattern, SequenceBatch, SequenceModel};
     pub use torchgt_obs::{
@@ -330,8 +333,9 @@ pub mod prelude {
     };
     pub use torchgt_perf::{GpuSpec, ModelShape};
     pub use torchgt_runtime::{
-        run_with_checkpoints, CheckpointOptions, EpochStats, GraphTrainer, Method, NodeTrainer,
-        ResumeOutcome, TrainConfig, Trainer,
+        run_with_checkpoints, train_data_parallel_elastic, CheckpointOptions, ElasticStats,
+        EpochStats, GraphTrainer, Method, NodeTrainer, RankLoss, RecoveryPolicy, ResumeOutcome,
+        TrainConfig, Trainer,
     };
     pub use torchgt_sparse::LayoutKind;
     pub use torchgt_tensor::{Precision, Tensor};

@@ -202,6 +202,133 @@ impl Event {
         }
     }
 
+    /// Kind tag of [`Event::rank_lost`] events.
+    pub const RANK_LOST: &'static str = "rank_lost";
+    /// Kind tag of [`Event::group_shrunk`] events.
+    pub const GROUP_SHRUNK: &'static str = "group_shrunk";
+    /// Kind tag of [`Event::reshard`] events.
+    pub const RESHARD: &'static str = "reshard";
+    /// Kind tag of [`Event::rank_rejoined`] events.
+    pub const RANK_REJOINED: &'static str = "rank_rejoined";
+    /// Kind tag of [`Event::straggler`] events.
+    pub const STRAGGLER: &'static str = "straggler";
+    /// Kind tag of [`Event::loss_nonfinite`] events.
+    pub const LOSS_NONFINITE: &'static str = "loss_nonfinite";
+    /// Kind tag of [`Event::generation_rollup`] events.
+    pub const GENERATION_ROLLUP: &'static str = "generation_rollup";
+
+    /// A rank exhausted its retry budget and is declared permanently lost
+    /// (the escalation ladder's shrink decision is about to run).
+    pub fn rank_lost(rank: usize, generation: u64, restarts: usize) -> Self {
+        Self {
+            kind: Self::RANK_LOST.to_string(),
+            fields: torchgt_compat::json!({
+                "rank": rank,
+                "generation": generation,
+                "restarts": restarts,
+            }),
+        }
+    }
+
+    /// The device group reformed without a lost rank: generation
+    /// `generation` now spans `to_world` live ranks (was `from_world`).
+    pub fn group_shrunk(generation: u64, from_world: usize, to_world: usize, lost_rank: usize) -> Self {
+        Self {
+            kind: Self::GROUP_SHRUNK.to_string(),
+            fields: torchgt_compat::json!({
+                "generation": generation,
+                "from_world": from_world,
+                "to_world": to_world,
+                "lost_rank": lost_rank,
+            }),
+        }
+    }
+
+    /// Token assignment was recomputed for a new world size: of `tokens`
+    /// total, `moved` migrated between surviving ranks over the wire and
+    /// `reloaded` were re-materialized because their old owner is gone.
+    pub fn reshard(generation: u64, world: usize, tokens: usize, moved: usize, reloaded: usize) -> Self {
+        Self {
+            kind: Self::RESHARD.to_string(),
+            fields: torchgt_compat::json!({
+                "generation": generation,
+                "world": world,
+                "tokens": tokens,
+                "moved": moved,
+                "reloaded": reloaded,
+            }),
+        }
+    }
+
+    /// A previously lost rank was re-admitted at an epoch boundary:
+    /// generation `generation` now spans `world` live ranks again.
+    pub fn rank_rejoined(rank: usize, generation: u64, world: usize) -> Self {
+        Self {
+            kind: Self::RANK_REJOINED.to_string(),
+            fields: torchgt_compat::json!({
+                "rank": rank,
+                "generation": generation,
+                "world": world,
+            }),
+        }
+    }
+
+    /// The straggler watchdog flagged `rank`: its accumulated injected
+    /// send delay `delay_s` exceeds `multiple` × the group median
+    /// `median_s` (detection only — no eviction).
+    pub fn straggler(rank: usize, delay_s: f64, median_s: f64, multiple: f64) -> Self {
+        Self {
+            kind: Self::STRAGGLER.to_string(),
+            fields: torchgt_compat::json!({
+                "rank": rank,
+                "delay_s": delay_s,
+                "median_s": median_s,
+                "multiple": multiple,
+            }),
+        }
+    }
+
+    /// The epoch mean training loss came out NaN/Inf — the numerical-health
+    /// guard fires before the poisoned state can reach a snapshot.
+    pub fn loss_nonfinite(epoch: usize, loss: f64) -> Self {
+        // NaN is not representable in JSON; encode it as a string marker so
+        // the event survives a metrics round-trip.
+        let loss_field = if loss.is_finite() {
+            torchgt_compat::json!(loss)
+        } else if loss.is_nan() {
+            torchgt_compat::json!("nan")
+        } else if loss > 0.0 {
+            torchgt_compat::json!("inf")
+        } else {
+            torchgt_compat::json!("-inf")
+        };
+        Self {
+            kind: Self::LOSS_NONFINITE.to_string(),
+            fields: torchgt_compat::json!({ "epoch": epoch, "loss": loss_field }),
+        }
+    }
+
+    /// Collective-volume rollup of one membership generation, emitted when
+    /// the generation closes (shrink, rejoin, or end of training).
+    pub fn generation_rollup(
+        generation: u64,
+        world: usize,
+        ops: u64,
+        wire_bytes: u64,
+        bytes_sent: u64,
+    ) -> Self {
+        Self {
+            kind: Self::GENERATION_ROLLUP.to_string(),
+            fields: torchgt_compat::json!({
+                "generation": generation,
+                "world": world,
+                "ops": ops,
+                "wire_bytes": wire_bytes,
+                "bytes_sent": bytes_sent,
+            }),
+        }
+    }
+
     /// Numeric field accessor (`None` when absent or non-numeric).
     pub fn num(&self, name: &str) -> Option<f64> {
         self.fields.get(name).and_then(Value::as_f64)
@@ -376,6 +503,45 @@ mod tests {
         assert_eq!(r.num("compaction_ratio"), Some(1.5));
         assert_eq!(r.num("dense_cluster_fraction"), Some(0.0));
         assert_eq!(r.num("missing"), None);
+    }
+
+    #[test]
+    fn membership_event_constructors_tag_kinds() {
+        let l = Event::rank_lost(3, 0, 2);
+        assert_eq!(l.kind, Event::RANK_LOST);
+        assert_eq!(l.num("rank"), Some(3.0));
+        let s = Event::group_shrunk(1, 4, 3, 3);
+        assert_eq!(s.kind, Event::GROUP_SHRUNK);
+        assert_eq!(s.num("to_world"), Some(3.0));
+        let r = Event::reshard(1, 3, 12, 4, 3);
+        assert_eq!(r.kind, Event::RESHARD);
+        assert_eq!(r.num("moved"), Some(4.0));
+        assert_eq!(r.num("reloaded"), Some(3.0));
+        let j = Event::rank_rejoined(3, 2, 4);
+        assert_eq!(j.kind, Event::RANK_REJOINED);
+        assert_eq!(j.num("world"), Some(4.0));
+        let st = Event::straggler(2, 0.5, 0.01, 4.0);
+        assert_eq!(st.kind, Event::STRAGGLER);
+        assert_eq!(st.num("delay_s"), Some(0.5));
+        let g = Event::generation_rollup(0, 4, 128, 1 << 20, 1 << 21);
+        assert_eq!(g.kind, Event::GENERATION_ROLLUP);
+        assert_eq!(g.num("ops"), Some(128.0));
+    }
+
+    #[test]
+    fn loss_nonfinite_event_survives_json_round_trip() {
+        let e = Event::loss_nonfinite(5, f64::NAN);
+        assert_eq!(e.kind, Event::LOSS_NONFINITE);
+        assert_eq!(e.num("epoch"), Some(5.0));
+        // NaN encodes as a string marker, not a broken number literal.
+        assert_eq!(e.fields.get("loss").and_then(Value::as_str), Some("nan"));
+        let text = torchgt_compat::json::to_string(&e.to_json()).unwrap();
+        let back: Event = torchgt_compat::json::from_str_as(&text).unwrap();
+        assert_eq!(back, e);
+        let inf = Event::loss_nonfinite(1, f64::INFINITY);
+        assert_eq!(inf.fields.get("loss").and_then(Value::as_str), Some("inf"));
+        let fin = Event::loss_nonfinite(1, 2.5);
+        assert_eq!(fin.num("loss"), Some(2.5));
     }
 
     #[test]

@@ -199,10 +199,15 @@ impl BatchedGraphTrainer {
             let (l, _) = self.forward_batch(bi, decision, true);
             total_loss += l;
         }
+        let mean_loss = total_loss / self.batches.len().max(1) as f32;
+        // Numerical-health guard (see NodeTrainer::train_epoch).
+        if on && !mean_loss.is_finite() {
+            self.recorder.event(torchgt_obs::Event::loss_nonfinite(self.epoch, mean_loss as f64));
+        }
         let (train_m, test_m) = self.evaluate();
         let stats = EpochStats {
             epoch: self.epoch,
-            loss: total_loss / self.batches.len().max(1) as f32,
+            loss: mean_loss,
             train_acc: train_m,
             test_acc: test_m,
             wall_seconds: t0.elapsed().as_secs_f64(),

@@ -43,6 +43,66 @@ impl Method {
 }
 
 torchgt_compat::json_struct! {
+    /// How distributed drivers recover from rank failures: the retry
+    /// budget, the seeded backoff schedule, and the shrink threshold of
+    /// the escalation ladder (retry → restore-from-snapshot →
+    /// shrink-and-continue).
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct RecoveryPolicy {
+        /// Restore-and-retry attempts per membership generation before the
+        /// driver escalates (shrinks when allowed, fails otherwise).
+        pub max_retries: usize,
+        /// Base of the exponential backoff slept between attempts, seconds
+        /// (0 disables backoff).
+        pub backoff_base_s: f64,
+        /// Seed of the backoff jitter — the sleep is a pure function of
+        /// `(backoff_seed, attempt)`, so a replayed run waits identically.
+        pub backoff_seed: u64,
+        /// Permit the escalation ladder's final rung: drop the crashed
+        /// rank and continue on the survivors.
+        pub allow_shrink: bool,
+        /// Never shrink below this many live ranks.
+        pub min_ranks: usize,
+        /// Straggler watchdog threshold: flag a rank whose injected send
+        /// delay exceeds this multiple of the live-group median.
+        pub straggler_multiple: f64,
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            // Matches the pre-policy hardcoded MAX_ATTEMPTS = 4.
+            max_retries: 4,
+            backoff_base_s: 0.01,
+            backoff_seed: 0,
+            allow_shrink: false,
+            min_ranks: 1,
+            straggler_multiple: 4.0,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retry `attempt` (1-based), seconds: exponential in
+    /// the attempt number with a seeded jitter factor in `[0.5, 1.5)`.
+    /// Pure — same `(backoff_seed, attempt)` always gives the same wait.
+    pub fn backoff_s(&self, attempt: usize) -> f64 {
+        if self.backoff_base_s <= 0.0 || attempt == 0 {
+            return 0.0;
+        }
+        let exp = self.backoff_base_s * (1u64 << (attempt - 1).min(10)) as f64;
+        let mut state = self
+            .backoff_seed
+            .wrapping_mul(0x1656_67B1_9E37_79F9)
+            ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let x = torchgt_compat::rng::splitmix64(&mut state);
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        exp * (0.5 + unit)
+    }
+}
+
+torchgt_compat::json_struct! {
     /// Configuration of a training run.
     #[derive(Clone, Copy, Debug)]
     pub struct TrainConfig {
@@ -73,6 +133,8 @@ torchgt_compat::json_struct! {
         pub warmup_steps: usize,
         /// RNG seed.
         pub seed: u64,
+        /// Failure-recovery policy for the distributed drivers.
+        pub recovery: RecoveryPolicy,
     }
 }
 
@@ -91,6 +153,7 @@ impl TrainConfig {
             beta_thre: None,
             warmup_steps: 0,
             seed: 1,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -146,6 +209,50 @@ mod tests {
         assert_eq!(back.beta_thre, cfg.beta_thre);
         assert_eq!(back.warmup_steps, cfg.warmup_steps);
         assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.recovery, cfg.recovery);
+    }
+
+    #[test]
+    fn recovery_policy_round_trips_and_defaults_match_legacy() {
+        use torchgt_compat::json::{from_str_as, to_string, ToJson};
+        let p = RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_s: 0.5,
+            backoff_seed: 99,
+            allow_shrink: true,
+            min_ranks: 3,
+            straggler_multiple: 2.5,
+        };
+        let text = to_string(&p.to_json()).unwrap();
+        let back: RecoveryPolicy = from_str_as(&text).unwrap();
+        assert_eq!(back, p);
+        // The default retry budget matches the previously hardcoded
+        // MAX_ATTEMPTS = 4, so existing resilient runs behave identically.
+        assert_eq!(RecoveryPolicy::default().max_retries, 4);
+        assert!(!RecoveryPolicy::default().allow_shrink);
+    }
+
+    #[test]
+    fn backoff_is_pure_jittered_and_exponential() {
+        let p = RecoveryPolicy { backoff_base_s: 0.1, backoff_seed: 7, ..Default::default() };
+        // Pure: same (seed, attempt) → same wait.
+        for attempt in 1..8 {
+            assert_eq!(p.backoff_s(attempt).to_bits(), p.backoff_s(attempt).to_bits());
+        }
+        // Jitter stays within [0.5, 1.5) of the exponential envelope and
+        // the envelope doubles per attempt.
+        for attempt in 1..8usize {
+            let envelope = 0.1 * (1u64 << (attempt - 1)) as f64;
+            let b = p.backoff_s(attempt);
+            assert!(b >= envelope * 0.5 && b < envelope * 1.5, "attempt {attempt}: {b}");
+        }
+        // Different seeds give different schedules somewhere.
+        let q = RecoveryPolicy { backoff_seed: 8, ..p };
+        assert!((1..8).any(|a| p.backoff_s(a) != q.backoff_s(a)));
+        // Disabled backoff and attempt 0 wait nothing.
+        assert_eq!(p.backoff_s(0), 0.0);
+        let off = RecoveryPolicy { backoff_base_s: 0.0, ..p };
+        assert_eq!(off.backoff_s(3), 0.0);
     }
 
     #[test]

@@ -161,9 +161,10 @@ where
     F: Fn() -> Box<dyn SequenceModel> + Sync,
 {
     assert!(world >= 1);
-    // Generous bound: the injected crash fires at most once, so two
-    // attempts normally suffice; anything beyond a handful is a bug.
-    const MAX_ATTEMPTS: usize = 4;
+    // The retry budget comes from the config's RecoveryPolicy (default 4,
+    // matching the former hardcoded bound): the injected crash fires at
+    // most once, so two attempts normally suffice.
+    let policy = cfg.recovery;
     let mut group = DeviceGroup::with_recorder(world, recorder.clone());
     group.set_fault_plan(Some(plan));
     let mut restarts = 0usize;
@@ -192,7 +193,7 @@ where
             return Ok(ResilientStats { stats: out, restarts, resumed_epochs });
         }
         restarts += 1;
-        if restarts >= MAX_ATTEMPTS {
+        if restarts >= policy.max_retries {
             let failure = results
                 .into_iter()
                 .filter_map(Result::err)
@@ -202,6 +203,10 @@ where
             return Err(io::Error::other(format!(
                 "distributed run did not recover after {restarts} restarts: {failure}"
             )));
+        }
+        let wait = policy.backoff_s(restarts);
+        if wait > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(wait));
         }
     }
 }

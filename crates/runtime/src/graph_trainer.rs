@@ -270,6 +270,10 @@ impl GraphTrainer {
             }
         }
         let mean_loss = total_loss / self.train_idx.len().max(1) as f32;
+        // Numerical-health guard (see NodeTrainer::train_epoch).
+        if on && !mean_loss.is_finite() {
+            self.recorder.event(torchgt_obs::Event::loss_nonfinite(self.epoch, mean_loss as f64));
+        }
         let mut eval_mark = on.then(Instant::now);
         let (train_m, test_m) = self.evaluate();
         let eval_s = lap(&mut eval_mark);

@@ -19,12 +19,16 @@
 //!   full-state snapshots and bit-exact re-entry into the epoch loop;
 //! * [`distributed`] — data-parallel training over simulated ranks, plus a
 //!   fault-resilient driver that recovers injected rank crashes from the
-//!   latest snapshot.
+//!   latest snapshot;
+//! * [`elastic`] — degraded-mode training that survives *permanent* rank
+//!   loss: the escalation ladder (retry → restore → shrink-and-continue),
+//!   token-conserving resharding, and world-size-independent snapshots.
 
 pub mod autotune;
 pub mod batched;
 pub mod config;
 pub mod distributed;
+pub mod elastic;
 pub mod graph_trainer;
 pub mod interleave;
 pub mod parallel;
@@ -35,9 +39,13 @@ pub mod traits;
 
 pub use autotune::AutoTuner;
 pub use batched::BatchedGraphTrainer;
-pub use config::{Method, TrainConfig};
+pub use config::{Method, RecoveryPolicy, TrainConfig};
 pub use distributed::{
     train_data_parallel, train_data_parallel_resilient, DistributedStats, ResilientStats,
+};
+pub use elastic::{
+    cluster_token_assignment, reshard_exchange, tokens_conserved, train_data_parallel_elastic,
+    ElasticStats, RankLoss, ReshardOutcome,
 };
 pub use graph_trainer::GraphTrainer;
 pub use interleave::{Decision, InterleaveScheduler};

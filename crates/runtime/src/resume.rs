@@ -110,8 +110,33 @@ pub fn run_with_checkpoints(
     let total = trainer.cfg().epochs;
     let every = opts.every.max(1);
     let mut stats = Vec::new();
+    let mut nonfinite_restore_spent = false;
     while trainer.epoch() < total {
-        stats.push(trainer.train_epoch());
+        let epoch_stats = trainer.train_epoch();
+        if !epoch_stats.loss.is_finite() {
+            // Numerical-health guard: the epoch is poisoned (NaN/Inf loss),
+            // so don't record or snapshot it. Restore from the last good
+            // snapshot once; a recurrence means the run itself is diverging
+            // and retrying would loop forever.
+            if recorder.enabled() {
+                recorder.event(Event::loss_nonfinite(epoch_stats.epoch, epoch_stats.loss as f64));
+            }
+            if !nonfinite_restore_spent {
+                if let Some(snap) = store.load_latest()? {
+                    nonfinite_restore_spent = true;
+                    trainer.restore(&snap)?;
+                    if recorder.enabled() {
+                        recorder.event(Event::restore(trainer.epoch()));
+                    }
+                    continue;
+                }
+            }
+            return Err(io::Error::other(format!(
+                "non-finite training loss {} at epoch {}",
+                epoch_stats.loss, epoch_stats.epoch
+            )));
+        }
+        stats.push(epoch_stats);
         let done = trainer.epoch();
         if done % every == 0 || done == total {
             store.save(&trainer.snapshot())?;

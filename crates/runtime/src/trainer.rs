@@ -429,6 +429,11 @@ impl NodeTrainer {
             }
         }
         let mean_loss = total_loss / nseq.max(1) as f32;
+        // Numerical-health guard: a NaN/Inf epoch loss means the run is
+        // poisoned — flag it so drivers can restore from the last snapshot.
+        if on && !mean_loss.is_finite() {
+            self.recorder.event(Event::loss_nonfinite(self.epoch, mean_loss as f64));
+        }
         let mut eval_mark = on.then(Instant::now);
         let (train_acc, test_acc) = self.evaluate();
         let eval_s = lap(&mut eval_mark);

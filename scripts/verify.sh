@@ -72,4 +72,26 @@ if [ "$stitched" != "$clean" ]; then
 fi
 echo "crash-resume smoke: OK"
 
+echo "== elastic degraded-mode smoke test =="
+# Lose global rank 1 for good at epoch 1 of a 4-rank elastic run: the
+# escalation ladder must shrink the group and finish at P-1 with exit 0,
+# the metrics JSON must record the membership transition, and the
+# final_world gauge must equal 3.
+./target/release/torchgt_cli train --dataset arxiv --method gp-sparse \
+    --elastic --world 4 --min-ranks 2 --lose-rank 1@1 \
+    --epochs 3 --scale 0.002 --seq-len 128 --seed 7 \
+    --checkpoint-dir "$scratch/elastic-ckpts" \
+    --metrics "$scratch/elastic.json" >/dev/null \
+    || { echo "elastic run failed (exit $?)"; exit 1; }
+grep -q '"group_shrunk"' "$scratch/elastic.json" \
+    || { echo "group_shrunk event missing from metrics"; exit 1; }
+grep -q '"reshard"' "$scratch/elastic.json" \
+    || { echo "reshard event missing from metrics"; exit 1; }
+final_world="$(grep -A1 '"name": "final_world"' "$scratch/elastic.json" \
+    | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*' | head -1)"
+[ -n "$final_world" ] || { echo "final_world gauge missing from metrics"; exit 1; }
+awk -v w="$final_world" 'BEGIN { exit !(w == 3) }' \
+    || { echo "expected final world 3 after losing one of 4 ranks, got $final_world"; exit 1; }
+echo "elastic smoke: OK (final_world=$final_world)"
+
 echo "verify: OK"

@@ -23,6 +23,14 @@
 //! restores from the latest snapshot and continues bit-exactly.
 //! `--crash-after <n>` simulates a crash after `n` completed epochs (exit
 //! code 3, snapshots intact) — the crash-resume verification gate drives it.
+//!
+//! `--elastic` switches `train` to the elastic data-parallel driver over
+//! `--world <P>` simulated ranks: the escalation ladder (retry →
+//! restore-from-snapshot → shrink-and-continue) survives a permanent rank
+//! loss, never shrinking below `--min-ranks`. `--lose-rank <rank>@<epoch>`
+//! scripts a permanent loss for drills; `--max-retries <n>` bounds restore
+//! attempts per membership generation. The elastic verification gate drives
+//! this path end-to-end.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -38,6 +46,7 @@ const CRASH_EXIT: u8 = 3;
 const TRAIN_FLAGS: &[&str] = &[
     "dataset", "method", "scale", "epochs", "seed", "model", "seq-len", "hidden", "layers",
     "heads", "lr", "metrics", "checkpoint-dir", "checkpoint-every", "resume", "crash-after",
+    "elastic", "world", "min-ranks", "lose-rank", "max-retries",
 ];
 
 /// Parse `--key value` / `--switch` pairs, rejecting anything not in
@@ -189,6 +198,9 @@ fn main() -> ExitCode {
                 dataset.graph.num_edges(),
                 dataset.num_classes
             );
+            if flags.contains_key("elastic") {
+                return run_elastic(&flags, m, &dataset, epochs, seed);
+            }
             let built = TorchGtBuilder::new(m)
                 .model(model)
                 .seq_len(get("seq-len", "512").parse().unwrap_or(512))
@@ -284,4 +296,113 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// The `train --elastic` path: data-parallel training over simulated ranks
+/// that survives permanent rank loss by shrinking the group and resharding.
+fn run_elastic(
+    flags: &HashMap<String, String>,
+    m: Method,
+    dataset: &NodeDataset,
+    epochs: usize,
+    seed: u64,
+) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let world: usize = get("world", "4").parse().unwrap_or(4).max(1);
+    let lose: Option<RankLoss> = match flags.get("lose-rank") {
+        Some(s) => match s.parse() {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("bad --lose-rank (want <rank>@<epoch>): {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let mut cfg = TrainConfig::new(m, get("seq-len", "512").parse().unwrap_or(512), epochs);
+    cfg.lr = get("lr", "2e-3").parse().unwrap_or(2e-3);
+    cfg.seed = seed;
+    cfg.recovery.allow_shrink = true;
+    cfg.recovery.min_ranks = get("min-ranks", "1").parse().unwrap_or(1);
+    cfg.recovery.max_retries = get("max-retries", "1").parse().unwrap_or(1);
+    let gt = torchgt::model::GtConfig {
+        feat_dim: dataset.feat_dim,
+        hidden: get("hidden", "32").parse().unwrap_or(32),
+        layers: get("layers", "2").parse().unwrap_or(2),
+        heads: get("heads", "4").parse().unwrap_or(4),
+        ffn_mult: 4,
+        out_dim: dataset.num_classes,
+        pe_dim: 8,
+        dropout: 0.1,
+    };
+    if gt.heads == 0 || gt.hidden % gt.heads != 0 {
+        eprintln!("invalid configuration: heads must divide hidden");
+        return ExitCode::from(2);
+    }
+    let factory = move || -> Box<dyn SequenceModel> { Box::new(torchgt::model::Gt::new(gt, seed)) };
+    let dir = get(
+        "checkpoint-dir",
+        &std::env::temp_dir()
+            .join(format!("torchgt-elastic-{}", std::process::id()))
+            .to_string_lossy(),
+    );
+    let store = match CheckpointStore::new(dir.clone(), 3) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open checkpoint dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mem = Arc::new(MemoryRecorder::default());
+    let recorder: RecorderHandle = mem.clone();
+    println!(
+        "elastic run: world {world}, min ranks {}, max retries {} per generation{}",
+        cfg.recovery.min_ranks,
+        cfg.recovery.max_retries,
+        lose.map(|l| format!(", scripted loss of rank {} at epoch {}", l.rank, l.epoch))
+            .unwrap_or_default()
+    );
+    let out = match train_data_parallel_elastic(
+        dataset,
+        cfg,
+        world,
+        factory,
+        FaultPlan::default(),
+        lose,
+        &store,
+        recorder,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("elastic run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{:>5} {:>9}", "epoch", "loss");
+    for (i, l) in out.stats.epoch_losses.iter().enumerate() {
+        println!("{:>5} {:>9.4}", i + 1, l);
+    }
+    println!(
+        "finished at world {} (started {}), generation {}, {} restart(s), {} shrink(s), lost ranks {:?}",
+        out.final_world,
+        out.initial_world,
+        out.generation,
+        out.restarts,
+        out.shrinks,
+        out.lost_ranks
+    );
+    if let Some(path) = flags.get("metrics") {
+        mem.gauge_set("final_world", out.final_world as f64);
+        mem.gauge_set("initial_world", out.initial_world as f64);
+        mem.gauge_set("generation", out.generation as f64);
+        mem.gauge_set("restarts", out.restarts as f64);
+        mem.gauge_set("shrinks", out.shrinks as f64);
+        let report = mem.report();
+        if let Err(e) = std::fs::write(path, report.to_json_string_pretty()) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
+    ExitCode::SUCCESS
 }
