@@ -1,0 +1,206 @@
+//! SIMD backend speedup: per-kernel wall time under the scalar backend
+//! versus every SIMD backend this CPU supports (AVX2, AVX-512).
+//!
+//! Each kernel runs on identical inputs under every backend; an f64 output
+//! checksum is compared against the scalar run (within the parity harness's
+//! documented tolerances) so a backend cannot "win" by computing the wrong
+//! thing. Rows land in `target/experiments/BENCH_simd.json` for the
+//! verify-script gate, which requires ≥2× on at least one matmul/softmax
+//! kernel whenever a SIMD backend is available.
+
+use std::time::Instant;
+use torchgt_bench::{banner, dump_json};
+use torchgt_graph::generators::barabasi_albert;
+use torchgt_sparse::{sub_block_attention_with, BlockCsr};
+use torchgt_tensor::backend::{self, Backend};
+use torchgt_tensor::{init, ops, Tensor, Workspace};
+
+const S: usize = 256;
+const D: usize = 128;
+const ITERS: usize = 60;
+
+struct Kernel {
+    name: &'static str,
+    /// Runs the kernel once under `be` and returns an output checksum.
+    run: Box<dyn Fn(Backend) -> f64>,
+    /// Relative checksum tolerance vs scalar (0.0 = bit-exact kernels).
+    tol: f64,
+}
+
+fn checksum(t: &Tensor) -> f64 {
+    t.data().iter().map(|&x| x as f64).sum()
+}
+
+fn main() {
+    banner("simd_speedup", "kernel backend dispatch — scalar vs SIMD wall time");
+    let a = init::normal(S, D, 0.0, 0.5, 21);
+    let b = init::normal(D, D, 0.0, 0.5, 22);
+    let bt = init::normal(S, D, 0.0, 0.5, 23);
+    let gamma = init::normal(1, D, 1.0, 0.1, 24);
+    let beta = init::normal(1, D, 0.0, 0.1, 25);
+    let q = init::normal(S, D, 0.0, 0.5, 26);
+    let k = init::normal(S, D, 0.0, 0.5, 27);
+    let v = init::normal(S, D, 0.0, 0.5, 28);
+    let mask = barabasi_albert(S, 8, 7).with_self_loops();
+    let blocks = BlockCsr::from_mask(&mask, 8);
+
+    let kernels: Vec<Kernel> = vec![
+        Kernel {
+            name: "matmul_into",
+            tol: 0.0,
+            run: {
+                let (a, b) = (a.clone(), b.clone());
+                Box::new(move |be| {
+                    let mut out = Tensor::zeros(a.rows(), b.cols());
+                    ops::matmul_into_with(be, &a, &b, &mut out);
+                    checksum(&out)
+                })
+            },
+        },
+        Kernel {
+            name: "matmul_bt_into",
+            tol: 1e-5,
+            run: {
+                let (a, bt) = (a.clone(), bt.clone());
+                Box::new(move |be| {
+                    let mut out = Tensor::zeros(a.rows(), bt.rows());
+                    ops::matmul_bt_into_with(be, &a, &bt, &mut out);
+                    checksum(&out)
+                })
+            },
+        },
+        Kernel {
+            name: "matmul_at_into",
+            tol: 0.0,
+            run: {
+                let (a, bt) = (a.clone(), bt.clone());
+                Box::new(move |be| {
+                    let mut out = Tensor::zeros(a.cols(), bt.cols());
+                    ops::matmul_at_into_with(be, &a, &bt, &mut out);
+                    checksum(&out)
+                })
+            },
+        },
+        Kernel {
+            name: "row_softmax_into",
+            tol: 1e-5,
+            run: {
+                let a = a.clone();
+                Box::new(move |be| {
+                    let mut out = Tensor::zeros(a.rows(), a.cols());
+                    ops::row_softmax_into_with(be, &a, &mut out);
+                    checksum(&out)
+                })
+            },
+        },
+        Kernel {
+            name: "gelu_into",
+            tol: 1e-5,
+            run: {
+                let a = a.clone();
+                Box::new(move |be| {
+                    let mut out = Tensor::zeros(a.rows(), a.cols());
+                    ops::gelu_into_with(be, &a, &mut out);
+                    checksum(&out)
+                })
+            },
+        },
+        Kernel {
+            name: "layer_norm_into",
+            tol: 1e-4,
+            run: {
+                let (a, gamma, beta) = (a.clone(), gamma.clone(), beta.clone());
+                Box::new(move |be| {
+                    let mut out = Tensor::zeros(a.rows(), a.cols());
+                    ops::layer_norm_into_with(be, &a, &gamma, &beta, 1e-5, &mut out);
+                    checksum(&out)
+                })
+            },
+        },
+        Kernel {
+            name: "sub_block_attention",
+            tol: 1e-5,
+            run: {
+                let (q, k, v, blocks) = (q.clone(), k.clone(), v.clone(), blocks.clone());
+                Box::new(move |be| {
+                    let mut ws = Workspace::new();
+                    let out = sub_block_attention_with(be, &q, &k, &v, 4, &blocks, &mut ws);
+                    checksum(&out)
+                })
+            },
+        },
+    ];
+
+    let backends = backend::supported();
+    println!(
+        "detected best: {}   supported: {:?}\n",
+        backend::detect_best().name(),
+        backends.iter().map(|b| b.name()).collect::<Vec<_>>()
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>9}",
+        "kernel", "scalar ms", "backend", "ms/iter", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for kernel in &kernels {
+        // Time one backend: warm-up iteration, then ITERS timed runs.
+        let time = |be: Backend| -> (f64, f64) {
+            let sum = (kernel.run)(be);
+            let t0 = Instant::now();
+            let mut acc = 0.0;
+            for _ in 0..ITERS {
+                acc += (kernel.run)(be);
+            }
+            assert!(acc.is_finite(), "{}: non-finite checksum under {}", kernel.name, be.name());
+            (t0.elapsed().as_secs_f64() / ITERS as f64, sum)
+        };
+        let (scalar_s, scalar_sum) = time(Backend::Scalar);
+        for &be in &backends {
+            if be == Backend::Scalar {
+                continue;
+            }
+            let (be_s, be_sum) = time(be);
+            let drift = (be_sum - scalar_sum).abs() / scalar_sum.abs().max(1.0);
+            assert!(
+                drift <= kernel.tol.max(f64::EPSILON * 64.0),
+                "{}: checksum drift {drift:e} under {} (scalar {scalar_sum} vs {be_sum})",
+                kernel.name,
+                be.name()
+            );
+            let speedup = scalar_s / be_s;
+            println!(
+                "{:<22} {:>12.4} {:>12} {:>12.4} {:>8.2}x",
+                kernel.name,
+                scalar_s * 1e3,
+                be.name(),
+                be_s * 1e3,
+                speedup
+            );
+            rows.push(torchgt_compat::json!({
+                "kernel": kernel.name,
+                "backend": be.name(),
+                "scalar_s_per_iter": scalar_s,
+                "simd_s_per_iter": be_s,
+                "speedup": speedup,
+                "checksum_rel_drift": drift,
+            }));
+        }
+        if backends.len() == 1 {
+            println!(
+                "{:<22} {:>12.4}   (no SIMD backend on this CPU)",
+                kernel.name,
+                scalar_s * 1e3
+            );
+        }
+    }
+
+    println!("\nchecksums agree with scalar within parity tolerances ✓");
+    dump_json(
+        "BENCH_simd",
+        &torchgt_compat::json!({
+            "detected_best": backend::detect_best().name(),
+            "cases": rows,
+        }),
+    );
+}

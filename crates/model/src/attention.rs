@@ -26,6 +26,7 @@
 
 use torchgt_compat::par::prelude::*;
 use torchgt_graph::CsrGraph;
+use torchgt_tensor::backend;
 use torchgt_tensor::ops;
 use torchgt_tensor::{MatRef, Tensor, TensorView, Workspace};
 
@@ -160,11 +161,10 @@ fn write_head(dst: &mut Tensor, src: &Tensor, h: usize, d_head: usize) {
 }
 
 fn add_head(dst: &mut Tensor, src: &Tensor, h: usize, d_head: usize) {
+    let be = backend::active();
     for r in 0..src.rows() {
         let drow = dst.row_mut(r);
-        for (a, b) in drow[h * d_head..(h + 1) * d_head].iter_mut().zip(src.row(r)) {
-            *a += b;
-        }
+        be.add_assign(&mut drow[h * d_head..(h + 1) * d_head], src.row(r));
     }
 }
 
@@ -314,6 +314,7 @@ pub fn flash_ws(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, ws: &mut Works
         })
         .collect();
     let mut row_denom: Vec<Vec<f32>> = (0..heads).map(|_| ws.take_buf(s)).collect();
+    let be = backend::active();
     for h in 0..heads {
         let qh = head_view(q, h, d_head);
         let kh = head_view(k, h, d_head);
@@ -337,27 +338,20 @@ pub fn flash_ws(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, ws: &mut Works
                     let mut den = *den_slot;
                     for j in tile_start..tile_end {
                         let krow = kh.row(j);
-                        let mut dot = 0.0f32;
-                        for t in 0..d_head {
-                            dot += qrow[t] * krow[t];
-                        }
-                        let sc = dot * scale;
+                        let sc = be.dot(qrow, krow) * scale;
                         if sc > m {
                             // Rescale previous accumulator and denominator.
+                            // The streaming-softmax exp stays scalar: it is a
+                            // data-dependent recurrence, not a vectorisable row.
                             let corr = (m - sc).exp();
                             let corr = if m == f32::NEG_INFINITY { 0.0 } else { corr };
                             den *= corr;
-                            for a in acc_row.iter_mut() {
-                                *a *= corr;
-                            }
+                            be.scale_assign(acc_row, corr);
                             m = sc;
                         }
                         let w = (sc - m).exp();
                         den += w;
-                        let vrow = vh.row(j);
-                        for (a, &vv) in acc_row.iter_mut().zip(vrow) {
-                            *a += w * vv;
-                        }
+                        be.axpy(acc_row, w, vh.row(j));
                     }
                     *m_slot = m;
                     *den_slot = den;
@@ -414,6 +408,7 @@ pub fn flash_backward_ws(
     let mut dq = ws.take(s, d);
     let mut dk = ws.take(s, d);
     let mut dv = ws.take(s, d);
+    let be = backend::active();
     for h in 0..heads {
         let qh = head_view(q, h, d_head);
         let kh = head_view(k, h, d_head);
@@ -423,7 +418,7 @@ pub fn flash_backward_ws(
         // D_i = dO_i · O_i
         let mut di = ws.take_buf(s);
         for (i, slot) in di.iter_mut().enumerate() {
-            *slot = doh.row(i).iter().zip(oh.row(i)).map(|(a, b)| a * b).sum();
+            *slot = be.dot(doh.row(i), oh.row(i));
         }
         let mut dqh = ws.take(s, d_head);
         let mut dkh = ws.take(s, d_head);
@@ -435,32 +430,15 @@ pub fn flash_backward_ws(
             let den = row_denom[h][i].max(f32::MIN_POSITIVE);
             for j in 0..s {
                 let krow = kh.row(j);
-                let mut dot = 0.0f32;
-                for t in 0..d_head {
-                    dot += qrow[t] * krow[t];
-                }
-                let p = ((dot * scale - m).exp()) / den;
+                let p = ((be.dot(qrow, krow) * scale - m).exp()) / den;
                 if p < 1e-12 {
                     continue;
                 }
-                let vrow = vh.row(j);
-                let mut dp = 0.0f32;
-                for t in 0..d_head {
-                    dp += dorow[t] * vrow[t];
-                }
+                let dp = be.dot(dorow, vh.row(j));
                 let ds = p * (dp - di[i]) * scale;
-                let dq_row = dqh.row_mut(i);
-                for t in 0..d_head {
-                    dq_row[t] += ds * krow[t];
-                }
-                let dk_row = dkh.row_mut(j);
-                for t in 0..d_head {
-                    dk_row[t] += ds * qrow[t];
-                }
-                let dv_row = dvh.row_mut(j);
-                for t in 0..d_head {
-                    dv_row[t] += p * dorow[t];
-                }
+                be.axpy(dqh.row_mut(i), ds, krow);
+                be.axpy(dkh.row_mut(j), ds, qrow);
+                be.axpy(dvh.row_mut(j), p, dorow);
             }
         }
         add_head(&mut dq, &dqh, h, d_head);
@@ -514,6 +492,7 @@ pub fn sparse_ws(
     let scale = 1.0 / (d_head as f32).sqrt();
     let mut out = ws.take(s, d);
     let mut probs: Vec<Vec<f32>> = Vec::with_capacity(heads);
+    let be = backend::active();
     for h in 0..heads {
         let qh = head_view(q, h, d_head);
         let kh = head_view(k, h, d_head);
@@ -537,12 +516,7 @@ pub fn sparse_ws(
                 // Scores.
                 let mut max = f32::NEG_INFINITY;
                 for (e, &j) in nbrs.iter().enumerate() {
-                    let krow = kh.row(j as usize);
-                    let mut dot = 0.0f32;
-                    for t in 0..d_head {
-                        dot += qrow[t] * krow[t];
-                    }
-                    let mut sc = dot * scale;
+                    let mut sc = be.dot(qrow, kh.row(j as usize)) * scale;
                     if let Some(b) = hb {
                         sc += b[base + e];
                     }
@@ -551,22 +525,13 @@ pub fn sparse_ws(
                         max = sc;
                     }
                 }
-                let mut den = 0.0f32;
-                for p in p_slice.iter_mut() {
-                    *p = (*p - max).exp();
-                    den += *p;
-                }
+                let den = be.exp_minus_max_sum(p_slice, max);
                 let inv = 1.0 / den.max(f32::MIN_POSITIVE);
-                for p in p_slice.iter_mut() {
-                    *p *= inv;
-                }
+                be.scale_assign(p_slice, inv);
                 // Weighted sum of V rows.
+                let orow_h = &mut orow[h * d_head..(h + 1) * d_head];
                 for (e, &j) in nbrs.iter().enumerate() {
-                    let w = p_slice[e];
-                    let vrow = vh.row(j as usize);
-                    for t in 0..d_head {
-                        orow[h * d_head + t] += w * vrow[t];
-                    }
+                    be.axpy(orow_h, p_slice[e], vh.row(j as usize));
                 }
             });
         probs.push(p_edges);
@@ -636,6 +601,7 @@ pub fn sparse_backward_ws(
     // Per-row dp scratch, sized for the widest row and fully rewritten per
     // row before being read.
     let mut dps = ws.take_buf(max_deg);
+    let be = backend::active();
     for (h, p_edges) in probs.into_iter().enumerate() {
         let qh = head_view(q, h, d_head);
         let kh = head_view(k, h, d_head);
@@ -656,11 +622,7 @@ pub fn sparse_backward_ws(
             // dp and the softmax dot term.
             let mut dot_pd = 0.0f32;
             for (e, &j) in nbrs.iter().enumerate() {
-                let vrow = vh.row(j as usize);
-                let mut dp = 0.0f32;
-                for t in 0..d_head {
-                    dp += dorow[t] * vrow[t];
-                }
+                let dp = be.dot(dorow, vh.row(j as usize));
                 dps[e] = dp;
                 dot_pd += p_edges[base + e] * dp;
             }
@@ -670,19 +632,9 @@ pub fn sparse_backward_ws(
                 ds_edges[base + e] = ds;
                 let dsc = ds * scale;
                 let krow = kh.row(j as usize);
-                let dqrow = dqh.row_mut(i);
-                for t in 0..d_head {
-                    dqrow[t] += dsc * krow[t];
-                }
-                let dkrow = dkh.row_mut(j as usize);
-                for t in 0..d_head {
-                    dkrow[t] += dsc * qrow[t];
-                }
-                let dvrow = dvh.row_mut(j as usize);
-                let p_do = p;
-                for t in 0..d_head {
-                    dvrow[t] += p_do * dorow[t];
-                }
+                be.axpy(dqh.row_mut(i), dsc, krow);
+                be.axpy(dkh.row_mut(j as usize), dsc, qrow);
+                be.axpy(dvh.row_mut(j as usize), p, dorow);
             }
         }
         add_head(&mut dq, &dqh, h, d_head);

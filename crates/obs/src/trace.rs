@@ -91,6 +91,17 @@ impl Event {
     pub const BETA_TRANSITION: &'static str = "beta_transition";
     /// Kind tag of [`Event::reform`] events.
     pub const REFORM: &'static str = "reform";
+    /// Kind tag of [`Event::backend`] events.
+    pub const BACKEND: &'static str = "backend";
+
+    /// The kernel backend the process dispatched to at startup — recorded so
+    /// exported metrics say which instruction set produced them.
+    pub fn backend(name: &str) -> Self {
+        Self {
+            kind: Self::BACKEND.to_string(),
+            fields: torchgt_compat::json!({ "name": name }),
+        }
+    }
 
     /// An Auto-Tuner `β_thre` ladder move after `epoch`.
     pub fn beta_transition(epoch: usize, from: f64, to: f64, ladder_index: usize) -> Self {

@@ -60,6 +60,8 @@ pub struct ReformedLayout {
     /// The cluster-sparse attention mask (self-loops always preserved —
     /// condition C1).
     pub mask: CsrGraph,
+    /// Sub-block dimension the pass ran with (`ReformConfig::db`).
+    pub db: usize,
     /// Transfer statistics.
     pub stats: ReformStats,
 }
@@ -68,6 +70,12 @@ impl ReformedLayout {
     /// Memory-access profile of the reformed mask.
     pub fn profile(&self) -> AccessProfile {
         access_profile(&self.mask)
+    }
+
+    /// The mask in block-CSR form at the pass's own tile size — the layout
+    /// [`crate::subblock::sub_block_attention`] consumes.
+    pub fn blocked(&self) -> crate::block_csr::BlockCsr {
+        crate::block_csr::BlockCsr::from_mask(&self.mask, self.db)
     }
 }
 
@@ -179,7 +187,7 @@ pub fn reform(graph: &CsrGraph, order: &ClusterOrder, cfg: ReformConfig) -> Refo
     }
     stats.edge_recall = if nnz_before > 0 { kept as f64 / nnz_before as f64 } else { 1.0 };
 
-    ReformedLayout { mask, stats }
+    ReformedLayout { mask, db, stats }
 }
 
 /// Like [`reform`], but reports the pass to an observability recorder: one
@@ -369,6 +377,21 @@ mod tests {
         // A disabled recorder records nothing and still reforms identically.
         let quiet = reform_recorded(&g, &order, ReformConfig { db: 8, beta_thre: 1.0 }, &torchgt_obs::noop());
         assert_eq!(quiet.stats.nnz_after, r.stats.nnz_after);
+    }
+
+    #[test]
+    fn blocked_layout_matches_mask_at_pass_tile_size() {
+        let (g, order) = clustered_fixture(300, 4, 9);
+        let r = reform(&g, &order, ReformConfig { db: 8, beta_thre: 1.0 });
+        assert_eq!(r.db, 8);
+        let b = r.blocked();
+        assert_eq!(b.db, 8);
+        assert_eq!(b.nnz(), r.mask.num_arcs());
+        for v in 0..r.mask.num_nodes() {
+            for &nb in r.mask.neighbors(v) {
+                assert!(b.contains(v, nb as usize));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! AVX2 + FMA backend (256-bit lanes, 8 × f32).
+//!
+//! Two disciplines, per the parity policy in `mod.rs`:
+//!
+//! * element-wise kernels (`axpy`, `add`, …, `ln_grad_combine`) use plain
+//!   `mul`/`add` — **never** FMA — so every lane performs the same rounding
+//!   sequence as the scalar loop and results are bit-identical;
+//! * reductions (`dot`, `sum`, …) use multiple vector accumulators and FMA,
+//!   trading reduction order for throughput (ULP-bounded parity), and the
+//!   transcendentals use a Cephes-style polynomial `exp` (≤ 2 ULP vs libm).
+//!
+//! Main loops run on full vectors; remainders fall through to the scalar
+//! reference, which is exact for the element-wise class and within the
+//! documented bound for the rest.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use super::scalar;
+use std::arch::x86_64::*;
+
+/// Horizontal sum of all 8 lanes.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let q = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    let r = _mm_add_ss(s, _mm_movehdup_ps(s));
+    _mm_cvtss_f32(r)
+}
+
+/// Vectorised `exp` (Cephes polynomial, ≤ ~2 ULP for finite inputs).
+///
+/// Semantics matched to the scalar path where they matter for softmax:
+/// inputs below the underflow cutoff (incl. `-∞`) return exactly `0.0`,
+/// NaN propagates. Inputs are clamped high, so `exp` of a huge finite
+/// value saturates instead of overflowing — softmax only feeds `x ≤ 0`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn exp256(x: __m256) -> __m256 {
+    let exp_hi = _mm256_set1_ps(88.376_26);
+    let exp_lo = _mm256_set1_ps(-87.336_54);
+    let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+    let c1 = _mm256_set1_ps(0.693_359_375);
+    let c2 = _mm256_set1_ps(-2.121_944_4e-4);
+    let one = _mm256_set1_ps(1.0);
+
+    // Underflow lanes → exactly 0.0 (NaN compares false, so NaN survives).
+    let underflow = _mm256_cmp_ps::<_CMP_LT_OQ>(x, exp_lo);
+    // min(hi, x) keeps NaN (NaN in the second operand wins the blend).
+    let xc = _mm256_min_ps(exp_hi, x);
+
+    let n = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+        _mm256_mul_ps(xc, log2e),
+    );
+    // r = x - n·ln2, split into hi/lo parts for precision.
+    let r = _mm256_fnmadd_ps(n, c2, _mm256_fnmadd_ps(n, c1, xc));
+    let r2 = _mm256_mul_ps(r, r);
+    let mut y = _mm256_set1_ps(1.987_569_1e-4);
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.398_199_9e-3));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(8.333_452e-3));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(4.166_579_6e-2));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.666_666_6e-1));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(0.5));
+    y = _mm256_fmadd_ps(y, r2, _mm256_add_ps(r, one));
+
+    // Scale by 2ⁿ through the exponent bits.
+    let n_i = _mm256_cvtps_epi32(n);
+    let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+        n_i,
+        _mm256_set1_epi32(127),
+    )));
+    _mm256_andnot_ps(underflow, _mm256_mul_ps(y, pow2))
+}
+
+/// Vectorised `tanh` via `exp(2u)`: `(e − 1) / (e + 1)`. Inputs are clamped
+/// to ±12 where the f32 result saturates to exactly ±1.0 (matching libm for
+/// large arguments); NaN propagates through the clamp operand order.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tanh256(u: __m256) -> __m256 {
+    let lim = _mm256_set1_ps(12.0);
+    let one = _mm256_set1_ps(1.0);
+    let uc = _mm256_min_ps(lim, _mm256_max_ps(_mm256_set1_ps(-12.0), u));
+    let e = exp256(_mm256_add_ps(uc, uc));
+    _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one))
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+            acc1,
+        );
+        acc2 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 16)),
+            _mm256_loadu_ps(pb.add(i + 16)),
+            acc2,
+        );
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 24)),
+            _mm256_loadu_ps(pb.add(i + 24)),
+            acc3,
+        );
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        i += 8;
+    }
+    let mut total = hsum(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+    while i < n {
+        total += a[i] * b[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot3(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    let n = a.len();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let ab = _mm256_mul_ps(_mm256_loadu_ps(a.as_ptr().add(i)), _mm256_loadu_ps(b.as_ptr().add(i)));
+        acc = _mm256_fmadd_ps(ab, _mm256_loadu_ps(c.as_ptr().add(i)), acc);
+        i += 8;
+    }
+    let mut total = hsum(acc);
+    while i < n {
+        total += a[i] * b[i] * c[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn sum(a: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(a.as_ptr().add(i)));
+        acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(a.as_ptr().add(i + 8)));
+        i += 16;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(a.as_ptr().add(i)));
+        i += 8;
+    }
+    let mut total = hsum(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        total += a[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn sum_sq_diff(a: &[f32], mean: f32) -> f32 {
+    let n = a.len();
+    let vm = _mm256_set1_ps(mean);
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(a.as_ptr().add(i)), vm);
+        acc = _mm256_fmadd_ps(d, d, acc);
+        i += 8;
+    }
+    let mut total = hsum(acc);
+    while i < n {
+        let d = a[i] - mean;
+        total += d * d;
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn exp_minus_max_sum(row: &mut [f32], max: f32) -> f32 {
+    let n = row.len();
+    let vm = _mm256_set1_ps(max);
+    let mut vsum = _mm256_setzero_ps();
+    let p = row.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let e = exp256(_mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vm));
+        _mm256_storeu_ps(p.add(i), e);
+        vsum = _mm256_add_ps(vsum, e);
+        i += 8;
+    }
+    let mut total = hsum(vsum);
+    if i < n {
+        total += scalar::exp_minus_max_sum(&mut row[i..], max);
+    }
+    total
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn max_ignore_nan(a: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // max(x, acc): a NaN lane in x loses the compare and keeps acc,
+        // reproducing the NaN-ignoring fold of the scalar reference.
+        acc = _mm256_max_ps(_mm256_loadu_ps(a.as_ptr().add(i)), acc);
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut m = lanes.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    while i < n {
+        m = f32::max(m, a[i]);
+        i += 1;
+    }
+    m
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn axpy(dst: &mut [f32], s: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let vs = _mm256_set1_ps(s);
+    let pd = dst.as_mut_ptr();
+    let ps = src.as_ptr();
+    let mut i = 0usize;
+    // mul + add (not FMA): same two roundings per element as the scalar loop.
+    while i + 8 <= n {
+        let r = _mm256_add_ps(_mm256_loadu_ps(pd.add(i)), _mm256_mul_ps(vs, _mm256_loadu_ps(ps.add(i))));
+        _mm256_storeu_ps(pd.add(i), r);
+        i += 8;
+    }
+    if i < n {
+        scalar::axpy(&mut dst[i..], s, &src[i..]);
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($name:ident, $op:ident) => {
+        #[target_feature(enable = "avx2", enable = "fma")]
+        pub unsafe fn $name(a: &[f32], b: &[f32], out: &mut [f32]) {
+            debug_assert_eq!(a.len(), b.len());
+            debug_assert_eq!(a.len(), out.len());
+            let n = out.len();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let r = $op(
+                    _mm256_loadu_ps(a.as_ptr().add(i)),
+                    _mm256_loadu_ps(b.as_ptr().add(i)),
+                );
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+                i += 8;
+            }
+            if i < n {
+                scalar::$name(&a[i..], &b[i..], &mut out[i..]);
+            }
+        }
+    };
+}
+
+elementwise_binop!(add, _mm256_add_ps);
+elementwise_binop!(sub, _mm256_sub_ps);
+elementwise_binop!(mul, _mm256_mul_ps);
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn scale(a: &[f32], s: f32, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    let n = out.len();
+    let vs = _mm256_set1_ps(s);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        _mm256_storeu_ps(
+            out.as_mut_ptr().add(i),
+            _mm256_mul_ps(_mm256_loadu_ps(a.as_ptr().add(i)), vs),
+        );
+        i += 8;
+    }
+    if i < n {
+        scalar::scale(&a[i..], s, &mut out[i..]);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        _mm256_storeu_ps(
+            p.add(i),
+            _mm256_add_ps(_mm256_loadu_ps(p.add(i)), _mm256_loadu_ps(src.as_ptr().add(i))),
+        );
+        i += 8;
+    }
+    if i < n {
+        scalar::add_assign(&mut dst[i..], &src[i..]);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn mul_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        _mm256_storeu_ps(
+            p.add(i),
+            _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), _mm256_loadu_ps(src.as_ptr().add(i))),
+        );
+        i += 8;
+    }
+    if i < n {
+        scalar::mul_assign(&mut dst[i..], &src[i..]);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn mul_acc(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let n = dst.len();
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    // mul + add (not FMA) keeps this bit-exact against the scalar loop.
+    while i + 8 <= n {
+        let prod = _mm256_mul_ps(_mm256_loadu_ps(a.as_ptr().add(i)), _mm256_loadu_ps(b.as_ptr().add(i)));
+        _mm256_storeu_ps(p.add(i), _mm256_add_ps(_mm256_loadu_ps(p.add(i)), prod));
+        i += 8;
+    }
+    if i < n {
+        scalar::mul_acc(&mut dst[i..], &a[i..], &b[i..]);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn scale_assign(dst: &mut [f32], s: f32) {
+    let n = dst.len();
+    let vs = _mm256_set1_ps(s);
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        _mm256_storeu_ps(p.add(i), _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), vs));
+        i += 8;
+    }
+    if i < n {
+        scalar::scale_assign(&mut dst[i..], s);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn div_assign(dst: &mut [f32], s: f32) {
+    let n = dst.len();
+    let vs = _mm256_set1_ps(s);
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    // True division: IEEE-correctly rounded, so bit-exact vs the scalar `/`.
+    while i + 8 <= n {
+        _mm256_storeu_ps(p.add(i), _mm256_div_ps(_mm256_loadu_ps(p.add(i)), vs));
+        i += 8;
+    }
+    if i < n {
+        scalar::div_assign(&mut dst[i..], s);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn normalize(a: &[f32], mean: f32, inv_std: f32, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    let n = out.len();
+    let vm = _mm256_set1_ps(mean);
+    let vi = _mm256_set1_ps(inv_std);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let r = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(a.as_ptr().add(i)), vm), vi);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 8;
+    }
+    if i < n {
+        scalar::normalize(&a[i..], mean, inv_std, &mut out[i..]);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn ln_grad_combine(
+    dy: &[f32],
+    g: &[f32],
+    xhat: &[f32],
+    sum_dxhat: f32,
+    sum_dxhat_xhat: f32,
+    inv_std: f32,
+    out: &mut [f32],
+) {
+    let len = out.len();
+    let n = len as f32;
+    let vn = _mm256_set1_ps(n);
+    let vs1 = _mm256_set1_ps(sum_dxhat);
+    let vs2 = _mm256_set1_ps(sum_dxhat_xhat);
+    let vinv = _mm256_set1_ps(inv_std);
+    let mut i = 0usize;
+    // Mirrors the scalar rounding sequence exactly (no FMA):
+    // ((n·(dy·g) − s₁ − x̂·s₂) · inv_std) / n
+    while i + 8 <= len {
+        let dxhat = _mm256_mul_ps(_mm256_loadu_ps(dy.as_ptr().add(i)), _mm256_loadu_ps(g.as_ptr().add(i)));
+        let t = _mm256_sub_ps(_mm256_mul_ps(vn, dxhat), vs1);
+        let u = _mm256_mul_ps(_mm256_loadu_ps(xhat.as_ptr().add(i)), vs2);
+        let r = _mm256_div_ps(_mm256_mul_ps(_mm256_sub_ps(t, u), vinv), vn);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 8;
+    }
+    for c in i..len {
+        let dxhat = dy[c] * g[c];
+        out[c] = (n * dxhat - sum_dxhat - xhat[c] * sum_dxhat_xhat) * inv_std / n;
+    }
+}
+
+/// Shared GELU inner term `u = √(2/π)·(x + C·x³)`, mirroring the scalar
+/// rounding sequence `((C·x)·x)·x` → `x + ·` → `√(2/π)·` without FMA.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gelu_u(x: __m256) -> __m256 {
+    let c = _mm256_set1_ps(scalar::GELU_C);
+    let s = _mm256_set1_ps(scalar::SQRT_2_OVER_PI);
+    let cube_term = _mm256_mul_ps(_mm256_mul_ps(_mm256_mul_ps(c, x), x), x);
+    _mm256_mul_ps(s, _mm256_add_ps(x, cube_term))
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn gelu(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    let n = out.len();
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        let t = tanh256(gelu_u(v));
+        // 0.5·x·(1+t) with the scalar's (0.5·x)·(1+t) ordering.
+        let r = _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 8;
+    }
+    if i < n {
+        scalar::gelu(&x[i..], &mut out[i..]);
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn gelu_grad(x: &[f32], dy: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(x.len(), dy.len());
+    let n = out.len();
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let s = _mm256_set1_ps(scalar::SQRT_2_OVER_PI);
+    let c3 = _mm256_set1_ps(3.0 * scalar::GELU_C);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        let t = tanh256(gelu_u(v));
+        // du = √(2/π)·(1 + (3C·x)·x)
+        let du = _mm256_mul_ps(s, _mm256_add_ps(one, _mm256_mul_ps(_mm256_mul_ps(c3, v), v)));
+        // 0.5·(1+t) + ((0.5·x)·(1−t²))·du, then × dy.
+        let a = _mm256_mul_ps(half, _mm256_add_ps(one, t));
+        let b = _mm256_mul_ps(
+            _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_sub_ps(one, _mm256_mul_ps(t, t))),
+            du,
+        );
+        let r = _mm256_mul_ps(_mm256_add_ps(a, b), _mm256_loadu_ps(dy.as_ptr().add(i)));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 8;
+    }
+    if i < n {
+        scalar::gelu_grad(&x[i..], &dy[i..], &mut out[i..]);
+    }
+}

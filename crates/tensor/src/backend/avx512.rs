@@ -1,0 +1,462 @@
+//! AVX-512F backend (512-bit lanes, 16 × f32).
+//!
+//! Same discipline as `avx2.rs`: element-wise kernels avoid FMA so lanes
+//! reproduce the scalar rounding sequence bit-for-bit; reductions use wide
+//! accumulators + FMA and the transcendentals a polynomial `exp`
+//! (ULP-bounded parity, see `mod.rs`). Remainders fall through to the
+//! scalar reference.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use super::scalar;
+use std::arch::x86_64::*;
+
+/// Round-to-nearest-int, exceptions suppressed (imm8 for roundscale).
+const RN: i32 = 0x08;
+
+/// Vectorised `exp` — the 16-lane twin of `avx2::exp256` (same polynomial,
+/// same underflow-to-zero and NaN-propagation semantics).
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn exp512(x: __m512) -> __m512 {
+    let exp_hi = _mm512_set1_ps(88.376_26);
+    let exp_lo = _mm512_set1_ps(-87.336_54);
+    let log2e = _mm512_set1_ps(std::f32::consts::LOG2_E);
+    let c1 = _mm512_set1_ps(0.693_359_375);
+    let c2 = _mm512_set1_ps(-2.121_944_4e-4);
+    let one = _mm512_set1_ps(1.0);
+
+    let underflow: __mmask16 = _mm512_cmp_ps_mask::<_CMP_LT_OQ>(x, exp_lo);
+    let xc = _mm512_min_ps(exp_hi, x);
+
+    let n = _mm512_roundscale_ps::<RN>(_mm512_mul_ps(xc, log2e));
+    let r = _mm512_fnmadd_ps(n, c2, _mm512_fnmadd_ps(n, c1, xc));
+    let r2 = _mm512_mul_ps(r, r);
+    let mut y = _mm512_set1_ps(1.987_569_1e-4);
+    y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(1.398_199_9e-3));
+    y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(8.333_452e-3));
+    y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(4.166_579_6e-2));
+    y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(1.666_666_6e-1));
+    y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(0.5));
+    y = _mm512_fmadd_ps(y, r2, _mm512_add_ps(r, one));
+
+    let n_i = _mm512_cvtps_epi32(n);
+    let pow2 = _mm512_castsi512_ps(_mm512_slli_epi32::<23>(_mm512_add_epi32(
+        n_i,
+        _mm512_set1_epi32(127),
+    )));
+    _mm512_maskz_mov_ps(!underflow, _mm512_mul_ps(y, pow2))
+}
+
+/// Vectorised `tanh` via `exp(2u)` with ±12 saturation (see `avx2::tanh256`).
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn tanh512(u: __m512) -> __m512 {
+    let one = _mm512_set1_ps(1.0);
+    let uc = _mm512_min_ps(_mm512_set1_ps(12.0), _mm512_max_ps(_mm512_set1_ps(-12.0), u));
+    let e = exp512(_mm512_add_ps(uc, uc));
+    _mm512_div_ps(_mm512_sub_ps(e, one), _mm512_add_ps(e, one))
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm512_setzero_ps();
+    let mut acc1 = _mm512_setzero_ps();
+    let mut acc2 = _mm512_setzero_ps();
+    let mut acc3 = _mm512_setzero_ps();
+    let mut i = 0usize;
+    while i + 64 <= n {
+        acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(i + 16)),
+            _mm512_loadu_ps(pb.add(i + 16)),
+            acc1,
+        );
+        acc2 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(i + 32)),
+            _mm512_loadu_ps(pb.add(i + 32)),
+            acc2,
+        );
+        acc3 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(i + 48)),
+            _mm512_loadu_ps(pb.add(i + 48)),
+            acc3,
+        );
+        i += 64;
+    }
+    while i + 16 <= n {
+        acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)), acc0);
+        i += 16;
+    }
+    let mut total = _mm512_reduce_add_ps(_mm512_add_ps(
+        _mm512_add_ps(acc0, acc1),
+        _mm512_add_ps(acc2, acc3),
+    ));
+    while i < n {
+        total += a[i] * b[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn dot3(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    let n = a.len();
+    let mut acc = _mm512_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let ab = _mm512_mul_ps(_mm512_loadu_ps(a.as_ptr().add(i)), _mm512_loadu_ps(b.as_ptr().add(i)));
+        acc = _mm512_fmadd_ps(ab, _mm512_loadu_ps(c.as_ptr().add(i)), acc);
+        i += 16;
+    }
+    let mut total = _mm512_reduce_add_ps(acc);
+    while i < n {
+        total += a[i] * b[i] * c[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn sum(a: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc0 = _mm512_setzero_ps();
+    let mut acc1 = _mm512_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(a.as_ptr().add(i)));
+        acc1 = _mm512_add_ps(acc1, _mm512_loadu_ps(a.as_ptr().add(i + 16)));
+        i += 32;
+    }
+    while i + 16 <= n {
+        acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(a.as_ptr().add(i)));
+        i += 16;
+    }
+    let mut total = _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+    while i < n {
+        total += a[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn sum_sq_diff(a: &[f32], mean: f32) -> f32 {
+    let n = a.len();
+    let vm = _mm512_set1_ps(mean);
+    let mut acc = _mm512_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let d = _mm512_sub_ps(_mm512_loadu_ps(a.as_ptr().add(i)), vm);
+        acc = _mm512_fmadd_ps(d, d, acc);
+        i += 16;
+    }
+    let mut total = _mm512_reduce_add_ps(acc);
+    while i < n {
+        let d = a[i] - mean;
+        total += d * d;
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn exp_minus_max_sum(row: &mut [f32], max: f32) -> f32 {
+    let n = row.len();
+    let vm = _mm512_set1_ps(max);
+    let mut vsum = _mm512_setzero_ps();
+    let p = row.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let e = exp512(_mm512_sub_ps(_mm512_loadu_ps(p.add(i)), vm));
+        _mm512_storeu_ps(p.add(i), e);
+        vsum = _mm512_add_ps(vsum, e);
+        i += 16;
+    }
+    let mut total = _mm512_reduce_add_ps(vsum);
+    if i < n {
+        total += scalar::exp_minus_max_sum(&mut row[i..], max);
+    }
+    total
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn max_ignore_nan(a: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm512_set1_ps(f32::NEG_INFINITY);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        // max(x, acc): NaN lanes in x lose the compare and keep acc.
+        acc = _mm512_max_ps(_mm512_loadu_ps(a.as_ptr().add(i)), acc);
+        i += 16;
+    }
+    let mut lanes = [0.0f32; 16];
+    _mm512_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut m = lanes.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    while i < n {
+        m = f32::max(m, a[i]);
+        i += 1;
+    }
+    m
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn axpy(dst: &mut [f32], s: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let vs = _mm512_set1_ps(s);
+    let pd = dst.as_mut_ptr();
+    let ps = src.as_ptr();
+    let mut i = 0usize;
+    // mul + add (not FMA): bit-exact vs the scalar loop.
+    while i + 16 <= n {
+        let r = _mm512_add_ps(_mm512_loadu_ps(pd.add(i)), _mm512_mul_ps(vs, _mm512_loadu_ps(ps.add(i))));
+        _mm512_storeu_ps(pd.add(i), r);
+        i += 16;
+    }
+    if i < n {
+        scalar::axpy(&mut dst[i..], s, &src[i..]);
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($name:ident, $op:ident) => {
+        #[target_feature(enable = "avx512f")]
+        pub unsafe fn $name(a: &[f32], b: &[f32], out: &mut [f32]) {
+            debug_assert_eq!(a.len(), b.len());
+            debug_assert_eq!(a.len(), out.len());
+            let n = out.len();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let r = $op(
+                    _mm512_loadu_ps(a.as_ptr().add(i)),
+                    _mm512_loadu_ps(b.as_ptr().add(i)),
+                );
+                _mm512_storeu_ps(out.as_mut_ptr().add(i), r);
+                i += 16;
+            }
+            if i < n {
+                scalar::$name(&a[i..], &b[i..], &mut out[i..]);
+            }
+        }
+    };
+}
+
+elementwise_binop!(add, _mm512_add_ps);
+elementwise_binop!(sub, _mm512_sub_ps);
+elementwise_binop!(mul, _mm512_mul_ps);
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn scale(a: &[f32], s: f32, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    let n = out.len();
+    let vs = _mm512_set1_ps(s);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        _mm512_storeu_ps(
+            out.as_mut_ptr().add(i),
+            _mm512_mul_ps(_mm512_loadu_ps(a.as_ptr().add(i)), vs),
+        );
+        i += 16;
+    }
+    if i < n {
+        scalar::scale(&a[i..], s, &mut out[i..]);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        _mm512_storeu_ps(
+            p.add(i),
+            _mm512_add_ps(_mm512_loadu_ps(p.add(i)), _mm512_loadu_ps(src.as_ptr().add(i))),
+        );
+        i += 16;
+    }
+    if i < n {
+        scalar::add_assign(&mut dst[i..], &src[i..]);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn mul_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        _mm512_storeu_ps(
+            p.add(i),
+            _mm512_mul_ps(_mm512_loadu_ps(p.add(i)), _mm512_loadu_ps(src.as_ptr().add(i))),
+        );
+        i += 16;
+    }
+    if i < n {
+        scalar::mul_assign(&mut dst[i..], &src[i..]);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn mul_acc(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let n = dst.len();
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    // mul + add (not FMA) keeps this bit-exact against the scalar loop.
+    while i + 16 <= n {
+        let prod = _mm512_mul_ps(_mm512_loadu_ps(a.as_ptr().add(i)), _mm512_loadu_ps(b.as_ptr().add(i)));
+        _mm512_storeu_ps(p.add(i), _mm512_add_ps(_mm512_loadu_ps(p.add(i)), prod));
+        i += 16;
+    }
+    if i < n {
+        scalar::mul_acc(&mut dst[i..], &a[i..], &b[i..]);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn scale_assign(dst: &mut [f32], s: f32) {
+    let n = dst.len();
+    let vs = _mm512_set1_ps(s);
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        _mm512_storeu_ps(p.add(i), _mm512_mul_ps(_mm512_loadu_ps(p.add(i)), vs));
+        i += 16;
+    }
+    if i < n {
+        scalar::scale_assign(&mut dst[i..], s);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn div_assign(dst: &mut [f32], s: f32) {
+    let n = dst.len();
+    let vs = _mm512_set1_ps(s);
+    let p = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        _mm512_storeu_ps(p.add(i), _mm512_div_ps(_mm512_loadu_ps(p.add(i)), vs));
+        i += 16;
+    }
+    if i < n {
+        scalar::div_assign(&mut dst[i..], s);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn normalize(a: &[f32], mean: f32, inv_std: f32, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    let n = out.len();
+    let vm = _mm512_set1_ps(mean);
+    let vi = _mm512_set1_ps(inv_std);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let r = _mm512_mul_ps(_mm512_sub_ps(_mm512_loadu_ps(a.as_ptr().add(i)), vm), vi);
+        _mm512_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 16;
+    }
+    if i < n {
+        scalar::normalize(&a[i..], mean, inv_std, &mut out[i..]);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn ln_grad_combine(
+    dy: &[f32],
+    g: &[f32],
+    xhat: &[f32],
+    sum_dxhat: f32,
+    sum_dxhat_xhat: f32,
+    inv_std: f32,
+    out: &mut [f32],
+) {
+    let len = out.len();
+    let n = len as f32;
+    let vn = _mm512_set1_ps(n);
+    let vs1 = _mm512_set1_ps(sum_dxhat);
+    let vs2 = _mm512_set1_ps(sum_dxhat_xhat);
+    let vinv = _mm512_set1_ps(inv_std);
+    let mut i = 0usize;
+    while i + 16 <= len {
+        let dxhat = _mm512_mul_ps(_mm512_loadu_ps(dy.as_ptr().add(i)), _mm512_loadu_ps(g.as_ptr().add(i)));
+        let t = _mm512_sub_ps(_mm512_mul_ps(vn, dxhat), vs1);
+        let u = _mm512_mul_ps(_mm512_loadu_ps(xhat.as_ptr().add(i)), vs2);
+        let r = _mm512_div_ps(_mm512_mul_ps(_mm512_sub_ps(t, u), vinv), vn);
+        _mm512_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 16;
+    }
+    for c in i..len {
+        let dxhat = dy[c] * g[c];
+        out[c] = (n * dxhat - sum_dxhat - xhat[c] * sum_dxhat_xhat) * inv_std / n;
+    }
+}
+
+/// GELU inner term, mirroring the scalar rounding sequence (see
+/// `avx2::gelu_u`).
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn gelu_u(x: __m512) -> __m512 {
+    let c = _mm512_set1_ps(scalar::GELU_C);
+    let s = _mm512_set1_ps(scalar::SQRT_2_OVER_PI);
+    let cube_term = _mm512_mul_ps(_mm512_mul_ps(_mm512_mul_ps(c, x), x), x);
+    _mm512_mul_ps(s, _mm512_add_ps(x, cube_term))
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn gelu(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    let n = out.len();
+    let half = _mm512_set1_ps(0.5);
+    let one = _mm512_set1_ps(1.0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let v = _mm512_loadu_ps(x.as_ptr().add(i));
+        let t = tanh512(gelu_u(v));
+        let r = _mm512_mul_ps(_mm512_mul_ps(half, v), _mm512_add_ps(one, t));
+        _mm512_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 16;
+    }
+    if i < n {
+        scalar::gelu(&x[i..], &mut out[i..]);
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn gelu_grad(x: &[f32], dy: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(x.len(), dy.len());
+    let n = out.len();
+    let half = _mm512_set1_ps(0.5);
+    let one = _mm512_set1_ps(1.0);
+    let s = _mm512_set1_ps(scalar::SQRT_2_OVER_PI);
+    let c3 = _mm512_set1_ps(3.0 * scalar::GELU_C);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let v = _mm512_loadu_ps(x.as_ptr().add(i));
+        let t = tanh512(gelu_u(v));
+        let du = _mm512_mul_ps(s, _mm512_add_ps(one, _mm512_mul_ps(_mm512_mul_ps(c3, v), v)));
+        let a = _mm512_mul_ps(half, _mm512_add_ps(one, t));
+        let b = _mm512_mul_ps(
+            _mm512_mul_ps(_mm512_mul_ps(half, v), _mm512_sub_ps(one, _mm512_mul_ps(t, t))),
+            du,
+        );
+        let r = _mm512_mul_ps(_mm512_add_ps(a, b), _mm512_loadu_ps(dy.as_ptr().add(i)));
+        _mm512_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 16;
+    }
+    if i < n {
+        scalar::gelu_grad(&x[i..], &dy[i..], &mut out[i..]);
+    }
+}

@@ -158,27 +158,23 @@ impl Layer for LayerNorm {
     fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let (rows, cols) = x.shape();
         assert_eq!(cols, self.gamma.value.cols(), "LayerNorm dim mismatch");
-        // Recycle the layer-owned x̂ cache when the shape is stable; every
-        // element is overwritten below.
+        // Recycle the layer-owned x̂ cache when the shape is stable; the
+        // stats kernel overwrites every element.
         let mut xhat = match self.cached_xhat.take() {
             Some(t) if t.shape() == (rows, cols) => t,
             _ => Tensor::zeros(rows, cols),
         };
-        self.cached_inv_std.clear();
-        self.cached_inv_std.reserve(rows);
         let mut out = ws.take(rows, cols);
-        for r in 0..rows {
-            let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / cols as f32;
-            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            self.cached_inv_std.push(inv_std);
-            for c in 0..cols {
-                let h = (row[c] - mean) * inv_std;
-                xhat.set(r, c, h);
-                out.set(r, c, h * self.gamma.value.get(0, c) + self.beta.value.get(0, c));
-            }
-        }
+        ops::layer_norm_stats_into_with(
+            crate::backend::active(),
+            x,
+            &self.gamma.value,
+            &self.beta.value,
+            self.eps,
+            &mut out,
+            &mut xhat,
+            &mut self.cached_inv_std,
+        );
         self.cached_xhat = Some(xhat);
         out
     }
@@ -187,39 +183,22 @@ impl Layer for LayerNorm {
         let xhat = self.cached_xhat.as_ref().expect("LayerNorm backward before forward");
         let (rows, cols) = dy.shape();
         assert_eq!(xhat.shape(), dy.shape());
-        // Parameter grads.
         let mut dgamma = ws.take(1, cols);
         let mut dbeta = ws.take(1, cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                dgamma.data_mut()[c] += dy.get(r, c) * xhat.get(r, c);
-                dbeta.data_mut()[c] += dy.get(r, c);
-            }
-        }
+        let mut dx = ws.take(rows, cols);
+        ops::layer_norm_backward_into(
+            xhat,
+            &self.cached_inv_std,
+            &self.gamma.value,
+            dy,
+            &mut dx,
+            &mut dgamma,
+            &mut dbeta,
+        );
         self.gamma.accumulate(&dgamma);
         self.beta.accumulate(&dbeta);
         ws.give(dgamma);
         ws.give(dbeta);
-        // Input grad: standard layernorm backward per row.
-        let xhat = self.cached_xhat.as_ref().expect("LayerNorm backward before forward");
-        let mut dx = ws.take(rows, cols);
-        let g = &self.gamma.value;
-        let n = cols as f32;
-        for r in 0..rows {
-            let inv_std = self.cached_inv_std[r];
-            let mut sum_dxhat = 0.0f32;
-            let mut sum_dxhat_xhat = 0.0f32;
-            for c in 0..cols {
-                let dxhat = dy.get(r, c) * g.get(0, c);
-                sum_dxhat += dxhat;
-                sum_dxhat_xhat += dxhat * xhat.get(r, c);
-            }
-            for c in 0..cols {
-                let dxhat = dy.get(r, c) * g.get(0, c);
-                let v = (n * dxhat - sum_dxhat - xhat.get(r, c) * sum_dxhat_xhat) * inv_std / n;
-                dx.set(r, c, v);
-            }
-        }
         dx
     }
 
@@ -233,20 +212,6 @@ impl Layer for LayerNorm {
 #[derive(Clone, Debug, Default)]
 pub struct Gelu {
     cached_x: Option<Tensor>,
-}
-
-const SQRT_2_OVER_PI: f32 = 0.797_884_56;
-const GELU_C: f32 = 0.044715;
-
-fn gelu_scalar(x: f32) -> f32 {
-    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
-}
-
-fn gelu_grad_scalar(x: f32) -> f32 {
-    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
-    let t = u.tanh();
-    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x);
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
 }
 
 impl Gelu {
@@ -271,9 +236,7 @@ impl Layer for Gelu {
             slot => *slot = Some(x.clone()),
         }
         let mut out = ws.take(x.rows(), x.cols());
-        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
-            *o = gelu_scalar(v);
-        }
+        ops::gelu_into(x, &mut out);
         out
     }
 
@@ -281,9 +244,7 @@ impl Layer for Gelu {
         let x = self.cached_x.as_ref().expect("Gelu backward before forward");
         assert_eq!(x.shape(), dy.shape());
         let mut out = ws.take(x.rows(), x.cols());
-        for ((o, &v), &g) in out.data_mut().iter_mut().zip(x.data()).zip(dy.data()) {
-            *o = gelu_grad_scalar(v) * g;
-        }
+        ops::gelu_backward_into(x, dy, &mut out);
         out
     }
 
@@ -654,6 +615,7 @@ mod tests {
 
     #[test]
     fn gelu_matches_reference_points() {
+        use crate::backend::scalar::gelu_scalar;
         // Reference values from the tanh approximation.
         assert!((gelu_scalar(0.0)).abs() < 1e-7);
         assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);

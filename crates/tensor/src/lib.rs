@@ -22,6 +22,7 @@
 //! Everything is seeded explicitly, so training runs are reproducible
 //! bit-for-bit on the same machine.
 
+pub mod backend;
 pub mod bf16;
 pub mod checkpoint;
 pub mod init;
@@ -34,6 +35,7 @@ pub mod tensor;
 pub mod view;
 pub mod workspace;
 
+pub use backend::Backend;
 pub use bf16::{bf16_round, Precision};
 pub use layers::{Dropout, Embedding, FeedForward, Gelu, LayerNorm, Linear, Relu};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};

@@ -13,6 +13,7 @@
 //! skip zero multiplicands — `0 · NaN` propagates as NaN instead of being
 //! silently swallowed.
 
+use crate::backend::{self, Backend};
 use crate::tensor::Tensor;
 use crate::view::MatRef;
 use torchgt_compat::par::prelude::*;
@@ -23,6 +24,14 @@ const PAR_THRESHOLD: usize = 16 * 1024;
 
 /// `out = A · B`. Fully overwrites `out`, which must be `a.rows × b.cols`.
 pub fn matmul_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
+    matmul_into_with(backend::active(), a, b, out);
+}
+
+/// [`matmul_into`] on an explicit [`Backend`] (parity harness entry point).
+///
+/// Accumulates over `p` in the same broadcast-axpy order on every backend
+/// (no FMA), so the result is **bit-identical** across backends.
+pub fn matmul_into_with(be: Backend, a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -31,10 +40,7 @@ pub fn matmul_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
         out_row.fill(0.0);
         let a_row = a.row(r);
         for (p, &av) in a_row.iter().enumerate() {
-            let b_row = b.row(p);
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            be.axpy(out_row, av, b.row(p));
         }
     };
     if m * n * k >= PAR_THRESHOLD {
@@ -54,6 +60,16 @@ pub fn matmul(a: &impl MatRef, b: &impl MatRef) -> Tensor {
 /// `out = A · Bᵀ` without materialising the transpose. Fully overwrites
 /// `out`, which must be `a.rows × b.rows`.
 pub fn matmul_bt_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
+    matmul_bt_into_with(backend::active(), a, b, out);
+}
+
+/// [`matmul_bt_into`] on an explicit [`Backend`] (parity harness entry
+/// point).
+///
+/// Each output element is a length-`k` dot product; SIMD backends reduce it
+/// with multiple vector accumulators + FMA, so parity with scalar is
+/// **ULP-bounded**, not bit-exact (see DESIGN.md for the bound).
+pub fn matmul_bt_into_with(be: Backend, a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.cols(), b.cols(), "matmul_bt inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.rows();
@@ -61,12 +77,7 @@ pub fn matmul_bt_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     let kernel = |(r, out_row): (usize, &mut [f32])| {
         let a_row = a.row(r);
         for (c, o) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(c);
-            let mut acc = 0.0f32;
-            for i in 0..k {
-                acc += a_row[i] * b_row[i];
-            }
-            *o = acc;
+            *o = be.dot(a_row, b.row(c));
         }
     };
     if m * n * k >= PAR_THRESHOLD {
@@ -90,6 +101,13 @@ pub fn matmul_bt(a: &impl MatRef, b: &impl MatRef) -> Tensor {
 /// (the same order the rank-1 formulation used), so results are bit-stable
 /// while the rows parallelise like the other two matmuls.
 pub fn matmul_at_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
+    matmul_at_into_with(backend::active(), a, b, out);
+}
+
+/// [`matmul_at_into`] on an explicit [`Backend`] (parity harness entry
+/// point). Broadcast-axpy accumulation in ascending-`p` order on every
+/// backend (no FMA) — **bit-identical** across backends.
+pub fn matmul_at_into_with(be: Backend, a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.rows(), b.rows(), "matmul_at inner dimension mismatch");
     let (k, m) = a.shape();
     let n = b.cols();
@@ -97,11 +115,7 @@ pub fn matmul_at_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     let kernel = |(r, out_row): (usize, &mut [f32])| {
         out_row.fill(0.0);
         for p in 0..k {
-            let av = a.row(p)[r];
-            let b_row = b.row(p);
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            be.axpy(out_row, a.row(p)[r], b.row(p));
         }
     };
     if m * n * k >= PAR_THRESHOLD {
@@ -132,12 +146,15 @@ pub fn transpose(a: &Tensor) -> Tensor {
 
 /// `out = a + b` element-wise.
 pub fn add_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
+    add_into_with(backend::active(), a, b, out);
+}
+
+/// [`add_into`] on an explicit [`Backend`] — bit-identical across backends.
+pub fn add_into_with(be: Backend, a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.shape(), b.shape());
     assert_eq!(out.shape(), a.shape(), "add_into output shape mismatch");
     for r in 0..a.rows() {
-        for ((o, &x), &y) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b.row(r)) {
-            *o = x + y;
-        }
+        be.add(a.row(r), b.row(r), out.row_mut(r));
     }
 }
 
@@ -150,12 +167,15 @@ pub fn add(a: &impl MatRef, b: &impl MatRef) -> Tensor {
 
 /// `out = a - b` element-wise.
 pub fn sub_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
+    sub_into_with(backend::active(), a, b, out);
+}
+
+/// [`sub_into`] on an explicit [`Backend`] — bit-identical across backends.
+pub fn sub_into_with(be: Backend, a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.shape(), b.shape());
     assert_eq!(out.shape(), a.shape(), "sub_into output shape mismatch");
     for r in 0..a.rows() {
-        for ((o, &x), &y) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b.row(r)) {
-            *o = x - y;
-        }
+        be.sub(a.row(r), b.row(r), out.row_mut(r));
     }
 }
 
@@ -168,12 +188,15 @@ pub fn sub(a: &impl MatRef, b: &impl MatRef) -> Tensor {
 
 /// `out = a ⊙ b` element-wise.
 pub fn mul_into(a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
+    mul_into_with(backend::active(), a, b, out);
+}
+
+/// [`mul_into`] on an explicit [`Backend`] — bit-identical across backends.
+pub fn mul_into_with(be: Backend, a: &impl MatRef, b: &impl MatRef, out: &mut Tensor) {
     assert_eq!(a.shape(), b.shape());
     assert_eq!(out.shape(), a.shape(), "mul_into output shape mismatch");
     for r in 0..a.rows() {
-        for ((o, &x), &y) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b.row(r)) {
-            *o = x * y;
-        }
+        be.mul(a.row(r), b.row(r), out.row_mut(r));
     }
 }
 
@@ -187,30 +210,32 @@ pub fn mul(a: &impl MatRef, b: &impl MatRef) -> Tensor {
 /// `a += b` in place. `b` may be a borrowed view.
 pub fn add_inplace(a: &mut Tensor, b: &impl MatRef) {
     assert_eq!(a.shape(), b.shape());
+    let be = backend::active();
     for r in 0..b.rows() {
-        for (x, y) in a.row_mut(r).iter_mut().zip(b.row(r)) {
-            *x += y;
-        }
+        be.add_assign(a.row_mut(r), b.row(r));
     }
 }
 
 /// `a += s * b` in place (axpy).
 pub fn axpy_inplace(a: &mut Tensor, s: f32, b: &impl MatRef) {
     assert_eq!(a.shape(), b.shape());
+    let be = backend::active();
     for r in 0..b.rows() {
-        for (x, y) in a.row_mut(r).iter_mut().zip(b.row(r)) {
-            *x += s * y;
-        }
+        be.axpy(a.row_mut(r), s, b.row(r));
     }
 }
 
 /// `out = s * a`.
 pub fn scale_into(a: &impl MatRef, s: f32, out: &mut Tensor) {
+    scale_into_with(backend::active(), a, s, out);
+}
+
+/// [`scale_into`] on an explicit [`Backend`] — bit-identical across
+/// backends.
+pub fn scale_into_with(be: Backend, a: &impl MatRef, s: f32, out: &mut Tensor) {
     assert_eq!(out.shape(), a.shape(), "scale_into output shape mismatch");
     for r in 0..a.rows() {
-        for (o, &x) in out.row_mut(r).iter_mut().zip(a.row(r)) {
-            *o = x * s;
-        }
+        be.scale(a.row(r), s, out.row_mut(r));
     }
 }
 
@@ -223,7 +248,7 @@ pub fn scale(a: &impl MatRef, s: f32) -> Tensor {
 
 /// Scale in place.
 pub fn scale_inplace(a: &mut Tensor, s: f32) {
-    a.data_mut().iter_mut().for_each(|x| *x *= s);
+    backend::active().scale_assign(a.data_mut(), s);
 }
 
 /// Copy `a` into `out` (shapes must match).
@@ -238,10 +263,9 @@ pub fn copy_into(a: &impl MatRef, out: &mut Tensor) {
 pub fn add_row_broadcast_inplace(a: &mut Tensor, row: &Tensor) {
     assert_eq!(row.rows(), 1);
     assert_eq!(row.cols(), a.cols());
+    let be = backend::active();
     for r in 0..a.rows() {
-        for (x, y) in a.row_mut(r).iter_mut().zip(row.data()) {
-            *x += y;
-        }
+        be.add_assign(a.row_mut(r), row.data());
     }
 }
 
@@ -254,27 +278,56 @@ pub fn add_row_broadcast(a: &Tensor, row: &Tensor) -> Tensor {
 
 /// The per-row numerically-stable softmax update shared by all softmax
 /// entry points: subtract the max, exponentiate, normalise.
-fn softmax_row(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for v in row.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
-    }
-    if sum > 0.0 {
-        for v in row.iter_mut() {
-            *v /= sum;
+///
+/// Non-finite rows get defined semantics on every backend instead of the
+/// historic NaN garbage (`+∞ − +∞ = NaN` used to poison the row and skip
+/// normalisation):
+///
+/// * any NaN entry → the whole row is NaN (gradient poison propagates);
+/// * max is `+∞` → probability mass is split uniformly over the `+∞`
+///   entries, everything else gets `0` (the limit of the finite case);
+/// * max is `-∞` (all entries `-∞`, e.g. a fully masked row) → all zeros;
+/// * `-∞` entries under a finite max → `exp(-∞) = 0`, the masked-logit
+///   convention.
+pub(crate) fn softmax_row_with(be: Backend, row: &mut [f32]) {
+    let max = be.max_ignore_nan(row);
+    if max == f32::INFINITY || max == f32::NEG_INFINITY {
+        // Cold paths: ±Inf rows are rare, handle them scalar.
+        if row.iter().any(|v| v.is_nan()) {
+            row.fill(f32::NAN);
+        } else if max == f32::INFINITY {
+            let count = row.iter().filter(|v| **v == f32::INFINITY).count() as f32;
+            for v in row.iter_mut() {
+                *v = if *v == f32::INFINITY { 1.0 / count } else { 0.0 };
+            }
+        } else {
+            row.fill(0.0);
         }
+        return;
+    }
+    let sum = be.exp_minus_max_sum(row, max);
+    if sum.is_nan() {
+        // A NaN entry under a finite max: exp kept it NaN, define the row.
+        row.fill(f32::NAN);
+    } else if sum > 0.0 {
+        be.div_assign(row, sum);
     }
 }
 
 /// Row-wise softmax of `a` written into `out` (same shape).
 pub fn row_softmax_into(a: &impl MatRef, out: &mut Tensor) {
+    row_softmax_into_with(backend::active(), a, out);
+}
+
+/// [`row_softmax_into`] on an explicit [`Backend`] (parity harness entry
+/// point). The max/normalise steps are exact; the exponentiation uses a
+/// polynomial on SIMD backends, so parity with scalar is **ULP-bounded**.
+pub fn row_softmax_into_with(be: Backend, a: &impl MatRef, out: &mut Tensor) {
     assert_eq!(out.shape(), a.shape(), "row_softmax_into output shape mismatch");
     let (rows, cols) = a.shape();
     let apply = |(r, row): (usize, &mut [f32])| {
         row.copy_from_slice(a.row(r));
-        softmax_row(row);
+        softmax_row_with(be, row);
     };
     if rows * cols >= PAR_THRESHOLD {
         out.data_mut().par_chunks_mut(cols.max(1)).enumerate().for_each(apply);
@@ -285,11 +338,12 @@ pub fn row_softmax_into(a: &impl MatRef, out: &mut Tensor) {
 
 /// Row-wise softmax in place.
 pub fn row_softmax_inplace(a: &mut Tensor) {
+    let be = backend::active();
     let cols = a.cols();
     if a.len() >= PAR_THRESHOLD {
-        a.data_mut().par_chunks_mut(cols.max(1)).for_each(softmax_row);
+        a.data_mut().par_chunks_mut(cols.max(1)).for_each(|row| softmax_row_with(be, row));
     } else {
-        a.data_mut().chunks_mut(cols.max(1)).for_each(softmax_row);
+        a.data_mut().chunks_mut(cols.max(1)).for_each(|row| softmax_row_with(be, row));
     }
 }
 
@@ -305,10 +359,11 @@ pub fn row_softmax(a: &Tensor) -> Tensor {
 pub fn row_softmax_backward_into(y: &impl MatRef, dy: &impl MatRef, out: &mut Tensor) {
     assert_eq!(y.shape(), dy.shape());
     assert_eq!(out.shape(), y.shape(), "row_softmax_backward_into shape mismatch");
+    let be = backend::active();
     for r in 0..y.rows() {
         let yr = y.row(r);
         let dyr = dy.row(r);
-        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        let dot = be.dot(yr, dyr);
         for (c, o) in out.row_mut(r).iter_mut().enumerate() {
             *o = yr[c] * (dyr[c] - dot);
         }
@@ -327,10 +382,9 @@ pub fn row_softmax_backward(y: &impl MatRef, dy: &impl MatRef) -> Tensor {
 pub fn col_sum_into(a: &impl MatRef, out: &mut Tensor) {
     assert_eq!(out.shape(), (1, a.cols()), "col_sum_into output shape mismatch");
     out.fill_zero();
+    let be = backend::active();
     for r in 0..a.rows() {
-        for (o, v) in out.row_mut(0).iter_mut().zip(a.row(r)) {
-            *o += v;
-        }
+        be.add_assign(out.row_mut(0), a.row(r));
     }
 }
 
@@ -365,6 +419,156 @@ pub fn mean_rows(a: &impl MatRef) -> Tensor {
     let mut out = Tensor::zeros(1, a.cols());
     mean_rows_into(a, &mut out);
     out
+}
+
+/// GELU (tanh approximation) written into `out` (same shape). The last
+/// allocating straggler of the block forward path, now an `_into` kernel.
+pub fn gelu_into(x: &impl MatRef, out: &mut Tensor) {
+    gelu_into_with(backend::active(), x, out);
+}
+
+/// [`gelu_into`] on an explicit [`Backend`] (parity harness entry point).
+/// SIMD backends use a polynomial `tanh`, so parity is **ULP-bounded**.
+pub fn gelu_into_with(be: Backend, x: &impl MatRef, out: &mut Tensor) {
+    assert_eq!(out.shape(), x.shape(), "gelu_into output shape mismatch");
+    for r in 0..x.rows() {
+        be.gelu(x.row(r), out.row_mut(r));
+    }
+}
+
+/// GELU backward: `out = gelu'(x) ⊙ dy` (same shapes).
+pub fn gelu_backward_into(x: &impl MatRef, dy: &impl MatRef, out: &mut Tensor) {
+    gelu_backward_into_with(backend::active(), x, dy, out);
+}
+
+/// [`gelu_backward_into`] on an explicit [`Backend`].
+pub fn gelu_backward_into_with(be: Backend, x: &impl MatRef, dy: &impl MatRef, out: &mut Tensor) {
+    assert_eq!(x.shape(), dy.shape());
+    assert_eq!(out.shape(), x.shape(), "gelu_backward_into output shape mismatch");
+    for r in 0..x.rows() {
+        be.gelu_grad(x.row(r), dy.row(r), out.row_mut(r));
+    }
+}
+
+/// Layer normalisation over the last dimension written into `out`:
+/// `out = (x - μ) / √(σ² + eps) · γ + β` with `γ`, `β` as `1 × n` rows.
+pub fn layer_norm_into(x: &impl MatRef, gamma: &Tensor, beta: &Tensor, eps: f32, out: &mut Tensor) {
+    layer_norm_into_with(backend::active(), x, gamma, beta, eps, out);
+}
+
+/// [`layer_norm_into`] on an explicit [`Backend`]. The normalise/affine
+/// steps are bit-exact; the mean/variance reductions are **ULP-bounded**
+/// on SIMD backends.
+pub fn layer_norm_into_with(
+    be: Backend,
+    x: &impl MatRef,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    out: &mut Tensor,
+) {
+    let (rows, cols) = x.shape();
+    assert_eq!(gamma.shape(), (1, cols), "layer_norm gamma shape mismatch");
+    assert_eq!(beta.shape(), (1, cols), "layer_norm beta shape mismatch");
+    assert_eq!(out.shape(), (rows, cols), "layer_norm_into output shape mismatch");
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean = be.sum(row) / cols as f32;
+        let var = be.sum_sq_diff(row, mean) / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let out_row = out.row_mut(r);
+        be.normalize(row, mean, inv_std, out_row);
+        be.mul_assign(out_row, gamma.row(0));
+        be.add_assign(out_row, beta.row(0));
+    }
+}
+
+/// [`layer_norm_into`] that additionally records the normalised activations
+/// `x̂` and per-row `1/σ` a training forward pass must cache for backward.
+/// Fully defines `out` and `xhat`; `inv_std` is cleared and refilled.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_stats_into_with(
+    be: Backend,
+    x: &impl MatRef,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    out: &mut Tensor,
+    xhat: &mut Tensor,
+    inv_std: &mut Vec<f32>,
+) {
+    let (rows, cols) = x.shape();
+    assert_eq!(gamma.shape(), (1, cols), "layer_norm gamma shape mismatch");
+    assert_eq!(beta.shape(), (1, cols), "layer_norm beta shape mismatch");
+    assert_eq!(out.shape(), (rows, cols), "layer_norm output shape mismatch");
+    assert_eq!(xhat.shape(), (rows, cols), "layer_norm xhat shape mismatch");
+    inv_std.clear();
+    inv_std.reserve(rows);
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean = be.sum(row) / cols as f32;
+        let var = be.sum_sq_diff(row, mean) / cols as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std.push(istd);
+        let xhat_row = xhat.row_mut(r);
+        be.normalize(row, mean, istd, xhat_row);
+        // out = x̂·γ + β with the same mul-then-add roundings as
+        // `layer_norm_into`'s in-place sequence.
+        let out_row = out.row_mut(r);
+        be.mul(xhat.row(r), gamma.row(0), out_row);
+        be.add_assign(out_row, beta.row(0));
+    }
+}
+
+/// LayerNorm backward from cached `x̂` and `1/σ`: writes the input gradient
+/// into `dx` and **fully defines** `dgamma`/`dbeta` (`1 × n` each) with the
+/// parameter gradients of this call.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_backward_into(
+    xhat: &Tensor,
+    inv_std: &[f32],
+    gamma: &Tensor,
+    dy: &impl MatRef,
+    dx: &mut Tensor,
+    dgamma: &mut Tensor,
+    dbeta: &mut Tensor,
+) {
+    layer_norm_backward_into_with(backend::active(), xhat, inv_std, gamma, dy, dx, dgamma, dbeta);
+}
+
+/// [`layer_norm_backward_into`] on an explicit [`Backend`]. The per-row
+/// sums are dot reductions (**ULP-bounded** on SIMD); the combine and the
+/// parameter-gradient accumulation are bit-exact given those sums.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_backward_into_with(
+    be: Backend,
+    xhat: &Tensor,
+    inv_std: &[f32],
+    gamma: &Tensor,
+    dy: &impl MatRef,
+    dx: &mut Tensor,
+    dgamma: &mut Tensor,
+    dbeta: &mut Tensor,
+) {
+    let (rows, cols) = dy.shape();
+    assert_eq!(xhat.shape(), (rows, cols));
+    assert_eq!(inv_std.len(), rows, "layer_norm inv_std length mismatch");
+    assert_eq!(gamma.shape(), (1, cols));
+    assert_eq!(dx.shape(), (rows, cols), "layer_norm dx shape mismatch");
+    assert_eq!(dgamma.shape(), (1, cols), "layer_norm dgamma shape mismatch");
+    assert_eq!(dbeta.shape(), (1, cols), "layer_norm dbeta shape mismatch");
+    dgamma.fill_zero();
+    dbeta.fill_zero();
+    let g = gamma.row(0);
+    for r in 0..rows {
+        let dyr = dy.row(r);
+        let xr = xhat.row(r);
+        be.mul_acc(dgamma.row_mut(0), dyr, xr);
+        be.add_assign(dbeta.row_mut(0), dyr);
+        let sum_dxhat = be.dot(dyr, g);
+        let sum_dxhat_xhat = be.dot3(dyr, g, xr);
+        be.ln_grad_combine(dyr, g, xr, sum_dxhat, sum_dxhat_xhat, inv_std[r], dx.row_mut(r));
+    }
 }
 
 #[cfg(test)]
@@ -551,5 +755,92 @@ mod tests {
         let b = t(1, 3, &[1., 2., 3.]);
         axpy_inplace(&mut a, 2.0, &b);
         assert_eq!(a.data(), &[3., 5., 7.]);
+    }
+
+    /// Regression for the poisoned-logit bug: a `+∞` entry used to turn the
+    /// whole row into NaN garbage (`exp(+∞ − +∞) = NaN` skipped the
+    /// normalisation). Now ±Inf rows have defined limits on every backend.
+    #[test]
+    fn softmax_poisoned_logit_rows_are_defined() {
+        for be in crate::backend::supported() {
+            let a = t(
+                6,
+                3,
+                &[
+                    1.0, f32::INFINITY, 3.0, // one +inf entry takes all mass
+                    f32::INFINITY, 0.0, f32::INFINITY, // mass split over +infs
+                    f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY, // fully masked
+                    f32::NEG_INFINITY, 2.0, 2.0, // -inf = masked logit
+                    f32::NAN, 1.0, 2.0, // NaN poison propagates
+                    300.0, 400.0, 500.0, // huge-but-finite stays stable
+                ],
+            );
+            let mut s = dirty(6, 3);
+            row_softmax_into_with(be, &a, &mut s);
+            let n = be.name();
+            assert_eq!(s.row(0), &[0.0, 1.0, 0.0], "{n}");
+            assert_eq!(s.row(1), &[0.5, 0.0, 0.5], "{n}");
+            assert_eq!(s.row(2), &[0.0, 0.0, 0.0], "{n}");
+            assert_eq!(s.get(3, 0), 0.0, "{n}");
+            assert!((s.get(3, 1) - 0.5).abs() < 1e-6 && (s.get(3, 2) - 0.5).abs() < 1e-6, "{n}");
+            assert!(s.row(4).iter().all(|v| v.is_nan()), "{n}: {:?}", s.row(4));
+            let sum: f32 = s.row(5).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "{n}: {:?}", s.row(5));
+            assert!((s.get(5, 2) - 1.0).abs() < 1e-6, "{n}");
+        }
+    }
+
+    #[test]
+    fn gelu_into_matches_pointwise_reference() {
+        let x = t(2, 3, &[-2.0, -0.5, 0.0, 0.5, 1.0, 3.0]);
+        let mut out = dirty(2, 3);
+        gelu_into(&x, &mut out);
+        assert!((out.get(0, 2)).abs() < 1e-7);
+        assert!((out.get(1, 1) - 0.8412).abs() < 1e-3);
+        let dy = t(2, 3, &[1.0; 6]);
+        let mut grad = dirty(2, 3);
+        gelu_backward_into(&x, &dy, &mut grad);
+        // gelu'(0) = 0.5 for the tanh approximation.
+        assert!((grad.get(0, 2) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_into_normalises_and_applies_affine() {
+        let x = t(2, 4, &[1.0, 2.0, 3.0, 4.0, -1.0, 0.5, 2.0, 8.0]);
+        let gamma = Tensor::row_vector(vec![2.0, 2.0, 2.0, 2.0]);
+        let beta = Tensor::row_vector(vec![1.0, 1.0, 1.0, 1.0]);
+        let mut out = dirty(2, 4);
+        layer_norm_into(&x, &gamma, &beta, 1e-5, &mut out);
+        for r in 0..2 {
+            // Undo the affine: mean 0, variance ~1.
+            let m = out.row(r).iter().map(|v| (v - 1.0) / 2.0).sum::<f32>() / 4.0;
+            let var = out.row(r).iter().map(|v| ((v - 1.0) / 2.0 - m).powi(2)).sum::<f32>() / 4.0;
+            assert!(m.abs() < 1e-5, "row {r} mean {m}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_stats_and_backward_kernels_fully_define_outputs() {
+        let be = crate::backend::active();
+        let x = t(3, 4, &[0.5, -1.0, 2.0, 0.0, 1.0, 1.5, -0.5, 3.0, -2.0, 0.0, 0.25, 1.0]);
+        let gamma = Tensor::row_vector(vec![1.5, 0.5, -1.0, 2.0]);
+        let beta = Tensor::row_vector(vec![0.1, -0.2, 0.3, 0.0]);
+        let mut out = dirty(3, 4);
+        let mut xhat = dirty(3, 4);
+        let mut inv_std = Vec::new();
+        layer_norm_stats_into_with(be, &x, &gamma, &beta, 1e-5, &mut out, &mut xhat, &mut inv_std);
+        let mut plain = dirty(3, 4);
+        layer_norm_into(&x, &gamma, &beta, 1e-5, &mut plain);
+        assert_eq!(out.data(), plain.data(), "stats and plain forward must agree bitwise");
+        let dy = t(3, 4, &[0.3, -0.1, 0.7, 0.2, -0.4, 0.6, 0.1, -0.2, 0.05, 0.9, -0.3, 0.4]);
+        let mut dx = dirty(3, 4);
+        let mut dgamma = dirty(1, 4);
+        let mut dbeta = dirty(1, 4);
+        layer_norm_backward_into(&xhat, &inv_std, &gamma, &dy, &mut dx, &mut dgamma, &mut dbeta);
+        assert!(dx.data().iter().all(|v| v.is_finite()));
+        // dbeta is the column sum of dy.
+        let cs = col_sum(&dy);
+        assert_eq!(dbeta.data(), cs.data());
     }
 }

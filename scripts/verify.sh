@@ -7,8 +7,13 @@ cd "$(dirname "$0")/.."
 echo "== release build (offline) =="
 cargo build --release --offline
 
-echo "== test suite (offline) =="
+echo "== test suite (offline, detected-best kernel backend) =="
 cargo test -q --offline --workspace
+
+echo "== test suite (offline, forced scalar kernel backend) =="
+# The whole suite must also pass with SIMD dispatch pinned off: any kernel
+# whose SIMD path diverges beyond the documented tolerances fails here.
+TORCHGT_BACKEND=scalar cargo test -q --offline --workspace
 
 echo "== benches + examples compile (offline) =="
 cargo check --benches --examples --offline
@@ -93,5 +98,47 @@ final_world="$(grep -A1 '"name": "final_world"' "$scratch/elastic.json" \
 awk -v w="$final_world" 'BEGIN { exit !(w == 3) }' \
     || { echo "expected final world 3 after losing one of 4 ranks, got $final_world"; exit 1; }
 echo "elastic smoke: OK (final_world=$final_world)"
+
+echo "== kernel backend parity gate =="
+# Train the same configuration under the scalar backend and the detected
+# best one; the per-epoch loss histories must agree within 2% relative
+# (SIMD reduction reorder perturbs trajectories by ULPs, not semantics).
+parity_flags=(--dataset arxiv --method torchgt --epochs 3 --scale 0.002
+              --seq-len 128 --hidden 16 --layers 2 --heads 2 --seed 7)
+./target/release/torchgt_cli train "${parity_flags[@]}" --backend scalar \
+    --metrics "$scratch/scalar.json" > "$scratch/scalar.out"
+grep -q "kernel backend: scalar" "$scratch/scalar.out" \
+    || { echo "CLI did not announce the scalar backend"; exit 1; }
+./target/release/torchgt_cli train "${parity_flags[@]}" \
+    --metrics "$scratch/best.json" > "$scratch/best.out"
+best="$(grep -o 'kernel backend: .*' "$scratch/best.out" | cut -d' ' -f3)"
+[ -n "$best" ] || { echo "CLI did not announce the detected backend"; exit 1; }
+grep -q '"backend"' "$scratch/best.json" \
+    || { echo "backend event missing from metrics"; exit 1; }
+paste <(losses "$scratch/scalar.json" | grep -o '[0-9.e-]*$') \
+      <(losses "$scratch/best.json"   | grep -o '[0-9.e-]*$') \
+    | awk '{ d = $1 - $2; if (d < 0) d = -d; tol = 0.02 * ($1 < 0 ? -$1 : $1);
+             if (tol < 0.002) tol = 0.002;
+             if (d > tol) { printf "epoch %d: scalar loss %s vs simd loss %s\n", NR, $1, $2; exit 1 } }' \
+    || { echo "loss histories diverged between scalar and $best backends"; exit 1; }
+echo "backend parity gate: OK (scalar vs $best, 3 epochs)"
+
+echo "== SIMD speedup bench =="
+cargo bench -q --offline -p torchgt-bench --bench simd_speedup >/dev/null
+bench_json="target/experiments/BENCH_simd.json"
+[ -f "$bench_json" ] || { echo "$bench_json missing"; exit 1; }
+if [ "$best" != "scalar" ]; then
+    # At least one matmul or softmax kernel must clear 2x under some SIMD
+    # backend on SIMD-capable hardware. The JSON is pretty-printed, so each
+    # row's "kernel" line precedes its "speedup" line.
+    awk -F'"' '/"kernel":/ { kernel = $4 }
+        /"speedup":/ && (kernel ~ /matmul/ || kernel ~ /softmax/) {
+            split($0, f, ":"); if (f[2] + 0 >= 2.0) found = 1 }
+        END { exit !found }' "$bench_json" \
+        || { echo "no >=2x matmul/softmax speedup recorded in $bench_json"; exit 1; }
+    echo "SIMD speedup bench: OK (>=2x on a matmul/softmax kernel)"
+else
+    echo "SIMD speedup bench: OK (scalar-only CPU, speedup gate skipped)"
+fi
 
 echo "verify: OK"

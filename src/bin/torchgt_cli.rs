@@ -46,7 +46,7 @@ const CRASH_EXIT: u8 = 3;
 const TRAIN_FLAGS: &[&str] = &[
     "dataset", "method", "scale", "epochs", "seed", "model", "seq-len", "hidden", "layers",
     "heads", "lr", "metrics", "checkpoint-dir", "checkpoint-every", "resume", "crash-after",
-    "elastic", "world", "min-ranks", "lose-rank", "max-retries",
+    "elastic", "world", "min-ranks", "lose-rank", "max-retries", "backend",
 ];
 
 /// Parse `--key value` / `--switch` pairs, rejecting anything not in
@@ -173,6 +173,20 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "train" => {
+            // Resolve the kernel backend before any tensor work runs: an
+            // unknown name or an ISA this CPU lacks must be a usage error
+            // here, not a SIGILL (or panic) mid-training.
+            if let Some(name) = flags.get("backend") {
+                std::env::set_var(torchgt_tensor::backend::ENV_VAR, name);
+            }
+            let kernel_backend = match torchgt_tensor::backend::from_env() {
+                Ok(be) => be,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!("kernel backend: {}", kernel_backend.name());
             let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
                 eprintln!("unknown dataset (try `torchgt_cli datasets`)");
                 return ExitCode::from(2);
@@ -223,6 +237,7 @@ fn main() -> ExitCode {
             let trainer: &mut dyn Trainer = &mut node_trainer;
             let recorder = flags.get("metrics").map(|path| {
                 let mem = Arc::new(MemoryRecorder::default());
+                mem.event(torchgt_obs::Event::backend(kernel_backend.name()));
                 trainer.attach_recorder(mem.clone());
                 (mem, path.clone())
             });
@@ -354,6 +369,7 @@ fn run_elastic(
         }
     };
     let mem = Arc::new(MemoryRecorder::default());
+    mem.event(torchgt_obs::Event::backend(torchgt_tensor::backend::active().name()));
     let recorder: RecorderHandle = mem.clone();
     println!(
         "elastic run: world {world}, min ranks {}, max retries {} per generation{}",

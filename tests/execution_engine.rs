@@ -69,6 +69,42 @@ proptest! {
         prop_assert_eq!(out.data(), want.data());
     }
 
+    /// `gelu_into` fully defines its output: writing into a dirty recycled
+    /// buffer produces the same bytes as writing into a fresh zeroed one.
+    #[test]
+    fn gelu_into_fully_defines_dirty_buffers(x in arb_tensor(1..8, 1..9)) {
+        let mut into_dirty = dirty(x.rows(), x.cols());
+        ops::gelu_into(&x, &mut into_dirty);
+        let mut into_clean = Tensor::zeros(x.rows(), x.cols());
+        ops::gelu_into(&x, &mut into_clean);
+        prop_assert_eq!(into_dirty.data(), into_clean.data());
+    }
+
+    /// `gelu_backward_into` fully defines its output regardless of what the
+    /// recycled buffer held.
+    #[test]
+    fn gelu_backward_into_fully_defines_dirty_buffers(x in arb_tensor(1..8, 1..9), seed in 0u64..1000) {
+        let dy = init::normal(x.rows(), x.cols(), 0.0, 1.0, seed.wrapping_add(17));
+        let mut into_dirty = dirty(x.rows(), x.cols());
+        ops::gelu_backward_into(&x, &dy, &mut into_dirty);
+        let mut into_clean = Tensor::zeros(x.rows(), x.cols());
+        ops::gelu_backward_into(&x, &dy, &mut into_clean);
+        prop_assert_eq!(into_dirty.data(), into_clean.data());
+    }
+
+    /// `layer_norm_into` fully defines its output: dirty and zeroed
+    /// destination buffers receive identical bytes.
+    #[test]
+    fn layer_norm_into_fully_defines_dirty_buffers(x in arb_tensor(1..8, 2..9), seed in 0u64..1000) {
+        let gamma = init::normal(1, x.cols(), 1.0, 0.1, seed.wrapping_add(19));
+        let beta = init::normal(1, x.cols(), 0.0, 0.1, seed.wrapping_add(23));
+        let mut into_dirty = dirty(x.rows(), x.cols());
+        ops::layer_norm_into(&x, &gamma, &beta, 1e-5, &mut into_dirty);
+        let mut into_clean = Tensor::zeros(x.rows(), x.cols());
+        ops::layer_norm_into(&x, &gamma, &beta, 1e-5, &mut into_clean);
+        prop_assert_eq!(into_dirty.data(), into_clean.data());
+    }
+
     /// Zero-copy head views (`view_cols`) read exactly the bytes a copying
     /// column slice produces, row by row and through a matmul consumer.
     #[test]

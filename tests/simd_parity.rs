@@ -1,0 +1,617 @@
+//! Backend-differential parity harness.
+//!
+//! Every compiled kernel backend (scalar, AVX2, AVX-512 — whichever this CPU
+//! supports) is fed identical inputs, including NaN/Inf/denormal/negative-zero
+//! edge cases and non-contiguous `view_cols` strides, and compared against the
+//! scalar reference. Two parity classes, per kernel:
+//!
+//! | kernel                         | class       | bound                               |
+//! |--------------------------------|-------------|-------------------------------------|
+//! | `matmul_into` / `matmul_at_into` | bit-exact | broadcast-axpy, mul+add per element |
+//! | `add/sub/mul/scale_into`       | bit-exact   | one IEEE op per element             |
+//! | axpy / scale_assign / div      | bit-exact   | same two roundings per element      |
+//! | `matmul_bt_into` (dot)         | ULP-bounded | `2k·ε·Σ|aᵢbᵢ|`, ε = 6e-8 (FMA + 4 accumulators) |
+//! | `row_softmax_into`             | ULP-bounded | rel 1e-5 (vector exp); ±Inf/NaN rows bit-identical |
+//! | `gelu_into`                    | ULP-bounded | rel 1e-5 or abs 1e-6 (vector tanh)  |
+//! | `gelu_backward_into`           | ULP-bounded | rel 1e-5 or abs 2e-5 (tanh error amplified by the sech² product term) |
+//! | `layer_norm_into` / backward   | ULP-bounded | rel 1e-4 or abs 1e-4 (sum/dot reductions) |
+//! | `sub_block_attention`          | ULP-bounded | rel 1e-5 (dot + exp per edge)       |
+//!
+//! "Bit-exact" means every output bit matches the scalar backend (NaNs
+//! compare equal regardless of payload; signed zeros must match exactly).
+//! The file also carries the dispatch-override CLI matrix and the
+//! full-trainer gate: 3-epoch `GraphTrainer` loss histories re-executed
+//! under each backend must agree within tolerance.
+
+use std::process::Command;
+use torchgt::tensor::backend::{self, Backend};
+use torchgt::tensor::{init, ops, MatRef, Tensor, Workspace};
+use torchgt_compat::proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+/// Bit-exact comparison: identical bits, except any-NaN matches any-NaN.
+fn assert_bits_eq(kernel: &str, be: Backend, reference: &[f32], got: &[f32]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(reference.len(), got.len());
+    for (i, (&r, &g)) in reference.iter().zip(got).enumerate() {
+        let same = (r.is_nan() && g.is_nan()) || r.to_bits() == g.to_bits();
+        prop_assert!(
+            same,
+            "{kernel} [{}] idx {i}: scalar {r:e} ({:#010x}) vs {g:e} ({:#010x})",
+            be.name(),
+            r.to_bits(),
+            g.to_bits()
+        );
+    }
+    Ok(())
+}
+
+/// Tolerance comparison: same non-finite class, else `|Δ| ≤ max(abs, rel·|r|)`.
+fn assert_close(
+    kernel: &str,
+    be: Backend,
+    reference: &[f32],
+    got: &[f32],
+    rel: f32,
+    abs: f32,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(reference.len(), got.len());
+    for (i, (&r, &g)) in reference.iter().zip(got).enumerate() {
+        if r.is_nan() || g.is_nan() {
+            prop_assert!(
+                r.is_nan() && g.is_nan(),
+                "{kernel} [{}] idx {i}: NaN class mismatch: scalar {r} vs {g}",
+                be.name()
+            );
+            continue;
+        }
+        if r.is_infinite() || g.is_infinite() {
+            prop_assert!(
+                r == g,
+                "{kernel} [{}] idx {i}: infinity mismatch: scalar {r} vs {g}",
+                be.name()
+            );
+            continue;
+        }
+        let tol = abs.max(rel * r.abs());
+        prop_assert!(
+            (r - g).abs() <= tol,
+            "{kernel} [{}] idx {i}: scalar {r:e} vs {g:e} (|Δ| {:e} > tol {tol:e})",
+            be.name(),
+            (r - g).abs()
+        );
+    }
+    Ok(())
+}
+
+/// Error bound for a `k`-term f32 dot product allowed to reassociate and use
+/// FMA: `2·k·ε·Σ|aᵢbᵢ|` with the magnitude sum taken in f64.
+fn dot_bound(a: &[f32], b: &[f32]) -> f32 {
+    let mag: f64 = a.iter().zip(b).map(|(&x, &y)| (x as f64 * y as f64).abs()).sum();
+    (2.0 * a.len() as f64 * 6e-8 * mag).max(1e-30) as f32
+}
+
+/// Finite values including denormals, signed zeros, exp-range edges.
+fn arb_edge_f32() -> impl Strategy<Value = f32> {
+    (0usize..12, -4.0f32..4.0).prop_map(|(pick, x)| match pick {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 1.0e-40,       // positive denormal
+        3 => -3.0e-42,      // negative denormal
+        4 => f32::MIN_POSITIVE,
+        5 => 88.5,          // just above exp overflow threshold
+        6 => -88.5,         // just below exp underflow threshold
+        7 => 12.5,          // beyond the tanh saturation clamp
+        8 => -12.5,
+        _ => x,
+    })
+}
+
+/// Like [`arb_edge_f32`] but also NaN and ±Inf.
+fn arb_special_f32() -> impl Strategy<Value = f32> {
+    (0usize..15, -4.0f32..4.0).prop_map(|(pick, x)| match pick {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => 1.0e-40,
+        6 => -3.0e-42,
+        7 => 88.5,
+        8 => -88.5,
+        _ => x,
+    })
+}
+
+fn tensor_of(rows: usize, cols: usize, vals: &[f32]) -> Tensor {
+    let mut data = Vec::with_capacity(rows * cols);
+    for i in 0..rows * cols {
+        data.push(vals[i % vals.len()]);
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn arb_tensor(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Tensor> {
+    (rows, cols, 0u64..100_000)
+        .prop_map(|(r, c, seed)| init::normal(r, c, 0.0, 1.0, seed.wrapping_add(1)))
+}
+
+/// A tensor whose entries mix normal draws with edge-case finite values.
+fn arb_edge_tensor(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Tensor> {
+    (rows, cols, 0u64..100_000, collection::vec(arb_edge_f32(), 4..32)).prop_map(
+        |(r, c, seed, edges)| {
+            let mut t = init::normal(r, c, 0.0, 1.0, seed.wrapping_add(1));
+            for (i, v) in t.data_mut().iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = edges[i % edges.len()];
+                }
+            }
+            t
+        },
+    )
+}
+
+fn non_scalar_backends() -> Vec<Backend> {
+    backend::supported().into_iter().filter(|b| *b != Backend::Scalar).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Property-based cross-backend parity
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Broadcast-axpy matmuls are bit-exact across backends, including on
+    /// edge-case inputs (denormals, signed zeros, exp-range magnitudes).
+    #[test]
+    fn matmul_kernels_are_bit_exact(a in arb_edge_tensor(1..9, 1..40), seed in 0u64..1000) {
+        let b = init::normal(a.cols(), 5, 0.0, 1.0, seed.wrapping_add(7));
+        let bt = init::normal(a.rows(), 6, 0.0, 1.0, seed.wrapping_add(11));
+        let mut want = Tensor::zeros(a.rows(), b.cols());
+        ops::matmul_into_with(Backend::Scalar, &a, &b, &mut want);
+        let mut want_at = Tensor::zeros(a.cols(), bt.cols());
+        ops::matmul_at_into_with(Backend::Scalar, &a, &bt, &mut want_at);
+        for be in non_scalar_backends() {
+            let mut got = Tensor::zeros(a.rows(), b.cols());
+            ops::matmul_into_with(be, &a, &b, &mut got);
+            assert_bits_eq("matmul_into", be, want.data(), got.data())?;
+            let mut got_at = Tensor::zeros(a.cols(), bt.cols());
+            ops::matmul_at_into_with(be, &a, &bt, &mut got_at);
+            assert_bits_eq("matmul_at_into", be, want_at.data(), got_at.data())?;
+        }
+    }
+
+    /// Elementwise add/sub/mul/scale are bit-exact across backends even on
+    /// NaN/Inf/denormal/negative-zero inputs.
+    #[test]
+    fn elementwise_kernels_are_bit_exact(
+        av in collection::vec(arb_special_f32(), 1..70),
+        bv in collection::vec(arb_special_f32(), 1..70),
+        s in arb_special_f32(),
+    ) {
+        let n = av.len().min(bv.len());
+        let a = tensor_of(2, n, &av);
+        let b = tensor_of(2, n, &bv);
+        for (name, f) in [
+            ("add_into", ops::add_into_with as fn(Backend, &Tensor, &Tensor, &mut Tensor)),
+            ("sub_into", ops::sub_into_with),
+            ("mul_into", ops::mul_into_with),
+        ] {
+            let mut want = Tensor::zeros(2, n);
+            f(Backend::Scalar, &a, &b, &mut want);
+            for be in non_scalar_backends() {
+                let mut got = Tensor::zeros(2, n);
+                f(be, &a, &b, &mut got);
+                assert_bits_eq(name, be, want.data(), got.data())?;
+            }
+        }
+        let mut want = Tensor::zeros(2, n);
+        ops::scale_into_with(Backend::Scalar, &a, s, &mut want);
+        for be in non_scalar_backends() {
+            let mut got = Tensor::zeros(2, n);
+            ops::scale_into_with(be, &a, s, &mut got);
+            assert_bits_eq("scale_into", be, want.data(), got.data())?;
+        }
+    }
+
+    /// `matmul_bt_into` cells are dot products: ULP-bounded by the
+    /// reassociation + FMA envelope `2k·ε·Σ|aᵢbᵢ|` per cell.
+    #[test]
+    fn matmul_bt_is_within_dot_bound(a in arb_tensor(1..8, 1..70), seed in 0u64..1000) {
+        let b = init::normal(5, a.cols(), 0.0, 1.0, seed.wrapping_add(3));
+        let mut want = Tensor::zeros(a.rows(), b.rows());
+        ops::matmul_bt_into_with(Backend::Scalar, &a, &b, &mut want);
+        for be in non_scalar_backends() {
+            let mut got = Tensor::zeros(a.rows(), b.rows());
+            ops::matmul_bt_into_with(be, &a, &b, &mut got);
+            for r in 0..a.rows() {
+                for c in 0..b.rows() {
+                    let bound = dot_bound(a.row(r), b.row(c));
+                    let (w, g) = (want.get(r, c), got.get(r, c));
+                    prop_assert!(
+                        (w - g).abs() <= bound,
+                        "matmul_bt [{}] ({r},{c}): {w:e} vs {g:e} (bound {bound:e})",
+                        be.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Softmax rows agree within relative 1e-5 on finite rows and are
+    /// bit-identical on poisoned rows (NaN → all-NaN, ±Inf handled).
+    #[test]
+    fn row_softmax_parity(x in arb_tensor(1..8, 1..40), specials in collection::vec(arb_special_f32(), 1..12)) {
+        let mut poisoned = x.clone();
+        for (i, v) in poisoned.data_mut().iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *v = specials[i % specials.len()];
+            }
+        }
+        for input in [&x, &poisoned] {
+            let mut want = Tensor::zeros(input.rows(), input.cols());
+            ops::row_softmax_into_with(Backend::Scalar, input, &mut want);
+            for be in non_scalar_backends() {
+                let mut got = Tensor::zeros(input.rows(), input.cols());
+                ops::row_softmax_into_with(be, input, &mut got);
+                assert_close("row_softmax", be, want.data(), got.data(), 1e-5, 1e-7)?;
+            }
+        }
+    }
+
+    /// GELU forward/backward within rel 1e-5 / abs 1e-6 (vector tanh); NaN
+    /// and ±Inf classifications match the scalar reference exactly.
+    #[test]
+    fn gelu_parity(x in arb_edge_tensor(1..8, 1..40), seed in 0u64..1000) {
+        let dy = init::normal(x.rows(), x.cols(), 0.0, 1.0, seed.wrapping_add(29));
+        let mut want = Tensor::zeros(x.rows(), x.cols());
+        ops::gelu_into_with(Backend::Scalar, &x, &mut want);
+        let mut want_g = Tensor::zeros(x.rows(), x.cols());
+        ops::gelu_backward_into_with(Backend::Scalar, &x, &dy, &mut want_g);
+        for be in non_scalar_backends() {
+            let mut got = Tensor::zeros(x.rows(), x.cols());
+            ops::gelu_into_with(be, &x, &mut got);
+            assert_close("gelu", be, want.data(), got.data(), 1e-5, 1e-6)?;
+            let mut got_g = Tensor::zeros(x.rows(), x.cols());
+            ops::gelu_backward_into_with(be, &x, &dy, &mut got_g);
+            assert_close("gelu_backward", be, want_g.data(), got_g.data(), 1e-5, 2e-5)?;
+        }
+    }
+
+    /// LayerNorm forward + backward within rel/abs 1e-4 (sum, dot and dot3
+    /// reductions reassociate on SIMD backends).
+    #[test]
+    fn layer_norm_parity(x in arb_tensor(1..8, 2..40), seed in 0u64..1000) {
+        let cols = x.cols();
+        let gamma = init::normal(1, cols, 1.0, 0.2, seed.wrapping_add(31));
+        let beta = init::normal(1, cols, 0.0, 0.2, seed.wrapping_add(37));
+        let dy = init::normal(x.rows(), cols, 0.0, 1.0, seed.wrapping_add(41));
+        let run = |be: Backend| {
+            let mut out = Tensor::zeros(x.rows(), cols);
+            let mut xhat = Tensor::zeros(x.rows(), cols);
+            let mut inv_std = Vec::new();
+            ops::layer_norm_stats_into_with(be, &x, &gamma, &beta, 1e-5, &mut out, &mut xhat, &mut inv_std);
+            let mut plain = Tensor::zeros(x.rows(), cols);
+            ops::layer_norm_into_with(be, &x, &gamma, &beta, 1e-5, &mut plain);
+            let mut dx = Tensor::zeros(x.rows(), cols);
+            let mut dgamma = Tensor::zeros(1, cols);
+            let mut dbeta = Tensor::zeros(1, cols);
+            ops::layer_norm_backward_into_with(be, &xhat, &inv_std, &gamma, &dy, &mut dx, &mut dgamma, &mut dbeta);
+            (out, plain, dx, dgamma, dbeta)
+        };
+        let (w_out, w_plain, w_dx, w_dg, w_db) = run(Backend::Scalar);
+        // The stats-recording forward and the plain one share every rounding.
+        prop_assert_eq!(w_out.data(), w_plain.data());
+        for be in non_scalar_backends() {
+            let (g_out, g_plain, g_dx, g_dg, g_db) = run(be);
+            prop_assert_eq!(g_out.data(), g_plain.data());
+            assert_close("layer_norm", be, w_out.data(), g_out.data(), 1e-4, 1e-4)?;
+            assert_close("layer_norm dx", be, w_dx.data(), g_dx.data(), 1e-4, 1e-4)?;
+            assert_close("layer_norm dgamma", be, w_dg.data(), g_dg.data(), 1e-4, 1e-4)?;
+            assert_close("layer_norm dbeta", be, w_db.data(), g_db.data(), 1e-4, 1e-4)?;
+        }
+    }
+
+    /// Kernels fed non-contiguous `view_cols` column blocks see exactly the
+    /// strided rows: bit-exact for axpy matmuls, dot-bounded for `bt`.
+    #[test]
+    fn strided_views_keep_parity(t in arb_edge_tensor(1..8, 4..24), seed in 0u64..1000) {
+        let cols = t.cols();
+        let width = 2 + (seed as usize % (cols / 2));
+        let start = (seed as usize / 7) % (cols - width);
+        let view = t.view_cols(start, start + width);
+        let b = init::normal(width, 3, 0.0, 1.0, seed.wrapping_add(43));
+        let bt = init::normal(4, width, 0.0, 1.0, seed.wrapping_add(47));
+        let mut want = Tensor::zeros(t.rows(), 3);
+        ops::matmul_into_with(Backend::Scalar, &view, &b, &mut want);
+        let mut want_bt = Tensor::zeros(t.rows(), 4);
+        ops::matmul_bt_into_with(Backend::Scalar, &view, &bt, &mut want_bt);
+        let mut want_sm = Tensor::zeros(t.rows(), width);
+        ops::row_softmax_into_with(Backend::Scalar, &view, &mut want_sm);
+        for be in non_scalar_backends() {
+            let mut got = Tensor::zeros(t.rows(), 3);
+            ops::matmul_into_with(be, &view, &b, &mut got);
+            assert_bits_eq("matmul_into(view)", be, want.data(), got.data())?;
+            let mut got_bt = Tensor::zeros(t.rows(), 4);
+            ops::matmul_bt_into_with(be, &view, &bt, &mut got_bt);
+            for r in 0..t.rows() {
+                for c in 0..4 {
+                    let bound = dot_bound(view.row(r), bt.row(c));
+                    let (w, g) = (want_bt.get(r, c), got_bt.get(r, c));
+                    prop_assert!(
+                        (w - g).abs() <= bound || (w.is_nan() && g.is_nan()),
+                        "matmul_bt(view) [{}] ({r},{c}): {w:e} vs {g:e} (bound {bound:e})",
+                        be.name()
+                    );
+                }
+            }
+            let mut got_sm = Tensor::zeros(t.rows(), width);
+            ops::row_softmax_into_with(be, &view, &mut got_sm);
+            assert_close("row_softmax(view)", be, want_sm.data(), got_sm.data(), 1e-5, 1e-7)?;
+        }
+    }
+
+    /// The cluster-sparse sub-block attention kernel agrees across backends
+    /// and is bit-identical to `attention::sparse` under the active backend
+    /// (the two kernels visit columns in the same ascending order).
+    #[test]
+    fn sub_block_attention_parity(s in 6usize..20, d_head in 2usize..6, seed in 0u64..1000) {
+        use torchgt::graph::generators::cycle_graph;
+        use torchgt::sparse::{sub_block_attention_with, BlockCsr};
+        let heads = 2;
+        let d = heads * d_head;
+        let q = init::normal(s, d, 0.0, 1.0, seed.wrapping_add(51));
+        let k = init::normal(s, d, 0.0, 1.0, seed.wrapping_add(53));
+        let v = init::normal(s, d, 0.0, 1.0, seed.wrapping_add(57));
+        let mask = cycle_graph(s).with_self_loops();
+        let blocks = BlockCsr::from_mask(&mask, 4);
+        let mut ws = Workspace::new();
+        let want = sub_block_attention_with(Backend::Scalar, &q, &k, &v, heads, &blocks, &mut ws);
+        for be in non_scalar_backends() {
+            let got = sub_block_attention_with(be, &q, &k, &v, heads, &blocks, &mut ws);
+            assert_close("sub_block_attention", be, want.data(), got.data(), 1e-5, 1e-6)?;
+            ws.give(got);
+        }
+        // Cross-kernel: same mask through the CSR sparse kernel, same
+        // (active) backend on both sides → bit-identical output.
+        let csr = torchgt::model::attention::sparse(&q, &k, &v, heads, &mask, None);
+        let active = torchgt::sparse::sub_block_attention(&q, &k, &v, heads, &blocks);
+        prop_assert_eq!(csr.out.data(), active.data());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dot-product special-value classification
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dot products over NaN/±Inf/denormal inputs land in the same IEEE
+    /// class on every backend (reassociation cannot change whether a NaN or
+    /// an infinity contaminates the sum for these inputs).
+    #[test]
+    fn dot_special_value_classes_match(
+        av in collection::vec(arb_special_f32(), 1..70),
+        bv in collection::vec(arb_special_f32(), 1..70),
+    ) {
+        let n = av.len().min(bv.len());
+        let (a, b) = (&av[..n], &bv[..n]);
+        // Mixed-sign infinite products make the class order-dependent only
+        // through NaN, which both orders produce; verify that claim holds.
+        let want = Backend::Scalar.dot(a, b);
+        for be in non_scalar_backends() {
+            let got = be.dot(a, b);
+            if want.is_nan() {
+                prop_assert!(got.is_nan(), "[{}] scalar NaN vs {got}", be.name());
+            } else if want.is_infinite() {
+                prop_assert!(got == want, "[{}] scalar {want} vs {got}", be.name());
+            } else {
+                let bound = dot_bound(a, b);
+                prop_assert!(
+                    (want - got).abs() <= bound,
+                    "[{}] scalar {want:e} vs {got:e} (bound {bound:e})",
+                    be.name()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-trainer gate: 3-epoch GraphTrainer loss histories across backends
+// ---------------------------------------------------------------------------
+
+fn graph_trainer_losses(epochs: usize) -> Vec<f32> {
+    use torchgt::comm::ClusterTopology;
+    use torchgt::graph::DatasetKind;
+    use torchgt::model::{Gt, GtConfig};
+    use torchgt::perf::{GpuSpec, ModelShape};
+    use torchgt::runtime::{GraphTrainer, Method, TrainConfig};
+
+    let data = DatasetKind::MalNet.generate_graphs(8, 0.002, 5);
+    let mut cfg = TrainConfig::new(Method::GpSparse, 64, epochs);
+    cfg.lr = 2e-3;
+    let model = Box::new(Gt::new(GtConfig::tiny(data.feat_dim, 5), 9));
+    let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+    let mut trainer = GraphTrainer::new(
+        cfg,
+        &data,
+        model,
+        shape,
+        GpuSpec::rtx3090(),
+        ClusterTopology::rtx3090(1),
+    );
+    (0..epochs).map(|_| trainer.train_epoch().loss).collect()
+}
+
+/// Child-process hook for the cross-backend trainer gate: when
+/// `TORCHGT_PARITY_OUT` is set, runs 3 trainer epochs under whatever
+/// `TORCHGT_BACKEND` the parent chose and writes the loss history there.
+/// Without the env var it is a plain (cheap) smoke test of the trainer.
+#[test]
+fn trainer_loss_probe() {
+    let losses = graph_trainer_losses(3);
+    assert_eq!(losses.len(), 3);
+    assert!(losses.iter().all(|l| l.is_finite()), "non-finite loss: {losses:?}");
+    if let Ok(path) = std::env::var("TORCHGT_PARITY_OUT") {
+        let body: String = losses.iter().map(|l| format!("{l:e}\n")).collect();
+        std::fs::write(&path, body).expect("write parity losses");
+    }
+}
+
+/// The dispatch backend must not change what the model learns: re-execute
+/// the 3-epoch probe under every supported backend and require the loss
+/// histories to agree within 2% relative tolerance (reassociated dots and
+/// polynomial exp/tanh perturb trajectories by ULPs, not by semantics).
+#[test]
+fn graph_trainer_loss_history_agrees_across_backends() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut scalar_losses: Option<Vec<f32>> = None;
+    for be in backend::supported() {
+        let out = std::env::temp_dir().join(format!(
+            "torchgt_parity_{}_{}.txt",
+            std::process::id(),
+            be.name()
+        ));
+        let status = Command::new(&exe)
+            .args(["--exact", "trainer_loss_probe", "--test-threads", "1"])
+            .env(backend::ENV_VAR, be.name())
+            .env("TORCHGT_PARITY_OUT", &out)
+            .status()
+            .expect("spawn trainer probe");
+        assert!(status.success(), "probe under {} failed: {status}", be.name());
+        let body = std::fs::read_to_string(&out).expect("read parity losses");
+        let _ = std::fs::remove_file(&out);
+        let losses: Vec<f32> = body.lines().map(|l| l.parse().expect("loss f32")).collect();
+        assert_eq!(losses.len(), 3, "{}: {body:?}", be.name());
+        match &scalar_losses {
+            None => {
+                assert_eq!(be, Backend::Scalar, "supported() must list scalar first");
+                scalar_losses = Some(losses);
+            }
+            Some(reference) => {
+                for (epoch, (&r, &g)) in reference.iter().zip(&losses).enumerate() {
+                    assert!(
+                        (r - g).abs() <= 0.02 * r.abs().max(0.1),
+                        "{}: epoch {epoch} loss {g} diverged from scalar {r}",
+                        be.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI dispatch-override matrix
+// ---------------------------------------------------------------------------
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_torchgt_cli"))
+}
+
+fn train_args(metrics: &std::path::Path) -> Vec<String> {
+    [
+        "train", "--dataset", "arxiv", "--method", "torchgt", "--epochs", "1", "--scale",
+        "0.002", "--seq-len", "64", "--hidden", "16", "--layers", "2", "--heads", "2",
+        "--seed", "7", "--metrics",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([metrics.to_string_lossy().into_owned()])
+    .collect()
+}
+
+/// `--backend scalar` and the detected best backend both drive the CLI end
+/// to end, and `--metrics` reports which backend ran.
+#[test]
+fn cli_backend_override_matrix() {
+    for be in [Backend::Scalar, backend::detect_best()] {
+        let metrics = std::env::temp_dir().join(format!(
+            "torchgt_cli_backend_{}_{}.json",
+            std::process::id(),
+            be.name()
+        ));
+        let output = cli()
+            .args(train_args(&metrics))
+            .args(["--backend", be.name()])
+            .env_remove(backend::ENV_VAR)
+            .output()
+            .expect("run torchgt_cli");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            output.status.success(),
+            "cli --backend {} failed: {stdout}\n{}",
+            be.name(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            stdout.contains(&format!("kernel backend: {}", be.name())),
+            "stdout must announce the backend: {stdout}"
+        );
+        let report = std::fs::read_to_string(&metrics).expect("metrics written");
+        let _ = std::fs::remove_file(&metrics);
+        assert!(report.contains("\"backend\""), "metrics missing backend event");
+        assert!(
+            report.contains(&format!("\"{}\"", be.name())),
+            "metrics must name the backend that ran"
+        );
+    }
+}
+
+/// Requesting an unknown or unsupported backend is a clear usage error
+/// (exit 2 with a diagnostic), never a SIGILL or a panic.
+#[test]
+fn cli_rejects_bad_backends_cleanly() {
+    for (flag_value, expect) in [
+        ("avx999", "unknown kernel backend"),
+        ("neon", "unknown kernel backend"),
+    ] {
+        let metrics = std::env::temp_dir().join(format!(
+            "torchgt_cli_badbackend_{}.json",
+            std::process::id()
+        ));
+        let output = cli()
+            .args(train_args(&metrics))
+            .args(["--backend", flag_value])
+            .env_remove(backend::ENV_VAR)
+            .output()
+            .expect("run torchgt_cli");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(output.status.code(), Some(2), "want usage exit: {stderr}");
+        assert!(stderr.contains(expect), "unhelpful error: {stderr}");
+        assert!(!metrics.exists(), "failed run must not write metrics");
+    }
+    // The env override takes the same validated path as the flag.
+    let output = cli()
+        .args(["train", "--dataset", "arxiv", "--epochs", "1", "--scale", "0.002"])
+        .env(backend::ENV_VAR, "sse9000")
+        .output()
+        .expect("run torchgt_cli");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("unknown kernel backend"),
+        "env override must fail with the same diagnostic"
+    );
+}
+
+/// Any backend named by `supported()` really runs: a smoke kernel under a
+/// forced override executes without SIGILL and matches scalar.
+#[test]
+fn every_supported_backend_is_exercised_in_process() {
+    let a: Vec<f32> = (0..133).map(|i| (i as f32).sin()).collect();
+    let b: Vec<f32> = (0..133).map(|i| (i as f32).cos()).collect();
+    let want = Backend::Scalar.dot(&a, &b);
+    for be in backend::supported() {
+        let got = be.dot(&a, &b);
+        assert!(
+            (want - got).abs() <= dot_bound(&a, &b),
+            "{}: {want} vs {got}",
+            be.name()
+        );
+    }
+}
