@@ -1,29 +1,49 @@
-//! `crossbeam-channel`-style unbounded MPMC channel on std primitives.
+//! `crossbeam-channel`-style MPMC channels on std primitives.
 //!
 //! The collectives build a P×P mesh where, unlike `std::sync::mpsc`, the
 //! receiving end must be `Clone` (dummy self-links share one receiver).
 //! This shim backs both ends with one `Mutex<VecDeque>` + `Condvar` and
 //! tracks endpoint counts for crossbeam's disconnect semantics: `recv` on
 //! an empty queue with no senders fails, `send` with no receivers fails.
+//!
+//! Two flavours share the endpoint types: [`unbounded`] (the collectives'
+//! mesh links) and [`bounded`] (the serving layer's admission queue, where
+//! a full queue must exert backpressure on producers via blocking `send`
+//! or an observable [`TrySendError::Full`]).
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Mirror of `crossbeam::channel`.
 pub mod channel {
-    pub use super::{unbounded, Receiver, RecvError, SendError, Sender};
+    pub use super::{
+        bounded, unbounded, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        TrySendError,
+    };
 }
 
 struct Inner<T> {
     queue: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// `None` for unbounded channels; `Some(cap)` makes `send` block while
+    /// the queue holds `cap` messages.
+    capacity: Option<usize>,
+}
+
+impl<T> Inner<T> {
+    fn is_full(&self) -> bool {
+        matches!(self.capacity, Some(cap) if self.queue.len() >= cap)
+    }
 }
 
 struct Shared<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
+    /// Signalled when a bounded queue frees a slot (unused by unbounded).
+    space: Condvar,
 }
 
 /// Sending half; clonable.
@@ -61,26 +81,112 @@ impl fmt::Display for RecvError {
     }
 }
 
-/// Create an unbounded channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+/// A non-blocking send could not enqueue the message.
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "TrySendError::Full(..)",
+            TrySendError::Disconnected(_) => "TrySendError::Disconnected(..)",
+        })
+    }
+}
+
+/// A timed receive expired or found the channel dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecvTimeoutError::Timeout => "timed out waiting on an empty channel",
+            RecvTimeoutError::Disconnected => "receiving on an empty channel with no senders",
+        })
+    }
+}
+
+fn make_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            capacity,
+        }),
         ready: Condvar::new(),
+        space: Condvar::new(),
     });
     (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
 }
 
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make_channel(None)
+}
+
+/// Create a bounded channel holding at most `cap` messages (`cap ≥ 1`):
+/// `send` blocks while full, `try_send` reports [`TrySendError::Full`].
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded channel capacity must be at least 1");
+    make_channel(Some(cap))
+}
+
 impl<T> Sender<T> {
-    /// Enqueue `value`, waking one waiting receiver.
+    /// Enqueue `value`, waking one waiting receiver. On a bounded channel
+    /// this blocks while the queue is full (backpressure).
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut inner = self.shared.inner.lock().unwrap();
-        if inner.receivers == 0 {
-            return Err(SendError(value));
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if !inner.is_full() {
+                break;
+            }
+            inner = self.shared.space.wait(inner).unwrap();
         }
         inner.queue.push_back(value);
         drop(inner);
         self.shared.ready.notify_one();
         Ok(())
+    }
+
+    /// Non-blocking enqueue: fails with [`TrySendError::Full`] instead of
+    /// blocking when a bounded queue is at capacity.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.is_full() {
+            return Err(TrySendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued (a racy snapshot — the serving loop reads
+    /// it as the queue-depth gauge, not for synchronization).
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -110,6 +216,8 @@ impl<T> Receiver<T> {
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
             if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.space.notify_one();
                 return Ok(v);
             }
             if inner.senders == 0 {
@@ -119,10 +227,55 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeue with a deadline: blocks at most `timeout` for a message.
+    /// The micro-batching loop leans on this to flush a partial batch when
+    /// the latency budget expires before the batch fills.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.space.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, wait) = self.shared.ready.wait_timeout(inner, remaining).unwrap();
+            inner = guard;
+            if wait.timed_out() && inner.queue.is_empty() {
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
     /// Non-blocking dequeue; `None` when currently empty (regardless of
     /// sender liveness).
     pub fn try_recv(&self) -> Option<T> {
-        self.shared.inner.lock().unwrap().queue.pop_front()
+        let v = self.shared.inner.lock().unwrap().queue.pop_front();
+        if v.is_some() {
+            self.shared.space.notify_one();
+        }
+        v
+    }
+
+    /// Messages currently queued (racy snapshot — a gauge, not a guard).
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -135,7 +288,14 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.inner.lock().unwrap().receivers -= 1;
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            drop(inner);
+            // Wake senders blocked on a full bounded queue so they can
+            // observe disconnection instead of sleeping forever.
+            self.shared.space.notify_all();
+        }
     }
 }
 
@@ -175,6 +335,75 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // Blocks until the main thread drains a slot.
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn bounded_send_observes_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let handle = s.spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(handle.join().unwrap().is_err(), "blocked send must fail");
+        });
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u8>(4);
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn len_tracks_queue_depth() {
+        let (tx, rx) = bounded::<u8>(8);
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(tx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use torchgt_model as model;
 pub use torchgt_obs as obs;
 pub use torchgt_perf as perf;
 pub use torchgt_runtime as runtime;
+pub use torchgt_serve as serve;
 pub use torchgt_sparse as sparse;
 pub use torchgt_tensor as tensor;
 
@@ -305,17 +306,6 @@ impl TorchGtBuilder {
         ))
     }
 
-    /// Pre-`Result` shim: panics on invalid configuration.
-    #[deprecated(note = "use build_node and handle the BuildError")]
-    pub fn build_node_unchecked(&self, dataset: &NodeDataset) -> NodeTrainer {
-        self.build_node(dataset).expect("invalid TorchGtBuilder configuration")
-    }
-
-    /// Pre-`Result` shim: panics on invalid configuration.
-    #[deprecated(note = "use build_graph and handle the BuildError")]
-    pub fn build_graph_unchecked(&self, dataset: &GraphDataset, out_dim: usize) -> GraphTrainer {
-        self.build_graph(dataset, out_dim).expect("invalid TorchGtBuilder configuration")
-    }
 }
 
 /// Convenient glob-import surface.
@@ -336,6 +326,10 @@ pub mod prelude {
         run_with_checkpoints, train_data_parallel_elastic, CheckpointOptions, ElasticStats,
         EpochStats, GraphTrainer, Method, NodeTrainer, RankLoss, RecoveryPolicy, ResumeOutcome,
         TrainConfig, Trainer,
+    };
+    pub use torchgt_serve::{
+        CalibSet, Freezable, FreezeError, FreezeOptions, FrozenExecutor, FrozenModel,
+        QuantScheme, ServeConfig, ServeLoop, ServeStats,
     };
     pub use torchgt_sparse::LayoutKind;
     pub use torchgt_tensor::{Precision, Tensor};
@@ -399,25 +393,28 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_unchecked_shims_still_build() {
+    fn checked_builder_is_the_single_entry_point() {
         let dataset = DatasetKind::OgbnArxiv.generate_node(0.002, 5);
-        #[allow(deprecated)]
         let trainer = TorchGtBuilder::new(Method::GpSparse)
             .seq_len(128)
             .epochs(1)
             .hidden(16)
             .layers(2)
             .heads(2)
-            .build_node_unchecked(&dataset);
+            .build_node(&dataset)
+            .expect("valid configuration");
         assert_eq!(trainer.cfg.seq_len, 128);
     }
 
     #[test]
-    #[should_panic(expected = "invalid TorchGtBuilder configuration")]
-    fn deprecated_unchecked_shims_panic_on_misconfig() {
+    fn misconfig_is_a_typed_error_not_a_panic() {
         let dataset = DatasetKind::OgbnArxiv.generate_node(0.002, 5);
-        #[allow(deprecated)]
-        let _ = TorchGtBuilder::new(Method::TorchGt).heads(3).hidden(32).build_node_unchecked(&dataset);
+        let err = TorchGtBuilder::new(Method::TorchGt)
+            .heads(3)
+            .hidden(32)
+            .build_node(&dataset)
+            .err();
+        assert_eq!(err, Some(BuildError::HeadsDontDivideHidden { hidden: 32, heads: 3 }));
     }
 
     #[test]

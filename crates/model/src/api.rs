@@ -45,8 +45,31 @@ pub struct SequenceBatch<'a> {
     pub spd: Option<&'a [u8]>,
 }
 
+/// Architecture hyper-parameters sufficient to reconstruct a model of the
+/// same shape (what a frozen deployable artifact records). Fields a family
+/// does not use (`pe_dim` for Graphormer, the degree/SPD buckets for GT)
+/// are zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArchDescriptor {
+    /// Family tag: `"gt"` or `"graphormer"`.
+    pub kind: &'static str,
+    pub feat_dim: usize,
+    pub hidden: usize,
+    pub layers: usize,
+    pub heads: usize,
+    pub ffn_mult: usize,
+    pub out_dim: usize,
+    pub pe_dim: usize,
+    pub max_degree: usize,
+    pub max_spd: u8,
+}
+
 /// A trainable sequence model (Graphormer, GT, baselines).
-pub trait SequenceModel {
+///
+/// `Send` is a supertrait: models are plain owned data (tensors, cursors,
+/// PRNG state), and the serving layer moves a boxed model onto its own
+/// thread.
+pub trait SequenceModel: Send {
     /// Forward: returns per-token logits `[s, out_dim]`.
     fn forward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>) -> Tensor;
     /// Backward from per-token logit gradients. `pattern` must match the
@@ -65,6 +88,20 @@ pub trait SequenceModel {
     ) -> Tensor {
         let _ = ws;
         self.forward(batch, pattern)
+    }
+    /// Forward through the trunk only, returning the pre-head hidden state
+    /// `[s, hidden]` (owned by `ws` — give it back once consumed). `None`
+    /// means the model has no separable head; callers (the serving
+    /// executor's int8 head fast path, activation calibration) must fall
+    /// back to [`Self::forward_ws`].
+    fn forward_hidden_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Option<Tensor> {
+        let _ = (batch, pattern, ws);
+        None
     }
     /// [`Self::backward`] drawing scratch from a caller-owned [`Workspace`].
     fn backward_ws(
@@ -98,5 +135,11 @@ pub trait SequenceModel {
     /// Total scalar parameter count.
     fn num_params(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
+    }
+    /// Architecture description for freezing into a deployable artifact.
+    /// `None` means the family cannot be reconstructed from hyper-parameters
+    /// alone and is not freezable.
+    fn describe(&self) -> Option<ArchDescriptor> {
+        None
     }
 }

@@ -14,7 +14,7 @@
 //! runtime selects: full `[s,s]` bias for dense, per-edge bias for sparse,
 //! and — matching FlashAttention's real limitation — *dropped* for flash.
 
-use crate::api::{Pattern, SequenceBatch, SequenceModel};
+use crate::api::{ArchDescriptor, Pattern, SequenceBatch, SequenceModel};
 use crate::block::TransformerBlock;
 use crate::encodings::{edge_spd, DegreeEncoding, SpdBias};
 use crate::mha::AttentionMode;
@@ -135,6 +135,39 @@ impl Graphormer {
             }
         }
     }
+
+    /// The pre-head trunk: encoded input projection through the biased
+    /// transformer stack. Shared by [`SequenceModel::forward_ws`] and
+    /// [`SequenceModel::forward_hidden_ws`].
+    fn trunk_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (dense_bias, sparse_bias) = self.build_bias_ws(batch, pattern, ws);
+        let mut h = self.in_proj.forward_ws(batch.features, ws);
+        let deg = self.degree_enc.forward_ws(batch.graph, ws);
+        ops::add_inplace(&mut h, &deg);
+        ws.give(deg);
+        for block in &mut self.blocks {
+            let mode = match pattern {
+                Pattern::Dense => AttentionMode::Dense { bias: dense_bias.as_deref() },
+                Pattern::Flash => AttentionMode::Flash,
+                Pattern::Sparse(mask) => {
+                    AttentionMode::Sparse { mask, bias: sparse_bias.as_deref() }
+                }
+                Pattern::Performer(features) => {
+                    AttentionMode::Performer { features, seed: 0x9E37 }
+                }
+            };
+            let next = block.forward_ws(&h, &mode, ws);
+            ws.give(h);
+            h = next;
+        }
+        give_bias(dense_bias, sparse_bias, ws);
+        h
+    }
 }
 
 /// Return a bias payload built by `build_bias_ws` to the workspace.
@@ -166,30 +199,19 @@ impl SequenceModel for Graphormer {
         pattern: Pattern<'_>,
         ws: &mut Workspace,
     ) -> Tensor {
-        let (dense_bias, sparse_bias) = self.build_bias_ws(batch, pattern, ws);
-        let mut h = self.in_proj.forward_ws(batch.features, ws);
-        let deg = self.degree_enc.forward_ws(batch.graph, ws);
-        ops::add_inplace(&mut h, &deg);
-        ws.give(deg);
-        for block in &mut self.blocks {
-            let mode = match pattern {
-                Pattern::Dense => AttentionMode::Dense { bias: dense_bias.as_deref() },
-                Pattern::Flash => AttentionMode::Flash,
-                Pattern::Sparse(mask) => {
-                    AttentionMode::Sparse { mask, bias: sparse_bias.as_deref() }
-                }
-                Pattern::Performer(features) => {
-                    AttentionMode::Performer { features, seed: 0x9E37 }
-                }
-            };
-            let next = block.forward_ws(&h, &mode, ws);
-            ws.give(h);
-            h = next;
-        }
+        let h = self.trunk_ws(batch, pattern, ws);
         let logits = self.head.forward_ws(&h, ws);
         ws.give(h);
-        give_bias(dense_bias, sparse_bias, ws);
         logits
+    }
+
+    fn forward_hidden_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Option<Tensor> {
+        Some(self.trunk_ws(batch, pattern, ws))
     }
 
     fn backward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor) {
@@ -248,6 +270,21 @@ impl SequenceModel for Graphormer {
         for b in &mut self.blocks {
             b.set_training(on);
         }
+    }
+
+    fn describe(&self) -> Option<ArchDescriptor> {
+        Some(ArchDescriptor {
+            kind: "graphormer",
+            feat_dim: self.cfg.feat_dim,
+            hidden: self.cfg.hidden,
+            layers: self.cfg.layers,
+            heads: self.cfg.heads,
+            ffn_mult: self.cfg.ffn_mult,
+            out_dim: self.cfg.out_dim,
+            pe_dim: 0,
+            max_degree: self.cfg.max_degree,
+            max_spd: self.cfg.max_spd,
+        })
     }
 
     fn name(&self) -> &'static str {

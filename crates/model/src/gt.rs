@@ -6,7 +6,7 @@
 //! Graphormer's attention bias, so its attention is encoding-free and all
 //! three kernels apply unchanged.
 
-use crate::api::{Pattern, SequenceBatch, SequenceModel};
+use crate::api::{ArchDescriptor, Pattern, SequenceBatch, SequenceModel};
 use crate::block::TransformerBlock;
 use crate::encodings::laplacian_pe;
 use crate::mha::AttentionMode;
@@ -138,6 +138,32 @@ impl Gt {
         }
         fp
     }
+
+    /// The pre-head trunk: positional-encoded input projection through the
+    /// transformer stack. Shared by [`SequenceModel::forward_ws`] and
+    /// [`SequenceModel::forward_hidden_ws`].
+    fn trunk_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let fp = self.refresh_positional_encoding(batch.graph);
+        // Move the cached encoding out while the projections borrow `self`.
+        let (_, pe) = self.pe_cache.take().expect("pe cache just refreshed");
+        let mut h = self.in_proj.forward_ws(batch.features, ws);
+        let pe_h = self.pe_proj.forward_ws(&pe, ws);
+        self.pe_cache = Some((fp, pe));
+        ops::add_inplace(&mut h, &pe_h);
+        ws.give(pe_h);
+        for block in &mut self.blocks {
+            let mode = gt_mode(pattern);
+            let next = block.forward_ws(&h, &mode, ws);
+            ws.give(h);
+            h = next;
+        }
+        h
+    }
 }
 
 fn gt_mode<'a>(pattern: Pattern<'a>) -> AttentionMode<'a> {
@@ -160,23 +186,19 @@ impl SequenceModel for Gt {
         pattern: Pattern<'_>,
         ws: &mut Workspace,
     ) -> Tensor {
-        let fp = self.refresh_positional_encoding(batch.graph);
-        // Move the cached encoding out while the projections borrow `self`.
-        let (_, pe) = self.pe_cache.take().expect("pe cache just refreshed");
-        let mut h = self.in_proj.forward_ws(batch.features, ws);
-        let pe_h = self.pe_proj.forward_ws(&pe, ws);
-        self.pe_cache = Some((fp, pe));
-        ops::add_inplace(&mut h, &pe_h);
-        ws.give(pe_h);
-        for block in &mut self.blocks {
-            let mode = gt_mode(pattern);
-            let next = block.forward_ws(&h, &mode, ws);
-            ws.give(h);
-            h = next;
-        }
+        let h = self.trunk_ws(batch, pattern, ws);
         let logits = self.head.forward_ws(&h, ws);
         ws.give(h);
         logits
+    }
+
+    fn forward_hidden_ws(
+        &mut self,
+        batch: &SequenceBatch<'_>,
+        pattern: Pattern<'_>,
+        ws: &mut Workspace,
+    ) -> Option<Tensor> {
+        Some(self.trunk_ws(batch, pattern, ws))
     }
 
     fn backward(&mut self, batch: &SequenceBatch<'_>, pattern: Pattern<'_>, dlogits: &Tensor) {
@@ -222,6 +244,21 @@ impl SequenceModel for Gt {
 
     fn name(&self) -> &'static str {
         "GT"
+    }
+
+    fn describe(&self) -> Option<ArchDescriptor> {
+        Some(ArchDescriptor {
+            kind: "gt",
+            feat_dim: self.cfg.feat_dim,
+            hidden: self.cfg.hidden,
+            layers: self.cfg.layers,
+            heads: self.cfg.heads,
+            ffn_mult: self.cfg.ffn_mult,
+            out_dim: self.cfg.out_dim,
+            pe_dim: self.cfg.pe_dim,
+            max_degree: 0,
+            max_spd: 0,
+        })
     }
 
     fn rng_state(&self) -> Vec<u64> {

@@ -1,0 +1,185 @@
+//! Log-bucketed latency histogram for the serving layer's tail metrics.
+//!
+//! Serving SLOs are stated on quantiles (p50/p99), which a running mean
+//! cannot produce. [`LatencyHistogram`] buckets samples geometrically from
+//! 1 µs with 15% growth per bucket — 128 buckets reach past 60 s, and the
+//! relative quantile error is bounded by the growth factor (≤ 15%), which
+//! is far inside any latency budget worth asserting on.
+
+/// Lowest bucket upper bound, in seconds.
+const BASE: f64 = 1e-6;
+/// Geometric growth per bucket.
+const GROWTH: f64 = 1.15;
+/// Bucket count (`BASE * GROWTH^127` ≈ 54 s; beyond that is the overflow
+/// bucket).
+const BUCKETS: usize = 128;
+
+/// A fixed-size log-bucketed histogram of durations in seconds.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS + 1],
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: [0; BUCKETS + 1], total: 0, sum: 0.0, max: 0.0 }
+    }
+
+    fn bucket_of(seconds: f64) -> usize {
+        if seconds <= BASE {
+            return 0;
+        }
+        // log_GROWTH(seconds / BASE), clamped into the overflow bucket.
+        let b = (seconds / BASE).ln() / GROWTH.ln();
+        (b.ceil() as usize).min(BUCKETS)
+    }
+
+    /// Upper bound of bucket `i`, in seconds.
+    fn bucket_bound(i: usize) -> f64 {
+        BASE * GROWTH.powi(i as i32)
+    }
+
+    /// Record one duration. Negative or NaN samples are ignored (a clock
+    /// anomaly must not poison the tail).
+    pub fn record(&mut self, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        self.counts[Self::bucket_of(seconds)] += 1;
+        self.total += 1;
+        self.sum += seconds;
+        if seconds > self.max {
+            self.max = seconds;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper bound of the first
+    /// bucket whose cumulative count reaches `q · total`; the exact max is
+    /// returned for the overflow bucket and whenever it is tighter. Returns
+    /// 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i == BUCKETS {
+                    return self.max;
+                }
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 99 samples at ~1 ms, 1 sample at ~100 ms.
+        for _ in 0..99 {
+            h.record(1e-3);
+        }
+        h.record(0.1);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        let p100 = h.quantile(1.0);
+        assert!((8e-4..2e-3).contains(&p50), "p50 {p50}");
+        assert!((8e-4..2e-3).contains(&p99), "p99 {p99}");
+        assert!((0.08..0.13).contains(&p100), "p100 {p100}");
+        assert!(p50 <= p99 && p99 <= p100, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-4); // 0.1ms .. 100ms uniform
+        }
+        let p99 = h.quantile(0.99);
+        let exact = 0.099;
+        assert!((p99 - exact).abs() / exact < 0.16, "p99 {p99} vs exact {exact}");
+    }
+
+    #[test]
+    fn extremes_land_in_edge_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(1e-9);
+        h.record(1e6); // over the last bucket bound
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(1.0), 1e6, "overflow reports the exact max");
+        h.record(f64::NAN);
+        h.record(-1.0);
+        assert_eq!(h.count(), 3, "non-finite/negative samples ignored");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1e-3);
+        b.record(2e-3);
+        b.record(0.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 0.5);
+    }
+}

@@ -33,10 +33,12 @@
 //! assert!(report.spans.iter().any(|s| s.path == "train_epoch/forward"));
 //! ```
 
+pub mod histogram;
 pub mod memory;
 pub mod recorder;
 pub mod trace;
 
+pub use histogram::LatencyHistogram;
 pub use memory::MemoryRecorder;
 pub use recorder::{noop, NoopRecorder, Recorder, RecorderHandle, SpanGuard};
 pub use trace::{

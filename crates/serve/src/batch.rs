@@ -1,0 +1,157 @@
+//! Per-query subgraph extraction and micro-batch packing.
+//!
+//! A node query becomes an **ego subgraph**: BFS from the queried node,
+//! capped at a context size, with the induced edges relabelled to local
+//! ids (root first). Concurrent queries then pack into one block-diagonal
+//! sequence via [`torchgt_graph::pack`], so a single sparse-attention
+//! forward amortizes across the whole micro-batch while segments stay
+//! attention-isolated — exactly the paper's §IV packing, pointed at
+//! inference.
+//!
+//! The packed attention mask is `with_self_loops()` only: the training
+//! path's Hamiltonian-path mask augmentation would thread a connectivity
+//! chain *across* segment boundaries and leak one query's tokens into
+//! another's attention.
+
+use torchgt_graph::pack::{pack_features, pack_graphs};
+use torchgt_graph::CsrGraph;
+use torchgt_tensor::Tensor;
+
+/// One query's context: the queried node plus its BFS neighbourhood.
+#[derive(Clone, Debug)]
+pub struct EgoSubgraph {
+    /// Global node ids, root first, in BFS discovery order.
+    pub nodes: Vec<u32>,
+    /// Induced subgraph over `nodes`, in local ids.
+    pub graph: CsrGraph,
+}
+
+/// Extract the BFS ego subgraph of `root`, capped at `max_nodes` nodes.
+pub fn ego_subgraph(graph: &CsrGraph, root: u32, max_nodes: usize) -> EgoSubgraph {
+    let cap = max_nodes.max(1);
+    let mut nodes = Vec::with_capacity(cap);
+    let mut local = std::collections::HashMap::with_capacity(cap);
+    nodes.push(root);
+    local.insert(root, 0u32);
+    let mut head = 0usize;
+    while head < nodes.len() && nodes.len() < cap {
+        let v = nodes[head];
+        head += 1;
+        for &u in graph.neighbors(v as usize) {
+            if nodes.len() >= cap {
+                break;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = local.entry(u) {
+                e.insert(nodes.len() as u32);
+                nodes.push(u);
+            }
+        }
+    }
+    // Induced edges: keep arcs whose both endpoints were selected.
+    let mut row_ptr = Vec::with_capacity(nodes.len() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    for &v in &nodes {
+        for &u in graph.neighbors(v as usize) {
+            if let Some(&lu) = local.get(&u) {
+                col_idx.push(lu);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    EgoSubgraph { nodes, graph: CsrGraph::from_raw(row_ptr, col_idx) }
+}
+
+/// A micro-batch of queries packed into one block-diagonal sequence.
+pub struct PackedQueryBatch {
+    /// `[total_tokens, feat_dim]` features in packed order.
+    pub features: Tensor,
+    /// Block-diagonal union of the member subgraphs.
+    pub graph: CsrGraph,
+    /// Attention mask: the union with self-loops (no cross-segment arcs).
+    pub mask: CsrGraph,
+    /// Token range of each query; the query's root is the range's first row.
+    pub segments: Vec<(usize, usize)>,
+}
+
+/// Pack ego subgraphs and their node features into one sequence.
+///
+/// `features` is the dataset's full `[num_nodes, feat_dim]` row-major
+/// buffer; rows are gathered by each subgraph's global ids.
+pub fn pack_queries(
+    subs: &[EgoSubgraph],
+    features: &[f32],
+    feat_dim: usize,
+) -> PackedQueryBatch {
+    assert!(!subs.is_empty(), "pack_queries: empty micro-batch");
+    let graphs: Vec<&CsrGraph> = subs.iter().map(|s| &s.graph).collect();
+    let packed = pack_graphs(&graphs);
+    let gathered: Vec<Vec<f32>> = subs
+        .iter()
+        .map(|s| {
+            let mut rows = Vec::with_capacity(s.nodes.len() * feat_dim);
+            for &n in &s.nodes {
+                let off = n as usize * feat_dim;
+                rows.extend_from_slice(&features[off..off + feat_dim]);
+            }
+            rows
+        })
+        .collect();
+    let slices: Vec<&[f32]> = gathered.iter().map(|v| v.as_slice()).collect();
+    let flat = pack_features(&slices, feat_dim);
+    let total = flat.len() / feat_dim;
+    let mask = packed.graph.with_self_loops();
+    PackedQueryBatch {
+        features: Tensor::from_vec(total, feat_dim, flat),
+        graph: packed.graph,
+        mask,
+        segments: packed.segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3 path plus an isolated 4.
+    fn path_graph() -> CsrGraph {
+        CsrGraph::from_raw(vec![0, 1, 3, 5, 6, 6], vec![1, 0, 2, 1, 3, 2])
+    }
+
+    #[test]
+    fn ego_subgraph_is_root_first_and_capped() {
+        let g = path_graph();
+        let e = ego_subgraph(&g, 1, 2);
+        assert_eq!(e.nodes[0], 1);
+        assert_eq!(e.nodes.len(), 2);
+        let full = ego_subgraph(&g, 0, 100);
+        assert_eq!(full.nodes, vec![0, 1, 2, 3]);
+        // Induced local edges mirror the path.
+        assert_eq!(full.graph.neighbors(0), &[1]);
+        assert_eq!(full.graph.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn isolated_root_still_yields_one_node() {
+        let e = ego_subgraph(&path_graph(), 4, 8);
+        assert_eq!(e.nodes, vec![4]);
+        assert_eq!(e.graph.num_nodes(), 1);
+        assert_eq!(e.graph.num_arcs(), 0);
+    }
+
+    #[test]
+    fn packed_batch_keeps_segments_isolated() {
+        let g = path_graph();
+        let feat: Vec<f32> = (0..10).map(|i| i as f32).collect(); // feat_dim 2
+        let subs = vec![ego_subgraph(&g, 0, 3), ego_subgraph(&g, 4, 3)];
+        let b = pack_queries(&subs, &feat, 2);
+        assert_eq!(b.segments, vec![(0, 3), (3, 4)]);
+        assert_eq!(b.features.row(0), &[0.0, 1.0]); // node 0
+        assert_eq!(b.features.row(3), &[8.0, 9.0]); // node 4
+        // No arc in the mask crosses the 3|4 boundary.
+        for v in 0..3 {
+            assert!(b.mask.neighbors(v).iter().all(|&u| (u as usize) < 3));
+        }
+        assert_eq!(b.mask.neighbors(3), &[3]); // isolated root: self-loop only
+    }
+}

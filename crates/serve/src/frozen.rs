@@ -1,0 +1,408 @@
+//! The `TGTF` frozen-model artifact.
+//!
+//! ```text
+//! offset  size            field
+//! 0       4               magic "TGTF"
+//! 4       4               format version, u32 LE (currently 1)
+//! 8       8               manifest length N, u64 LE
+//! 16      4               CRC-32 of the manifest bytes, u32 LE
+//! 20      N               manifest: compact JSON (torchgt-compat::json)
+//! 20+N    payload_len     payload: per tensor, row scales (f32 LE) then
+//!                         quantized values (i8, or i16 LE)
+//! ```
+//!
+//! Same framing discipline as the `TGTS` training snapshots: both checksums
+//! (manifest and payload), every declared length, and exact EOF are
+//! verified before any state is constructed, so a flipped bit anywhere in
+//! the file fails cleanly. Unlike `TGTS`, the payload is quantized weights
+//! only — no optimizer moments, no RNG cursors — which makes an int8
+//! artifact roughly 12x smaller than the snapshot it was frozen from.
+
+use crate::quant::{QuantData, QuantScheme, QuantTensor};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use torchgt_ckpt::crc32;
+use torchgt_model::{Gt, GtConfig, Graphormer, GraphormerConfig, SequenceModel};
+use torchgt_tensor::checkpoint::{expect_eof, read_f32s, write_f32s};
+
+/// Current frozen-artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"TGTF";
+
+/// Hard cap on the declared manifest length — a corrupted length field must
+/// not trigger a huge allocation.
+const MAX_MANIFEST_LEN: u64 = 64 << 20;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+torchgt_compat::json_struct! {
+    /// Everything needed to rebuild the architecture a frozen model was
+    /// trained with. `kind` is `"gt"` or `"graphormer"`; the degree/SPD
+    /// fields are ignored by `gt`.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct ModelSpec {
+        pub kind: String,
+        pub feat_dim: usize,
+        pub hidden: usize,
+        pub layers: usize,
+        pub heads: usize,
+        pub ffn_mult: usize,
+        pub out_dim: usize,
+        pub pe_dim: usize,
+        pub max_degree: usize,
+        pub max_spd: u8,
+        pub seed: u64,
+    }
+}
+
+impl ModelSpec {
+    /// Instantiate the architecture (weights are the seed-determined init;
+    /// the executor overwrites them from the quantized payload). Dropout is
+    /// structurally zero: a frozen model only ever runs inference.
+    pub fn build(&self) -> io::Result<Box<dyn SequenceModel>> {
+        match self.kind.as_str() {
+            "gt" => Ok(Box::new(Gt::new(
+                GtConfig {
+                    feat_dim: self.feat_dim,
+                    hidden: self.hidden,
+                    layers: self.layers,
+                    heads: self.heads,
+                    ffn_mult: self.ffn_mult,
+                    out_dim: self.out_dim,
+                    pe_dim: self.pe_dim,
+                    dropout: 0.0,
+                },
+                self.seed,
+            ))),
+            "graphormer" => Ok(Box::new(Graphormer::new(
+                GraphormerConfig {
+                    feat_dim: self.feat_dim,
+                    hidden: self.hidden,
+                    layers: self.layers,
+                    heads: self.heads,
+                    ffn_mult: self.ffn_mult,
+                    out_dim: self.out_dim,
+                    max_degree: self.max_degree,
+                    max_spd: self.max_spd,
+                    dropout: 0.0,
+                },
+                self.seed,
+            ))),
+            other => Err(bad(format!("unknown frozen model kind `{other}`"))),
+        }
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// Provenance of the dataset the model was trained and calibrated on,
+    /// so `torchgt serve` can regenerate the identical graph by seed.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct DatasetRef {
+        pub kind: String,
+        pub scale: f64,
+        pub seed: u64,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// One quantized tensor's framing in the payload.
+    #[derive(Clone, Debug, PartialEq)]
+    struct QuantShape {
+        rows: usize,
+        cols: usize,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// The JSON manifest (private — [`FrozenModel`] is the public surface).
+    #[derive(Clone, Debug, PartialEq)]
+    struct FrozenManifest {
+        format_version: u32,
+        spec: ModelSpec,
+        scheme: QuantScheme,
+        act_scale: f32,
+        f32_acc: f64,
+        frozen_acc: f64,
+        dataset: Option<DatasetRef>,
+        shapes: Vec<QuantShape>,
+        payload_len: u64,
+        payload_crc: u32,
+    }
+}
+
+/// A deployable frozen model: architecture spec, per-parameter quantized
+/// tensors (model traversal order), and the calibration record that the
+/// freeze-time accuracy gate was checked against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrozenModel {
+    pub spec: ModelSpec,
+    pub scheme: QuantScheme,
+    /// Quantized parameters in `SequenceModel::params_mut` order.
+    pub tensors: Vec<QuantTensor>,
+    /// Static activation scale for the int8 head fast path: maxabs of the
+    /// pre-head hidden state over the calibration set, divided by 127.
+    /// Zero means "not calibrated" — the executor falls back to dynamic
+    /// per-row activation scaling.
+    pub act_scale: f32,
+    /// Top-1 accuracy of the f32 reference on the calibration set.
+    pub f32_acc: f64,
+    /// Top-1 accuracy of the quantized executor on the calibration set.
+    pub frozen_acc: f64,
+    /// Dataset provenance, when the calibration set came from a generated
+    /// dataset (lets `torchgt serve` rebuild the graph by seed).
+    pub dataset: Option<DatasetRef>,
+}
+
+impl FrozenModel {
+    /// Serialise to a writer (header + manifest + payload, per the module
+    /// docs).
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut payload = Vec::new();
+        for t in &self.tensors {
+            write_f32s(&mut payload, &t.scales)?;
+            match &t.data {
+                QuantData::I8(q) => {
+                    // i8 -> u8 is a bijection on bit patterns.
+                    payload.extend(q.iter().map(|&v| v as u8));
+                }
+                QuantData::I16(q) => {
+                    for &v in q {
+                        payload.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let manifest = FrozenManifest {
+            format_version: FORMAT_VERSION,
+            spec: self.spec.clone(),
+            scheme: self.scheme,
+            act_scale: self.act_scale,
+            f32_acc: self.f32_acc,
+            frozen_acc: self.frozen_acc,
+            dataset: self.dataset.clone(),
+            shapes: self
+                .tensors
+                .iter()
+                .map(|t| QuantShape { rows: t.rows, cols: t.cols })
+                .collect(),
+            payload_len: payload.len() as u64,
+            payload_crc: crc32(&payload),
+        };
+        let manifest_bytes = torchgt_compat::json::to_string(&manifest)
+            .map_err(|e| bad(format!("manifest encode: {e}")))?
+            .into_bytes();
+        w.write_all(MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&(manifest_bytes.len() as u64).to_le_bytes())?;
+        w.write_all(&crc32(&manifest_bytes).to_le_bytes())?;
+        w.write_all(&manifest_bytes)?;
+        w.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Deserialise from a reader, verifying magic, version, both checksums,
+    /// all declared lengths, and exact EOF.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad frozen-model magic"));
+        }
+        let mut buf4 = [0u8; 4];
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported frozen-model format version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        r.read_exact(&mut buf8)?;
+        let manifest_len = u64::from_le_bytes(buf8);
+        if manifest_len > MAX_MANIFEST_LEN {
+            return Err(bad(format!("implausible manifest length {manifest_len}")));
+        }
+        r.read_exact(&mut buf4)?;
+        let manifest_crc = u32::from_le_bytes(buf4);
+        let mut manifest_bytes = vec![0u8; manifest_len as usize];
+        r.read_exact(&mut manifest_bytes)?;
+        if crc32(&manifest_bytes) != manifest_crc {
+            return Err(bad("manifest checksum mismatch (corrupt frozen model)"));
+        }
+        let manifest_text = std::str::from_utf8(&manifest_bytes)
+            .map_err(|_| bad("manifest is not valid UTF-8"))?;
+        let manifest: FrozenManifest = torchgt_compat::json::from_str_as(manifest_text)
+            .map_err(|e| bad(format!("manifest decode: {e}")))?;
+        if manifest.format_version != version {
+            return Err(bad("header/manifest version mismatch"));
+        }
+        let elem = manifest.scheme.elem_bytes();
+        let declared: u64 = manifest
+            .shapes
+            .iter()
+            .map(|s| (s.rows * 4 + s.rows * s.cols * elem) as u64)
+            .sum();
+        if declared != manifest.payload_len {
+            return Err(bad(format!(
+                "declared shapes need {declared} payload bytes, manifest says {}",
+                manifest.payload_len
+            )));
+        }
+        let mut payload = vec![0u8; manifest.payload_len as usize];
+        r.read_exact(&mut payload)?;
+        if crc32(&payload) != manifest.payload_crc {
+            return Err(bad("payload checksum mismatch (corrupt frozen model)"));
+        }
+        expect_eof(&mut r)?;
+
+        let mut cursor: &[u8] = &payload;
+        let mut tensors = Vec::with_capacity(manifest.shapes.len());
+        for s in &manifest.shapes {
+            let scales = read_f32s(&mut cursor, s.rows)?;
+            let n = s.rows * s.cols;
+            let data = match manifest.scheme {
+                QuantScheme::Int8 => {
+                    let mut bytes = vec![0u8; n];
+                    cursor.read_exact(&mut bytes)?;
+                    QuantData::I8(bytes.into_iter().map(|b| b as i8).collect())
+                }
+                QuantScheme::Int16 => {
+                    let mut bytes = vec![0u8; n * 2];
+                    cursor.read_exact(&mut bytes)?;
+                    QuantData::I16(
+                        bytes.chunks_exact(2).map(|c| i16::from_le_bytes([c[0], c[1]])).collect(),
+                    )
+                }
+            };
+            tensors.push(QuantTensor {
+                rows: s.rows,
+                cols: s.cols,
+                scheme: manifest.scheme,
+                scales,
+                data,
+            });
+        }
+        Ok(FrozenModel {
+            spec: manifest.spec,
+            scheme: manifest.scheme,
+            tensors,
+            act_scale: manifest.act_scale,
+            f32_acc: manifest.f32_acc,
+            frozen_acc: manifest.frozen_acc,
+            dataset: manifest.dataset,
+        })
+    }
+
+    /// Write atomically to `path` (temp file + rename, like the checkpoint
+    /// store).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tgtf.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            self.write_to(&mut w)?;
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load from `path`.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::read_from(BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> FrozenModel {
+        let spec = ModelSpec {
+            kind: "gt".to_string(),
+            feat_dim: 4,
+            hidden: 8,
+            layers: 1,
+            heads: 2,
+            ffn_mult: 4,
+            out_dim: 3,
+            pe_dim: 2,
+            max_degree: 64,
+            max_spd: 8,
+            seed: 42,
+        };
+        let src: Vec<f32> = (0..24).map(|i| i as f32 * 0.125 - 1.5).collect();
+        FrozenModel {
+            spec,
+            scheme: QuantScheme::Int8,
+            tensors: vec![
+                QuantTensor::quantize(&src, 4, 6, QuantScheme::Int8),
+                QuantTensor::quantize(&src[..8], 1, 8, QuantScheme::Int8),
+            ],
+            act_scale: 0.02,
+            f32_acc: 0.9,
+            frozen_acc: 0.895,
+            dataset: Some(DatasetRef { kind: "arxiv".into(), scale: 0.002, seed: 7 }),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exact() {
+        let m = fixture();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        let back = FrozenModel::read_from(&buf[..]).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let m = fixture();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        let original = FrozenModel::read_from(&buf[..]).unwrap();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            // Either the reader rejects the flip, or (flips inside JSON
+            // numbers can survive as different valid numbers) the decoded
+            // value differs — silent identical decode is the only failure.
+            if let Ok(decoded) = FrozenModel::read_from(&bad[..]) {
+                assert_ne!(decoded, original, "byte {i}: corruption silently ignored");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let m = fixture();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        assert!(FrozenModel::read_from(&buf[..buf.len() - 1]).is_err());
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(FrozenModel::read_from(&long[..]).is_err());
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let m = fixture();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        buf[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(FrozenModel::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn spec_builds_both_architectures() {
+        let mut spec = fixture().spec;
+        assert_eq!(spec.build().unwrap().name(), "GT");
+        spec.kind = "graphormer".into();
+        assert!(spec.build().unwrap().name().starts_with("GPH"));
+        spec.kind = "mystery".into();
+        assert!(spec.build().is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! The request loop: bounded queue in, micro-batched packed attention out.
+//!
+//! [`ServeLoop::run`] drains a bounded MPSC queue of node queries. The
+//! first query of a window opens a **latency budget**; further queries
+//! accumulate (via `recv_timeout` against the remaining budget) until the
+//! batch is full or the deadline passes, then the whole window executes as
+//! one block-diagonal packed forward. Under load the batch fills instantly
+//! and attention cost amortizes across the batch; when idle a lone query
+//! pays at most the budget in queueing delay.
+//!
+//! Every reply carries its end-to-end latency; the loop aggregates a
+//! [`torchgt_obs::LatencyHistogram`] and publishes p50/p99, queue depth,
+//! and throughput through the attached recorder.
+
+use crate::batch::{ego_subgraph, pack_queries};
+use crate::exec::FrozenExecutor;
+use crate::frozen::FrozenModel;
+use std::io;
+use std::time::{Duration, Instant};
+use torchgt_compat::sync::channel::{Receiver, RecvTimeoutError, Sender};
+use torchgt_graph::CsrGraph;
+use torchgt_model::{Pattern, SequenceBatch};
+use torchgt_obs::{LatencyHistogram, RecorderHandle};
+
+/// One node query. `reply` receives the prediction; dropping the receiver
+/// just discards the answer (the loop ignores send failures).
+pub struct Query {
+    /// Global node id to classify.
+    pub node: u32,
+    /// Arrival timestamp — latency is measured enqueue-to-reply.
+    pub enqueued: Instant,
+    /// Where the prediction goes.
+    pub reply: Sender<Prediction>,
+}
+
+impl Query {
+    /// A query stamped with the current time.
+    pub fn new(node: u32, reply: Sender<Prediction>) -> Self {
+        Self { node, enqueued: Instant::now(), reply }
+    }
+}
+
+/// A served answer.
+#[derive(Clone, Copy, Debug)]
+pub struct Prediction {
+    /// The queried node.
+    pub node: u32,
+    /// Predicted class.
+    pub label: u32,
+    /// End-to-end latency (enqueue to reply send).
+    pub latency: Duration,
+}
+
+/// Micro-batching knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Flush when this many queries have accumulated.
+    pub max_batch: usize,
+    /// Flush when the window's first query has waited this long.
+    pub latency_budget: Duration,
+    /// Ego-subgraph context cap per query (tokens per segment).
+    pub ctx_nodes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { max_batch: 8, latency_budget: Duration::from_millis(50), ctx_nodes: 32 }
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// End-of-run summary (also exported as gauges on the recorder).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct ServeStats {
+        pub served: u64,
+        pub batches: u64,
+        pub p50_latency_ms: f64,
+        pub p99_latency_ms: f64,
+        pub mean_latency_ms: f64,
+        pub max_latency_ms: f64,
+        pub throughput_qps: f64,
+        pub max_queue_depth: u64,
+        pub avg_batch_size: f64,
+    }
+}
+
+/// The serving engine: a frozen executor plus the graph it answers
+/// queries against.
+pub struct ServeLoop {
+    exec: FrozenExecutor,
+    graph: CsrGraph,
+    features: Vec<f32>,
+    feat_dim: usize,
+    cfg: ServeConfig,
+    recorder: RecorderHandle,
+}
+
+impl ServeLoop {
+    /// Build from a frozen artifact and the dataset it serves. `features`
+    /// is the full `[num_nodes, feat_dim]` row-major buffer.
+    pub fn new(
+        frozen: &FrozenModel,
+        graph: CsrGraph,
+        features: Vec<f32>,
+        cfg: ServeConfig,
+        recorder: RecorderHandle,
+    ) -> io::Result<Self> {
+        let feat_dim = frozen.spec.feat_dim;
+        if features.len() != graph.num_nodes() * feat_dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "features buffer is {} floats, graph x feat_dim needs {}",
+                    features.len(),
+                    graph.num_nodes() * feat_dim
+                ),
+            ));
+        }
+        Ok(Self {
+            exec: FrozenExecutor::new(frozen)?,
+            graph,
+            features,
+            feat_dim,
+            cfg,
+            recorder,
+        })
+    }
+
+    /// Drain queries until every sender is gone, then return the run's
+    /// stats. Meant to run on its own thread while clients hold `Sender`
+    /// clones of `rx`'s channel.
+    pub fn run(&mut self, rx: Receiver<Query>) -> ServeStats {
+        let mut hist = LatencyHistogram::new();
+        let mut served = 0u64;
+        let mut batches = 0u64;
+        let mut max_depth = 0u64;
+        let mut first_arrival: Option<Instant> = None;
+        let mut last_reply: Option<Instant> = None;
+
+        'serve: loop {
+            // Block for the window's first query.
+            let first = match rx.recv() {
+                Ok(q) => q,
+                Err(_) => break 'serve,
+            };
+            first_arrival.get_or_insert(first.enqueued);
+            let deadline = Instant::now() + self.cfg.latency_budget;
+            let mut window = vec![first];
+            let mut disconnected = false;
+            while window.len() < self.cfg.max_batch {
+                let now = Instant::now();
+                let Some(remaining) =
+                    deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                match rx.recv_timeout(remaining) {
+                    Ok(q) => window.push(q),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            max_depth = max_depth.max(rx.len() as u64);
+
+            self.flush(&window, &mut hist);
+            served += window.len() as u64;
+            batches += 1;
+            last_reply = Some(Instant::now());
+            if disconnected && rx.is_empty() {
+                break 'serve;
+            }
+        }
+
+        let wall = match (first_arrival, last_reply) {
+            (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
+            _ => 0.0,
+        };
+        let stats = ServeStats {
+            served,
+            batches,
+            p50_latency_ms: hist.quantile(0.50) * 1e3,
+            p99_latency_ms: hist.quantile(0.99) * 1e3,
+            mean_latency_ms: hist.mean() * 1e3,
+            max_latency_ms: hist.max() * 1e3,
+            throughput_qps: if wall > 0.0 { served as f64 / wall } else { served as f64 },
+            max_queue_depth: max_depth,
+            avg_batch_size: if batches > 0 { served as f64 / batches as f64 } else { 0.0 },
+        };
+        if self.recorder.enabled() {
+            self.recorder.gauge_set("p50_latency_ms", stats.p50_latency_ms);
+            self.recorder.gauge_set("p99_latency_ms", stats.p99_latency_ms);
+            self.recorder.gauge_set("queue_depth", stats.max_queue_depth as f64);
+            self.recorder.gauge_set("throughput_qps", stats.throughput_qps);
+            self.recorder.gauge_set("avg_batch_size", stats.avg_batch_size);
+            self.recorder.counter_add("queries_served", served);
+            self.recorder.counter_add("serve_batches", batches);
+        }
+        stats
+    }
+
+    /// Execute one packed window and reply to every member.
+    fn flush(&mut self, window: &[Query], hist: &mut LatencyHistogram) {
+        let subs: Vec<_> = window
+            .iter()
+            .map(|q| ego_subgraph(&self.graph, q.node, self.cfg.ctx_nodes))
+            .collect();
+        let packed = pack_queries(&subs, &self.features, self.feat_dim);
+        let batch = SequenceBatch {
+            features: &packed.features,
+            graph: &packed.graph,
+            spd: None,
+        };
+        let preds = self.exec.forward_argmax(&batch, Pattern::Sparse(&packed.mask));
+        for (q, &(start, _)) in window.iter().zip(&packed.segments) {
+            let latency = q.enqueued.elapsed();
+            hist.record(latency.as_secs_f64());
+            // A gone client is not an error — just drop the answer.
+            let _ = q.reply.send(Prediction { node: q.node, label: preds[start], latency });
+        }
+    }
+}

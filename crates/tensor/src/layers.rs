@@ -4,6 +4,7 @@
 //! protocol is the usual `forward → backward → optimizer step → zero_grad`
 //! loop. Gradients accumulate into [`Param::grad`].
 
+use crate::backend;
 use crate::init;
 use crate::ops;
 use crate::param::Param;
@@ -254,9 +255,13 @@ impl Layer for Gelu {
 }
 
 /// ReLU activation.
+///
+/// The mask is stored as `1.0`/`0.0` floats rather than bools so both
+/// forward and backward are a single dispatched element-wise multiply
+/// (ROADMAP item 1: no undispatched scalar loops on the forward path).
 #[derive(Clone, Debug, Default)]
 pub struct Relu {
-    cached_mask: Option<Vec<bool>>,
+    cached_mask: Option<Vec<f32>>,
 }
 
 impl Relu {
@@ -278,11 +283,9 @@ impl Layer for Relu {
     fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.cached_mask.get_or_insert_with(Vec::new);
         mask.clear();
-        mask.extend(x.data().iter().map(|&v| v > 0.0));
+        mask.extend(x.data().iter().map(|&v| if v > 0.0 { 1.0f32 } else { 0.0 }));
         let mut out = ws.take(x.rows(), x.cols());
-        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
-            *o = v.max(0.0);
-        }
+        backend::active().mul(x.data(), mask, out.data_mut());
         out
     }
 
@@ -290,9 +293,7 @@ impl Layer for Relu {
         let mask = self.cached_mask.as_ref().expect("Relu backward before forward");
         assert_eq!(mask.len(), dy.len());
         let mut out = ws.take(dy.rows(), dy.cols());
-        for ((o, &g), &m) in out.data_mut().iter_mut().zip(dy.data()).zip(mask) {
-            *o = if m { g } else { 0.0 };
-        }
+        backend::active().mul(dy.data(), mask, out.data_mut());
         out
     }
 
@@ -358,9 +359,7 @@ impl Layer for Dropout {
         mask.clear();
         mask.extend((0..x.len()).map(|_| if r.gen::<f32>() < keep { inv_keep } else { 0.0 }));
         let mut out = ws.take(x.rows(), x.cols());
-        for ((o, &v), &m) in out.data_mut().iter_mut().zip(x.data()).zip(&mask) {
-            *o = v * m;
-        }
+        backend::active().mul(x.data(), &mask, out.data_mut());
         self.cached_mask = Some(mask);
         out
     }
@@ -369,11 +368,7 @@ impl Layer for Dropout {
         let mut out = ws.take(dy.rows(), dy.cols());
         match &self.cached_mask {
             None => ops::copy_into(dy, &mut out),
-            Some(mask) => {
-                for ((o, &g), &m) in out.data_mut().iter_mut().zip(dy.data()).zip(mask) {
-                    *o = g * m;
-                }
-            }
+            Some(mask) => backend::active().mul(dy.data(), mask, out.data_mut()),
         }
         out
     }

@@ -141,4 +141,45 @@ else
     echo "SIMD speedup bench: OK (scalar-only CPU, speedup gate skipped)"
 fi
 
+echo "== quantized serving gate =="
+# Freeze a short CLI-trained model into a TGTF artifact (the freeze itself
+# enforces the <=1% quantized-accuracy gate), then serve Zipf traffic from
+# it and require the serving gauges plus a p99 within the SLO.
+serve_budget_ms=25
+serve_slo_ms=50
+./target/release/torchgt_cli freeze --dataset arxiv --method torchgt \
+    --epochs 2 --scale 0.002 --seq-len 128 --hidden 16 --layers 2 --heads 2 \
+    --seed 7 --out "$scratch/model.tgtf" >/dev/null \
+    || { echo "freeze failed (exit $?)"; exit 1; }
+[ -f "$scratch/model.tgtf" ] || { echo "TGTF artifact missing"; exit 1; }
+./target/release/torchgt_cli serve --model "$scratch/model.tgtf" \
+    --queries 128 --qps 500 --budget-ms "$serve_budget_ms" \
+    --metrics "$scratch/serve.json" > "$scratch/serve.out" \
+    || { echo "serve failed (exit $?)"; exit 1; }
+grep -q "served 128 queries" "$scratch/serve.out" \
+    || { echo "serve did not answer every query"; exit 1; }
+for gauge in p99_latency_ms queue_depth throughput_qps; do
+    grep -q "\"name\": \"$gauge\"" "$scratch/serve.json" \
+        || { echo "$gauge gauge missing from serve metrics"; exit 1; }
+done
+p99="$(grep -A1 '"name": "p99_latency_ms"' "$scratch/serve.json" \
+    | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*$' | head -1)"
+[ -n "$p99" ] || { echo "p99_latency_ms gauge empty"; exit 1; }
+awk -v p="$p99" -v slo="$serve_slo_ms" 'BEGIN { exit !(p <= slo) }' \
+    || { echo "serve p99 ${p99} ms exceeds the ${serve_slo_ms} ms SLO"; exit 1; }
+echo "quantized serving gate: OK (p99=${p99} ms at 500 qps)"
+
+echo "== serve load bench (SLO assert) =="
+# The bench itself asserts p99 <= SLO at the stated QPS; the JSON row must
+# also record slo_met=true for every offered rate at or below it.
+cargo bench -q --offline -p torchgt-bench --bench serve_load >/dev/null
+serve_json="target/experiments/BENCH_serve.json"
+[ -f "$serve_json" ] || { echo "$serve_json missing"; exit 1; }
+awk -F'[:,]' '
+    /"offered_qps":/ { qps = $2 + 0 }
+    /"slo_met":/ { if (qps <= 500 && $2 !~ /true/) bad = 1; rows += 1 }
+    END { exit !(rows >= 3 && !bad) }' "$serve_json" \
+    || { echo "SLO missed at or below the stated QPS in $serve_json"; exit 1; }
+echo "serve load bench: OK (slo_met at <=500 qps)"
+
 echo "verify: OK"

@@ -1,80 +1,206 @@
 //! `torchgt` command-line interface.
 //!
 //! ```text
-//! torchgt_cli train --dataset arxiv --method torchgt --epochs 8 [--scale 0.01]
-//!                   [--seq-len 512] [--model graphormer|gt] [--hidden 64]
-//!                   [--layers 3] [--heads 8] [--lr 2e-3] [--seed 1]
-//!                   [--metrics out.json]
-//!                   [--checkpoint-dir dir] [--checkpoint-every 1]
-//!                   [--resume] [--crash-after 2]
-//! torchgt_cli info  --dataset arxiv            # published dataset statistics
-//! torchgt_cli maxseq [--gpus 8]                # Fig. 9(a)-style memory limits
-//! torchgt_cli datasets                         # list available stand-ins
+//! torchgt_cli train  --dataset arxiv --method torchgt --epochs 8 [--scale 0.01]
+//!                    [--seq-len 512] [--model graphormer|gt] [--hidden 64]
+//!                    [--layers 3] [--heads 8] [--lr 2e-3] [--seed 1]
+//!                    [--metrics out.json]
+//!                    [--checkpoint-dir dir] [--checkpoint-every 1]
+//!                    [--resume] [--crash-after 2]
+//! torchgt_cli freeze --dataset arxiv --epochs 2 --out model.tgtf
+//!                    [--scheme int8|int16] [--max-drop 0.01] [--calib 256]
+//! torchgt_cli serve  --model model.tgtf --queries 256 --qps 500
+//!                    [--zipf 1.1] [--max-batch 8] [--budget-ms 50]
+//!                    [--metrics out.json]
+//! torchgt_cli info   --dataset arxiv            # published dataset statistics
+//! torchgt_cli maxseq [--gpus 8]                 # Fig. 9(a)-style memory limits
+//! torchgt_cli datasets                          # list available stand-ins
 //! ```
 //!
-//! `--metrics <path>` attaches an in-memory recorder to the training loop and
-//! writes the full observability report (span timings, per-epoch phase
-//! breakdowns, per-step traces, simulated all-to-all volume, β_thre
-//! transition events) as pretty-printed JSON.
+//! Every subcommand's flags live in a shared [`FlagSpec`] table; the parser
+//! is one loop over that table, so adding a flag is one row, and an unknown
+//! flag or subcommand is always exit code 2 plus usage. The bare legacy
+//! invocation (`torchgt_cli --dataset …`) keeps working as an alias for
+//! `train`.
 //!
-//! `--checkpoint-dir <dir>` snapshots the full training state (parameters,
-//! Adam moments and step counter, dropout PRNG cursors, AutoTuner ladder,
-//! interleave cursors) every `--checkpoint-every` epochs. `--resume`
-//! restores from the latest snapshot and continues bit-exactly.
-//! `--crash-after <n>` simulates a crash after `n` completed epochs (exit
-//! code 3, snapshots intact) — the crash-resume verification gate drives it.
+//! `--metrics <path>` attaches an in-memory recorder and writes the full
+//! observability report as pretty-printed JSON — for `train` that is span
+//! timings, per-epoch phase breakdowns, per-step traces, simulated
+//! all-to-all volume, β_thre transitions; for `serve` it is the serving
+//! gauges (p50/p99 latency, queue depth, throughput, batch occupancy).
 //!
-//! `--elastic` switches `train` to the elastic data-parallel driver over
-//! `--world <P>` simulated ranks: the escalation ladder (retry →
-//! restore-from-snapshot → shrink-and-continue) survives a permanent rank
-//! loss, never shrinking below `--min-ranks`. `--lose-rank <rank>@<epoch>`
-//! scripts a permanent loss for drills; `--max-retries <n>` bounds restore
-//! attempts per membership generation. The elastic verification gate drives
-//! this path end-to-end.
+//! `train --checkpoint-dir <dir>` snapshots the full training state every
+//! `--checkpoint-every` epochs; `--resume` restores bit-exactly;
+//! `--crash-after <n>` simulates a crash (exit code 3, snapshots intact).
+//! `train --elastic` switches to the elastic data-parallel driver over
+//! `--world <P>` simulated ranks (`--lose-rank <rank>@<epoch>` scripts a
+//! permanent loss, `--min-ranks`/`--max-retries` bound the recovery ladder).
+//!
+//! `freeze` trains a model, then runs the post-training quantization pass:
+//! calibrate on held-out nodes, quantize per-row, and **gate** — the freeze
+//! is refused (exit 1) if quantized top-1 accuracy drops more than
+//! `--max-drop` below the f32 reference. The artifact lands at `--out` in
+//! the CRC-guarded `TGTF` format with dataset provenance embedded, so
+//! `serve` can regenerate the identical graph by seed.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 use torchgt::prelude::*;
+use torchgt::serve::{DatasetRef, Prediction, Query, Zipf};
 use torchgt::{ModelKind, TorchGtBuilder};
+use torchgt_compat::sync::channel::{bounded, unbounded};
 
 /// Exit code of a `--crash-after` simulated crash (distinct from usage and
 /// failure codes so scripts can assert on it).
 const CRASH_EXIT: u8 = 3;
 
-/// Flags accepted by `train`.
-const TRAIN_FLAGS: &[&str] = &[
-    "dataset", "method", "scale", "epochs", "seed", "model", "seq-len", "hidden", "layers",
-    "heads", "lr", "metrics", "checkpoint-dir", "checkpoint-every", "resume", "crash-after",
-    "elastic", "world", "min-ranks", "lose-rank", "max-retries", "backend",
+/// One row of a subcommand's flag table.
+struct FlagSpec {
+    name: &'static str,
+    /// `true`: `--name <value>` (the next argument is consumed).
+    /// `false`: a bare switch.
+    takes_value: bool,
+    help: &'static str,
+}
+
+impl FlagSpec {
+    const fn value(name: &'static str, help: &'static str) -> Self {
+        Self { name, takes_value: true, help }
+    }
+    const fn switch(name: &'static str, help: &'static str) -> Self {
+        Self { name, takes_value: false, help }
+    }
+}
+
+/// One subcommand: its name, a one-line summary for usage, and its flags.
+struct SubSpec {
+    name: &'static str,
+    summary: &'static str,
+    flags: &'static [FlagSpec],
+}
+
+const TRAIN_FLAGS: &[FlagSpec] = &[
+    FlagSpec::value("dataset", "stand-in dataset (try `torchgt_cli datasets`)"),
+    FlagSpec::value("method", "attention method: torchgt|gp-flash|gp-sparse|gp-raw"),
+    FlagSpec::value("scale", "dataset scale factor (default sizes to ~2k nodes)"),
+    FlagSpec::value("epochs", "training epochs (default 8)"),
+    FlagSpec::value("seed", "PRNG seed (default 1)"),
+    FlagSpec::value("model", "architecture: graphormer|gt (default graphormer)"),
+    FlagSpec::value("seq-len", "sequence length (default 512)"),
+    FlagSpec::value("hidden", "hidden width (default 64)"),
+    FlagSpec::value("layers", "encoder layers (default 3)"),
+    FlagSpec::value("heads", "attention heads (default 8)"),
+    FlagSpec::value("lr", "learning rate (default 2e-3)"),
+    FlagSpec::value("backend", "kernel backend: scalar|avx2|avx512 (default auto)"),
+    FlagSpec::value("metrics", "write the observability report as JSON here"),
+    FlagSpec::value("checkpoint-dir", "snapshot training state into this directory"),
+    FlagSpec::value("checkpoint-every", "snapshot period in epochs (default 1)"),
+    FlagSpec::switch("resume", "restore from the latest snapshot and continue"),
+    FlagSpec::value("crash-after", "simulate a crash after N completed epochs"),
+    FlagSpec::switch("elastic", "elastic data-parallel driver over simulated ranks"),
+    FlagSpec::value("world", "elastic: initial rank count (default 4)"),
+    FlagSpec::value("min-ranks", "elastic: never shrink below this (default 1)"),
+    FlagSpec::value("lose-rank", "elastic: scripted permanent loss <rank>@<epoch>"),
+    FlagSpec::value("max-retries", "elastic: restore attempts per generation (default 1)"),
 ];
 
-/// Parse `--key value` / `--switch` pairs, rejecting anything not in
-/// `allowed`.
-fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+const FREEZE_FLAGS: &[FlagSpec] = &[
+    FlagSpec::value("dataset", "stand-in dataset to train and calibrate on"),
+    FlagSpec::value("method", "attention method: torchgt|gp-flash|gp-sparse|gp-raw"),
+    FlagSpec::value("scale", "dataset scale factor (default sizes to ~2k nodes)"),
+    FlagSpec::value("epochs", "training epochs before the freeze (default 2)"),
+    FlagSpec::value("seed", "PRNG seed (default 1)"),
+    FlagSpec::value("model", "architecture: graphormer|gt (default graphormer)"),
+    FlagSpec::value("seq-len", "sequence length (default 512)"),
+    FlagSpec::value("hidden", "hidden width (default 64)"),
+    FlagSpec::value("layers", "encoder layers (default 3)"),
+    FlagSpec::value("heads", "attention heads (default 8)"),
+    FlagSpec::value("lr", "learning rate (default 2e-3)"),
+    FlagSpec::value("backend", "kernel backend: scalar|avx2|avx512 (default auto)"),
+    FlagSpec::value("out", "where to write the TGTF artifact (default model.tgtf)"),
+    FlagSpec::value("calib", "calibration queries from the held-out split (default 256)"),
+    FlagSpec::value("scheme", "quantization width: int8|int16 (default int8)"),
+    FlagSpec::value("max-drop", "max tolerated top-1 accuracy drop (default 0.01)"),
+];
+
+const SERVE_FLAGS: &[FlagSpec] = &[
+    FlagSpec::value("model", "TGTF artifact to serve (default model.tgtf)"),
+    FlagSpec::value("queries", "total load-generator queries (default 256)"),
+    FlagSpec::value("qps", "aggregate offered load, queries/sec (default 500)"),
+    FlagSpec::value("zipf", "load skew exponent, 0 = uniform (default 1.1)"),
+    FlagSpec::value("clients", "concurrent load-generator threads (default 2)"),
+    FlagSpec::value("queue", "bounded request-queue capacity (default 64)"),
+    FlagSpec::value("max-batch", "micro-batch flush size (default 8)"),
+    FlagSpec::value("budget-ms", "micro-batch latency budget in ms (default 50)"),
+    FlagSpec::value("ctx", "ego-subgraph context nodes per query (default 32)"),
+    FlagSpec::value("backend", "kernel backend: scalar|avx2|avx512 (default auto)"),
+    FlagSpec::value("metrics", "write serving gauges as JSON here"),
+    FlagSpec::value("dataset", "override the artifact's dataset provenance"),
+    FlagSpec::value("scale", "override the artifact's dataset scale"),
+    FlagSpec::value("data-seed", "override the artifact's dataset seed"),
+];
+
+const SUBCOMMANDS: &[SubSpec] = &[
+    SubSpec {
+        name: "train",
+        summary: "train a graph transformer on a generated stand-in dataset",
+        flags: TRAIN_FLAGS,
+    },
+    SubSpec {
+        name: "freeze",
+        summary: "train, then quantize into a TGTF artifact (accuracy-gated)",
+        flags: FREEZE_FLAGS,
+    },
+    SubSpec {
+        name: "serve",
+        summary: "answer Zipf query traffic from a frozen model, micro-batched",
+        flags: SERVE_FLAGS,
+    },
+    SubSpec {
+        name: "info",
+        summary: "published statistics of a dataset stand-in",
+        flags: &[FlagSpec::value("dataset", "dataset to describe")],
+    },
+    SubSpec {
+        name: "maxseq",
+        summary: "Fig. 9(a)-style max sequence length per GPU count",
+        flags: &[FlagSpec::value("gpus", "GPU counts to sweep (default 8)")],
+    },
+    SubSpec { name: "datasets", summary: "list available stand-ins", flags: &[] },
+];
+
+/// Parse `--key value` / `--switch` arguments against a subcommand's flag
+/// table.
+fn parse_flags(args: &[String], sub: &SubSpec) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let Some(key) = args[i].strip_prefix("--") else {
             return Err(format!("unexpected argument `{}`", args[i]));
         };
-        if !allowed.contains(&key) {
+        let Some(spec) = sub.flags.iter().find(|f| f.name == key) else {
             let mut hint = format!("unknown flag `--{key}`");
-            if allowed.is_empty() {
+            if sub.flags.is_empty() {
                 hint.push_str(" (this command takes no flags)");
             } else {
                 hint.push_str(" (allowed:");
-                for f in allowed {
+                for f in sub.flags {
                     hint.push_str(" --");
-                    hint.push_str(f);
+                    hint.push_str(f.name);
                 }
                 hint.push(')');
             }
             return Err(hint);
-        }
-        let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+        };
+        let value = if spec.takes_value {
             i += 1;
-            args[i].clone()
+            match args.get(i) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => return Err(format!("flag `--{key}` needs a value ({})", spec.help)),
+            }
         } else {
             "true".to_string()
         };
@@ -108,209 +234,466 @@ fn method(name: &str) -> Option<Method> {
 }
 
 fn usage() -> ExitCode {
+    eprintln!("usage: torchgt_cli <subcommand> [--flags]\n\nsubcommands:");
+    for sub in SUBCOMMANDS {
+        eprintln!("  {:<9} {}", sub.name, sub.summary);
+    }
     eprintln!(
-        "usage: torchgt_cli <train|info|maxseq|datasets> [--flags]\n\
-         run `torchgt_cli train --dataset arxiv --method torchgt --epochs 5` to start"
+        "\nrun `torchgt_cli train --dataset arxiv --method torchgt --epochs 5` to start,\n\
+         then `torchgt_cli freeze --out model.tgtf` and `torchgt_cli serve` to deploy"
     );
     ExitCode::from(2)
 }
 
+/// Resolve the kernel backend before any tensor work runs: an unknown name
+/// or an ISA this CPU lacks must be a usage error here, not a SIGILL (or
+/// panic) mid-run. Returns the resolved backend name.
+fn resolve_backend(flags: &HashMap<String, String>) -> Result<String, ExitCode> {
+    if let Some(name) = flags.get("backend") {
+        std::env::set_var(torchgt_tensor::backend::ENV_VAR, name);
+    }
+    match torchgt_tensor::backend::from_env() {
+        Ok(be) => Ok(be.name().to_string()),
+        Err(e) => {
+            eprintln!("{e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Generate the node dataset a subcommand runs on, announcing what came out.
+/// Returns `(kind, dataset, flag-name, scale, seed)` so freeze can embed the
+/// provenance in the artifact.
+fn generate_dataset(
+    flags: &HashMap<String, String>,
+) -> Result<(DatasetKind, NodeDataset, String, f64, u64), ExitCode> {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let name = get("dataset", "arxiv");
+    let Some(kind) = dataset_kind(&name) else {
+        eprintln!("unknown dataset (try `torchgt_cli datasets`)");
+        return Err(ExitCode::from(2));
+    };
+    let scale: f64 = get("scale", "")
+        .parse()
+        .unwrap_or_else(|_| (2000.0 / kind.spec().nodes as f64).min(1.0));
+    let seed: u64 = get("seed", "1").parse().unwrap_or(1);
+    let dataset = kind.generate_node(scale, seed);
+    println!(
+        "{}-like stand-in: {} nodes, {} edges, {} classes (scale {scale})",
+        kind.spec().name,
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.num_classes
+    );
+    Ok((kind, dataset, name, scale, seed))
+}
+
+/// Build a node trainer from the shared train/freeze hyper-parameter flags.
+fn build_trainer(
+    flags: &HashMap<String, String>,
+    dataset: &NodeDataset,
+    m: Method,
+    epochs: usize,
+    seed: u64,
+) -> Result<NodeTrainer, ExitCode> {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let model = match get("model", "graphormer").as_str() {
+        "gt" => ModelKind::Gt,
+        _ => ModelKind::Graphormer,
+    };
+    TorchGtBuilder::new(m)
+        .model(model)
+        .seq_len(get("seq-len", "512").parse().unwrap_or(512))
+        .epochs(epochs)
+        .hidden(get("hidden", "64").parse().unwrap_or(64))
+        .layers(get("layers", "3").parse().unwrap_or(3))
+        .heads(get("heads", "8").parse().unwrap_or(8))
+        .lr(get("lr", "2e-3").parse().unwrap_or(2e-3))
+        .seed(seed)
+        .build_node(dataset)
+        .map_err(|e| {
+            eprintln!("invalid configuration: {e}");
+            ExitCode::from(2)
+        })
+}
+
+fn print_epoch_header() {
+    println!(
+        "{:>5} {:>9} {:>10} {:>10} {:>12}",
+        "epoch", "loss", "train_acc", "test_acc", "sim t (s)"
+    );
+}
+
+fn print_epoch(s: &EpochStats) {
+    println!(
+        "{:>5} {:>9.4} {:>10.4} {:>10.4} {:>12.6}",
+        s.epoch, s.loss, s.train_acc, s.test_acc, s.sim_seconds
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
+    let Some(first) = args.first() else {
         return usage();
     };
-    let allowed: &[&str] = match command.as_str() {
-        "train" => TRAIN_FLAGS,
-        "info" => &["dataset"],
-        "maxseq" => &["gpus"],
-        _ => &[],
+    // Legacy alias: a bare `torchgt_cli --dataset …` invocation is `train`.
+    let (command, rest): (&str, &[String]) = if first.starts_with("--") {
+        ("train", &args[..])
+    } else {
+        (first.as_str(), &args[1..])
     };
-    let flags = match parse_flags(&args[1..], allowed) {
+    let Some(sub) = SUBCOMMANDS.iter().find(|s| s.name == command) else {
+        eprintln!("unknown subcommand `{command}`");
+        return usage();
+    };
+    let flags = match parse_flags(rest, sub) {
         Ok(flags) => flags,
         Err(msg) => {
             eprintln!("{msg}");
             return usage();
         }
     };
-    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
-    match command.as_str() {
+    match sub.name {
         "datasets" => {
             println!("node-level: arxiv products papers100m amazon flickr aminer pokec");
             println!("graph-level (via examples/benches): zinc molpcba malnet");
             ExitCode::SUCCESS
         }
-        "info" => {
-            let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
-                eprintln!("unknown dataset");
-                return ExitCode::from(2);
-            };
-            let spec = kind.spec();
-            println!("{}:", spec.name);
-            println!("  nodes   {}", spec.nodes);
-            println!("  edges   {}", spec.edges);
-            println!("  feats   {}", spec.feats);
-            println!("  classes {}", spec.classes);
-            ExitCode::SUCCESS
-        }
-        "maxseq" => {
-            let gpus: usize = get("gpus", "8").parse().unwrap_or(8);
-            let spec = GpuSpec::a100();
-            let shape = ModelShape::graphormer_slim();
-            println!("A100, GPH_Slim, degree-25 graph:");
-            for p in 1..=gpus {
-                let tgt = torchgt::perf::max_seq_len(
-                    &spec,
-                    &shape,
-                    LayoutKind::ClusterSparse,
-                    25.0,
-                    p,
-                );
-                let raw =
-                    torchgt::perf::max_seq_len(&spec, &shape, LayoutKind::Dense, 25.0, p);
-                println!("  {p} GPU(s): TorchGT {}K, GP-RAW {}K", tgt >> 10, raw >> 10);
-            }
-            ExitCode::SUCCESS
-        }
-        "train" => {
-            // Resolve the kernel backend before any tensor work runs: an
-            // unknown name or an ISA this CPU lacks must be a usage error
-            // here, not a SIGILL (or panic) mid-training.
-            if let Some(name) = flags.get("backend") {
-                std::env::set_var(torchgt_tensor::backend::ENV_VAR, name);
-            }
-            let kernel_backend = match torchgt_tensor::backend::from_env() {
-                Ok(be) => be,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::from(2);
-                }
-            };
-            println!("kernel backend: {}", kernel_backend.name());
-            let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
-                eprintln!("unknown dataset (try `torchgt_cli datasets`)");
-                return ExitCode::from(2);
-            };
-            let Some(m) = method(&get("method", "torchgt")) else {
-                eprintln!("unknown method (torchgt|gp-flash|gp-sparse|gp-raw)");
-                return ExitCode::from(2);
-            };
-            let scale: f64 = get("scale", "").parse().unwrap_or_else(|_| {
-                (2000.0 / kind.spec().nodes as f64).min(1.0)
-            });
-            let epochs: usize = get("epochs", "8").parse().unwrap_or(8);
-            let seed: u64 = get("seed", "1").parse().unwrap_or(1);
-            let model = match get("model", "graphormer").as_str() {
-                "gt" => ModelKind::Gt,
-                _ => ModelKind::Graphormer,
-            };
-            let dataset = kind.generate_node(scale, seed);
-            println!(
-                "{}-like stand-in: {} nodes, {} edges, {} classes (scale {scale})",
-                kind.spec().name,
-                dataset.graph.num_nodes(),
-                dataset.graph.num_edges(),
-                dataset.num_classes
-            );
-            if flags.contains_key("elastic") {
-                return run_elastic(&flags, m, &dataset, epochs, seed);
-            }
-            let built = TorchGtBuilder::new(m)
-                .model(model)
-                .seq_len(get("seq-len", "512").parse().unwrap_or(512))
-                .epochs(epochs)
-                .hidden(get("hidden", "64").parse().unwrap_or(64))
-                .layers(get("layers", "3").parse().unwrap_or(3))
-                .heads(get("heads", "8").parse().unwrap_or(8))
-                .lr(get("lr", "2e-3").parse().unwrap_or(2e-3))
-                .seed(seed)
-                .build_node(&dataset);
-            let mut node_trainer = match built {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("invalid configuration: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            // Dispatch through the unified Trainer abstraction — the loop
-            // below works for any trainer kind.
-            let trainer: &mut dyn Trainer = &mut node_trainer;
-            let recorder = flags.get("metrics").map(|path| {
-                let mem = Arc::new(MemoryRecorder::default());
-                mem.event(torchgt_obs::Event::backend(kernel_backend.name()));
-                trainer.attach_recorder(mem.clone());
-                (mem, path.clone())
-            });
-            println!(
-                "{:>5} {:>9} {:>10} {:>10} {:>12}",
-                "epoch", "loss", "train_acc", "test_acc", "sim t (s)"
-            );
-            let print_epoch = |s: &EpochStats| {
-                println!(
-                    "{:>5} {:>9.4} {:>10.4} {:>10.4} {:>12.6}",
-                    s.epoch, s.loss, s.train_acc, s.test_acc, s.sim_seconds
-                );
-            };
-            let mut interrupted = false;
-            if let Some(dir) = flags.get("checkpoint-dir") {
-                let store = match CheckpointStore::new(dir.clone(), 3) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("cannot open checkpoint dir {dir}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                let opts = CheckpointOptions {
-                    every: get("checkpoint-every", "1").parse().unwrap_or(1),
-                    resume: flags.contains_key("resume"),
-                    crash_after: flags.get("crash-after").and_then(|v| v.parse().ok()),
-                };
-                let noop = torchgt::obs::noop();
-                let rec = recorder.as_ref().map(|(mem, _)| mem.clone() as RecorderHandle);
-                let outcome = match run_with_checkpoints(
-                    trainer,
-                    &store,
-                    &opts,
-                    rec.as_ref().unwrap_or(&noop),
-                ) {
-                    Ok(o) => o,
-                    Err(e) => {
-                        eprintln!("checkpointed run failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                if let Some(epoch) = outcome.resumed_from {
-                    println!("resumed from snapshot at epoch {epoch}");
-                }
-                outcome.stats.iter().for_each(print_epoch);
-                interrupted = outcome.interrupted;
-                if interrupted {
-                    println!(
-                        "simulated crash after epoch {} (snapshots kept in {dir})",
-                        trainer.epoch()
-                    );
-                }
-            } else {
-                for _ in 0..epochs {
-                    print_epoch(&trainer.train_epoch());
-                }
-            }
-            if let Some((mem, path)) = recorder {
-                let report = mem.report();
-                if let Err(e) = std::fs::write(&path, report.to_json_string_pretty()) {
-                    eprintln!("failed to write metrics to {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("metrics written to {path}");
-            }
-            if interrupted {
-                ExitCode::from(CRASH_EXIT)
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
+        "info" => run_info(&flags),
+        "maxseq" => run_maxseq(&flags),
+        "train" => run_train(&flags),
+        "freeze" => run_freeze(&flags),
+        "serve" => run_serve(&flags),
         _ => usage(),
     }
+}
+
+fn run_info(flags: &HashMap<String, String>) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
+        eprintln!("unknown dataset");
+        return ExitCode::from(2);
+    };
+    let spec = kind.spec();
+    println!("{}:", spec.name);
+    println!("  nodes   {}", spec.nodes);
+    println!("  edges   {}", spec.edges);
+    println!("  feats   {}", spec.feats);
+    println!("  classes {}", spec.classes);
+    ExitCode::SUCCESS
+}
+
+fn run_maxseq(flags: &HashMap<String, String>) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let gpus: usize = get("gpus", "8").parse().unwrap_or(8);
+    let spec = GpuSpec::a100();
+    let shape = ModelShape::graphormer_slim();
+    println!("A100, GPH_Slim, degree-25 graph:");
+    for p in 1..=gpus {
+        let tgt = torchgt::perf::max_seq_len(&spec, &shape, LayoutKind::ClusterSparse, 25.0, p);
+        let raw = torchgt::perf::max_seq_len(&spec, &shape, LayoutKind::Dense, 25.0, p);
+        println!("  {p} GPU(s): TorchGT {}K, GP-RAW {}K", tgt >> 10, raw >> 10);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_train(flags: &HashMap<String, String>) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let kernel_backend = match resolve_backend(flags) {
+        Ok(name) => name,
+        Err(code) => return code,
+    };
+    println!("kernel backend: {kernel_backend}");
+    let Some(m) = method(&get("method", "torchgt")) else {
+        eprintln!("unknown method (torchgt|gp-flash|gp-sparse|gp-raw)");
+        return ExitCode::from(2);
+    };
+    let epochs: usize = get("epochs", "8").parse().unwrap_or(8);
+    let (_, dataset, _, _, seed) = match generate_dataset(flags) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    if flags.contains_key("elastic") {
+        return run_elastic(flags, m, &dataset, epochs, seed);
+    }
+    let mut node_trainer = match build_trainer(flags, &dataset, m, epochs, seed) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    // Dispatch through the unified Trainer abstraction — the loop below
+    // works for any trainer kind.
+    let trainer: &mut dyn Trainer = &mut node_trainer;
+    let recorder = flags.get("metrics").map(|path| {
+        let mem = Arc::new(MemoryRecorder::default());
+        mem.event(torchgt_obs::Event::backend(&kernel_backend));
+        trainer.attach_recorder(mem.clone());
+        (mem, path.clone())
+    });
+    print_epoch_header();
+    let mut interrupted = false;
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        let store = match CheckpointStore::new(dir.clone(), 3) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open checkpoint dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let opts = CheckpointOptions {
+            every: get("checkpoint-every", "1").parse().unwrap_or(1),
+            resume: flags.contains_key("resume"),
+            crash_after: flags.get("crash-after").and_then(|v| v.parse().ok()),
+        };
+        let noop = torchgt::obs::noop();
+        let rec = recorder.as_ref().map(|(mem, _)| mem.clone() as RecorderHandle);
+        let outcome =
+            match run_with_checkpoints(trainer, &store, &opts, rec.as_ref().unwrap_or(&noop)) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("checkpointed run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        if let Some(epoch) = outcome.resumed_from {
+            println!("resumed from snapshot at epoch {epoch}");
+        }
+        outcome.stats.iter().for_each(print_epoch);
+        interrupted = outcome.interrupted;
+        if interrupted {
+            println!(
+                "simulated crash after epoch {} (snapshots kept in {dir})",
+                trainer.epoch()
+            );
+        }
+    } else {
+        for _ in 0..epochs {
+            print_epoch(&trainer.train_epoch());
+        }
+    }
+    if let Some((mem, path)) = recorder {
+        let report = mem.report();
+        if let Err(e) = std::fs::write(&path, report.to_json_string_pretty()) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
+    if interrupted {
+        ExitCode::from(CRASH_EXIT)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `freeze`: train, calibrate, quantize, gate, write the TGTF artifact.
+fn run_freeze(flags: &HashMap<String, String>) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let kernel_backend = match resolve_backend(flags) {
+        Ok(name) => name,
+        Err(code) => return code,
+    };
+    println!("kernel backend: {kernel_backend}");
+    let Some(m) = method(&get("method", "torchgt")) else {
+        eprintln!("unknown method (torchgt|gp-flash|gp-sparse|gp-raw)");
+        return ExitCode::from(2);
+    };
+    let scheme = match get("scheme", "int8").as_str() {
+        "int8" => QuantScheme::Int8,
+        "int16" => QuantScheme::Int16,
+        other => {
+            eprintln!("unknown scheme `{other}` (int8|int16)");
+            return ExitCode::from(2);
+        }
+    };
+    let epochs: usize = get("epochs", "2").parse().unwrap_or(2);
+    let (_, dataset, ds_name, scale, seed) = match generate_dataset(flags) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let mut trainer = match build_trainer(flags, &dataset, m, epochs, seed) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    print_epoch_header();
+    for _ in 0..epochs {
+        print_epoch(&trainer.train_epoch());
+    }
+    let calib = CalibSet::from_dataset(&dataset, get("calib", "256").parse().unwrap_or(256), seed);
+    let opts =
+        FreezeOptions { scheme, max_acc_drop: get("max-drop", "0.01").parse().unwrap_or(0.01) };
+    let frozen = match trainer.freeze_with(&calib, opts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("freeze rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let frozen =
+        torchgt::serve::freeze::with_dataset(frozen, DatasetRef { kind: ds_name, scale, seed });
+    let out = get("out", "model.tgtf");
+    if let Err(e) = frozen.save(Path::new(&out)) {
+        eprintln!("cannot write frozen model to {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "frozen: {out} ({bytes} bytes, {:?}, f32 acc {:.4} -> quantized acc {:.4})",
+        frozen.scheme, frozen.f32_acc, frozen.frozen_acc
+    );
+    ExitCode::SUCCESS
+}
+
+/// `serve`: load a TGTF artifact, rebuild its graph, and answer Zipf query
+/// traffic from concurrent load-generator threads through the micro-batching
+/// serve loop.
+fn run_serve(flags: &HashMap<String, String>) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let kernel_backend = match resolve_backend(flags) {
+        Ok(name) => name,
+        Err(code) => return code,
+    };
+    println!("kernel backend: {kernel_backend}");
+    let model_path = get("model", "model.tgtf");
+    let frozen = match FrozenModel::load(Path::new(&model_path)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot load frozen model {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loaded {model_path}: {} {:?} tensors, calibrated f32 acc {:.4} -> quantized acc {:.4}",
+        frozen.tensors.len(),
+        frozen.scheme,
+        frozen.f32_acc,
+        frozen.frozen_acc
+    );
+
+    // Dataset: explicit flags override the artifact's embedded provenance.
+    let prov = frozen.dataset.clone();
+    let ds_name =
+        match flags.get("dataset").cloned().or_else(|| prov.as_ref().map(|d| d.kind.clone())) {
+            Some(n) => n,
+            None => {
+                eprintln!(
+                    "frozen model carries no dataset provenance; pass --dataset/--scale/--data-seed"
+                );
+                return ExitCode::from(2);
+            }
+        };
+    let Some(kind) = dataset_kind(&ds_name) else {
+        eprintln!("unknown dataset `{ds_name}` (try `torchgt_cli datasets`)");
+        return ExitCode::from(2);
+    };
+    let scale: f64 = flags
+        .get("scale")
+        .and_then(|v| v.parse().ok())
+        .or(prov.as_ref().map(|d| d.scale))
+        .unwrap_or_else(|| (2000.0 / kind.spec().nodes as f64).min(1.0));
+    let data_seed: u64 = flags
+        .get("data-seed")
+        .and_then(|v| v.parse().ok())
+        .or(prov.as_ref().map(|d| d.seed))
+        .unwrap_or(1);
+    let dataset = kind.generate_node(scale, data_seed);
+    println!(
+        "serving {}-like stand-in: {} nodes, {} edges (scale {scale}, seed {data_seed})",
+        kind.spec().name,
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges()
+    );
+
+    let cfg = ServeConfig {
+        max_batch: get("max-batch", "8").parse().unwrap_or(8),
+        latency_budget: Duration::from_millis(get("budget-ms", "50").parse().unwrap_or(50)),
+        ctx_nodes: get("ctx", "32").parse().unwrap_or(32),
+    };
+    let mem = Arc::new(MemoryRecorder::default());
+    mem.event(torchgt_obs::Event::backend(&kernel_backend));
+    let mut serve_loop = match ServeLoop::new(
+        &frozen,
+        dataset.graph.clone(),
+        dataset.features.clone(),
+        cfg,
+        mem.clone() as RecorderHandle,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start serve loop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let queries: usize = get("queries", "256").parse().unwrap_or(256);
+    let qps: f64 = get("qps", "500").parse().unwrap_or(500.0);
+    let zipf_s: f64 = get("zipf", "1.1").parse().unwrap_or(1.1);
+    let clients: usize = get("clients", "2").parse().unwrap_or(2).max(1);
+    let queue: usize = get("queue", "64").parse().unwrap_or(64).max(1);
+    println!(
+        "offered load: {queries} queries at {qps} qps (Zipf s={zipf_s}) from {clients} client(s), queue cap {queue}"
+    );
+
+    let (tx, rx) = bounded::<Query>(queue);
+    let (reply_tx, reply_rx) = unbounded::<Prediction>();
+    let server = std::thread::spawn(move || serve_loop.run(rx));
+    let num_nodes = dataset.graph.num_nodes();
+    let mut senders = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let tx = tx.clone();
+        let reply_tx = reply_tx.clone();
+        // Split the query count and pace each client so the aggregate
+        // offered load is `qps`.
+        let n = queries / clients + usize::from(c < queries % clients);
+        let pace = Duration::from_secs_f64(clients as f64 / qps.max(1.0));
+        let mut zipf = Zipf::new(num_nodes, zipf_s, data_seed ^ (c as u64 + 1));
+        senders.push(std::thread::spawn(move || {
+            for _ in 0..n {
+                let node = zipf.sample() as u32;
+                if tx.send(Query::new(node, reply_tx.clone())).is_err() {
+                    break;
+                }
+                std::thread::sleep(pace);
+            }
+        }));
+    }
+    drop(tx);
+    drop(reply_tx);
+    for h in senders {
+        let _ = h.join();
+    }
+    let stats = match server.join() {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!("serve loop panicked");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut answered = 0u64;
+    while reply_rx.recv().is_ok() {
+        answered += 1;
+    }
+
+    println!(
+        "served {} queries in {} batches ({answered} replies delivered)",
+        stats.served, stats.batches
+    );
+    println!(
+        "latency: p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms, max {:.3} ms",
+        stats.p50_latency_ms, stats.p99_latency_ms, stats.mean_latency_ms, stats.max_latency_ms
+    );
+    println!(
+        "throughput {:.1} qps, max queue depth {}, avg batch {:.2}",
+        stats.throughput_qps, stats.max_queue_depth, stats.avg_batch_size
+    );
+    if let Some(path) = flags.get("metrics") {
+        let report = mem.report();
+        if let Err(e) = std::fs::write(path, report.to_json_string_pretty()) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// The `train --elastic` path: data-parallel training over simulated ranks

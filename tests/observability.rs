@@ -93,11 +93,10 @@ fn build_errors_are_values_not_panics() {
 }
 
 #[test]
-#[should_panic(expected = "invalid TorchGtBuilder configuration")]
-fn deprecated_unchecked_shim_panics_on_misconfig() {
+fn zero_layers_is_a_typed_error() {
     let dataset = DatasetKind::Flickr.generate_node(0.005, 1);
-    #[allow(deprecated)]
-    let _ = TorchGtBuilder::new(Method::TorchGt).layers(0).build_node_unchecked(&dataset);
+    let err = TorchGtBuilder::new(Method::TorchGt).layers(0).build_node(&dataset).err();
+    assert_eq!(err, Some(BuildError::ZeroLayers));
 }
 
 /// A recorder-collected report serializes and parses back identically —

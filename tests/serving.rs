@@ -1,0 +1,385 @@
+//! Integration tests of the serving layer (`torchgt-serve`): quantization
+//! error bounds, the `TGTF` artifact's corruption guarantees, the
+//! freeze-time accuracy gate end-to-end from a trained model, the
+//! micro-batching serve loop under concurrent senders, and the subcommand
+//! CLI (legacy alias, usage errors, freeze→serve through the real binary).
+
+use std::process::Command;
+use std::time::Duration;
+use torchgt::prelude::*;
+use torchgt::serve::{DatasetRef, Prediction, Query, QuantTensor, Zipf};
+use torchgt_compat::rng::{Rng, RngCore, SeedableRng, SmallRng};
+use torchgt_compat::sync::channel::{bounded, unbounded};
+
+fn tiny_dataset(seed: u64) -> NodeDataset {
+    DatasetKind::OgbnArxiv.generate_node(0.002, seed)
+}
+
+fn tiny_trainer(dataset: &NodeDataset, seed: u64) -> NodeTrainer {
+    TorchGtBuilder::new(Method::TorchGt)
+        .seq_len(128)
+        .epochs(2)
+        .hidden(16)
+        .layers(2)
+        .heads(2)
+        .seed(seed)
+        .build_node(dataset)
+        .expect("valid configuration")
+}
+
+/// Train briefly and freeze through the gate; the artifact this returns has
+/// passed the ≤1% accuracy-drop check by construction.
+fn frozen_fixture(seed: u64) -> (NodeDataset, CalibSet, FrozenModel) {
+    let dataset = tiny_dataset(seed);
+    let mut trainer = tiny_trainer(&dataset, seed);
+    for _ in 0..2 {
+        trainer.train_epoch();
+    }
+    let calib = CalibSet::from_dataset(&dataset, 128, seed);
+    let frozen = trainer.freeze(&calib).expect("freeze passes the accuracy gate");
+    (dataset, calib, frozen)
+}
+
+/// Randomized quantize→dequantize sweep: every element of every row must
+/// land within the published half-step error bound, for both widths and
+/// across shapes, magnitudes, and seeds.
+#[test]
+fn quantization_round_trip_respects_error_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for trial in 0..50 {
+        let rows = 1 + (rng.next_u64() % 12) as usize;
+        let cols = 1 + (rng.next_u64() % 48) as usize;
+        let mag = 10.0f32.powi((rng.next_u64() % 5) as i32 - 2);
+        let src: Vec<f32> = (0..rows * cols)
+            .map(|_| (rng.gen::<f64>() as f32 - 0.5) * 2.0 * mag)
+            .collect();
+        for scheme in [QuantScheme::Int8, QuantScheme::Int16] {
+            let q = QuantTensor::quantize(&src, rows, cols, scheme);
+            let mut back = vec![0.0f32; rows * cols];
+            q.dequantize_into(&mut back);
+            for r in 0..rows {
+                let row_max = src[r * cols..(r + 1) * cols]
+                    .iter()
+                    .fold(0.0f32, |m, &x| m.max(x.abs()));
+                // Half a quantization step, plus f32 rounding slack in the
+                // quantize/dequantize multiplies (proportional to the row's
+                // magnitude — it dominates the int16 step at large values).
+                let bound = q.row_error_bound(r) + 8.0 * f32::EPSILON * row_max.max(1.0);
+                for c in 0..cols {
+                    let err = (src[r * cols + c] - back[r * cols + c]).abs();
+                    assert!(
+                        err <= bound,
+                        "trial {trial} {scheme:?} row {r}: err {err} > bound {bound} (mag {mag})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The on-disk artifact round-trips bit-exactly, and representative
+/// corruptions — header, manifest, payload, truncation, trailing bytes —
+/// are all rejected by the CRC/length/EOF checks.
+#[test]
+fn tgtf_file_round_trip_and_corruption() {
+    let (_, _, frozen) = frozen_fixture(5);
+    let dir = std::env::temp_dir().join(format!("tgtf_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.tgtf");
+    frozen.save(&path).expect("save");
+    let back = FrozenModel::load(&path).expect("load");
+    assert_eq!(back, frozen, "disk round trip must be bit-exact");
+
+    let bytes = std::fs::read(&path).expect("read artifact");
+    let corrupt = |mutate: &dyn Fn(&mut Vec<u8>)| {
+        let mut b = bytes.clone();
+        mutate(&mut b);
+        let p = dir.join("corrupt.tgtf");
+        std::fs::write(&p, &b).expect("write corrupt");
+        FrozenModel::load(&p)
+    };
+    // Magic, version, manifest body, payload middle, payload last byte.
+    for &offset in &[0usize, 4, 24, bytes.len() / 2, bytes.len() - 1] {
+        let r = corrupt(&|b: &mut Vec<u8>| b[offset] ^= 0xFF);
+        assert!(r.is_err(), "flipped byte at {offset} must be rejected");
+    }
+    assert!(corrupt(&|b: &mut Vec<u8>| {
+        b.truncate(bytes.len() - 7);
+    })
+    .is_err());
+    assert!(corrupt(&|b: &mut Vec<u8>| b.extend_from_slice(b"junk")).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end accuracy contract: a gated freeze measures a quantized
+/// accuracy within 1% of the f32 reference, and the executor rebuilt from
+/// the *saved* artifact reproduces the calibration predictions exactly.
+#[test]
+fn frozen_accuracy_stays_within_gate_and_survives_disk() {
+    let (_, calib, frozen) = frozen_fixture(7);
+    assert!(
+        frozen.f32_acc - frozen.frozen_acc <= 0.01 + 1e-12,
+        "gate let through a {:.4} -> {:.4} drop",
+        frozen.f32_acc,
+        frozen.frozen_acc
+    );
+
+    let dir = std::env::temp_dir().join(format!("tgtf_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.tgtf");
+    frozen.save(&path).expect("save");
+    let loaded = FrozenModel::load(&path).expect("load");
+
+    let mut direct = FrozenExecutor::new(&frozen).expect("executor from live freeze");
+    let mut from_disk = FrozenExecutor::new(&loaded).expect("executor from disk");
+    let batch = calib.batch();
+    let a = direct.forward_argmax(&batch, calib.pattern());
+    let b = from_disk.forward_argmax(&batch, calib.pattern());
+    assert_eq!(a, b, "disk round trip changed predictions");
+    assert!((loaded.frozen_acc - calib.accuracy_of(&b)).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Int16 is the conservative fallback: its freeze must also pass the gate
+/// and its round-trip error must be strictly tighter than int8's.
+#[test]
+fn int16_fallback_freezes_and_is_tighter() {
+    let dataset = tiny_dataset(11);
+    let mut trainer = tiny_trainer(&dataset, 11);
+    trainer.train_epoch();
+    let calib = CalibSet::from_dataset(&dataset, 64, 11);
+    let opts = FreezeOptions { scheme: QuantScheme::Int16, max_acc_drop: 0.01 };
+    let frozen = trainer.freeze_with(&calib, opts).expect("int16 freeze");
+    assert_eq!(frozen.scheme, QuantScheme::Int16);
+    assert!(frozen.f32_acc - frozen.frozen_acc <= 0.01 + 1e-12);
+}
+
+/// The serve loop under genuinely concurrent traffic: several sender
+/// threads share one bounded queue (small enough to exercise send-side
+/// blocking), and every query must be answered with a valid label.
+#[test]
+fn serve_loop_answers_every_concurrent_query() {
+    let (dataset, _, frozen) = frozen_fixture(3);
+    let out_dim = frozen.spec.out_dim as u32;
+    let cfg = ServeConfig {
+        max_batch: 4,
+        latency_budget: Duration::from_millis(5),
+        ctx_nodes: 16,
+    };
+    let mut serve_loop = ServeLoop::new(
+        &frozen,
+        dataset.graph.clone(),
+        dataset.features.clone(),
+        cfg,
+        torchgt::obs::noop(),
+    )
+    .expect("serve loop builds");
+
+    const SENDERS: usize = 4;
+    const PER_SENDER: usize = 16;
+    let (tx, rx) = bounded::<Query>(8);
+    let (reply_tx, reply_rx) = unbounded::<Prediction>();
+    let server = std::thread::spawn(move || serve_loop.run(rx));
+    let num_nodes = dataset.graph.num_nodes();
+    let senders: Vec<_> = (0..SENDERS)
+        .map(|s| {
+            let tx = tx.clone();
+            let reply_tx = reply_tx.clone();
+            let mut zipf = Zipf::new(num_nodes, 1.1, 40 + s as u64);
+            std::thread::spawn(move || {
+                for _ in 0..PER_SENDER {
+                    let node = zipf.sample() as u32;
+                    tx.send(Query::new(node, reply_tx.clone())).expect("queue alive");
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    drop(reply_tx);
+    for s in senders {
+        s.join().expect("sender thread");
+    }
+    let stats = server.join().expect("serve loop");
+
+    let mut replies = Vec::new();
+    while let Ok(p) = reply_rx.recv() {
+        replies.push(p);
+    }
+    assert_eq!(stats.served as usize, SENDERS * PER_SENDER, "queries dropped");
+    assert_eq!(replies.len(), SENDERS * PER_SENDER, "replies dropped");
+    for p in &replies {
+        assert!(p.label < out_dim, "label {} out of range", p.label);
+        assert!((p.node as usize) < num_nodes);
+    }
+    assert!(stats.batches >= 1 && stats.avg_batch_size <= 4.0 + 1e-9);
+    assert!(stats.p99_latency_ms >= stats.p50_latency_ms);
+}
+
+/// A query against the packed micro-batch must answer with the same label
+/// a single-query batch produces — block-diagonal packing cannot leak
+/// attention across segments.
+#[test]
+fn packed_batch_matches_single_query_answers() {
+    let (dataset, _, frozen) = frozen_fixture(9);
+    let cfg = ServeConfig {
+        max_batch: 8,
+        latency_budget: Duration::from_millis(20),
+        ctx_nodes: 16,
+    };
+    let run_with_batch = |max_batch: usize, nodes: &[u32]| -> Vec<(u32, u32)> {
+        let mut serve_loop = ServeLoop::new(
+            &frozen,
+            dataset.graph.clone(),
+            dataset.features.clone(),
+            ServeConfig { max_batch, ..cfg },
+            torchgt::obs::noop(),
+        )
+        .expect("serve loop builds");
+        let (tx, rx) = bounded::<Query>(nodes.len());
+        let (reply_tx, reply_rx) = unbounded::<Prediction>();
+        for &n in nodes {
+            tx.send(Query::new(n, reply_tx.clone())).expect("send");
+        }
+        drop(tx);
+        drop(reply_tx);
+        let server = std::thread::spawn(move || serve_loop.run(rx));
+        server.join().expect("serve loop");
+        let mut out = Vec::new();
+        while let Ok(p) = reply_rx.recv() {
+            out.push((p.node, p.label));
+        }
+        out.sort_unstable();
+        out
+    };
+    let nodes: Vec<u32> = (0..8).map(|i| i * 7 % dataset.graph.num_nodes() as u32).collect();
+    let packed = run_with_batch(8, &nodes);
+    let singles = run_with_batch(1, &nodes);
+    assert_eq!(packed, singles, "packing changed answers");
+}
+
+// ---------------------------------------------------------------------------
+// CLI compatibility: the subcommand redesign must keep old invocations
+// working and reject everything unknown with exit 2.
+// ---------------------------------------------------------------------------
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_torchgt_cli"))
+}
+
+/// The bare legacy invocation (flags, no subcommand) still trains.
+#[test]
+fn cli_legacy_bare_invocation_aliases_to_train() {
+    let out = cli()
+        .args([
+            "--dataset", "arxiv", "--epochs", "1", "--scale", "0.002", "--seq-len", "64",
+            "--hidden", "16", "--layers", "1", "--heads", "2",
+        ])
+        .output()
+        .expect("CLI binary runs");
+    assert!(out.status.success(), "legacy invocation failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kernel backend:"), "stdout: {stdout}");
+    assert!(stdout.contains("epoch"), "stdout: {stdout}");
+}
+
+#[test]
+fn cli_rejects_unknown_subcommand_with_usage() {
+    let out = cli().args(["deploy"]).output().expect("CLI binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand `deploy`"), "stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    assert!(stderr.contains("serve"), "usage must list the subcommands: {stderr}");
+}
+
+#[test]
+fn cli_rejects_unknown_flag_per_subcommand() {
+    for sub in ["train", "freeze", "serve"] {
+        let out = cli().args([sub, "--bogus", "1"]).output().expect("CLI binary runs");
+        assert_eq!(out.status.code(), Some(2), "{sub} accepted --bogus");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown flag `--bogus`"), "{sub} stderr: {stderr}");
+        assert!(stderr.contains("usage:"), "{sub} stderr: {stderr}");
+    }
+}
+
+#[test]
+fn cli_value_flag_without_value_is_usage_error() {
+    let out = cli().args(["train", "--epochs"]).output().expect("CLI binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("needs a value"), "stderr: {stderr}");
+}
+
+/// Full deployment path through the real binary: `freeze` writes a TGTF
+/// artifact, `serve` loads it, regenerates the dataset from the embedded
+/// provenance, answers Zipf traffic, and exports the serving gauges.
+#[test]
+fn cli_freeze_then_serve_smoke() {
+    let dir = std::env::temp_dir().join(format!("cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let artifact = dir.join("model.tgtf");
+    let metrics = dir.join("serve_metrics.json");
+
+    let out = cli()
+        .args([
+            "freeze", "--dataset", "arxiv", "--epochs", "1", "--scale", "0.002", "--seq-len",
+            "64", "--hidden", "16", "--layers", "1", "--heads", "2", "--seed", "7", "--out",
+        ])
+        .arg(&artifact)
+        .output()
+        .expect("CLI binary runs");
+    assert!(
+        out.status.success(),
+        "freeze failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(artifact.exists(), "artifact not written");
+
+    let out = cli()
+        .args(["serve", "--queries", "24", "--qps", "400", "--budget-ms", "20", "--model"])
+        .arg(&artifact)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("CLI binary runs");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("served 24 queries"), "stdout: {stdout}");
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let report = MetricsReport::from_json_str(&text).expect("metrics parse");
+    for gauge in ["p50_latency_ms", "p99_latency_ms", "queue_depth", "throughput_qps"] {
+        assert!(
+            report.gauges.iter().any(|g| g.name == gauge),
+            "missing serving gauge {gauge}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dataset provenance embedded at freeze time drives `serve` — and an
+/// artifact for a *different* seed produces a different graph, which the
+/// explicit override flags can reproduce.
+#[test]
+fn frozen_artifact_carries_dataset_provenance() {
+    let (_, _, frozen) = frozen_fixture(13);
+    let stamped = torchgt::serve::freeze::with_dataset(
+        frozen,
+        DatasetRef { kind: "arxiv".to_string(), scale: 0.002, seed: 13 },
+    );
+    let dir = std::env::temp_dir().join(format!("tgtf_prov_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.tgtf");
+    stamped.save(&path).expect("save");
+    let loaded = FrozenModel::load(&path).expect("load");
+    let prov = loaded.dataset.expect("provenance survives the round trip");
+    assert_eq!(prov.kind, "arxiv");
+    assert_eq!(prov.seed, 13);
+    assert!((prov.scale - 0.002).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
