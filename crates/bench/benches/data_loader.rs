@@ -1,0 +1,161 @@
+//! Out-of-core loader throughput: cold sequential reads vs prefetch overlap.
+//!
+//! A papers100M-scale stand-in slice is written to disk as TGDS shards, then
+//! streamed back two ways: a **cold** pass that consumes shards as fast as
+//! they arrive (every millisecond of disk + CRC + parse shows up as consumer
+//! stall), and a **warm** pass where the consumer does simulated training
+//! work per shard, giving the background prefetcher room to hide the I/O.
+//! Each pass reports read throughput and the *prefetch stall fraction* —
+//! stall time over wall time — the number the `--data-dir` training path
+//! lives or dies by. Byte accounting is asserted exactly (every shard byte
+//! delivered, every shard exactly once per epoch); rows land in
+//! `target/experiments/BENCH_data.json` for the verify gate.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use torchgt::prelude::*;
+use torchgt_bench::{banner, dump_json};
+
+const SCALE: f64 = 0.0002;
+const SEED: u64 = 7;
+const SHARD_NODES: usize = 2048;
+const EPOCHS: usize = 3;
+
+struct PassRow {
+    label: &'static str,
+    epochs: usize,
+    wall_ms: f64,
+    stall_ms: f64,
+    bytes: u64,
+    shards: u64,
+}
+
+impl PassRow {
+    fn stall_fraction(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            (self.stall_ms / self.wall_ms).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+    fn throughput_mib_s(&self) -> f64 {
+        let secs = self.wall_ms / 1e3;
+        if secs > 0.0 {
+            self.bytes as f64 / (1 << 20) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Stream `EPOCHS` epochs through `loader`, burning `work_passes` checksum
+/// sweeps over each shard's features to emulate a consumer that computes
+/// between receives. Returns the pass accounting.
+fn run_pass(loader: &ShardLoader, label: &'static str, work_passes: usize) -> PassRow {
+    let start = Instant::now();
+    let mut sink = 0.0f32;
+    for epoch in 0..EPOCHS {
+        let mut stream = loader.stream_epoch(epoch);
+        while let Some(shard) = stream.next().expect("shard stream") {
+            for _ in 0..work_passes {
+                sink += shard.features.iter().sum::<f32>();
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(sink.is_finite(), "feature checksum must stay finite");
+    let stats = loader.stats();
+    PassRow {
+        label,
+        epochs: EPOCHS,
+        wall_ms,
+        stall_ms: stats.stall_ms,
+        bytes: stats.bytes_read,
+        shards: stats.shards_delivered,
+    }
+}
+
+fn main() {
+    banner(
+        "data_loader",
+        "TGDS shard streaming: cold read throughput vs prefetch overlap",
+    );
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("torchgt_bench_data_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = generate_to_dir(DatasetKind::OgbnPapers100M, SCALE, SEED, &dir, SHARD_NODES)
+        .expect("datagen");
+    println!(
+        "dataset: {} nodes / {} arcs in {} shard(s), {} bytes on disk ({})",
+        report.manifest.total_nodes,
+        report.manifest.total_arcs,
+        report.manifest.shards.len(),
+        report.total_bytes,
+        report.hash
+    );
+
+    // Cold: drain as fast as possible — stall ≈ the full read+verify cost.
+    let cold_loader = ShardLoader::open(&dir).expect("loader opens").with_prefetch_depth(1);
+    let cold = run_pass(&cold_loader, "cold", 0);
+    // Warm: double-buffered with per-shard consumer work for the prefetcher
+    // to hide I/O behind.
+    let warm_loader = ShardLoader::open(&dir).expect("loader opens").with_prefetch_depth(2);
+    let warm = run_pass(&warm_loader, "warm+work", 40);
+
+    println!(
+        "\n{:>10} {:>8} {:>11} {:>11} {:>13} {:>12}",
+        "pass", "epochs", "wall ms", "stall ms", "stall frac", "MiB/s"
+    );
+    let expected_bytes = report.total_bytes * EPOCHS as u64;
+    let expected_shards = (report.manifest.shards.len() * EPOCHS) as u64;
+    for row in [&cold, &warm] {
+        println!(
+            "{:>10} {:>8} {:>11.2} {:>11.2} {:>13.3} {:>12.1}",
+            row.label,
+            row.epochs,
+            row.wall_ms,
+            row.stall_ms,
+            row.stall_fraction(),
+            row.throughput_mib_s()
+        );
+        assert_eq!(row.bytes, expected_bytes, "{}: every shard byte exactly once per epoch", row.label);
+        assert_eq!(row.shards, expected_shards, "{}: every shard exactly once per epoch", row.label);
+    }
+    println!(
+        "\nprefetch hid {:.1}% of consumer wall time behind work (cold stall {:.3} -> warm {:.3})",
+        (cold.stall_fraction() - warm.stall_fraction()).max(0.0) * 100.0,
+        cold.stall_fraction(),
+        warm.stall_fraction()
+    );
+
+    let rows: Vec<_> = [&cold, &warm]
+        .iter()
+        .map(|r| {
+            torchgt_compat::json!({
+                "pass": r.label,
+                "epochs": r.epochs,
+                "wall_ms": r.wall_ms,
+                "stall_ms": r.stall_ms,
+                "stall_fraction": r.stall_fraction(),
+                "bytes_read": r.bytes,
+                "shards_delivered": r.shards,
+                "throughput_mib_s": r.throughput_mib_s(),
+            })
+        })
+        .collect();
+    dump_json(
+        "BENCH_data",
+        &torchgt_compat::json!({
+            "dataset": "papers100m",
+            "scale": SCALE,
+            "seed": SEED,
+            "shard_nodes": SHARD_NODES,
+            "shards": report.manifest.shards.len(),
+            "dataset_bytes": report.total_bytes,
+            "manifest_hash": report.hash,
+            "passes": rows,
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

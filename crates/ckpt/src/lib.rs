@@ -28,7 +28,7 @@ pub mod state;
 pub mod store;
 
 pub use checksum::crc32;
-pub use snapshot::{Snapshot, FORMAT_VERSION, FORMAT_VERSION_V1};
+pub use snapshot::{Snapshot, FORMAT_VERSION, FORMAT_VERSION_V1, FORMAT_VERSION_V2};
 pub use state::{
     ParamState, PartitionLayout, SchedulerState, TensorShape, TrainerState, TunerState,
 };

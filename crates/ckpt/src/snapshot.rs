@@ -21,8 +21,11 @@
 //! Snapshots are **world-size-independent**: tensors are always stored in
 //! canonical (unsharded) order, so a snapshot taken at P=4 restores
 //! bit-faithfully at P=3. Format version 2 additionally records the
-//! [`PartitionLayout`] in effect at capture time (version-1 files, which
-//! predate the layout field, remain readable — their layout is `None`).
+//! [`PartitionLayout`] in effect at capture time; version 3 adds the
+//! identity hash of the dataset the run trained on (a `torchgt-data`
+//! manifest hash), letting restore refuse a snapshot taken against a
+//! different dataset. Version-1 and version-2 files, which predate those
+//! fields, remain readable — the missing fields decode as `None`.
 
 use crate::checksum::crc32;
 use crate::state::{ParamState, PartitionLayout, TensorShape, TrainerState};
@@ -32,8 +35,12 @@ use std::path::Path;
 use torchgt_tensor::checkpoint::{expect_eof, read_f32s, write_f32s};
 use torchgt_tensor::param::Param;
 
-/// Current snapshot format version (2 added the partition layout).
-pub const FORMAT_VERSION: u32 = 2;
+/// Current snapshot format version (3 added the dataset identity hash).
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The pre-dataset-identity revision (2 added the partition layout), still
+/// accepted by the reader.
+pub const FORMAT_VERSION_V2: u32 = 2;
 
 /// The pre-elastic format revision, still accepted by the reader.
 pub const FORMAT_VERSION_V1: u32 = 1;
@@ -45,10 +52,26 @@ const MAGIC: &[u8; 4] = b"TGTS";
 const MAX_MANIFEST_LEN: u64 = 64 << 20;
 
 torchgt_compat::json_struct! {
-    /// The version-2 JSON manifest (private — [`Snapshot`] is the public
+    /// The version-3 JSON manifest (private — [`Snapshot`] is the public
     /// surface).
     #[derive(Clone, Debug, PartialEq)]
     struct Manifest {
+        format_version: u32,
+        state: TrainerState,
+        shapes: Vec<TensorShape>,
+        payload_len: u64,
+        payload_crc: u32,
+        layout: Option<PartitionLayout>,
+        dataset_id: Option<String>,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// The version-2 manifest: identical except the dataset identity field
+    /// does not exist (the JSON decoder errors on missing fields, so
+    /// back-compat is a separate struct rather than an optional field).
+    #[derive(Clone, Debug, PartialEq)]
+    struct ManifestV2 {
         format_version: u32,
         state: TrainerState,
         shapes: Vec<TensorShape>,
@@ -84,6 +107,11 @@ pub struct Snapshot {
     /// Partition layout in effect at capture time (`None` for
     /// single-device trainers and version-1 files).
     pub layout: Option<PartitionLayout>,
+    /// Identity hash of the dataset the run trained on (a `torchgt-data`
+    /// manifest hash; `None` for in-memory datasets and pre-v3 files).
+    /// Restore paths refuse a snapshot whose hash disagrees with the live
+    /// dataset unless explicitly overridden.
+    pub dataset_id: Option<String>,
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -97,12 +125,19 @@ impl Snapshot {
             state,
             params: params.iter().map(|p| ParamState::capture(p)).collect(),
             layout: None,
+            dataset_id: None,
         }
     }
 
     /// Attach the partition layout in effect at capture time.
     pub fn with_layout(mut self, layout: PartitionLayout) -> Self {
         self.layout = Some(layout);
+        self
+    }
+
+    /// Attach the identity hash of the dataset the run trained on.
+    pub fn with_dataset_id(mut self, id: impl Into<String>) -> Self {
+        self.dataset_id = Some(id.into());
         self
     }
 
@@ -149,6 +184,7 @@ impl Snapshot {
             payload_len: payload.len() as u64,
             payload_crc: crc32(&payload),
             layout: self.layout.clone(),
+            dataset_id: self.dataset_id.clone(),
         };
         let manifest_bytes = torchgt_compat::json::to_string(&manifest)
             .map_err(|e| bad(format!("manifest encode: {e}")))?
@@ -174,9 +210,10 @@ impl Snapshot {
         let mut buf8 = [0u8; 8];
         r.read_exact(&mut buf4)?;
         let version = u32::from_le_bytes(buf4);
-        if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 && version != FORMAT_VERSION_V1
+        {
             return Err(bad(format!(
-                "unsupported snapshot format version {version} (expected {FORMAT_VERSION_V1} or {FORMAT_VERSION})"
+                "unsupported snapshot format version {version} (expected {FORMAT_VERSION_V1}..{FORMAT_VERSION})"
             )));
         }
         r.read_exact(&mut buf8)?;
@@ -193,23 +230,38 @@ impl Snapshot {
         }
         let manifest_text = std::str::from_utf8(&manifest_bytes)
             .map_err(|_| bad("manifest is not valid UTF-8"))?;
-        // The layout field arrived in version 2; a v1 manifest would fail
-        // the v2 decoder's missing-field check, so each revision gets its
-        // own decode path.
-        let manifest: Manifest = if version == FORMAT_VERSION_V1 {
-            let v1: ManifestV1 = torchgt_compat::json::from_str_as(manifest_text)
-                .map_err(|e| bad(format!("manifest decode: {e}")))?;
-            Manifest {
-                format_version: v1.format_version,
-                state: v1.state,
-                shapes: v1.shapes,
-                payload_len: v1.payload_len,
-                payload_crc: v1.payload_crc,
-                layout: None,
+        // The layout field arrived in version 2 and the dataset identity in
+        // version 3; an older manifest would fail the newer decoder's
+        // missing-field check, so each revision gets its own decode path.
+        let manifest: Manifest = match version {
+            FORMAT_VERSION_V1 => {
+                let v1: ManifestV1 = torchgt_compat::json::from_str_as(manifest_text)
+                    .map_err(|e| bad(format!("manifest decode: {e}")))?;
+                Manifest {
+                    format_version: v1.format_version,
+                    state: v1.state,
+                    shapes: v1.shapes,
+                    payload_len: v1.payload_len,
+                    payload_crc: v1.payload_crc,
+                    layout: None,
+                    dataset_id: None,
+                }
             }
-        } else {
-            torchgt_compat::json::from_str_as(manifest_text)
-                .map_err(|e| bad(format!("manifest decode: {e}")))?
+            FORMAT_VERSION_V2 => {
+                let v2: ManifestV2 = torchgt_compat::json::from_str_as(manifest_text)
+                    .map_err(|e| bad(format!("manifest decode: {e}")))?;
+                Manifest {
+                    format_version: v2.format_version,
+                    state: v2.state,
+                    shapes: v2.shapes,
+                    payload_len: v2.payload_len,
+                    payload_crc: v2.payload_crc,
+                    layout: v2.layout,
+                    dataset_id: None,
+                }
+            }
+            _ => torchgt_compat::json::from_str_as(manifest_text)
+                .map_err(|e| bad(format!("manifest decode: {e}")))?,
         };
         if manifest.format_version != version {
             return Err(bad("manifest/header version disagreement"));
@@ -240,7 +292,12 @@ impl Snapshot {
                 v: read_f32s(&mut cursor, n)?,
             });
         }
-        Ok(Self { state: manifest.state, params, layout: manifest.layout })
+        Ok(Self {
+            state: manifest.state,
+            params,
+            layout: manifest.layout,
+            dataset_id: manifest.dataset_id,
+        })
     }
 
     /// Write to a file (non-atomic; [`crate::CheckpointStore`] wraps this
@@ -363,6 +420,72 @@ mod tests {
         assert_eq!(back, s);
     }
 
+    #[test]
+    fn dataset_id_round_trips_through_v3() {
+        let s = sample().with_dataset_id("tgds-00deadbeef001234");
+        let back = Snapshot::read_from(to_bytes(&s).as_slice()).unwrap();
+        assert_eq!(back.dataset_id.as_deref(), Some("tgds-00deadbeef001234"));
+        assert_eq!(back, s);
+    }
+
+    /// Build the byte stream a pre-dataset-identity (version 2) writer
+    /// produced: same framing, manifest without the dataset_id field.
+    fn to_v2_bytes(s: &Snapshot) -> Vec<u8> {
+        let mut payload = Vec::new();
+        for p in &s.params {
+            write_f32s(&mut payload, &p.value).unwrap();
+            write_f32s(&mut payload, &p.m).unwrap();
+            write_f32s(&mut payload, &p.v).unwrap();
+        }
+        let manifest = ManifestV2 {
+            format_version: FORMAT_VERSION_V2,
+            state: s.state.clone(),
+            shapes: s.params.iter().map(ParamState::shape).collect(),
+            payload_len: payload.len() as u64,
+            payload_crc: crc32(&payload),
+            layout: s.layout.clone(),
+        };
+        let manifest_bytes =
+            torchgt_compat::json::to_string(&manifest).unwrap().into_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION_V2.to_le_bytes());
+        out.extend_from_slice(&(manifest_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&manifest_bytes).to_le_bytes());
+        out.extend_from_slice(&manifest_bytes);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn version_2_files_remain_readable() {
+        let layout = PartitionLayout { world: 2, generation: 3, assignment: vec![0, 1, 1] };
+        let s = sample().with_layout(layout.clone());
+        let bytes = to_v2_bytes(&s);
+        let back = Snapshot::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.state, s.state);
+        assert_eq!(back.params, s.params);
+        assert_eq!(back.layout.as_ref(), Some(&layout), "v2 layout survives");
+        assert!(back.dataset_id.is_none(), "v2 files predate the dataset identity");
+        // Re-saving upgrades the file to the current revision.
+        let rewritten = to_bytes(&back);
+        assert_eq!(rewritten[4], FORMAT_VERSION as u8);
+        assert_eq!(Snapshot::read_from(rewritten.as_slice()).unwrap(), back);
+    }
+
+    #[test]
+    fn v2_corruption_is_still_detected() {
+        let bytes = to_v2_bytes(&sample());
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                Snapshot::read_from(corrupt.as_slice()).is_err(),
+                "v2 bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
     /// Build the byte stream a pre-elastic (version 1) writer produced:
     /// same framing, manifest without the layout field.
     fn to_v1_bytes(s: &Snapshot) -> Vec<u8> {
@@ -439,6 +562,7 @@ mod tests {
                 state: TrainerState::basic(epoch, steps),
                 params: vec![ps],
                 layout: None,
+                dataset_id: None,
             };
             let mut buf = Vec::new();
             snap.write_to(&mut buf).unwrap();

@@ -122,6 +122,7 @@ mod tests {
                 v: vec![0.0, 0.0],
             }],
             layout: None,
+            dataset_id: None,
         }
     }
 

@@ -32,6 +32,10 @@ pub enum BuildError {
     EmptyDataset,
     /// The output dimension (class count / regression width) is zero.
     ZeroOutDim,
+    /// TorchGT's cluster-aware reordering is a global permutation of the
+    /// node sequence and cannot stream shard-by-shard; out-of-core training
+    /// requires a GP-* method.
+    MethodCannotStream,
 }
 
 impl fmt::Display for BuildError {
@@ -46,6 +50,11 @@ impl fmt::Display for BuildError {
             }
             BuildError::EmptyDataset => write!(f, "dataset has no samples"),
             BuildError::ZeroOutDim => write!(f, "output dimension must be >= 1"),
+            BuildError::MethodCannotStream => write!(
+                f,
+                "the torchgt method's global cluster reorder cannot stream from disk; \
+                 use a GP-* method (e.g. gp-sparse)"
+            ),
         }
     }
 }

@@ -38,6 +38,7 @@
 
 pub use torchgt_ckpt as ckpt;
 pub use torchgt_comm as comm;
+pub use torchgt_data as data;
 pub use torchgt_graph as graph;
 pub use torchgt_model as model;
 pub use torchgt_obs as obs;
@@ -51,10 +52,11 @@ pub mod error;
 pub use error::BuildError;
 
 use torchgt_comm::ClusterTopology;
+use torchgt_data::ShardLoader;
 use torchgt_graph::{GraphDataset, NodeDataset};
 use torchgt_model::{Graphormer, GraphormerConfig, Gt, GtConfig};
 use torchgt_perf::{GpuSpec, ModelShape};
-use torchgt_runtime::{GraphTrainer, Method, NodeTrainer, TrainConfig};
+use torchgt_runtime::{GraphTrainer, Method, NodeTrainer, StreamingTrainer, TrainConfig};
 use torchgt_tensor::Precision;
 
 /// Which model family the builder instantiates.
@@ -306,6 +308,32 @@ impl TorchGtBuilder {
         ))
     }
 
+    /// Build an out-of-core node-level trainer fed from an opened
+    /// [`ShardLoader`]. The model's input/output widths come from the
+    /// dataset manifest — no shard is read during construction. Only GP-*
+    /// methods can stream ([`BuildError::MethodCannotStream`] otherwise).
+    pub fn build_streaming(&self, loader: ShardLoader) -> Result<StreamingTrainer, BuildError> {
+        self.validate()?;
+        if self.method == Method::TorchGt {
+            return Err(BuildError::MethodCannotStream);
+        }
+        let m = loader.manifest();
+        if m.total_nodes == 0 {
+            return Err(BuildError::EmptyDataset);
+        }
+        if m.num_classes == 0 {
+            return Err(BuildError::ZeroOutDim);
+        }
+        let model = self.make_model(m.feat_dim as usize, m.num_classes as usize);
+        Ok(StreamingTrainer::new(
+            self.train_config(),
+            loader,
+            model,
+            self.shape(),
+            self.gpu,
+            self.topology,
+        ))
+    }
 }
 
 /// Convenient glob-import surface.
@@ -316,7 +344,12 @@ pub mod prelude {
         ClusterTopology, CrashPoint, FaultPlan, Interconnect, Membership, RankFailure,
         StragglerReport,
     };
-    pub use torchgt_graph::{DatasetKind, GraphDataset, GraphLabel, NodeDataset, TaskKind};
+    pub use torchgt_data::{
+        generate_to_dir, load_node_dataset, DatagenReport, Manifest, ShardLoader,
+    };
+    pub use torchgt_graph::{
+        DatasetKind, EffectiveSpec, GraphDataset, GraphLabel, NodeDataset, TaskKind,
+    };
     pub use torchgt_model::{Pattern, SequenceBatch, SequenceModel};
     pub use torchgt_obs::{
         MemoryRecorder, MetricsReport, NoopRecorder, Recorder, RecorderHandle,
@@ -325,7 +358,7 @@ pub mod prelude {
     pub use torchgt_runtime::{
         run_with_checkpoints, train_data_parallel_elastic, CheckpointOptions, ElasticStats,
         EpochStats, GraphTrainer, Method, NodeTrainer, RankLoss, RecoveryPolicy, ResumeOutcome,
-        TrainConfig, Trainer,
+        StreamingTrainer, TrainConfig, Trainer,
     };
     pub use torchgt_serve::{
         CalibSet, Freezable, FreezeError, FreezeOptions, FrozenExecutor, FrozenModel,

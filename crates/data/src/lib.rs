@@ -1,0 +1,62 @@
+//! # torchgt-data
+//!
+//! Out-of-core streaming data subsystem. The paper's headline scale claim is
+//! training ogbn-papers100M (111M nodes, Table III / Table V), but the
+//! in-memory generators in `torchgt-graph` cap functional runs at whatever
+//! fits in RAM. This crate puts a binary shard layer underneath the whole
+//! training/serving stack:
+//!
+//! * [`shard`] — the versioned `TGDS` shard format: a contiguous range of
+//!   nodes (features, labels, communities, and full global-id adjacency
+//!   rows) behind the same double-CRC header discipline as `TGTS`
+//!   snapshots and `TGTF` frozen artifacts.
+//! * [`manifest`] — the `TGDM` dataset manifest: generation parameters
+//!   (kind/scale/seed), effective totals, and the shard list with per-shard
+//!   byte counts and content CRCs. [`Manifest::hash`] is the dataset's
+//!   stable identity, embedded in checkpoints and frozen artifacts.
+//! * [`writer`] — streaming generation: [`writer::generate_to_dir`] drives
+//!   [`torchgt_graph::datasets::DatasetKind::stream_node`] into per-shard
+//!   edge spill files and then finalises shards one at a time, so peak
+//!   memory is `O(n + shard)` rather than `O(dataset)`.
+//! * [`loader`] — [`ShardLoader`]: a double-buffered prefetching reader
+//!   (background thread over a bounded `torchgt_compat::sync` channel,
+//!   optional seeded per-epoch shard shuffle) publishing prefetch-stall /
+//!   bytes-read / buffer-occupancy gauges through `torchgt-obs`.
+//!
+//! Every shard written by the streaming path is **bit-identical** to what
+//! slicing the in-memory [`torchgt_graph::NodeDataset`] would produce, so
+//! trainers fed from disk reproduce the in-memory loss history exactly.
+
+pub mod loader;
+pub mod manifest;
+pub mod shard;
+pub mod writer;
+
+pub use loader::{LoaderStats, ShardLoader, ShardStream};
+pub use manifest::{Manifest, ShardEntry, MANIFEST_FILE, MANIFEST_FORMAT_VERSION};
+pub use shard::{Shard, SHARD_FORMAT_VERSION};
+pub use writer::{generate_to_dir, load_node_dataset, DatagenReport};
+
+use std::io;
+use std::path::Path;
+
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Publish `bytes` at `path` atomically: write to a `.tmp` sibling in the
+/// same directory, flush, then rename over the target — the same
+/// write-then-rename discipline as `torchgt_ckpt::CheckpointStore` and
+/// `TGTF` artifacts, so a crash mid-write never leaves a torn file behind.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}

@@ -1,0 +1,341 @@
+//! The `TGDM` dataset manifest: the identity and table of contents of an
+//! on-disk sharded dataset.
+//!
+//! ```text
+//! offset  size   field
+//! 0       4      magic "TGDM"
+//! 4       4      format version, u32 LE (currently 1)
+//! 8       8      manifest length N, u64 LE
+//! 16      4      CRC-32 of the manifest bytes, u32 LE
+//! 20      N      manifest: compact JSON (torchgt-compat::json)
+//! ```
+//!
+//! The manifest records the generation parameters (dataset kind, scale,
+//! seed), the *effective* post-clamp totals actually generated
+//! ([`torchgt_graph::EffectiveSpec`] — node count, feature dim, classes),
+//! and one [`ShardEntry`] per shard with its byte count and whole-file
+//! CRC-32, so the loader can verify a shard before parsing it.
+//!
+//! [`Manifest::hash`] — FNV-1a over the canonical JSON encoding — is the
+//! dataset's stable identity. It is embedded in `TGTS` training snapshots
+//! (restore refuses a mismatched dataset unless overridden) and in `TGTF`
+//! frozen-artifact provenance.
+
+use crate::bad;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use torchgt_ckpt::crc32;
+use torchgt_graph::DatasetKind;
+
+/// Current `TGDM` manifest format version.
+pub const MANIFEST_FORMAT_VERSION: u32 = 1;
+
+/// File name of the manifest inside a dataset directory.
+pub const MANIFEST_FILE: &str = "manifest.tgdm";
+
+const MAGIC: &[u8; 4] = b"TGDM";
+
+/// Hard cap on the declared manifest length — a corrupted length field must
+/// not trigger a huge allocation.
+const MAX_MANIFEST_LEN: u64 = 64 << 20;
+
+torchgt_compat::json_struct! {
+    /// One shard's entry in the dataset's table of contents.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct ShardEntry {
+        /// File name relative to the dataset directory.
+        pub file: String,
+        /// Global id of the shard's first node.
+        pub node_start: u64,
+        /// Nodes in the shard.
+        pub node_count: u64,
+        /// Adjacency entries in the shard.
+        pub num_arcs: u64,
+        /// Size of the shard file in bytes.
+        pub bytes: u64,
+        /// CRC-32 of the entire shard file (header included), checked by
+        /// the loader before the shard is parsed.
+        pub crc: u32,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// The dataset manifest: generation parameters, effective totals, and
+    /// the shard list.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Manifest {
+        /// `TGDM` format version.
+        pub format_version: u32,
+        /// Which dataset the shards stand in for.
+        pub kind: DatasetKind,
+        /// Scale the generator ran at.
+        pub scale: f64,
+        /// Generator seed (also derives the train/val/test split and the
+        /// feature RNG, so it fully determines dataset content).
+        pub seed: u64,
+        /// Effective total nodes (post-clamp — what was actually written).
+        pub total_nodes: u64,
+        /// Effective feature dimension.
+        pub feat_dim: u64,
+        /// Effective class count.
+        pub num_classes: u64,
+        /// Total adjacency entries across all shards.
+        pub total_arcs: u64,
+        /// Nominal nodes per shard (the last shard may be smaller).
+        pub shard_nodes: u64,
+        /// Shards in node order.
+        pub shards: Vec<ShardEntry>,
+    }
+}
+
+impl Manifest {
+    /// Stable dataset identity: 64-bit FNV-1a over the canonical compact
+    /// JSON encoding, rendered as `tgds-` + 16 hex digits. Covers the
+    /// generation parameters, effective totals, and every shard's size and
+    /// CRC — any change to dataset content changes the hash.
+    pub fn hash(&self) -> String {
+        let json = torchgt_compat::json::to_string(self).expect("manifest encodes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in json.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("tgds-{h:016x}")
+    }
+
+    /// Sparsity β_G of the stored graph (`total_arcs / n²`) — the quantity
+    /// the Elastic Computation Reformation thresholds against, computable
+    /// without loading a single shard.
+    pub fn beta_g(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 0.0;
+        }
+        self.total_arcs as f64 / (self.total_nodes as f64 * self.total_nodes as f64)
+    }
+
+    /// Path of the shard described by `entry` inside `dir`.
+    pub fn shard_path(dir: &Path, entry: &ShardEntry) -> PathBuf {
+        dir.join(&entry.file)
+    }
+
+    /// Serialise to framed bytes (header + checksummed JSON).
+    pub fn to_bytes(&self) -> io::Result<Vec<u8>> {
+        let manifest_bytes = torchgt_compat::json::to_string(self)
+            .map_err(|e| bad(format!("manifest encode: {e}")))?
+            .into_bytes();
+        let mut out = Vec::with_capacity(20 + manifest_bytes.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&MANIFEST_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(manifest_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&manifest_bytes).to_le_bytes());
+        out.extend_from_slice(&manifest_bytes);
+        Ok(out)
+    }
+
+    /// Deserialise from a reader, verifying magic, version, the checksum,
+    /// exact EOF, and the structural invariants (non-empty contiguous shard
+    /// coverage whose totals match the declared ones).
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad dataset manifest magic"));
+        }
+        let mut buf4 = [0u8; 4];
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != MANIFEST_FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported dataset manifest version {version} (expected {MANIFEST_FORMAT_VERSION})"
+            )));
+        }
+        r.read_exact(&mut buf8)?;
+        let manifest_len = u64::from_le_bytes(buf8);
+        if manifest_len > MAX_MANIFEST_LEN {
+            return Err(bad(format!("implausible dataset manifest length {manifest_len}")));
+        }
+        r.read_exact(&mut buf4)?;
+        let manifest_crc = u32::from_le_bytes(buf4);
+        let mut manifest_bytes = vec![0u8; manifest_len as usize];
+        r.read_exact(&mut manifest_bytes)?;
+        if crc32(&manifest_bytes) != manifest_crc {
+            return Err(bad("dataset manifest checksum mismatch (corrupt manifest)"));
+        }
+        let text = std::str::from_utf8(&manifest_bytes)
+            .map_err(|_| bad("dataset manifest is not valid UTF-8"))?;
+        let manifest: Manifest = torchgt_compat::json::from_str_as(text)
+            .map_err(|e| bad(format!("dataset manifest decode: {e}")))?;
+        if manifest.format_version != version {
+            return Err(bad("dataset manifest/header version disagreement"));
+        }
+        // Exact EOF: trailing junk is corruption, same as the shard codec.
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(bad("trailing bytes after dataset manifest"));
+        }
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Structural invariants beyond the checksum: shards must tile
+    /// `[0, total_nodes)` contiguously in order, and the per-shard totals
+    /// must sum to the declared ones.
+    fn validate(&self) -> io::Result<()> {
+        if self.shards.is_empty() {
+            return Err(bad("dataset manifest lists no shards"));
+        }
+        if self.total_nodes == 0 || self.feat_dim == 0 || self.num_classes == 0 {
+            return Err(bad("dataset manifest declares a zero dimension"));
+        }
+        let mut next_start = 0u64;
+        let mut arcs = 0u64;
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.node_start != next_start {
+                return Err(bad(format!(
+                    "shard {i} starts at node {} (expected {next_start}): non-contiguous coverage",
+                    s.node_start
+                )));
+            }
+            if s.node_count == 0 {
+                return Err(bad(format!("shard {i} is empty")));
+            }
+            next_start += s.node_count;
+            arcs += s.num_arcs;
+        }
+        if next_start != self.total_nodes {
+            return Err(bad(format!(
+                "shards cover {next_start} nodes, manifest declares {}",
+                self.total_nodes
+            )));
+        }
+        if arcs != self.total_arcs {
+            return Err(bad(format!(
+                "shards hold {arcs} arcs, manifest declares {}",
+                self.total_arcs
+            )));
+        }
+        Ok(())
+    }
+
+    /// Publish atomically at `path` (write-then-rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        crate::atomic_write(path, &self.to_bytes()?)
+    }
+
+    /// Read and fully validate a manifest file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::read_from(bytes.as_slice())
+    }
+
+    /// Read the manifest of the dataset directory `dir`.
+    pub fn load_dir(dir: &Path) -> io::Result<Self> {
+        Self::load(&dir.join(MANIFEST_FILE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_compat::proptest::prelude::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            format_version: MANIFEST_FORMAT_VERSION,
+            kind: DatasetKind::OgbnArxiv,
+            scale: 0.01,
+            seed: 7,
+            total_nodes: 300,
+            feat_dim: 64,
+            num_classes: 18,
+            total_arcs: 1234,
+            shard_nodes: 256,
+            shards: vec![
+                ShardEntry {
+                    file: "shard-00000.tgds".to_string(),
+                    node_start: 0,
+                    node_count: 256,
+                    num_arcs: 1100,
+                    bytes: 70_000,
+                    crc: 0xDEAD_BEEF,
+                },
+                ShardEntry {
+                    file: "shard-00001.tgds".to_string(),
+                    node_start: 256,
+                    node_count: 44,
+                    num_arcs: 134,
+                    bytes: 12_000,
+                    crc: 0x1234_5678,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_and_stable_hash() {
+        let m = sample();
+        let back = Manifest::read_from(m.to_bytes().unwrap().as_slice()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.hash(), m.hash());
+        assert!(m.hash().starts_with("tgds-") && m.hash().len() == 5 + 16);
+        // Identity is content-sensitive: a different seed is a different
+        // dataset.
+        let mut other = m.clone();
+        other.seed = 8;
+        assert_ne!(other.hash(), m.hash());
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let m = sample();
+        let bytes = m.to_bytes().unwrap();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            match Manifest::read_from(corrupt.as_slice()) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    assert_ne!(decoded, m, "byte {i}: corruption accepted verbatim")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let m = sample();
+        let bytes = m.to_bytes().unwrap();
+        for len in 0..bytes.len() {
+            assert!(
+                Manifest::read_from(&bytes[..len]).is_err(),
+                "truncation to {len} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_junk_is_rejected() {
+        let m = sample();
+        let mut bytes = m.to_bytes().unwrap();
+        bytes.push(b'x');
+        assert!(Manifest::read_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn non_contiguous_coverage_is_rejected() {
+        let mut m = sample();
+        m.shards[1].node_start = 300; // gap after shard 0
+        assert!(Manifest::read_from(m.to_bytes().unwrap().as_slice()).is_err());
+        let mut m = sample();
+        m.total_arcs += 1;
+        assert!(Manifest::read_from(m.to_bytes().unwrap().as_slice()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = Manifest::read_from(bytes.as_slice());
+        }
+    }
+}

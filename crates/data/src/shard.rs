@@ -1,0 +1,388 @@
+//! The on-disk `TGDS` shard format.
+//!
+//! ```text
+//! offset  size            field
+//! 0       4               magic "TGDS"
+//! 4       4               format version, u32 LE (currently 1)
+//! 8       8               manifest length N, u64 LE
+//! 16      4               CRC-32 of the manifest bytes, u32 LE
+//! 20      N               manifest: compact JSON (torchgt-compat::json)
+//! 20+N    payload_len     payload, packed LE:
+//!                           features   node_count * feat_dim  f32
+//!                           labels     node_count             u32
+//!                           community  node_count             u32
+//!                           row_lens   node_count             u32
+//!                           col_idx    num_arcs               u32
+//! ```
+//!
+//! A shard holds the contiguous node range `[node_start, node_start +
+//! node_count)` of one dataset: per-node features, labels, planted
+//! communities, and the node's **full, sorted, deduplicated adjacency row in
+//! global ids**. Concatenating every shard's rows therefore reassembles the
+//! whole graph's CSR exactly (`CsrGraph::from_raw`), and any window of rows
+//! yields an induced subgraph without touching other shards.
+//!
+//! Readers follow the `TGTS`/`TGTF` discipline: verify magic → version →
+//! manifest length cap → manifest CRC → UTF-8 → declared-shapes-vs-payload
+//! cross-check → payload CRC → exact EOF → structural invariants (row sums,
+//! neighbor bounds, sortedness), all *before* any data is handed out.
+
+use crate::bad;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use torchgt_ckpt::crc32;
+use torchgt_tensor::checkpoint::{expect_eof, read_f32s, write_f32s};
+
+fn write_u32s<W: Write>(w: &mut W, data: &[u32]) -> io::Result<()> {
+    for v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u32>> {
+    let mut out = Vec::with_capacity(n);
+    let mut buf = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut buf)?;
+        out.push(u32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+/// Current `TGDS` shard format version.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"TGDS";
+
+/// Hard cap on the declared manifest length — a corrupted length field must
+/// not trigger a huge allocation.
+const MAX_MANIFEST_LEN: u64 = 64 << 20;
+
+torchgt_compat::json_struct! {
+    /// The shard's JSON manifest (private — [`Shard`] is the public
+    /// surface).
+    #[derive(Clone, Debug, PartialEq)]
+    struct ShardManifest {
+        format_version: u32,
+        shard_index: u64,
+        node_start: u64,
+        node_count: u64,
+        total_nodes: u64,
+        feat_dim: u64,
+        num_arcs: u64,
+        payload_len: u64,
+        payload_crc: u32,
+    }
+}
+
+/// One contiguous slice of a node-level dataset, self-describing and
+/// independently verifiable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shard {
+    /// Position of this shard in the dataset's shard sequence.
+    pub shard_index: usize,
+    /// Global id of the first node in the shard.
+    pub node_start: usize,
+    /// Nodes in the shard.
+    pub node_count: usize,
+    /// Total nodes in the whole dataset (for neighbor-bound validation).
+    pub total_nodes: usize,
+    /// Feature dimension.
+    pub feat_dim: usize,
+    /// Row-major `[node_count, feat_dim]` features.
+    pub features: Vec<f32>,
+    /// Per-node labels.
+    pub labels: Vec<u32>,
+    /// Per-node planted communities.
+    pub community: Vec<u32>,
+    /// Local CSR offsets into `col_idx`, length `node_count + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Concatenated adjacency rows: **global** neighbor ids, sorted and
+    /// deduplicated within each row.
+    pub col_idx: Vec<u32>,
+}
+
+impl Shard {
+    /// Arcs (directed adjacency entries) stored in the shard.
+    pub fn num_arcs(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Global neighbor ids of the shard-local node `local`.
+    pub fn neighbors(&self, local: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[local]..self.row_ptr[local + 1]]
+    }
+
+    /// Feature row of the shard-local node `local`.
+    pub fn feature_row(&self, local: usize) -> &[f32] {
+        &self.features[local * self.feat_dim..(local + 1) * self.feat_dim]
+    }
+
+    /// Serialise to a writer (header + manifest + payload, per the module
+    /// docs).
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(
+            4 * (self.features.len() + 3 * self.node_count + self.col_idx.len()),
+        );
+        write_f32s(&mut payload, &self.features)?;
+        write_u32s(&mut payload, &self.labels)?;
+        write_u32s(&mut payload, &self.community)?;
+        let row_lens: Vec<u32> =
+            self.row_ptr.windows(2).map(|w| (w[1] - w[0]) as u32).collect();
+        write_u32s(&mut payload, &row_lens)?;
+        write_u32s(&mut payload, &self.col_idx)?;
+        let manifest = ShardManifest {
+            format_version: SHARD_FORMAT_VERSION,
+            shard_index: self.shard_index as u64,
+            node_start: self.node_start as u64,
+            node_count: self.node_count as u64,
+            total_nodes: self.total_nodes as u64,
+            feat_dim: self.feat_dim as u64,
+            num_arcs: self.col_idx.len() as u64,
+            payload_len: payload.len() as u64,
+            payload_crc: crc32(&payload),
+        };
+        let manifest_bytes = torchgt_compat::json::to_string(&manifest)
+            .map_err(|e| bad(format!("shard manifest encode: {e}")))?
+            .into_bytes();
+        w.write_all(MAGIC)?;
+        w.write_all(&SHARD_FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&(manifest_bytes.len() as u64).to_le_bytes())?;
+        w.write_all(&crc32(&manifest_bytes).to_le_bytes())?;
+        w.write_all(&manifest_bytes)?;
+        w.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Serialise to an owned byte buffer.
+    pub fn to_bytes(&self) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Deserialise from a reader, verifying magic, version, both checksums,
+    /// every declared length, exact EOF, and the structural invariants
+    /// (consistent row lengths, in-bounds sorted-unique neighbor rows).
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad shard magic"));
+        }
+        let mut buf4 = [0u8; 4];
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != SHARD_FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported shard format version {version} (expected {SHARD_FORMAT_VERSION})"
+            )));
+        }
+        r.read_exact(&mut buf8)?;
+        let manifest_len = u64::from_le_bytes(buf8);
+        if manifest_len > MAX_MANIFEST_LEN {
+            return Err(bad(format!("implausible shard manifest length {manifest_len}")));
+        }
+        r.read_exact(&mut buf4)?;
+        let manifest_crc = u32::from_le_bytes(buf4);
+        let mut manifest_bytes = vec![0u8; manifest_len as usize];
+        r.read_exact(&mut manifest_bytes)?;
+        if crc32(&manifest_bytes) != manifest_crc {
+            return Err(bad("shard manifest checksum mismatch (corrupt shard)"));
+        }
+        let manifest_text = std::str::from_utf8(&manifest_bytes)
+            .map_err(|_| bad("shard manifest is not valid UTF-8"))?;
+        let manifest: ShardManifest = torchgt_compat::json::from_str_as(manifest_text)
+            .map_err(|e| bad(format!("shard manifest decode: {e}")))?;
+        if manifest.format_version != version {
+            return Err(bad("shard manifest/header version disagreement"));
+        }
+        let node_count = manifest.node_count as usize;
+        let feat_dim = manifest.feat_dim as usize;
+        let num_arcs = manifest.num_arcs as usize;
+        if node_count == 0 || feat_dim == 0 {
+            return Err(bad("shard declares zero nodes or zero feature dim"));
+        }
+        if manifest.node_start + manifest.node_count > manifest.total_nodes {
+            return Err(bad(format!(
+                "shard range [{}, {}) exceeds total nodes {}",
+                manifest.node_start,
+                manifest.node_start + manifest.node_count,
+                manifest.total_nodes
+            )));
+        }
+        let expected = 4 * (node_count * feat_dim + 3 * node_count + num_arcs) as u64;
+        if expected != manifest.payload_len {
+            return Err(bad(format!(
+                "shard shapes require {expected} payload bytes, manifest declares {}",
+                manifest.payload_len
+            )));
+        }
+        let mut payload = vec![0u8; manifest.payload_len as usize];
+        r.read_exact(&mut payload)?;
+        if crc32(&payload) != manifest.payload_crc {
+            return Err(bad("shard payload checksum mismatch (corrupt shard)"));
+        }
+        expect_eof(&mut r)?;
+        let mut cursor: &[u8] = &payload;
+        let features = read_f32s(&mut cursor, node_count * feat_dim)?;
+        let labels = read_u32s(&mut cursor, node_count)?;
+        let community = read_u32s(&mut cursor, node_count)?;
+        let row_lens = read_u32s(&mut cursor, node_count)?;
+        let col_idx = read_u32s(&mut cursor, num_arcs)?;
+        let mut row_ptr = Vec::with_capacity(node_count + 1);
+        row_ptr.push(0usize);
+        let mut acc = 0usize;
+        for &len in &row_lens {
+            acc += len as usize;
+            row_ptr.push(acc);
+        }
+        if acc != num_arcs {
+            return Err(bad(format!(
+                "shard row lengths sum to {acc}, manifest declares {num_arcs} arcs"
+            )));
+        }
+        for (local, w) in row_ptr.windows(2).enumerate() {
+            let row = &col_idx[w[0]..w[1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(bad(format!(
+                        "shard row {local} is not sorted-unique"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as u64 >= manifest.total_nodes {
+                    return Err(bad(format!(
+                        "shard row {local} references node {last} >= total {}",
+                        manifest.total_nodes
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            shard_index: manifest.shard_index as usize,
+            node_start: manifest.node_start as usize,
+            node_count,
+            total_nodes: manifest.total_nodes as usize,
+            feat_dim,
+            features,
+            labels,
+            community,
+            row_ptr,
+            col_idx,
+        })
+    }
+
+    /// Publish atomically at `path` (write-then-rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        crate::atomic_write(path, &self.to_bytes()?)
+    }
+
+    /// Read and fully validate a shard file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::read_from(bytes.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchgt_compat::proptest::prelude::*;
+
+    pub(crate) fn sample() -> Shard {
+        Shard {
+            shard_index: 1,
+            node_start: 4,
+            node_count: 3,
+            total_nodes: 16,
+            feat_dim: 2,
+            features: vec![0.5, -1.0, 2.25, 0.0, 3.5, -0.125],
+            labels: vec![1, 0, 2],
+            community: vec![0, 0, 1],
+            row_ptr: vec![0, 2, 2, 5],
+            col_idx: vec![1, 5, 0, 4, 15],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let s = sample();
+        let back = Shard::read_from(s.to_bytes().unwrap().as_slice()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.neighbors(0), &[1, 5]);
+        assert_eq!(back.neighbors(1), &[] as &[u32]);
+        assert_eq!(back.feature_row(2), &[3.5, -0.125]);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let s = sample();
+        let bytes = s.to_bytes().unwrap();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            // A flip inside a JSON number can still decode — but then it
+            // must decode to a *different* manifest, which the shape/CRC
+            // cross-checks catch; everywhere else the read must fail.
+            match Shard::read_from(corrupt.as_slice()) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    assert_ne!(decoded, s, "byte {i}: corruption accepted verbatim")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let s = sample();
+        let bytes = s.to_bytes().unwrap();
+        for len in 0..bytes.len() {
+            assert!(
+                Shard::read_from(&bytes[..len]).is_err(),
+                "truncation to {len} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_junk_is_rejected() {
+        let s = sample();
+        let mut bytes = s.to_bytes().unwrap();
+        bytes.push(0);
+        assert!(Shard::read_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let s = sample();
+        let mut bytes = s.to_bytes().unwrap();
+        bytes[4] = 0xFF;
+        assert!(Shard::read_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unsorted_rows_are_rejected() {
+        let mut s = sample();
+        s.col_idx = vec![5, 1, 0, 4, 15]; // first row descends
+        assert!(Shard::read_from(s.to_bytes().unwrap().as_slice()).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_neighbors_are_rejected() {
+        let mut s = sample();
+        s.col_idx[4] = 16; // == total_nodes
+        assert!(Shard::read_from(s.to_bytes().unwrap().as_slice()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = Shard::read_from(bytes.as_slice());
+        }
+    }
+}

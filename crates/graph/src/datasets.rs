@@ -14,7 +14,7 @@
 
 use crate::csr::CsrGraph;
 use crate::generators::{
-    callgraph_like, clustered_power_law, molecule_like, ClusteredConfig,
+    callgraph_like, clustered_power_law_stream, molecule_like, ClusteredConfig,
 };
 use torchgt_compat::rng::rngs::SmallRng;
 use torchgt_compat::rng::{Rng, SeedableRng};
@@ -57,6 +57,41 @@ torchgt_compat::json_enum! {
         /// MalNet function-call-graph classification set, 5-class.
         MalNet,
     }
+}
+
+torchgt_compat::json_struct! {
+    /// What [`DatasetKind::generate_node`] *actually* produces at a given
+    /// scale, after the small-scale clamps: `n` is floored at 256 nodes, the
+    /// class count at ≥16 nodes per class, and the feature dimension at 64.
+    /// Shard manifests and the `datasets` CLI report these instead of the
+    /// published [`DatasetSpec`] numbers so on-disk datasets describe
+    /// themselves accurately.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct EffectiveSpec {
+        /// Nodes generated (`max(spec.nodes * scale, 256)`).
+        pub nodes: usize,
+        /// Feature dimension generated (`min(spec.feats, 64)`).
+        pub feat_dim: usize,
+        /// Classes (= planted communities) generated.
+        pub classes: usize,
+        /// Target average degree carried over from the published statistics.
+        pub avg_degree: f64,
+    }
+}
+
+/// Receives a node-level dataset as a stream: first every edge (generator
+/// order), then every node record in id order. Implemented by the collector
+/// inside [`DatasetKind::generate_node`] and by the shard writers in
+/// `torchgt-data`.
+pub trait NodeSink {
+    /// One undirected edge `u—v` (`u != v`), pre-deduplication: the final
+    /// graph is [`CsrGraph::from_edges`] over the whole edge stream.
+    fn edge(&mut self, u: u32, v: u32);
+
+    /// Node `v`'s label, planted community, and feature row. Called once per
+    /// node in ascending id order, after the last `edge` call; `features`
+    /// is only valid for the duration of the call.
+    fn node(&mut self, v: u32, label: u32, community: u32, features: &[f32]);
 }
 
 torchgt_compat::json_struct_ser! {
@@ -192,10 +227,10 @@ impl DatasetKind {
         &[Zinc, OgbgMolpcba, MalNet]
     }
 
-    /// Generate a synthetic node-level stand-in scaled by `scale` (1.0 would
-    /// be the original size; benches use ~1e-2…1e-3). Panics on graph-level
-    /// kinds.
-    pub fn generate_node(self, scale: f64, seed: u64) -> NodeDataset {
+    /// The post-clamp parameters [`DatasetKind::generate_node`] will use at
+    /// `scale` — the values a shard manifest must record. Pure: no RNG, no
+    /// generation. Panics on graph-level kinds.
+    pub fn effective(self, scale: f64) -> EffectiveSpec {
         let spec = self.spec();
         assert_eq!(
             spec.task,
@@ -206,44 +241,102 @@ impl DatasetKind {
         let n = ((spec.nodes as f64 * scale) as usize).max(256);
         let avg_degree = (2.0 * spec.edges as f64 / spec.nodes as f64).max(2.0);
         // Keep class count manageable at reduced scale: at least 16 nodes per
-        // class on average.
-        let classes = spec.classes.min((n / 16).max(2));
-        let communities = classes;
-        let (graph, community) = clustered_power_law(
-            ClusteredConfig { n, communities, avg_degree, intra_fraction: 0.88 },
-            seed,
-        );
-        // Cap the feature dimension at reduced scale to keep functional runs
+        // class on average. Cap the feature dimension to keep functional runs
         // cheap; statistics experiments use the spec value directly.
-        let feat_dim = spec.feats.min(64);
+        EffectiveSpec {
+            nodes: n,
+            feat_dim: spec.feats.min(64),
+            classes: spec.classes.min((n / 16).max(2)),
+            avg_degree,
+        }
+    }
+
+    /// XOR-mask deriving the split RNG seed from the dataset seed (the
+    /// feature RNG uses `^ 0xD07A`). Public so out-of-core loaders can
+    /// recompute [`Split::standard`] from a manifest instead of storing it.
+    pub const SPLIT_SEED_XOR: u64 = 0x5917;
+
+    /// Generate a synthetic node-level stand-in scaled by `scale` (1.0 would
+    /// be the original size; benches use ~1e-2…1e-3). Panics on graph-level
+    /// kinds.
+    pub fn generate_node(self, scale: f64, seed: u64) -> NodeDataset {
+        struct Collect {
+            edges: Vec<(u32, u32)>,
+            features: Vec<f32>,
+            labels: Vec<u32>,
+            community: Vec<u32>,
+        }
+        impl NodeSink for Collect {
+            fn edge(&mut self, u: u32, v: u32) {
+                self.edges.push((u, v));
+            }
+            fn node(&mut self, _v: u32, label: u32, community: u32, features: &[f32]) {
+                self.labels.push(label);
+                self.community.push(community);
+                self.features.extend_from_slice(features);
+            }
+        }
+        let eff = self.effective(scale);
+        let mut sink = Collect {
+            edges: Vec::new(),
+            features: Vec::with_capacity(eff.nodes * eff.feat_dim),
+            labels: Vec::with_capacity(eff.nodes),
+            community: Vec::with_capacity(eff.nodes),
+        };
+        let eff = self.stream_node(scale, seed, &mut sink);
+        let graph = CsrGraph::from_edges(eff.nodes, &sink.edges);
+        let split = Split::standard(eff.nodes, seed ^ Self::SPLIT_SEED_XOR);
+        NodeDataset {
+            kind: self,
+            graph,
+            features: sink.features,
+            feat_dim: eff.feat_dim,
+            labels: sink.labels,
+            num_classes: eff.classes,
+            community: sink.community,
+            split,
+        }
+    }
+
+    /// Streaming core behind [`DatasetKind::generate_node`]: pushes every
+    /// edge and then every node record into `sink` without materialising the
+    /// graph or feature matrix, so a papers100M-scale stand-in can be written
+    /// to disk shard-by-shard under an `O(n)` memory bound. Emits edges first
+    /// (generator order, duplicates included — the final graph is
+    /// [`CsrGraph::from_edges`] over the whole stream), then node records in
+    /// id order. Returns the effective (post-clamp) generation parameters.
+    ///
+    /// Bit-compatible with `generate_node`: collecting this stream and
+    /// reassembling reproduces the in-memory dataset exactly.
+    pub fn stream_node(
+        self,
+        scale: f64,
+        seed: u64,
+        sink: &mut dyn NodeSink,
+    ) -> EffectiveSpec {
+        let eff = self.effective(scale);
+        let EffectiveSpec { nodes: n, feat_dim, classes, avg_degree } = eff;
+        let community = clustered_power_law_stream(
+            ClusteredConfig { n, communities: classes, avg_degree, intra_fraction: 0.88 },
+            seed,
+            &mut |u, v| sink.edge(u, v),
+        );
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xD07A);
         let centroids: Vec<f32> =
             (0..classes * feat_dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
-        let mut features = vec![0.0f32; n * feat_dim];
-        let mut labels = vec![0u32; n];
         let noise_level = 0.7f32;
+        let mut row = vec![0.0f32; feat_dim];
         for v in 0..n {
             // 10% label noise keeps the task non-trivial.
             let class =
                 if rng.gen::<f32>() < 0.1 { rng.gen_range(0..classes as u32) } else { community[v] };
-            labels[v] = class;
             let c = community[v] as usize; // features follow the *structure*
-            for f in 0..feat_dim {
-                features[v * feat_dim + f] =
-                    centroids[c * feat_dim + f] + noise_level * gaussian(&mut rng);
+            for (f, slot) in row.iter_mut().enumerate() {
+                *slot = centroids[c * feat_dim + f] + noise_level * gaussian(&mut rng);
             }
+            sink.node(v as u32, class, community[v], &row);
         }
-        let split = Split::standard(n, seed ^ 0x5917);
-        NodeDataset {
-            kind: self,
-            graph,
-            features,
-            feat_dim,
-            labels,
-            num_classes: classes,
-            community,
-            split,
-        }
+        eff
     }
 
     /// Generate a synthetic graph-level stand-in with `num_graphs` samples
@@ -579,5 +672,56 @@ mod tests {
     #[should_panic(expected = "not a node-level dataset")]
     fn graph_level_rejects_node_generation() {
         let _ = DatasetKind::Zinc.generate_node(0.1, 0);
+    }
+
+    #[test]
+    fn effective_spec_reports_the_clamps() {
+        // Tiny scale: n floors at 256, classes cap at n/16, feats cap at 64.
+        let eff = DatasetKind::OgbnArxiv.effective(1e-9);
+        assert_eq!(eff.nodes, 256);
+        assert_eq!(eff.classes, 16); // min(40, 256/16)
+        assert_eq!(eff.feat_dim, 64); // min(128, 64)
+        // The generated dataset must agree with the advertised clamps.
+        let d = DatasetKind::OgbnArxiv.generate_node(1e-9, 3);
+        assert_eq!(d.num_nodes(), eff.nodes);
+        assert_eq!(d.num_classes, eff.classes);
+        assert_eq!(d.feat_dim, eff.feat_dim);
+        // Above the clamp region the published classes survive.
+        let big = DatasetKind::OgbnArxiv.effective(0.01);
+        assert_eq!(big.classes, 40);
+    }
+
+    #[test]
+    fn streamed_records_reassemble_into_generate_node() {
+        struct Capture {
+            edges: Vec<(u32, u32)>,
+            nodes: Vec<(u32, u32, u32)>,
+            features: Vec<f32>,
+            edges_done: bool,
+        }
+        impl NodeSink for Capture {
+            fn edge(&mut self, u: u32, v: u32) {
+                assert!(!self.edges_done, "edges must all precede node records");
+                self.edges.push((u, v));
+            }
+            fn node(&mut self, v: u32, label: u32, community: u32, features: &[f32]) {
+                self.edges_done = true;
+                self.nodes.push((v, label, community));
+                self.features.extend_from_slice(features);
+            }
+        }
+        let (kind, scale, seed) = (DatasetKind::Flickr, 0.02, 9);
+        let mut cap =
+            Capture { edges: Vec::new(), nodes: Vec::new(), features: Vec::new(), edges_done: false };
+        let eff = kind.stream_node(scale, seed, &mut cap);
+        let d = kind.generate_node(scale, seed);
+        assert_eq!(eff.nodes, d.num_nodes());
+        assert_eq!(CsrGraph::from_edges(eff.nodes, &cap.edges), d.graph);
+        assert_eq!(cap.features, d.features);
+        for (i, &(v, label, community)) in cap.nodes.iter().enumerate() {
+            assert_eq!(v as usize, i, "node records arrive in id order");
+            assert_eq!(label, d.labels[i]);
+            assert_eq!(community, d.community[i]);
+        }
     }
 }

@@ -11,16 +11,19 @@ use torchgt_compat::rng::rngs::SmallRng;
 use torchgt_compat::rng::{Rng, SeedableRng};
 
 /// Erdős–Rényi `G(n, m)` graph: `m` uniformly random distinct edges.
+/// `m` larger than the `n·(n-1)/2` possible undirected edges is clamped.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut edges = Vec::with_capacity(m);
     if n < 2 {
         return CsrGraph::from_edges(n, &[]);
     }
+    let m = m.min(n * (n - 1) / 2);
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
         let u = rng.gen_range(0..n as u32);
         let v = rng.gen_range(0..n as u32);
-        if u != v {
+        if u != v && seen.insert((u.min(v), u.max(v))) {
             edges.push((u, v));
         }
     }
@@ -87,6 +90,26 @@ pub struct ClusteredConfig {
 ///
 /// Returns the graph and the planted community of each node.
 pub fn clustered_power_law(cfg: ClusteredConfig, seed: u64) -> (CsrGraph, Vec<u32>) {
+    let target_edges = ((cfg.n as f64) * cfg.avg_degree / 2.0) as usize;
+    let mut edges = Vec::with_capacity(target_edges + 16);
+    let community = clustered_power_law_stream(cfg, seed, &mut |u, v| edges.push((u, v)));
+    (CsrGraph::from_edges(cfg.n, &edges), community)
+}
+
+/// Streaming core of [`clustered_power_law`]: every generated edge is pushed
+/// into `sink` instead of being collected, so callers (the `torchgt-data`
+/// shard writers) can spill edges to disk without ever holding the edge
+/// list. Peak memory is `O(n)` — community labels, member lists, the hub
+/// shuffle, and a touched bitmap.
+///
+/// Draws from the RNG in exactly the same order as the collecting wrapper,
+/// so for a given `(cfg, seed)` the edge stream reassembles (via
+/// [`CsrGraph::from_edges`]) into the identical graph.
+pub fn clustered_power_law_stream(
+    cfg: ClusteredConfig,
+    seed: u64,
+    sink: &mut dyn FnMut(u32, u32),
+) -> Vec<u32> {
     let ClusteredConfig { n, communities, avg_degree, intra_fraction } = cfg;
     assert!(communities >= 1 && n >= communities);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -103,7 +126,6 @@ pub fn clustered_power_law(cfg: ClusteredConfig, seed: u64) -> (CsrGraph, Vec<u3
     }
     // Heavy-tailed degree weights: w_i ∝ (i+1)^-0.8 over a shuffled order.
     let target_edges = ((n as f64) * avg_degree / 2.0) as usize;
-    let mut edges = Vec::with_capacity(target_edges);
     // Zipf sampling via inverse-CDF over weights would be costly; instead use
     // the standard trick: pick u = floor(n * r^gamma) which yields a
     // power-law-ish frequency of low indices, then map through a shuffle.
@@ -118,7 +140,12 @@ pub fn clustered_power_law(cfg: ClusteredConfig, seed: u64) -> (CsrGraph, Vec<u3
         let idx = ((n as f64) * r.powf(gamma)) as usize;
         shuffle[idx.min(n - 1)]
     };
-    while edges.len() < target_edges {
+    // Every emitted edge has `u != v`, so a node is isolated in the
+    // reassembled graph iff it never appeared as an endpoint — a bitmap
+    // replaces the intermediate `CsrGraph` the repair pass used to build.
+    let mut touched = vec![false; n];
+    let mut emitted = 0usize;
+    while emitted < target_edges {
         let u = draw_hub(&mut rng);
         let v = if rng.gen::<f64>() < intra_fraction {
             // Intra-community endpoint.
@@ -128,23 +155,27 @@ pub fn clustered_power_law(cfg: ClusteredConfig, seed: u64) -> (CsrGraph, Vec<u3
             rng.gen_range(0..n as u32)
         };
         if u != v {
-            edges.push((u, v));
+            touched[u as usize] = true;
+            touched[v as usize] = true;
+            sink(u, v);
+            emitted += 1;
         }
     }
     // Guarantee no isolated nodes: chain each degree-0 node to a random
-    // member of its community (keeps C3 reachability plausible).
-    let g0 = CsrGraph::from_edges(n, &edges);
+    // member of its community (keeps C3 reachability plausible). Repair
+    // edges deliberately do not update `touched`: the collecting path
+    // checked degrees against the graph built *before* any repairs.
     for v in 0..n {
-        if g0.degree(v) == 0 {
+        if !touched[v] {
             let c = community[v] as usize;
             let mut other = members[c][rng.gen_range(0..members[c].len())];
             if other as usize == v {
                 other = ((v + 1) % n) as u32;
             }
-            edges.push((v as u32, other));
+            sink(v as u32, other);
         }
     }
-    (CsrGraph::from_edges(n, &edges), community)
+    community
 }
 
 /// A random connected "molecule-like" small graph: a random spanning tree plus
@@ -239,8 +270,20 @@ mod tests {
     fn erdos_renyi_has_requested_size() {
         let g = erdos_renyi(100, 300, 1);
         assert_eq!(g.num_nodes(), 100);
-        // Duplicates are removed, so at most 300.
         assert!(g.num_edges() <= 300 && g.num_edges() > 250);
+    }
+
+    #[test]
+    fn erdos_renyi_edges_are_distinct() {
+        // Regression: the doc promises `m` *distinct* edges, but duplicates
+        // used to be pushed freely and silently merged by `from_edges`.
+        for seed in 0..8 {
+            let g = erdos_renyi(100, 300, seed);
+            assert_eq!(g.num_edges(), 300, "seed {seed}");
+        }
+        // Requests beyond the n*(n-1)/2 possible edges clamp instead of
+        // spinning forever.
+        assert_eq!(erdos_renyi(10, 1_000, 2).num_edges(), 45);
     }
 
     #[test]
@@ -289,6 +332,19 @@ mod tests {
         assert_eq!(c1, c2);
         let (g3, _) = clustered_power_law(cfg, 12);
         assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn streamed_edges_reassemble_into_the_collected_graph() {
+        // The streaming core and the collecting wrapper must be the same
+        // generator: same community labels, and the emitted edge stream must
+        // build the identical CSR.
+        let cfg = ClusteredConfig { n: 500, communities: 5, avg_degree: 8.0, intra_fraction: 0.85 };
+        let (g, comm) = clustered_power_law(cfg, 21);
+        let mut edges = Vec::new();
+        let comm2 = clustered_power_law_stream(cfg, 21, &mut |u, v| edges.push((u, v)));
+        assert_eq!(comm, comm2);
+        assert_eq!(g, CsrGraph::from_edges(cfg.n, &edges));
     }
 
     #[test]

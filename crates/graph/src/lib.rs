@@ -21,7 +21,8 @@ pub mod stats;
 pub use conditions::{augment_for_conditions, check_conditions, ConditionReport};
 pub use csr::CsrGraph;
 pub use datasets::{
-    DatasetKind, DatasetSpec, GraphDataset, GraphLabel, GraphSample, NodeDataset, Split, TaskKind,
+    DatasetKind, DatasetSpec, EffectiveSpec, GraphDataset, GraphLabel, GraphSample, NodeDataset,
+    NodeSink, Split, TaskKind,
 };
 pub use pack::{pack_graphs, PackedGraphs};
 pub use partition::{cluster_order, edge_cut, partition, ClusterOrder};

@@ -22,7 +22,10 @@
 //!   latest snapshot;
 //! * [`elastic`] — degraded-mode training that survives *permanent* rank
 //!   loss: the escalation ladder (retry → restore → shrink-and-continue),
-//!   token-conserving resharding, and world-size-independent snapshots.
+//!   token-conserving resharding, and world-size-independent snapshots;
+//! * [`streaming`] — out-of-core training over `torchgt-data` shard
+//!   streams: bounded-memory epochs that are bit-identical to the
+//!   in-memory GP-* loops, with dataset identity enforced on restore.
 
 pub mod autotune;
 pub mod batched;
@@ -34,6 +37,7 @@ pub mod interleave;
 pub mod parallel;
 pub mod preprocess;
 pub mod resume;
+pub mod streaming;
 pub mod trainer;
 pub mod traits;
 
@@ -51,5 +55,6 @@ pub use graph_trainer::GraphTrainer;
 pub use interleave::{Decision, InterleaveScheduler};
 pub use preprocess::{prepare_node_dataset, Prepared, Sequence};
 pub use resume::{run_with_checkpoints, CheckpointOptions, ResumeOutcome};
+pub use streaming::StreamingTrainer;
 pub use trainer::{EpochStats, NodeTrainer};
 pub use traits::Trainer;

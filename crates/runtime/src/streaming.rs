@@ -1,0 +1,736 @@
+//! Out-of-core node-level training: the [`NodeTrainer`] epoch loop driven
+//! from disk through a [`torchgt_data::ShardLoader`] instead of an
+//! in-memory [`torchgt_graph::NodeDataset`].
+//!
+//! The trainer never materialises the full graph. Each epoch streams `TGDS`
+//! shards through the loader's prefetch thread, carries the sub-`seq_len`
+//! remainder of each shard into the next one, and emits exactly the chunks
+//! the in-memory preprocessing pipeline would have produced: with the
+//! default (identity) shard order the per-epoch loss history is
+//! **bit-identical** to a [`NodeTrainer`] over the same generated dataset —
+//! asserted by this module's tests and by `tests/data_pipeline.rs`.
+//!
+//! Only the GP-* baselines stream: TorchGT's cluster-aware reordering is a
+//! global permutation of the node sequence, which requires the whole graph
+//! up front. Construction rejects [`Method::TorchGt`].
+//!
+//! Dataset identity: snapshots taken by this trainer carry the dataset's
+//! manifest hash ([`torchgt_data::Manifest::hash`]); restoring a snapshot
+//! taken against a *different* dataset fails unless explicitly overridden.
+//!
+//! [`NodeTrainer`]: crate::trainer::NodeTrainer
+
+use crate::autotune::AutoTuner;
+use crate::config::{Method, TrainConfig};
+use crate::trainer::{lap, EpochStats};
+use std::io;
+use std::time::Instant;
+use torchgt_comm::ClusterTopology;
+use torchgt_data::{Shard, ShardLoader};
+use torchgt_graph::{CsrGraph, DatasetKind, Split};
+use torchgt_model::{loss, Pattern, SequenceBatch, SequenceModel};
+use torchgt_obs::{EpochTrace, Event, RecorderHandle, SpanGuard, StepTrace};
+use torchgt_perf::{all_to_all_traffic, iteration_cost, GpuSpec, ModelShape, StepSpec};
+use torchgt_sparse::{access_profile, topology_mask, AccessProfile, LayoutKind};
+use torchgt_tensor::bf16::{apply_precision, bf16_round};
+use torchgt_tensor::{Adam, Optimizer, Precision, Tensor, Workspace};
+
+/// One training sequence assembled from the shard stream — the streaming
+/// equivalent of [`crate::preprocess::Sequence`].
+struct Chunk {
+    /// Global node ids in stream order.
+    ids: Vec<u32>,
+    /// Induced subgraph over the chunk's nodes (local ids).
+    graph: CsrGraph,
+    /// Topology attention mask (self-loops + Hamiltonian repair).
+    mask: CsrGraph,
+    /// Memory-access profile of the mask.
+    profile: AccessProfile,
+    /// Features `[s, feat]` in local order.
+    features: Tensor,
+    /// Labels in local order.
+    labels: Vec<u32>,
+}
+
+/// Re-chunks a shard stream into `seq_len`-node sequences, carrying the
+/// remainder of each shard into the next so chunk boundaries are identical
+/// to the in-memory pipeline's regardless of how the dataset was sharded.
+struct Chunker {
+    stream: torchgt_data::ShardStream,
+    seq_len: usize,
+    feat_dim: usize,
+    /// Scratch global→local map (`u32::MAX` = not in chunk), sized to the
+    /// full node count and cleared after each chunk. Borrowed from the
+    /// trainer via `mem::take` and handed back by [`Chunker::into_remap`].
+    remap: Vec<u32>,
+    ids: Vec<u32>,
+    rows: Vec<Vec<u32>>,
+    labels: Vec<u32>,
+    feats: Vec<f32>,
+    exhausted: bool,
+}
+
+impl Chunker {
+    fn new(
+        stream: torchgt_data::ShardStream,
+        seq_len: usize,
+        feat_dim: usize,
+        remap: Vec<u32>,
+    ) -> Self {
+        Self {
+            stream,
+            seq_len,
+            feat_dim,
+            remap,
+            ids: Vec::new(),
+            rows: Vec::new(),
+            labels: Vec::new(),
+            feats: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    fn absorb(&mut self, shard: &Shard) {
+        for local in 0..shard.node_count {
+            self.ids.push((shard.node_start + local) as u32);
+            self.rows.push(shard.neighbors(local).to_vec());
+        }
+        self.labels.extend_from_slice(&shard.labels);
+        self.feats.extend_from_slice(&shard.features);
+    }
+
+    fn next(&mut self) -> io::Result<Option<Chunk>> {
+        while self.rows.len() < self.seq_len && !self.exhausted {
+            match self.stream.next()? {
+                Some(shard) => self.absorb(&shard),
+                None => self.exhausted = true,
+            }
+        }
+        if self.rows.is_empty() {
+            return Ok(None);
+        }
+        let k = self.seq_len.min(self.rows.len());
+        let ids: Vec<u32> = self.ids.drain(..k).collect();
+        let rows: Vec<Vec<u32>> = self.rows.drain(..k).collect();
+        let labels: Vec<u32> = self.labels.drain(..k).collect();
+        let feats: Vec<f32> = self.feats.drain(..k * self.feat_dim).collect();
+        for (local, &g) in ids.iter().enumerate() {
+            self.remap[g as usize] = local as u32;
+        }
+        let mut row_ptr = Vec::with_capacity(k + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for row in &rows {
+            scratch.clear();
+            for &nb in row {
+                let m = self.remap[nb as usize];
+                if m != u32::MAX {
+                    scratch.push(m);
+                }
+            }
+            // Rows arrive sorted by global id; with the identity shard order
+            // the local mapping is monotonic and this sort is a no-op, but a
+            // shuffled epoch permutes the mapping.
+            scratch.sort_unstable();
+            col_idx.extend_from_slice(&scratch);
+            row_ptr.push(col_idx.len());
+        }
+        for &g in &ids {
+            self.remap[g as usize] = u32::MAX;
+        }
+        let graph = CsrGraph::from_raw(row_ptr, col_idx);
+        let mask = topology_mask(&graph, true);
+        let profile = access_profile(&mask);
+        let mut features = Tensor::zeros(k, self.feat_dim);
+        features.data_mut().copy_from_slice(&feats);
+        Ok(Some(Chunk { ids, graph, mask, profile, features, labels }))
+    }
+
+    /// Hand the scratch map back to the trainer.
+    fn into_remap(self) -> Vec<u32> {
+        self.remap
+    }
+}
+
+/// Node-level trainer fed from an on-disk sharded dataset.
+pub struct StreamingTrainer {
+    /// The run configuration.
+    pub cfg: TrainConfig,
+    /// Simulated device.
+    pub gpu: GpuSpec,
+    /// Simulated cluster.
+    pub topology: ClusterTopology,
+    /// Model shape for the cost model.
+    pub shape: ModelShape,
+    model: Box<dyn SequenceModel>,
+    opt: Adam,
+    loader: ShardLoader,
+    dataset_id: String,
+    train_mark: Vec<bool>,
+    test_mark: Vec<bool>,
+    /// Scratch global→local map shared by every chunk build.
+    remap: Vec<u32>,
+    current_beta: f64,
+    seq_len: usize,
+    epoch: usize,
+    ws: Workspace,
+    recorder: RecorderHandle,
+    allow_dataset_mismatch: bool,
+}
+
+impl StreamingTrainer {
+    /// Build a streaming trainer over an opened shard loader.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Method::TorchGt`] — its cluster-aware reordering is a
+    /// global permutation and cannot stream shard-by-shard (callers such as
+    /// `TorchGtBuilder::build_streaming` surface this as a typed error).
+    pub fn new(
+        cfg: TrainConfig,
+        loader: ShardLoader,
+        model: Box<dyn SequenceModel>,
+        shape: ModelShape,
+        gpu: GpuSpec,
+        topology: ClusterTopology,
+    ) -> Self {
+        assert!(
+            cfg.method != Method::TorchGt,
+            "TorchGT's global cluster reorder cannot stream; use a GP-* method (e.g. gp-sparse)"
+        );
+        let m = loader.manifest();
+        let n = m.total_nodes as usize;
+        let split = Split::standard(n, m.seed ^ DatasetKind::SPLIT_SEED_XOR);
+        let mut train_mark = vec![false; n];
+        let mut test_mark = vec![false; n];
+        for &v in &split.train {
+            train_mark[v as usize] = true;
+        }
+        for &v in &split.test {
+            test_mark[v as usize] = true;
+        }
+        let current_beta =
+            cfg.beta_thre.unwrap_or_else(|| AutoTuner::new(loader.manifest().beta_g(), 10).beta_thre());
+        let seq_len = cfg.seq_len.min(n).max(1);
+        let dataset_id = loader.hash().to_string();
+        Self {
+            recorder: torchgt_obs::noop(),
+            opt: Adam::with_lr(cfg.lr),
+            dataset_id,
+            train_mark,
+            test_mark,
+            remap: vec![u32::MAX; n],
+            current_beta,
+            seq_len,
+            epoch: 0,
+            ws: Workspace::new(),
+            model,
+            loader,
+            cfg,
+            gpu,
+            topology,
+            shape,
+            allow_dataset_mismatch: false,
+        }
+    }
+
+    /// Route observability signals to `recorder` — the trainer's spans and
+    /// traces plus the loader's prefetch gauges.
+    pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        if recorder.enabled() {
+            recorder.gauge_set("beta_thre", self.current_beta);
+        }
+        self.loader.attach_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Identity hash of the dataset being streamed.
+    pub fn dataset_id(&self) -> &str {
+        &self.dataset_id
+    }
+
+    /// The shard loader driving this trainer (prefetch stats live here).
+    pub fn loader(&self) -> &ShardLoader {
+        &self.loader
+    }
+
+    /// Graph sparsity β_G, from the manifest — no shard reads needed.
+    pub fn beta_g(&self) -> f64 {
+        self.loader.manifest().beta_g()
+    }
+
+    /// Accept snapshots whose dataset identity differs from the loaded
+    /// dataset (the `--allow-dataset-mismatch` escape hatch).
+    pub fn set_allow_dataset_mismatch(&mut self, allow: bool) {
+        self.allow_dataset_mismatch = allow;
+    }
+
+    /// The model under training.
+    pub fn model_mut(&mut self) -> &mut dyn SequenceModel {
+        self.model.as_mut()
+    }
+
+    fn layout(&self) -> LayoutKind {
+        match self.cfg.method {
+            Method::GpRaw => LayoutKind::Dense,
+            Method::GpFlash => LayoutKind::Flash,
+            Method::GpSparse => LayoutKind::Topology,
+            Method::TorchGt => unreachable!("rejected at construction"),
+        }
+    }
+
+    fn step_spec(&self, seq_len: usize, profile: AccessProfile) -> StepSpec {
+        StepSpec {
+            gpu: self.gpu,
+            topology: self.topology,
+            shape: self.shape,
+            layout: self.layout(),
+            seq_len,
+            profile,
+        }
+    }
+
+    /// Local positions of a chunk's nodes that carry the given split marks.
+    fn positions(ids: &[u32], marks: &[bool]) -> Vec<u32> {
+        ids.iter()
+            .enumerate()
+            .filter(|(_, &g)| marks[g as usize])
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Run one training epoch from disk.
+    pub fn train_epoch(&mut self) -> EpochStats {
+        let t0 = Instant::now();
+        let on = self.recorder.enabled();
+        let _epoch_span = SpanGuard::new(&self.recorder, "train_epoch");
+        self.model.set_training(true);
+        let mut total_loss = 0.0f32;
+        let mut sim_seconds = 0.0f64;
+        let (mut fwd_total, mut bwd_total, mut opt_total) = (0.0f64, 0.0f64, 0.0f64);
+        let mut nseq = 0usize;
+        let stream = self.loader.stream_epoch(self.epoch);
+        let feat_dim = self.loader.manifest().feat_dim as usize;
+        let mut chunker =
+            Chunker::new(stream, self.seq_len, feat_dim, std::mem::take(&mut self.remap));
+        loop {
+            let chunk = match chunker.next() {
+                Ok(Some(c)) => c,
+                Ok(None) => break,
+                Err(e) => panic!("out-of-core shard stream failed mid-epoch: {e}"),
+            };
+            let si = nseq;
+            nseq += 1;
+            let seq_len = chunk.ids.len();
+            let train_pos = Self::positions(&chunk.ids, &self.train_mark);
+            let pattern = match self.cfg.method {
+                Method::GpRaw => Pattern::Dense,
+                Method::GpFlash => Pattern::Flash,
+                _ => Pattern::Sparse(&chunk.mask),
+            };
+            let batch =
+                SequenceBatch { features: &chunk.features, graph: &chunk.graph, spd: None };
+            let ws0 = on.then(|| self.ws.stats());
+            let mut mark = on.then(Instant::now);
+            let mut logits = self.model.forward_ws(&batch, pattern, &mut self.ws);
+            apply_precision(&mut logits, self.cfg.precision);
+            let (l, dlogits) = loss::masked_softmax_cross_entropy_ws(
+                &logits,
+                &chunk.labels,
+                &train_pos,
+                &mut self.ws,
+            );
+            total_loss += l;
+            let forward_s = lap(&mut mark);
+            self.model.backward_ws(&batch, pattern, &dlogits, &mut self.ws);
+            self.ws.give(dlogits);
+            self.ws.give(logits);
+            let backward_s = lap(&mut mark);
+            if self.cfg.warmup_steps > 0 {
+                let schedule = torchgt_tensor::optim::WarmupSchedule {
+                    peak_lr: self.cfg.lr,
+                    warmup: self.cfg.warmup_steps as u64,
+                };
+                self.opt.set_lr(schedule.lr_at(self.opt.steps() + 1));
+            }
+            self.opt.step(&mut self.model.params_mut());
+            if self.cfg.precision == Precision::Bf16 {
+                for p in self.model.params_mut() {
+                    for v in p.value.data_mut() {
+                        *v = bf16_round(*v);
+                    }
+                }
+            }
+            let optim_s = lap(&mut mark);
+            let sim_s = iteration_cost(&self.step_spec(seq_len, chunk.profile)).total();
+            sim_seconds += sim_s;
+            if on {
+                fwd_total += forward_s;
+                bwd_total += backward_s;
+                opt_total += optim_s;
+                let ws1 = self.ws.stats();
+                let ws0 = ws0.expect("stats snapshot taken when recorder is on");
+                self.recorder
+                    .gauge_set("alloc_bytes", (ws1.alloc_bytes - ws0.alloc_bytes) as f64);
+                self.recorder
+                    .gauge_set("arena_reuse_hits", (ws1.reuse_hits - ws0.reuse_hits) as f64);
+                let traffic = all_to_all_traffic(&self.step_spec(seq_len, chunk.profile));
+                self.recorder.collective(
+                    "all_to_all",
+                    traffic.ops,
+                    traffic.payload_bytes,
+                    traffic.wire_bytes,
+                );
+                self.recorder.step(StepTrace {
+                    epoch: self.epoch,
+                    step: si,
+                    seq_len,
+                    sparse: self.cfg.method == Method::GpSparse,
+                    beta_thre: self.current_beta,
+                    reform_ratio: 1.0,
+                    forward_s,
+                    backward_s,
+                    optim_s,
+                    sim_s,
+                });
+            }
+        }
+        self.remap = chunker.into_remap();
+        let mean_loss = total_loss / nseq.max(1) as f32;
+        if on && !mean_loss.is_finite() {
+            self.recorder.event(Event::loss_nonfinite(self.epoch, mean_loss as f64));
+        }
+        let (sparse_iters, full_iters) = match self.cfg.method {
+            Method::GpSparse => (nseq, 0),
+            _ => (0, nseq),
+        };
+        let mut eval_mark = on.then(Instant::now);
+        let (train_acc, test_acc) = self.evaluate();
+        let eval_s = lap(&mut eval_mark);
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = EpochStats {
+            epoch: self.epoch,
+            loss: mean_loss,
+            train_acc,
+            test_acc,
+            wall_seconds: wall,
+            sim_seconds,
+            sparse_iters,
+            full_iters,
+            beta_thre: self.current_beta,
+        };
+        if on {
+            self.recorder.counter_add("iterations", nseq as u64);
+            self.recorder.record_span("train_epoch/forward", fwd_total);
+            self.recorder.record_span("train_epoch/backward", bwd_total);
+            self.recorder.record_span("train_epoch/optim", opt_total);
+            self.recorder.epoch(EpochTrace {
+                epoch: self.epoch,
+                loss: mean_loss as f64,
+                preprocess_s: 0.0,
+                forward_s: fwd_total,
+                backward_s: bwd_total,
+                optim_s: opt_total,
+                eval_s,
+                sim_s: sim_seconds,
+                sparse_iters,
+                full_iters,
+                beta_thre: stats.beta_thre,
+            });
+        }
+        self.epoch += 1;
+        stats
+    }
+
+    /// Evaluate train/test accuracy with the method's inference pattern,
+    /// re-streaming the current epoch's chunk sequence.
+    pub fn evaluate(&mut self) -> (f64, f64) {
+        let _span = SpanGuard::new(&self.recorder, "evaluate");
+        self.model.set_training(false);
+        let mut train_hits = 0usize;
+        let mut train_total = 0usize;
+        let mut test_hits = 0usize;
+        let mut test_total = 0usize;
+        let stream = self.loader.stream_epoch(self.epoch);
+        let feat_dim = self.loader.manifest().feat_dim as usize;
+        let mut chunker =
+            Chunker::new(stream, self.seq_len, feat_dim, std::mem::take(&mut self.remap));
+        loop {
+            let chunk = match chunker.next() {
+                Ok(Some(c)) => c,
+                Ok(None) => break,
+                Err(e) => panic!("out-of-core shard stream failed during evaluation: {e}"),
+            };
+            let pattern = match self.cfg.method {
+                Method::GpRaw => Pattern::Dense,
+                Method::GpFlash => Pattern::Flash,
+                _ => Pattern::Sparse(&chunk.mask),
+            };
+            let batch =
+                SequenceBatch { features: &chunk.features, graph: &chunk.graph, spd: None };
+            let mut logits = self.model.forward_ws(&batch, pattern, &mut self.ws);
+            apply_precision(&mut logits, self.cfg.precision);
+            let train_pos = Self::positions(&chunk.ids, &self.train_mark);
+            let test_pos = Self::positions(&chunk.ids, &self.test_mark);
+            let acc_of =
+                |positions: &[u32]| loss::accuracy(&logits, &chunk.labels, Some(positions));
+            train_hits += (acc_of(&train_pos) * train_pos.len() as f64).round() as usize;
+            train_total += train_pos.len();
+            test_hits += (acc_of(&test_pos) * test_pos.len() as f64).round() as usize;
+            test_total += test_pos.len();
+            self.ws.give(logits);
+        }
+        self.remap = chunker.into_remap();
+        self.model.set_training(true);
+        (
+            train_hits as f64 / train_total.max(1) as f64,
+            test_hits as f64 / test_total.max(1) as f64,
+        )
+    }
+
+    /// Train for the configured number of epochs.
+    pub fn run(&mut self) -> Vec<EpochStats> {
+        (0..self.cfg.epochs).map(|_| self.train_epoch()).collect()
+    }
+}
+
+impl crate::traits::Trainer for StreamingTrainer {
+    fn cfg(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        StreamingTrainer::attach_recorder(self, recorder);
+    }
+
+    fn train_epoch(&mut self) -> EpochStats {
+        StreamingTrainer::train_epoch(self)
+    }
+
+    fn evaluate(&mut self) -> (f64, f64) {
+        StreamingTrainer::evaluate(self)
+    }
+
+    fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    fn snapshot(&mut self) -> torchgt_ckpt::Snapshot {
+        let state = torchgt_ckpt::TrainerState {
+            epoch: self.epoch,
+            opt_steps: self.opt.steps(),
+            rng_streams: self.model.rng_state(),
+            beta_thre: Some(self.current_beta),
+            tuner: None,
+            scheduler: None,
+            epoch_losses: Vec::new(),
+        };
+        crate::resume::capture_model(self.model.as_mut(), state)
+            .with_dataset_id(self.dataset_id.clone())
+    }
+
+    fn restore(&mut self, snapshot: &torchgt_ckpt::Snapshot) -> std::io::Result<()> {
+        if let Some(id) = &snapshot.dataset_id {
+            if id != &self.dataset_id && !self.allow_dataset_mismatch {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "snapshot was taken against dataset {id}, but the loaded dataset is {}; \
+                         pass --allow-dataset-mismatch to restore anyway",
+                        self.dataset_id
+                    ),
+                ));
+            }
+        }
+        crate::resume::restore_model(self.model.as_mut(), &mut self.opt, snapshot)?;
+        if let Some(beta) = snapshot.state.beta_thre {
+            self.current_beta = beta;
+        }
+        self.epoch = snapshot.state.epoch;
+        Ok(())
+    }
+
+    fn run(&mut self) -> Vec<EpochStats> {
+        StreamingTrainer::run(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::NodeTrainer;
+    use crate::traits::Trainer;
+    use torchgt_data::generate_to_dir;
+    use torchgt_model::{Graphormer, GraphormerConfig};
+
+    const KIND: DatasetKind = DatasetKind::OgbnArxiv;
+    const SCALE: f64 = 0.004;
+    const SEED: u64 = 11;
+
+    fn make_model(feat_dim: usize, out_dim: usize) -> Box<Graphormer> {
+        let mcfg = GraphormerConfig {
+            feat_dim,
+            hidden: 16,
+            layers: 2,
+            heads: 2,
+            ffn_mult: 2,
+            out_dim,
+            max_degree: 16,
+            max_spd: 4,
+            dropout: 0.1,
+        };
+        Box::new(Graphormer::new(mcfg, 5))
+    }
+
+    fn config(epochs: usize) -> TrainConfig {
+        let mut cfg = TrainConfig::new(Method::GpSparse, 128, epochs);
+        cfg.seed = 3;
+        cfg
+    }
+
+    fn sharded_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tgt-streaming-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        generate_to_dir(KIND, SCALE, seed, &dir, 300).unwrap();
+        dir
+    }
+
+    fn streaming(dir: &std::path::Path, epochs: usize) -> StreamingTrainer {
+        let loader = ShardLoader::open(dir).unwrap();
+        let m = loader.manifest();
+        let model = make_model(m.feat_dim as usize, m.num_classes as usize);
+        let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+        StreamingTrainer::new(
+            config(epochs),
+            loader,
+            model,
+            shape,
+            GpuSpec::rtx3090(),
+            ClusterTopology::rtx3090(1),
+        )
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_bit_for_bit() {
+        let dir = sharded_dir("parity", SEED);
+        let d = KIND.generate_node(SCALE, SEED);
+        let model = make_model(d.feat_dim, d.num_classes);
+        let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+        let mut mem = NodeTrainer::new(
+            config(2),
+            &d,
+            model,
+            shape,
+            GpuSpec::rtx3090(),
+            ClusterTopology::rtx3090(1),
+        );
+        let mut ooc = streaming(&dir, 2);
+        let mem_stats = mem.run();
+        let ooc_stats = ooc.run();
+        assert_eq!(mem_stats.len(), ooc_stats.len());
+        for (a, b) in mem_stats.iter().zip(&ooc_stats) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "epoch {} loss", a.epoch);
+            assert_eq!(a.train_acc, b.train_acc, "epoch {} train acc", a.epoch);
+            assert_eq!(a.test_acc, b.test_acc, "epoch {} test acc", a.epoch);
+            assert_eq!(a.sim_seconds, b.sim_seconds, "epoch {} sim", a.epoch);
+            assert_eq!(a.beta_thre, b.beta_thre, "epoch {} beta", a.epoch);
+            assert_eq!(
+                (a.sparse_iters, a.full_iters),
+                (b.sparse_iters, b.full_iters),
+                "epoch {} iter mix",
+                a.epoch
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_resume_continues_bit_for_bit() {
+        let dir = sharded_dir("resume", SEED);
+        let mut full = streaming(&dir, 3);
+        let full_stats = full.run();
+
+        let mut first = streaming(&dir, 3);
+        first.train_epoch();
+        let snap = Trainer::snapshot(&mut first);
+        assert_eq!(snap.dataset_id.as_deref(), Some(first.dataset_id()));
+        drop(first);
+
+        let mut second = streaming(&dir, 3);
+        Trainer::restore(&mut second, &snap).unwrap();
+        assert_eq!(second.epoch, 1);
+        let mut resumed = Vec::new();
+        while second.epoch < 3 {
+            resumed.push(second.train_epoch());
+        }
+        assert_eq!(resumed.len(), 2);
+        for (a, b) in full_stats[1..].iter().zip(&resumed) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "epoch {} loss", a.epoch);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_refuses_a_different_dataset() {
+        let dir_a = sharded_dir("id-a", SEED);
+        let dir_b = sharded_dir("id-b", SEED + 1);
+        let mut a = streaming(&dir_a, 2);
+        a.train_epoch();
+        let snap = Trainer::snapshot(&mut a);
+
+        let mut b = streaming(&dir_b, 2);
+        let err = Trainer::restore(&mut b, &snap).unwrap_err();
+        assert!(err.to_string().contains("allow-dataset-mismatch"), "{err}");
+        assert_eq!(b.epoch, 0, "failed restore must leave the trainer untouched");
+        // The escape hatch: same architecture, so the restore itself works.
+        b.set_allow_dataset_mismatch(true);
+        Trainer::restore(&mut b, &snap).unwrap();
+        assert_eq!(b.epoch, 1);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn shuffled_epochs_still_train() {
+        let dir = sharded_dir("shuffle", SEED);
+        let loader = ShardLoader::open(&dir).unwrap().with_shuffle(99);
+        let m = loader.manifest();
+        let model = make_model(m.feat_dim as usize, m.num_classes as usize);
+        let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+        let mut t = StreamingTrainer::new(
+            config(2),
+            loader,
+            model,
+            shape,
+            GpuSpec::rtx3090(),
+            ClusterTopology::rtx3090(1),
+        );
+        let stats = t.run();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.loss.is_finite()));
+        assert!(stats[1].loss < stats[0].loss * 1.5, "shuffled run must still learn");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torchgt_method_is_rejected() {
+        let dir = sharded_dir("reject", SEED);
+        let loader = ShardLoader::open(&dir).unwrap();
+        let m = loader.manifest();
+        let model = make_model(m.feat_dim as usize, m.num_classes as usize);
+        let shape = ModelShape { layers: 2, hidden: 16, heads: 2 };
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            StreamingTrainer::new(
+                TrainConfig::new(Method::TorchGt, 128, 1),
+                loader,
+                model,
+                shape,
+                GpuSpec::rtx3090(),
+                ClusterTopology::rtx3090(1),
+            )
+        }));
+        assert!(res.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -246,6 +246,7 @@ fn freeze_inner(
         f32_acc,
         frozen_acc: 0.0,
         dataset: None,
+        dataset_manifest_hash: None,
     };
     let mut exec = FrozenExecutor::new(&frozen)
         .map_err(|e| FreezeError::Unsupported(format!("candidate executor: {e}")))?;
@@ -299,6 +300,13 @@ pub fn freeze_from_snapshot(
 /// regenerate the identical graph by seed).
 pub fn with_dataset(mut frozen: FrozenModel, dataset: DatasetRef) -> FrozenModel {
     frozen.dataset = Some(dataset);
+    frozen
+}
+
+/// Attach the identity hash of the on-disk sharded dataset the model was
+/// trained against (a `torchgt-data` manifest hash).
+pub fn with_dataset_hash(mut frozen: FrozenModel, hash: impl Into<String>) -> FrozenModel {
+    frozen.dataset_manifest_hash = Some(hash.into());
     frozen
 }
 

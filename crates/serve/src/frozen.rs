@@ -26,8 +26,12 @@ use torchgt_ckpt::crc32;
 use torchgt_model::{Gt, GtConfig, Graphormer, GraphormerConfig, SequenceModel};
 use torchgt_tensor::checkpoint::{expect_eof, read_f32s, write_f32s};
 
-/// Current frozen-artifact format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current frozen-artifact format version (2 added the dataset manifest
+/// hash).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The pre-dataset-identity revision, still accepted by the reader.
+pub const FORMAT_VERSION_V1: u32 = 1;
 
 const MAGIC: &[u8; 4] = b"TGTF";
 
@@ -118,9 +122,30 @@ torchgt_compat::json_struct! {
 }
 
 torchgt_compat::json_struct! {
-    /// The JSON manifest (private — [`FrozenModel`] is the public surface).
+    /// The version-2 JSON manifest (private — [`FrozenModel`] is the public
+    /// surface).
     #[derive(Clone, Debug, PartialEq)]
     struct FrozenManifest {
+        format_version: u32,
+        spec: ModelSpec,
+        scheme: QuantScheme,
+        act_scale: f32,
+        f32_acc: f64,
+        frozen_acc: f64,
+        dataset: Option<DatasetRef>,
+        dataset_manifest_hash: Option<String>,
+        shapes: Vec<QuantShape>,
+        payload_len: u64,
+        payload_crc: u32,
+    }
+}
+
+torchgt_compat::json_struct! {
+    /// The version-1 manifest: identical except the dataset manifest hash
+    /// does not exist (the JSON decoder errors on missing fields, so
+    /// back-compat is a separate struct rather than an optional field).
+    #[derive(Clone, Debug, PartialEq)]
+    struct FrozenManifestV1 {
         format_version: u32,
         spec: ModelSpec,
         scheme: QuantScheme,
@@ -155,6 +180,10 @@ pub struct FrozenModel {
     /// Dataset provenance, when the calibration set came from a generated
     /// dataset (lets `torchgt serve` rebuild the graph by seed).
     pub dataset: Option<DatasetRef>,
+    /// Identity hash of the on-disk sharded dataset the model was trained
+    /// against (a `torchgt-data` manifest hash; `None` for in-memory
+    /// datasets and version-1 files).
+    pub dataset_manifest_hash: Option<String>,
 }
 
 impl FrozenModel {
@@ -184,6 +213,7 @@ impl FrozenModel {
             f32_acc: self.f32_acc,
             frozen_acc: self.frozen_acc,
             dataset: self.dataset.clone(),
+            dataset_manifest_hash: self.dataset_manifest_hash.clone(),
             shapes: self
                 .tensors
                 .iter()
@@ -216,9 +246,9 @@ impl FrozenModel {
         let mut buf8 = [0u8; 8];
         r.read_exact(&mut buf4)?;
         let version = u32::from_le_bytes(buf4);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
             return Err(bad(format!(
-                "unsupported frozen-model format version {version} (expected {FORMAT_VERSION})"
+                "unsupported frozen-model format version {version} (expected {FORMAT_VERSION_V1} or {FORMAT_VERSION})"
             )));
         }
         r.read_exact(&mut buf8)?;
@@ -235,8 +265,29 @@ impl FrozenModel {
         }
         let manifest_text = std::str::from_utf8(&manifest_bytes)
             .map_err(|_| bad("manifest is not valid UTF-8"))?;
-        let manifest: FrozenManifest = torchgt_compat::json::from_str_as(manifest_text)
-            .map_err(|e| bad(format!("manifest decode: {e}")))?;
+        // The dataset manifest hash arrived in version 2; a v1 manifest
+        // would fail the v2 decoder's missing-field check, so each revision
+        // gets its own decode path.
+        let manifest: FrozenManifest = if version == FORMAT_VERSION_V1 {
+            let v1: FrozenManifestV1 = torchgt_compat::json::from_str_as(manifest_text)
+                .map_err(|e| bad(format!("manifest decode: {e}")))?;
+            FrozenManifest {
+                format_version: v1.format_version,
+                spec: v1.spec,
+                scheme: v1.scheme,
+                act_scale: v1.act_scale,
+                f32_acc: v1.f32_acc,
+                frozen_acc: v1.frozen_acc,
+                dataset: v1.dataset,
+                dataset_manifest_hash: None,
+                shapes: v1.shapes,
+                payload_len: v1.payload_len,
+                payload_crc: v1.payload_crc,
+            }
+        } else {
+            torchgt_compat::json::from_str_as(manifest_text)
+                .map_err(|e| bad(format!("manifest decode: {e}")))?
+        };
         if manifest.format_version != version {
             return Err(bad("header/manifest version mismatch"));
         }
@@ -294,6 +345,7 @@ impl FrozenModel {
             f32_acc: manifest.f32_acc,
             frozen_acc: manifest.frozen_acc,
             dataset: manifest.dataset,
+            dataset_manifest_hash: manifest.dataset_manifest_hash,
         })
     }
 
@@ -346,6 +398,69 @@ mod tests {
             f32_acc: 0.9,
             frozen_acc: 0.895,
             dataset: Some(DatasetRef { kind: "arxiv".into(), scale: 0.002, seed: 7 }),
+            dataset_manifest_hash: Some("tgds-0123456789abcdef".into()),
+        }
+    }
+
+    /// Build the byte stream a version-1 writer produced: same framing,
+    /// manifest without the dataset_manifest_hash field.
+    fn to_v1_bytes(m: &FrozenModel) -> Vec<u8> {
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        // Reuse the v2 payload; re-frame with a v1 manifest.
+        let manifest_len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+        let payload = buf[20 + manifest_len..].to_vec();
+        let manifest = FrozenManifestV1 {
+            format_version: FORMAT_VERSION_V1,
+            spec: m.spec.clone(),
+            scheme: m.scheme,
+            act_scale: m.act_scale,
+            f32_acc: m.f32_acc,
+            frozen_acc: m.frozen_acc,
+            dataset: m.dataset.clone(),
+            shapes: m
+                .tensors
+                .iter()
+                .map(|t| QuantShape { rows: t.rows, cols: t.cols })
+                .collect(),
+            payload_len: payload.len() as u64,
+            payload_crc: crc32(&payload),
+        };
+        let manifest_bytes = torchgt_compat::json::to_string(&manifest).unwrap().into_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION_V1.to_le_bytes());
+        out.extend_from_slice(&(manifest_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&manifest_bytes).to_le_bytes());
+        out.extend_from_slice(&manifest_bytes);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn version_1_files_remain_readable() {
+        let m = fixture();
+        let back = FrozenModel::read_from(to_v1_bytes(&m).as_slice()).unwrap();
+        assert_eq!(back.spec, m.spec);
+        assert_eq!(back.tensors, m.tensors);
+        assert_eq!(back.dataset, m.dataset);
+        assert!(
+            back.dataset_manifest_hash.is_none(),
+            "v1 files predate the dataset manifest hash"
+        );
+    }
+
+    #[test]
+    fn v1_corruption_is_still_detected() {
+        let m = fixture();
+        let buf = to_v1_bytes(&m);
+        let original = FrozenModel::read_from(&buf[..]).unwrap();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            if let Ok(decoded) = FrozenModel::read_from(&bad[..]) {
+                assert_ne!(decoded, original, "v1 byte {i}: corruption silently ignored");
+            }
         }
     }
 

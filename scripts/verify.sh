@@ -182,4 +182,92 @@ awk -F'[:,]' '
     || { echo "SLO missed at or below the stated QPS in $serve_json"; exit 1; }
 echo "serve load bench: OK (slo_met at <=500 qps)"
 
+echo "== out-of-core streaming gate =="
+# Shard a papers100M-scale stand-in to disk, stream-train it, and require:
+# (1) a genuinely sharded dataset, (2) peak RSS strictly below the on-disk
+# dataset size (the out-of-core claim), (3) epoch losses bit-identical to
+# the same configuration trained fully in memory, (4) the loader's prefetch
+# gauges present and nonzero in the metrics.
+data_flags=(--method gp-sparse --epochs 2 --seq-len 128 --hidden 16
+            --layers 2 --heads 2 --seed 7)
+./target/release/torchgt_cli datagen --dataset papers100m --scale 0.002 \
+    --seed 7 --out "$scratch/shards" --shard-nodes 16384 > "$scratch/datagen.out" \
+    || { echo "datagen failed (exit $?)"; exit 1; }
+grep -q 'manifest hash: tgds-' "$scratch/datagen.out" \
+    || { echo "datagen did not announce a manifest hash"; exit 1; }
+shard_count="$(ls "$scratch/shards"/shard-*.tgds | wc -l)"
+[ "$shard_count" -ge 2 ] || { echo "expected >=2 shards, got $shard_count"; exit 1; }
+dataset_bytes="$(du -sb "$scratch/shards" | cut -f1)"
+./target/release/torchgt_cli train "${data_flags[@]}" \
+    --data-dir "$scratch/shards" \
+    --metrics "$scratch/stream.json" > "$scratch/stream.out" \
+    || { echo "out-of-core train failed (exit $?)"; exit 1; }
+peak_rss="$(grep -o 'peak rss: [0-9]*' "$scratch/stream.out" | grep -o '[0-9]*')"
+[ -n "$peak_rss" ] || { echo "streaming train did not self-report peak RSS"; exit 1; }
+awk -v r="$peak_rss" -v d="$dataset_bytes" 'BEGIN { exit !(r < d) }' \
+    || { echo "peak RSS $peak_rss >= dataset size $dataset_bytes: not out-of-core"; exit 1; }
+./target/release/torchgt_cli train "${data_flags[@]}" \
+    --dataset papers100m --scale 0.002 \
+    --metrics "$scratch/inmem.json" >/dev/null \
+    || { echo "in-memory parity train failed (exit $?)"; exit 1; }
+if [ "$(losses "$scratch/stream.json")" != "$(losses "$scratch/inmem.json")" ]; then
+    echo "streaming losses diverged from the in-memory run:"
+    diff <(losses "$scratch/stream.json") <(losses "$scratch/inmem.json") || true
+    exit 1
+fi
+for gauge in prefetch_stall_ms shard_bytes_read prefetch_buffer_depth peak_rss_bytes; do
+    grep -q "\"name\": \"$gauge\"" "$scratch/stream.json" \
+        || { echo "$gauge gauge missing from streaming metrics"; exit 1; }
+done
+stall_ms="$(grep -A1 '"name": "prefetch_stall_ms"' "$scratch/stream.json" \
+    | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*$' | head -1)"
+awk -v s="$stall_ms" 'BEGIN { exit !(s > 0) }' \
+    || { echo "prefetch_stall_ms gauge is zero — loader gauges not wired"; exit 1; }
+bytes_read="$(grep -A1 '"name": "shard_bytes_read"' "$scratch/stream.json" \
+    | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*$' | head -1)"
+awk -v b="$bytes_read" 'BEGIN { exit !(b > 0) }' \
+    || { echo "shard_bytes_read gauge is zero"; exit 1; }
+echo "out-of-core gate: OK ($shard_count shards, peak RSS $peak_rss < $dataset_bytes bytes, losses bit-identical)"
+
+echo "== dataset identity gate =="
+# A checkpoint taken against one sharded dataset must refuse to resume
+# against a different one — and the --allow-dataset-mismatch escape hatch
+# must work.
+id_flags=(--method gp-sparse --epochs 2 --seq-len 128 --hidden 16
+          --layers 2 --heads 2 --seed 7)
+./target/release/torchgt_cli datagen --dataset arxiv --scale 0.004 --seed 7 \
+    --out "$scratch/ds-a" --shard-nodes 300 >/dev/null
+./target/release/torchgt_cli datagen --dataset arxiv --scale 0.004 --seed 8 \
+    --out "$scratch/ds-b" --shard-nodes 300 >/dev/null
+set +e
+./target/release/torchgt_cli train "${id_flags[@]}" --data-dir "$scratch/ds-a" \
+    --checkpoint-dir "$scratch/id-ckpts" --checkpoint-every 1 --crash-after 1 >/dev/null
+code=$?
+set -e
+[ "$code" -eq 3 ] || { echo "expected crash exit code 3, got $code"; exit 1; }
+set +e
+./target/release/torchgt_cli train "${id_flags[@]}" --data-dir "$scratch/ds-b" \
+    --checkpoint-dir "$scratch/id-ckpts" --resume > /dev/null 2> "$scratch/id.err"
+code=$?
+set -e
+[ "$code" -ne 0 ] || { echo "resume against a different dataset must fail"; exit 1; }
+grep -q 'allow-dataset-mismatch' "$scratch/id.err" \
+    || { echo "mismatch error does not name the override flag"; exit 1; }
+./target/release/torchgt_cli train "${id_flags[@]}" --data-dir "$scratch/ds-b" \
+    --checkpoint-dir "$scratch/id-ckpts" --resume --allow-dataset-mismatch >/dev/null \
+    || { echo "--allow-dataset-mismatch resume failed (exit $?)"; exit 1; }
+echo "dataset identity gate: OK (refused mismatched resume, override works)"
+
+echo "== data loader bench =="
+# The bench asserts exact per-epoch byte accounting internally; the gate
+# requires the JSON rows with a sane stall fraction.
+cargo bench -q --offline -p torchgt-bench --bench data_loader >/dev/null
+data_json="target/experiments/BENCH_data.json"
+[ -f "$data_json" ] || { echo "$data_json missing"; exit 1; }
+awk -F'[:,]' '
+    /"stall_fraction":/ { rows += 1; if ($2 + 0 < 0 || $2 + 0 > 1) bad = 1 }
+    END { exit !(rows >= 2 && !bad) }' "$data_json" \
+    || { echo "bad or missing stall_fraction rows in $data_json"; exit 1; }
+echo "data loader bench: OK"
+
 echo "verify: OK"

@@ -12,6 +12,8 @@
 //! torchgt_cli serve  --model model.tgtf --queries 256 --qps 500
 //!                    [--zipf 1.1] [--max-batch 8] [--budget-ms 50]
 //!                    [--metrics out.json]
+//! torchgt_cli datagen --dataset papers100m --scale 0.002 --seed 7 \
+//!                    --out shards/ [--shard-nodes 16384]
 //! torchgt_cli info   --dataset arxiv            # published dataset statistics
 //! torchgt_cli maxseq [--gpus 8]                 # Fig. 9(a)-style memory limits
 //! torchgt_cli datasets                          # list available stand-ins
@@ -35,6 +37,15 @@
 //! `train --elastic` switches to the elastic data-parallel driver over
 //! `--world <P>` simulated ranks (`--lose-rank <rank>@<epoch>` scripts a
 //! permanent loss, `--min-ranks`/`--max-retries` bound the recovery ladder).
+//!
+//! `datagen` writes a sharded on-disk copy of a stand-in dataset (`TGDS`
+//! shards plus a `TGDM` manifest); `train --data-dir <dir>` then streams it
+//! shard-by-shard through a prefetching loader instead of materialising the
+//! whole graph in memory — the epoch losses are bit-identical to the
+//! in-memory path, and the run self-reports its peak RSS so scripts can
+//! assert the out-of-core claim. Checkpoints taken from a streaming run
+//! embed the dataset's manifest hash; `--resume` against a *different*
+//! dataset is refused unless `--allow-dataset-mismatch` is passed.
 //!
 //! `freeze` trains a model, then runs the post-training quantization pass:
 //! calibrate on held-out nodes, quantize per-row, and **gate** — the freeze
@@ -96,6 +107,9 @@ const TRAIN_FLAGS: &[FlagSpec] = &[
     FlagSpec::value("lr", "learning rate (default 2e-3)"),
     FlagSpec::value("backend", "kernel backend: scalar|avx2|avx512 (default auto)"),
     FlagSpec::value("metrics", "write the observability report as JSON here"),
+    FlagSpec::value("data-dir", "stream a `datagen` shard directory instead of generating in-memory"),
+    FlagSpec::switch("shuffle-shards", "out-of-core: seeded per-epoch shard order shuffle"),
+    FlagSpec::switch("allow-dataset-mismatch", "resume even if the snapshot's dataset hash differs"),
     FlagSpec::value("checkpoint-dir", "snapshot training state into this directory"),
     FlagSpec::value("checkpoint-every", "snapshot period in epochs (default 1)"),
     FlagSpec::switch("resume", "restore from the latest snapshot and continue"),
@@ -120,6 +134,7 @@ const FREEZE_FLAGS: &[FlagSpec] = &[
     FlagSpec::value("heads", "attention heads (default 8)"),
     FlagSpec::value("lr", "learning rate (default 2e-3)"),
     FlagSpec::value("backend", "kernel backend: scalar|avx2|avx512 (default auto)"),
+    FlagSpec::value("data-dir", "train on a `datagen` shard directory (embeds its manifest hash)"),
     FlagSpec::value("out", "where to write the TGTF artifact (default model.tgtf)"),
     FlagSpec::value("calib", "calibration queries from the held-out split (default 256)"),
     FlagSpec::value("scheme", "quantization width: int8|int16 (default int8)"),
@@ -143,6 +158,14 @@ const SERVE_FLAGS: &[FlagSpec] = &[
     FlagSpec::value("data-seed", "override the artifact's dataset seed"),
 ];
 
+const DATAGEN_FLAGS: &[FlagSpec] = &[
+    FlagSpec::value("dataset", "stand-in dataset to shard (try `torchgt_cli datasets`)"),
+    FlagSpec::value("scale", "dataset scale factor (default sizes to ~2k nodes)"),
+    FlagSpec::value("seed", "generator seed — fully determines dataset content (default 1)"),
+    FlagSpec::value("out", "directory for the TGDS shards + TGDM manifest (default data)"),
+    FlagSpec::value("shard-nodes", "nodes per shard (default 16384)"),
+];
+
 const SUBCOMMANDS: &[SubSpec] = &[
     SubSpec {
         name: "train",
@@ -158,6 +181,11 @@ const SUBCOMMANDS: &[SubSpec] = &[
         name: "serve",
         summary: "answer Zipf query traffic from a frozen model, micro-batched",
         flags: SERVE_FLAGS,
+    },
+    SubSpec {
+        name: "datagen",
+        summary: "write a stand-in dataset as on-disk TGDS shards for --data-dir",
+        flags: DATAGEN_FLAGS,
     },
     SubSpec {
         name: "info",
@@ -354,18 +382,103 @@ fn main() -> ExitCode {
         }
     };
     match sub.name {
-        "datasets" => {
-            println!("node-level: arxiv products papers100m amazon flickr aminer pokec");
-            println!("graph-level (via examples/benches): zinc molpcba malnet");
-            ExitCode::SUCCESS
-        }
+        "datasets" => run_datasets(),
         "info" => run_info(&flags),
         "maxseq" => run_maxseq(&flags),
+        "datagen" => run_datagen(&flags),
         "train" => run_train(&flags),
         "freeze" => run_freeze(&flags),
         "serve" => run_serve(&flags),
         _ => usage(),
     }
+}
+
+/// Every node-level stand-in with its canonical CLI alias (the inverse of
+/// [`dataset_kind`]).
+const NODE_KINDS: &[(&str, DatasetKind)] = &[
+    ("arxiv", DatasetKind::OgbnArxiv),
+    ("products", DatasetKind::OgbnProducts),
+    ("papers100m", DatasetKind::OgbnPapers100M),
+    ("amazon", DatasetKind::Amazon),
+    ("flickr", DatasetKind::Flickr),
+    ("aminer", DatasetKind::AminerCS),
+    ("pokec", DatasetKind::Pokec),
+];
+
+/// Canonical CLI alias for a node-level dataset kind.
+fn kind_alias(kind: DatasetKind) -> &'static str {
+    NODE_KINDS.iter().find(|(_, k)| *k == kind).map(|(a, _)| *a).unwrap_or("arxiv")
+}
+
+/// `datasets`: list the stand-ins with the *effective* (clamped) generation
+/// values at each dataset's default scale, so what `train`/`datagen` will
+/// actually produce is visible up front rather than the published sizes.
+fn run_datasets() -> ExitCode {
+    println!("node-level stand-ins (effective generated sizes at the default scale):");
+    println!(
+        "  {:<11} {:<17} {:>8} {:>6} {:>8} {:>11}",
+        "alias", "stand-in for", "nodes", "feats", "classes", "avg degree"
+    );
+    for &(alias, kind) in NODE_KINDS {
+        let spec = kind.spec();
+        let scale = (2000.0 / spec.nodes as f64).min(1.0);
+        let eff = kind.effective(scale);
+        println!(
+            "  {:<11} {:<17} {:>8} {:>6} {:>8} {:>11.1}",
+            alias, spec.name, eff.nodes, eff.feat_dim, eff.classes, eff.avg_degree
+        );
+    }
+    println!("graph-level (via examples/benches): zinc molpcba malnet");
+    ExitCode::SUCCESS
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` on platforms without procfs.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// `datagen`: stream a stand-in dataset to disk as TGDS shards + a TGDM
+/// manifest, announcing the effective (clamped) spec and the manifest hash.
+fn run_datagen(flags: &HashMap<String, String>) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
+        eprintln!("unknown dataset (try `torchgt_cli datasets`)");
+        return ExitCode::from(2);
+    };
+    let scale: f64 = get("scale", "")
+        .parse()
+        .unwrap_or_else(|_| (2000.0 / kind.spec().nodes as f64).min(1.0));
+    let seed: u64 = get("seed", "1").parse().unwrap_or(1);
+    let out = get("out", "data");
+    let shard_nodes: usize = get("shard-nodes", "16384").parse().unwrap_or(16384).max(1);
+    let report = match generate_to_dir(kind, scale, seed, Path::new(&out), shard_nodes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("datagen failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eff = &report.effective;
+    println!(
+        "{}-like stand-in at scale {scale}, seed {seed} (effective: {} nodes, {} feats, {} classes, avg degree {:.1})",
+        kind.spec().name,
+        eff.nodes,
+        eff.feat_dim,
+        eff.classes,
+        eff.avg_degree
+    );
+    println!(
+        "wrote {} shard(s) / {} arcs / {} bytes to {out}",
+        report.manifest.shards.len(),
+        report.manifest.total_arcs,
+        report.total_bytes
+    );
+    println!("manifest hash: {}", report.hash);
+    ExitCode::SUCCESS
 }
 
 fn run_info(flags: &HashMap<String, String>) -> ExitCode {
@@ -409,6 +522,9 @@ fn run_train(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::from(2);
     };
     let epochs: usize = get("epochs", "8").parse().unwrap_or(8);
+    if let Some(dir) = flags.get("data-dir").cloned() {
+        return run_train_streaming(flags, m, epochs, &dir, &kernel_backend);
+    }
     let (_, dataset, _, _, seed) = match generate_dataset(flags) {
         Ok(d) => d,
         Err(code) => return code,
@@ -420,9 +536,82 @@ fn run_train(flags: &HashMap<String, String>) -> ExitCode {
         Ok(t) => t,
         Err(code) => return code,
     };
-    // Dispatch through the unified Trainer abstraction — the loop below
-    // works for any trainer kind.
-    let trainer: &mut dyn Trainer = &mut node_trainer;
+    drive_trainer(flags, &mut node_trainer, epochs, &kernel_backend, false)
+}
+
+/// The `train --data-dir` path: open the sharded dataset, build a
+/// [`StreamingTrainer`] over its prefetching loader, and drive it through
+/// the same checkpoint/metrics loop as the in-memory path. Self-reports
+/// peak RSS so scripts can assert the out-of-core memory claim.
+fn run_train_streaming(
+    flags: &HashMap<String, String>,
+    m: Method,
+    epochs: usize,
+    dir: &str,
+    kernel_backend: &str,
+) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    if flags.contains_key("elastic") {
+        eprintln!("--elastic and --data-dir cannot be combined");
+        return ExitCode::from(2);
+    }
+    let seed: u64 = get("seed", "1").parse().unwrap_or(1);
+    let loader = match ShardLoader::open(Path::new(dir)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot open sharded dataset {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let loader = if flags.contains_key("shuffle-shards") { loader.with_shuffle(seed) } else { loader };
+    let man = loader.manifest();
+    println!(
+        "streaming {}-like stand-in from {dir}: {} shard(s), {} nodes, {} arcs, {} classes ({})",
+        man.kind.spec().name,
+        loader.num_shards(),
+        man.total_nodes,
+        man.total_arcs,
+        man.num_classes,
+        loader.hash()
+    );
+    let model = match get("model", "graphormer").as_str() {
+        "gt" => ModelKind::Gt,
+        _ => ModelKind::Graphormer,
+    };
+    let built = TorchGtBuilder::new(m)
+        .model(model)
+        .seq_len(get("seq-len", "512").parse().unwrap_or(512))
+        .epochs(epochs)
+        .hidden(get("hidden", "64").parse().unwrap_or(64))
+        .layers(get("layers", "3").parse().unwrap_or(3))
+        .heads(get("heads", "8").parse().unwrap_or(8))
+        .lr(get("lr", "2e-3").parse().unwrap_or(2e-3))
+        .seed(seed)
+        .build_streaming(loader);
+    let mut trainer = match built {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if flags.contains_key("allow-dataset-mismatch") {
+        trainer.set_allow_dataset_mismatch(true);
+    }
+    drive_trainer(flags, &mut trainer, epochs, kernel_backend, true)
+}
+
+/// Shared train-loop driver for any [`Trainer`]: recorder attachment,
+/// checkpointed or plain epochs, the metrics dump, and (for out-of-core
+/// runs) the peak-RSS self-report.
+fn drive_trainer(
+    flags: &HashMap<String, String>,
+    trainer: &mut dyn Trainer,
+    epochs: usize,
+    kernel_backend: &str,
+    report_rss: bool,
+) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
     let recorder = flags.get("metrics").map(|path| {
         let mem = Arc::new(MemoryRecorder::default());
         mem.event(torchgt_obs::Event::backend(&kernel_backend));
@@ -470,6 +659,14 @@ fn run_train(flags: &HashMap<String, String>) -> ExitCode {
             print_epoch(&trainer.train_epoch());
         }
     }
+    if report_rss {
+        if let Some(bytes) = peak_rss_bytes() {
+            println!("peak rss: {bytes} bytes");
+            if let Some((mem, _)) = &recorder {
+                mem.gauge_set("peak_rss_bytes", bytes as f64);
+            }
+        }
+    }
     if let Some((mem, path)) = recorder {
         let report = mem.report();
         if let Err(e) = std::fs::write(&path, report.to_json_string_pretty()) {
@@ -506,9 +703,40 @@ fn run_freeze(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
     let epochs: usize = get("epochs", "2").parse().unwrap_or(2);
-    let (_, dataset, ds_name, scale, seed) = match generate_dataset(flags) {
-        Ok(d) => d,
-        Err(code) => return code,
+    // `--data-dir` trains on the sharded on-disk dataset and embeds its
+    // manifest hash in the artifact; otherwise generate in memory as before.
+    let (dataset, prov, manifest_hash, seed) = if let Some(dir) = flags.get("data-dir") {
+        let man = match Manifest::load_dir(Path::new(dir)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot read dataset manifest in {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let dataset = match load_node_dataset(Path::new(dir)) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot load sharded dataset {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "loaded {}-like stand-in from {dir}: {} nodes, {} classes ({})",
+            man.kind.spec().name,
+            man.total_nodes,
+            man.num_classes,
+            man.hash()
+        );
+        let prov = DatasetRef { kind: kind_alias(man.kind).to_string(), scale: man.scale, seed: man.seed };
+        let hash = man.hash();
+        let seed: u64 = get("seed", "1").parse().unwrap_or(1);
+        (dataset, prov, Some(hash), seed)
+    } else {
+        let (_, dataset, ds_name, scale, seed) = match generate_dataset(flags) {
+            Ok(d) => d,
+            Err(code) => return code,
+        };
+        (dataset, DatasetRef { kind: ds_name, scale, seed }, None, seed)
     };
     let mut trainer = match build_trainer(flags, &dataset, m, epochs, seed) {
         Ok(t) => t,
@@ -528,8 +756,10 @@ fn run_freeze(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let frozen =
-        torchgt::serve::freeze::with_dataset(frozen, DatasetRef { kind: ds_name, scale, seed });
+    let mut frozen = torchgt::serve::freeze::with_dataset(frozen, prov);
+    if let Some(hash) = manifest_hash {
+        frozen = torchgt::serve::freeze::with_dataset_hash(frozen, hash);
+    }
     let out = get("out", "model.tgtf");
     if let Err(e) = frozen.save(Path::new(&out)) {
         eprintln!("cannot write frozen model to {out}: {e}");

@@ -321,6 +321,7 @@ impl Trainer for PoisonTrainer {
             state: TrainerState::basic(self.epoch, self.epoch as u64),
             params: Vec::new(),
             layout: None,
+            dataset_id: None,
         }
     }
 
