@@ -10,6 +10,8 @@
 use crate::fault::{decide, FaultPlan, FaultState, RankCrash, SALT_DELAY, SALT_DROP};
 use crate::membership::{Membership, MembershipError};
 use crate::stats::{CollectiveKind, CommStats};
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use torchgt_compat::sync::channel::{unbounded, Receiver, Sender};
 use torchgt_obs::{Event, RecorderHandle};
@@ -22,6 +24,72 @@ use torchgt_obs::{Event, RecorderHandle};
 struct Msg {
     generation: u64,
     data: Vec<f32>,
+}
+
+/// One send handed to the communicator's background worker: the wire
+/// message plus the injected fault latency already decided for it (all
+/// fault *decisions* and ledger updates happen in the issuing thread; the
+/// worker only serves the latency and pushes the message).
+struct SendJob {
+    peer: usize,
+    msg: Msg,
+    /// Total injected latency to serve before the send, microseconds.
+    sleep_us: u64,
+}
+
+/// How a collective's sends are issued. `Inline` serves injected fault
+/// latency on the calling thread before each send — the synchronous
+/// schedule every blocking method keeps. `Background` hands the sends to
+/// the communicator's worker thread so the caller can run independent
+/// compute between `*_begin` and [`PendingCollective::wait`], overlapping
+/// its own send latency the way an async NCCL launch overlaps the NIC.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IssueMode {
+    Inline,
+    Background,
+}
+
+/// An in-flight collective returned by the `*_begin` methods. The sends
+/// are already issued (over the background worker); the receives and any
+/// reduction run when [`PendingCollective::wait`] is called, which every
+/// handle **must** be — dropping one un-awaited panics loudly, because a
+/// skipped completion desynchronizes the SPMD schedule for every peer.
+///
+/// The blocking collectives are literally `begin(...).wait()` with inline
+/// issue, so waiting immediately reproduces the synchronous path
+/// bit-for-bit.
+pub struct PendingCollective<'c, T> {
+    label: &'static str,
+    complete: Option<Box<dyn FnOnce() -> T + 'c>>,
+}
+
+impl<'c, T> PendingCollective<'c, T> {
+    fn new(label: &'static str, complete: impl FnOnce() -> T + 'c) -> Self {
+        Self { label, complete: Some(Box::new(complete)) }
+    }
+
+    /// Block until the collective completes and return its result. The
+    /// result is bit-identical to the blocking call's under the same
+    /// fault plan: faults and overlap perturb the schedule, never the
+    /// numerics.
+    pub fn wait(mut self) -> T {
+        (self.complete.take().expect("PendingCollective waited twice"))()
+    }
+}
+
+impl<T> Drop for PendingCollective<'_, T> {
+    fn drop(&mut self) {
+        // Suppressed while unwinding (e.g. an injected RankCrash between
+        // begin and wait) so the original panic is not turned into an
+        // abort by a second one.
+        if self.complete.is_some() && !std::thread::panicking() {
+            panic!(
+                "PendingCollective `{}` dropped without wait(): \
+                 every begun collective must be awaited",
+                self.label
+            );
+        }
+    }
 }
 
 /// Per-rank handle for collective communication within a device group.
@@ -44,6 +112,13 @@ pub struct Communicator {
     /// Fault-injection bookkeeping shared by the whole group (`None` in a
     /// fault-free group: the common path pays one branch).
     fault: Option<Arc<FaultState>>,
+    /// Job queue of the lazily spawned background send worker (the async
+    /// `*_begin` issue path). Fault-free synchronous groups never spawn it.
+    worker: OnceCell<Sender<SendJob>>,
+    /// Sends handed to the worker and not yet on the wire. While nonzero,
+    /// inline sends are routed through the worker too, preserving per-peer
+    /// FIFO order between the two issue paths.
+    pending_sends: Arc<AtomicU64>,
 }
 
 impl Communicator {
@@ -117,22 +192,27 @@ impl Communicator {
     /// Injected per-send faults: seeded delay, deterministic straggler
     /// slowdown, and drop-with-retry. None of them changes what is
     /// ultimately delivered or its order — faults perturb the schedule,
-    /// never the numerics.
-    fn inject_send_faults(&self, peer: usize) {
-        let Some(fs) = &self.fault else { return };
+    /// never the numerics. All *decisions* and bookkeeping (send-op
+    /// allocation, straggler ledger, retry counters, obs events) happen
+    /// here in the issuing thread so the fault schedule is a pure function
+    /// of the plan regardless of issue mode; only the decided latency
+    /// (returned in microseconds) moves to the worker in background mode.
+    fn plan_send_faults(&self, peer: usize) -> u64 {
+        let Some(fs) = &self.fault else { return 0 };
         let plan: &FaultPlan = &fs.plan;
         let slow = plan.slow_rank == Some(self.global_rank) && plan.slow_delay_s > 0.0;
         if !slow && plan.delay_prob <= 0.0 && plan.drop_prob <= 0.0 {
-            return;
+            return 0;
         }
         let op = fs.next_send_op(self.global_rank);
+        let mut sleep_s = 0.0;
         if slow {
-            std::thread::sleep(std::time::Duration::from_secs_f64(plan.slow_delay_s));
+            sleep_s += plan.slow_delay_s;
             fs.add_delay_s(self.global_rank, plan.slow_delay_s);
         }
         if decide(plan.seed, self.global_rank, op, SALT_DELAY, plan.delay_prob) {
             if plan.delay_s > 0.0 {
-                std::thread::sleep(std::time::Duration::from_secs_f64(plan.delay_s));
+                sleep_s += plan.delay_s;
                 fs.add_delay_s(self.global_rank, plan.delay_s);
             }
             if self.recorder.enabled() {
@@ -148,7 +228,7 @@ impl Communicator {
             // backoff latency so no extra message ever hits the wire.
             lost += 1;
             if plan.retry_backoff_s > 0.0 {
-                std::thread::sleep(std::time::Duration::from_secs_f64(plan.retry_backoff_s));
+                sleep_s += plan.retry_backoff_s;
             }
         }
         if lost > 0 {
@@ -157,17 +237,62 @@ impl Communicator {
                 self.recorder.event(Event::fault_drop(self.global_rank, peer, op, lost));
             }
         }
+        (sleep_s * 1e6) as u64
+    }
+
+    /// The background send worker's job queue, spawned on first use. The
+    /// worker owns clones of every outbound link; it serves each job's
+    /// injected latency, then pushes the message. Dropping this
+    /// communicator closes the queue, the worker drains what is left and
+    /// exits, and only then do its link clones drop — so the "peer hung
+    /// up" crash cascade fires exactly as it does on the inline path.
+    fn worker_tx(&self) -> &Sender<SendJob> {
+        self.worker.get_or_init(|| {
+            let (tx, rx) = unbounded::<SendJob>();
+            let senders = self.senders.clone();
+            let pending = Arc::clone(&self.pending_sends);
+            std::thread::spawn(move || {
+                while let Ok(SendJob { peer, msg, sleep_us }) = rx.recv() {
+                    if sleep_us > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+                    }
+                    // A hung-up peer is reported by the receiving side of
+                    // the exchange (the blocking recv), never the worker.
+                    let _ = senders[peer].send(msg);
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                }
+            });
+            tx
+        })
+    }
+
+    /// Issue one point-to-point send in the given mode. Volume accounting
+    /// and fault bookkeeping always happen in the calling thread; only
+    /// where the injected latency is served differs between modes.
+    fn issue_send(&self, peer: usize, data: Vec<f32>, mode: IssueMode) {
+        let sleep_us = self.plan_send_faults(peer);
+        self.stats.record_bytes(data.len() * 4);
+        self.gen_stats.record_bytes(data.len() * 4);
+        let msg = Msg { generation: self.generation, data };
+        let background = mode == IssueMode::Background
+            || self.pending_sends.load(Ordering::Acquire) > 0;
+        if background {
+            self.pending_sends.fetch_add(1, Ordering::AcqRel);
+            self.worker_tx()
+                .send(SendJob { peer, msg, sleep_us })
+                .expect("send worker hung up");
+        } else {
+            if sleep_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+            }
+            self.senders[peer].send(msg).expect("peer hung up");
+        }
     }
 
     /// Point-to-point send (building block for custom collective
     /// algorithms, e.g. [`crate::hierarchical`]). `peer` is a dense rank.
     pub fn send_to(&self, peer: usize, data: Vec<f32>) {
-        self.inject_send_faults(peer);
-        self.stats.record_bytes(data.len() * 4);
-        self.gen_stats.record_bytes(data.len() * 4);
-        self.senders[peer]
-            .send(Msg { generation: self.generation, data })
-            .expect("peer hung up");
+        self.issue_send(peer, data, IssueMode::Inline);
     }
 
     /// Point-to-point receive, blocking (FIFO per peer). Panics on a
@@ -184,9 +309,15 @@ impl Communicator {
         msg.data
     }
 
-    /// All-to-all: `chunks[j]` goes to rank `j`; returns the chunks received
-    /// from every rank (own chunk passed through untouched).
-    pub fn all_to_all(&self, mut chunks: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    /// Shared issue path of [`Communicator::all_to_all`] and
+    /// [`Communicator::all_to_all_begin`]: account, then send every chunk
+    /// in rank order; the returned handle's completion receives in rank
+    /// order, so the assembled result is identical in both modes.
+    fn all_to_all_issue(
+        &self,
+        mut chunks: Vec<Vec<f32>>,
+        mode: IssueMode,
+    ) -> PendingCollective<'_, Vec<Vec<f32>>> {
         assert_eq!(chunks.len(), self.world, "all_to_all needs one chunk per rank");
         let payload: usize = chunks.iter().map(|c| c.len() * 4).sum();
         let wire = payload - chunks[self.rank].len() * 4;
@@ -194,90 +325,179 @@ impl Communicator {
         let own = std::mem::take(&mut chunks[self.rank]);
         for (j, chunk) in chunks.into_iter().enumerate() {
             if j != self.rank {
-                self.send_to(j, chunk);
+                self.issue_send(j, chunk, mode);
             }
         }
-        let mut out: Vec<Vec<f32>> = (0..self.world).map(|_| Vec::new()).collect();
-        out[self.rank] = own;
+        PendingCollective::new("all_to_all", move || {
+            let mut out: Vec<Vec<f32>> = (0..self.world).map(|_| Vec::new()).collect();
+            out[self.rank] = own;
+            for j in 0..self.world {
+                if j != self.rank {
+                    out[j] = self.recv_from(j);
+                }
+            }
+            out
+        })
+    }
+
+    /// All-to-all: `chunks[j]` goes to rank `j`; returns the chunks received
+    /// from every rank (own chunk passed through untouched).
+    pub fn all_to_all(&self, chunks: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        self.all_to_all_issue(chunks, IssueMode::Inline).wait()
+    }
+
+    /// Begin an asynchronous all-to-all: the sends are handed to the
+    /// background worker and the call returns immediately; run independent
+    /// compute, then [`PendingCollective::wait`] for the received chunks.
+    pub fn all_to_all_begin(&self, chunks: Vec<Vec<f32>>) -> PendingCollective<'_, Vec<Vec<f32>>> {
+        self.all_to_all_issue(chunks, IssueMode::Background)
+    }
+
+    /// Shared issue path of the blocking and async all-gather.
+    fn all_gather_issue(
+        &self,
+        data: Vec<f32>,
+        mode: IssueMode,
+    ) -> PendingCollective<'_, Vec<Vec<f32>>> {
+        let bytes = data.len() * 4;
+        self.account(CollectiveKind::AllGather, bytes * self.world, bytes * (self.world - 1));
         for j in 0..self.world {
             if j != self.rank {
-                out[j] = self.recv_from(j);
+                self.issue_send(j, data.clone(), mode);
             }
         }
-        out
+        PendingCollective::new("all_gather", move || {
+            let mut out: Vec<Vec<f32>> = (0..self.world).map(|_| Vec::new()).collect();
+            out[self.rank] = data;
+            for j in 0..self.world {
+                if j != self.rank {
+                    out[j] = self.recv_from(j);
+                }
+            }
+            out
+        })
     }
 
     /// All-gather: every rank contributes `data`; returns all contributions
     /// indexed by rank.
     pub fn all_gather(&self, data: Vec<f32>) -> Vec<Vec<f32>> {
-        let bytes = data.len() * 4;
-        self.account(CollectiveKind::AllGather, bytes * self.world, bytes * (self.world - 1));
-        for j in 0..self.world {
-            if j != self.rank {
-                self.send_to(j, data.clone());
+        self.all_gather_issue(data, IssueMode::Inline).wait()
+    }
+
+    /// Begin an asynchronous all-gather (see
+    /// [`Communicator::all_to_all_begin`] for the begin/wait contract).
+    pub fn all_gather_begin(&self, data: Vec<f32>) -> PendingCollective<'_, Vec<Vec<f32>>> {
+        self.all_gather_issue(data, IssueMode::Background)
+    }
+
+    /// Shared issue path of the blocking and async all-reduce. The
+    /// completion folds the gathered parts in rank order — the same fold
+    /// the blocking path runs, so overlap never perturbs the sum.
+    fn all_reduce_issue(&self, data: Vec<f32>, mode: IssueMode) -> PendingCollective<'_, Vec<f32>> {
+        // Wire volume lands on the underlying all-gather's ledger.
+        self.account(CollectiveKind::AllReduce, data.len() * 4, 0);
+        let gather = self.all_gather_issue(data, mode);
+        PendingCollective::new("all_reduce", move || {
+            let parts = gather.wait();
+            let len = parts[0].len();
+            let mut acc = vec![0.0f32; len];
+            for part in parts {
+                debug_assert_eq!(part.len(), len);
+                for (a, v) in acc.iter_mut().zip(part) {
+                    *a += v;
+                }
             }
-        }
-        let mut out: Vec<Vec<f32>> = (0..self.world).map(|_| Vec::new()).collect();
-        out[self.rank] = data;
-        for j in 0..self.world {
-            if j != self.rank {
-                out[j] = self.recv_from(j);
-            }
-        }
-        out
+            acc
+        })
     }
 
     /// All-reduce (sum): element-wise sum of every rank's `data`.
     pub fn all_reduce_sum(&self, data: Vec<f32>) -> Vec<f32> {
-        // Wire volume lands on the underlying all-gather's ledger.
-        self.account(CollectiveKind::AllReduce, data.len() * 4, 0);
-        let parts = self.all_gather(data);
-        let len = parts[0].len();
-        let mut acc = vec![0.0f32; len];
-        for part in parts {
-            debug_assert_eq!(part.len(), len);
-            for (a, v) in acc.iter_mut().zip(part) {
-                *a += v;
+        self.all_reduce_issue(data, IssueMode::Inline).wait()
+    }
+
+    /// Begin an asynchronous all-reduce (sum); `wait()` returns the
+    /// element-wise sum of every rank's `data`.
+    pub fn all_reduce_begin(&self, data: Vec<f32>) -> PendingCollective<'_, Vec<f32>> {
+        self.all_reduce_issue(data, IssueMode::Background)
+    }
+
+    /// Shared issue path of the blocking and async reduce-scatter.
+    fn reduce_scatter_issue(
+        &self,
+        chunks: Vec<Vec<f32>>,
+        mode: IssueMode,
+    ) -> PendingCollective<'_, Vec<f32>> {
+        // Wire volume lands on the underlying all-to-all's ledger.
+        self.account(CollectiveKind::ReduceScatter, chunks.iter().map(|c| c.len() * 4).sum(), 0);
+        let scatter = self.all_to_all_issue(chunks, mode);
+        PendingCollective::new("reduce_scatter", move || {
+            let received = scatter.wait();
+            let len = received[0].len();
+            let mut acc = vec![0.0f32; len];
+            for part in received {
+                for (a, v) in acc.iter_mut().zip(part) {
+                    *a += v;
+                }
             }
-        }
-        acc
+            acc
+        })
     }
 
     /// Reduce-scatter (sum): `chunks[j]` is this rank's contribution to rank
     /// `j`'s result; returns the element-wise sum of chunk `rank` across all
     /// ranks.
     pub fn reduce_scatter_sum(&self, chunks: Vec<Vec<f32>>) -> Vec<f32> {
-        // Wire volume lands on the underlying all-to-all's ledger.
-        self.account(CollectiveKind::ReduceScatter, chunks.iter().map(|c| c.len() * 4).sum(), 0);
-        let received = self.all_to_all(chunks);
-        let len = received[0].len();
-        let mut acc = vec![0.0f32; len];
-        for part in received {
-            for (a, v) in acc.iter_mut().zip(part) {
-                *a += v;
-            }
-        }
-        acc
+        self.reduce_scatter_issue(chunks, IssueMode::Inline).wait()
     }
 
-    /// Broadcast from `root`: the root passes `Some(data)`, everyone else
-    /// `None`; all ranks return the root's data.
-    pub fn broadcast(&self, root: usize, data: Option<Vec<f32>>) -> Vec<f32> {
+    /// Begin an asynchronous reduce-scatter (sum).
+    pub fn reduce_scatter_begin(&self, chunks: Vec<Vec<f32>>) -> PendingCollective<'_, Vec<f32>> {
+        self.reduce_scatter_issue(chunks, IssueMode::Background)
+    }
+
+    /// Shared issue path of the blocking and async broadcast. On the root
+    /// the sends go out at begin; on every other rank the *receive* is the
+    /// whole collective, so both the data movement and its accounting run
+    /// at `wait()` — exactly the blocking schedule when waited immediately.
+    fn broadcast_issue(
+        &self,
+        root: usize,
+        data: Option<Vec<f32>>,
+        mode: IssueMode,
+    ) -> PendingCollective<'_, Vec<f32>> {
         if self.rank == root {
             let data = data.expect("root must supply data");
             let bytes = data.len() * 4;
             self.account(CollectiveKind::Broadcast, bytes, bytes * (self.world - 1));
             for j in 0..self.world {
                 if j != root {
-                    self.send_to(j, data.clone());
+                    self.issue_send(j, data.clone(), mode);
                 }
             }
-            data
+            PendingCollective::new("broadcast", move || data)
         } else {
-            let data = self.recv_from(root);
-            self.account(CollectiveKind::Broadcast, data.len() * 4, 0);
-            data
+            PendingCollective::new("broadcast", move || {
+                let data = self.recv_from(root);
+                self.account(CollectiveKind::Broadcast, data.len() * 4, 0);
+                data
+            })
         }
+    }
+
+    /// Broadcast from `root`: the root passes `Some(data)`, everyone else
+    /// `None`; all ranks return the root's data.
+    pub fn broadcast(&self, root: usize, data: Option<Vec<f32>>) -> Vec<f32> {
+        self.broadcast_issue(root, data, IssueMode::Inline).wait()
+    }
+
+    /// Begin an asynchronous broadcast from `root`.
+    pub fn broadcast_begin(
+        &self,
+        root: usize,
+        data: Option<Vec<f32>>,
+    ) -> PendingCollective<'_, Vec<f32>> {
+        self.broadcast_issue(root, data, IssueMode::Background)
     }
 
     /// Barrier: no rank proceeds until all ranks arrive.
@@ -328,6 +548,11 @@ pub struct StragglerReport {
     pub delay_s: f64,
     /// Median injected delay across the live ranks, seconds.
     pub median_s: f64,
+    /// How many times the median this rank's delay measured
+    /// (`delay_s / median_s`, clamped to a finite value when the median
+    /// is zero) — the observed severity, as opposed to the configured
+    /// watchdog threshold.
+    pub measured_multiple: f64,
 }
 
 /// A group of simulated devices. [`DeviceGroup::run`] executes one closure
@@ -494,13 +719,30 @@ impl DeviceGroup {
         let mut flagged = Vec::new();
         for (&rank, &delay_s) in live.iter().zip(&delays) {
             if delay_s > 0.0 && delay_s > multiple * median {
+                let measured = delay_s / median.max(f64::EPSILON);
                 if self.recorder.enabled() {
-                    self.recorder.event(Event::straggler(rank, delay_s, median, multiple));
+                    self.recorder.event(Event::straggler(rank, delay_s, median, multiple, measured));
                 }
-                flagged.push(StragglerReport { rank, delay_s, median_s: median });
+                flagged.push(StragglerReport {
+                    rank,
+                    delay_s,
+                    median_s: median,
+                    measured_multiple: measured,
+                });
             }
         }
         flagged
+    }
+
+    /// Injected send delay accumulated by every live rank since the last
+    /// run started, seconds: `(global_rank, delay_s)` pairs. This is the
+    /// same ledger the straggler watchdog reads — exposed so closed-loop
+    /// policies (the runtime's `StepLedger`) can fold comm-side slowness
+    /// into per-rank step-time estimates. Empty when no fault plan is
+    /// installed.
+    pub fn injected_delays(&self) -> Vec<(usize, f64)> {
+        let Some(fs) = &self.fault else { return Vec::new() };
+        self.membership.live_ranks().iter().map(|&r| (r, fs.delay_s(r))).collect()
     }
 
     /// Build the channel mesh over the live ranks and one [`Communicator`]
@@ -548,6 +790,8 @@ impl DeviceGroup {
                 gen_stats: Arc::clone(&self.gen_stats),
                 recorder: Arc::clone(&self.recorder),
                 fault: self.fault.clone(),
+                worker: OnceCell::new(),
+                pending_sends: Arc::new(AtomicU64::new(0)),
             });
         }
         comms
@@ -1054,6 +1298,97 @@ mod tests {
         let flagged = group.detect_stragglers(2.0);
         assert_eq!(flagged.len(), 1);
         assert_eq!(flagged[0].rank, 3, "the flagged id is the stable global rank");
+    }
+
+    #[test]
+    fn async_begin_wait_matches_blocking_collectives() {
+        // Every collective issued asynchronously, with unrelated compute
+        // between begin and wait, must deliver exactly what the blocking
+        // call delivers — and account the same ops and volume.
+        let run = |asynchronous: bool| {
+            let group = DeviceGroup::new(4);
+            let results = group.run(|comm| {
+                let r = comm.rank() as f32;
+                let chunks: Vec<Vec<f32>> = (0..4).map(|j| vec![r * 10.0 + j as f32]).collect();
+                let bcast = if comm.rank() == 1 { Some(vec![5.0, 6.0]) } else { None };
+                if asynchronous {
+                    let a2a = comm.all_to_all_begin(chunks);
+                    let red = comm.all_reduce_begin(vec![r, 1.0]);
+                    let bc = comm.broadcast_begin(1, bcast);
+                    // Unrelated compute between begin and wait.
+                    let busy: f32 = (0..64).map(|i| i as f32).sum();
+                    assert_eq!(busy, 2016.0);
+                    (a2a.wait(), red.wait(), bc.wait())
+                } else {
+                    (
+                        comm.all_to_all(chunks),
+                        comm.all_reduce_sum(vec![r, 1.0]),
+                        comm.broadcast(1, bcast),
+                    )
+                }
+            });
+            (results, group.stats().bytes_sent())
+        };
+        let (sync_results, sync_bytes) = run(false);
+        let (async_results, async_bytes) = run(true);
+        assert_eq!(sync_results, async_results);
+        assert_eq!(sync_bytes, async_bytes);
+    }
+
+    #[test]
+    fn async_faulty_run_matches_clean_sync_run() {
+        // Delays and drops on the background issue path must not change
+        // delivered data either.
+        let mut group = DeviceGroup::new(3);
+        group.set_fault_plan(Some(FaultPlan {
+            seed: 13,
+            delay_prob: 0.4,
+            delay_s: 0.0004,
+            drop_prob: 0.4,
+            max_retries: 2,
+            retry_backoff_s: 0.0004,
+            ..FaultPlan::default()
+        }));
+        let faulty = group.run(|comm| {
+            let pending = comm.all_reduce_begin(vec![comm.rank() as f32, 3.0]);
+            pending.wait()
+        });
+        let clean = DeviceGroup::new(3).run(|comm| comm.all_reduce_sum(vec![comm.rank() as f32, 3.0]));
+        assert_eq!(faulty, clean);
+        assert!(group.stats().retries() > 0, "drop plan should have caused retries");
+    }
+
+    #[test]
+    fn inline_send_after_background_begin_keeps_fifo_order() {
+        // A point-to-point send issued while an async collective is still
+        // in flight must not overtake the collective's queued sends.
+        let group = DeviceGroup::new(2);
+        let results = group.run(|comm| {
+            let peer = 1 - comm.rank();
+            let gather = comm.all_gather_begin(vec![comm.rank() as f32]);
+            comm.send_to(peer, vec![42.0]);
+            let gathered = gather.wait();
+            let p2p = comm.recv_from(peer);
+            (gathered, p2p)
+        });
+        for (gathered, p2p) in results {
+            assert_eq!(gathered, vec![vec![0.0], vec![1.0]]);
+            assert_eq!(p2p, vec![42.0]);
+        }
+    }
+
+    #[test]
+    fn dropping_pending_collective_without_wait_panics_loudly() {
+        let group = DeviceGroup::new(1);
+        let results = group.try_run(|comm| {
+            let pending = comm.all_reduce_begin(vec![1.0]);
+            drop(pending);
+        });
+        assert!(
+            matches!(&results[0], Err(RankFailure::Panic(m)) if m.contains("dropped without wait()")),
+            "un-awaited handle must panic loudly, got {:?}",
+            results[0]
+        );
     }
 
     #[test]

@@ -15,9 +15,9 @@ pub mod interconnect;
 pub mod membership;
 pub mod stats;
 
-pub use collectives::{Communicator, DeviceGroup, RankFailure, StragglerReport};
+pub use collectives::{Communicator, DeviceGroup, PendingCollective, RankFailure, StragglerReport};
 pub use fault::{CrashPoint, FaultPlan, RankCrash};
 pub use hierarchical::{hierarchical_all_to_all, hierarchical_advantage};
-pub use interconnect::{ClusterTopology, Interconnect};
+pub use interconnect::{ClusterTopology, Interconnect, InterconnectModel};
 pub use membership::{Membership, MembershipError};
 pub use stats::{CollectiveKind, CommStats};

@@ -286,8 +286,16 @@ impl Event {
 
     /// The straggler watchdog flagged `rank`: its accumulated injected
     /// send delay `delay_s` exceeds `multiple` × the group median
-    /// `median_s` (detection only — no eviction).
-    pub fn straggler(rank: usize, delay_s: f64, median_s: f64, multiple: f64) -> Self {
+    /// `median_s` (detection only — no eviction). `measured_multiple` is
+    /// the observed severity `delay_s / median_s`, as opposed to the
+    /// configured threshold `multiple`.
+    pub fn straggler(
+        rank: usize,
+        delay_s: f64,
+        median_s: f64,
+        multiple: f64,
+        measured_multiple: f64,
+    ) -> Self {
         Self {
             kind: Self::STRAGGLER.to_string(),
             fields: torchgt_compat::json!({
@@ -295,6 +303,7 @@ impl Event {
                 "delay_s": delay_s,
                 "median_s": median_s,
                 "multiple": multiple,
+                "measured_multiple": measured_multiple,
             }),
         }
     }
@@ -336,6 +345,33 @@ impl Event {
                 "ops": ops,
                 "wire_bytes": wire_bytes,
                 "bytes_sent": bytes_sent,
+            }),
+        }
+    }
+
+    /// Kind tag of [`Event::rebalance`] events.
+    pub const REBALANCE: &'static str = "rebalance";
+
+    /// The rebalance policy fired: at the end of `epoch`, generation
+    /// `generation` migrated `moved` tokens onto a new token-conserving
+    /// assignment. `imbalance_before` is the measured max/mean step-time
+    /// ratio that tripped the policy; `imbalance_after` the predicted
+    /// ratio of the new assignment under the same per-rank rates.
+    pub fn rebalance(
+        epoch: usize,
+        generation: u64,
+        moved: usize,
+        imbalance_before: f64,
+        imbalance_after: f64,
+    ) -> Self {
+        Self {
+            kind: Self::REBALANCE.to_string(),
+            fields: torchgt_compat::json!({
+                "epoch": epoch,
+                "generation": generation,
+                "moved": moved,
+                "imbalance_before": imbalance_before,
+                "imbalance_after": imbalance_after,
             }),
         }
     }
@@ -531,12 +567,18 @@ mod tests {
         let j = Event::rank_rejoined(3, 2, 4);
         assert_eq!(j.kind, Event::RANK_REJOINED);
         assert_eq!(j.num("world"), Some(4.0));
-        let st = Event::straggler(2, 0.5, 0.01, 4.0);
+        let st = Event::straggler(2, 0.5, 0.01, 4.0, 50.0);
         assert_eq!(st.kind, Event::STRAGGLER);
         assert_eq!(st.num("delay_s"), Some(0.5));
+        assert_eq!(st.num("measured_multiple"), Some(50.0));
         let g = Event::generation_rollup(0, 4, 128, 1 << 20, 1 << 21);
         assert_eq!(g.kind, Event::GENERATION_ROLLUP);
         assert_eq!(g.num("ops"), Some(128.0));
+        let rb = Event::rebalance(3, 1, 96, 2.5, 1.1);
+        assert_eq!(rb.kind, Event::REBALANCE);
+        assert_eq!(rb.num("moved"), Some(96.0));
+        assert_eq!(rb.num("imbalance_before"), Some(2.5));
+        assert_eq!(rb.num("imbalance_after"), Some(1.1));
     }
 
     #[test]

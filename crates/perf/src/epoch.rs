@@ -6,7 +6,7 @@
 use crate::gpu::GpuSpec;
 use crate::kernels;
 use crate::memory::{fits, ModelShape};
-use torchgt_comm::ClusterTopology;
+use torchgt_comm::{ClusterTopology, InterconnectModel};
 use torchgt_sparse::{AccessProfile, LayoutKind};
 
 /// A fully-specified training step for the cost model.
@@ -87,7 +87,15 @@ pub fn all_to_all_traffic(spec: &StepSpec) -> AllToAllTraffic {
 
 /// Estimate one training iteration (forward + backward + step).
 pub fn iteration_cost(spec: &StepSpec) -> IterationCost {
-    let p = spec.topology.world_size().max(1);
+    iteration_cost_with_fabric(spec, &spec.topology)
+}
+
+/// [`iteration_cost`] against an arbitrary [`InterconnectModel`] — the
+/// hook that lets analyses price a hypothetical or measured fabric
+/// instead of the spec's [`ClusterTopology`]. Passing `&spec.topology`
+/// reproduces [`iteration_cost`] exactly.
+pub fn iteration_cost_with_fabric(spec: &StepSpec, fabric: &dyn InterconnectModel) -> IterationCost {
+    let p = fabric.world_size().max(1);
     let gpu = &spec.gpu;
     let d = spec.shape.hidden;
     let l = spec.shape.layers as f64;
@@ -134,7 +142,7 @@ pub fn iteration_cost(spec: &StepSpec) -> IterationCost {
     const COMM_EXPOSED: f64 = 0.2;
     let comm = if p > 1 {
         let bytes_per_rank = 4 * spec.seq_len.div_ceil(p) * d * 4;
-        COMM_EXPOSED * l * 2.0 * 2.0 * spec.topology.all_to_all_time(bytes_per_rank)
+        COMM_EXPOSED * l * 2.0 * 2.0 * fabric.all_to_all_time(bytes_per_rank)
     } else {
         0.0
     };
@@ -143,10 +151,48 @@ pub fn iteration_cost(spec: &StepSpec) -> IterationCost {
     let param_bytes = (spec.shape.param_count() * 4) as f64;
     let mut optimizer = gpu.stream_time(4.0 * param_bytes);
     if p > 1 {
-        optimizer += spec.topology.all_reduce_time(param_bytes as usize);
+        optimizer += fabric.all_reduce_time(param_bytes as usize);
     }
 
     IterationCost { attention, other_compute, comm, optimizer, oom }
+}
+
+torchgt_compat::json_struct! {
+    /// Iteration estimate with handle-based async collectives: the exposed
+    /// relayout traffic rides behind independent shard-local compute, so
+    /// each overlappable phase costs `max(compute, comm)` instead of the
+    /// sum.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OverlapIterationCost {
+        /// The synchronous phase breakdown this estimate overlaps.
+        pub sync: IterationCost,
+        /// Exposed-communication seconds hidden behind compute.
+        pub hidden_comm: f64,
+        /// Critical-path seconds of the overlapped iteration.
+        pub total: f64,
+    }
+}
+
+/// Overlap-aware [`iteration_cost`]: attention and the optimizer
+/// serialize with the relayouts they depend on, but the projections/FFN
+/// phase is independent of the in-flight all-to-alls, so the overlapped
+/// critical path charges `max(other_compute, comm)` for that phase.
+/// Since `max(a, b) ≤ a + b`, the overlapped total never exceeds the
+/// synchronous one.
+pub fn iteration_cost_overlap(spec: &StepSpec) -> OverlapIterationCost {
+    iteration_cost_overlap_with(spec, &spec.topology)
+}
+
+/// [`iteration_cost_overlap`] against an arbitrary [`InterconnectModel`].
+pub fn iteration_cost_overlap_with(
+    spec: &StepSpec,
+    fabric: &dyn InterconnectModel,
+) -> OverlapIterationCost {
+    let sync = iteration_cost_with_fabric(spec, fabric);
+    let overlapped = sync.other_compute.max(sync.comm);
+    let hidden_comm = (sync.other_compute + sync.comm) - overlapped;
+    let total = sync.attention + sync.optimizer + overlapped;
+    OverlapIterationCost { sync, hidden_comm, total }
 }
 
 /// Simulated epoch time: `iterations × iteration`, with `tokens_total` nodes
@@ -275,5 +321,74 @@ mod tests {
         let t2 = iteration_cost(&make(2)).total();
         let ratio = t1 / t2;
         assert!(ratio > 1.5, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn overlap_never_increases_modeled_cost() {
+        // Compute-dominant, comm-dominant and single-device specs alike:
+        // the overlapped critical path is bounded by the sync total and can
+        // only hide exposed comm, never attention or the optimizer.
+        let mut specs = vec![
+            base_spec(LayoutKind::Flash, 64 << 10, dense_profile(0)),
+            base_spec(LayoutKind::ClusterSparse, 1 << 20, sparse_profile(1 << 24, 8.0)),
+        ];
+        let mut multi = base_spec(LayoutKind::Flash, 1 << 18, dense_profile(0));
+        multi.gpu = GpuSpec::a100();
+        multi.topology = ClusterTopology::a100(4);
+        specs.push(multi);
+        for spec in &specs {
+            let sync = iteration_cost(spec);
+            let ov = iteration_cost_overlap(spec);
+            assert!(ov.total <= sync.total() + 1e-12, "overlap {} > sync {}", ov.total, sync.total());
+            assert!(ov.total + ov.hidden_comm - sync.total() < 1e-9);
+            assert!(ov.hidden_comm <= sync.comm + 1e-12);
+            assert!(ov.total >= sync.attention + sync.optimizer);
+        }
+    }
+
+    #[test]
+    fn overlap_single_device_is_a_noop() {
+        let mut spec = base_spec(LayoutKind::Flash, 4096, dense_profile(0));
+        spec.topology = ClusterTopology { gpus_per_server: 1, servers: 1, ..spec.topology };
+        let ov = iteration_cost_overlap(&spec);
+        assert_eq!(ov.sync.comm, 0.0);
+        assert_eq!(ov.hidden_comm, 0.0);
+        // Same terms, different association order: equal up to rounding.
+        assert!((ov.total - iteration_cost(&spec).total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fabric_hook_reprices_the_interconnect() {
+        // A fabric hook that claims free links should zero out both the
+        // exposed comm and the optimizer's all-reduce contribution, while
+        // `&spec.topology` reproduces `iteration_cost` bit-for-bit.
+        struct FreeFabric(usize);
+        impl InterconnectModel for FreeFabric {
+            fn world_size(&self) -> usize {
+                self.0
+            }
+            fn all_to_all_time(&self, _: usize) -> f64 {
+                0.0
+            }
+            fn all_gather_time(&self, _: usize) -> f64 {
+                0.0
+            }
+            fn all_reduce_time(&self, _: usize) -> f64 {
+                0.0
+            }
+            fn reduce_scatter_time(&self, _: usize) -> f64 {
+                0.0
+            }
+        }
+        let mut spec = base_spec(LayoutKind::Flash, 1 << 18, dense_profile(0));
+        spec.gpu = GpuSpec::a100();
+        spec.topology = ClusterTopology::a100(2);
+        let sync = iteration_cost(&spec);
+        let via_hook = iteration_cost_with_fabric(&spec, &spec.topology);
+        assert_eq!(sync.total().to_bits(), via_hook.total().to_bits());
+        let free = iteration_cost_with_fabric(&spec, &FreeFabric(spec.topology.world_size()));
+        assert_eq!(free.comm, 0.0);
+        assert!(free.optimizer < sync.optimizer);
+        assert_eq!(iteration_cost_overlap_with(&spec, &FreeFabric(16)).hidden_comm, 0.0);
     }
 }

@@ -25,8 +25,9 @@ pub mod memory;
 
 pub use cache::{simulate_subblock_kernel, tune_db, Cache, KernelProfile};
 pub use epoch::{
-    all_to_all_traffic, epoch_cost, iteration_cost, throughput_tokens_per_sec, AllToAllTraffic,
-    IterationCost, StepSpec,
+    all_to_all_traffic, epoch_cost, iteration_cost, iteration_cost_overlap,
+    iteration_cost_overlap_with, iteration_cost_with_fabric, throughput_tokens_per_sec,
+    AllToAllTraffic, IterationCost, OverlapIterationCost, StepSpec,
 };
 pub use gpu::GpuSpec;
 pub use memory::{fits, max_seq_len, memory_per_gpu, ModelShape};

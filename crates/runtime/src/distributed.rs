@@ -23,7 +23,7 @@
 //! data and the snapshot carries the complete optimizer/PRNG state.
 
 use crate::config::TrainConfig;
-use crate::parallel::all_reduce_mean;
+use crate::parallel::all_reduce_mean_params;
 use crate::preprocess::prepare_node_dataset;
 use std::io;
 use torchgt_ckpt::{CheckpointStore, Snapshot, TrainerState};
@@ -110,11 +110,9 @@ where
                 counted += 1;
             }
             // Gradient all-reduce: idle ranks contribute zeros so the
-            // collective stays aligned.
-            for p in model.params_mut() {
-                let averaged = all_reduce_mean(comm, &p.grad);
-                p.grad = averaged;
-            }
+            // collective stays aligned. With overlap on, every parameter's
+            // reduce is in flight before the first is awaited.
+            all_reduce_mean_params(comm, &mut model.params_mut());
             opt.step(&mut model.params_mut());
         }
         // Average the loss across ranks for reporting.
@@ -260,10 +258,7 @@ where
                 total_loss += l;
                 counted += 1;
             }
-            for p in model.params_mut() {
-                let averaged = all_reduce_mean(comm, &p.grad);
-                p.grad = averaged;
-            }
+            all_reduce_mean_params(comm, &mut model.params_mut());
             opt.step(&mut model.params_mut());
         }
         let sums = comm.all_reduce_sum(vec![total_loss, counted as f32]);

@@ -29,7 +29,11 @@
 
 use crate::config::TrainConfig;
 use crate::distributed::DistributedStats;
-use crate::parallel::all_reduce_mean;
+use crate::parallel::all_reduce_mean_params;
+use crate::rebalance::{
+    predicted_imbalance, rank_counts, weighted_token_assignment, RebalanceController,
+    RebalancePolicy, StepLedger,
+};
 use crate::preprocess::{prepare_node_dataset, Prepared};
 use std::io;
 use torchgt_ckpt::{CheckpointStore, PartitionLayout, Snapshot, TrainerState};
@@ -190,6 +194,10 @@ torchgt_compat::json_struct! {
         pub final_world: usize,
         /// Membership generation the run finished under.
         pub generation: u64,
+        /// Watchdog straggler flags accumulated across all attempts.
+        pub stragglers_flagged: usize,
+        /// Closed-loop rebalances executed between retry attempts.
+        pub rebalances: usize,
     }
 }
 
@@ -258,6 +266,13 @@ where
     let mut shrinks = 0usize;
     let mut lost_ranks: Vec<usize> = Vec::new();
     let mut resumed_epochs: Vec<usize> = Vec::new();
+    // Closed straggler loop: watchdog reports and the per-rank delay
+    // ledger feed EWMA step-time estimates; persistent skew triggers a
+    // token-conserving reshard away from the slow rank between attempts.
+    let mut ledger = StepLedger::new(world);
+    let mut rebalancer = RebalanceController::new(RebalancePolicy::default());
+    let mut stragglers_flagged = 0usize;
+    let mut rebalances = 0usize;
     loop {
         let start = store.load_latest()?;
         if restarts > 0 {
@@ -281,9 +296,18 @@ where
                 lose,
             )
         });
-        // Straggler watchdog over the delay ledger of the attempt that just
-        // finished (detection only — flagged ranks stay in the group).
-        let _ = group.detect_stragglers(policy.straggler_multiple);
+        // Straggler watchdog over the delay ledger of the attempt that
+        // just finished: the reports (and every live rank's injected
+        // delay) feed the step ledger so detection drives the rebalance
+        // policy instead of being discarded.
+        let reports = group.detect_stragglers(policy.straggler_multiple);
+        stragglers_flagged += reports.len();
+        for (g, d) in group.injected_delays() {
+            if !reports.iter().any(|r| r.rank == g) {
+                ledger.observe(g, d);
+            }
+        }
+        ledger.observe_stragglers(&reports);
         if results.iter().all(Result::is_ok) {
             group.rollup_generation();
             let mut out = results
@@ -303,6 +327,8 @@ where
                 initial_world: world,
                 final_world: group.live_world(),
                 generation: group.generation(),
+                stragglers_flagged,
+                rebalances,
             });
         }
         restarts += 1;
@@ -366,6 +392,36 @@ where
             }
             assignment = new_assignment;
             attempts_this_gen = 0;
+        } else if rebalancer.observe(ledger.imbalance(group.membership().live_ranks())) {
+            // Plain retry with persistent measured skew: shift tokens away
+            // from the slow rank before the next attempt (token-conserving,
+            // executed online over the live group).
+            let live: Vec<usize> = group.membership().live_ranks().to_vec();
+            let counts = rank_counts(&assignment, &live);
+            let per_token = ledger.per_token_seconds(&live, &counts);
+            let weights: Vec<f64> =
+                per_token.iter().map(|&t| 1.0 / t.max(f64::EPSILON)).collect();
+            let imbalance_before = ledger.imbalance(&live);
+            let new_assignment = weighted_token_assignment(&seq_clusters, &live, &weights);
+            let outcome = reshard_exchange(&group, &assignment, &new_assignment);
+            assert!(
+                tokens_conserved(nseq, &outcome.held),
+                "rebalance reshard lost or duplicated tokens"
+            );
+            if recorder.enabled() {
+                let after =
+                    predicted_imbalance(&per_token, &rank_counts(&new_assignment, &live));
+                recorder.event(Event::rebalance(
+                    resumed_epochs.last().copied().unwrap_or(0),
+                    group.generation(),
+                    outcome.moved,
+                    imbalance_before,
+                    after,
+                ));
+            }
+            assignment = new_assignment;
+            rebalances += 1;
+            rebalancer.reset();
         }
         let wait = policy.backoff_s(restarts);
         if wait > 0.0 {
@@ -447,11 +503,10 @@ where
                 counted += 1;
             }
             // Mean over the *live* world: gradient averaging rescales to
-            // the surviving rank count automatically after a shrink.
-            for p in model.params_mut() {
-                let averaged = all_reduce_mean(comm, &p.grad);
-                p.grad = averaged;
-            }
+            // the surviving rank count automatically after a shrink. With
+            // overlap on, later parameters' reduces fly while earlier sums
+            // are folded.
+            all_reduce_mean_params(comm, &mut model.params_mut());
             opt.step(&mut model.params_mut());
         }
         let sums = comm.all_reduce_sum(vec![total_loss, counted as f32]);

@@ -23,6 +23,10 @@
 //! * [`elastic`] — degraded-mode training that survives *permanent* rank
 //!   loss: the escalation ladder (retry → restore → shrink-and-continue),
 //!   token-conserving resharding, and world-size-independent snapshots;
+//! * [`rebalance`] — closed-loop straggler rebalancing: an EWMA
+//!   [`StepLedger`] fed by measurements and the watchdog drives a
+//!   [`RebalancePolicy`] that reshards tokens away from slow ranks online,
+//!   with loss histories bit-identical to the static layout;
 //! * [`streaming`] — out-of-core training over `torchgt-data` shard
 //!   streams: bounded-memory epochs that are bit-identical to the
 //!   in-memory GP-* loops, with dataset identity enforced on restore.
@@ -36,6 +40,7 @@ pub mod graph_trainer;
 pub mod interleave;
 pub mod parallel;
 pub mod preprocess;
+pub mod rebalance;
 pub mod resume;
 pub mod streaming;
 pub mod trainer;
@@ -53,7 +58,12 @@ pub use elastic::{
 };
 pub use graph_trainer::GraphTrainer;
 pub use interleave::{Decision, InterleaveScheduler};
+pub use parallel::overlap_enabled;
 pub use preprocess::{prepare_node_dataset, Prepared, Sequence};
+pub use rebalance::{
+    train_data_parallel_rebalance, weighted_token_assignment, RebalanceController,
+    RebalancePolicy, RebalanceStats, StepLedger,
+};
 pub use resume::{run_with_checkpoints, CheckpointOptions, ResumeOutcome};
 pub use streaming::StreamingTrainer;
 pub use trainer::{EpochStats, NodeTrainer};

@@ -9,27 +9,42 @@
 //! The collectives here move real data between rank threads; the α–β model
 //! in `torchgt-comm` provides the simulated time.
 
-use torchgt_comm::{Communicator, DeviceGroup};
+use torchgt_comm::{Communicator, DeviceGroup, PendingCollective};
 use torchgt_graph::CsrGraph;
 use torchgt_model::attention;
 use torchgt_tensor::Tensor;
 
-/// Re-layout a local `[S/P, d]` shard into `[S, d/P]` (full sequence, this
-/// rank's head block) via all-to-all.
-pub fn shard_to_heads(comm: &Communicator, local: &Tensor) -> Tensor {
-    let p = comm.world_size();
-    let (s_local, d) = local.shape();
+/// Whether the runtime drivers overlap communication with independent
+/// compute (`TORCHGT_OVERLAP`, default **on**): collectives are issued with
+/// `*_begin` and awaited after the next chunk of independent work instead
+/// of blocking inline. Both modes produce bit-identical results — the env
+/// var is read live so a single process (e.g. a bench) can toggle it
+/// between passes.
+pub fn overlap_enabled() -> bool {
+    match std::env::var("TORCHGT_OVERLAP") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0" | "false" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// Column-slice a local `[S/P, d]` shard into the `P` per-peer chunks of the
+/// sequence→head relayout (chunk `j` = our rows, head-block `j`).
+fn head_chunks(local: &Tensor, p: usize) -> Vec<Vec<f32>> {
+    let (_s_local, d) = local.shape();
     assert_eq!(d % p, 0, "hidden dim must divide world size");
     let d_local = d / p;
-    // Chunk j = our rows, head-block j.
-    let chunks: Vec<Vec<f32>> = (0..p)
+    (0..p)
         .map(|j| {
             let block = local.slice_cols(j * d_local, (j + 1) * d_local);
             block.into_vec()
         })
-        .collect();
-    let received = comm.all_to_all(chunks);
-    // Received[r] = rank r's rows for our head block; stack by rank order.
+        .collect()
+}
+
+/// Stack the all-to-all results of a sequence→head relayout into the full
+/// `[S, d/P]` head shard (received[r] = rank r's rows for our head block,
+/// stacked in rank order).
+fn assemble_head_shard(received: Vec<Vec<f32>>, s_local: usize, d_local: usize) -> Tensor {
     let parts: Vec<Tensor> = received
         .into_iter()
         .map(|buf| {
@@ -39,8 +54,43 @@ pub fn shard_to_heads(comm: &Communicator, local: &Tensor) -> Tensor {
         .collect();
     let refs: Vec<&Tensor> = parts.iter().collect();
     let full = Tensor::vstack(&refs);
-    assert_eq!(full.rows(), s_local * p);
+    assert_eq!(full.rows(), s_local * parts.len());
     full
+}
+
+/// An in-flight sequence→head relayout started by [`shard_to_heads_begin`].
+/// Must be awaited; dropping it un-awaited panics (via the underlying
+/// [`PendingCollective`]).
+pub struct PendingRelayout<'c> {
+    pending: PendingCollective<'c, Vec<Vec<f32>>>,
+    s_local: usize,
+    d_local: usize,
+}
+
+impl PendingRelayout<'_> {
+    /// Complete the relayout: receive the peers' chunks and assemble the
+    /// `[S, d/P]` head shard. Bit-identical to [`shard_to_heads`].
+    pub fn wait(self) -> Tensor {
+        let (s_local, d_local) = (self.s_local, self.d_local);
+        assemble_head_shard(self.pending.wait(), s_local, d_local)
+    }
+}
+
+/// Re-layout a local `[S/P, d]` shard into `[S, d/P]` (full sequence, this
+/// rank's head block) via all-to-all.
+pub fn shard_to_heads(comm: &Communicator, local: &Tensor) -> Tensor {
+    shard_to_heads_begin(comm, local).wait()
+}
+
+/// Start the `[S/P, d] → [S, d/P]` relayout without blocking: the chunk
+/// slicing happens now, the sends go out in the background, and the caller
+/// does independent work (e.g. slicing the *next* operand) before calling
+/// [`PendingRelayout::wait`].
+pub fn shard_to_heads_begin<'c>(comm: &'c Communicator, local: &Tensor) -> PendingRelayout<'c> {
+    let p = comm.world_size();
+    let (s_local, d) = local.shape();
+    let chunks = head_chunks(local, p);
+    PendingRelayout { pending: comm.all_to_all_begin(chunks), s_local, d_local: d / p }
 }
 
 /// Inverse re-layout: `[S, d/P]` head shard back to the local `[S/P, d]`
@@ -79,11 +129,35 @@ pub fn parallel_sparse_attention(
     let p = comm.world_size();
     assert_eq!(total_heads % p, 0, "heads must divide world size");
     let heads_local = total_heads / p;
-    let q = shard_to_heads(comm, q_shard);
-    let k = shard_to_heads(comm, k_shard);
-    let v = shard_to_heads(comm, v_shard);
+    let (q, k, v) = relayout_qkv(comm, q_shard, k_shard, v_shard);
     let out = attention::sparse(&q, &k, &v, heads_local, mask, None).out;
     heads_to_shard(comm, &out)
+}
+
+/// Run the three Q/K/V sequence→head relayouts, pipelined when overlap is
+/// on: K's chunk slicing happens while Q's all-to-all is in flight, V's
+/// while K's is, and Q's assembly overlaps both. Handles are awaited in
+/// issue order, so per-peer FIFO keeps each relayout's receives matched to
+/// its sends and the assembled tensors are bit-identical to the
+/// synchronous path.
+fn relayout_qkv(
+    comm: &Communicator,
+    q_shard: &Tensor,
+    k_shard: &Tensor,
+    v_shard: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    if overlap_enabled() {
+        let qp = shard_to_heads_begin(comm, q_shard);
+        let kp = shard_to_heads_begin(comm, k_shard);
+        let vp = shard_to_heads_begin(comm, v_shard);
+        (qp.wait(), kp.wait(), vp.wait())
+    } else {
+        (
+            shard_to_heads(comm, q_shard),
+            shard_to_heads(comm, k_shard),
+            shard_to_heads(comm, v_shard),
+        )
+    }
 }
 
 /// Distributed flash attention with the same layout (for the interleaved
@@ -98,9 +172,7 @@ pub fn parallel_flash_attention(
     let p = comm.world_size();
     assert_eq!(total_heads % p, 0);
     let heads_local = total_heads / p;
-    let q = shard_to_heads(comm, q_shard);
-    let k = shard_to_heads(comm, k_shard);
-    let v = shard_to_heads(comm, v_shard);
+    let (q, k, v) = relayout_qkv(comm, q_shard, k_shard, v_shard);
     let out = attention::flash(&q, &k, &v, heads_local).out;
     heads_to_shard(comm, &out)
 }
@@ -112,6 +184,31 @@ pub fn all_reduce_mean(comm: &Communicator, grad: &Tensor) -> Tensor {
     let summed = comm.all_reduce_sum(grad.data().to_vec());
     let data = summed.into_iter().map(|v| v / p).collect();
     Tensor::from_vec(grad.rows(), grad.cols(), data)
+}
+
+/// Average every parameter gradient of `params` across ranks, in place.
+///
+/// With overlap on, the all-reduce for every parameter is *begun* before
+/// the first is awaited, so later parameters' reductions are in flight
+/// while earlier sums are folded and scaled — the optimizer-prep side of
+/// the classic overlap split. Collectives are begun and awaited in
+/// parameter order on every rank, so the per-rank collective-op sequence
+/// (and therefore any [`torchgt_comm::FaultPlan`] crash/delay schedule)
+/// is identical to the synchronous path, and the results are bit-identical.
+pub fn all_reduce_mean_params(comm: &Communicator, params: &mut [&mut torchgt_tensor::Param]) {
+    let p = comm.world_size() as f32;
+    if overlap_enabled() {
+        let pendings: Vec<PendingCollective<'_, Vec<f32>>> =
+            params.iter().map(|q| comm.all_reduce_begin(q.grad.data().to_vec())).collect();
+        for (q, pending) in params.iter_mut().zip(pendings) {
+            let data: Vec<f32> = pending.wait().into_iter().map(|v| v / p).collect();
+            q.grad = Tensor::from_vec(q.grad.rows(), q.grad.cols(), data);
+        }
+    } else {
+        for q in params.iter_mut() {
+            q.grad = all_reduce_mean(comm, &q.grad);
+        }
+    }
 }
 
 /// Run distributed sparse attention over `p` simulated ranks and reassemble

@@ -7,13 +7,15 @@ cd "$(dirname "$0")/.."
 echo "== release build (offline) =="
 cargo build --release --offline
 
-echo "== test suite (offline, detected-best kernel backend) =="
-cargo test -q --offline --workspace
+echo "== test suite (offline, detected-best kernel backend, async collectives) =="
+TORCHGT_OVERLAP=on cargo test -q --offline --workspace
 
-echo "== test suite (offline, forced scalar kernel backend) =="
-# The whole suite must also pass with SIMD dispatch pinned off: any kernel
-# whose SIMD path diverges beyond the documented tolerances fails here.
-TORCHGT_BACKEND=scalar cargo test -q --offline --workspace
+echo "== test suite (offline, forced scalar kernel backend, blocking collectives) =="
+# The whole suite must also pass with SIMD dispatch pinned off and the
+# compute/communication overlap disabled: any kernel whose SIMD path
+# diverges beyond the documented tolerances, or any training path whose
+# numerics depend on the collective issue mode, fails here.
+TORCHGT_BACKEND=scalar TORCHGT_OVERLAP=off cargo test -q --offline --workspace
 
 echo "== benches + examples compile (offline) =="
 cargo check --benches --examples --offline
@@ -98,6 +100,35 @@ final_world="$(grep -A1 '"name": "final_world"' "$scratch/elastic.json" \
 awk -v w="$final_world" 'BEGIN { exit !(w == 3) }' \
     || { echo "expected final world 3 after losing one of 4 ranks, got $final_world"; exit 1; }
 echo "elastic smoke: OK (final_world=$final_world)"
+
+echo "== overlap & rebalance gate =="
+# The async-collective toggle must be a pure wall-clock optimisation: the
+# same closed-loop rebalance run under a skewed rank (2 ms per send, ~3x
+# a token's compute at this scale) must produce bit-identical loss
+# histories with --overlap off and on, fire at least one REBALANCE event,
+# and predict a post-reshard imbalance below the measured pre-reshard one.
+rebal_flags=(--dataset arxiv --method gp-sparse --epochs 5 --scale 0.01
+             --seq-len 64 --hidden 32 --layers 2 --heads 4 --seed 7
+             --rebalance --world 3 --slow-rank 1 --slow-delay-ms 2)
+./target/release/torchgt_cli train "${rebal_flags[@]}" --overlap off \
+    --metrics "$scratch/rebal-off.json" >/dev/null \
+    || { echo "rebalance run (overlap off) failed (exit $?)"; exit 1; }
+./target/release/torchgt_cli train "${rebal_flags[@]}" --overlap on \
+    --metrics "$scratch/rebal-on.json" >/dev/null \
+    || { echo "rebalance run (overlap on) failed (exit $?)"; exit 1; }
+if [ "$(losses "$scratch/rebal-off.json")" != "$(losses "$scratch/rebal-on.json")" ]; then
+    echo "loss histories diverged between --overlap off and on:"
+    diff <(losses "$scratch/rebal-off.json") <(losses "$scratch/rebal-on.json") || true
+    exit 1
+fi
+grep -q '"kind": "rebalance"' "$scratch/rebal-on.json" \
+    || { echo "no rebalance event fired under a skewed rank"; exit 1; }
+awk -F'[:,]' '
+    /"imbalance_before":/ { pre = $2 + 0 }
+    /"imbalance_after":/ { rows += 1; if ($2 + 0 >= pre) bad = 1 }
+    END { exit !(rows >= 1 && !bad) }' "$scratch/rebal-on.json" \
+    || { echo "rebalance did not reduce the predicted imbalance"; exit 1; }
+echo "overlap & rebalance gate: OK (bit-identical losses, imbalance reduced)"
 
 echo "== kernel backend parity gate =="
 # Train the same configuration under the scalar backend and the detected
@@ -257,6 +288,21 @@ grep -q 'allow-dataset-mismatch' "$scratch/id.err" \
     --checkpoint-dir "$scratch/id-ckpts" --resume --allow-dataset-mismatch >/dev/null \
     || { echo "--allow-dataset-mismatch resume failed (exit $?)"; exit 1; }
 echo "dataset identity gate: OK (refused mismatched resume, override works)"
+
+echo "== overlap/rebalance bench =="
+# The bench asserts internally: bit-identical losses across all four
+# toggle combinations, overlap-on faster than overlap-off under skew, and
+# the closed loop faster than the static assignment on tail epochs. The
+# gate additionally requires the recorded speedups in the JSON.
+cargo bench -q --offline -p torchgt-bench --bench overlap_rebalance >/dev/null
+overlap_json="target/experiments/BENCH_overlap.json"
+[ -f "$overlap_json" ] || { echo "$overlap_json missing"; exit 1; }
+awk -F'[:,]' '
+    /"overlap_speedup":/ { if ($2 + 0 > 1.0) o = 1 }
+    /"rebalance_tail_speedup":/ { if ($2 + 0 > 1.0) r = 1 }
+    END { exit !(o && r) }' "$overlap_json" \
+    || { echo "no overlap/rebalance speedup recorded in $overlap_json"; exit 1; }
+echo "overlap/rebalance bench: OK"
 
 echo "== data loader bench =="
 # The bench asserts exact per-epoch byte accounting internally; the gate

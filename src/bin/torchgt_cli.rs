@@ -37,6 +37,10 @@
 //! `train --elastic` switches to the elastic data-parallel driver over
 //! `--world <P>` simulated ranks (`--lose-rank <rank>@<epoch>` scripts a
 //! permanent loss, `--min-ranks`/`--max-retries` bound the recovery ladder).
+//! `train --rebalance` runs the closed-loop straggler rebalancer instead
+//! (`--slow-rank <r>`/`--slow-delay-ms <ms>` inject a deterministic
+//! straggler; `--overlap on|off` toggles async collectives with
+//! compute/communication overlap — losses are bit-identical either way).
 //!
 //! `datagen` writes a sharded on-disk copy of a stand-in dataset (`TGDS`
 //! shards plus a `TGDM` manifest); `train --data-dir <dir>` then streams it
@@ -115,10 +119,14 @@ const TRAIN_FLAGS: &[FlagSpec] = &[
     FlagSpec::switch("resume", "restore from the latest snapshot and continue"),
     FlagSpec::value("crash-after", "simulate a crash after N completed epochs"),
     FlagSpec::switch("elastic", "elastic data-parallel driver over simulated ranks"),
-    FlagSpec::value("world", "elastic: initial rank count (default 4)"),
+    FlagSpec::value("world", "elastic/rebalance: initial rank count (default 4)"),
     FlagSpec::value("min-ranks", "elastic: never shrink below this (default 1)"),
     FlagSpec::value("lose-rank", "elastic: scripted permanent loss <rank>@<epoch>"),
     FlagSpec::value("max-retries", "elastic: restore attempts per generation (default 1)"),
+    FlagSpec::value("overlap", "async collectives with compute overlap: on|off (default on)"),
+    FlagSpec::switch("rebalance", "closed-loop straggler rebalancing over --world simulated ranks"),
+    FlagSpec::value("slow-rank", "inject a straggler: global rank slowed on every send"),
+    FlagSpec::value("slow-delay-ms", "per-send delay of the --slow-rank straggler (default 1)"),
 ];
 
 const FREEZE_FLAGS: &[FlagSpec] = &[
@@ -522,6 +530,15 @@ fn run_train(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::from(2);
     };
     let epochs: usize = get("epochs", "8").parse().unwrap_or(8);
+    if let Some(v) = flags.get("overlap") {
+        match v.as_str() {
+            "on" | "off" => std::env::set_var("TORCHGT_OVERLAP", v),
+            _ => {
+                eprintln!("--overlap wants on|off");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if let Some(dir) = flags.get("data-dir").cloned() {
         return run_train_streaming(flags, m, epochs, &dir, &kernel_backend);
     }
@@ -529,6 +546,13 @@ fn run_train(flags: &HashMap<String, String>) -> ExitCode {
         Ok(d) => d,
         Err(code) => return code,
     };
+    if flags.contains_key("rebalance") {
+        if flags.contains_key("elastic") {
+            eprintln!("--rebalance and --elastic cannot be combined");
+            return ExitCode::from(2);
+        }
+        return run_rebalance(flags, m, &dataset, epochs, seed);
+    }
     if flags.contains_key("elastic") {
         return run_elastic(flags, m, &dataset, epochs, seed);
     }
@@ -553,6 +577,10 @@ fn run_train_streaming(
     let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
     if flags.contains_key("elastic") {
         eprintln!("--elastic and --data-dir cannot be combined");
+        return ExitCode::from(2);
+    }
+    if flags.contains_key("rebalance") {
+        eprintln!("--rebalance and --data-dir cannot be combined");
         return ExitCode::from(2);
     }
     let seed: u64 = get("seed", "1").parse().unwrap_or(1);
@@ -916,6 +944,108 @@ fn run_serve(flags: &HashMap<String, String>) -> ExitCode {
         stats.throughput_qps, stats.max_queue_depth, stats.avg_batch_size
     );
     if let Some(path) = flags.get("metrics") {
+        let report = mem.report();
+        if let Err(e) = std::fs::write(path, report.to_json_string_pretty()) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `train --rebalance` path: data-parallel training with the
+/// closed-loop straggler rebalancer. `--slow-rank`/`--slow-delay-ms`
+/// inject a deterministic straggler for the loop to measure and shed;
+/// `--overlap` picks blocking vs handle-based async collectives — the
+/// epoch losses are bit-identical either way.
+fn run_rebalance(
+    flags: &HashMap<String, String>,
+    m: Method,
+    dataset: &NodeDataset,
+    epochs: usize,
+    seed: u64,
+) -> ExitCode {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let world: usize = get("world", "4").parse().unwrap_or(4).max(1);
+    let slow_delay_ms: f64 = get("slow-delay-ms", "1").parse().unwrap_or(1.0);
+    let plan = match flags.get("slow-rank").map(|s| s.parse::<usize>()) {
+        Some(Ok(r)) if r < world => FaultPlan::slow(r, slow_delay_ms / 1e3),
+        Some(_) => {
+            eprintln!("--slow-rank wants a rank below --world {world}");
+            return ExitCode::from(2);
+        }
+        None => FaultPlan::default(),
+    };
+    let mut cfg = TrainConfig::new(m, get("seq-len", "512").parse().unwrap_or(512), epochs);
+    cfg.lr = get("lr", "2e-3").parse().unwrap_or(2e-3);
+    cfg.seed = seed;
+    let gt = torchgt::model::GtConfig {
+        feat_dim: dataset.feat_dim,
+        hidden: get("hidden", "32").parse().unwrap_or(32),
+        layers: get("layers", "2").parse().unwrap_or(2),
+        heads: get("heads", "4").parse().unwrap_or(4),
+        ffn_mult: 4,
+        out_dim: dataset.num_classes,
+        pe_dim: 8,
+        // Dropout draws from a per-model RNG stream, so a rank's masks
+        // would depend on how many tokens it owns — rebalancing would then
+        // change the numerics. Zero keeps losses a pure function of the
+        // data, bit-identical across assignments and overlap modes.
+        dropout: 0.0,
+    };
+    if gt.heads == 0 || gt.hidden % gt.heads != 0 {
+        eprintln!("invalid configuration: heads must divide hidden");
+        return ExitCode::from(2);
+    }
+    let factory = move || -> Box<dyn SequenceModel> { Box::new(torchgt::model::Gt::new(gt, seed)) };
+    let mem = Arc::new(MemoryRecorder::default());
+    mem.event(torchgt_obs::Event::backend(torchgt_tensor::backend::active().name()));
+    let recorder: RecorderHandle = mem.clone();
+    println!(
+        "rebalance run: world {world}, overlap {}{}",
+        if torchgt::runtime::overlap_enabled() { "on" } else { "off" },
+        plan.slow_rank
+            .map(|r| format!(", rank {r} slowed {slow_delay_ms} ms/send"))
+            .unwrap_or_default()
+    );
+    let out = torchgt::runtime::train_data_parallel_rebalance(
+        dataset,
+        cfg,
+        world,
+        factory,
+        plan,
+        Some(torchgt::runtime::RebalancePolicy::default()),
+        recorder,
+    );
+    println!("{:>5} {:>9} {:>11} {:>10}", "epoch", "loss", "imbalance", "wall s");
+    for (i, l) in out.stats.epoch_losses.iter().enumerate() {
+        mem.epoch(torchgt_obs::EpochTrace {
+            epoch: i,
+            loss: *l as f64,
+            sim_s: out.epoch_seconds[i],
+            ..Default::default()
+        });
+        println!(
+            "{:>5} {:>9.4} {:>11.3} {:>10.4}",
+            i + 1,
+            l,
+            out.imbalance_history[i],
+            out.epoch_seconds[i]
+        );
+    }
+    println!(
+        "{} rebalance(s), {} token(s) moved, final per-rank tokens {:?}",
+        out.rebalances, out.moved_tokens, out.final_counts
+    );
+    if let Some(path) = flags.get("metrics") {
+        mem.gauge_set("rebalances", out.rebalances as f64);
+        mem.gauge_set("moved_tokens", out.moved_tokens as f64);
+        mem.gauge_set("world", out.stats.world as f64);
+        mem.gauge_set(
+            "final_imbalance",
+            out.imbalance_history.last().copied().unwrap_or(1.0),
+        );
         let report = mem.report();
         if let Err(e) = std::fs::write(path, report.to_json_string_pretty()) {
             eprintln!("failed to write metrics to {path}: {e}");

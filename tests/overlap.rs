@@ -1,0 +1,130 @@
+//! Integration tests of the handle-based async collectives: `*_begin()` +
+//! `wait()` must be bit-identical to the blocking calls — with or without
+//! injected faults (delays, drops, crashes) — charge the same wire bytes,
+//! and a `PendingCollective` dropped without `wait()` must fail loudly.
+
+use torchgt::comm::DeviceGroup;
+use torchgt::prelude::*;
+use torchgt_compat::proptest::prelude::*;
+
+fn rank_data(tag: usize, len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((tag * 31 + i) as f32 * 0.37 + salt as f32 * 0.011).sin())
+        .collect()
+}
+
+/// Run the full collective suite on one rank, either through async handles
+/// (issued back-to-back, waited in order — the overlapped shape the runtime
+/// uses) or through the blocking wrappers, and return the concatenated
+/// payload bytes.
+fn collective_suite(comm: &torchgt::comm::Communicator, len: usize, asynchronous: bool) -> Vec<u32> {
+    let r = comm.rank();
+    let p = comm.world_size();
+    let chunks = |salt: u64| -> Vec<Vec<f32>> {
+        (0..p).map(|peer| rank_data(r * 17 + peer, len, salt)).collect()
+    };
+    let bcast_payload = if r == 0 { Some(rank_data(99, len, 4)) } else { None };
+    let mut out: Vec<f32> = Vec::new();
+    if asynchronous {
+        // Two in-flight handles at a time, waited in issue order.
+        let a = comm.all_reduce_begin(rank_data(r, len, 1));
+        let b = comm.all_gather_begin(rank_data(r, len, 2));
+        out.extend(a.wait());
+        b.wait().into_iter().for_each(|v| out.extend(v));
+        let c = comm.all_to_all_begin(chunks(3));
+        let d = comm.broadcast_begin(0, bcast_payload);
+        c.wait().into_iter().for_each(|v| out.extend(v));
+        out.extend(d.wait());
+        let e = comm.reduce_scatter_begin(chunks(5));
+        out.extend(e.wait());
+    } else {
+        out.extend(comm.all_reduce_sum(rank_data(r, len, 1)));
+        comm.all_gather(rank_data(r, len, 2)).into_iter().for_each(|v| out.extend(v));
+        comm.all_to_all(chunks(3)).into_iter().for_each(|v| out.extend(v));
+        out.extend(comm.broadcast(0, bcast_payload));
+        out.extend(comm.reduce_scatter_sum(chunks(5)));
+    }
+    out.into_iter().map(f32::to_bits).collect()
+}
+
+fn run_suite(
+    world: usize,
+    len: usize,
+    plan: Option<FaultPlan>,
+    asynchronous: bool,
+) -> (Vec<Result<Vec<u32>, bool>>, u64) {
+    let mut group = DeviceGroup::new(world);
+    group.set_fault_plan(plan);
+    let results = group
+        .try_run(|comm| collective_suite(&comm, len, asynchronous))
+        .into_iter()
+        .map(|r| r.map_err(|f| matches!(f, RankFailure::Crash(_))))
+        .collect();
+    (results, group.stats().bytes_sent())
+}
+
+fn assert_parity(world: usize, len: usize, plan: Option<FaultPlan>) {
+    let (sync, sync_bytes) = run_suite(world, len, plan.clone(), false);
+    let (asyn, asyn_bytes) = run_suite(world, len, plan, true);
+    assert_eq!(sync, asyn, "async payload bits diverge from blocking path");
+    assert_eq!(sync_bytes, asyn_bytes, "wire accounting diverges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any world size and payload length, every collective's
+    /// `begin().wait()` matches the blocking call bit-for-bit and byte-for-
+    /// byte on the wire — including with handles overlapped two at a time.
+    #[test]
+    fn async_handles_bit_identical_to_blocking(world in 2usize..5, len in 1usize..9, seed in 0u64..200) {
+        // Exercise both the fault-free path and a deterministic delay plan.
+        assert_parity(world, len, None);
+        assert_parity(world, len, Some(FaultPlan::delays(seed, 0.4, 0.0002)));
+    }
+}
+
+#[test]
+fn async_parity_under_injected_drops() {
+    assert_parity(3, 6, Some(FaultPlan::drops(7, 0.3, 4)));
+    assert_parity(4, 3, Some(FaultPlan::drops(23, 0.5, 6)));
+}
+
+#[test]
+fn async_parity_under_slow_rank() {
+    assert_parity(3, 5, Some(FaultPlan::slow(1, 0.001)));
+}
+
+#[test]
+fn async_parity_under_injected_crash() {
+    // The crash fires at the same collective-op index on both paths, so the
+    // per-rank Ok/Err pattern and every surviving payload must match.
+    // The suite issues 5 collectives per rank, so ops 1/2/4 all land.
+    for op in [1u64, 2, 4] {
+        let plan = FaultPlan::crash_at(11, 1, op);
+        let (sync, _) = run_suite(3, 4, Some(plan.clone()), false);
+        let (asyn, _) = run_suite(3, 4, Some(plan), true);
+        assert_eq!(sync, asyn, "crash at op {op}: paths diverge");
+        assert_eq!(sync[1], Err(true), "rank 1 must report the injected crash");
+    }
+}
+
+/// Regression: forgetting to `wait()` a handle is a programming error that
+/// must fail loudly, not silently drop a collective half-issued.
+#[test]
+fn dropping_a_pending_collective_without_wait_panics() {
+    let group = DeviceGroup::new(2);
+    let results = group.try_run(|comm| {
+        let pending = comm.all_reduce_begin(vec![comm.rank() as f32; 4]);
+        drop(pending);
+    });
+    for (rank, res) in results.iter().enumerate() {
+        match res {
+            Err(RankFailure::Panic(msg)) => assert!(
+                msg.contains("dropped without wait()"),
+                "rank {rank}: unexpected panic message {msg:?}"
+            ),
+            other => panic!("rank {rank}: expected loud panic, got {other:?}"),
+        }
+    }
+}
