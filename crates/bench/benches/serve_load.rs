@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 use torchgt::prelude::*;
-use torchgt::serve::{freeze::with_dataset, DatasetRef, Prediction, Query, Zipf};
+use torchgt::serve::{freeze::with_dataset, DatasetRef, Query, ServeReply, Zipf};
 use torchgt_bench::{banner, dump_json};
 use torchgt_compat::sync::channel::{bounded, unbounded};
 
@@ -41,6 +41,7 @@ fn drive(frozen: &FrozenModel, dataset: &NodeDataset, qps: f64, seed: u64) -> Se
         max_batch: 8,
         latency_budget: Duration::from_millis(BUDGET_MS),
         ctx_nodes: 32,
+        ..Default::default()
     };
     let mut serve_loop = ServeLoop::new(
         frozen,
@@ -51,7 +52,7 @@ fn drive(frozen: &FrozenModel, dataset: &NodeDataset, qps: f64, seed: u64) -> Se
     )
     .expect("serve loop builds");
     let (tx, rx) = bounded::<Query>(64);
-    let (reply_tx, reply_rx) = unbounded::<Prediction>();
+    let (reply_tx, reply_rx) = unbounded::<ServeReply>();
     let server = std::thread::spawn(move || serve_loop.run(rx));
     let num_nodes = dataset.graph.num_nodes();
     let mut clients = Vec::new();
@@ -79,7 +80,8 @@ fn drive(frozen: &FrozenModel, dataset: &NodeDataset, qps: f64, seed: u64) -> Se
     let stats = server.join().expect("serve loop");
     let answered = {
         let mut n = 0u64;
-        while reply_rx.recv().is_ok() {
+        while let Ok(reply) = reply_rx.recv() {
+            reply.prediction().expect("no admission control configured");
             n += 1;
         }
         n

@@ -1,0 +1,217 @@
+//! Serving past saturation: overload protection must degrade gracefully.
+//!
+//! The executor's per-batch cost is pinned by an injected stall from the
+//! fault plane's serve domain, giving the loop a known service capacity.
+//! Zipf clients then offer a sweep of loads ending at **2× the saturated
+//! rate** with depth-based admission control armed. The gate: goodput
+//! (answered queries per second) past saturation stays within 10% of the
+//! pre-saturation plateau — shedding the excess instead of collapsing —
+//! and every shed reply is issued in under a millisecond. Rows land in
+//! `target/experiments/BENCH_overload.json` for the verify gate.
+
+use std::time::Duration;
+use torchgt::prelude::*;
+use torchgt::serve::{freeze::with_dataset, DatasetRef, Query, ServeReply, Zipf};
+use torchgt_bench::{banner, dump_json};
+use torchgt_compat::sync::channel::{bounded, unbounded};
+
+/// Injected per-batch executor stall, seconds: with `MAX_BATCH`-query
+/// windows the loop's capacity is ≈ MAX_BATCH / STALL_S ≈ 2000 qps.
+const STALL_S: f64 = 0.004;
+const MAX_BATCH: usize = 8;
+/// Micro-batch flush deadline.
+const BUDGET_MS: u64 = 5;
+/// Shed when the backlog behind a dequeued query exceeds this.
+const WATERMARK: usize = 16;
+/// Offered load at which the loop saturates (≈ capacity).
+const SATURATION_QPS: f64 = 2000.0;
+const QUERIES: usize = 1200;
+const CLIENTS: usize = 2;
+const ZIPF_S: f64 = 1.1;
+/// Shed replies must be issued faster than this.
+const SHED_REPLY_MS: f64 = 1.0;
+/// Goodput past saturation must stay within this factor of the plateau.
+const GOODPUT_FLOOR: f64 = 0.9;
+
+struct OverloadRow {
+    offered_qps: f64,
+    goodput_qps: f64,
+    stats: ServeStats,
+}
+
+/// Offer `QUERIES` Zipf queries at `qps` with admission control armed and
+/// return the run's stats. Goodput is the loop's answered throughput.
+fn drive(frozen: &FrozenModel, dataset: &NodeDataset, qps: f64, seed: u64) -> ServeStats {
+    let cfg = ServeConfig {
+        max_batch: MAX_BATCH,
+        latency_budget: Duration::from_millis(BUDGET_MS),
+        ctx_nodes: 32,
+        shed_watermark: Some(WATERMARK),
+        ..Default::default()
+    };
+    let mut serve_loop = ServeLoop::new(
+        frozen,
+        dataset.graph.clone(),
+        dataset.features.clone(),
+        cfg,
+        torchgt::obs::noop(),
+    )
+    .expect("serve loop builds");
+    let (tx, rx) = bounded::<Query>(64);
+    let (reply_tx, reply_rx) = unbounded::<ServeReply>();
+    let server = std::thread::spawn(move || serve_loop.run(rx));
+    let num_nodes = dataset.graph.num_nodes();
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let tx = tx.clone();
+        let reply_tx = reply_tx.clone();
+        let n = QUERIES / CLIENTS + usize::from(c < QUERIES % CLIENTS);
+        let pace = Duration::from_secs_f64(CLIENTS as f64 / qps);
+        let mut zipf = Zipf::new(num_nodes, ZIPF_S, seed ^ (c as u64 + 1));
+        clients.push(std::thread::spawn(move || {
+            for _ in 0..n {
+                let node = zipf.sample() as u32;
+                if tx.send(Query::new(node, reply_tx.clone())).is_err() {
+                    break;
+                }
+                std::thread::sleep(pace);
+            }
+        }));
+    }
+    drop(tx);
+    drop(reply_tx);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let stats = server.join().expect("serve loop");
+    let (mut answered, mut shed) = (0u64, 0u64);
+    while let Ok(reply) = reply_rx.recv() {
+        if reply.is_shed() {
+            shed += 1;
+        } else {
+            answered += 1;
+        }
+    }
+    assert_eq!(answered, stats.served, "every accepted query must deliver a reply");
+    assert_eq!(shed, stats.shed, "every shed query must deliver a typed rejection");
+    assert_eq!(
+        (answered + shed) as usize,
+        QUERIES,
+        "no query may vanish without a reply"
+    );
+    stats
+}
+
+fn main() {
+    banner(
+        "serve_overload",
+        "admission-controlled serving past saturation (goodput + shed-latency gate)",
+    );
+
+    let seed = 7u64;
+    let scale = 0.002;
+    let dataset = DatasetKind::OgbnArxiv.generate_node(scale, seed);
+    let mut trainer = TorchGtBuilder::new(Method::TorchGt)
+        .seq_len(128)
+        .epochs(2)
+        .hidden(16)
+        .layers(2)
+        .heads(2)
+        .seed(seed)
+        .build_node(&dataset)
+        .expect("valid configuration");
+    for _ in 0..2 {
+        trainer.train_epoch();
+    }
+    let calib = CalibSet::from_dataset(&dataset, 128, seed);
+    let frozen = trainer.freeze(&calib).expect("int8 freeze passes the accuracy gate");
+    let frozen = with_dataset(
+        frozen,
+        DatasetRef { kind: "arxiv".to_string(), scale, seed },
+    );
+
+    // Pin the executor's pace: every batch stalls STALL_S, so capacity is a
+    // property of the configuration, not of the host machine.
+    torchgt::faults::install(
+        format!("seed={seed},serve.slow=1@{}ms", STALL_S * 1e3)
+            .parse::<FaultSpec>()
+            .expect("valid fault spec"),
+    );
+
+    println!(
+        "\n{:>12} {:>12} {:>9} {:>10} {:>13} {:>13}",
+        "offered qps", "goodput qps", "shed", "shed rate", "p99 ms (acc)", "shed max ms"
+    );
+    let mut rows = Vec::new();
+    for qps in [0.5 * SATURATION_QPS, SATURATION_QPS, 2.0 * SATURATION_QPS] {
+        let stats = drive(&frozen, &dataset, qps, seed);
+        let goodput = stats.throughput_qps;
+        let shed_rate = stats.shed as f64 / (stats.served + stats.shed) as f64;
+        println!(
+            "{:>12.0} {:>12.1} {:>9} {:>10.3} {:>13.3} {:>13.3}",
+            qps, goodput, stats.shed, shed_rate, stats.p99_latency_ms, stats.shed_handling_ms_max
+        );
+        rows.push(OverloadRow { offered_qps: qps, goodput_qps: goodput, stats });
+    }
+    torchgt::faults::clear();
+
+    let plateau = rows
+        .iter()
+        .map(|r| r.goodput_qps)
+        .fold(0.0f64, f64::max);
+    let overload = rows.last().expect("sweep ran");
+    assert!(
+        overload.stats.shed > 0,
+        "2x saturation with watermark {WATERMARK} must shed some queries"
+    );
+    assert!(
+        overload.goodput_qps >= GOODPUT_FLOOR * plateau,
+        "goodput collapsed past saturation: {:.1} qps vs plateau {:.1} qps",
+        overload.goodput_qps,
+        plateau
+    );
+    for r in &rows {
+        if r.stats.shed > 0 {
+            assert!(
+                r.stats.shed_handling_ms_max < SHED_REPLY_MS,
+                "shed replies must be fast: max {:.3} ms at {} qps",
+                r.stats.shed_handling_ms_max,
+                r.offered_qps
+            );
+        }
+    }
+
+    let cases: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            torchgt_compat::json!({
+                "offered_qps": r.offered_qps,
+                "goodput_qps": r.goodput_qps,
+                "served": r.stats.served,
+                "shed": r.stats.shed,
+                "shed_queue_full": r.stats.shed_queue_full,
+                "shed_rate": r.stats.shed as f64 / (r.stats.served + r.stats.shed) as f64,
+                "p99_ms_accepted": r.stats.p99_latency_ms,
+                "shed_handling_ms_mean": r.stats.shed_handling_ms_mean,
+                "shed_handling_ms_max": r.stats.shed_handling_ms_max,
+                "max_queue_depth": r.stats.max_queue_depth,
+            })
+        })
+        .collect();
+    dump_json(
+        "BENCH_overload",
+        &torchgt_compat::json!({
+            "stall_ms": STALL_S * 1e3,
+            "watermark": WATERMARK,
+            "saturation_qps": SATURATION_QPS,
+            "goodput_floor": GOODPUT_FLOOR,
+            "plateau_goodput_qps": plateau,
+            "overload_goodput_qps": overload.goodput_qps,
+            "cases": cases,
+        }),
+    );
+    println!(
+        "\ngoodput at 2x saturation {:.1} qps >= {GOODPUT_FLOOR} x plateau {:.1} qps ✓",
+        overload.goodput_qps, plateau
+    );
+}

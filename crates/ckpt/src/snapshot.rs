@@ -30,7 +30,7 @@
 use crate::checksum::crc32;
 use crate::state::{ParamState, PartitionLayout, TensorShape, TrainerState};
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 use torchgt_tensor::checkpoint::{expect_eof, read_f32s, write_f32s};
 use torchgt_tensor::param::Param;
@@ -308,9 +308,11 @@ impl Snapshot {
         w.flush()
     }
 
-    /// Read from a file.
+    /// Read from a file. Routed through the shared fault plane
+    /// ([`torchgt_faults::read_file`]) so `TGTS` reads are injectable; with
+    /// no plan installed this is a plain whole-file read.
     pub fn load(path: &Path) -> io::Result<Self> {
-        Self::read_from(BufReader::new(File::open(path)?))
+        Self::read_from(torchgt_faults::read_file(path)?.as_slice())
     }
 }
 

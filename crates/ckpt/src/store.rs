@@ -1,25 +1,54 @@
-//! Snapshot directory management: atomic publication and retention.
+//! Snapshot directory management: atomic publication, retention, and the
+//! corrupt-snapshot fallback ladder.
 //!
 //! Snapshots are published write-then-rename: the bytes go to a hidden
 //! temporary file in the same directory, are flushed to disk, and only then
 //! renamed to their final `snapshot-NNNNNN.tgtck` name. A crash mid-write
 //! therefore never leaves a half-written file under a name the resume path
 //! would pick up — `latest()` only ever sees fully-published snapshots.
+//!
+//! Reads are self-healing: transient errors retry with seeded jittered
+//! backoff and a corrupt buffer is re-read once (injected faults never
+//! touch the file on disk, so the re-read recovers). When the newest
+//! snapshot is *genuinely* corrupt, [`CheckpointStore::load_latest`] renames
+//! it to `*.quarantined` and walks back through the keep-last-K set,
+//! emitting a `SNAPSHOT_FALLBACK` event — resume degrades to losing at most
+//! K−1 epochs of progress instead of failing hard.
 
 use crate::snapshot::Snapshot;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use torchgt_obs::RecorderHandle;
 
 /// File extension for published snapshots.
 pub const SNAPSHOT_EXT: &str = "tgtck";
 
+/// Suffix appended to a corrupt snapshot when `load_latest` quarantines it
+/// (the file keeps its original name underneath, for post-mortems).
+pub const QUARANTINE_SUFFIX: &str = "quarantined";
+
+/// Transient-read retry budget per snapshot load (beyond the first try).
+const MAX_TRANSIENT_RETRIES: usize = 4;
+/// Backoff base for snapshot-read retries, seconds.
+const READ_BACKOFF_BASE_S: f64 = 0.002;
+
 /// Manages a directory of epoch-numbered snapshots with a keep-last-K
 /// retention policy.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
     keep_last: usize,
+    recorder: RecorderHandle,
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("keep_last", &self.keep_last)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CheckpointStore {
@@ -28,7 +57,14 @@ impl CheckpointStore {
     pub fn new(dir: impl Into<PathBuf>, keep_last: usize) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir, keep_last: keep_last.max(1) })
+        Ok(Self { dir, keep_last: keep_last.max(1), recorder: torchgt_obs::noop() })
+    }
+
+    /// Emit recovery events (`IO_RETRY`, `SNAPSHOT_FALLBACK`) through
+    /// `recorder`.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The managed directory.
@@ -80,17 +116,110 @@ impl CheckpointStore {
         Ok(self.epochs()?.pop())
     }
 
-    /// Load the snapshot for a specific epoch.
+    /// Load the snapshot for a specific epoch. Self-healing: transient
+    /// read errors retry with seeded jittered backoff (each retry emits an
+    /// `IO_RETRY` event), and a corrupt buffer is re-read once — an
+    /// injected torn read or bit flip heals because the bytes on disk were
+    /// never touched, while genuine on-disk corruption fails again.
     pub fn load(&self, epoch: usize) -> io::Result<Snapshot> {
-        Snapshot::load(&self.path_for(epoch))
+        let path = self.path_for(epoch);
+        let seed = torchgt_faults::installed().map(|s| s.seed).unwrap_or(0);
+        let backoff_seed = seed ^ torchgt_faults::path_key(&path);
+        let mut transient_attempts = 0usize;
+        let mut crc_reread_used = false;
+        loop {
+            match Snapshot::load(&path) {
+                Ok(snapshot) => return Ok(snapshot),
+                Err(e)
+                    if torchgt_faults::is_transient(&e)
+                        && transient_attempts < MAX_TRANSIENT_RETRIES =>
+                {
+                    transient_attempts += 1;
+                    let wait = torchgt_faults::backoff_s(
+                        backoff_seed,
+                        READ_BACKOFF_BASE_S,
+                        transient_attempts,
+                    );
+                    if self.recorder.enabled() {
+                        self.recorder.event(torchgt_obs::Event::io_retry(
+                            &path.display().to_string(),
+                            transient_attempts,
+                            wait,
+                            &e.to_string(),
+                        ));
+                        self.recorder.counter_add("io_retries", 1);
+                    }
+                    if wait > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(wait));
+                    }
+                }
+                Err(e) if torchgt_faults::is_corruption(&e) && !crc_reread_used => {
+                    crc_reread_used = true;
+                    if self.recorder.enabled() {
+                        self.recorder.event(torchgt_obs::Event::io_retry(
+                            &path.display().to_string(),
+                            transient_attempts + 1,
+                            0.0,
+                            &e.to_string(),
+                        ));
+                        self.recorder.counter_add("io_retries", 1);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
-    /// Load the newest snapshot, if any.
+    /// Load the newest loadable snapshot, if any. When the newest snapshot
+    /// is corrupt (after the healing retries in [`CheckpointStore::load`]),
+    /// it is renamed to `*.quarantined` and the walk continues backwards
+    /// through the keep-last-K set, emitting a `SNAPSHOT_FALLBACK` event on
+    /// success. Returns `Ok(None)` for an empty store and an error only
+    /// when snapshots exist but none survive.
     pub fn load_latest(&self) -> io::Result<Option<Snapshot>> {
-        match self.latest()? {
-            Some(epoch) => Ok(Some(self.load(epoch)?)),
-            None => Ok(None),
+        let mut epochs = self.epochs()?;
+        if epochs.is_empty() {
+            return Ok(None);
         }
+        let newest = *epochs.last().expect("non-empty");
+        let mut last_reason = String::new();
+        while let Some(epoch) = epochs.pop() {
+            match self.load(epoch) {
+                Ok(snapshot) => {
+                    if epoch != newest && self.recorder.enabled() {
+                        self.recorder.event(torchgt_obs::Event::snapshot_fallback(
+                            newest,
+                            epoch,
+                            &last_reason,
+                        ));
+                        self.recorder.counter_add("snapshot_fallbacks", 1);
+                    }
+                    return Ok(Some(snapshot));
+                }
+                Err(e) if torchgt_faults::is_corruption(&e) => {
+                    last_reason = e.to_string();
+                    self.quarantine(epoch)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "every snapshot in {} is corrupt (all quarantined); last failure: {last_reason}",
+                self.dir.display()
+            ),
+        ))
+    }
+
+    /// Rename a corrupt snapshot out of the resume path, keeping the bytes
+    /// for post-mortems: `snapshot-NNNNNN.tgtck` →
+    /// `snapshot-NNNNNN.tgtck.quarantined`.
+    fn quarantine(&self, epoch: usize) -> io::Result<()> {
+        let path = self.path_for(epoch);
+        let mut target = path.clone().into_os_string();
+        target.push(format!(".{QUARANTINE_SUFFIX}"));
+        fs::rename(&path, PathBuf::from(target))
     }
 
     /// Delete all but the newest `keep_last` snapshots.
@@ -176,6 +305,61 @@ mod tests {
         // Simulate a crash mid-write: a stray temp file with garbage bytes.
         fs::write(store.dir().join(".snapshot-000009.tmp"), b"garbage").unwrap();
         assert_eq!(store.latest().unwrap(), Some(2));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_and_quarantines() {
+        let store = temp_store("fallback", 3);
+        for e in 0..3 {
+            store.save(&snap(e)).unwrap();
+        }
+        // Corrupt the newest snapshot on disk (flip a payload byte).
+        let newest = store.path_for(2);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&newest, &bytes).unwrap();
+
+        let recorder = std::sync::Arc::new(torchgt_obs::MemoryRecorder::default());
+        let store = store.with_recorder(recorder.clone());
+        let restored = store.load_latest().unwrap().unwrap();
+        assert_eq!(restored.state.epoch, 1, "must fall back to the previous epoch");
+        // The bad file was renamed out of the resume path, not deleted.
+        assert!(!newest.exists(), "corrupt snapshot must leave the resume path");
+        let mut q = newest.into_os_string();
+        q.push(format!(".{QUARANTINE_SUFFIX}"));
+        assert!(PathBuf::from(q).exists(), "quarantined bytes must survive");
+        assert_eq!(store.epochs().unwrap(), vec![0, 1]);
+        // The fallback surfaced as an event.
+        let report = recorder.report();
+        let falls = report.events_of(torchgt_obs::Event::SNAPSHOT_FALLBACK);
+        assert_eq!(falls.len(), 1);
+        assert_eq!(falls[0].num("from_epoch"), Some(2.0));
+        assert_eq!(falls[0].num("to_epoch"), Some(1.0));
+        // A second load_latest sees a clean store: no further fallback.
+        assert_eq!(store.load_latest().unwrap().unwrap().state.epoch, 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_is_an_error_and_empty_store_is_none() {
+        let store = temp_store("allbad", 2);
+        assert!(store.load_latest().unwrap().is_none(), "empty store stays None");
+        for e in 0..2 {
+            store.save(&snap(e)).unwrap();
+            let p = store.path_for(e);
+            let mut bytes = fs::read(&p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            fs::write(&p, &bytes).unwrap();
+        }
+        let err = store.load_latest().unwrap_err();
+        assert!(
+            err.to_string().contains("all quarantined"),
+            "exhausted walk-back must say so, got: {err}"
+        );
+        assert!(store.epochs().unwrap().is_empty(), "every bad file quarantined");
         let _ = fs::remove_dir_all(store.dir());
     }
 }

@@ -100,6 +100,22 @@ impl FaultPlan {
         Self { slow_rank: Some(rank), slow_delay_s: delay_s, ..Self::default() }
     }
 
+    /// Build a plan from the comm domain of a parsed
+    /// [`torchgt_faults::FaultSpec`] (the `TORCHGT_FAULTS` / `--faults`
+    /// wiring): delays, drops, and the deterministic straggler map
+    /// one-to-one; crashes stay CLI-flag territory.
+    pub fn from_spec(seed: u64, spec: &torchgt_faults::CommFaultSpec) -> Self {
+        Self {
+            seed,
+            delay_prob: spec.delay_prob,
+            delay_s: spec.delay_s,
+            drop_prob: spec.drop_prob,
+            slow_rank: spec.slow_rank,
+            slow_delay_s: spec.slow_delay_s,
+            ..Self::default()
+        }
+    }
+
     /// True when the plan can inject anything at all.
     pub fn is_active(&self) -> bool {
         self.delay_prob > 0.0
@@ -188,27 +204,18 @@ impl FaultState {
 }
 
 /// Deterministic fault decision: a pure hash of `(seed, rank, op, salt)`
-/// mapped to `[0, 1)` and compared against `prob`.
+/// mapped to `[0, 1)` and compared against `prob`. Delegates to the shared
+/// fault plane (`torchgt-faults`), whose comm domain keys on rank exactly
+/// as this crate always has — the decision stream is bit-identical to the
+/// pre-extraction implementation.
 pub(crate) fn decide(seed: u64, rank: usize, op: u64, salt: u64, prob: f64) -> bool {
-    if prob <= 0.0 {
-        return false;
-    }
-    if prob >= 1.0 {
-        return true;
-    }
-    let mut state = seed
-        ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ op.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-        ^ salt.wrapping_mul(0x1656_67B1_9E37_79F9);
-    let x = torchgt_compat::rng::splitmix64(&mut state);
-    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
-    unit < prob
+    torchgt_faults::decide(seed, rank as u64, op, salt, prob)
 }
 
 /// Salt for delay decisions.
-pub(crate) const SALT_DELAY: u64 = 1;
+pub(crate) const SALT_DELAY: u64 = torchgt_faults::SALT_DELAY;
 /// Salt for drop decisions (combined with the attempt number).
-pub(crate) const SALT_DROP: u64 = 2;
+pub(crate) const SALT_DROP: u64 = torchgt_faults::SALT_DROP;
 
 #[cfg(test)]
 mod tests {

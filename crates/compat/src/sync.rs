@@ -13,8 +13,20 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Acquire `m`, recovering the guard if a previous holder panicked.
+///
+/// Shared stats/state mutexes (loader counters, serve histograms, the
+/// channel internals below) hold plain-old-data that stays consistent
+/// across a panic, so poisoning carries no information here — it only
+/// cascades one thread's panic into every other thread that touches the
+/// lock. Recovery keeps a dying background thread from taking the main
+/// thread down with it.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Mirror of `crossbeam::channel`.
 pub mod channel {
@@ -146,7 +158,7 @@ impl<T> Sender<T> {
     /// Enqueue `value`, waking one waiting receiver. On a bounded channel
     /// this blocks while the queue is full (backpressure).
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.shared.inner);
         loop {
             if inner.receivers == 0 {
                 return Err(SendError(value));
@@ -154,7 +166,7 @@ impl<T> Sender<T> {
             if !inner.is_full() {
                 break;
             }
-            inner = self.shared.space.wait(inner).unwrap();
+            inner = self.shared.space.wait(inner).unwrap_or_else(|p| p.into_inner());
         }
         inner.queue.push_back(value);
         drop(inner);
@@ -165,7 +177,7 @@ impl<T> Sender<T> {
     /// Non-blocking enqueue: fails with [`TrySendError::Full`] instead of
     /// blocking when a bounded queue is at capacity.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.shared.inner);
         if inner.receivers == 0 {
             return Err(TrySendError::Disconnected(value));
         }
@@ -181,7 +193,7 @@ impl<T> Sender<T> {
     /// Messages currently queued (a racy snapshot — the serving loop reads
     /// it as the queue-depth gauge, not for synchronization).
     pub fn len(&self) -> usize {
-        self.shared.inner.lock().unwrap().queue.len()
+        lock_unpoisoned(&self.shared.inner).queue.len()
     }
 
     /// Whether the queue is currently empty (racy snapshot).
@@ -192,14 +204,14 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.inner.lock().unwrap().senders += 1;
+        lock_unpoisoned(&self.shared.inner).senders += 1;
         Sender { shared: Arc::clone(&self.shared) }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.shared.inner);
         inner.senders -= 1;
         if inner.senders == 0 {
             drop(inner);
@@ -213,7 +225,7 @@ impl<T> Receiver<T> {
     /// Dequeue the next message, blocking until one arrives or every
     /// sender disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.shared.inner);
         loop {
             if let Some(v) = inner.queue.pop_front() {
                 drop(inner);
@@ -223,7 +235,7 @@ impl<T> Receiver<T> {
             if inner.senders == 0 {
                 return Err(RecvError);
             }
-            inner = self.shared.ready.wait(inner).unwrap();
+            inner = self.shared.ready.wait(inner).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -232,7 +244,7 @@ impl<T> Receiver<T> {
     /// the latency budget expires before the batch fills.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.shared.inner);
         loop {
             if let Some(v) = inner.queue.pop_front() {
                 drop(inner);
@@ -247,7 +259,7 @@ impl<T> Receiver<T> {
             else {
                 return Err(RecvTimeoutError::Timeout);
             };
-            let (guard, wait) = self.shared.ready.wait_timeout(inner, remaining).unwrap();
+            let (guard, wait) = self.shared.ready.wait_timeout(inner, remaining).unwrap_or_else(|p| p.into_inner());
             inner = guard;
             if wait.timed_out() && inner.queue.is_empty() {
                 if inner.senders == 0 {
@@ -261,7 +273,7 @@ impl<T> Receiver<T> {
     /// Non-blocking dequeue; `None` when currently empty (regardless of
     /// sender liveness).
     pub fn try_recv(&self) -> Option<T> {
-        let v = self.shared.inner.lock().unwrap().queue.pop_front();
+        let v = lock_unpoisoned(&self.shared.inner).queue.pop_front();
         if v.is_some() {
             self.shared.space.notify_one();
         }
@@ -270,7 +282,7 @@ impl<T> Receiver<T> {
 
     /// Messages currently queued (racy snapshot — a gauge, not a guard).
     pub fn len(&self) -> usize {
-        self.shared.inner.lock().unwrap().queue.len()
+        lock_unpoisoned(&self.shared.inner).queue.len()
     }
 
     /// Whether the queue is currently empty (racy snapshot).
@@ -281,14 +293,14 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.inner.lock().unwrap().receivers += 1;
+        lock_unpoisoned(&self.shared.inner).receivers += 1;
         Receiver { shared: Arc::clone(&self.shared) }
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.shared.inner);
         inner.receivers -= 1;
         if inner.receivers == 0 {
             drop(inner);

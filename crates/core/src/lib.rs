@@ -39,6 +39,7 @@
 pub use torchgt_ckpt as ckpt;
 pub use torchgt_comm as comm;
 pub use torchgt_data as data;
+pub use torchgt_faults as faults;
 pub use torchgt_graph as graph;
 pub use torchgt_model as model;
 pub use torchgt_obs as obs;
@@ -346,7 +347,9 @@ pub mod prelude {
     };
     pub use torchgt_data::{
         generate_to_dir, load_node_dataset, DatagenReport, Manifest, ShardLoader,
+        ShardQuarantined,
     };
+    pub use torchgt_faults::{DiskFaultPlan, FaultSpec, ServeFaultPlan};
     pub use torchgt_graph::{
         DatasetKind, EffectiveSpec, GraphDataset, GraphLabel, NodeDataset, TaskKind,
     };
@@ -362,7 +365,8 @@ pub mod prelude {
     };
     pub use torchgt_serve::{
         CalibSet, Freezable, FreezeError, FreezeOptions, FrozenExecutor, FrozenModel,
-        QuantScheme, ServeConfig, ServeLoop, ServeStats,
+        Overloaded, QuantScheme, ServeConfig, ServeLoop, ServeReply, ServeStats, ShedReason,
+        ShutdownHandle,
     };
     pub use torchgt_sparse::LayoutKind;
     pub use torchgt_tensor::{Precision, Tensor};

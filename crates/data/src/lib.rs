@@ -40,8 +40,38 @@ pub use writer::{generate_to_dir, load_node_dataset, DatagenReport};
 use std::io;
 use std::path::Path;
 
+/// Typed payload of a shard-quarantine error: the self-healing reader
+/// exhausted its retry ladder (transient retries plus the one CRC re-read)
+/// against `path` and refuses to serve the shard. Reach it from an
+/// [`io::Error`] via `e.get_ref().and_then(|r| r.downcast_ref())`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardQuarantined {
+    /// The shard file that was quarantined.
+    pub path: String,
+    /// The underlying failure (I/O error text or CRC mismatch).
+    pub reason: String,
+}
+
+impl std::fmt::Display for ShardQuarantined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} quarantined: {}", self.path, self.reason)
+    }
+}
+
+impl std::error::Error for ShardQuarantined {}
+
 pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The fault-plane registry is process-global, so a test that installs a
+/// plan would perturb any concurrently-running test that reads shards
+/// through it. Every disk-touching test in this crate takes this gate.
+#[cfg(test)]
+pub(crate) fn test_fault_gate() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Publish `bytes` at `path` atomically: write to a `.tmp` sibling in the

@@ -23,12 +23,13 @@
 
 use crate::manifest::{Manifest, ShardEntry};
 use crate::shard::Shard;
-use crate::writer::read_verified_shard;
+use crate::writer::read_verified_shard_with;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use torchgt_compat::sync::channel::{bounded, Receiver};
+use torchgt_compat::sync::lock_unpoisoned;
 use torchgt_obs::RecorderHandle;
 
 /// Cumulative loader-side I/O statistics, shared across every epoch's
@@ -41,6 +42,9 @@ pub struct LoaderStats {
     pub bytes_read: u64,
     /// Shards delivered to the consumer.
     pub shards_delivered: u64,
+    /// Read retries the self-healing ladder performed (transient-error
+    /// retries plus CRC re-reads) across all streams.
+    pub retries: u64,
 }
 
 /// Prefetching reader over a sharded dataset directory.
@@ -107,7 +111,7 @@ impl ShardLoader {
 
     /// Cumulative I/O statistics across all streams opened so far.
     pub fn stats(&self) -> LoaderStats {
-        *self.stats.lock().unwrap()
+        *lock_unpoisoned(&self.stats)
     }
 
     /// Shard visit order for `epoch`.
@@ -133,16 +137,34 @@ impl ShardLoader {
             order.iter().map(|&i| self.manifest.shards[i].clone()).collect();
         let dir = self.dir.clone();
         let (tx, rx) = bounded::<io::Result<(Shard, u64)>>(self.prefetch_depth);
+        let last_error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let producer_recorder = self.recorder.clone();
+        let producer_stats = Arc::clone(&self.stats);
+        let producer_error = Arc::clone(&last_error);
         let producer = std::thread::spawn(move || {
             for entry in entries {
-                let result =
-                    read_verified_shard(&dir, &entry).map(|shard| (shard, entry.bytes));
+                let mut retries = 0u64;
+                let result = read_verified_shard_with(
+                    &dir,
+                    &entry,
+                    &producer_recorder,
+                    &mut retries,
+                )
+                .map(|shard| (shard, entry.bytes));
+                if retries > 0 {
+                    lock_unpoisoned(&producer_stats).retries += retries;
+                }
                 let failed = result.is_err();
+                if let Err(e) = &result {
+                    // Record the underlying failure so the consumer can
+                    // surface it even if the channel tears down first.
+                    *lock_unpoisoned(&producer_error) = Some(e.to_string());
+                }
                 if tx.send(result).is_err() {
                     return; // consumer hung up
                 }
                 if failed {
-                    return; // don't stream past a corrupt shard
+                    return; // don't stream past a quarantined shard
                 }
             }
         });
@@ -151,6 +173,7 @@ impl ShardLoader {
             producer: Some(producer),
             recorder: self.recorder.clone(),
             stats: Arc::clone(&self.stats),
+            last_error,
             remaining: order.len(),
         }
     }
@@ -163,6 +186,9 @@ pub struct ShardStream {
     producer: Option<std::thread::JoinHandle<()>>,
     recorder: RecorderHandle,
     stats: Arc<Mutex<LoaderStats>>,
+    /// The producer's last failure text, for when the channel disconnects
+    /// before the error message itself arrives (e.g. the thread panicked).
+    last_error: Arc<Mutex<Option<String>>>,
     remaining: usize,
 }
 
@@ -181,7 +207,7 @@ impl ShardStream {
             Ok(Ok((shard, bytes))) => {
                 self.remaining -= 1;
                 let snapshot = {
-                    let mut stats = self.stats.lock().unwrap();
+                    let mut stats = lock_unpoisoned(&self.stats);
                     stats.stall_ms += stall_ms;
                     stats.bytes_read += bytes;
                     stats.shards_delivered += 1;
@@ -200,9 +226,18 @@ impl ShardStream {
                 Err(e)
             }
             Err(_) => {
-                // Producer hung up before delivering everything it owed.
+                // Producer hung up before delivering everything it owed —
+                // surface the underlying failure, not just the symptom.
                 self.remaining = 0;
-                Err(crate::bad("shard prefetcher terminated early"))
+                Err(match lock_unpoisoned(&self.last_error).take() {
+                    Some(detail) => {
+                        crate::bad(format!("shard prefetcher terminated early: {detail}"))
+                    }
+                    None => crate::bad(
+                        "shard prefetcher terminated early (no failure recorded; \
+                         likely a panic in the prefetch thread)",
+                    ),
+                })
             }
         }
     }
@@ -266,6 +301,7 @@ mod tests {
 
     #[test]
     fn streams_every_shard_in_order_and_publishes_gauges() {
+        let _g = crate::test_fault_gate();
         let dir = tmpdir("stream");
         let report = generate_to_dir(DatasetKind::OgbnArxiv, 0.004, 3, &dir, 150).unwrap();
         let spy = Arc::new(GaugeSpy::default());
@@ -293,6 +329,7 @@ mod tests {
 
     #[test]
     fn shuffle_is_seeded_per_epoch_and_covers_all_shards() {
+        let _g = crate::test_fault_gate();
         let dir = tmpdir("shuffle");
         generate_to_dir(DatasetKind::OgbnArxiv, 0.004, 3, &dir, 100).unwrap();
         let loader = ShardLoader::open(&dir).unwrap().with_shuffle(42);
@@ -315,6 +352,7 @@ mod tests {
 
     #[test]
     fn dropping_a_stream_midway_does_not_wedge() {
+        let _g = crate::test_fault_gate();
         let dir = tmpdir("drop");
         generate_to_dir(DatasetKind::OgbnArxiv, 0.004, 3, &dir, 100).unwrap();
         let loader = ShardLoader::open(&dir).unwrap();
@@ -328,6 +366,7 @@ mod tests {
 
     #[test]
     fn corrupt_shard_surfaces_as_a_stream_error() {
+        let _g = crate::test_fault_gate();
         let dir = tmpdir("corrupt");
         let report = generate_to_dir(DatasetKind::OgbnArxiv, 0.004, 3, &dir, 150).unwrap();
         let entry = report.manifest.shards.last().unwrap();
@@ -350,6 +389,68 @@ mod tests {
             }
         }
         assert!(result.is_err(), "corrupt shard must fail the stream");
+        let msg = result.unwrap_err().to_string();
+        assert!(
+            msg.contains("quarantined"),
+            "on-disk corruption must surface as a quarantine, got: {msg}"
+        );
+        assert!(msg.contains(".tgds"), "error must name the shard path, got: {msg}");
+        // The CRC re-read counts as one retry before the quarantine.
+        assert!(loader.stats().retries >= 1, "re-read-once must register as a retry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_transient_faults_heal_and_preserve_shard_bytes() {
+        let _g = crate::test_fault_gate();
+        // Stable path, no pid: disk fault decisions hash the file path, so
+        // a per-process path would re-roll the fault schedule every run.
+        let dir = std::env::temp_dir().join("torchgt_data_heal_stable");
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = generate_to_dir(DatasetKind::OgbnArxiv, 0.004, 3, &dir, 100).unwrap();
+        // Clean baseline first (no plan installed).
+        let loader = ShardLoader::open(&dir).unwrap();
+        let mut baseline = Vec::new();
+        let mut stream = loader.stream_epoch(0);
+        while let Some(shard) = stream.next().unwrap() {
+            baseline.push((shard.node_start, shard.features.clone()));
+        }
+        drop(stream);
+        // Aggressive transient + corruption faults: transients retry with
+        // backoff, torn/flipped buffers heal on the single CRC re-read
+        // (the file on disk is never touched), so the stream completes
+        // with bit-identical payloads.
+        struct ClearPlan;
+        impl Drop for ClearPlan {
+            fn drop(&mut self) {
+                torchgt_faults::clear();
+            }
+        }
+        let _clear = ClearPlan;
+        torchgt_faults::install(torchgt_faults::FaultSpec {
+            seed: 5,
+            disk: torchgt_faults::DiskFaultPlan {
+                read_error_prob: 0.3,
+                torn_read_prob: 0.05,
+                bit_flip_prob: 0.05,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let loader2 = ShardLoader::open(&dir).unwrap();
+        let mut stream = loader2.stream_epoch(0);
+        let mut healed = Vec::new();
+        while let Some(shard) = stream.next().unwrap() {
+            healed.push((shard.node_start, shard.features.clone()));
+        }
+        drop(stream);
+        torchgt_faults::clear();
+        assert_eq!(healed, baseline, "healed stream must be bit-identical");
+        assert!(
+            loader2.stats().retries > 0,
+            "at these probabilities some reads must have retried"
+        );
+        assert_eq!(report.manifest.shards.len(), baseline.len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -333,10 +333,109 @@ pub fn load_node_dataset(dir: &Path) -> io::Result<torchgt_graph::NodeDataset> {
 }
 
 /// Read a shard file, checking its whole-file CRC and size against the
-/// manifest entry before parsing.
+/// manifest entry before parsing. Self-healing: see
+/// [`read_verified_shard_with`].
 pub(crate) fn read_verified_shard(dir: &Path, entry: &ShardEntry) -> io::Result<Shard> {
+    read_verified_shard_with(dir, entry, &torchgt_obs::noop(), &mut 0)
+}
+
+/// Transient-read retry budget per shard read (beyond the first attempt).
+const MAX_TRANSIENT_RETRIES: usize = 4;
+/// Backoff base for shard-read retries, seconds (first retry waits
+/// ~`[0.5, 1.5) × base`, doubling per attempt — the elastic recovery
+/// ladder's formula via [`torchgt_faults::backoff_s`]).
+const READ_BACKOFF_BASE_S: f64 = 0.002;
+
+/// Self-healing verified shard read. Faults route through the shared fault
+/// plane ([`torchgt_faults::read_file`]); recovery follows the ladder the
+/// issue prescribes:
+///
+/// * a **transient** error (interrupted/timed-out read) is retried up to
+///   [`MAX_TRANSIENT_RETRIES`] times with seeded jittered backoff — each
+///   retry draws a fresh fault decision, so injected transients heal;
+/// * a **corruption** (size/CRC/parse mismatch) triggers exactly one
+///   re-read — a torn or bit-flipped in-memory buffer heals because the
+///   bytes on disk were never touched, while genuine on-disk corruption
+///   fails again;
+/// * anything still failing **quarantines** the shard: the error is a
+///   typed [`crate::ShardQuarantined`] naming the path and the underlying
+///   reason, and a `SHARD_QUARANTINED` event is emitted.
+///
+/// Every retry emits an `IO_RETRY` event on `recorder` and bumps
+/// `retries_out` (the loader surfaces it as `LoaderStats::retries`).
+pub(crate) fn read_verified_shard_with(
+    dir: &Path,
+    entry: &ShardEntry,
+    recorder: &torchgt_obs::RecorderHandle,
+    retries_out: &mut u64,
+) -> io::Result<Shard> {
     let path = Manifest::shard_path(dir, entry);
-    let bytes = fs::read(&path)?;
+    let seed = torchgt_faults::installed().map(|s| s.seed).unwrap_or(0);
+    let backoff_seed = seed ^ torchgt_faults::path_key(&path);
+    let mut transient_attempts = 0usize;
+    let mut crc_reread_used = false;
+    loop {
+        match read_verified_shard_once(&path, entry) {
+            Ok(shard) => return Ok(shard),
+            Err(e) if torchgt_faults::is_transient(&e) && transient_attempts < MAX_TRANSIENT_RETRIES => {
+                transient_attempts += 1;
+                *retries_out += 1;
+                let wait = torchgt_faults::backoff_s(
+                    backoff_seed,
+                    READ_BACKOFF_BASE_S,
+                    transient_attempts,
+                );
+                if recorder.enabled() {
+                    recorder.event(torchgt_obs::Event::io_retry(
+                        &path.display().to_string(),
+                        transient_attempts,
+                        wait,
+                        &e.to_string(),
+                    ));
+                    recorder.counter_add("io_retries", 1);
+                }
+                if wait > 0.0 {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(wait));
+                }
+            }
+            Err(e) if torchgt_faults::is_corruption(&e) && !crc_reread_used => {
+                // CRC/size/parse mismatch: re-read exactly once. No backoff
+                // — corruption does not clear with time, only with a fresh
+                // pass over the (uncorrupted) bytes on disk.
+                crc_reread_used = true;
+                *retries_out += 1;
+                if recorder.enabled() {
+                    recorder.event(torchgt_obs::Event::io_retry(
+                        &path.display().to_string(),
+                        transient_attempts + 1,
+                        0.0,
+                        &e.to_string(),
+                    ));
+                    recorder.counter_add("io_retries", 1);
+                }
+            }
+            Err(e) => {
+                let quarantined = crate::ShardQuarantined {
+                    path: path.display().to_string(),
+                    reason: e.to_string(),
+                };
+                if recorder.enabled() {
+                    recorder.event(torchgt_obs::Event::shard_quarantined(
+                        &quarantined.path,
+                        &quarantined.reason,
+                    ));
+                    recorder.counter_add("shards_quarantined", 1);
+                }
+                return Err(io::Error::new(io::ErrorKind::InvalidData, quarantined));
+            }
+        }
+    }
+}
+
+/// One verification pass: read (through the fault plane), check size and
+/// whole-file CRC against the manifest entry, parse.
+fn read_verified_shard_once(path: &Path, entry: &ShardEntry) -> io::Result<Shard> {
+    let bytes = torchgt_faults::read_file(path)?;
     if bytes.len() as u64 != entry.bytes {
         return Err(crate::bad(format!(
             "shard {} is {} bytes, manifest says {}",
@@ -366,6 +465,7 @@ mod tests {
 
     #[test]
     fn streamed_shards_reassemble_the_in_memory_dataset() {
+        let _g = crate::test_fault_gate();
         let dir = tmpdir("roundtrip");
         let (kind, scale, seed) = (DatasetKind::OgbnArxiv, 0.005, 11);
         let report = generate_to_dir(kind, scale, seed, &dir, 200).unwrap();
@@ -390,6 +490,7 @@ mod tests {
 
     #[test]
     fn manifest_hash_tracks_generation_parameters() {
+        let _g = crate::test_fault_gate();
         let dir_a = tmpdir("hash_a");
         let dir_b = tmpdir("hash_b");
         let a = generate_to_dir(DatasetKind::OgbnArxiv, 0.003, 1, &dir_a, 200).unwrap();
@@ -406,6 +507,7 @@ mod tests {
 
     #[test]
     fn tampered_shard_is_refused_by_the_verified_reader() {
+        let _g = crate::test_fault_gate();
         let dir = tmpdir("tamper");
         let report = generate_to_dir(DatasetKind::OgbnArxiv, 0.002, 5, &dir, 128).unwrap();
         let entry = &report.manifest.shards[0];

@@ -376,6 +376,69 @@ impl Event {
         }
     }
 
+    /// Kind tag of [`Event::io_retry`] events.
+    pub const IO_RETRY: &'static str = "io_retry";
+    /// Kind tag of [`Event::shard_quarantined`] events.
+    pub const SHARD_QUARANTINED: &'static str = "shard_quarantined";
+    /// Kind tag of [`Event::snapshot_fallback`] events.
+    pub const SNAPSHOT_FALLBACK: &'static str = "snapshot_fallback";
+    /// Kind tag of [`Event::load_shed`] events.
+    pub const LOAD_SHED: &'static str = "load_shed";
+
+    /// A storage read failed transiently and was retried: attempt number
+    /// `attempt` (1-based) against `path`, after backing off `backoff_s`
+    /// seconds. `reason` carries the underlying error text.
+    pub fn io_retry(path: &str, attempt: usize, backoff_s: f64, reason: &str) -> Self {
+        Self {
+            kind: Self::IO_RETRY.to_string(),
+            fields: torchgt_compat::json!({
+                "path": path,
+                "attempt": attempt,
+                "backoff_s": backoff_s,
+                "reason": reason,
+            }),
+        }
+    }
+
+    /// A shard exhausted its retry budget (or failed CRC twice) and was
+    /// quarantined: the loader refuses to serve it and surfaces a typed
+    /// error naming the path.
+    pub fn shard_quarantined(path: &str, reason: &str) -> Self {
+        Self {
+            kind: Self::SHARD_QUARANTINED.to_string(),
+            fields: torchgt_compat::json!({ "path": path, "reason": reason }),
+        }
+    }
+
+    /// `load_latest` found the newest snapshot corrupt, renamed it to
+    /// `*.quarantined`, and fell back to the snapshot from `to_epoch`
+    /// (`from_epoch` is the epoch of the corrupt one).
+    pub fn snapshot_fallback(from_epoch: usize, to_epoch: usize, reason: &str) -> Self {
+        Self {
+            kind: Self::SNAPSHOT_FALLBACK.to_string(),
+            fields: torchgt_compat::json!({
+                "from_epoch": from_epoch,
+                "to_epoch": to_epoch,
+                "reason": reason,
+            }),
+        }
+    }
+
+    /// The serving admission controller rejected a query: `reason` is
+    /// `"queue_full"` (depth exceeded the shed watermark), `"expired"`
+    /// (deadline already passed at dequeue) or `"draining"` (arrived after
+    /// shutdown began). `depth` is the queue depth observed at the decision.
+    pub fn load_shed(node: u64, reason: &str, depth: usize) -> Self {
+        Self {
+            kind: Self::LOAD_SHED.to_string(),
+            fields: torchgt_compat::json!({
+                "node": node,
+                "reason": reason,
+                "depth": depth,
+            }),
+        }
+    }
+
     /// Numeric field accessor (`None` when absent or non-numeric).
     pub fn num(&self, name: &str) -> Option<f64> {
         self.fields.get(name).and_then(Value::as_f64)

@@ -87,18 +87,12 @@ impl RecoveryPolicy {
     /// Backoff before retry `attempt` (1-based), seconds: exponential in
     /// the attempt number with a seeded jitter factor in `[0.5, 1.5)`.
     /// Pure — same `(backoff_seed, attempt)` always gives the same wait.
+    /// The formula lives in the shared fault plane
+    /// ([`torchgt_faults::backoff_s`], bit-identical to the original
+    /// implementation here) so the self-healing disk readers wait exactly
+    /// the way rank-recovery retries do.
     pub fn backoff_s(&self, attempt: usize) -> f64 {
-        if self.backoff_base_s <= 0.0 || attempt == 0 {
-            return 0.0;
-        }
-        let exp = self.backoff_base_s * (1u64 << (attempt - 1).min(10)) as f64;
-        let mut state = self
-            .backoff_seed
-            .wrapping_mul(0x1656_67B1_9E37_79F9)
-            ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let x = torchgt_compat::rng::splitmix64(&mut state);
-        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
-        exp * (0.5 + unit)
+        torchgt_faults::backoff_s(self.backoff_seed, self.backoff_base_s, attempt)
     }
 }
 

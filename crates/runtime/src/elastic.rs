@@ -225,6 +225,10 @@ where
     F: Fn() -> Box<dyn SequenceModel> + Sync,
 {
     assert!(world >= 1);
+    // Attach the run's recorder to the store so snapshot self-healing
+    // (IO_RETRY / SNAPSHOT_FALLBACK) surfaces in this run's metrics.
+    let store = store.clone().with_recorder(recorder.clone());
+    let store = &store;
     let policy = cfg.recovery;
     let mut group = DeviceGroup::with_recorder(world, recorder.clone());
     group.set_fault_plan(Some(plan));

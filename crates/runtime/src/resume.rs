@@ -97,6 +97,10 @@ pub fn run_with_checkpoints(
     opts: &CheckpointOptions,
     recorder: &RecorderHandle,
 ) -> io::Result<ResumeOutcome> {
+    // Attach the run's recorder to the store so the self-healing ladder
+    // (IO_RETRY / SNAPSHOT_FALLBACK) surfaces in this run's metrics.
+    let store = store.clone().with_recorder(recorder.clone());
+    let store = &store;
     let mut resumed_from = None;
     if opts.resume {
         if let Some(snap) = store.load_latest()? {

@@ -20,7 +20,7 @@
 
 use crate::quant::{QuantData, QuantScheme, QuantTensor};
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 use torchgt_ckpt::crc32;
 use torchgt_model::{Gt, GtConfig, Graphormer, GraphormerConfig, SequenceModel};
@@ -364,7 +364,36 @@ impl FrozenModel {
 
     /// Load from `path`.
     pub fn load(path: &Path) -> io::Result<Self> {
-        Self::read_from(BufReader::new(File::open(path)?))
+        // Same retry-once semantics as the TGDS/TGTS readers: transient
+        // errors retry with seeded jittered backoff, and a corrupt buffer
+        // is re-read once — injected faults never touch the file on disk,
+        // so the re-read recovers; genuine corruption fails again.
+        const MAX_TRANSIENT_RETRIES: usize = 4;
+        const BACKOFF_BASE_S: f64 = 0.002;
+        let seed = torchgt_faults::installed().map(|s| s.seed).unwrap_or(0);
+        let backoff_seed = seed ^ torchgt_faults::path_key(path);
+        let mut transient_attempts = 0usize;
+        let mut crc_reread_used = false;
+        loop {
+            match torchgt_faults::read_file(path).and_then(|b| Self::read_from(b.as_slice())) {
+                Ok(model) => return Ok(model),
+                Err(e)
+                    if torchgt_faults::is_transient(&e)
+                        && transient_attempts < MAX_TRANSIENT_RETRIES =>
+                {
+                    transient_attempts += 1;
+                    let wait =
+                        torchgt_faults::backoff_s(backoff_seed, BACKOFF_BASE_S, transient_attempts);
+                    if wait > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(wait));
+                    }
+                }
+                Err(e) if torchgt_faults::is_corruption(&e) && !crc_reread_used => {
+                    crc_reread_used = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 

@@ -35,5 +35,8 @@ pub use exec::FrozenExecutor;
 pub use freeze::{CalibSet, Freezable, FreezeError, FreezeOptions};
 pub use frozen::{DatasetRef, FrozenModel, ModelSpec};
 pub use quant::{QuantScheme, QuantTensor};
-pub use server::{Prediction, Query, ServeConfig, ServeLoop, ServeStats};
+pub use server::{
+    Overloaded, Prediction, Query, ServeConfig, ServeLoop, ServeReply, ServeStats, ShedReason,
+    ShutdownHandle,
+};
 pub use zipf::Zipf;

@@ -8,34 +8,50 @@
 //! and attention cost amortizes across the batch; when idle a lone query
 //! pays at most the budget in queueing delay.
 //!
-//! Every reply carries its end-to-end latency; the loop aggregates a
-//! [`torchgt_obs::LatencyHistogram`] and publishes p50/p99, queue depth,
-//! and throughput through the attached recorder.
+//! **Admission control.** Every dequeued query passes an admission check
+//! before it can join a window: a query whose deadline already passed is
+//! shed as [`ShedReason::Expired`], and when the backlog behind it exceeds
+//! the shed watermark it is shed as [`ShedReason::QueueFull`] — a typed
+//! [`Overloaded`] reply goes back immediately (orders of magnitude cheaper
+//! than a forward pass), which is what keeps goodput flat past saturation
+//! instead of collapsing under queueing delay.
+//!
+//! **Graceful drain.** [`ServeLoop::shutdown_handle`] hands out a flag any
+//! thread can trip; the loop then answers everything already enqueued
+//! (counted as `drained`), sheds later arrivals as
+//! [`ShedReason::Draining`], and returns.
+//!
+//! Every answered reply carries its end-to-end latency; the loop aggregates
+//! a [`torchgt_obs::LatencyHistogram`] over **accepted** queries only (shed
+//! replies are tracked separately), and publishes p50/p99, queue depth,
+//! shed counters, and throughput through the attached recorder.
 
 use crate::batch::{ego_subgraph, pack_queries};
 use crate::exec::FrozenExecutor;
 use crate::frozen::FrozenModel;
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use torchgt_compat::sync::channel::{Receiver, RecvTimeoutError, Sender};
 use torchgt_graph::CsrGraph;
 use torchgt_model::{Pattern, SequenceBatch};
-use torchgt_obs::{LatencyHistogram, RecorderHandle};
+use torchgt_obs::{Event, LatencyHistogram, RecorderHandle};
 
-/// One node query. `reply` receives the prediction; dropping the receiver
-/// just discards the answer (the loop ignores send failures).
+/// One node query. `reply` receives the [`ServeReply`]; dropping the
+/// receiver just discards the answer (the loop ignores send failures).
 pub struct Query {
     /// Global node id to classify.
     pub node: u32,
     /// Arrival timestamp — latency is measured enqueue-to-reply.
     pub enqueued: Instant,
-    /// Where the prediction goes.
-    pub reply: Sender<Prediction>,
+    /// Where the answer (or the typed overload rejection) goes.
+    pub reply: Sender<ServeReply>,
 }
 
 impl Query {
     /// A query stamped with the current time.
-    pub fn new(node: u32, reply: Sender<Prediction>) -> Self {
+    pub fn new(node: u32, reply: Sender<ServeReply>) -> Self {
         Self { node, enqueued: Instant::now(), reply }
     }
 }
@@ -51,7 +67,64 @@ pub struct Prediction {
     pub latency: Duration,
 }
 
-/// Micro-batching knobs.
+/// Why the admission controller refused a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Queue depth behind the query exceeded the shed watermark.
+    QueueFull,
+    /// The query's deadline had already passed at dequeue.
+    Expired,
+    /// The query arrived after graceful shutdown began.
+    Draining,
+}
+
+impl ShedReason {
+    /// Stable label used in `LOAD_SHED` events and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Expired => "expired",
+            ShedReason::Draining => "draining",
+        }
+    }
+}
+
+/// Typed overload rejection: the query was not executed.
+#[derive(Clone, Copy, Debug)]
+pub struct Overloaded {
+    /// The rejected node query.
+    pub node: u32,
+    /// Why admission refused it.
+    pub reason: ShedReason,
+    /// Queue depth observed at the shed decision.
+    pub depth: usize,
+}
+
+/// What a client gets back for one query.
+#[derive(Clone, Copy, Debug)]
+pub enum ServeReply {
+    /// The query executed; here is its prediction.
+    Answered(Prediction),
+    /// The query was shed by admission control.
+    Overloaded(Overloaded),
+}
+
+impl ServeReply {
+    /// The prediction, when the query was answered.
+    pub fn prediction(self) -> Option<Prediction> {
+        match self {
+            ServeReply::Answered(p) => Some(p),
+            ServeReply::Overloaded(_) => None,
+        }
+    }
+
+    /// Whether this reply is a shed rejection.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ServeReply::Overloaded(_))
+    }
+}
+
+/// Micro-batching and admission-control knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     /// Flush when this many queries have accumulated.
@@ -60,16 +133,31 @@ pub struct ServeConfig {
     pub latency_budget: Duration,
     /// Ego-subgraph context cap per query (tokens per segment).
     pub ctx_nodes: usize,
+    /// Shed a dequeued query when more than this many queries are still
+    /// waiting behind it (`None` disables depth-based shedding).
+    pub shed_watermark: Option<usize>,
+    /// Shed a dequeued query older than this (`None` disables
+    /// deadline-based shedding).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { max_batch: 8, latency_budget: Duration::from_millis(50), ctx_nodes: 32 }
+        Self {
+            max_batch: 8,
+            latency_budget: Duration::from_millis(50),
+            ctx_nodes: 32,
+            shed_watermark: None,
+            deadline: None,
+        }
     }
 }
 
 torchgt_compat::json_struct! {
     /// End-of-run summary (also exported as gauges on the recorder).
+    /// Latency quantiles cover **accepted** queries only; shed replies are
+    /// counted (`shed` = `shed_queue_full + shed_expired + shed_draining`)
+    /// and their dequeue-to-reply handling time tracked separately.
     #[derive(Clone, Debug, PartialEq)]
     pub struct ServeStats {
         pub served: u64,
@@ -81,8 +169,38 @@ torchgt_compat::json_struct! {
         pub throughput_qps: f64,
         pub max_queue_depth: u64,
         pub avg_batch_size: f64,
+        pub shed: u64,
+        pub shed_queue_full: u64,
+        pub shed_expired: u64,
+        pub shed_draining: u64,
+        pub drained: u64,
+        pub shed_handling_ms_mean: f64,
+        pub shed_handling_ms_max: f64,
     }
 }
+
+/// A clonable flag that asks a running [`ServeLoop`] to drain and exit:
+/// everything already enqueued is answered, later arrivals are shed as
+/// [`ShedReason::Draining`].
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Begin graceful shutdown.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// How often the idle loop wakes to check the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(5);
 
 /// The serving engine: a frozen executor plus the graph it answers
 /// queries against.
@@ -93,6 +211,22 @@ pub struct ServeLoop {
     feat_dim: usize,
     cfg: ServeConfig,
     recorder: RecorderHandle,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Per-run shed bookkeeping.
+#[derive(Default)]
+struct ShedLedger {
+    queue_full: u64,
+    expired: u64,
+    draining: u64,
+    handling: LatencyHistogram,
+}
+
+impl ShedLedger {
+    fn total(&self) -> u64 {
+        self.queue_full + self.expired + self.draining
+    }
 }
 
 impl ServeLoop {
@@ -123,27 +257,126 @@ impl ServeLoop {
             feat_dim,
             cfg,
             recorder,
+            shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
 
-    /// Drain queries until every sender is gone, then return the run's
-    /// stats. Meant to run on its own thread while clients hold `Sender`
-    /// clones of `rx`'s channel.
+    /// A handle other threads use to request graceful drain.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { flag: Arc::clone(&self.shutdown) }
+    }
+
+    /// Admission check for a dequeued query: `None` admits, `Some(reason)`
+    /// sheds. `depth` is the backlog still waiting behind the query.
+    fn admission(
+        &self,
+        q: &Query,
+        depth: usize,
+        drain_started: Option<Instant>,
+    ) -> Option<ShedReason> {
+        if let Some(t0) = drain_started {
+            if q.enqueued > t0 {
+                return Some(ShedReason::Draining);
+            }
+        }
+        if let Some(deadline) = self.cfg.deadline {
+            if q.enqueued.elapsed() > deadline {
+                return Some(ShedReason::Expired);
+            }
+        }
+        if let Some(watermark) = self.cfg.shed_watermark {
+            if depth > watermark {
+                return Some(ShedReason::QueueFull);
+            }
+        }
+        None
+    }
+
+    /// Reply [`Overloaded`] to a shed query and account for it. The
+    /// handling time (dequeue decision to reply sent) is what the overload
+    /// bench asserts stays under a millisecond.
+    fn shed(&self, q: Query, reason: ShedReason, depth: usize, ledger: &mut ShedLedger) {
+        let t0 = Instant::now();
+        let _ = q.reply.send(ServeReply::Overloaded(Overloaded {
+            node: q.node,
+            reason,
+            depth,
+        }));
+        ledger.handling.record(t0.elapsed().as_secs_f64());
+        match reason {
+            ShedReason::QueueFull => ledger.queue_full += 1,
+            ShedReason::Expired => ledger.expired += 1,
+            ShedReason::Draining => ledger.draining += 1,
+        }
+        if self.recorder.enabled() {
+            self.recorder.event(Event::load_shed(q.node as u64, reason.label(), depth));
+            self.recorder.counter_add("queries_shed", 1);
+        }
+    }
+
+    /// Drain queries until every sender is gone (or shutdown is requested
+    /// and the backlog is answered), then return the run's stats. Meant to
+    /// run on its own thread while clients hold `Sender` clones of `rx`'s
+    /// channel.
     pub fn run(&mut self, rx: Receiver<Query>) -> ServeStats {
         let mut hist = LatencyHistogram::new();
+        let mut ledger = ShedLedger::default();
         let mut served = 0u64;
+        let mut drained = 0u64;
         let mut batches = 0u64;
         let mut max_depth = 0u64;
         let mut first_arrival: Option<Instant> = None;
         let mut last_reply: Option<Instant> = None;
+        let serve_faults = torchgt_faults::serve_plan();
 
         'serve: loop {
-            // Block for the window's first query.
-            let first = match rx.recv() {
+            let drain_started = self.shutdown.load(Ordering::SeqCst).then(Instant::now);
+            if let Some(t0) = drain_started {
+                // Graceful drain: answer the backlog, shed late arrivals.
+                let mut window: Vec<Query> = Vec::new();
+                while let Some(q) = rx.try_recv() {
+                    let depth = rx.len();
+                    match self.admission(&q, depth, Some(t0)) {
+                        Some(reason) => self.shed(q, reason, depth, &mut ledger),
+                        None => {
+                            first_arrival.get_or_insert(q.enqueued);
+                            window.push(q);
+                        }
+                    }
+                    if window.len() == self.cfg.max_batch {
+                        self.execute(&window, &mut hist, &mut batches, &serve_faults);
+                        served += window.len() as u64;
+                        drained += window.len() as u64;
+                        last_reply = Some(Instant::now());
+                        window.clear();
+                    }
+                }
+                if !window.is_empty() {
+                    self.execute(&window, &mut hist, &mut batches, &serve_faults);
+                    served += window.len() as u64;
+                    drained += window.len() as u64;
+                    last_reply = Some(Instant::now());
+                }
+                break 'serve;
+            }
+
+            // Block for the window's first query, waking periodically so a
+            // shutdown request is noticed even on an idle queue.
+            let first = match rx.recv_timeout(SHUTDOWN_POLL) {
                 Ok(q) => q,
-                Err(_) => break 'serve,
+                Err(RecvTimeoutError::Timeout) => continue 'serve,
+                Err(RecvTimeoutError::Disconnected) => break 'serve,
             };
             first_arrival.get_or_insert(first.enqueued);
+            let depth = rx.len();
+            max_depth = max_depth.max(depth as u64);
+            let first = match self.admission(&first, depth, None) {
+                Some(reason) => {
+                    self.shed(first, reason, depth, &mut ledger);
+                    continue 'serve;
+                }
+                None => first,
+            };
             let deadline = Instant::now() + self.cfg.latency_budget;
             let mut window = vec![first];
             let mut disconnected = false;
@@ -155,7 +388,14 @@ impl ServeLoop {
                     break;
                 };
                 match rx.recv_timeout(remaining) {
-                    Ok(q) => window.push(q),
+                    Ok(q) => {
+                        let depth = rx.len();
+                        max_depth = max_depth.max(depth as u64);
+                        match self.admission(&q, depth, None) {
+                            Some(reason) => self.shed(q, reason, depth, &mut ledger),
+                            None => window.push(q),
+                        }
+                    }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => {
                         disconnected = true;
@@ -165,9 +405,8 @@ impl ServeLoop {
             }
             max_depth = max_depth.max(rx.len() as u64);
 
-            self.flush(&window, &mut hist);
+            self.execute(&window, &mut hist, &mut batches, &serve_faults);
             served += window.len() as u64;
-            batches += 1;
             last_reply = Some(Instant::now());
             if disconnected && rx.is_empty() {
                 break 'serve;
@@ -188,6 +427,13 @@ impl ServeLoop {
             throughput_qps: if wall > 0.0 { served as f64 / wall } else { served as f64 },
             max_queue_depth: max_depth,
             avg_batch_size: if batches > 0 { served as f64 / batches as f64 } else { 0.0 },
+            shed: ledger.total(),
+            shed_queue_full: ledger.queue_full,
+            shed_expired: ledger.expired,
+            shed_draining: ledger.draining,
+            drained,
+            shed_handling_ms_mean: ledger.handling.mean() * 1e3,
+            shed_handling_ms_max: ledger.handling.max() * 1e3,
         };
         if self.recorder.enabled() {
             self.recorder.gauge_set("p50_latency_ms", stats.p50_latency_ms);
@@ -195,10 +441,35 @@ impl ServeLoop {
             self.recorder.gauge_set("queue_depth", stats.max_queue_depth as f64);
             self.recorder.gauge_set("throughput_qps", stats.throughput_qps);
             self.recorder.gauge_set("avg_batch_size", stats.avg_batch_size);
+            let total = stats.served + stats.shed;
+            let shed_rate = if total > 0 { stats.shed as f64 / total as f64 } else { 0.0 };
+            self.recorder.gauge_set("shed_rate", shed_rate);
             self.recorder.counter_add("queries_served", served);
             self.recorder.counter_add("serve_batches", batches);
+            self.recorder.counter_add("queries_drained", drained);
         }
         stats
+    }
+
+    /// Execute one packed window: injected executor stall (when the fault
+    /// plane's serve domain is armed), then the forward and the replies.
+    fn execute(
+        &mut self,
+        window: &[Query],
+        hist: &mut LatencyHistogram,
+        batches: &mut u64,
+        serve_faults: &Option<(u64, torchgt_faults::ServeFaultPlan)>,
+    ) {
+        if window.is_empty() {
+            return;
+        }
+        if let Some((seed, plan)) = serve_faults {
+            if plan.executor_stalls(*seed, *batches) && plan.slow_s > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(plan.slow_s));
+            }
+        }
+        self.flush(window, hist);
+        *batches += 1;
     }
 
     /// Execute one packed window and reply to every member.
@@ -218,7 +489,11 @@ impl ServeLoop {
             let latency = q.enqueued.elapsed();
             hist.record(latency.as_secs_f64());
             // A gone client is not an error — just drop the answer.
-            let _ = q.reply.send(Prediction { node: q.node, label: preds[start], latency });
+            let _ = q.reply.send(ServeReply::Answered(Prediction {
+                node: q.node,
+                label: preds[start],
+                latency,
+            }));
         }
     }
 }

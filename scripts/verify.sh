@@ -316,4 +316,93 @@ awk -F'[:,]' '
     || { echo "bad or missing stall_fraction rows in $data_json"; exit 1; }
 echo "data loader bench: OK"
 
+echo "== chaos gate: pipeline under a seeded multi-domain fault plan =="
+# Self-healing must make injected faults invisible to the numbers: the same
+# pipeline under a seeded disk-fault plan must exit 0, produce bit-identical
+# losses to the fault-free run, and surface every recovery action in the
+# metrics. The chaos scratch dir is a FIXED path on purpose — disk fault
+# decisions are keyed by (seed, path, per-path op counter), so a stable
+# path pins the decision stream run-to-run.
+chaos="/tmp/torchgt-chaos-gate"
+rm -rf "$chaos"; mkdir -p "$chaos"
+chaos_plan="seed=7,disk.read_err=0.3,disk.torn=0.02,disk.flip=0.02,disk.delay=0.1@0.2ms"
+chaos_flags=(--method gp-sparse --epochs 4 --seq-len 128 --hidden 16
+             --layers 2 --heads 2 --seed 7)
+./target/release/torchgt_cli datagen --dataset arxiv --scale 0.004 --seed 7 \
+    --out "$chaos/shards" --shard-nodes 250 --faults "$chaos_plan" >/dev/null \
+    || { echo "datagen under faults failed (exit $?)"; exit 1; }
+./target/release/torchgt_cli train "${chaos_flags[@]}" --data-dir "$chaos/shards" \
+    --metrics "$chaos/clean.json" >/dev/null \
+    || { echo "fault-free baseline failed (exit $?)"; exit 1; }
+./target/release/torchgt_cli train "${chaos_flags[@]}" --data-dir "$chaos/shards" \
+    --checkpoint-dir "$chaos/ckpts" --checkpoint-every 1 \
+    --faults "$chaos_plan" --metrics "$chaos/faulted.json" >/dev/null \
+    || { echo "faulted train failed (exit $?)"; exit 1; }
+if [ "$(losses "$chaos/faulted.json")" != "$(losses "$chaos/clean.json")" ]; then
+    echo "healed losses diverged from the fault-free run:"
+    diff <(losses "$chaos/faulted.json") <(losses "$chaos/clean.json") || true
+    exit 1
+fi
+grep -q '"kind": "io_retry"' "$chaos/faulted.json" \
+    || { echo "no io_retry event recorded under the fault plan"; exit 1; }
+# Corrupt the newest snapshot with a byte flip; resume must quarantine it,
+# fall back one epoch, and retrain to the same final loss.
+newest="$(ls "$chaos/ckpts"/snapshot-*.tgtck | sort | tail -1)"
+printf '\x5a' | dd of="$newest" bs=1 seek=100 conv=notrunc status=none
+./target/release/torchgt_cli train "${chaos_flags[@]}" --data-dir "$chaos/shards" \
+    --checkpoint-dir "$chaos/ckpts" --resume \
+    --metrics "$chaos/resumed.json" >/dev/null \
+    || { echo "resume from a corrupt newest snapshot failed (exit $?)"; exit 1; }
+grep -q '"kind": "snapshot_fallback"' "$chaos/resumed.json" \
+    || { echo "no snapshot_fallback event recorded on corrupt resume"; exit 1; }
+ls "$chaos/ckpts"/*.quarantined >/dev/null 2>&1 \
+    || { echo "corrupt snapshot was not quarantined"; exit 1; }
+[ "$(losses "$chaos/resumed.json" | tail -1)" = "$(losses "$chaos/clean.json" | tail -1)" ] \
+    || { echo "resumed final-epoch loss diverged from the fault-free run"; exit 1; }
+echo "chaos gate: OK (losses bit-identical under faults, fallback + quarantine fired)"
+
+echo "== serve shed gate: SLO holds with load shedding active =="
+# Freeze under the disk plan (artifact write + verify read heal), then serve
+# a burst-injected overload with a low shed watermark: the run must shed,
+# every shed must surface as a load_shed event plus the queries_shed
+# counter, and the accepted-query p99 must still meet the SLO.
+serve_chaos="seed=7,disk.read_err=0.25,disk.torn=0.1,disk.flip=0.1,serve.slow=0.6@2ms,serve.burst=0.3@8"
+./target/release/torchgt_cli freeze --dataset arxiv --method torchgt \
+    --epochs 2 --scale 0.002 --seq-len 128 --hidden 16 --layers 2 --heads 2 \
+    --seed 7 --out "$chaos/model.tgtf" --faults "$chaos_plan" >/dev/null \
+    || { echo "freeze under faults failed (exit $?)"; exit 1; }
+./target/release/torchgt_cli serve --model "$chaos/model.tgtf" \
+    --queries 256 --qps 4000 --budget-ms 5 --shed-watermark 2 \
+    --faults "$serve_chaos" --metrics "$chaos/serve.json" > "$chaos/serve.out" \
+    || { echo "serve under overload failed (exit $?)"; exit 1; }
+grep -q '"kind": "load_shed"' "$chaos/serve.json" \
+    || { echo "no load_shed event recorded under overload"; exit 1; }
+shed_n="$(grep -A1 '"name": "queries_shed"' "$chaos/serve.json" \
+    | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*$' | head -1)"
+[ -n "$shed_n" ] || { echo "queries_shed counter missing from serve metrics"; exit 1; }
+awk -v s="$shed_n" 'BEGIN { exit !(s >= 1) }' \
+    || { echo "expected >=1 shed query under overload, got $shed_n"; exit 1; }
+shed_p99="$(grep -A1 '"name": "p99_latency_ms"' "$chaos/serve.json" \
+    | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*$' | head -1)"
+awk -v p="$shed_p99" -v slo="$serve_slo_ms" 'BEGIN { exit !(p <= slo) }' \
+    || { echo "accepted p99 ${shed_p99} ms exceeds the ${serve_slo_ms} ms SLO while shedding"; exit 1; }
+rm -rf "$chaos"
+echo "serve shed gate: OK (shed=$shed_n, accepted p99=${shed_p99} ms)"
+
+echo "== serve overload bench =="
+# The bench asserts internally: goodput at 2x the saturated load within 10%
+# of the plateau, and shed replies issued in under a millisecond. The gate
+# re-checks the recorded JSON.
+cargo bench -q --offline -p torchgt-bench --bench serve_overload >/dev/null
+overload_json="target/experiments/BENCH_overload.json"
+[ -f "$overload_json" ] || { echo "$overload_json missing"; exit 1; }
+awk -F'[:,]' '
+    /"plateau_goodput_qps":/ { plateau = $2 + 0 }
+    /"overload_goodput_qps":/ { over = $2 + 0 }
+    /"goodput_floor":/ { floor = $2 + 0 }
+    /"shed":/ { shed += $2 + 0 }
+    END { exit !(plateau > 0 && over >= floor * plateau && shed >= 1) }' "$overload_json" \
+    || { echo "overload goodput or shed accounting failed in $overload_json"; exit 1; }
+echo "serve overload bench: OK"
+
 echo "verify: OK"

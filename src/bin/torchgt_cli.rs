@@ -64,7 +64,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 use torchgt::prelude::*;
-use torchgt::serve::{DatasetRef, Prediction, Query, Zipf};
+use torchgt::serve::{DatasetRef, Query, ServeReply, Zipf};
 use torchgt::{ModelKind, TorchGtBuilder};
 use torchgt_compat::sync::channel::{bounded, unbounded};
 
@@ -127,6 +127,7 @@ const TRAIN_FLAGS: &[FlagSpec] = &[
     FlagSpec::switch("rebalance", "closed-loop straggler rebalancing over --world simulated ranks"),
     FlagSpec::value("slow-rank", "inject a straggler: global rank slowed on every send"),
     FlagSpec::value("slow-delay-ms", "per-send delay of the --slow-rank straggler (default 1)"),
+    FlagSpec::value("faults", "seeded fault plan, e.g. seed=7,disk.read_err=0.2,comm.delay=0.1@1ms"),
 ];
 
 const FREEZE_FLAGS: &[FlagSpec] = &[
@@ -147,6 +148,7 @@ const FREEZE_FLAGS: &[FlagSpec] = &[
     FlagSpec::value("calib", "calibration queries from the held-out split (default 256)"),
     FlagSpec::value("scheme", "quantization width: int8|int16 (default int8)"),
     FlagSpec::value("max-drop", "max tolerated top-1 accuracy drop (default 0.01)"),
+    FlagSpec::value("faults", "seeded fault plan, e.g. seed=7,disk.read_err=0.2"),
 ];
 
 const SERVE_FLAGS: &[FlagSpec] = &[
@@ -164,6 +166,9 @@ const SERVE_FLAGS: &[FlagSpec] = &[
     FlagSpec::value("dataset", "override the artifact's dataset provenance"),
     FlagSpec::value("scale", "override the artifact's dataset scale"),
     FlagSpec::value("data-seed", "override the artifact's dataset seed"),
+    FlagSpec::value("shed-watermark", "shed when the backlog behind a query exceeds this depth"),
+    FlagSpec::value("deadline-ms", "shed queries older than this at dequeue"),
+    FlagSpec::value("faults", "seeded fault plan, e.g. seed=7,serve.slow=0.1@5ms,serve.burst=0.2@8"),
 ];
 
 const DATAGEN_FLAGS: &[FlagSpec] = &[
@@ -172,6 +177,7 @@ const DATAGEN_FLAGS: &[FlagSpec] = &[
     FlagSpec::value("seed", "generator seed — fully determines dataset content (default 1)"),
     FlagSpec::value("out", "directory for the TGDS shards + TGDM manifest (default data)"),
     FlagSpec::value("shard-nodes", "nodes per shard (default 16384)"),
+    FlagSpec::value("faults", "seeded fault plan, e.g. seed=7,disk.read_err=0.2"),
 ];
 
 const SUBCOMMANDS: &[SubSpec] = &[
@@ -292,6 +298,30 @@ fn resolve_backend(flags: &HashMap<String, String>) -> Result<String, ExitCode> 
         Ok(be) => Ok(be.name().to_string()),
         Err(e) => {
             eprintln!("{e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Install the seeded fault plan before any I/O or serving runs: `--faults`
+/// takes the same spec grammar as the `TORCHGT_FAULTS` environment variable
+/// (the flag wins when both are set), and a malformed spec must be a usage
+/// error here, not a mid-run surprise. Returns whether a plan is active.
+fn resolve_faults(flags: &HashMap<String, String>) -> Result<bool, ExitCode> {
+    if let Some(spec) = flags.get("faults") {
+        std::env::set_var(torchgt::faults::ENV_VAR, spec);
+    }
+    match torchgt::faults::install_from_env() {
+        Ok(active) => {
+            if active {
+                if let Some(spec) = torchgt::faults::installed() {
+                    println!("fault injection active (seed {})", spec.seed);
+                }
+            }
+            Ok(active)
+        }
+        Err(e) => {
+            eprintln!("bad fault spec: {e}");
             Err(ExitCode::from(2))
         }
     }
@@ -453,6 +483,9 @@ fn peak_rss_bytes() -> Option<u64> {
 /// manifest, announcing the effective (clamped) spec and the manifest hash.
 fn run_datagen(flags: &HashMap<String, String>) -> ExitCode {
     let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    if let Err(code) = resolve_faults(flags) {
+        return code;
+    }
     let Some(kind) = dataset_kind(&get("dataset", "arxiv")) else {
         eprintln!("unknown dataset (try `torchgt_cli datasets`)");
         return ExitCode::from(2);
@@ -525,6 +558,9 @@ fn run_train(flags: &HashMap<String, String>) -> ExitCode {
         Err(code) => return code,
     };
     println!("kernel backend: {kernel_backend}");
+    if let Err(code) = resolve_faults(flags) {
+        return code;
+    }
     let Some(m) = method(&get("method", "torchgt")) else {
         eprintln!("unknown method (torchgt|gp-flash|gp-sparse|gp-raw)");
         return ExitCode::from(2);
@@ -718,6 +754,9 @@ fn run_freeze(flags: &HashMap<String, String>) -> ExitCode {
         Err(code) => return code,
     };
     println!("kernel backend: {kernel_backend}");
+    if let Err(code) = resolve_faults(flags) {
+        return code;
+    }
     let Some(m) = method(&get("method", "torchgt")) else {
         eprintln!("unknown method (torchgt|gp-flash|gp-sparse|gp-raw)");
         return ExitCode::from(2);
@@ -811,6 +850,9 @@ fn run_serve(flags: &HashMap<String, String>) -> ExitCode {
         Err(code) => return code,
     };
     println!("kernel backend: {kernel_backend}");
+    if let Err(code) = resolve_faults(flags) {
+        return code;
+    }
     let model_path = get("model", "model.tgtf");
     let frozen = match FrozenModel::load(Path::new(&model_path)) {
         Ok(f) => f,
@@ -865,6 +907,11 @@ fn run_serve(flags: &HashMap<String, String>) -> ExitCode {
         max_batch: get("max-batch", "8").parse().unwrap_or(8),
         latency_budget: Duration::from_millis(get("budget-ms", "50").parse().unwrap_or(50)),
         ctx_nodes: get("ctx", "32").parse().unwrap_or(32),
+        shed_watermark: flags.get("shed-watermark").and_then(|v| v.parse().ok()),
+        deadline: flags
+            .get("deadline-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis),
     };
     let mem = Arc::new(MemoryRecorder::default());
     mem.event(torchgt_obs::Event::backend(&kernel_backend));
@@ -892,9 +939,13 @@ fn run_serve(flags: &HashMap<String, String>) -> ExitCode {
     );
 
     let (tx, rx) = bounded::<Query>(queue);
-    let (reply_tx, reply_rx) = unbounded::<Prediction>();
+    let (reply_tx, reply_rx) = unbounded::<ServeReply>();
     let server = std::thread::spawn(move || serve_loop.run(rx));
     let num_nodes = dataset.graph.num_nodes();
+    // An installed serve-domain fault plan injects arrival bursts: when a
+    // burst starts, the client fires `burst_len` queries back-to-back
+    // without pacing, driving the queue into the shed watermark.
+    let serve_faults = torchgt::faults::serve_plan();
     let mut senders = Vec::with_capacity(clients);
     for c in 0..clients {
         let tx = tx.clone();
@@ -905,10 +956,21 @@ fn run_serve(flags: &HashMap<String, String>) -> ExitCode {
         let pace = Duration::from_secs_f64(clients as f64 / qps.max(1.0));
         let mut zipf = Zipf::new(num_nodes, zipf_s, data_seed ^ (c as u64 + 1));
         senders.push(std::thread::spawn(move || {
-            for _ in 0..n {
+            let mut burst_remaining = 0usize;
+            for i in 0..n {
                 let node = zipf.sample() as u32;
                 if tx.send(Query::new(node, reply_tx.clone())).is_err() {
                     break;
+                }
+                if burst_remaining > 0 {
+                    burst_remaining -= 1;
+                    continue;
+                }
+                if let Some((seed, plan)) = serve_faults {
+                    if plan.burst_starts(seed, c as u64, i as u64) {
+                        burst_remaining = plan.burst_len.saturating_sub(1);
+                        continue;
+                    }
                 }
                 std::thread::sleep(pace);
             }
@@ -927,22 +989,38 @@ fn run_serve(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
     let mut answered = 0u64;
-    while reply_rx.recv().is_ok() {
-        answered += 1;
+    let mut shed = 0u64;
+    while let Ok(reply) = reply_rx.recv() {
+        if reply.is_shed() {
+            shed += 1;
+        } else {
+            answered += 1;
+        }
     }
 
     println!(
-        "served {} queries in {} batches ({answered} replies delivered)",
+        "served {} queries in {} batches ({answered} answered, {shed} shed replies delivered)",
         stats.served, stats.batches
     );
     println!(
-        "latency: p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms, max {:.3} ms",
+        "latency: p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms, max {:.3} ms (accepted queries)",
         stats.p50_latency_ms, stats.p99_latency_ms, stats.mean_latency_ms, stats.max_latency_ms
     );
     println!(
         "throughput {:.1} qps, max queue depth {}, avg batch {:.2}",
         stats.throughput_qps, stats.max_queue_depth, stats.avg_batch_size
     );
+    if stats.shed > 0 {
+        println!(
+            "shed {} ({} queue-full, {} expired, {} draining), handling mean {:.3} ms / max {:.3} ms",
+            stats.shed,
+            stats.shed_queue_full,
+            stats.shed_expired,
+            stats.shed_draining,
+            stats.shed_handling_ms_mean,
+            stats.shed_handling_ms_max
+        );
+    }
     if let Some(path) = flags.get("metrics") {
         let report = mem.report();
         if let Err(e) = std::fs::write(path, report.to_json_string_pretty()) {
@@ -975,7 +1053,12 @@ fn run_rebalance(
             eprintln!("--slow-rank wants a rank below --world {world}");
             return ExitCode::from(2);
         }
-        None => FaultPlan::default(),
+        // No explicit straggler: an installed fault plan's comm domain
+        // (--faults comm.*) drives the fabric instead.
+        None => match torchgt::faults::comm_spec() {
+            Some((seed, spec)) => FaultPlan::from_spec(seed, &spec),
+            None => FaultPlan::default(),
+        },
     };
     let mut cfg = TrainConfig::new(m, get("seq-len", "512").parse().unwrap_or(512), epochs);
     cfg.lr = get("lr", "2e-3").parse().unwrap_or(2e-3);
@@ -1121,12 +1204,18 @@ fn run_elastic(
         lose.map(|l| format!(", scripted loss of rank {} at epoch {}", l.rank, l.epoch))
             .unwrap_or_default()
     );
+    // The comm domain of an installed fault plan (--faults comm.*) drives
+    // the elastic fabric; otherwise the fabric is fault-free.
+    let plan = match torchgt::faults::comm_spec() {
+        Some((fseed, spec)) => FaultPlan::from_spec(fseed, &spec),
+        None => FaultPlan::default(),
+    };
     let out = match train_data_parallel_elastic(
         dataset,
         cfg,
         world,
         factory,
-        FaultPlan::default(),
+        plan,
         lose,
         &store,
         recorder,

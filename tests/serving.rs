@@ -7,7 +7,7 @@
 use std::process::Command;
 use std::time::Duration;
 use torchgt::prelude::*;
-use torchgt::serve::{DatasetRef, Prediction, Query, QuantTensor, Zipf};
+use torchgt::serve::{DatasetRef, Query, QuantTensor, ServeReply, Zipf};
 use torchgt_compat::rng::{Rng, RngCore, SeedableRng, SmallRng};
 use torchgt_compat::sync::channel::{bounded, unbounded};
 
@@ -165,6 +165,7 @@ fn serve_loop_answers_every_concurrent_query() {
         max_batch: 4,
         latency_budget: Duration::from_millis(5),
         ctx_nodes: 16,
+        ..Default::default()
     };
     let mut serve_loop = ServeLoop::new(
         &frozen,
@@ -178,7 +179,7 @@ fn serve_loop_answers_every_concurrent_query() {
     const SENDERS: usize = 4;
     const PER_SENDER: usize = 16;
     let (tx, rx) = bounded::<Query>(8);
-    let (reply_tx, reply_rx) = unbounded::<Prediction>();
+    let (reply_tx, reply_rx) = unbounded::<ServeReply>();
     let server = std::thread::spawn(move || serve_loop.run(rx));
     let num_nodes = dataset.graph.num_nodes();
     let senders: Vec<_> = (0..SENDERS)
@@ -202,8 +203,8 @@ fn serve_loop_answers_every_concurrent_query() {
     let stats = server.join().expect("serve loop");
 
     let mut replies = Vec::new();
-    while let Ok(p) = reply_rx.recv() {
-        replies.push(p);
+    while let Ok(r) = reply_rx.recv() {
+        replies.push(r.prediction().expect("no admission control configured"));
     }
     assert_eq!(stats.served as usize, SENDERS * PER_SENDER, "queries dropped");
     assert_eq!(replies.len(), SENDERS * PER_SENDER, "replies dropped");
@@ -225,6 +226,7 @@ fn packed_batch_matches_single_query_answers() {
         max_batch: 8,
         latency_budget: Duration::from_millis(20),
         ctx_nodes: 16,
+        ..Default::default()
     };
     let run_with_batch = |max_batch: usize, nodes: &[u32]| -> Vec<(u32, u32)> {
         let mut serve_loop = ServeLoop::new(
@@ -236,7 +238,7 @@ fn packed_batch_matches_single_query_answers() {
         )
         .expect("serve loop builds");
         let (tx, rx) = bounded::<Query>(nodes.len());
-        let (reply_tx, reply_rx) = unbounded::<Prediction>();
+        let (reply_tx, reply_rx) = unbounded::<ServeReply>();
         for &n in nodes {
             tx.send(Query::new(n, reply_tx.clone())).expect("send");
         }
@@ -245,7 +247,8 @@ fn packed_batch_matches_single_query_answers() {
         let server = std::thread::spawn(move || serve_loop.run(rx));
         server.join().expect("serve loop");
         let mut out = Vec::new();
-        while let Ok(p) = reply_rx.recv() {
+        while let Ok(r) = reply_rx.recv() {
+            let p = r.prediction().expect("no admission control configured");
             out.push((p.node, p.label));
         }
         out.sort_unstable();
